@@ -1,0 +1,95 @@
+//! Criterion benches for the property checkers: the cost of deciding
+//! orderedness, completeness and consistency on realistic executions.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcm_bench::executions;
+use rcm_core::ad::{apply_filter, Ad1};
+use rcm_core::VarId;
+use rcm_props::{
+    check_complete_multi, check_complete_single, check_consistent_multi,
+    check_consistent_single, check_ordered,
+};
+use rcm_sim::montecarlo::{ScenarioKind, Topology};
+
+fn bench_checkers(c: &mut Criterion) {
+    let x = VarId::new(0);
+    let y = VarId::new(1);
+
+    // Single-variable executions with AD-1 displays.
+    let single: Vec<_> = executions(ScenarioKind::LossyAggressive, Topology::SingleVar, 20, 3)
+        .into_iter()
+        .map(|e| {
+            let displayed = apply_filter(&mut Ad1::new(), &e.arrivals);
+            (e.condition, e.inputs, displayed)
+        })
+        .collect();
+    let multi: Vec<_> = executions(ScenarioKind::LossyAggressive, Topology::MultiVar, 20, 3)
+        .into_iter()
+        .map(|e| {
+            let displayed = apply_filter(&mut Ad1::new(), &e.arrivals);
+            (e.condition, e.inputs, displayed)
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("checkers/batch_of_20_runs");
+    g.sample_size(20);
+    g.bench_function("ordered_single", |b| {
+        b.iter(|| {
+            single
+                .iter()
+                .filter(|(_, _, d)| check_ordered(black_box(d), &[x]).ok)
+                .count()
+        })
+    });
+    g.bench_function("complete_single", |b| {
+        b.iter(|| {
+            single
+                .iter()
+                .filter(|(c, i, d)| check_complete_single(c, i, black_box(d)).ok)
+                .count()
+        })
+    });
+    g.bench_function("consistent_single", |b| {
+        b.iter(|| {
+            single
+                .iter()
+                .filter(|(c, i, d)| check_consistent_single(c, i, black_box(d)).ok)
+                .count()
+        })
+    });
+    g.bench_function("ordered_multi", |b| {
+        b.iter(|| {
+            multi
+                .iter()
+                .filter(|(_, _, d)| check_ordered(black_box(d), &[x, y]).ok)
+                .count()
+        })
+    });
+    g.bench_function("consistent_multi_precedence_graph", |b| {
+        b.iter(|| {
+            multi
+                .iter()
+                .filter(|(c, i, d)| check_consistent_multi(c, i, black_box(d)).ok)
+                .count()
+        })
+    });
+    g.finish();
+
+    // The exponential one gets its own group with fewer samples.
+    let mut g = c.benchmark_group("checkers/interleaving_enumeration");
+    g.sample_size(10);
+    g.bench_function("complete_multi_12_updates", |b| {
+        b.iter(|| {
+            multi
+                .iter()
+                .filter(|(c, i, d)| check_complete_multi(c, i, black_box(d)).ok)
+                .count()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_checkers);
+criterion_main!(benches);

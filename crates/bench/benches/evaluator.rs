@@ -1,0 +1,78 @@
+//! Criterion benches for the Condition Evaluator: ingest throughput
+//! across condition types and expression compilation cost.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rcm_core::condition::expr::CompiledCondition;
+use rcm_core::condition::{AbsDifference, Cmp, Conservative, DeltaRise, Threshold};
+use rcm_core::{Condition, Evaluator, Update, VarId, VarRegistry};
+
+const N: u64 = 10_000;
+
+fn single_var_updates(n: u64) -> Vec<Update> {
+    let x = VarId::new(0);
+    (1..=n)
+        .map(|s| Update::new(x, s, 100.0 + 30.0 * ((s as f64) * 0.7).sin()))
+        .collect()
+}
+
+fn ingest_all<C: Condition>(cond: C, updates: &[Update]) -> u64 {
+    let mut ev = Evaluator::new(cond);
+    updates.iter().filter_map(|&u| ev.ingest(u)).count() as u64
+}
+
+fn bench_evaluator(c: &mut Criterion) {
+    let x = VarId::new(0);
+    let y = VarId::new(1);
+    let updates = single_var_updates(N);
+
+    let mut g = c.benchmark_group("evaluator/ingest");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("c1_threshold", |b| {
+        b.iter(|| ingest_all(Threshold::new(x, Cmp::Gt, 110.0), black_box(&updates)))
+    });
+    g.bench_function("c2_delta_rise", |b| {
+        b.iter(|| ingest_all(DeltaRise::new(x, 10.0), black_box(&updates)))
+    });
+    g.bench_function("c3_conservative", |b| {
+        b.iter(|| ingest_all(Conservative::new(DeltaRise::new(x, 10.0)), black_box(&updates)))
+    });
+
+    let mut reg = VarRegistry::new();
+    reg.register("v0");
+    let compiled =
+        CompiledCondition::compile("v0[0].value - v0[-1].value > 10 && consecutive(v0)", &mut reg)
+            .expect("valid expression");
+    g.bench_function("c3_compiled_expression", |b| {
+        b.iter(|| ingest_all(compiled.clone(), black_box(&updates)))
+    });
+
+    // Two interleaved variables for the multi-variable condition.
+    let multi: Vec<Update> = (1..=N / 2)
+        .flat_map(|s| {
+            [
+                Update::new(x, s, 100.0 + (s % 7) as f64 * 20.0),
+                Update::new(y, s, 100.0 + (s % 5) as f64 * 25.0),
+            ]
+        })
+        .collect();
+    g.bench_function("cm_abs_difference", |b| {
+        b.iter(|| ingest_all(AbsDifference::new(x, y, 50.0), black_box(&multi)))
+    });
+    g.finish();
+
+    c.bench_function("evaluator/compile_expression", |b| {
+        b.iter(|| {
+            let mut reg = VarRegistry::new();
+            CompiledCondition::compile(
+                black_box("x[0].value - x[-1].value > 200 && consecutive(x)"),
+                &mut reg,
+            )
+            .expect("valid expression")
+        })
+    });
+}
+
+criterion_group!(benches, bench_evaluator);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benches for the six AD filtering algorithms over a large
+//! merged alert arrival stream.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rcm_bench::executions;
+use rcm_core::ad::{apply_filter, Ad1, Ad2, Ad3, Ad4, Ad5, Ad6, AlertFilter, PassThrough};
+use rcm_core::{Alert, VarId};
+use rcm_sim::montecarlo::{ScenarioKind, Topology};
+
+/// Builds a large single-variable arrival stream by concatenating
+/// simulated executions (degree-2 histories under loss stress the
+/// consistency filters realistically).
+fn single_var_arrivals() -> Vec<Alert> {
+    executions(ScenarioKind::LossyAggressive, Topology::SingleVar, 300, 7)
+        .into_iter()
+        .flat_map(|e| e.arrivals)
+        .collect()
+}
+
+fn multi_var_arrivals() -> Vec<Alert> {
+    executions(ScenarioKind::LossyAggressive, Topology::MultiVar, 300, 7)
+        .into_iter()
+        .flat_map(|e| e.arrivals)
+        .collect()
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let x = VarId::new(0);
+    let y = VarId::new(1);
+    let single = single_var_arrivals();
+    let multi = multi_var_arrivals();
+
+    let mut g = c.benchmark_group("filters/offer");
+    g.throughput(Throughput::Elements(single.len() as u64));
+    let run = |b: &mut criterion::Bencher, mk: &dyn Fn() -> Box<dyn AlertFilter>, s: &[Alert]| {
+        b.iter(|| {
+            let mut f = mk();
+            apply_filter(&mut *f, black_box(s)).len()
+        })
+    };
+    g.bench_function("pass_through", |b| {
+        run(b, &|| Box::new(PassThrough::new()), &single)
+    });
+    g.bench_function("ad1_dedup", |b| run(b, &|| Box::new(Ad1::new()), &single));
+    g.bench_function("ad2_ordered", |b| run(b, &|| Box::new(Ad2::new(x)), &single));
+    g.bench_function("ad3_consistent", |b| run(b, &|| Box::new(Ad3::new(x)), &single));
+    g.bench_function("ad4_both", |b| run(b, &|| Box::new(Ad4::new(x)), &single));
+    g.finish();
+
+    let mut g = c.benchmark_group("filters/offer_multi");
+    g.throughput(Throughput::Elements(multi.len() as u64));
+    g.bench_function("ad5_ordered", |b| {
+        run(b, &|| Box::new(Ad5::new([x, y])), &multi)
+    });
+    g.bench_function("ad6_both", |b| run(b, &|| Box::new(Ad6::new([x, y])), &multi));
+    g.finish();
+}
+
+criterion_group!(benches, bench_filters);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benches for the paper's sequence mathematics (§2.2):
+//! ordered union, subsequence tests, spanning sets, projections and
+//! interleaving enumeration.
+
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcm_core::seq::{
+    interleavings, is_ordered, is_subsequence, ordered_union, phi, spanning_gaps,
+};
+
+fn evens(n: u64) -> Vec<u64> {
+    (0..n).map(|i| i * 2).collect()
+}
+
+fn odds(n: u64) -> Vec<u64> {
+    (0..n).map(|i| i * 2 + 1).collect()
+}
+
+fn bench_sequences(c: &mut Criterion) {
+    let a = evens(1000);
+    let b = odds(1000);
+    c.bench_function("seq/ordered_union/1k+1k", |bch| {
+        bch.iter(|| ordered_union(black_box(&a), black_box(&b)))
+    });
+
+    let sup = ordered_union(&a, &b);
+    c.bench_function("seq/is_subsequence/1k_in_2k", |bch| {
+        bch.iter(|| is_subsequence(black_box(&a), black_box(&sup)))
+    });
+
+    c.bench_function("seq/is_ordered/2k", |bch| {
+        bch.iter(|| is_ordered(black_box(&sup)))
+    });
+
+    c.bench_function("seq/phi/2k", |bch| bch.iter(|| phi(black_box(&sup))));
+
+    let sparse: BTreeSet<u64> = (0..200u64).map(|i| i * 7).collect();
+    c.bench_function("seq/spanning_gaps/200_sparse", |bch| {
+        bch.iter(|| spanning_gaps(black_box(&sparse)))
+    });
+
+    let left = evens(6);
+    let right = odds(6);
+    c.bench_function("seq/interleavings/6x6_enumerate", |bch| {
+        bch.iter(|| interleavings(black_box(&left), black_box(&right)).count())
+    });
+}
+
+criterion_group!(benches, bench_sequences);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benches for the discrete-event simulator and the
+//! availability experiment.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rcm_sim::availability::{measure, AvailabilityConfig};
+use rcm_sim::montecarlo::{build_scenario, ScenarioKind, Topology};
+use rcm_sim::run;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/run");
+    for kind in [
+        ScenarioKind::Lossless,
+        ScenarioKind::LossyNonHistorical,
+        ScenarioKind::LossyAggressive,
+    ] {
+        g.bench_function(format!("single_var/{kind:?}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run(black_box(build_scenario(kind, Topology::SingleVar, seed)))
+                    .stats
+                    .alerts_emitted
+            })
+        });
+    }
+    g.bench_function("multi_var/LossyAggressive", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run(black_box(build_scenario(
+                ScenarioKind::LossyAggressive,
+                Topology::MultiVar,
+                seed,
+            )))
+            .stats
+            .alerts_emitted
+        })
+    });
+    g.finish();
+
+    // A long stream to measure steady-state event throughput.
+    let mut g = c.benchmark_group("sim/long_stream");
+    let updates = 2_000u64;
+    g.throughput(Throughput::Elements(updates));
+    g.sample_size(20);
+    g.bench_function("2k_updates_2_replicas", |b| {
+        b.iter(|| {
+            let mut sc = build_scenario(ScenarioKind::LossyAggressive, Topology::SingleVar, 3);
+            sc.workloads[0].updates = updates;
+            run(black_box(sc)).stats.alerts_emitted
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("sim/availability");
+    g.sample_size(10);
+    g.bench_function("measure_point", |b| {
+        b.iter(|| {
+            measure(black_box(AvailabilityConfig {
+                replicas: 2,
+                downtime: 0.3,
+                link_loss: 0.1,
+                updates: 60,
+                runs: 5,
+                seed: 9,
+            }))
+            .missed_fraction()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

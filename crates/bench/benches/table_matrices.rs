@@ -1,0 +1,34 @@
+//! Criterion benches for the table-reproduction harness itself: the
+//! cost of one Monte-Carlo cell (simulate + filter + all three
+//! property checks) for each table.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcm_sim::montecarlo::{evaluate_cell, FilterKind, ScenarioKind, Topology};
+
+fn bench_cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables/cell_3_runs");
+    g.sample_size(10);
+    for (name, kind, topo, filter) in [
+        ("table1_aggr_ad1", ScenarioKind::LossyAggressive, Topology::SingleVar, FilterKind::Ad1),
+        ("table2_aggr_ad2", ScenarioKind::LossyAggressive, Topology::SingleVar, FilterKind::Ad2),
+        ("table1'_aggr_ad3", ScenarioKind::LossyAggressive, Topology::SingleVar, FilterKind::Ad3),
+        ("table2'_aggr_ad4", ScenarioKind::LossyAggressive, Topology::SingleVar, FilterKind::Ad4),
+        ("table3_aggr_ad5", ScenarioKind::LossyAggressive, Topology::MultiVar, FilterKind::Ad5),
+        ("table3'_aggr_ad6", ScenarioKind::LossyAggressive, Topology::MultiVar, FilterKind::Ad6),
+        ("thm10_lossless_ad1", ScenarioKind::Lossless, Topology::MultiVar, FilterKind::Ad1),
+    ] {
+        g.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                evaluate_cell(black_box(kind), topo, filter, 3, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cells);
+criterion_main!(benches);

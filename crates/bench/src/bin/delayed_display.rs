@@ -1,0 +1,118 @@
+//! Ablation of the "delayed displaying" alternative from §4.2.
+//!
+//! The paper considers letting the AD hold alerts until predecessors
+//! arrive, bounded by a timeout, and argues it adds nothing fundamental:
+//! with the timeout forced, orderedness is lost. This experiment
+//! *measures* the trade-off on the lossy non-historical scenario class:
+//!
+//! * `drop` policy (late alerts discarded): output stays ordered; the
+//!   hold window converts some of AD-2's drops into displays, at the
+//!   price of display latency;
+//! * `display` policy (late alerts shown anyway): strictly more alerts,
+//!   but unordered output reappears — exactly the paper's objection.
+
+use rcm_bench::{executions, Cli};
+use rcm_core::ad::{apply_filter, Ad1, Ad2, DelayedOrdered, LatePolicy};
+use rcm_core::VarId;
+use rcm_core::seq::{inversions, project_alerts};
+use rcm_props::check_ordered;
+use rcm_sim::montecarlo::{ScenarioKind, Topology};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    hold: usize,
+    displayed_drop: usize,
+    dropped_late: u64,
+    displayed_show: usize,
+    unordered_runs_show: usize,
+    inversions_show: u64,
+}
+
+fn main() {
+    let cli = Cli::parse(120);
+    let x = VarId::new(0);
+    let execs = executions(ScenarioKind::LossyNonHistorical, Topology::SingleVar, cli.runs, cli.seed);
+
+    // Baselines.
+    let ad1: usize = execs
+        .iter()
+        .map(|e| apply_filter(&mut Ad1::new(), &e.arrivals).len())
+        .sum();
+    let ad2: usize = execs
+        .iter()
+        .map(|e| apply_filter(&mut Ad2::new(x), &e.arrivals).len())
+        .sum();
+
+    let mut rows = Vec::new();
+    for hold in [0usize, 1, 2, 4, 8, 16] {
+        let mut displayed_drop = 0;
+        let mut dropped_late = 0;
+        let mut displayed_show = 0;
+        let mut unordered_runs_show = 0;
+        let mut inversions_show = 0u64;
+        for e in &execs {
+            let mut d = DelayedOrdered::new(x, hold, LatePolicy::Drop);
+            let out = d.display_all(&e.arrivals);
+            assert!(
+                check_ordered(&out, &[x]).ok,
+                "drop-policy output must stay ordered"
+            );
+            displayed_drop += out.len();
+            dropped_late += d.dropped_late();
+
+            let mut show = DelayedOrdered::new(x, hold, LatePolicy::Display);
+            let out = show.display_all(&e.arrivals);
+            displayed_show += out.len();
+            if !check_ordered(&out, &[x]).ok {
+                unordered_runs_show += 1;
+            }
+            inversions_show += inversions(&project_alerts(&out, x));
+        }
+        rows.push(Row {
+            hold,
+            displayed_drop,
+            dropped_late,
+            displayed_show,
+            unordered_runs_show,
+            inversions_show,
+        });
+    }
+
+    if cli.json {
+        let out = serde_json::json!({ "ad1_total": ad1, "ad2_total": ad2, "sweep": rows });
+        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+        return;
+    }
+
+    println!(
+        "Delayed displaying (§4.2) on lossy non-historical workloads \
+         ({} runs, seed {})\n",
+        cli.runs, cli.seed
+    );
+    println!(
+        "AD-1 displays {ad1} alerts (dedup bound; the display policy can \
+         exceed it by re-showing late duplicates); AD-2 displays {ad2}\n"
+    );
+    println!(
+        "{:>5} {:>14} {:>13} | {:>15} {:>15} {:>11}",
+        "hold", "drop: shown", "late-dropped", "display: shown", "unordered runs", "inversions"
+    );
+    for r in &rows {
+        println!(
+            "{:>5} {:>14} {:>13} | {:>15} {:>15} {:>11}",
+            r.hold,
+            r.displayed_drop,
+            r.dropped_late,
+            r.displayed_show,
+            r.unordered_runs_show,
+            r.inversions_show
+        );
+    }
+    println!(
+        "\nGrowing the hold window recovers alerts AD-2 loses (left) without \
+         breaking order; showing late alerts instead (right) recovers more \
+         but re-introduces disorder — the paper's point that bounded-timeout \
+         reordering 'provides nothing fundamentally new'."
+    );
+}

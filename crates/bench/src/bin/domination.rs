@@ -1,0 +1,176 @@
+//! Reproduces the **§4.1 domination results** (Theorems 6 and 8):
+//! `AD-1 > AD-2`, `AD-1 > AD-3`, and the implied chain down to AD-4 —
+//! swept over front-link loss rates to show *how many* alerts each
+//! property costs.
+//!
+//! For each loss rate the harness simulates many replicated executions
+//! of an aggressively triggered condition, feeds the identical merged
+//! alert arrivals to each algorithm, verifies the subsequence relation
+//! on every trace, and reports pass-through fractions.
+
+use rcm_bench::{executions, Cli};
+use rcm_core::ad::{apply_filter, Ad1, Ad2, Ad3, Ad4, Ad5, Ad6, AlertFilter};
+use rcm_core::{Alert, VarId};
+use rcm_props::domination::check_domination;
+use rcm_sim::montecarlo::{ScenarioKind, Topology};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct SweepPoint {
+    scenario: &'static str,
+    arrivals: usize,
+    passed: [usize; 4], // AD-1..AD-4
+    dominations: Vec<DominationResult>,
+}
+
+#[derive(Debug, Serialize)]
+struct DominationResult {
+    pair: String,
+    holds: bool,
+    strict: bool,
+}
+
+fn main() {
+    let cli = Cli::parse(120);
+    let x = VarId::new(0);
+    let kinds = [
+        ScenarioKind::Lossless,
+        ScenarioKind::LossyNonHistorical,
+        ScenarioKind::LossyConservative,
+        ScenarioKind::LossyAggressive,
+    ];
+
+    let mut points = Vec::new();
+    for kind in kinds {
+        let execs = executions(kind, Topology::SingleVar, cli.runs, cli.seed);
+        let workloads: Vec<Vec<Alert>> = execs.iter().map(|e| e.arrivals.clone()).collect();
+        let total: usize = workloads.iter().map(Vec::len).sum();
+
+        let passed = [
+            pass_count(&workloads, || Box::new(Ad1::new()) as Box<dyn AlertFilter>),
+            pass_count(&workloads, || Box::new(Ad2::new(x)) as Box<dyn AlertFilter>),
+            pass_count(&workloads, || Box::new(Ad3::new(x)) as Box<dyn AlertFilter>),
+            pass_count(&workloads, || Box::new(Ad4::new(x)) as Box<dyn AlertFilter>),
+        ];
+
+        // The first three are theorems (6, 8, and their AD-4 corollary);
+        // the last two are *observational*: domination is not preserved
+        // under composition, because AD-4's sub-filter watermarks only
+        // advance on alerts passing BOTH checks, so standalone AD-2/AD-3
+        // state can diverge from AD-4's and either may pass an alert the
+        // other drops.
+        let mut dominations = Vec::new();
+        for (name, report) in [
+            ("AD-1 ≥ AD-2", check_domination(Ad1::new, || Ad2::new(x), &workloads)),
+            ("AD-1 ≥ AD-3", check_domination(Ad1::new, || Ad3::new(x), &workloads)),
+            ("AD-1 ≥ AD-4", check_domination(Ad1::new, || Ad4::new(x), &workloads)),
+            ("AD-2 ≥ AD-4 (not a theorem)", check_domination(|| Ad2::new(x), || Ad4::new(x), &workloads)),
+            ("AD-3 ≥ AD-4 (not a theorem)", check_domination(|| Ad3::new(x), || Ad4::new(x), &workloads)),
+        ] {
+            dominations.push(DominationResult {
+                pair: name.to_owned(),
+                holds: report.holds,
+                strict: report.strict,
+            });
+        }
+        points.push(SweepPoint { scenario: kind.label(), arrivals: total, passed, dominations });
+    }
+
+    if cli.json {
+        println!("{}", serde_json::to_string_pretty(&points).expect("serializable"));
+        return;
+    }
+
+    println!("Domination sweep ({} runs per scenario, seed {})\n", cli.runs, cli.seed);
+    println!(
+        "{:<18} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "Scenario", "arrivals", "AD-1", "AD-2", "AD-3", "AD-4"
+    );
+    for p in &points {
+        println!(
+            "{:<18} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            p.scenario, p.arrivals, p.passed[0], p.passed[1], p.passed[2], p.passed[3]
+        );
+    }
+    println!("\nDomination verdicts (must hold on every trace):");
+    for p in &points {
+        let verdicts: Vec<String> = p
+            .dominations
+            .iter()
+            .map(|d| {
+                format!(
+                    "{} {}",
+                    d.pair,
+                    if !d.holds {
+                        "VIOLATED"
+                    } else if d.strict {
+                        "holds (strict)"
+                    } else {
+                        "holds"
+                    }
+                )
+            })
+            .collect();
+        println!("  {:<18} {}", p.scenario, verdicts.join(" | "));
+    }
+    // Only the AD-1-rooted pairs are theorems; the composed pairs are
+    // reported for interest (they can legitimately fail).
+    let theorems_hold = points
+        .iter()
+        .all(|p| p.dominations.iter().take(3).all(|d| d.holds));
+    println!(
+        "\nTheorems 6 & 8 prediction (AD-1 dominates AD-2/AD-3/AD-4 on every trace): {}",
+        if theorems_hold { "CONFIRMED" } else { "VIOLATED" }
+    );
+
+    // Multi-variable analogues: AD-1 also dominates AD-5 and AD-6
+    // (AD-5's duplicate test — all heads equal — is implied by exact
+    // identity, and its state only grows).
+    let y = VarId::new(1);
+    let mut multi_ok = true;
+    println!("\nMulti-variable domination (lossy aggressive, two variables):");
+    for kind in kinds {
+        let execs = executions(kind, Topology::MultiVar, cli.runs, cli.seed ^ 0x5);
+        let workloads: Vec<Vec<Alert>> = execs.iter().map(|e| e.arrivals.clone()).collect();
+        for (name, report) in [
+            ("AD-1 ≥ AD-5", check_domination(Ad1::new, || Ad5::new([x, y]), &workloads)),
+            ("AD-1 ≥ AD-6", check_domination(Ad1::new, || Ad6::new([x, y]), &workloads)),
+            ("AD-5 ≥ AD-6 (not a theorem)", check_domination(|| Ad5::new([x, y]), || Ad6::new([x, y]), &workloads)),
+        ] {
+            if name.contains("theorem") {
+                // observational only
+            } else if !report.holds {
+                multi_ok = false;
+            }
+            println!(
+                "  {:<18} {} {}",
+                kind.label(),
+                name,
+                if !report.holds {
+                    "VIOLATED"
+                } else if report.strict {
+                    "holds (strict)"
+                } else {
+                    "holds"
+                }
+            );
+        }
+    }
+    println!(
+        "\nMulti-variable AD-1 domination: {}",
+        if multi_ok { "CONFIRMED" } else { "VIOLATED" }
+    );
+}
+
+fn pass_count(
+    workloads: &[Vec<Alert>],
+    mut make: impl FnMut() -> Box<dyn AlertFilter>,
+) -> usize {
+    workloads
+        .iter()
+        .map(|w| {
+            let mut f = make();
+            apply_filter(&mut *f, w).len()
+        })
+        .sum()
+}

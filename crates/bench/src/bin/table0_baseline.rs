@@ -1,0 +1,28 @@
+//! Baseline: the property matrix with **no filtering at all** at the
+//! Alert Displayer — what a naive replicated deployment exhibits.
+//!
+//! The paper's Tables 1–3 all assume at least duplicate removal; this
+//! binary shows it is not optional even formally. Completeness and
+//! consistency are Φ-set properties, so duplicates cannot violate them
+//! — those columns match Table 1 exactly. **Orderedness is different**:
+//! without deduplication even the *lossless* row goes unordered,
+//! because a replica's late copy of an already-displayed alert arrives
+//! with a smaller seqno than the display watermark. Removing exact
+//! duplicates is precisely what makes the paper's Corollary 1
+//! (`M(A, A) = A`) — and with it Theorem 1's lossless orderedness —
+//! hold.
+
+use rcm_bench::{print_matrix, Cli};
+use rcm_sim::montecarlo::{property_matrix, FilterKind, Topology};
+
+fn main() {
+    let cli = Cli::parse(100);
+    let m = property_matrix(
+        "Baseline: single-variable systems, no filtering",
+        Topology::SingleVar,
+        FilterKind::PassThrough,
+        cli.runs,
+        cli.seed,
+    );
+    print_matrix(&m, cli.json);
+}

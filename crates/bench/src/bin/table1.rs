@@ -1,0 +1,17 @@
+//! Reproduces **Table 1**: properties of single-variable replicated
+//! systems under Algorithm AD-1 (exact duplicate removal).
+
+use rcm_bench::{print_matrix, Cli};
+use rcm_sim::montecarlo::{property_matrix, FilterKind, Topology};
+
+fn main() {
+    let cli = Cli::parse(200);
+    let m = property_matrix(
+        "Table 1: single-variable systems",
+        Topology::SingleVar,
+        FilterKind::Ad1,
+        cli.runs,
+        cli.seed,
+    );
+    print_matrix(&m, cli.json);
+}

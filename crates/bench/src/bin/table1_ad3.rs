@@ -1,0 +1,18 @@
+//! Reproduces the **§4.3 prose table**: Table 1 under Algorithm AD-3
+//! (consistency enforcement) — identical to Table 1 except that the
+//! aggressive-triggering row becomes consistent.
+
+use rcm_bench::{print_matrix, Cli};
+use rcm_sim::montecarlo::{property_matrix, FilterKind, Topology};
+
+fn main() {
+    let cli = Cli::parse(200);
+    let m = property_matrix(
+        "Table 1': single-variable systems",
+        Topology::SingleVar,
+        FilterKind::Ad3,
+        cli.runs,
+        cli.seed,
+    );
+    print_matrix(&m, cli.json);
+}

@@ -1,0 +1,18 @@
+//! Reproduces the **§4.4 prose table**: Table 2 under Algorithm AD-4
+//! (orderedness + consistency) — identical to Table 2 except that the
+//! aggressive-triggering row becomes consistent.
+
+use rcm_bench::{print_matrix, Cli};
+use rcm_sim::montecarlo::{property_matrix, FilterKind, Topology};
+
+fn main() {
+    let cli = Cli::parse(200);
+    let m = property_matrix(
+        "Table 2': single-variable systems",
+        Topology::SingleVar,
+        FilterKind::Ad4,
+        cli.runs,
+        cli.seed,
+    );
+    print_matrix(&m, cli.json);
+}

@@ -1,0 +1,17 @@
+//! Reproduces **Table 3**: properties of multi-variable replicated
+//! systems under Algorithm AD-5 (multi-variable orderedness).
+
+use rcm_bench::{print_matrix, Cli};
+use rcm_sim::montecarlo::{property_matrix, FilterKind, Topology};
+
+fn main() {
+    let cli = Cli::parse(100);
+    let m = property_matrix(
+        "Table 3: multi-variable systems",
+        Topology::MultiVar,
+        FilterKind::Ad5,
+        cli.runs,
+        cli.seed,
+    );
+    print_matrix(&m, cli.json);
+}

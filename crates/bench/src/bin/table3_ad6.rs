@@ -1,0 +1,18 @@
+//! Reproduces the **§5.2 prose table**: Table 3 under Algorithm AD-6 —
+//! identical to Table 3 except that the aggressive-triggering row
+//! becomes consistent.
+
+use rcm_bench::{print_matrix, Cli};
+use rcm_sim::montecarlo::{property_matrix, FilterKind, Topology};
+
+fn main() {
+    let cli = Cli::parse(100);
+    let m = property_matrix(
+        "Table 3': multi-variable systems",
+        Topology::MultiVar,
+        FilterKind::Ad6,
+        cli.runs,
+        cli.seed,
+    );
+    print_matrix(&m, cli.json);
+}

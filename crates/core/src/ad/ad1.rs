@@ -1,0 +1,109 @@
+//! Algorithm AD-1: exact duplicate removal (paper Fig. A-1).
+
+use std::collections::HashSet;
+
+use crate::alert::Alert;
+
+use super::{AlertFilter, Decision, DiscardReason};
+
+/// Algorithm AD-1 (*Exact Duplicate Removal*): discards an alert iff an
+/// identical one — same condition, same update histories — has already
+/// been displayed.
+///
+/// This is the baseline replicated-AD behaviour studied in the paper's
+/// §3 (Table 1): with lossless links it yields an ordered and complete
+/// system (Theorem 1); with lossy links it preserves completeness for
+/// non-historical conditions (Theorem 2) and consistency for
+/// conservative ones (Theorem 3), but an aggressively triggered
+/// historical condition can produce *inconsistent* output (Theorem 4).
+///
+/// ```rust
+/// use rcm_core::ad::{Ad1, AlertFilter};
+/// # use rcm_core::{Alert, AlertId, CeId, CondId, HistoryFingerprint, SeqNo, VarId};
+/// # let fp = |s: &[u64]| HistoryFingerprint::single(
+/// #     VarId::new(0), s.iter().map(|&n| SeqNo::new(n)).collect());
+/// # let mk = |s: &[u64], ce| Alert::new(CondId::SINGLE, fp(s), vec![],
+/// #     AlertId { ce: CeId::new(ce), index: 0 });
+/// let mut ad = Ad1::new();
+/// let a1 = mk(&[3, 2], 0); // CE1 triggered on 2x,3x
+/// let a2 = mk(&[3, 1], 1); // CE2 missed 2x, triggered on 1x,3x
+/// assert!(ad.offer(&a1).is_deliver());
+/// assert!(ad.offer(&a2).is_deliver()); // histories differ: NOT a duplicate
+/// assert!(!ad.offer(&a1).is_deliver()); // exact duplicate
+/// ```
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct Ad1 {
+    seen: HashSet<Alert>,
+}
+
+impl Ad1 {
+    /// Creates the filter with no alerts seen.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct alerts displayed so far.
+    pub fn displayed(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+impl AlertFilter for Ad1 {
+    fn name(&self) -> &'static str {
+        "AD-1"
+    }
+
+    fn offer(&mut self, alert: &Alert) -> Decision {
+        if self.seen.contains(alert) {
+            Decision::Discard(DiscardReason::Duplicate)
+        } else {
+            self.seen.insert(alert.clone());
+            Decision::Deliver
+        }
+    }
+
+    fn reset(&mut self) {
+        self.seen.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ad::testutil::{alert1, alert_cond};
+
+    #[test]
+    fn removes_only_exact_duplicates() {
+        let mut ad = Ad1::new();
+        assert!(ad.offer(&alert1(&[3, 2])).is_deliver());
+        assert!(ad.offer(&alert1(&[3, 1])).is_deliver()); // differing H passes
+        assert_eq!(
+            ad.offer(&alert1(&[3, 2])),
+            Decision::Discard(DiscardReason::Duplicate)
+        );
+        assert_eq!(ad.displayed(), 2);
+    }
+
+    #[test]
+    fn out_of_order_alerts_pass() {
+        // AD-1 enforces nothing about order (Theorem 2: not ordered).
+        let mut ad = Ad1::new();
+        assert!(ad.offer(&alert1(&[2])).is_deliver());
+        assert!(ad.offer(&alert1(&[1])).is_deliver());
+    }
+
+    #[test]
+    fn different_conditions_never_duplicate() {
+        let mut ad = Ad1::new();
+        assert!(ad.offer(&alert_cond(0, &[1])).is_deliver());
+        assert!(ad.offer(&alert_cond(1, &[1])).is_deliver());
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let mut ad = Ad1::new();
+        ad.offer(&alert1(&[1]));
+        ad.reset();
+        assert!(ad.offer(&alert1(&[1])).is_deliver());
+    }
+}

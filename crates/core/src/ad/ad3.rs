@@ -1,0 +1,231 @@
+//! Algorithm AD-3: consistency for single-variable systems (paper
+//! Fig. A-3).
+
+use std::collections::{BTreeSet, HashSet};
+
+use crate::alert::Alert;
+use crate::seq::{spanning_gaps, spanning_set};
+use crate::update::SeqNo;
+use crate::var::VarId;
+
+use super::{AlertFilter, Decision, DiscardReason};
+
+/// Per-variable received/missed bookkeeping shared by AD-3 and AD-6.
+///
+/// Displaying an alert asserts that every seqno in its history was
+/// *received* by the hypothetical single CE `U'`, and every seqno in a
+/// gap of the history's span was *missed*. Two alerts conflict when one
+/// needs a seqno received and the other needs it missed.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub(crate) struct VarConsistency {
+    received: BTreeSet<u64>,
+    missed: BTreeSet<u64>,
+}
+
+impl VarConsistency {
+    /// The paper's `Conflicts(H)` for one variable's history seqnos.
+    pub(crate) fn conflicts(&self, seqnos: &[SeqNo]) -> bool {
+        let hx: BTreeSet<u64> = seqnos.iter().map(|s| s.get()).collect();
+        // Any history seqno previously recorded as missed?
+        if hx.iter().any(|s| self.missed.contains(s)) {
+            return true;
+        }
+        // Any gap in the history's span previously recorded as received?
+        spanning_set(&hx)
+            .into_iter()
+            .any(|s| !hx.contains(&s) && self.received.contains(&s))
+    }
+
+    /// The paper's `UpdateState(H)` for one variable.
+    pub(crate) fn record(&mut self, seqnos: &[SeqNo]) {
+        let hx: BTreeSet<u64> = seqnos.iter().map(|s| s.get()).collect();
+        self.missed.extend(spanning_gaps(&hx));
+        self.received.extend(hx);
+    }
+
+    /// Seqnos committed as received (the consistency witness `U'`).
+    pub(crate) fn received(&self) -> &BTreeSet<u64> {
+        &self.received
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.received.clear();
+        self.missed.clear();
+    }
+}
+
+/// Algorithm AD-3: guarantees **consistency** in all single-variable
+/// systems by refusing to display two alerts that require some update
+/// to be in a conflicting received/missed state.
+///
+/// For every displayed alert the filter records the history's seqnos in
+/// a `Received` set and the gaps of the history's span in a `Missed`
+/// set; an arriving alert whose history contains a `Missed` seqno, or
+/// whose span-gaps contain a `Received` seqno, is discarded
+/// (`Conflicts` in Fig. A-3). The `Received` set is itself the witness
+/// `U' ⊑ U1 ⊔ U2` of the consistency definition — the proof of
+/// Theorem 7 shows `ΦA ⊆ ΦT(Received)` and that AD-3 is **maximally
+/// consistent**.
+///
+/// Exact duplicates are also removed. The paper's Fig. A-3 pseudo-code
+/// leaves the duplicate test implicit, but Theorem 8 (`AD-1 > AD-3`,
+/// "AD-3 filters out at least all the alerts filtered by AD-1")
+/// requires it, so this implementation includes it.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Ad3 {
+    var: VarId,
+    state: VarConsistency,
+    seen: HashSet<Alert>,
+}
+
+impl Ad3 {
+    /// Creates the filter for the system's single variable.
+    pub fn new(var: VarId) -> Self {
+        Ad3 { var, state: VarConsistency::default(), seen: HashSet::new() }
+    }
+
+    /// The committed `Received` set: the witness `U'` for consistency,
+    /// as plain seqno values.
+    pub fn received(&self) -> Vec<SeqNo> {
+        self.state.received().iter().map(|&s| SeqNo::new(s)).collect()
+    }
+
+    /// Decision without committing state (used by AD-4).
+    pub(crate) fn check(&self, alert: &Alert) -> Decision {
+        if self.seen.contains(alert) {
+            return Decision::Discard(DiscardReason::Duplicate);
+        }
+        let Some(seqnos) = alert.fingerprint.seqnos(self.var) else {
+            return Decision::Discard(DiscardReason::Conflict);
+        };
+        if self.state.conflicts(seqnos) {
+            Decision::Discard(DiscardReason::Conflict)
+        } else {
+            Decision::Deliver
+        }
+    }
+
+    /// Records a delivered alert (used by AD-4).
+    pub(crate) fn commit(&mut self, alert: &Alert) {
+        if let Some(seqnos) = alert.fingerprint.seqnos(self.var) {
+            self.state.record(seqnos);
+        }
+        self.seen.insert(alert.clone());
+    }
+}
+
+impl AlertFilter for Ad3 {
+    fn name(&self) -> &'static str {
+        "AD-3"
+    }
+
+    fn offer(&mut self, alert: &Alert) -> Decision {
+        let d = self.check(alert);
+        if d.is_deliver() {
+            self.commit(alert);
+        }
+        d
+    }
+
+    fn reset(&mut self) {
+        self.state.clear();
+        self.seen.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ad::testutil::alert1;
+
+    fn ad() -> Ad3 {
+        Ad3::new(VarId::new(0))
+    }
+
+    #[test]
+    fn example_3_conflict() {
+        // a1 with H = ⟨3x, 1x⟩ displays; records Received {1,3}, Missed {2}.
+        // a2 with H = ⟨3x, 2x⟩ would need 2 received → conflict.
+        let mut f = ad();
+        assert!(f.offer(&alert1(&[3, 1])).is_deliver());
+        assert_eq!(
+            f.offer(&alert1(&[3, 2])),
+            Decision::Discard(DiscardReason::Conflict)
+        );
+    }
+
+    #[test]
+    fn reverse_arrival_order_keeps_first() {
+        // Symmetric to Example 3: whichever alert arrives first wins.
+        let mut f = ad();
+        assert!(f.offer(&alert1(&[3, 2])).is_deliver());
+        assert!(!f.offer(&alert1(&[3, 1])).is_deliver());
+    }
+
+    #[test]
+    fn gap_conflicts_with_received() {
+        // First alert says 2 was received; second's history {1,3} implies
+        // 2 was missed → conflict.
+        let mut f = ad();
+        assert!(f.offer(&alert1(&[2, 1])).is_deliver());
+        assert!(!f.offer(&alert1(&[3, 1])).is_deliver());
+    }
+
+    #[test]
+    fn non_overlapping_histories_pass() {
+        let mut f = ad();
+        assert!(f.offer(&alert1(&[2, 1])).is_deliver());
+        assert!(f.offer(&alert1(&[4, 3])).is_deliver());
+        // Out-of-order arrivals also pass: AD-3 does not enforce order.
+        assert!(f.offer(&alert1(&[3, 2])).is_deliver());
+    }
+
+    #[test]
+    fn exact_duplicates_removed() {
+        let mut f = ad();
+        assert!(f.offer(&alert1(&[3, 1])).is_deliver());
+        assert_eq!(
+            f.offer(&alert1(&[3, 1])),
+            Decision::Discard(DiscardReason::Duplicate)
+        );
+    }
+
+    #[test]
+    fn received_witness_accumulates() {
+        let mut f = ad();
+        f.offer(&alert1(&[3, 1]));
+        f.offer(&alert1(&[5, 4]));
+        let w: Vec<u64> = f.received().iter().map(|s| s.get()).collect();
+        assert_eq!(w, vec![1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn missing_variable_conflicts() {
+        let mut f = Ad3::new(VarId::new(9));
+        assert!(!f.offer(&alert1(&[1])).is_deliver());
+    }
+
+    #[test]
+    fn reset_clears_sets() {
+        let mut f = ad();
+        f.offer(&alert1(&[3, 1]));
+        f.reset();
+        assert!(f.offer(&alert1(&[3, 2])).is_deliver());
+    }
+
+    #[test]
+    fn degree_one_histories_never_conflict() {
+        // Non-historical conditions: singleton histories have no gaps, so
+        // AD-3 passes everything except duplicates (consistent with
+        // Theorem 2's systems remaining complete under AD-3's Table-1'
+        // variant).
+        let mut f = ad();
+        for s in [2u64, 1, 3, 1] {
+            let d = f.offer(&alert1(&[s]));
+            if s == 1 && !d.is_deliver() {
+                // second ⟨1⟩ is an exact duplicate
+                assert_eq!(d, Decision::Discard(DiscardReason::Duplicate));
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Algorithm AD-4: orderedness and consistency combined (paper
+//! Fig. A-4).
+
+use crate::alert::Alert;
+use crate::var::VarId;
+
+use super::ad2::Ad2;
+use super::ad3::Ad3;
+use super::{AlertFilter, Decision};
+
+/// Algorithm AD-4: discards any alert that would be discarded by either
+/// [`Ad2`] or [`Ad3`], guaranteeing both orderedness and consistency in
+/// every single-variable system (Theorem 9: maximally "ordered and
+/// consistent").
+///
+/// System properties under AD-4 match Table 2 except that the
+/// aggressive-triggering row is also consistent.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Ad4 {
+    ordered: Ad2,
+    consistent: Ad3,
+}
+
+impl Ad4 {
+    /// Creates the filter for the system's single variable.
+    pub fn new(var: VarId) -> Self {
+        Ad4 { ordered: Ad2::new(var), consistent: Ad3::new(var) }
+    }
+}
+
+impl AlertFilter for Ad4 {
+    fn name(&self) -> &'static str {
+        "AD-4"
+    }
+
+    fn offer(&mut self, alert: &Alert) -> Decision {
+        // Check both components before committing either, so a discard
+        // by one leaves the other's state untouched.
+        let d2 = self.ordered.check(alert);
+        if !d2.is_deliver() {
+            return d2;
+        }
+        let d3 = self.consistent.check(alert);
+        if !d3.is_deliver() {
+            return d3;
+        }
+        self.ordered.commit(alert);
+        self.consistent.commit(alert);
+        Decision::Deliver
+    }
+
+    fn reset(&mut self) {
+        self.ordered.reset();
+        self.consistent.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ad::testutil::alert1;
+    use crate::ad::DiscardReason;
+
+    fn ad() -> Ad4 {
+        Ad4::new(VarId::new(0))
+    }
+
+    #[test]
+    fn drops_out_of_order_like_ad2() {
+        let mut f = ad();
+        assert!(f.offer(&alert1(&[3, 2])).is_deliver());
+        assert_eq!(
+            f.offer(&alert1(&[2, 1])),
+            Decision::Discard(DiscardReason::OutOfOrder)
+        );
+    }
+
+    #[test]
+    fn drops_conflicts_like_ad3() {
+        let mut f = ad();
+        assert!(f.offer(&alert1(&[3, 1])).is_deliver());
+        assert_eq!(
+            f.offer(&alert1(&[4, 3, 2])),
+            Decision::Discard(DiscardReason::Conflict)
+        );
+    }
+
+    #[test]
+    fn passes_ordered_consistent_streams() {
+        let mut f = ad();
+        assert!(f.offer(&alert1(&[2, 1])).is_deliver());
+        assert!(f.offer(&alert1(&[3, 2])).is_deliver());
+        assert!(f.offer(&alert1(&[5, 4])).is_deliver());
+    }
+
+    #[test]
+    fn rejected_alert_does_not_pollute_state() {
+        let mut f = ad();
+        assert!(f.offer(&alert1(&[3, 1])).is_deliver()); // Missed = {2}
+        // Dropped by AD-2 (out of order); its history must NOT be recorded
+        // by the AD-3 half…
+        assert!(!f.offer(&alert1(&[2, 1])).is_deliver());
+        // …so an alert consistent with the FIRST alert still passes even
+        // though it would conflict with the rejected one.
+        assert!(f.offer(&alert1(&[4, 3])).is_deliver());
+    }
+
+    #[test]
+    fn duplicate_detected() {
+        let mut f = ad();
+        f.offer(&alert1(&[3, 2]));
+        assert_eq!(
+            f.offer(&alert1(&[3, 2])),
+            Decision::Discard(DiscardReason::Duplicate)
+        );
+    }
+
+    #[test]
+    fn reset_clears_both_halves() {
+        let mut f = ad();
+        f.offer(&alert1(&[3, 1]));
+        f.reset();
+        assert!(f.offer(&alert1(&[2, 1])).is_deliver());
+    }
+}

@@ -1,0 +1,183 @@
+//! Algorithm AD-5: orderedness for multi-variable systems (paper
+//! Fig. A-5).
+
+use std::collections::BTreeMap;
+
+use crate::alert::Alert;
+use crate::update::SeqNo;
+use crate::var::VarId;
+
+use super::{AlertFilter, Decision, DiscardReason};
+
+/// Algorithm AD-5: the multi-variable generalization of [`Ad2`]
+/// (paper §5.1).
+///
+/// For every displayed alert the filter records its seqno with respect
+/// to each variable; an arriving alert is discarded if any of its
+/// seqnos would *decrease* a recorded watermark (displaying it would
+/// produce an output unordered in that variable), or if **all** its
+/// seqnos equal the watermarks (a duplicate).
+///
+/// Lemma 4 proves the output is ordered; Lemma 5 shows AD-5 also makes
+/// most systems consistent (all but aggressively triggered historical
+/// conditions); Lemma 6 shows multi-variable systems under AD-5 remain
+/// incomplete (Table 3). The paper's pseudo-code is for two variables;
+/// this implementation generalizes to any number.
+///
+/// [`Ad2`]: super::Ad2
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Ad5 {
+    last: BTreeMap<VarId, Option<SeqNo>>,
+}
+
+impl Ad5 {
+    /// Creates the filter for the condition's variable set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is empty or contains duplicates.
+    pub fn new(vars: impl IntoIterator<Item = VarId>) -> Self {
+        let mut last = BTreeMap::new();
+        for v in vars {
+            let prev = last.insert(v, None);
+            assert!(prev.is_none(), "duplicate variable {v} in AD-5 variable set");
+        }
+        assert!(!last.is_empty(), "AD-5 needs at least one variable");
+        Ad5 { last }
+    }
+
+    /// The recorded watermark for `var`.
+    pub fn watermark(&self, var: VarId) -> Option<SeqNo> {
+        self.last.get(&var).copied().flatten()
+    }
+
+    /// Decision without committing state (used by AD-6).
+    pub(crate) fn check(&self, alert: &Alert) -> Decision {
+        let mut all_equal = true;
+        for (&var, &last) in &self.last {
+            let Some(seq) = alert.seqno(var) else {
+                return Decision::Discard(DiscardReason::Conflict);
+            };
+            match last {
+                Some(l) if seq < l => return Decision::Discard(DiscardReason::OutOfOrder),
+                Some(l) if seq == l => {}
+                _ => all_equal = false,
+            }
+        }
+        if all_equal {
+            Decision::Discard(DiscardReason::Duplicate)
+        } else {
+            Decision::Deliver
+        }
+    }
+
+    /// Records a delivered alert (used by AD-6).
+    pub(crate) fn commit(&mut self, alert: &Alert) {
+        for (&var, last) in self.last.iter_mut() {
+            *last = alert.seqno(var);
+        }
+    }
+}
+
+impl AlertFilter for Ad5 {
+    fn name(&self) -> &'static str {
+        "AD-5"
+    }
+
+    fn offer(&mut self, alert: &Alert) -> Decision {
+        let d = self.check(alert);
+        if d.is_deliver() {
+            self.commit(alert);
+        }
+        d
+    }
+
+    fn reset(&mut self) {
+        for last in self.last.values_mut() {
+            *last = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ad::testutil::alert2;
+
+    fn ad() -> Ad5 {
+        Ad5::new([VarId::new(0), VarId::new(1)])
+    }
+
+    #[test]
+    fn theorem_10_counterexample_is_filtered() {
+        // AD-1 passes both a(2x,1y) and a(1x,2y) (inconsistent, unordered);
+        // AD-5 drops the second because x regresses 2 → 1.
+        let mut f = ad();
+        assert!(f.offer(&alert2(2, 1)).is_deliver());
+        assert_eq!(
+            f.offer(&alert2(1, 2)),
+            Decision::Discard(DiscardReason::OutOfOrder)
+        );
+    }
+
+    #[test]
+    fn progress_in_one_variable_suffices() {
+        let mut f = ad();
+        assert!(f.offer(&alert2(1, 1)).is_deliver());
+        assert!(f.offer(&alert2(1, 2)).is_deliver()); // y advances, x equal
+        assert!(f.offer(&alert2(2, 2)).is_deliver()); // x advances, y equal
+    }
+
+    #[test]
+    fn all_equal_is_duplicate() {
+        let mut f = ad();
+        assert!(f.offer(&alert2(1, 1)).is_deliver());
+        assert_eq!(
+            f.offer(&alert2(1, 1)),
+            Decision::Discard(DiscardReason::Duplicate)
+        );
+    }
+
+    #[test]
+    fn regression_in_any_variable_discards() {
+        let mut f = ad();
+        assert!(f.offer(&alert2(3, 3)).is_deliver());
+        assert!(!f.offer(&alert2(4, 2)).is_deliver()); // y regresses
+        assert!(!f.offer(&alert2(2, 4)).is_deliver()); // x regresses
+        assert!(f.offer(&alert2(4, 3)).is_deliver());
+    }
+
+    #[test]
+    fn first_alert_always_passes() {
+        let mut f = ad();
+        assert!(f.offer(&alert2(7, 9)).is_deliver());
+        assert_eq!(f.watermark(VarId::new(0)), Some(SeqNo::new(7)));
+        assert_eq!(f.watermark(VarId::new(1)), Some(SeqNo::new(9)));
+    }
+
+    #[test]
+    fn alert_missing_a_variable_is_rejected() {
+        let mut f = Ad5::new([VarId::new(0), VarId::new(1), VarId::new(2)]);
+        assert!(!f.offer(&alert2(1, 1)).is_deliver()); // no v2 entry
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variable")]
+    fn empty_variable_set_rejected() {
+        Ad5::new(Vec::<VarId>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate variable")]
+    fn duplicate_variable_rejected() {
+        Ad5::new([VarId::new(0), VarId::new(0)]);
+    }
+
+    #[test]
+    fn reset_clears_watermarks() {
+        let mut f = ad();
+        f.offer(&alert2(5, 5));
+        f.reset();
+        assert!(f.offer(&alert2(1, 1)).is_deliver());
+    }
+}

@@ -1,0 +1,166 @@
+//! Algorithm AD-6: orderedness and consistency for multi-variable
+//! systems (paper Fig. A-6).
+
+use std::collections::BTreeMap;
+
+use crate::alert::Alert;
+use crate::var::VarId;
+
+use super::ad3::VarConsistency;
+use super::ad5::Ad5;
+use super::{AlertFilter, Decision, DiscardReason};
+
+/// Algorithm AD-6: combines [`Ad5`] (multi-variable orderedness) with
+/// the multi-variable version of AD-3 (one `Received`/`Missed` pair per
+/// variable), enforcing both orderedness and consistency (paper §5.2).
+///
+/// System properties match Table 3 except that the
+/// aggressive-triggering row is also consistent.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Ad6 {
+    ordered: Ad5,
+    consistency: BTreeMap<VarId, VarConsistency>,
+}
+
+impl Ad6 {
+    /// Creates the filter for the condition's variable set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is empty or contains duplicates (via [`Ad5`]).
+    pub fn new(vars: impl IntoIterator<Item = VarId>) -> Self {
+        let vars: Vec<VarId> = vars.into_iter().collect();
+        let ordered = Ad5::new(vars.iter().copied());
+        let consistency = vars.into_iter().map(|v| (v, VarConsistency::default())).collect();
+        Ad6 { ordered, consistency }
+    }
+
+    fn conflicts(&self, alert: &Alert) -> bool {
+        self.consistency.iter().any(|(&var, state)| {
+            match alert.fingerprint.seqnos(var) {
+                Some(seqnos) => state.conflicts(seqnos),
+                None => true, // alert missing a tracked variable
+            }
+        })
+    }
+}
+
+impl AlertFilter for Ad6 {
+    fn name(&self) -> &'static str {
+        "AD-6"
+    }
+
+    fn offer(&mut self, alert: &Alert) -> Decision {
+        let d5 = self.ordered.check(alert);
+        if !d5.is_deliver() {
+            return d5;
+        }
+        if self.conflicts(alert) {
+            return Decision::Discard(DiscardReason::Conflict);
+        }
+        self.ordered.commit(alert);
+        for (&var, state) in self.consistency.iter_mut() {
+            if let Some(seqnos) = alert.fingerprint.seqnos(var) {
+                state.record(seqnos);
+            }
+        }
+        Decision::Deliver
+    }
+
+    fn reset(&mut self) {
+        self.ordered.reset();
+        for state in self.consistency.values_mut() {
+            state.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alert::{AlertId, CeId, CondId, HistoryFingerprint};
+    use crate::update::SeqNo;
+
+    fn x() -> VarId {
+        VarId::new(0)
+    }
+    fn y() -> VarId {
+        VarId::new(1)
+    }
+
+    /// Two-variable alert with degree-2 histories.
+    fn alert22(xs: &[u64], ys: &[u64]) -> Alert {
+        Alert::new(
+            CondId::SINGLE,
+            HistoryFingerprint::new(vec![
+                (x(), xs.iter().map(|&s| SeqNo::new(s)).collect()),
+                (y(), ys.iter().map(|&s| SeqNo::new(s)).collect()),
+            ]),
+            vec![],
+            AlertId { ce: CeId::new(0), index: 0 },
+        )
+    }
+
+    fn ad() -> Ad6 {
+        Ad6::new([x(), y()])
+    }
+
+    #[test]
+    fn enforces_order_like_ad5() {
+        let mut f = ad();
+        assert!(f.offer(&alert22(&[2], &[1])).is_deliver());
+        assert_eq!(
+            f.offer(&alert22(&[1], &[2])),
+            Decision::Discard(DiscardReason::OutOfOrder)
+        );
+    }
+
+    #[test]
+    fn enforces_consistency_per_variable() {
+        let mut f = ad();
+        // First alert: x history {1,3} → x's Missed = {2}.
+        assert!(f.offer(&alert22(&[3, 1], &[1])).is_deliver());
+        // Second alert advances (order fine) but needs 2x received.
+        assert_eq!(
+            f.offer(&alert22(&[4, 3, 2], &[2])),
+            Decision::Discard(DiscardReason::Conflict)
+        );
+        // Conflict-free advance passes.
+        assert!(f.offer(&alert22(&[4, 3], &[2])).is_deliver());
+    }
+
+    #[test]
+    fn conflict_in_second_variable_detected() {
+        let mut f = ad();
+        assert!(f.offer(&alert22(&[1], &[3, 1])).is_deliver()); // y Missed = {2}
+        assert!(!f.offer(&alert22(&[2], &[4, 3, 2])).is_deliver());
+    }
+
+    #[test]
+    fn rejected_alert_leaves_state_clean() {
+        let mut f = ad();
+        assert!(f.offer(&alert22(&[3, 1], &[1])).is_deliver());
+        // Dropped for conflict; its y watermark (5) must not stick.
+        assert!(!f.offer(&alert22(&[4, 2], &[5])).is_deliver());
+        // y = 2 would be out of order had the previous alert committed.
+        assert!(f.offer(&alert22(&[4, 3], &[2])).is_deliver());
+    }
+
+    #[test]
+    fn duplicates_dropped() {
+        let mut f = ad();
+        assert!(f.offer(&alert22(&[2, 1], &[1])).is_deliver());
+        assert_eq!(
+            f.offer(&alert22(&[2, 1], &[1])),
+            Decision::Discard(DiscardReason::Duplicate)
+        );
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut f = ad();
+        f.offer(&alert22(&[3, 1], &[1]));
+        f.reset();
+        assert!(f.offer(&alert22(&[2, 1], &[1])).is_deliver());
+    }
+}

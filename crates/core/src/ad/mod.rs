@@ -1,0 +1,231 @@
+//! Alert Displayer filtering algorithms (paper Appendix A).
+//!
+//! The Alert Displayer merges the alert streams of the replicated CEs
+//! into one arrival sequence and runs a *filtering algorithm* over it;
+//! the survivors form the final sequence `A` shown to the user. The
+//! choice of algorithm determines which of the paper's three properties
+//! the replicated system has:
+//!
+//! | Algorithm | Guarantees | Paper |
+//! |-----------|------------|-------|
+//! | [`Ad1`] | removes exact duplicates only | Fig. A-1 |
+//! | [`Ad2`] | orderedness, single variable (maximal, Thm 5) | Fig. A-2 |
+//! | [`Ad3`] | consistency, single variable (maximal, Thm 7) | Fig. A-3 |
+//! | [`Ad4`] | orderedness ∧ consistency (maximal, Thm 9) | Fig. A-4 |
+//! | [`Ad5`] | orderedness, multi-variable | Fig. A-5 |
+//! | [`Ad6`] | orderedness ∧ consistency, multi-variable | Fig. A-6 |
+//!
+//! [`PassThrough`] (no filtering) and [`DropAll`] (the trivially
+//! ordered-and-consistent filter from §4.1 that displays nothing)
+//! bracket the design space; [`PerCondition`] demultiplexes
+//! multi-condition systems (Appendix D).
+//!
+//! Variants beyond the paper's pseudo-code:
+//!
+//! * [`Ad1Digest`] — AD-1 remembering only a checksum per alert (the
+//!   paper's §2 wire-size remark);
+//! * [`DelayedOrdered`] — the §4.2 "delayed displaying" alternative,
+//!   implemented so its trade-off can be measured;
+//! * [`Ad3Multi`] — AD-6 with its AD-5 half removed, an ablation
+//!   showing per-variable consistency bookkeeping alone cannot exclude
+//!   Theorem 10's interleaving cycles.
+//!
+//! All filters serialize with serde: a displayer can checkpoint its
+//! state and restart without forgetting what it promised the user.
+//!
+//! All filters implement [`AlertFilter`]; [`apply_filter`] runs one
+//! over a merged arrival sequence.
+
+mod ad1;
+mod ad2;
+mod ad3;
+mod ad3multi;
+mod ad4;
+mod ad5;
+mod ad6;
+mod delayed;
+mod demux;
+mod digest;
+mod reference;
+
+pub use ad1::Ad1;
+pub use ad2::Ad2;
+pub use ad3::Ad3;
+pub use ad3multi::Ad3Multi;
+pub use ad4::Ad4;
+pub use ad5::Ad5;
+pub use ad6::Ad6;
+pub use delayed::{DelayedOrdered, LatePolicy};
+pub use demux::PerCondition;
+pub use digest::{Ad1Digest, HistoryDigest};
+pub use reference::{DropAll, PassThrough};
+
+use std::fmt;
+
+use crate::alert::Alert;
+
+/// Why a filter discarded an alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiscardReason {
+    /// An identical alert (same condition and histories) was already
+    /// displayed.
+    Duplicate,
+    /// Displaying the alert would make the output unordered with
+    /// respect to some variable.
+    OutOfOrder,
+    /// Displaying the alert would require an update to be in a
+    /// conflicting received/missed state (AD-3's test).
+    Conflict,
+    /// The filter unconditionally discards (only [`DropAll`]).
+    Policy,
+}
+
+impl fmt::Display for DiscardReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiscardReason::Duplicate => write!(f, "duplicate"),
+            DiscardReason::OutOfOrder => write!(f, "out of order"),
+            DiscardReason::Conflict => write!(f, "conflicting state"),
+            DiscardReason::Policy => write!(f, "policy"),
+        }
+    }
+}
+
+/// A filter's verdict on one arriving alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decision {
+    /// Append the alert to the output sequence `A`.
+    Deliver,
+    /// Discard the alert.
+    Discard(DiscardReason),
+}
+
+impl Decision {
+    /// Whether the alert should be displayed.
+    pub fn is_deliver(self) -> bool {
+        matches!(self, Decision::Deliver)
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decision::Deliver => write!(f, "deliver"),
+            Decision::Discard(r) => write!(f, "discard ({r})"),
+        }
+    }
+}
+
+/// An Alert Displayer filtering algorithm.
+///
+/// Filters are *online*: they see alerts one at a time in arrival order
+/// and must decide immediately (the paper rules out "delayed
+/// displaying" because unbounded system delays would make timeouts
+/// unsound — §4.2).
+pub trait AlertFilter: fmt::Debug + Send {
+    /// Algorithm name for reports ("AD-1", "AD-2", …).
+    fn name(&self) -> &'static str;
+
+    /// Decides whether to display the arriving alert, updating internal
+    /// state when the decision is [`Decision::Deliver`].
+    fn offer(&mut self, alert: &Alert) -> Decision;
+
+    /// Clears all internal state, as if freshly constructed.
+    fn reset(&mut self);
+}
+
+impl<F: AlertFilter + ?Sized> AlertFilter for Box<F> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn offer(&mut self, alert: &Alert) -> Decision {
+        (**self).offer(alert)
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+/// Runs `arrivals` (the merged alert streams, in arrival order at the
+/// AD) through `filter`, returning the displayed sequence `A`.
+pub fn apply_filter<F: AlertFilter + ?Sized>(filter: &mut F, arrivals: &[Alert]) -> Vec<Alert> {
+    arrivals
+        .iter()
+        .filter(|a| filter.offer(a).is_deliver())
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::alert::{Alert, AlertId, CeId, CondId, HistoryFingerprint};
+    use crate::update::SeqNo;
+    use crate::var::VarId;
+
+    /// Single-variable alert on `v0` with the given newest-first seqnos.
+    pub fn alert1(seqnos: &[u64]) -> Alert {
+        Alert::new(
+            CondId::SINGLE,
+            HistoryFingerprint::single(
+                VarId::new(0),
+                seqnos.iter().map(|&s| SeqNo::new(s)).collect(),
+            ),
+            vec![],
+            AlertId { ce: CeId::new(0), index: 0 },
+        )
+    }
+
+    /// Two-variable alert with degree-1 histories `(x_seq, y_seq)`.
+    pub fn alert2(x_seq: u64, y_seq: u64) -> Alert {
+        Alert::new(
+            CondId::SINGLE,
+            HistoryFingerprint::new(vec![
+                (VarId::new(0), vec![SeqNo::new(x_seq)]),
+                (VarId::new(1), vec![SeqNo::new(y_seq)]),
+            ]),
+            vec![],
+            AlertId { ce: CeId::new(0), index: 0 },
+        )
+    }
+
+    /// Like [`alert1`] but for an explicit condition id.
+    pub fn alert_cond(cond: u32, seqnos: &[u64]) -> Alert {
+        let mut a = alert1(seqnos);
+        a.cond = CondId::new(cond);
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::alert1;
+    use super::*;
+
+    #[test]
+    fn decision_helpers() {
+        assert!(Decision::Deliver.is_deliver());
+        assert!(!Decision::Discard(DiscardReason::Duplicate).is_deliver());
+        assert_eq!(Decision::Deliver.to_string(), "deliver");
+        assert_eq!(
+            Decision::Discard(DiscardReason::OutOfOrder).to_string(),
+            "discard (out of order)"
+        );
+    }
+
+    #[test]
+    fn apply_filter_threads_state() {
+        let mut f = Ad1::new();
+        let out = apply_filter(&mut f, &[alert1(&[1]), alert1(&[1]), alert1(&[2])]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn boxed_filters_forward() {
+        let mut f: Box<dyn AlertFilter> = Box::new(Ad1::new());
+        assert_eq!(f.name(), "AD-1");
+        assert!(f.offer(&alert1(&[1])).is_deliver());
+        assert!(!f.offer(&alert1(&[1])).is_deliver());
+        f.reset();
+        assert!(f.offer(&alert1(&[1])).is_deliver());
+    }
+}

@@ -1,0 +1,84 @@
+//! Reference filters bracketing the design space.
+
+use crate::alert::Alert;
+
+use super::{AlertFilter, Decision, DiscardReason};
+
+/// Displays every arriving alert unchanged.
+///
+/// This is the behaviour of an AD with no filtering at all — the
+/// paper's corresponding non-replicated system `N` performs no
+/// filtering, and `PassThrough` is the identity element of the
+/// domination order: it dominates every filter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassThrough;
+
+impl PassThrough {
+    /// Creates the filter.
+    pub fn new() -> Self {
+        PassThrough
+    }
+}
+
+impl AlertFilter for PassThrough {
+    fn name(&self) -> &'static str {
+        "pass-through"
+    }
+
+    fn offer(&mut self, _alert: &Alert) -> Decision {
+        Decision::Deliver
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Discards every arriving alert.
+///
+/// The paper's §4.1 observes that an AD algorithm that passes nothing
+/// trivially guarantees orderedness and consistency (the empty sequence
+/// is ordered and a subsequence of anything) — and is useless, which is
+/// exactly why the *domination* relation exists. `DropAll` is the
+/// bottom of that order and serves as a baseline in the domination
+/// experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DropAll;
+
+impl DropAll {
+    /// Creates the filter.
+    pub fn new() -> Self {
+        DropAll
+    }
+}
+
+impl AlertFilter for DropAll {
+    fn name(&self) -> &'static str {
+        "drop-all"
+    }
+
+    fn offer(&mut self, _alert: &Alert) -> Decision {
+        Decision::Discard(DiscardReason::Policy)
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ad::testutil::alert1;
+    use crate::ad::apply_filter;
+
+    #[test]
+    fn pass_through_is_identity() {
+        let arrivals = vec![alert1(&[2]), alert1(&[1]), alert1(&[2])];
+        let out = apply_filter(&mut PassThrough::new(), &arrivals);
+        assert_eq!(out, arrivals);
+    }
+
+    #[test]
+    fn drop_all_outputs_nothing() {
+        let arrivals = vec![alert1(&[1]), alert1(&[2])];
+        let out = apply_filter(&mut DropAll::new(), &arrivals);
+        assert!(out.is_empty());
+    }
+}

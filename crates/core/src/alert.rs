@@ -1,0 +1,346 @@
+//! Alerts: `a(condname, histories)` tuples sent by Condition Evaluators
+//! to the Alert Displayer.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use serde::{Deserialize, Serialize};
+
+use crate::update::{SeqNo, Update};
+use crate::var::VarId;
+
+/// Identifier of a monitored condition (the paper's `condname`).
+///
+/// Single-condition systems use [`CondId::SINGLE`]; multi-condition
+/// systems (paper Appendix D) assign one id per condition so the AD can
+/// demultiplex alert streams.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct CondId(u32);
+
+impl CondId {
+    /// The id conventionally used when only one condition is monitored.
+    pub const SINGLE: CondId = CondId(0);
+
+    /// Creates a condition id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        CondId(index)
+    }
+
+    /// Returns the raw index backing this id.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for CondId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifier of a Condition Evaluator replica.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct CeId(u32);
+
+impl CeId {
+    /// Creates a CE id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        CeId(index)
+    }
+
+    /// Returns the raw index backing this id.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for CeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CE{}", self.0)
+    }
+}
+
+/// Provenance of an alert: which CE replica emitted it and at which
+/// position in that replica's output stream.
+///
+/// Provenance is *not* part of alert identity — the paper considers two
+/// alerts identical when their history sets `H` are equal, regardless of
+/// which replica produced them.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct AlertId {
+    /// Emitting replica.
+    pub ce: CeId,
+    /// Zero-based position in the replica's output stream.
+    pub index: u64,
+}
+
+impl fmt::Display for AlertId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.ce, self.index)
+    }
+}
+
+/// The update histories an alert triggered on, reduced to sequence
+/// numbers: one newest-first seqno list per variable, sorted by variable.
+///
+/// This is the paper's `a.H` as far as identity is concerned: AD-1
+/// considers two alerts identical iff their history sets are the same,
+/// and the consistency algorithms (AD-3/AD-6) work entirely on the
+/// seqnos. Values are excluded because an update is a full snapshot —
+/// two CEs receiving update `i_x` necessarily saw the same value, so the
+/// seqnos determine the values.
+#[derive(
+    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct HistoryFingerprint {
+    /// `(variable, seqnos newest-first)` entries sorted by variable.
+    entries: Vec<(VarId, Vec<SeqNo>)>,
+}
+
+impl HistoryFingerprint {
+    /// Builds a fingerprint from `(variable, newest-first seqnos)` pairs.
+    ///
+    /// Entries are sorted by variable so equal history sets compare equal
+    /// regardless of insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable appears twice or a seqno list is empty or not
+    /// strictly decreasing (newest first).
+    pub fn new(mut entries: Vec<(VarId, Vec<SeqNo>)>) -> Self {
+        entries.sort_by_key(|(v, _)| *v);
+        for w in entries.windows(2) {
+            assert!(w[0].0 != w[1].0, "duplicate variable {} in fingerprint", w[0].0);
+        }
+        for (v, seqnos) in &entries {
+            assert!(!seqnos.is_empty(), "empty history for variable {v}");
+            assert!(
+                seqnos.windows(2).all(|w| w[0] > w[1]),
+                "history seqnos for {v} must be strictly decreasing (newest first)"
+            );
+        }
+        HistoryFingerprint { entries }
+    }
+
+    /// Fingerprint over a single variable; `seqnos` newest-first.
+    pub fn single(var: VarId, seqnos: Vec<SeqNo>) -> Self {
+        Self::new(vec![(var, seqnos)])
+    }
+
+    /// The paper's `a.seqno.x`: the newest seqno for `var`, i.e. the
+    /// seqno of the last `var`-update received when the alert triggered.
+    pub fn seqno(&self, var: VarId) -> Option<SeqNo> {
+        self.entries
+            .iter()
+            .find(|(v, _)| *v == var)
+            .and_then(|(_, s)| s.first().copied())
+    }
+
+    /// Newest-first seqnos recorded for `var`.
+    pub fn seqnos(&self, var: VarId) -> Option<&[SeqNo]> {
+        self.entries.iter().find(|(v, _)| *v == var).map(|(_, s)| s.as_slice())
+    }
+
+    /// Variables covered by this fingerprint, in ascending order.
+    pub fn variables(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.entries.iter().map(|(v, _)| *v)
+    }
+
+    /// Iterates over `(variable, newest-first seqnos)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &[SeqNo])> {
+        self.entries.iter().map(|(v, s)| (*v, s.as_slice()))
+    }
+
+    /// Whether the seqnos for every variable are consecutive (no gaps),
+    /// i.e. whether a conservative condition could have triggered on
+    /// these histories.
+    pub fn is_consecutive(&self) -> bool {
+        self.entries.iter().all(|(_, seqnos)| {
+            seqnos.windows(2).all(|w| w[1].precedes(w[0]))
+        })
+    }
+}
+
+impl fmt::Display for HistoryFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, seqnos)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}:[")?;
+            for (j, s) in seqnos.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{s}")?;
+            }
+            write!(f, "]")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// An alert `a(condname, histories)` emitted by a Condition Evaluator.
+///
+/// Identity follows the paper: two alerts are equal iff they are for the
+/// same condition and triggered on the same update histories
+/// ([`HistoryFingerprint`]). Provenance ([`AlertId`]) and the value
+/// snapshot are carried for display and tracing but excluded from
+/// `Eq`/`Hash`, so AD-1's "identical alerts" test is plain `==`.
+///
+/// ```rust
+/// use rcm_core::{Alert, AlertId, CeId, CondId, HistoryFingerprint, SeqNo, Update, VarId};
+/// let x = VarId::new(0);
+/// let fp = HistoryFingerprint::single(x, vec![SeqNo::new(3), SeqNo::new(2)]);
+/// let a = Alert::new(CondId::SINGLE, fp.clone(), vec![Update::new(x, 3, 52.0)],
+///                    AlertId { ce: CeId::new(0), index: 0 });
+/// let b = Alert::new(CondId::SINGLE, fp, vec![], AlertId { ce: CeId::new(1), index: 5 });
+/// assert_eq!(a, b); // same condition + histories => identical
+/// assert_eq!(a.seqno(x), Some(SeqNo::new(3)));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Alert {
+    /// Which condition triggered.
+    pub cond: CondId,
+    /// The update histories the CE used in evaluating the condition.
+    pub fingerprint: HistoryFingerprint,
+    /// Snapshot of the triggering updates, newest first per variable
+    /// (for display; not part of identity).
+    pub snapshot: Vec<Update>,
+    /// Provenance (not part of identity).
+    pub id: AlertId,
+}
+
+impl Alert {
+    /// Creates an alert.
+    pub fn new(
+        cond: CondId,
+        fingerprint: HistoryFingerprint,
+        snapshot: Vec<Update>,
+        id: AlertId,
+    ) -> Self {
+        Alert { cond, fingerprint, snapshot, id }
+    }
+
+    /// The paper's `a.seqno.x` for `var`.
+    pub fn seqno(&self, var: VarId) -> Option<SeqNo> {
+        self.fingerprint.seqno(var)
+    }
+}
+
+impl PartialEq for Alert {
+    fn eq(&self, other: &Self) -> bool {
+        self.cond == other.cond && self.fingerprint == other.fingerprint
+    }
+}
+
+impl Eq for Alert {}
+
+impl Hash for Alert {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.cond.hash(state);
+        self.fingerprint.hash(state);
+    }
+}
+
+impl fmt::Display for Alert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a({}, {})", self.cond, self.fingerprint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(seqnos: &[u64]) -> HistoryFingerprint {
+        HistoryFingerprint::single(
+            VarId::new(0),
+            seqnos.iter().map(|&s| SeqNo::new(s)).collect(),
+        )
+    }
+
+    fn alert(fpr: HistoryFingerprint, ce: u32) -> Alert {
+        Alert::new(CondId::SINGLE, fpr, vec![], AlertId { ce: CeId::new(ce), index: 0 })
+    }
+
+    #[test]
+    fn identity_ignores_provenance_and_snapshot() {
+        let a = alert(fp(&[3, 2]), 0);
+        let mut b = alert(fp(&[3, 2]), 1);
+        b.snapshot = vec![Update::new(VarId::new(0), 3, 1.0)];
+        assert_eq!(a, b);
+        use std::collections::HashSet;
+        let set: HashSet<Alert> = [a, b].into_iter().collect();
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn different_histories_are_not_identical() {
+        // Paper §3: a1 triggered on {2x,3x}, a2 on {1x,3x}; AD-1 must not
+        // treat them as duplicates.
+        let a1 = alert(fp(&[3, 2]), 0);
+        let a2 = alert(fp(&[3, 1]), 1);
+        assert_ne!(a1, a2);
+    }
+
+    #[test]
+    fn seqno_is_newest_entry() {
+        let a = alert(fp(&[7, 5]), 0);
+        assert_eq!(a.seqno(VarId::new(0)), Some(SeqNo::new(7)));
+        assert_eq!(a.seqno(VarId::new(1)), None);
+    }
+
+    #[test]
+    fn fingerprint_sorts_variables() {
+        let x = VarId::new(0);
+        let y = VarId::new(1);
+        let f1 = HistoryFingerprint::new(vec![
+            (y, vec![SeqNo::new(2)]),
+            (x, vec![SeqNo::new(8)]),
+        ]);
+        let f2 = HistoryFingerprint::new(vec![
+            (x, vec![SeqNo::new(8)]),
+            (y, vec![SeqNo::new(2)]),
+        ]);
+        assert_eq!(f1, f2);
+        let vars: Vec<_> = f1.variables().collect();
+        assert_eq!(vars, vec![x, y]);
+    }
+
+    #[test]
+    fn consecutive_detection() {
+        assert!(fp(&[3, 2]).is_consecutive());
+        assert!(!fp(&[3, 1]).is_consecutive());
+        assert!(fp(&[3]).is_consecutive());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly decreasing")]
+    fn fingerprint_rejects_unordered_history() {
+        fp(&[2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate variable")]
+    fn fingerprint_rejects_duplicate_vars() {
+        HistoryFingerprint::new(vec![
+            (VarId::new(0), vec![SeqNo::new(1)]),
+            (VarId::new(0), vec![SeqNo::new(2)]),
+        ]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = alert(fp(&[3, 1]), 0);
+        assert_eq!(a.to_string(), "a(c0, {v0:[3,1]})");
+        assert_eq!(AlertId { ce: CeId::new(2), index: 9 }.to_string(), "CE2#9");
+    }
+}

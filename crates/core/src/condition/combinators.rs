@@ -1,0 +1,286 @@
+//! Boolean combinators over conditions.
+//!
+//! The paper's Appendix D reduces two co-located conditions `A` and `B`
+//! to the single combined condition `C = A ∨ B`; [`Or`] implements that
+//! construction. [`And`] and [`Not`] round out the algebra.
+//!
+//! The `triggering()` classification of a combinator is derived
+//! soundly from its children:
+//!
+//! * a **non-historical** combination is conservative vacuously;
+//! * `And` is conservative iff every variable of the combined set is
+//!   covered by some conservative child that mentions it (that child
+//!   goes false on a gap, taking the conjunction with it);
+//! * `Or` is conservative iff all children are conservative *and*
+//!   mention the full combined variable set (a gap must silence every
+//!   disjunct);
+//! * `Not` of a historical condition is aggressive (negating a
+//!   gap-silenced condition yields true on gaps).
+
+use crate::history::HistorySet;
+use crate::seq::ordered_union;
+use crate::var::VarId;
+
+use super::{Condition, ConditionExt, Triggering};
+
+/// Conjunction of two conditions.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct And<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Condition, B: Condition> And<A, B> {
+    /// Creates `a && b`.
+    pub fn new(a: A, b: B) -> Self {
+        And { a, b }
+    }
+}
+
+fn union_vars(a: &impl Condition, b: &impl Condition) -> Vec<VarId> {
+    ordered_union(&a.variables(), &b.variables())
+}
+
+impl<A: Condition, B: Condition> Condition for And<A, B> {
+    fn name(&self) -> String {
+        format!("({}) && ({})", self.a.name(), self.b.name())
+    }
+
+    fn variables(&self) -> Vec<VarId> {
+        union_vars(&self.a, &self.b)
+    }
+
+    fn degree(&self, var: VarId) -> usize {
+        self.a.degree(var).max(self.b.degree(var))
+    }
+
+    fn triggering(&self) -> Triggering {
+        if self.is_non_historical() {
+            return Triggering::Conservative;
+        }
+        let conservative = self.variables().into_iter().all(|v| {
+            (self.a.triggering() == Triggering::Conservative && self.a.degree(v) > 0)
+                || (self.b.triggering() == Triggering::Conservative && self.b.degree(v) > 0)
+        });
+        if conservative {
+            Triggering::Conservative
+        } else {
+            Triggering::Aggressive
+        }
+    }
+
+    fn eval(&self, h: &HistorySet) -> bool {
+        self.a.eval(h) && self.b.eval(h)
+    }
+}
+
+/// Disjunction of two conditions (Appendix D's `C = A ∨ B`).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Or<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Condition, B: Condition> Or<A, B> {
+    /// Creates `a || b`.
+    pub fn new(a: A, b: B) -> Self {
+        Or { a, b }
+    }
+}
+
+impl<A: Condition, B: Condition> Condition for Or<A, B> {
+    fn name(&self) -> String {
+        format!("({}) || ({})", self.a.name(), self.b.name())
+    }
+
+    fn variables(&self) -> Vec<VarId> {
+        union_vars(&self.a, &self.b)
+    }
+
+    fn degree(&self, var: VarId) -> usize {
+        self.a.degree(var).max(self.b.degree(var))
+    }
+
+    fn triggering(&self) -> Triggering {
+        if self.is_non_historical() {
+            return Triggering::Conservative;
+        }
+        let all = self.variables();
+        let covers_all = |c: &dyn Condition| all.iter().all(|&v| c.degree(v) > 0);
+        if self.a.triggering() == Triggering::Conservative
+            && self.b.triggering() == Triggering::Conservative
+            && covers_all(&self.a)
+            && covers_all(&self.b)
+        {
+            Triggering::Conservative
+        } else {
+            Triggering::Aggressive
+        }
+    }
+
+    fn eval(&self, h: &HistorySet) -> bool {
+        self.a.eval(h) || self.b.eval(h)
+    }
+}
+
+/// Negation of a condition.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Not<C> {
+    inner: C,
+}
+
+impl<C: Condition> Not<C> {
+    /// Creates `!inner`.
+    pub fn new(inner: C) -> Self {
+        Not { inner }
+    }
+}
+
+impl<C: Condition> Condition for Not<C> {
+    fn name(&self) -> String {
+        format!("!({})", self.inner.name())
+    }
+
+    fn variables(&self) -> Vec<VarId> {
+        self.inner.variables()
+    }
+
+    fn degree(&self, var: VarId) -> usize {
+        self.inner.degree(var)
+    }
+
+    fn triggering(&self) -> Triggering {
+        if self.is_non_historical() {
+            Triggering::Conservative
+        } else {
+            Triggering::Aggressive
+        }
+    }
+
+    fn eval(&self, h: &HistorySet) -> bool {
+        !self.inner.eval(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::{Cmp, Conservative, DeltaRise, Threshold};
+    use crate::update::Update;
+
+    fn x() -> VarId {
+        VarId::new(0)
+    }
+    fn y() -> VarId {
+        VarId::new(1)
+    }
+
+    #[test]
+    fn and_or_not_eval() {
+        let hot = Threshold::new(x(), Cmp::Gt, 100.0);
+        let cold = Threshold::new(x(), Cmp::Lt, 0.0);
+        let mut h = HistorySet::new([(x(), 1)]);
+        h.push(Update::new(x(), 1, 150.0)).unwrap();
+        assert!(Or::new(hot.clone(), cold.clone()).eval(&h));
+        assert!(!And::new(hot.clone(), cold.clone()).eval(&h));
+        assert!(!Not::new(hot).eval(&h));
+        assert!(Not::new(cold).eval(&h));
+    }
+
+    #[test]
+    fn variable_sets_union_and_degrees_max() {
+        let a = Threshold::new(x(), Cmp::Gt, 1.0);
+        let b = DeltaRise::new(y(), 5.0);
+        let c = And::new(a, b);
+        assert_eq!(c.variables(), vec![x(), y()]);
+        assert_eq!(c.degree(x()), 1);
+        assert_eq!(c.degree(y()), 2);
+        assert_eq!(c.degree(VarId::new(9)), 0);
+    }
+
+    #[test]
+    fn appendix_d_disjunction() {
+        // A: "x hotter than y", B: "y hotter than x"; C = A ∨ B.
+        // Both raise from 2000 to 2100; interleaving decides which fires,
+        // but C fires whenever either does.
+        let a = AbsGt::new(x(), y());
+        let b = AbsGt::new(y(), x());
+        let c = Or::new(a, b);
+        let mut h = HistorySet::new([(x(), 1), (y(), 1)]);
+        h.push(Update::new(x(), 1, 2000.0)).unwrap();
+        h.push(Update::new(y(), 1, 2000.0)).unwrap();
+        assert!(!c.eval(&h));
+        h.push(Update::new(x(), 2, 2100.0)).unwrap();
+        assert!(c.eval(&h)); // x saw its change first → A fires → C fires
+        h.push(Update::new(y(), 2, 2100.0)).unwrap();
+        assert!(!c.eval(&h)); // equal again
+    }
+
+    /// "left's current value exceeds right's" helper for the Appendix D test.
+    #[derive(Debug, Clone, PartialEq)]
+    struct AbsGt {
+        l: VarId,
+        r: VarId,
+    }
+
+    impl AbsGt {
+        fn new(l: VarId, r: VarId) -> Self {
+            AbsGt { l, r }
+        }
+    }
+
+    impl Condition for AbsGt {
+        fn name(&self) -> String {
+            format!("{} > {}", self.l, self.r)
+        }
+        fn variables(&self) -> Vec<VarId> {
+            let mut v = vec![self.l, self.r];
+            v.sort_unstable();
+            v
+        }
+        fn degree(&self, var: VarId) -> usize {
+            usize::from(var == self.l || var == self.r)
+        }
+        fn triggering(&self) -> Triggering {
+            Triggering::Conservative
+        }
+        fn eval(&self, h: &HistorySet) -> bool {
+            match (h.value(self.l, 0), h.value(self.r, 0)) {
+                (Some(a), Some(b)) => a > b,
+                _ => false,
+            }
+        }
+    }
+
+    #[test]
+    fn triggering_classification() {
+        let cons = Conservative::new(DeltaRise::new(x(), 1.0));
+        let aggr = DeltaRise::new(x(), 1.0);
+        // And with a conservative child covering the only variable.
+        assert_eq!(
+            And::new(cons.clone(), aggr.clone()).triggering(),
+            Triggering::Conservative
+        );
+        // Or of conservative+aggressive over the same variable: aggressive.
+        assert_eq!(Or::new(cons.clone(), aggr.clone()).triggering(), Triggering::Aggressive);
+        // Or of two conservatives over the same variable set: conservative.
+        assert_eq!(Or::new(cons.clone(), cons.clone()).triggering(), Triggering::Conservative);
+        // Or of conservatives over different variables: a gap in x silences
+        // only the x disjunct → aggressive.
+        let cons_y = Conservative::new(DeltaRise::new(y(), 1.0));
+        assert_eq!(Or::new(cons.clone(), cons_y).triggering(), Triggering::Aggressive);
+        // Not of a historical condition: aggressive.
+        assert_eq!(Not::new(cons).triggering(), Triggering::Aggressive);
+        // Non-historical combinations are conservative vacuously.
+        let t = Threshold::new(x(), Cmp::Gt, 1.0);
+        assert_eq!(Not::new(t.clone()).triggering(), Triggering::Conservative);
+        assert_eq!(And::new(t.clone(), t).triggering(), Triggering::Conservative);
+    }
+
+    #[test]
+    fn names_nest() {
+        let t = Threshold::new(x(), Cmp::Gt, 1.0);
+        let n = Not::new(Or::new(t.clone(), t));
+        assert!(n.name().starts_with("!(("));
+    }
+}

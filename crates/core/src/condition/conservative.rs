@@ -1,0 +1,117 @@
+//! The conservative-triggering wrapper.
+
+use crate::history::HistorySet;
+use crate::var::VarId;
+
+use super::{Condition, Triggering};
+
+/// Turns any condition into its conservative variant: the wrapped
+/// condition is additionally required to see **consecutive** seqnos in
+/// every history, so it evaluates to false whenever an update in the
+/// window was lost (paper §2).
+///
+/// The paper's `c3` ("temperature has risen more than 200 degrees since
+/// the last reading *taken at the DM*") is exactly
+/// `Conservative::new(DeltaRise::new(x, 200.0))`: it conjoins the
+/// seqno-consecutiveness check
+/// `H_x[0].seqno = H_x[-1].seqno + 1` onto `c2`.
+///
+/// ```rust
+/// use rcm_core::condition::{Conservative, DeltaRise, Condition, Triggering};
+/// use rcm_core::{HistorySet, Update, VarId};
+/// let x = VarId::new(0);
+/// let c3 = Conservative::new(DeltaRise::new(x, 200.0));
+/// assert_eq!(c3.triggering(), Triggering::Conservative);
+///
+/// let mut h = HistorySet::new([(x, 2)]);
+/// h.push(Update::new(x, 1, 400.0))?;
+/// h.push(Update::new(x, 3, 720.0))?; // update 2 lost
+/// assert!(!c3.eval(&h)); // c2 would fire here; c3 detects the gap
+/// # Ok::<(), rcm_core::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Conservative<C> {
+    inner: C,
+}
+
+impl<C: Condition> Conservative<C> {
+    /// Wraps `inner` with consecutiveness checks on every variable.
+    pub fn new(inner: C) -> Self {
+        Conservative { inner }
+    }
+
+    /// The wrapped condition.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+
+    /// A reference to the wrapped condition.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: Condition> Condition for Conservative<C> {
+    fn name(&self) -> String {
+        format!("conservative({})", self.inner.name())
+    }
+
+    fn variables(&self) -> Vec<VarId> {
+        self.inner.variables()
+    }
+
+    fn degree(&self, var: VarId) -> usize {
+        self.inner.degree(var)
+    }
+
+    fn triggering(&self) -> Triggering {
+        Triggering::Conservative
+    }
+
+    fn eval(&self, h: &HistorySet) -> bool {
+        h.is_consecutive() && self.inner.eval(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::{Cmp, DeltaRise, Threshold};
+    use crate::update::Update;
+
+    fn x() -> VarId {
+        VarId::new(0)
+    }
+
+    #[test]
+    fn c3_requires_consecutive_seqnos() {
+        let c3 = Conservative::new(DeltaRise::new(x(), 200.0));
+        let mut h = HistorySet::new([(x(), 2)]);
+        h.push(Update::new(x(), 1, 1000.0)).unwrap();
+        h.push(Update::new(x(), 2, 1500.0)).unwrap();
+        assert!(c3.eval(&h)); // consecutive, rise of 500
+        let mut h2 = HistorySet::new([(x(), 2)]);
+        h2.push(Update::new(x(), 1, 1000.0)).unwrap();
+        h2.push(Update::new(x(), 3, 1500.0)).unwrap();
+        assert!(!c3.eval(&h2)); // same rise but gap at 2
+    }
+
+    #[test]
+    fn wrapping_non_historical_is_harmless() {
+        // A degree-1 history is always consecutive, so wrapping a
+        // threshold changes nothing but the classification label.
+        let c = Conservative::new(Threshold::new(x(), Cmp::Gt, 10.0));
+        let mut h = HistorySet::new([(x(), 1)]);
+        h.push(Update::new(x(), 5, 11.0)).unwrap();
+        assert!(c.eval(&h));
+        assert_eq!(c.degree(x()), 1);
+    }
+
+    #[test]
+    fn accessors_and_name() {
+        let c = Conservative::new(DeltaRise::new(x(), 200.0));
+        assert!(c.name().starts_with("conservative("));
+        assert_eq!(c.inner(), &DeltaRise::new(x(), 200.0));
+        assert_eq!(c.into_inner(), DeltaRise::new(x(), 200.0));
+    }
+}

@@ -1,0 +1,335 @@
+//! Compiled, evaluable condition expressions.
+
+use std::collections::BTreeMap;
+
+use super::analysis::analyze;
+use super::ast::{AggOp, BinOp, Expr, Field, UnOp};
+use super::parser::parse;
+use crate::condition::{Condition, Triggering};
+use crate::error::Result;
+use crate::history::HistorySet;
+use crate::var::{VarId, VarRegistry};
+
+/// A parsed, type-checked, name-resolved condition ready for a
+/// Condition Evaluator.
+///
+/// Produced by [`CompiledCondition::compile`]; implements
+/// [`Condition`], so it plugs directly into
+/// [`Evaluator`](crate::Evaluator):
+///
+/// ```rust
+/// use rcm_core::condition::expr::CompiledCondition;
+/// use rcm_core::condition::{Condition, Triggering, ConditionExt};
+/// use rcm_core::{Evaluator, Update, VarRegistry};
+///
+/// let mut reg = VarRegistry::new();
+/// let cond = CompiledCondition::compile("temp[0].value > 3000", &mut reg)?;
+/// assert!(cond.is_non_historical());
+///
+/// let temp = reg.lookup("temp").unwrap();
+/// let mut ce = Evaluator::new(cond);
+/// assert!(ce.ingest(Update::new(temp, 1, 2900.0)).is_none());
+/// assert!(ce.ingest(Update::new(temp, 2, 3100.0)).is_some());
+/// # Ok::<(), rcm_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledCondition {
+    source: String,
+    ast: Expr<VarId>,
+    degrees: BTreeMap<VarId, usize>,
+    triggering: Triggering,
+}
+
+impl CompiledCondition {
+    /// Parses, type-checks and resolves `source`. Variable names are
+    /// registered in `registry` (reusing existing ids for known names).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Parse`](crate::Error::Parse) on lexical,
+    /// syntactic or type errors, and on conditions that mention no
+    /// variables.
+    pub fn compile(source: &str, registry: &mut VarRegistry) -> Result<Self> {
+        let ast = parse(source)?;
+        let info = analyze(&ast)?;
+        let ast = ast.map_vars(&mut |name: String| registry.register(&name));
+        let degrees = info
+            .degrees
+            .into_iter()
+            .map(|(name, d)| (registry.lookup(&name).expect("registered above"), d))
+            .collect();
+        Ok(CompiledCondition {
+            source: source.to_owned(),
+            ast,
+            degrees,
+            triggering: info.triggering,
+        })
+    }
+
+    /// The original source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The resolved syntax tree.
+    pub fn ast(&self) -> &Expr<VarId> {
+        &self.ast
+    }
+}
+
+/// Runtime value during evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Val {
+    Num(f64),
+    Bool(bool),
+}
+
+impl Val {
+    fn num(self) -> Option<f64> {
+        match self {
+            Val::Num(n) => Some(n),
+            Val::Bool(_) => None,
+        }
+    }
+
+    fn boolean(self) -> Option<bool> {
+        match self {
+            Val::Bool(b) => Some(b),
+            Val::Num(_) => None,
+        }
+    }
+}
+
+/// Evaluates an expression; `None` when a history entry is missing
+/// (undefined history) — the evaluator treats that as "condition not
+/// satisfied".
+fn eval_expr(e: &Expr<VarId>, h: &HistorySet) -> Option<Val> {
+    match e {
+        Expr::Num(n) => Some(Val::Num(*n)),
+        Expr::Bool(b) => Some(Val::Bool(*b)),
+        Expr::Term { var, index, field } => {
+            let i = index.unsigned_abs() as usize;
+            let v = match field {
+                Field::Value => h.value(*var, i)?,
+                Field::Seqno => h.seqno(*var, i)?.get() as f64,
+            };
+            Some(Val::Num(v))
+        }
+        Expr::Consecutive(var) => Some(Val::Bool(h.history(*var)?.is_consecutive())),
+        Expr::Agg { op, var, window } => {
+            let mut values = Vec::with_capacity(*window as usize);
+            for i in 0..*window as usize {
+                values.push(h.value(*var, i)?);
+            }
+            let v = match op {
+                AggOp::Min => values.iter().cloned().fold(f64::INFINITY, f64::min),
+                AggOp::Max => values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                AggOp::Sum => values.iter().sum(),
+                AggOp::Avg => values.iter().sum::<f64>() / values.len() as f64,
+            };
+            Some(Val::Num(v))
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval_expr(expr, h)?;
+            match op {
+                UnOp::Neg => Some(Val::Num(-v.num()?)),
+                UnOp::Not => Some(Val::Bool(!v.boolean()?)),
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            if op.is_logical() {
+                // Short-circuit like the host language would.
+                let l = eval_expr(lhs, h)?.boolean()?;
+                return match (op, l) {
+                    (BinOp::And, false) => Some(Val::Bool(false)),
+                    (BinOp::Or, true) => Some(Val::Bool(true)),
+                    _ => Some(Val::Bool(eval_expr(rhs, h)?.boolean()?)),
+                };
+            }
+            let l = eval_expr(lhs, h)?.num()?;
+            let r = eval_expr(rhs, h)?.num()?;
+            Some(match op {
+                BinOp::Add => Val::Num(l + r),
+                BinOp::Sub => Val::Num(l - r),
+                BinOp::Mul => Val::Num(l * r),
+                BinOp::Div => Val::Num(l / r),
+                BinOp::Lt => Val::Bool(l < r),
+                BinOp::Le => Val::Bool(l <= r),
+                BinOp::Gt => Val::Bool(l > r),
+                BinOp::Ge => Val::Bool(l >= r),
+                BinOp::Eq => Val::Bool(l == r),
+                BinOp::Ne => Val::Bool(l != r),
+                BinOp::And | BinOp::Or => unreachable!("handled above"),
+            })
+        }
+        Expr::Abs(e) => Some(Val::Num(eval_expr(e, h)?.num()?.abs())),
+        Expr::Min(a, b) => {
+            Some(Val::Num(eval_expr(a, h)?.num()?.min(eval_expr(b, h)?.num()?)))
+        }
+        Expr::Max(a, b) => {
+            Some(Val::Num(eval_expr(a, h)?.num()?.max(eval_expr(b, h)?.num()?)))
+        }
+    }
+}
+
+impl Condition for CompiledCondition {
+    fn name(&self) -> String {
+        self.source.clone()
+    }
+
+    fn variables(&self) -> Vec<VarId> {
+        self.degrees.keys().copied().collect()
+    }
+
+    fn degree(&self, var: VarId) -> usize {
+        self.degrees.get(&var).copied().unwrap_or(0)
+    }
+
+    fn triggering(&self) -> Triggering {
+        self.triggering
+    }
+
+    fn eval(&self, h: &HistorySet) -> bool {
+        eval_expr(&self.ast, h).and_then(Val::boolean).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::ConditionExt;
+    use crate::update::Update;
+
+    fn setup(src: &str) -> (CompiledCondition, VarRegistry) {
+        let mut reg = VarRegistry::new();
+        let c = CompiledCondition::compile(src, &mut reg).unwrap();
+        (c, reg)
+    }
+
+    fn feed(c: &CompiledCondition, reg: &VarRegistry, updates: &[(&str, u64, f64)]) -> bool {
+        let mut h = HistorySet::new(c.history_spec());
+        for &(name, s, v) in updates {
+            h.push(Update::new(reg.lookup(name).unwrap(), s, v)).unwrap();
+        }
+        c.eval(&h)
+    }
+
+    #[test]
+    fn c1_evaluates() {
+        let (c, reg) = setup("x[0].value > 3000");
+        assert!(!feed(&c, &reg, &[("x", 1, 2900.0)]));
+        assert!(feed(&c, &reg, &[("x", 1, 2900.0), ("x", 2, 3100.0)]));
+    }
+
+    #[test]
+    fn c2_vs_c3_on_gap() {
+        let (c2, reg2) = setup("x[0].value - x[-1].value > 200");
+        let (c3, reg3) = setup("x[0].value - x[-1].value > 200 && consecutive(x)");
+        let gap = [("x", 1u64, 400.0), ("x", 3u64, 720.0)];
+        assert!(feed(&c2, &reg2, &gap));
+        assert!(!feed(&c3, &reg3, &gap));
+        let adj = [("x", 1u64, 400.0), ("x", 2u64, 700.0)];
+        assert!(feed(&c2, &reg2, &adj));
+        assert!(feed(&c3, &reg3, &adj));
+    }
+
+    #[test]
+    fn seqno_arithmetic_mirrors_consecutive() {
+        let (c, reg) = setup("x[0].seqno == x[-1].seqno + 1 && x[0].value > 0");
+        assert!(feed(&c, &reg, &[("x", 4, 1.0), ("x", 5, 1.0)]));
+        assert!(!feed(&c, &reg, &[("x", 4, 1.0), ("x", 6, 1.0)]));
+    }
+
+    #[test]
+    fn multi_var_cm() {
+        let (c, reg) = setup("abs(x[0].value - y[0].value) > 100");
+        assert!(feed(&c, &reg, &[("x", 1, 1200.0), ("y", 1, 1050.0)]));
+        assert!(!feed(&c, &reg, &[("x", 1, 1100.0), ("y", 1, 1050.0)]));
+    }
+
+    #[test]
+    fn undefined_history_evaluates_false() {
+        let (c, reg) = setup("x[0].value - x[-1].value > 0");
+        assert!(!feed(&c, &reg, &[("x", 1, 10.0)])); // only one update held
+        assert!(!feed(&c, &reg, &[])); // empty
+    }
+
+    #[test]
+    fn short_circuit_protects_missing_entries() {
+        // `false && <undefined term>` must evaluate to false, not None.
+        let (c, reg) = setup("x[0].value > 1e300 && x[-1].value > 0");
+        let mut h = HistorySet::new(c.history_spec());
+        h.push(Update::new(reg.lookup("x").unwrap(), 1, 5.0)).unwrap();
+        assert!(!c.eval(&h));
+    }
+
+    #[test]
+    fn min_max_and_division() {
+        let (c, reg) = setup("min(x[0].value, y[0].value) / max(x[0].value, y[0].value) < 0.5");
+        assert!(feed(&c, &reg, &[("x", 1, 1.0), ("y", 1, 10.0)]));
+        assert!(!feed(&c, &reg, &[("x", 1, 6.0), ("y", 1, 10.0)]));
+    }
+
+    #[test]
+    fn window_aggregates_evaluate() {
+        // Bounded high-watermark: the current reading is the maximum of
+        // the last four (max_over includes H[0]) and a strict rise.
+        let (c, reg) = setup("x[0].value >= max_over(x, 4) && x[0].value > x[-1].value");
+        assert!(!feed(&c, &reg, &[("x", 1, 5.0), ("x", 2, 9.0), ("x", 3, 7.0)])); // degree 4: undefined
+        assert!(feed(
+            &c,
+            &reg,
+            &[("x", 1, 5.0), ("x", 2, 9.0), ("x", 3, 7.0), ("x", 4, 12.0)]
+        ));
+        // New reading below an older max: no alert.
+        assert!(!feed(
+            &c,
+            &reg,
+            &[("x", 1, 5.0), ("x", 2, 9.0), ("x", 3, 7.0), ("x", 4, 8.0)]
+        ));
+
+        let (avg, reg) = setup("avg_over(x, 2) >= 10");
+        assert!(feed(&avg, &reg, &[("x", 1, 8.0), ("x", 2, 12.0)]));
+        assert!(!feed(&avg, &reg, &[("x", 1, 8.0), ("x", 2, 11.0)]));
+
+        let (sum, reg) = setup("sum_over(x, 3) == 6");
+        assert!(feed(&sum, &reg, &[("x", 1, 1.0), ("x", 2, 2.0), ("x", 3, 3.0)]));
+
+        let (min, reg) = setup("min_over(x, 2) < 0");
+        assert!(feed(&min, &reg, &[("x", 1, -1.0), ("x", 2, 5.0)]));
+        assert!(!feed(&min, &reg, &[("x", 1, 1.0), ("x", 2, 5.0)]));
+    }
+
+    #[test]
+    fn registry_shared_across_conditions() {
+        let mut reg = VarRegistry::new();
+        let a = CompiledCondition::compile("x[0].value > 1", &mut reg).unwrap();
+        let b = CompiledCondition::compile("x[0].value < 1 && y[0].value > 0", &mut reg)
+            .unwrap();
+        assert_eq!(a.variables(), vec![reg.lookup("x").unwrap()]);
+        assert_eq!(b.variables().len(), 2);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn source_and_ast_accessible() {
+        let (c, _) = setup("x[0].value > 3000");
+        assert_eq!(c.source(), "x[0].value > 3000");
+        assert!(matches!(c.ast(), Expr::Binary { op: BinOp::Gt, .. }));
+        assert_eq!(c.name(), "x[0].value > 3000");
+    }
+
+    #[test]
+    fn degree_zero_for_unknown_vars() {
+        let (c, _) = setup("x[0].value > 0");
+        assert_eq!(c.degree(VarId::new(99)), 0);
+    }
+
+    #[test]
+    fn compile_errors_surface() {
+        let mut reg = VarRegistry::new();
+        assert!(CompiledCondition::compile("x[0].value +", &mut reg).is_err());
+        assert!(CompiledCondition::compile("true", &mut reg).is_err());
+        assert!(CompiledCondition::compile("x[1].value > 0", &mut reg).is_err());
+    }
+}

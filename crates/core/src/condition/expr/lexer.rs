@@ -1,0 +1,338 @@
+//! Tokenizer for the condition expression language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier: variable name, field name or builtin function.
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Dot => write!(f, "."),
+            Token::Comma => write!(f, ","),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::EqEq => write!(f, "=="),
+            Token::Ne => write!(f, "!="),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+            Token::Bang => write!(f, "!"),
+        }
+    }
+}
+
+/// Lexical error: an unexpected character or malformed literal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src`, returning tokens with their byte offsets.
+pub fn lex(src: &str) -> Result<Vec<(Token, usize)>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '#' => {
+                // comment to end of line
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push((Token::LParen, start));
+                i += 1;
+            }
+            ')' => {
+                out.push((Token::RParen, start));
+                i += 1;
+            }
+            '[' => {
+                out.push((Token::LBracket, start));
+                i += 1;
+            }
+            ']' => {
+                out.push((Token::RBracket, start));
+                i += 1;
+            }
+            '.' => {
+                out.push((Token::Dot, start));
+                i += 1;
+            }
+            ',' => {
+                out.push((Token::Comma, start));
+                i += 1;
+            }
+            '+' => {
+                out.push((Token::Plus, start));
+                i += 1;
+            }
+            '-' => {
+                out.push((Token::Minus, start));
+                i += 1;
+            }
+            '*' => {
+                out.push((Token::Star, start));
+                i += 1;
+            }
+            '/' => {
+                out.push((Token::Slash, start));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Token::Le, start));
+                    i += 2;
+                } else {
+                    out.push((Token::Lt, start));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Token::Ge, start));
+                    i += 2;
+                } else {
+                    out.push((Token::Gt, start));
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Token::EqEq, start));
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        offset: start,
+                        message: "single '=' is not an operator; use '=='".into(),
+                    });
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Token::Ne, start));
+                    i += 2;
+                } else {
+                    out.push((Token::Bang, start));
+                    i += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    out.push((Token::AndAnd, start));
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        offset: start,
+                        message: "single '&' is not an operator; use '&&'".into(),
+                    });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    out.push((Token::OrOr, start));
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        offset: start,
+                        message: "single '|' is not an operator; use '||'".into(),
+                    });
+                }
+            }
+            '0'..='9' => {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                // Optional exponent: e / E, optional sign, digits.
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &src[start..i];
+                let n: f64 = text.parse().map_err(|_| LexError {
+                    offset: start,
+                    message: format!("malformed number literal '{text}'"),
+                })?;
+                out.push((Token::Number(n), start));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push((Token::Ident(src[start..i].to_owned()), start));
+            }
+            other => {
+                return Err(LexError {
+                    offset: start,
+                    message: format!("unexpected character '{other}'"),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn lexes_c3() {
+        let t = toks("x[0].value - x[-1].value > 200 && consecutive(x)");
+        assert_eq!(t[0], Token::Ident("x".into()));
+        assert_eq!(t[1], Token::LBracket);
+        assert_eq!(t[2], Token::Number(0.0));
+        assert!(t.contains(&Token::AndAnd));
+        assert!(t.contains(&Token::Ident("consecutive".into())));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            toks("<= >= == != && ||"),
+            vec![Token::Le, Token::Ge, Token::EqEq, Token::Ne, Token::AndAnd, Token::OrOr]
+        );
+    }
+
+    #[test]
+    fn decimals_and_integers() {
+        assert_eq!(toks("3.25 7"), vec![Token::Number(3.25), Token::Number(7.0)]);
+        assert_eq!(toks("1e3 2.5e-2 1E+2"), vec![
+            Token::Number(1000.0),
+            Token::Number(0.025),
+            Token::Number(100.0)
+        ]);
+        // 'e' not followed by digits stays an identifier.
+        assert_eq!(toks("1e"), vec![Token::Number(1.0), Token::Ident("e".into())]);
+        // '5.' is Number(5) followed by Dot (field access style).
+        assert_eq!(toks("5.x"), vec![
+            Token::Number(5.0),
+            Token::Dot,
+            Token::Ident("x".into())
+        ]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(toks("1 # the rest is ignored\n+ 2"), vec![
+            Token::Number(1.0),
+            Token::Plus,
+            Token::Number(2.0)
+        ]);
+    }
+
+    #[test]
+    fn rejects_single_ampersand_pipe_equals() {
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+        assert!(lex("a = b").is_err());
+        assert!(lex("a $ b").is_err());
+    }
+
+    #[test]
+    fn offsets_point_at_tokens() {
+        let lexed = lex("ab + cd").unwrap();
+        assert_eq!(lexed[0].1, 0);
+        assert_eq!(lexed[1].1, 3);
+        assert_eq!(lexed[2].1, 5);
+    }
+
+    #[test]
+    fn empty_input_is_no_tokens() {
+        assert!(lex("   ").unwrap().is_empty());
+    }
+}

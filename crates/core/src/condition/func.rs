@@ -1,0 +1,181 @@
+//! Building conditions from closures.
+
+use std::fmt;
+
+use crate::history::HistorySet;
+use crate::var::VarId;
+
+use super::{Condition, Triggering};
+
+/// A condition defined by a plain closure over the history set, with
+/// explicitly declared metadata (variable set, degrees, triggering).
+///
+/// This is the escape hatch for conditions that are awkward to express
+/// with the standard types or the expression language — any pure
+/// function of the bounded histories qualifies (the paper's framework
+/// excludes only unbounded state and wall-clock time, which a
+/// [`HistorySet`] cannot smuggle in).
+///
+/// ```rust
+/// use rcm_core::condition::{FnCondition, Condition, Triggering};
+/// use rcm_core::{Evaluator, Update, VarId};
+///
+/// let x = VarId::new(0);
+/// // "the temperature oscillated: direction changed between the last
+/// // two steps" — degree 3, aggressive.
+/// let zigzag = FnCondition::new(
+///     "zigzag",
+///     [(x, 3)],
+///     Triggering::Aggressive,
+///     move |h| {
+///         match (h.value(x, 0), h.value(x, 1), h.value(x, 2)) {
+///             (Some(a), Some(b), Some(c)) => (a - b) * (b - c) < 0.0,
+///             _ => false,
+///         }
+///     },
+/// );
+/// assert_eq!(zigzag.degree(x), 3);
+///
+/// let mut ce = Evaluator::new(zigzag);
+/// assert!(ce.ingest(Update::new(x, 1, 10.0)).is_none());
+/// assert!(ce.ingest(Update::new(x, 2, 20.0)).is_none());
+/// assert!(ce.ingest(Update::new(x, 3, 15.0)).is_some()); // up then down
+/// ```
+pub struct FnCondition<F> {
+    name: String,
+    spec: Vec<(VarId, usize)>,
+    triggering: Triggering,
+    eval: F,
+}
+
+impl<F> FnCondition<F>
+where
+    F: Fn(&HistorySet) -> bool + Send + Sync,
+{
+    /// Creates a closure condition.
+    ///
+    /// `spec` declares the variable set and per-variable degrees;
+    /// `triggering` is the caller's classification (wrap the result in
+    /// [`Conservative`](super::Conservative) instead of claiming
+    /// conservativeness the closure does not implement).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty variable set, duplicate variables, or a zero
+    /// degree.
+    pub fn new(
+        name: impl Into<String>,
+        spec: impl IntoIterator<Item = (VarId, usize)>,
+        triggering: Triggering,
+        eval: F,
+    ) -> Self {
+        let mut spec: Vec<(VarId, usize)> = spec.into_iter().collect();
+        spec.sort_by_key(|(v, _)| *v);
+        assert!(!spec.is_empty(), "closure condition needs at least one variable");
+        for w in spec.windows(2) {
+            assert!(w[0].0 != w[1].0, "duplicate variable {} in spec", w[0].0);
+        }
+        for (v, d) in &spec {
+            assert!(*d >= 1, "degree for {v} must be at least 1");
+        }
+        FnCondition { name: name.into(), spec, triggering, eval }
+    }
+}
+
+impl<F> fmt::Debug for FnCondition<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnCondition")
+            .field("name", &self.name)
+            .field("spec", &self.spec)
+            .field("triggering", &self.triggering)
+            .finish()
+    }
+}
+
+impl<F> Condition for FnCondition<F>
+where
+    F: Fn(&HistorySet) -> bool + Send + Sync,
+{
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn variables(&self) -> Vec<VarId> {
+        self.spec.iter().map(|(v, _)| *v).collect()
+    }
+
+    fn degree(&self, var: VarId) -> usize {
+        self.spec.iter().find(|(v, _)| *v == var).map_or(0, |(_, d)| *d)
+    }
+
+    fn triggering(&self) -> Triggering {
+        self.triggering
+    }
+
+    fn eval(&self, h: &HistorySet) -> bool {
+        (self.eval)(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Conservative;
+    use crate::update::Update;
+
+    fn x() -> VarId {
+        VarId::new(0)
+    }
+    fn y() -> VarId {
+        VarId::new(1)
+    }
+
+    #[test]
+    fn metadata_is_declared() {
+        let c = FnCondition::new(
+            "both-high",
+            [(x(), 1), (y(), 2)],
+            Triggering::Aggressive,
+            |h| h.value(x(), 0).unwrap_or(0.0) > 1.0 && h.value(y(), 0).unwrap_or(0.0) > 1.0,
+        );
+        assert_eq!(c.name(), "both-high");
+        assert_eq!(c.variables(), vec![x(), y()]);
+        assert_eq!(c.degree(x()), 1);
+        assert_eq!(c.degree(y()), 2);
+        assert_eq!(c.degree(VarId::new(7)), 0);
+    }
+
+    #[test]
+    fn composes_with_conservative_wrapper() {
+        let raw = FnCondition::new("rise", [(x(), 2)], Triggering::Aggressive, |h| {
+            match (h.value(x(), 0), h.value(x(), 1)) {
+                (Some(a), Some(b)) => a > b,
+                _ => false,
+            }
+        });
+        let cons = Conservative::new(raw);
+        let mut h = HistorySet::new([(x(), 2)]);
+        h.push(Update::new(x(), 1, 1.0)).unwrap();
+        h.push(Update::new(x(), 3, 2.0)).unwrap(); // gap
+        assert!(!cons.eval(&h));
+        assert_eq!(cons.triggering(), Triggering::Conservative);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variable")]
+    fn empty_spec_rejected() {
+        FnCondition::new("bad", Vec::<(VarId, usize)>::new(), Triggering::Aggressive, |_| true);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate variable")]
+    fn duplicate_vars_rejected() {
+        FnCondition::new("bad", [(x(), 1), (x(), 2)], Triggering::Aggressive, |_| true);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_degree_rejected() {
+        FnCondition::new("bad", [(x(), 0)], Triggering::Aggressive, |_| true);
+    }
+}

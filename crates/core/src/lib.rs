@@ -1,0 +1,94 @@
+//! # rcm-core — Replicated Condition Monitoring
+//!
+//! Core library implementing the data model, condition framework,
+//! Condition Evaluator and Alert Displayer filtering algorithms from
+//! *Replicated condition monitoring* (Huang & Garcia-Molina, PODC 2001).
+//!
+//! A condition monitoring system tracks real-world variables and alerts
+//! users when a predefined condition becomes true. The paper's system has
+//! three component classes:
+//!
+//! * **Data Monitors (DM)** emit [`Update`]s — `u(varname, seqno, value)`
+//!   tuples with per-variable consecutive sequence numbers.
+//! * **Condition Evaluators (CE)** keep bounded per-variable
+//!   [`History`] windows, re-evaluate a boolean [`Condition`] on every
+//!   arrival, and emit [`Alert`]s. The [`Evaluator`] type implements the
+//!   paper's `T` transducer mapping update sequences to alert sequences.
+//! * **Alert Displayers (AD)** merge the alert streams of replicated CEs
+//!   through a filtering algorithm. The six algorithms from the paper's
+//!   Appendix A live in [`ad`]: exact-duplicate removal ([`ad::Ad1`]),
+//!   orderedness ([`ad::Ad2`], [`ad::Ad5`]), consistency ([`ad::Ad3`]),
+//!   and their combinations ([`ad::Ad4`], [`ad::Ad6`]).
+//!
+//! The sequence mathematics of the paper's §2.2 (ordered sequences,
+//! subsequence tests, ordered union `⊔`, projections `Π_x`, spanning
+//! sets) is in [`seq`].
+//!
+//! Beyond the paper's core algorithms, the crate provides the variants
+//! and tooling a deployment needs:
+//!
+//! * conditions as **text** via the expression language
+//!   ([`condition::expr::CompiledCondition`]), as **closures**
+//!   ([`condition::FnCondition`]), and ready-made types including the
+//!   debounced [`condition::SustainedAbove`];
+//! * checksummed duplicate removal ([`ad::Ad1Digest`], the paper's §2
+//!   remark), the §4.2 "delayed displaying" alternative
+//!   ([`ad::DelayedOrdered`]), and the AD-6 ablation [`ad::Ad3Multi`];
+//! * **durable state**: every filter and the [`Evaluator`] serialize
+//!   with serde, so displayers and evaluators can checkpoint and
+//!   restart without forgetting what they promised the user.
+//!
+//! ## Quick example
+//!
+//! ```rust
+//! use rcm_core::{Evaluator, Update, VarId};
+//! use rcm_core::condition::{Threshold, Cmp};
+//! use rcm_core::ad::{Ad1, AlertFilter};
+//!
+//! let x = VarId::new(0);
+//! // c1: "reactor temperature is over 3000 degrees"
+//! let c1 = Threshold::new(x, Cmp::Gt, 3000.0);
+//!
+//! // Two replicated CEs; CE2 misses update 2.
+//! let mut ce1 = Evaluator::new(c1.clone());
+//! let mut ce2 = Evaluator::new(c1);
+//! let u = |s, v| Update::new(x, s, v);
+//!
+//! let a1 = ce1.ingest(u(1, 2900.0)); // no alert
+//! let a2 = ce1.ingest(u(2, 3100.0)).unwrap();
+//! let a3 = ce1.ingest(u(3, 3200.0)).unwrap();
+//! let b1 = ce2.ingest(u(1, 2900.0));
+//! let b3 = ce2.ingest(u(3, 3200.0)).unwrap();
+//! assert!(a1.is_none() && b1.is_none());
+//!
+//! // The AD removes the exact duplicate (a3 and b3 triggered on the
+//! // same update history), so the user sees two alerts, not three.
+//! let mut ad = Ad1::new();
+//! let shown: Vec<_> = [a2, a3, b3]
+//!     .into_iter()
+//!     .filter(|a| ad.offer(a).is_deliver())
+//!     .collect();
+//! assert_eq!(shown.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ad;
+mod alert;
+pub mod condition;
+mod error;
+mod evaluator;
+mod history;
+pub mod seq;
+mod update;
+mod var;
+
+pub use alert::{Alert, AlertId, CeId, CondId, HistoryFingerprint};
+pub use condition::{Condition, ConditionExt, Triggering};
+pub use error::{Error, Result};
+pub use evaluator::{transduce, transduce_merged, Evaluator};
+pub use history::{History, HistorySet};
+pub use update::{SeqNo, Update};
+pub use var::{VarId, VarRegistry};

@@ -1,0 +1,66 @@
+//! Durable Condition Evaluators: an evaluator's full state (histories,
+//! counters) serializes, enabling warm restarts that — unlike the
+//! paper's crash model, where in-memory histories are lost — resume
+//! with no update gap at all.
+
+use rcm_core::condition::{Conservative, DeltaRise};
+use rcm_core::{Evaluator, SeqNo, Update, VarId};
+
+fn x() -> VarId {
+    VarId::new(0)
+}
+
+#[test]
+fn evaluator_checkpoint_resumes_mid_history() {
+    let c3 = Conservative::new(DeltaRise::new(x(), 200.0));
+    let mut live = Evaluator::new(c3);
+    assert!(live.ingest(Update::new(x(), 1, 1000.0)).is_none());
+
+    // Checkpoint between the two updates of a degree-2 window.
+    let snapshot = serde_json::to_string(&live).expect("evaluator serializes");
+    let mut restored: Evaluator<Conservative<DeltaRise>> =
+        serde_json::from_str(&snapshot).expect("evaluator restores");
+
+    // Both continue identically: the restored one still remembers
+    // update 1, so the very next reading can trigger.
+    let a_live = live.ingest(Update::new(x(), 2, 1300.0));
+    let a_restored = restored.ingest(Update::new(x(), 2, 1300.0));
+    assert_eq!(a_live, a_restored);
+    let alert = a_restored.expect("rise of 300 over consecutive readings");
+    assert_eq!(
+        alert.fingerprint.seqnos(x()).unwrap(),
+        &[SeqNo::new(2), SeqNo::new(1)]
+    );
+}
+
+#[test]
+fn warm_restart_beats_cold_restart() {
+    // A cold-restarted CE (the paper's crash model: restart()) loses
+    // its window and misses the alert a warm-restarted one still emits.
+    let c3 = Conservative::new(DeltaRise::new(x(), 200.0));
+    let mut ce = Evaluator::new(c3);
+    ce.ingest(Update::new(x(), 1, 1000.0));
+
+    let snapshot = serde_json::to_string(&ce).unwrap();
+    let mut warm: Evaluator<Conservative<DeltaRise>> =
+        serde_json::from_str(&snapshot).unwrap();
+    ce.restart(); // cold: history gone
+
+    assert!(warm.ingest(Update::new(x(), 2, 1300.0)).is_some());
+    assert!(ce.ingest(Update::new(x(), 2, 1300.0)).is_none()); // window refilling
+}
+
+#[test]
+fn counters_survive_the_checkpoint() {
+    let c = DeltaRise::new(x(), -1e18); // fires once defined
+    let mut ce = Evaluator::new(c);
+    ce.ingest(Update::new(x(), 1, 0.0));
+    ce.ingest(Update::new(x(), 2, 0.0)); // alert #0
+    let snapshot = serde_json::to_string(&ce).unwrap();
+    let mut restored: Evaluator<DeltaRise> = serde_json::from_str(&snapshot).unwrap();
+    assert_eq!(restored.alerts_emitted(), 2 - 1);
+    assert_eq!(restored.updates_ingested(), 2);
+    let a = restored.ingest(Update::new(x(), 3, 0.0)).unwrap();
+    // Alert numbering continues without reuse.
+    assert_eq!(a.id.index, 1);
+}

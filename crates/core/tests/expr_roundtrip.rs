@@ -1,0 +1,94 @@
+//! Property-based tests of the condition expression language: the
+//! parser never panics on arbitrary input, and `parse ∘ display` is the
+//! identity on well-formed syntax trees.
+
+use proptest::prelude::*;
+
+use rcm_core::condition::expr::{parse, AggOp, BinOp, Expr, Field, UnOp};
+
+/// Strategy for random well-formed expression trees over variable
+/// names `a`/`b`.
+fn expr_strategy() -> impl Strategy<Value = Expr<String>> {
+    let leaf = prop_oneof![
+        (0..1000u32).prop_map(|n| Expr::Num(f64::from(n))),
+        any::<bool>().prop_map(Expr::Bool),
+        (prop_oneof![Just("a"), Just("b")], 0i64..4, prop_oneof![
+            Just(Field::Value),
+            Just(Field::Seqno)
+        ])
+            .prop_map(|(v, i, field)| Expr::Term {
+                var: v.to_owned(),
+                index: -i,
+                field
+            }),
+        prop_oneof![Just("a"), Just("b")]
+            .prop_map(|v| Expr::Consecutive(v.to_owned())),
+        (
+            prop_oneof![Just(AggOp::Min), Just(AggOp::Max), Just(AggOp::Avg), Just(AggOp::Sum)],
+            prop_oneof![Just("a"), Just("b")],
+            1u64..5,
+        )
+            .prop_map(|(op, v, w)| Expr::Agg { op, var: v.to_owned(), window: w }),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::Div),
+                Just(BinOp::Lt),
+                Just(BinOp::Le),
+                Just(BinOp::Gt),
+                Just(BinOp::Ge),
+                Just(BinOp::Eq),
+                Just(BinOp::Ne),
+                Just(BinOp::And),
+                Just(BinOp::Or),
+            ])
+                .prop_map(|(l, r, op)| Expr::Binary {
+                    op,
+                    lhs: Box::new(l),
+                    rhs: Box::new(r)
+                }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(e)
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(e)
+            }),
+            inner.clone().prop_map(|e| Expr::Abs(Box::new(e))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Expr::Min(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in "\\PC{0,80}") {
+        let _ = parse(&input); // must return Ok or Err, never panic
+    }
+
+    #[test]
+    fn parser_never_panics_on_almost_valid_input(
+        input in "[a-z0-9\\[\\]\\.\\(\\)<>=!&| +*/-]{0,60}"
+    ) {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn display_parse_roundtrip(ast in expr_strategy()) {
+        // Display prints fully parenthesized canonical syntax; parsing
+        // it back must reproduce the tree exactly. (Type errors don't
+        // matter here — this exercises the grammar, not the checker.)
+        let printed = ast.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("canonical form failed to parse: {printed} ({e})"));
+        prop_assert_eq!(reparsed, ast, "roundtrip diverged for {}", printed);
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based invariants of the AD filtering algorithms over
+//! arbitrary alert streams.
+
+use proptest::prelude::*;
+
+use rcm_core::ad::{
+    apply_filter, Ad1, Ad1Digest, Ad2, Ad3, Ad4, Ad5, Ad6, AlertFilter, DelayedOrdered,
+    LatePolicy,
+};
+use rcm_core::seq::{is_subsequence, project_alerts};
+use rcm_core::{Alert, AlertId, CeId, CondId, HistoryFingerprint, SeqNo, VarId};
+
+fn x() -> VarId {
+    VarId::new(0)
+}
+fn y() -> VarId {
+    VarId::new(1)
+}
+
+/// Strategy: a strictly decreasing seqno history of degree 1–3 headed
+/// in `head_range`.
+fn history(head_range: std::ops::Range<u64>) -> impl Strategy<Value = Vec<SeqNo>> {
+    (head_range, 1usize..=3, 1u64..3, 1u64..3).prop_map(|(head, degree, g1, g2)| {
+        let head = head.max(7); // room for two gaps below
+        let mut seqnos = vec![head];
+        if degree >= 2 {
+            seqnos.push(head - g1);
+        }
+        if degree >= 3 {
+            seqnos.push(head - g1 - g2);
+        }
+        seqnos.into_iter().map(SeqNo::new).collect()
+    })
+}
+
+/// Strategy: a single-variable alert.
+fn alert1() -> impl Strategy<Value = Alert> {
+    history(7..40).prop_map(|seqnos| {
+        Alert::new(
+            CondId::SINGLE,
+            HistoryFingerprint::single(x(), seqnos),
+            vec![],
+            AlertId { ce: CeId::new(0), index: 0 },
+        )
+    })
+}
+
+/// Strategy: a two-variable alert.
+fn alert2() -> impl Strategy<Value = Alert> {
+    (history(7..25), history(7..25)).prop_map(|(xs, ys)| {
+        Alert::new(
+            CondId::SINGLE,
+            HistoryFingerprint::new(vec![(x(), xs), (y(), ys)]),
+            vec![],
+            AlertId { ce: CeId::new(0), index: 0 },
+        )
+    })
+}
+
+fn ordered(alerts: &[Alert], var: VarId) -> bool {
+    let proj = project_alerts(alerts, var);
+    proj.windows(2).all(|w| w[0] <= w[1])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ad2_output_always_ordered(stream in proptest::collection::vec(alert1(), 0..40)) {
+        let out = apply_filter(&mut Ad2::new(x()), &stream);
+        prop_assert!(ordered(&out, x()));
+    }
+
+    #[test]
+    fn ad5_ad6_output_always_ordered_per_var(
+        stream in proptest::collection::vec(alert2(), 0..40)
+    ) {
+        let out5 = apply_filter(&mut Ad5::new([x(), y()]), &stream);
+        prop_assert!(ordered(&out5, x()) && ordered(&out5, y()));
+        let out6 = apply_filter(&mut Ad6::new([x(), y()]), &stream);
+        prop_assert!(ordered(&out6, x()) && ordered(&out6, y()));
+    }
+
+    #[test]
+    fn digest_filter_is_equivalent_to_ad1(
+        stream in proptest::collection::vec(alert1(), 0..40)
+    ) {
+        let full = apply_filter(&mut Ad1::new(), &stream);
+        let digest = apply_filter(&mut Ad1Digest::new(), &stream);
+        prop_assert_eq!(full, digest);
+    }
+
+    #[test]
+    fn all_filters_are_idempotent(stream in proptest::collection::vec(alert1(), 0..30)) {
+        // Filtering a filter's own output must pass everything through:
+        // the output already satisfies the filter's invariant.
+        let filters: Vec<Box<dyn AlertFilter>> = vec![
+            Box::new(Ad1::new()),
+            Box::new(Ad1Digest::new()),
+            Box::new(Ad2::new(x())),
+            Box::new(Ad3::new(x())),
+            Box::new(Ad4::new(x())),
+            Box::new(Ad5::new([x()])),
+            Box::new(Ad6::new([x()])),
+        ];
+        for mut f in filters {
+            let once = apply_filter(&mut *f, &stream);
+            f.reset();
+            let twice = apply_filter(&mut *f, &once);
+            prop_assert_eq!(&once, &twice, "{} not idempotent", f.name());
+        }
+    }
+
+    #[test]
+    fn every_output_is_a_subsequence_of_arrivals(
+        stream in proptest::collection::vec(alert1(), 0..30)
+    ) {
+        let filters: Vec<Box<dyn AlertFilter>> = vec![
+            Box::new(Ad1::new()),
+            Box::new(Ad2::new(x())),
+            Box::new(Ad3::new(x())),
+            Box::new(Ad4::new(x())),
+        ];
+        for mut f in filters {
+            let out = apply_filter(&mut *f, &stream);
+            prop_assert!(is_subsequence(&out, &stream), "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn ad1_dominates_everything_on_random_streams(
+        stream in proptest::collection::vec(alert1(), 0..30)
+    ) {
+        // Theorems 6 and 8 (and the AD-4 corollary) on arbitrary inputs.
+        let base = apply_filter(&mut Ad1::new(), &stream);
+        for mut f in [
+            Box::new(Ad2::new(x())) as Box<dyn AlertFilter>,
+            Box::new(Ad3::new(x())),
+            Box::new(Ad4::new(x())),
+        ] {
+            let out = apply_filter(&mut *f, &stream);
+            prop_assert!(is_subsequence(&out, &base), "AD-1 ≥ {} failed", f.name());
+        }
+    }
+
+    #[test]
+    fn ad4_output_within_both_parents_invariants(
+        stream in proptest::collection::vec(alert1(), 0..30)
+    ) {
+        // AD-4's output must itself satisfy orderedness AND be accepted
+        // in full by a fresh AD-3 (consistency closure).
+        let out = apply_filter(&mut Ad4::new(x()), &stream);
+        prop_assert!(ordered(&out, x()));
+        let replay = apply_filter(&mut Ad3::new(x()), &out);
+        prop_assert_eq!(replay.len(), out.len());
+    }
+
+    #[test]
+    fn delayed_drop_policy_ordered_and_dominates_ad2_counts(
+        stream in proptest::collection::vec(alert1(), 0..30),
+        hold in 0usize..6,
+    ) {
+        let mut delayed = DelayedOrdered::new(x(), hold, LatePolicy::Drop);
+        let out = delayed.display_all(&stream);
+        prop_assert!(ordered(&out, x()));
+        // The buffer never displays fewer alerts than AD-2 (hold 0 is
+        // AD-2's drop behaviour plus duplicate suppression).
+        let ad2 = apply_filter(&mut Ad2::new(x()), &stream);
+        prop_assert!(out.len() + 1 >= ad2.len(), "{} + 1 < {}", out.len(), ad2.len());
+    }
+
+    #[test]
+    fn filters_reset_to_initial_state(stream in proptest::collection::vec(alert1(), 1..20)) {
+        let filters: Vec<Box<dyn AlertFilter>> = vec![
+            Box::new(Ad1::new()),
+            Box::new(Ad1Digest::new()),
+            Box::new(Ad2::new(x())),
+            Box::new(Ad3::new(x())),
+            Box::new(Ad4::new(x())),
+            Box::new(Ad5::new([x()])),
+            Box::new(Ad6::new([x()])),
+        ];
+        for mut f in filters {
+            let first = apply_filter(&mut *f, &stream);
+            f.reset();
+            let second = apply_filter(&mut *f, &stream);
+            prop_assert_eq!(&first, &second, "{} reset incomplete", f.name());
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based cross-validation: the polynomial-time consistency and
+//! completeness checkers must agree with the brute-force oracles that
+//! literally enumerate the paper's definitions.
+
+use proptest::prelude::*;
+
+use rcm_core::condition::{AbsDifference, Cmp, Conservative, DeltaRise, Threshold};
+use rcm_core::seq::merge_by_schedule;
+use rcm_core::{transduce, Alert, CeId, Condition, Update, VarId};
+use rcm_props::brute::{brute_complete_multi, brute_consistent_multi, brute_consistent_single};
+use rcm_props::{check_complete_multi, check_consistent_multi, check_consistent_single};
+
+fn x() -> VarId {
+    VarId::new(0)
+}
+fn y() -> VarId {
+    VarId::new(1)
+}
+
+/// Applies a loss mask to a full update stream (in-order, lossy link).
+fn lossy(full: &[Update], mask: &[bool]) -> Vec<Update> {
+    full.iter().zip(mask).filter(|(_, &keep)| keep).map(|(u, _)| *u).collect()
+}
+
+/// Selects a subsequence of alerts by mask — an arbitrary hypothetical
+/// AD output.
+fn subset(alerts: &[Alert], mask: &[bool]) -> Vec<Alert> {
+    alerts
+        .iter()
+        .zip(mask.iter().cycle())
+        .filter(|(_, &keep)| keep)
+        .map(|(a, _)| a.clone())
+        .collect()
+}
+
+/// Single-variable scenario: full stream of n updates with given
+/// values; two replicas with independent loss masks.
+fn single_var_updates(values: &[f64]) -> Vec<Update> {
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| Update::new(x(), i as u64 + 1, v))
+        .collect()
+}
+
+fn run_single<C: Condition>(
+    cond: &C,
+    values: &[f64],
+    keep1: &[bool],
+    keep2: &[bool],
+    pick: &[bool],
+) -> (Vec<Vec<Update>>, Vec<Alert>) {
+    let full = single_var_updates(values);
+    let u1 = lossy(&full, keep1);
+    let u2 = lossy(&full, keep2);
+    let a1 = transduce(cond, CeId::new(1), &u1);
+    let a2 = transduce(cond, CeId::new(2), &u2);
+    let all: Vec<Alert> = a1.into_iter().chain(a2).collect();
+    let displayed = subset(&all, pick);
+    (vec![u1, u2], displayed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn single_var_consistency_matches_brute_force_c2(
+        values in proptest::collection::vec(0.0f64..1000.0, 2..7),
+        keep1 in proptest::collection::vec(any::<bool>(), 7),
+        keep2 in proptest::collection::vec(any::<bool>(), 7),
+        pick in proptest::collection::vec(any::<bool>(), 8),
+    ) {
+        let c2 = DeltaRise::new(x(), 200.0);
+        let (inputs, displayed) = run_single(&c2, &values, &keep1, &keep2, &pick);
+        let fast = check_consistent_single(&c2, &inputs, &displayed).ok;
+        let slow = brute_consistent_single(&c2, &inputs, &displayed);
+        prop_assert_eq!(fast, slow, "displayed = {:?}", displayed);
+    }
+
+    #[test]
+    fn single_var_consistency_matches_brute_force_c3(
+        values in proptest::collection::vec(0.0f64..1000.0, 2..7),
+        keep1 in proptest::collection::vec(any::<bool>(), 7),
+        keep2 in proptest::collection::vec(any::<bool>(), 7),
+        pick in proptest::collection::vec(any::<bool>(), 8),
+    ) {
+        let c3 = Conservative::new(DeltaRise::new(x(), 200.0));
+        let (inputs, displayed) = run_single(&c3, &values, &keep1, &keep2, &pick);
+        let fast = check_consistent_single(&c3, &inputs, &displayed).ok;
+        let slow = brute_consistent_single(&c3, &inputs, &displayed);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn single_var_consistency_matches_brute_force_c1(
+        values in proptest::collection::vec(0.0f64..1000.0, 1..7),
+        keep1 in proptest::collection::vec(any::<bool>(), 7),
+        keep2 in proptest::collection::vec(any::<bool>(), 7),
+        pick in proptest::collection::vec(any::<bool>(), 8),
+    ) {
+        let c1 = Threshold::new(x(), Cmp::Gt, 500.0);
+        let (inputs, displayed) = run_single(&c1, &values, &keep1, &keep2, &pick);
+        let fast = check_consistent_single(&c1, &inputs, &displayed).ok;
+        let slow = brute_consistent_single(&c1, &inputs, &displayed);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn multi_var_checkers_match_brute_force(
+        xvals in proptest::collection::vec(0.0f64..400.0, 1..4),
+        yvals in proptest::collection::vec(0.0f64..400.0, 1..4),
+        sched1 in proptest::collection::vec(any::<bool>(), 8),
+        sched2 in proptest::collection::vec(any::<bool>(), 8),
+        pick in proptest::collection::vec(any::<bool>(), 6),
+    ) {
+        let cm = AbsDifference::new(x(), y(), 100.0);
+        let xs: Vec<Update> = xvals.iter().enumerate()
+            .map(|(i, &v)| Update::new(x(), i as u64 + 1, v)).collect();
+        let ys: Vec<Update> = yvals.iter().enumerate()
+            .map(|(i, &v)| Update::new(y(), i as u64 + 1, v)).collect();
+        // Lossless links, different interleavings per CE (Theorem 10's
+        // setting generalized).
+        let u1 = merge_by_schedule(&xs, &ys, &sched1);
+        let u2 = merge_by_schedule(&xs, &ys, &sched2);
+        let a1 = transduce(&cm, CeId::new(1), &u1);
+        let a2 = transduce(&cm, CeId::new(2), &u2);
+        let all: Vec<Alert> = a1.into_iter().chain(a2).collect();
+        let displayed = subset(&all, &pick);
+        let inputs = vec![u1, u2];
+
+        let fast = check_consistent_multi(&cm, &inputs, &displayed).ok;
+        let slow = brute_consistent_multi(&cm, &inputs, &displayed);
+        prop_assert_eq!(fast, slow, "consistency mismatch: displayed = {:?}", displayed);
+
+        let fastc = check_complete_multi(&cm, &inputs, &displayed).ok;
+        let slowc = brute_complete_multi(&cm, &inputs, &displayed);
+        prop_assert_eq!(fastc, slowc, "completeness mismatch: displayed = {:?}", displayed);
+    }
+
+    #[test]
+    fn three_var_checkers_match_brute_force(
+        xvals in proptest::collection::vec(0.0f64..400.0, 1..3),
+        yvals in proptest::collection::vec(0.0f64..400.0, 1..3),
+        zvals in proptest::collection::vec(0.0f64..400.0, 1..3),
+        sched1 in proptest::collection::vec(any::<bool>(), 9),
+        sched2 in proptest::collection::vec(any::<bool>(), 9),
+        pick in proptest::collection::vec(any::<bool>(), 6),
+    ) {
+        use rcm_core::condition::Or;
+        let z = VarId::new(2);
+        let cm = Or::new(
+            AbsDifference::new(x(), y(), 100.0),
+            AbsDifference::new(y(), z, 100.0),
+        );
+        let mk = |var: VarId, vals: &[f64]| -> Vec<Update> {
+            vals.iter().enumerate()
+                .map(|(i, &v)| Update::new(var, i as u64 + 1, v)).collect()
+        };
+        let xs = mk(x(), &xvals);
+        let ys = mk(y(), &yvals);
+        let zs = mk(z, &zvals);
+        // Two CEs with different three-way interleavings (lossless).
+        let xy1 = merge_by_schedule(&xs, &ys, &sched1);
+        let u1 = merge_by_schedule(&xy1, &zs, &sched2);
+        let xy2 = merge_by_schedule(&ys, &xs, &sched2);
+        let u2 = merge_by_schedule(&zs, &xy2, &sched1);
+        let a1 = transduce(&cm, CeId::new(1), &u1);
+        let a2 = transduce(&cm, CeId::new(2), &u2);
+        let all: Vec<Alert> = a1.into_iter().chain(a2).collect();
+        let displayed = subset(&all, &pick);
+        let inputs = vec![u1, u2];
+
+        let fast = check_consistent_multi(&cm, &inputs, &displayed).ok;
+        let slow = brute_consistent_multi(&cm, &inputs, &displayed);
+        prop_assert_eq!(fast, slow, "3-var consistency mismatch: {:?}", displayed);
+
+        let fastc = check_complete_multi(&cm, &inputs, &displayed).ok;
+        let slowc = brute_complete_multi(&cm, &inputs, &displayed);
+        prop_assert_eq!(fastc, slowc, "3-var completeness mismatch: {:?}", displayed);
+    }
+
+    #[test]
+    fn consistency_witness_always_verifies(
+        values in proptest::collection::vec(0.0f64..1000.0, 2..7),
+        keep1 in proptest::collection::vec(any::<bool>(), 7),
+        keep2 in proptest::collection::vec(any::<bool>(), 7),
+    ) {
+        // The AD-3 filter's output must always be consistent (Theorem 7),
+        // and the checker's witness must explain it.
+        use rcm_core::ad::{apply_filter, Ad3};
+        let c2 = DeltaRise::new(x(), 200.0);
+        let full = single_var_updates(&values);
+        let u1 = lossy(&full, &keep1);
+        let u2 = lossy(&full, &keep2);
+        let a1 = transduce(&c2, CeId::new(1), &u1);
+        let a2 = transduce(&c2, CeId::new(2), &u2);
+        let arrivals: Vec<Alert> = a1.into_iter().chain(a2).collect();
+        let displayed = apply_filter(&mut Ad3::new(x()), &arrivals);
+        let rep = check_consistent_single(&c2, &[u1, u2], &displayed);
+        prop_assert!(rep.ok, "AD-3 output inconsistent: {:?}", rep.conflict);
+        prop_assert!(rep.witness.is_some());
+    }
+}

@@ -1,0 +1,112 @@
+//! The three actor bodies: Data Monitor, Condition Evaluator and Alert
+//! Displayer threads.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_channel::{Receiver, Sender};
+use parking_lot::Mutex;
+use rcm_core::ad::AlertFilter;
+use rcm_core::condition::Condition;
+use rcm_core::{Alert, CeId, CondId, Evaluator, Update, VarId};
+
+use crate::link::FrontLink;
+use crate::wire::{roundtrip, Message};
+
+/// Where a Data Monitor's readings come from.
+pub(crate) enum FeedSource {
+    /// A pre-recorded list of readings.
+    Values(Vec<f64>),
+    /// A live channel: the DM emits each pushed reading until the
+    /// sender side hangs up.
+    Channel(Receiver<f64>),
+}
+
+impl std::fmt::Debug for FeedSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeedSource::Values(v) => f.debug_tuple("Values").field(&v.len()).finish(),
+            FeedSource::Channel(_) => f.debug_tuple("Channel").finish(),
+        }
+    }
+}
+
+/// Runs a Data Monitor: emits one update per reading with consecutive
+/// seqnos, multicasting over a front link per replica, pausing `period`
+/// between emissions.
+pub(crate) fn dm_body(
+    var: VarId,
+    source: FeedSource,
+    period: Duration,
+    mut links: Vec<FrontLink>,
+) {
+    let emit = |i: usize, value: f64, links: &mut Vec<FrontLink>| {
+        let update = Update::new(var, i as u64 + 1, value);
+        for link in links.iter_mut() {
+            link.send(update);
+        }
+        if !period.is_zero() {
+            std::thread::sleep(period);
+        }
+    };
+    match source {
+        FeedSource::Values(values) => {
+            for (i, value) in values.into_iter().enumerate() {
+                emit(i, value, &mut links);
+            }
+        }
+        FeedSource::Channel(rx) => {
+            for (i, value) in rx.into_iter().enumerate() {
+                emit(i, value, &mut links);
+            }
+        }
+    }
+    // Links (and their senders) drop here, signalling end-of-stream.
+}
+
+/// Runs a Condition Evaluator replica: ingests updates until every DM
+/// feeding it hangs up, forwarding alerts over the lossless back link.
+pub(crate) fn ce_body(
+    ce: CeId,
+    condition: Arc<dyn Condition>,
+    rx: Receiver<Update>,
+    back: Sender<Alert>,
+    ingested: Arc<Mutex<Vec<Update>>>,
+) {
+    let mut evaluator = Evaluator::with_ids(condition, CondId::SINGLE, ce);
+    for update in rx {
+        let alert = evaluator
+            .try_ingest(update)
+            .expect("update routed to evaluator lacking its variable");
+        ingested.lock().push(update);
+        if let Some(alert) = alert {
+            // Back links are lossless: a send failure would mean the AD
+            // died early, which is a bug worth crashing the replica on.
+            let msg = roundtrip(&Message::Alert(alert));
+            let Message::Alert(alert) = msg else {
+                unreachable!("alert survived the codec as a different variant")
+            };
+            back.send(alert).expect("alert displayer hung up before replicas finished");
+        }
+    }
+}
+
+/// Runs the Alert Displayer: filters merged alert arrivals until every
+/// replica hangs up.
+pub(crate) fn ad_body(
+    rx: Receiver<Alert>,
+    mut filter: Box<dyn AlertFilter>,
+    arrivals: Arc<Mutex<Vec<Alert>>>,
+    displayed: Arc<Mutex<Vec<Alert>>>,
+    on_alert: Option<crate::system::AlertCallback>,
+) {
+    for alert in rx {
+        arrivals.lock().push(alert.clone());
+        if filter.offer(&alert).is_deliver() {
+            if let Some(cb) = &on_alert {
+                cb(&alert);
+            }
+            displayed.lock().push(alert);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # rcm-runtime — a deployable actor runtime for condition monitoring
+//!
+//! The simulator (`rcm-sim`) proves properties; this crate actually
+//! *runs* a monitoring pipeline: each Data Monitor, Condition Evaluator
+//! replica and the Alert Displayer is an OS thread, wired with FIFO
+//! channels standing in for the paper's links:
+//!
+//! * **front links** are per-`(DM, CE)` channels wrapped in a loss
+//!   model (UDP-like: FIFO but lossy);
+//! * **back links** are plain channels (TCP-like: FIFO and lossless).
+//!
+//! Messages cross links through the length-prefixed [`wire`] codec, so
+//! the pipeline exercises real serialization end to end. Shutdown is by
+//! ownership: when a DM finishes its workload it drops its senders;
+//! when every DM feeding a CE is gone the CE drains and exits; when
+//! every CE is gone the AD finishes filtering and the system joins.
+//!
+//! ```rust
+//! use rcm_runtime::{MonitorSystem, VarFeed};
+//! use rcm_core::condition::{Threshold, Cmp};
+//! use rcm_core::ad::Ad1;
+//! use rcm_core::VarId;
+//! use std::sync::Arc;
+//!
+//! let x = VarId::new(0);
+//! let system = MonitorSystem::builder(Arc::new(Threshold::new(x, Cmp::Gt, 3000.0)))
+//!     .replicas(2)
+//!     .feed(VarFeed::new(x, vec![2900.0, 3100.0, 3200.0]))
+//!     .filter(|_vars| Box::new(Ad1::new()))
+//!     .start()
+//!     .expect("valid configuration");
+//! let report = system.wait();
+//! assert_eq!(report.displayed.len(), 2); // duplicate suppressed
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod actors;
+mod link;
+mod system;
+pub mod wire;
+
+pub use link::{FrontLink, LinkReport};
+pub use system::{ConfigError, MonitorSystem, RunReport, SystemBuilder, VarFeed};

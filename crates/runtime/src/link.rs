@@ -1,0 +1,124 @@
+//! Runtime links: lossy FIFO channels with real serialization.
+
+use std::sync::Arc;
+
+use crossbeam_channel::Sender;
+use parking_lot::Mutex;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rcm_core::Update;
+use rcm_net::LossModel;
+
+use crate::wire::{roundtrip, Message};
+
+/// Counters for one front link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkReport {
+    /// Updates handed to the link.
+    pub sent: u64,
+    /// Updates dropped by the loss model.
+    pub dropped: u64,
+}
+
+/// A UDP-like front link from one DM to one CE replica: FIFO (channels
+/// do not reorder) but lossy. Every delivered update crosses the wire
+/// codec, so the pipeline exercises real (de)serialization.
+///
+/// Loss decisions come from a seeded RNG owned by the link, so the
+/// *set* of dropped messages is a pure function of the link seed and
+/// the loss model — timing only affects interleavings downstream.
+pub struct FrontLink {
+    tx: Sender<Update>,
+    loss: Box<dyn LossModel>,
+    rng: ChaCha8Rng,
+    report: Arc<Mutex<LinkReport>>,
+}
+
+impl std::fmt::Debug for FrontLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrontLink").field("report", &*self.report.lock()).finish()
+    }
+}
+
+impl FrontLink {
+    /// Creates the link over an existing channel sender.
+    pub fn new(tx: Sender<Update>, loss: Box<dyn LossModel>, seed: u64) -> Self {
+        FrontLink {
+            tx,
+            loss,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            report: Arc::new(Mutex::new(LinkReport::default())),
+        }
+    }
+
+    /// A handle for reading the link's counters after the DM thread
+    /// has taken ownership of the link.
+    pub fn report_handle(&self) -> Arc<Mutex<LinkReport>> {
+        Arc::clone(&self.report)
+    }
+
+    /// Transmits one update; returns whether it was delivered (the
+    /// receiver may still have hung up, which also counts as not
+    /// delivered).
+    pub fn send(&mut self, update: Update) -> bool {
+        let mut report = self.report.lock();
+        report.sent += 1;
+        if self.loss.drops(&mut self.rng) {
+            report.dropped += 1;
+            return false;
+        }
+        drop(report);
+        // Cross a real serialization boundary.
+        let msg = roundtrip(&Message::Update(update));
+        let Message::Update(update) = msg else {
+            unreachable!("update survived the codec as a different variant")
+        };
+        self.tx.send(update).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam_channel::unbounded;
+    use rcm_core::VarId;
+    use rcm_net::{Lossless, Scripted};
+
+    fn u(s: u64) -> Update {
+        Update::new(VarId::new(0), s, s as f64)
+    }
+
+    #[test]
+    fn lossless_link_delivers_in_order() {
+        let (tx, rx) = unbounded();
+        let mut link = FrontLink::new(tx, Box::new(Lossless), 1);
+        for s in 1..=5 {
+            assert!(link.send(u(s)));
+        }
+        drop(link);
+        let got: Vec<u64> = rx.iter().map(|u| u.seqno.get()).collect();
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn scripted_loss_drops_and_counts() {
+        let (tx, rx) = unbounded();
+        let mut link = FrontLink::new(tx, Box::new(Scripted::new([1])), 1);
+        let handle = link.report_handle();
+        assert!(link.send(u(1)));
+        assert!(!link.send(u(2))); // dropped
+        assert!(link.send(u(3)));
+        drop(link);
+        let got: Vec<u64> = rx.iter().map(|u| u.seqno.get()).collect();
+        assert_eq!(got, vec![1, 3]);
+        assert_eq!(*handle.lock(), LinkReport { sent: 3, dropped: 1 });
+    }
+
+    #[test]
+    fn hung_up_receiver_reports_undelivered() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        let mut link = FrontLink::new(tx, Box::new(Lossless), 1);
+        assert!(!link.send(u(1)));
+    }
+}

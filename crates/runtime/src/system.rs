@@ -1,0 +1,502 @@
+//! System assembly: builder, running handle and final report.
+
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam_channel::unbounded;
+use parking_lot::Mutex;
+use rcm_core::ad::{Ad1, AlertFilter};
+use rcm_core::condition::Condition;
+use rcm_core::{Alert, CeId, Update, VarId};
+use rcm_net::{LossModel, Lossless};
+
+use crate::actors::{ad_body, ce_body, dm_body};
+use crate::link::{FrontLink, LinkReport};
+
+/// One variable's data feed: where its Data Monitor's readings come
+/// from — a pre-recorded list or a live channel.
+pub struct VarFeed {
+    var: VarId,
+    source: crate::actors::FeedSource,
+    period: Duration,
+}
+
+impl VarFeed {
+    /// Creates a feed emitting `values` as fast as possible.
+    pub fn new(var: VarId, values: impl Into<Vec<f64>>) -> Self {
+        VarFeed {
+            var,
+            source: crate::actors::FeedSource::Values(values.into()),
+            period: Duration::ZERO,
+        }
+    }
+
+    /// Creates a **streaming** feed: the DM emits each reading pushed
+    /// through the returned sender, and signals end-of-stream when the
+    /// sender is dropped.
+    ///
+    /// ```rust
+    /// use rcm_runtime::{MonitorSystem, VarFeed};
+    /// use rcm_core::condition::{Threshold, Cmp};
+    /// use rcm_core::VarId;
+    /// use std::sync::Arc;
+    ///
+    /// let x = VarId::new(0);
+    /// let (feed, tx) = VarFeed::streaming(x);
+    /// let system = MonitorSystem::builder(Arc::new(Threshold::new(x, Cmp::Gt, 100.0)))
+    ///     .replicas(2)
+    ///     .feed(feed)
+    ///     .start()?;
+    /// tx.send(90.0)?;
+    /// tx.send(120.0)?; // alert
+    /// drop(tx); // end of stream
+    /// let report = system.wait();
+    /// assert_eq!(report.displayed.len(), 1);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn streaming(var: VarId) -> (Self, crossbeam_channel::Sender<f64>) {
+        let (tx, rx) = unbounded();
+        let feed = VarFeed {
+            var,
+            source: crate::actors::FeedSource::Channel(rx),
+            period: Duration::ZERO,
+        };
+        (feed, tx)
+    }
+
+    /// Sets the pause between emissions (default: none).
+    #[must_use]
+    pub fn period(mut self, period: Duration) -> Self {
+        self.period = period;
+        self
+    }
+}
+
+impl fmt::Debug for VarFeed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VarFeed")
+            .field("var", &self.var)
+            .field("source", &self.source)
+            .field("period", &self.period)
+            .finish()
+    }
+}
+
+type FilterFactory = Box<dyn FnOnce(&[VarId]) -> Box<dyn AlertFilter>>;
+type LossFactory = Box<dyn FnMut(VarId, CeId) -> Box<dyn LossModel>>;
+/// Callback invoked on the AD thread for each displayed alert.
+pub(crate) type AlertCallback = Box<dyn Fn(&Alert) + Send>;
+/// Per-link loss counters keyed by `(variable, replica)`.
+type LinkReports = Vec<((VarId, CeId), Arc<Mutex<LinkReport>>)>;
+
+/// Builder for a [`MonitorSystem`].
+pub struct SystemBuilder {
+    condition: Arc<dyn Condition>,
+    replicas: usize,
+    feeds: Vec<VarFeed>,
+    filter: Option<FilterFactory>,
+    loss: Option<LossFactory>,
+    seed: u64,
+    on_alert: Option<AlertCallback>,
+}
+
+impl fmt::Debug for SystemBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SystemBuilder")
+            .field("condition", &self.condition.name())
+            .field("replicas", &self.replicas)
+            .field("feeds", &self.feeds)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+/// Configuration errors reported by [`SystemBuilder::start`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `replicas(0)` was requested.
+    ZeroReplicas,
+    /// No feed was supplied for a variable in the condition's set.
+    MissingFeed(VarId),
+    /// A feed was supplied for a variable outside the condition's set.
+    UnknownFeedVariable(VarId),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroReplicas => write!(f, "system needs at least one replica"),
+            ConfigError::MissingFeed(v) => {
+                write!(f, "no feed supplied for condition variable {v}")
+            }
+            ConfigError::UnknownFeedVariable(v) => {
+                write!(f, "feed variable {v} is not in the condition's variable set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl SystemBuilder {
+    /// Number of Condition Evaluator replicas (default 2).
+    #[must_use]
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Adds a variable feed.
+    #[must_use]
+    pub fn feed(mut self, feed: VarFeed) -> Self {
+        self.feeds.push(feed);
+        self
+    }
+
+    /// Sets the AD filtering algorithm (default: AD-1).
+    #[must_use]
+    pub fn filter(
+        mut self,
+        factory: impl FnOnce(&[VarId]) -> Box<dyn AlertFilter> + 'static,
+    ) -> Self {
+        self.filter = Some(Box::new(factory));
+        self
+    }
+
+    /// Sets the per-front-link loss model factory (default: lossless).
+    #[must_use]
+    pub fn loss(
+        mut self,
+        factory: impl FnMut(VarId, CeId) -> Box<dyn LossModel> + 'static,
+    ) -> Self {
+        self.loss = Some(Box::new(factory));
+        self
+    }
+
+    /// Seed for link loss sampling (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Registers a callback invoked (on the AD thread) for every
+    /// displayed alert.
+    #[must_use]
+    pub fn on_alert(mut self, cb: impl Fn(&Alert) + Send + 'static) -> Self {
+        self.on_alert = Some(Box::new(cb));
+        self
+    }
+
+    /// Spawns all actor threads and starts the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the configuration is unusable
+    /// (zero replicas, feeds not matching the condition's variables).
+    pub fn start(self) -> Result<MonitorSystem, ConfigError> {
+        if self.replicas == 0 {
+            return Err(ConfigError::ZeroReplicas);
+        }
+        let vars = self.condition.variables();
+        for feed in &self.feeds {
+            if !vars.contains(&feed.var) {
+                return Err(ConfigError::UnknownFeedVariable(feed.var));
+            }
+        }
+        for &v in &vars {
+            if !self.feeds.iter().any(|f| f.var == v) {
+                return Err(ConfigError::MissingFeed(v));
+            }
+        }
+
+        let mut loss = self
+            .loss
+            .unwrap_or_else(|| Box::new(|_, _| Box::new(Lossless) as Box<dyn LossModel>));
+        let filter_factory = self.filter.unwrap_or_else(|| {
+            Box::new(|_vars: &[VarId]| Box::new(Ad1::new()) as Box<dyn AlertFilter>)
+        });
+
+        // Channels: one update channel per CE, one alert channel for the AD.
+        let (alert_tx, alert_rx) = unbounded::<Alert>();
+        let mut ce_senders = Vec::with_capacity(self.replicas);
+        let mut handles: Vec<JoinHandle<()>> = Vec::new();
+        let mut ingested: Vec<Arc<Mutex<Vec<Update>>>> = Vec::new();
+
+        for ce in 0..self.replicas {
+            let (tx, rx) = unbounded::<Update>();
+            ce_senders.push(tx);
+            let record = Arc::new(Mutex::new(Vec::new()));
+            ingested.push(Arc::clone(&record));
+            let condition = self.condition.clone();
+            let back = alert_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                ce_body(CeId::new(ce as u32), condition, rx, back, record);
+            }));
+        }
+        drop(alert_tx); // AD exits when the last CE sender drops.
+
+        // The AD thread.
+        let arrivals = Arc::new(Mutex::new(Vec::new()));
+        let displayed = Arc::new(Mutex::new(Vec::new()));
+        let filter = filter_factory(&vars);
+        let ad_arrivals = Arc::clone(&arrivals);
+        let ad_displayed = Arc::clone(&displayed);
+        let on_alert = self.on_alert;
+        handles.push(std::thread::spawn(move || {
+            ad_body(alert_rx, filter, ad_arrivals, ad_displayed, on_alert);
+        }));
+
+        // DM threads, one per feed, each with a link per replica.
+        let mut link_reports = Vec::new();
+        for (fi, feed) in self.feeds.into_iter().enumerate() {
+            let mut links = Vec::with_capacity(self.replicas);
+            for (ci, tx) in ce_senders.iter().enumerate() {
+                let link_seed = self
+                    .seed
+                    .wrapping_add((fi as u64) << 32)
+                    .wrapping_add(ci as u64);
+                let link = FrontLink::new(
+                    tx.clone(),
+                    loss(feed.var, CeId::new(ci as u32)),
+                    link_seed,
+                );
+                link_reports.push(((feed.var, CeId::new(ci as u32)), link.report_handle()));
+                links.push(link);
+            }
+            let (var, source, period) = (feed.var, feed.source, feed.period);
+            handles.push(std::thread::spawn(move || {
+                dm_body(var, source, period, links);
+            }));
+        }
+        drop(ce_senders); // CEs exit when all DM links drop.
+
+        Ok(MonitorSystem { handles, arrivals, displayed, ingested, link_reports })
+    }
+}
+
+/// A running monitoring pipeline; join it with [`MonitorSystem::wait`].
+pub struct MonitorSystem {
+    handles: Vec<JoinHandle<()>>,
+    arrivals: Arc<Mutex<Vec<Alert>>>,
+    displayed: Arc<Mutex<Vec<Alert>>>,
+    ingested: Vec<Arc<Mutex<Vec<Update>>>>,
+    link_reports: LinkReports,
+}
+
+impl fmt::Debug for MonitorSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MonitorSystem").field("threads", &self.handles.len()).finish()
+    }
+}
+
+impl MonitorSystem {
+    /// Starts building a system for `condition`.
+    pub fn builder(condition: Arc<dyn Condition>) -> SystemBuilder {
+        SystemBuilder {
+            condition,
+            replicas: 2,
+            feeds: Vec::new(),
+            filter: None,
+            loss: None,
+            seed: 0,
+            on_alert: None,
+        }
+    }
+
+    /// Alerts displayed so far (snapshot; the pipeline may still be
+    /// running).
+    pub fn displayed_so_far(&self) -> Vec<Alert> {
+        self.displayed.lock().clone()
+    }
+
+    /// Blocks until every feed is drained and all in-flight messages
+    /// are processed, then returns the full report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an actor thread panicked.
+    pub fn wait(self) -> RunReport {
+        for h in self.handles {
+            h.join().expect("actor thread panicked");
+        }
+        RunReport {
+            arrivals: Arc::try_unwrap(self.arrivals)
+                .map(Mutex::into_inner)
+                .unwrap_or_else(|arc| arc.lock().clone()),
+            displayed: Arc::try_unwrap(self.displayed)
+                .map(Mutex::into_inner)
+                .unwrap_or_else(|arc| arc.lock().clone()),
+            ingested: self
+                .ingested
+                .into_iter()
+                .map(|m| {
+                    Arc::try_unwrap(m)
+                        .map(Mutex::into_inner)
+                        .unwrap_or_else(|arc| arc.lock().clone())
+                })
+                .collect(),
+            links: self
+                .link_reports
+                .into_iter()
+                .map(|(key, m)| (key, *m.lock()))
+                .collect(),
+        }
+    }
+}
+
+/// Everything a finished pipeline run produced.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Merged alert arrivals at the AD, pre-filtering.
+    pub arrivals: Vec<Alert>,
+    /// Alerts displayed to the user (post-filtering), in display order.
+    pub displayed: Vec<Alert>,
+    /// Per replica: updates ingested, in arrival order (the paper's
+    /// `U_i`).
+    pub ingested: Vec<Vec<Update>>,
+    /// Per front link `(variable, replica)`: loss counters.
+    pub links: Vec<((VarId, CeId), LinkReport)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcm_core::ad::{Ad2, Ad3};
+    use rcm_core::condition::{Cmp, DeltaRise, Threshold};
+    use rcm_net::Scripted;
+
+    fn x() -> VarId {
+        VarId::new(0)
+    }
+
+    fn c1() -> Arc<dyn Condition> {
+        Arc::new(Threshold::new(x(), Cmp::Gt, 3000.0))
+    }
+
+    #[test]
+    fn example_1_end_to_end() {
+        let system = MonitorSystem::builder(c1())
+            .replicas(2)
+            .feed(VarFeed::new(x(), vec![2900.0, 3100.0, 3200.0]))
+            .start()
+            .unwrap();
+        let report = system.wait();
+        // Four alerts arrive (two per CE); AD-1 displays two.
+        assert_eq!(report.arrivals.len(), 4);
+        assert_eq!(report.displayed.len(), 2);
+        assert_eq!(report.ingested[0].len(), 3);
+        assert_eq!(report.ingested[1].len(), 3);
+    }
+
+    #[test]
+    fn scripted_loss_reproduces_example_1() {
+        // CE2 misses update 2: its only alert (on 3) is an exact
+        // duplicate of CE1's, so the user still sees exactly two alerts.
+        let system = MonitorSystem::builder(c1())
+            .replicas(2)
+            .feed(VarFeed::new(x(), vec![2900.0, 3100.0, 3200.0]))
+            .loss(|_, ce| {
+                if ce == CeId::new(1) {
+                    Box::new(Scripted::new([1]))
+                } else {
+                    Box::new(rcm_net::Lossless)
+                }
+            })
+            .start()
+            .unwrap();
+        let report = system.wait();
+        assert_eq!(report.ingested[1].len(), 2);
+        assert_eq!(report.displayed.len(), 2);
+        let dropped: u64 = report.links.iter().map(|(_, r)| r.dropped).sum();
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn ad2_keeps_output_ordered() {
+        let system = MonitorSystem::builder(c1())
+            .replicas(3)
+            .feed(VarFeed::new(x(), (0..60).map(|i| 3000.0 + f64::from(i)).collect::<Vec<_>>()))
+            .filter(|vars| Box::new(Ad2::new(vars[0])))
+            .start()
+            .unwrap();
+        let report = system.wait();
+        let seqs: Vec<u64> =
+            report.displayed.iter().map(|a| a.seqno(x()).unwrap().get()).collect();
+        assert!(rcm_core::seq::is_strictly_ordered(&seqs));
+        assert!(!report.displayed.is_empty());
+    }
+
+    #[test]
+    fn ad3_output_consistent_under_heavy_loss() {
+        let cond: Arc<dyn Condition> = Arc::new(DeltaRise::new(x(), 5.0));
+        let values: Vec<f64> = (0..80).map(|i| f64::from(i % 2) * 20.0 + f64::from(i)).collect();
+        let system = MonitorSystem::builder(cond.clone())
+            .replicas(2)
+            .feed(VarFeed::new(x(), values))
+            .loss(|_, _| Box::new(rcm_net::Bernoulli::new(0.3)))
+            .seed(99)
+            .filter(|vars| Box::new(Ad3::new(vars[0])))
+            .start()
+            .unwrap();
+        let report = system.wait();
+        let check =
+            rcm_props::check_consistent_single(&cond, &report.ingested, &report.displayed);
+        assert!(check.ok, "{:?}", check.conflict);
+    }
+
+    #[test]
+    fn callback_sees_every_displayed_alert() {
+        let seen = Arc::new(Mutex::new(0usize));
+        let seen2 = Arc::clone(&seen);
+        let system = MonitorSystem::builder(c1())
+            .replicas(1)
+            .feed(VarFeed::new(x(), vec![3100.0, 3200.0]))
+            .on_alert(move |_| *seen2.lock() += 1)
+            .start()
+            .unwrap();
+        let report = system.wait();
+        assert_eq!(*seen.lock(), report.displayed.len());
+        assert_eq!(report.displayed.len(), 2);
+    }
+
+    #[test]
+    fn config_errors_reported() {
+        assert_eq!(
+            MonitorSystem::builder(c1()).replicas(0).start().err(),
+            Some(ConfigError::ZeroReplicas)
+        );
+        assert_eq!(
+            MonitorSystem::builder(c1()).start().err(),
+            Some(ConfigError::MissingFeed(x()))
+        );
+        assert_eq!(
+            MonitorSystem::builder(c1())
+                .feed(VarFeed::new(x(), vec![1.0]))
+                .feed(VarFeed::new(VarId::new(7), vec![1.0]))
+                .start()
+                .err(),
+            Some(ConfigError::UnknownFeedVariable(VarId::new(7)))
+        );
+    }
+
+    #[test]
+    fn multi_var_system_runs() {
+        let y = VarId::new(1);
+        let cond: Arc<dyn Condition> =
+            Arc::new(rcm_core::condition::AbsDifference::new(x(), y, 100.0));
+        let system = MonitorSystem::builder(cond)
+            .replicas(2)
+            .feed(VarFeed::new(x(), vec![1000.0, 1200.0]))
+            .feed(VarFeed::new(y, vec![1050.0, 1150.0]))
+            .filter(|vars| Box::new(rcm_core::ad::Ad5::new(vars.to_vec())))
+            .start()
+            .unwrap();
+        let report = system.wait();
+        // The displayed sequence is ordered in both variables.
+        assert!(rcm_core::seq::alerts_ordered(&report.displayed, &[x(), y]));
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests of the wire codec: arbitrary bytes never
+//! panic the decoder, and encode∘decode is the identity however the
+//! frames are fragmented.
+
+use bytes::{BufMut, BytesMut};
+use proptest::prelude::*;
+
+use rcm_core::{Alert, AlertId, CeId, CondId, HistoryFingerprint, SeqNo, Update, VarId};
+use rcm_runtime::wire::{decode, encode, Message};
+
+fn message_strategy() -> impl Strategy<Value = Message> {
+    let update = (0u32..4, 1u64..1000, -1e6f64..1e6)
+        .prop_map(|(v, s, val)| Update::new(VarId::new(v), s, val));
+    let alert = (0u32..4, 2u64..1000, 0u32..3, any::<u64>())
+        .prop_map(|(v, s, ce, idx)| {
+            Message::Alert(Alert::new(
+                CondId::new(ce),
+                HistoryFingerprint::single(
+                    VarId::new(v),
+                    vec![SeqNo::new(s), SeqNo::new(s - 1)],
+                ),
+                vec![Update::new(VarId::new(v), s, 1.0)],
+                AlertId { ce: CeId::new(ce), index: idx },
+            ))
+        });
+    prop_oneof![update.prop_map(Message::Update), alert]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let mut buf = BytesMut::from(&bytes[..]);
+        // Drain as far as possible; errors are fine, panics are not.
+        while let Ok(Some(_)) = decode(&mut buf) {}
+    }
+
+    #[test]
+    fn fragmented_streams_reassemble(
+        msgs in proptest::collection::vec(message_strategy(), 1..10),
+        chunk in 1usize..17,
+    ) {
+        let mut wire = BytesMut::new();
+        for m in &msgs {
+            wire.put_slice(&encode(m).expect("encodes"));
+        }
+        let mut buf = BytesMut::new();
+        let mut decoded = Vec::new();
+        for piece in wire.chunks(chunk) {
+            buf.put_slice(piece);
+            while let Some(m) = decode(&mut buf).expect("own frames decode") {
+                decoded.push(m);
+            }
+        }
+        prop_assert_eq!(decoded, msgs);
+        prop_assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn trailing_partial_frame_is_left_pending(msg in message_strategy()) {
+        let frame = encode(&msg).expect("encodes");
+        // Feed all but the last byte: nothing decodes, nothing consumed
+        // beyond recovery.
+        let mut buf = BytesMut::from(&frame[..frame.len() - 1]);
+        prop_assert!(decode(&mut buf).expect("incomplete is not an error").is_none());
+        buf.put_u8(frame[frame.len() - 1]);
+        prop_assert_eq!(decode(&mut buf).expect("now complete"), Some(msg));
+    }
+}

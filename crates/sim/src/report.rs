@@ -1,0 +1,187 @@
+//! Rendering of reproduced property matrices.
+
+use serde::{Deserialize, Serialize};
+
+/// One property cell of a reproduced table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatrixCell {
+    /// The paper's claim: `Some(true)` = guaranteed (√),
+    /// `Some(false)` = not guaranteed (✗), `None` = no claim.
+    pub expected: Option<bool>,
+    /// Violations observed across the Monte-Carlo runs.
+    pub violations: u64,
+    /// Runs executed.
+    pub runs: u64,
+    /// Seed of the first violating run, for replay.
+    pub first_seed: Option<u64>,
+}
+
+impl MatrixCell {
+    /// Measured verdict: guaranteed-so-far (no violation found).
+    pub fn measured_ok(&self) -> bool {
+        self.violations == 0
+    }
+
+    /// Whether the measurement agrees with the paper's claim: a √ cell
+    /// must have zero violations, an ✗ cell must have at least one
+    /// (the Monte Carlo found the paper's counterexample class).
+    pub fn agrees(&self) -> Option<bool> {
+        self.expected.map(|e| e == self.measured_ok())
+    }
+
+    fn render(&self) -> String {
+        let mark = if self.measured_ok() { "√" } else { "✗" };
+        let expect = match self.expected {
+            Some(true) => "√",
+            Some(false) => "✗",
+            None => "·",
+        };
+        let agree = match self.agrees() {
+            Some(true) => "",
+            Some(false) => " !!",
+            None => "",
+        };
+        format!("{expect}/{mark} ({}/{}){agree}", self.violations, self.runs)
+    }
+}
+
+/// One scenario row of a reproduced table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatrixRow {
+    /// Scenario label ("Lossless", "Lossy His. Aggr.", …).
+    pub scenario: String,
+    /// Orderedness, completeness, consistency cells.
+    pub cells: [MatrixCell; 3],
+}
+
+/// A reproduced property table (one of the paper's Tables 1–3 or their
+/// prose variants).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Matrix {
+    /// Table title.
+    pub title: String,
+    /// The AD algorithm the table is for.
+    pub filter: String,
+    /// Rows in the paper's order.
+    pub rows: Vec<MatrixRow>,
+}
+
+impl Matrix {
+    /// Whether every cell's measurement agrees with the paper's claim.
+    pub fn matches_paper(&self) -> bool {
+        self.rows
+            .iter()
+            .flat_map(|r| r.cells.iter())
+            .all(|c| c.agrees().unwrap_or(true))
+    }
+
+    /// Renders the table as aligned ASCII art. Cells read
+    /// `claimed/measured (violations/runs)`; a trailing `!!` flags a
+    /// disagreement with the paper.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{} — Algorithm {}\n", self.title, self.filter));
+        let headers = ["Scenario", "Ordered", "Complete", "Consistent"];
+        let mut widths = [
+            headers[0].len().max(self.rows.iter().map(|r| r.scenario.len()).max().unwrap_or(0)),
+            headers[1].len(),
+            headers[2].len(),
+            headers[3].len(),
+        ];
+        let rendered: Vec<[String; 3]> = self
+            .rows
+            .iter()
+            .map(|r| [r.cells[0].render(), r.cells[1].render(), r.cells[2].render()])
+            .collect();
+        for cells in &rendered {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i + 1] = widths[i + 1].max(c.chars().count());
+            }
+        }
+        out.push_str(&format!(
+            "{:<w0$}  {:<w1$}  {:<w2$}  {:<w3$}\n",
+            headers[0],
+            headers[1],
+            headers[2],
+            headers[3],
+            w0 = widths[0],
+            w1 = widths[1],
+            w2 = widths[2],
+            w3 = widths[3],
+        ));
+        for (row, cells) in self.rows.iter().zip(&rendered) {
+            out.push_str(&format!(
+                "{:<w0$}  {:<w1$}  {:<w2$}  {:<w3$}\n",
+                row.scenario,
+                cells[0],
+                cells[1],
+                cells[2],
+                w0 = widths[0],
+                w1 = widths[1],
+                w2 = widths[2],
+                w3 = widths[3],
+            ));
+        }
+        out
+    }
+
+    /// Serializes the matrix as pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice; serialization of plain data cannot
+    /// fail.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("matrix serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(expected: Option<bool>, violations: u64) -> MatrixCell {
+        MatrixCell { expected, violations, runs: 10, first_seed: (violations > 0).then_some(42) }
+    }
+
+    #[test]
+    fn agreement_logic() {
+        assert_eq!(cell(Some(true), 0).agrees(), Some(true));
+        assert_eq!(cell(Some(true), 3).agrees(), Some(false));
+        assert_eq!(cell(Some(false), 3).agrees(), Some(true));
+        assert_eq!(cell(Some(false), 0).agrees(), Some(false));
+        assert_eq!(cell(None, 1).agrees(), None);
+    }
+
+    #[test]
+    fn render_flags_disagreements() {
+        let m = Matrix {
+            title: "Test".into(),
+            filter: "AD-1".into(),
+            rows: vec![MatrixRow {
+                scenario: "Lossless".into(),
+                cells: [cell(Some(true), 0), cell(Some(false), 0), cell(None, 2)],
+            }],
+        };
+        let s = m.render();
+        assert!(s.contains("√/√ (0/10)"));
+        assert!(s.contains("✗/√ (0/10) !!"));
+        assert!(s.contains("·/✗ (2/10)"));
+        assert!(!m.matches_paper());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let m = Matrix {
+            title: "T".into(),
+            filter: "AD-2".into(),
+            rows: vec![MatrixRow {
+                scenario: "x".into(),
+                cells: [cell(Some(true), 0), cell(Some(true), 0), cell(Some(true), 0)],
+            }],
+        };
+        let back: Matrix = serde_json::from_str(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+        assert!(back.matches_paper());
+    }
+}

@@ -1,0 +1,259 @@
+//! Scenario descriptions: everything a simulation run depends on.
+
+use std::fmt;
+use std::sync::Arc;
+
+use rcm_core::condition::Condition;
+use rcm_core::VarId;
+use rcm_net::{
+    Bernoulli, ConstantDelay, DelayModel, ExponentialDelay, GilbertElliott, LossModel,
+    Lossless, UniformDelay,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::event::SimTime;
+use crate::workload::ValueModel;
+
+/// Serializable loss-model specification; [`LossSpec::build`] turns it
+/// into a live model (one instance per front link).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LossSpec {
+    /// Never drop ([`Lossless`]).
+    Lossless,
+    /// Independent drops with the given probability ([`Bernoulli`]).
+    Bernoulli(f64),
+    /// Gilbert–Elliott bursts with the given target rate and mean burst
+    /// length ([`GilbertElliott::bursty`]).
+    Burst {
+        /// Long-run loss rate.
+        target: f64,
+        /// Mean burst length in messages.
+        burst_len: f64,
+    },
+    /// Drop exactly these 0-based per-link message positions
+    /// ([`rcm_net::Scripted`]).
+    Scripted(Vec<u64>),
+}
+
+impl LossSpec {
+    /// Instantiates the model.
+    pub fn build(&self) -> Box<dyn LossModel> {
+        match self {
+            LossSpec::Lossless => Box::new(Lossless),
+            LossSpec::Bernoulli(p) => Box::new(Bernoulli::new(*p)),
+            LossSpec::Burst { target, burst_len } => {
+                Box::new(GilbertElliott::bursty(*target, *burst_len))
+            }
+            LossSpec::Scripted(positions) => {
+                Box::new(rcm_net::Scripted::new(positions.iter().copied()))
+            }
+        }
+    }
+}
+
+/// Serializable delay-model specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DelaySpec {
+    /// Fixed delay.
+    Constant(u64),
+    /// Uniform delay in `[min, max]`.
+    Uniform(u64, u64),
+    /// Base plus geometric tail with the given mean.
+    Exponential {
+        /// Fixed component.
+        base: u64,
+        /// Mean of the random tail.
+        mean: f64,
+    },
+}
+
+impl DelaySpec {
+    /// Instantiates the model.
+    pub fn build(&self) -> Box<dyn DelayModel> {
+        match self {
+            DelaySpec::Constant(t) => Box::new(ConstantDelay::new(*t)),
+            DelaySpec::Uniform(lo, hi) => Box::new(UniformDelay::new(*lo, *hi)),
+            DelaySpec::Exponential { base, mean } => {
+                Box::new(ExponentialDelay::new(*base, *mean))
+            }
+        }
+    }
+}
+
+/// One Data Monitor's workload: how many updates it emits, how often,
+/// and the value process driving it.
+pub struct VarWorkload {
+    /// The monitored variable.
+    pub var: VarId,
+    /// Number of updates to emit.
+    pub updates: u64,
+    /// Ticks between consecutive emissions.
+    pub period: SimTime,
+    /// Tick of the first emission.
+    pub offset: SimTime,
+    /// Value process (boxed; constructed fresh per run from the
+    /// scenario builder).
+    pub model: Box<dyn ValueModel>,
+}
+
+impl fmt::Debug for VarWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VarWorkload")
+            .field("var", &self.var)
+            .field("updates", &self.updates)
+            .field("period", &self.period)
+            .field("offset", &self.offset)
+            .field("model", &self.model)
+            .finish()
+    }
+}
+
+/// A Condition Evaluator outage: the replica is down during
+/// `[from, to)` — it misses all updates delivered in that window and
+/// loses its in-memory histories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Outage {
+    /// Affected replica index.
+    pub ce: usize,
+    /// First tick of the outage.
+    pub from: SimTime,
+    /// First tick after the outage.
+    pub to: SimTime,
+}
+
+/// A complete, replayable simulation input.
+///
+/// Per-link loss/delay specs: the front-link models are instantiated
+/// per `(variable, replica)` pair — index `var_index * replicas + ce` —
+/// falling back to the last entry when fewer specs than links are
+/// given (so a single entry configures every link uniformly).
+pub struct Scenario {
+    /// The monitored condition.
+    pub condition: Arc<dyn Condition>,
+    /// Number of Condition Evaluator replicas (1 = the paper's
+    /// non-replicated system).
+    pub replicas: usize,
+    /// One workload per variable in the condition's variable set.
+    pub workloads: Vec<VarWorkload>,
+    /// Front-link loss specs (see struct docs for indexing).
+    pub front_loss: Vec<LossSpec>,
+    /// Front-link delay specs (same indexing).
+    pub front_delay: Vec<DelaySpec>,
+    /// Back-link delay specs, one per replica (same fallback rule).
+    pub back_delay: Vec<DelaySpec>,
+    /// Replica outages.
+    pub outages: Vec<Outage>,
+    /// Alert Displayer outages (`[from, to)` windows): while the AD is
+    /// off (the paper's powered-down PDA), alerts are buffered — the
+    /// back links are reliable and stateful — and delivered, still in
+    /// order, when the window ends.
+    pub ad_outages: Vec<(SimTime, SimTime)>,
+    /// Master seed; all randomness in the run derives from it. DM
+    /// values are drawn from a stream seeded by `seed` alone, and link
+    /// behaviour from `seed ^ link_salt` — so two scenarios sharing a
+    /// seed but differing in salt observe the *same* real-world
+    /// variables over *independent* links (the multi-condition
+    /// construction of Appendix D).
+    pub seed: u64,
+    /// Salt for the link-randomness stream (see `seed`). Zero for
+    /// single-condition systems.
+    pub link_salt: u64,
+}
+
+impl fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scenario")
+            .field("condition", &self.condition.name())
+            .field("replicas", &self.replicas)
+            .field("workloads", &self.workloads)
+            .field("front_loss", &self.front_loss)
+            .field("front_delay", &self.front_delay)
+            .field("back_delay", &self.back_delay)
+            .field("outages", &self.outages)
+            .field("ad_outages", &self.ad_outages)
+            .field("seed", &self.seed)
+            .field("link_salt", &self.link_salt)
+            .finish()
+    }
+}
+
+impl Scenario {
+    /// The loss spec for the front link from `var_index`'s DM to
+    /// replica `ce`.
+    pub(crate) fn front_loss_for(&self, var_index: usize, ce: usize) -> &LossSpec {
+        pick(&self.front_loss, var_index * self.replicas + ce)
+    }
+
+    /// The delay spec for the same link.
+    pub(crate) fn front_delay_for(&self, var_index: usize, ce: usize) -> &DelaySpec {
+        pick(&self.front_delay, var_index * self.replicas + ce)
+    }
+
+    /// The delay spec for replica `ce`'s back link.
+    pub(crate) fn back_delay_for(&self, ce: usize) -> &DelaySpec {
+        pick(&self.back_delay, ce)
+    }
+}
+
+fn pick<T>(list: &[T], index: usize) -> &T {
+    assert!(!list.is_empty(), "scenario spec lists must not be empty");
+    list.get(index).unwrap_or_else(|| list.last().expect("non-empty"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn specs_build_models() {
+        let mut r = ChaCha8Rng::seed_from_u64(0);
+        assert!(!LossSpec::Lossless.build().drops(&mut r));
+        assert!(LossSpec::Bernoulli(1.0).build().drops(&mut r));
+        let mut scripted = LossSpec::Scripted(vec![0]).build();
+        assert!(scripted.drops(&mut r));
+        assert!(!scripted.drops(&mut r));
+        let _ = LossSpec::Burst { target: 0.1, burst_len: 4.0 }.build();
+        assert_eq!(DelaySpec::Constant(5).build().sample(&mut r), 5);
+        let d = DelaySpec::Uniform(1, 3).build().sample(&mut r);
+        assert!((1..=3).contains(&d));
+        let _ = DelaySpec::Exponential { base: 1, mean: 4.0 }.build();
+    }
+
+    #[test]
+    fn spec_indexing_falls_back_to_last() {
+        let sc = Scenario {
+            condition: Arc::new(rcm_core::condition::Threshold::new(
+                VarId::new(0),
+                rcm_core::condition::Cmp::Gt,
+                0.0,
+            )),
+            replicas: 2,
+            workloads: vec![],
+            front_loss: vec![LossSpec::Lossless, LossSpec::Bernoulli(0.5)],
+            front_delay: vec![DelaySpec::Constant(1)],
+            back_delay: vec![DelaySpec::Constant(0)],
+            outages: vec![],
+            ad_outages: vec![],
+            link_salt: 0,
+            seed: 0,
+        };
+        assert_eq!(*sc.front_loss_for(0, 0), LossSpec::Lossless);
+        assert_eq!(*sc.front_loss_for(0, 1), LossSpec::Bernoulli(0.5));
+        // Out-of-range indices reuse the last entry.
+        assert_eq!(*sc.front_loss_for(3, 1), LossSpec::Bernoulli(0.5));
+        assert_eq!(*sc.front_delay_for(1, 1), DelaySpec::Constant(1));
+        assert_eq!(*sc.back_delay_for(7), DelaySpec::Constant(0));
+    }
+
+    #[test]
+    fn specs_serialize_roundtrip() {
+        let spec = LossSpec::Burst { target: 0.2, burst_len: 3.0 };
+        let json = serde_json::to_string(&spec).unwrap();
+        assert_eq!(serde_json::from_str::<LossSpec>(&json).unwrap(), spec);
+        let d = DelaySpec::Exponential { base: 2, mean: 7.5 };
+        let json = serde_json::to_string(&d).unwrap();
+        assert_eq!(serde_json::from_str::<DelaySpec>(&json).unwrap(), d);
+    }
+}

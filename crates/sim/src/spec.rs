@@ -1,0 +1,229 @@
+//! Fully serializable scenario descriptions.
+//!
+//! [`Scenario`] holds live objects (a compiled condition, stateful
+//! value models), so it cannot itself be serialized. [`ScenarioSpec`]
+//! is the JSON-able counterpart: the condition is expression-language
+//! *source text* and the workloads are [`ValueSpec`]s; [`build`]
+//! compiles everything into a runnable [`Scenario`] plus the variable
+//! registry mapping names to ids. This is what configuration files and
+//! the `simulate` CLI use.
+//!
+//! [`build`]: ScenarioSpec::build
+
+use std::sync::Arc;
+
+use rcm_core::condition::expr::CompiledCondition;
+use rcm_core::condition::Condition;
+use rcm_core::{Error, VarRegistry};
+use serde::{Deserialize, Serialize};
+
+use crate::event::SimTime;
+use crate::scenario::{DelaySpec, LossSpec, Outage, Scenario, VarWorkload};
+use crate::workload::ValueSpec;
+
+/// One Data Monitor in a [`ScenarioSpec`], referencing its variable by
+/// name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Variable name as used in the condition source.
+    pub var: String,
+    /// Number of updates emitted.
+    pub updates: u64,
+    /// Ticks between emissions.
+    pub period: SimTime,
+    /// Tick of the first emission.
+    #[serde(default)]
+    pub offset: SimTime,
+    /// Value process.
+    pub values: ValueSpec,
+}
+
+fn default_replicas() -> usize {
+    2
+}
+
+/// A complete scenario as plain data: JSON in, simulation out.
+///
+/// ```rust
+/// let json = r#"{
+///     "condition": "temp[0].value > 3000",
+///     "workloads": [{
+///         "var": "temp", "updates": 10, "period": 10,
+///         "values": { "Spikes": { "base": 2900.0, "noise": 10.0,
+///                                   "magnitude": 400.0, "spike_p": 0.3 } }
+///     }],
+///     "front_loss": [{ "Bernoulli": 0.1 }],
+///     "seed": 7
+/// }"#;
+/// let spec: rcm_sim::ScenarioSpec = serde_json::from_str(json)?;
+/// let (scenario, registry) = spec.build()?;
+/// let result = rcm_sim::run(scenario);
+/// assert_eq!(result.stats.updates_emitted, 10);
+/// assert!(registry.lookup("temp").is_some());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Condition source in the expression language.
+    pub condition: String,
+    /// Replica count (default 2).
+    #[serde(default = "default_replicas")]
+    pub replicas: usize,
+    /// Data Monitors, one per condition variable.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Front-link loss specs (default lossless). Same per-link indexing
+    /// as [`Scenario`].
+    #[serde(default)]
+    pub front_loss: Vec<LossSpec>,
+    /// Front-link delay specs (default constant 1).
+    #[serde(default)]
+    pub front_delay: Vec<DelaySpec>,
+    /// Back-link delay specs (default constant 1).
+    #[serde(default)]
+    pub back_delay: Vec<DelaySpec>,
+    /// Replica outages.
+    #[serde(default)]
+    pub outages: Vec<Outage>,
+    /// Alert Displayer outages.
+    #[serde(default)]
+    pub ad_outages: Vec<(SimTime, SimTime)>,
+    /// Master seed.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// Compiles the condition, resolves variable names and assembles a
+    /// runnable [`Scenario`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the expression compiler's error for a bad condition, or
+    /// [`Error::UnknownVariable`] if a workload names a variable the
+    /// condition does not mention. (A condition variable with *no*
+    /// workload is reported by the engine when the scenario runs.)
+    pub fn build(&self) -> Result<(Scenario, VarRegistry), Error> {
+        let mut registry = VarRegistry::new();
+        let condition = CompiledCondition::compile(&self.condition, &mut registry)?;
+        let vars = condition.variables();
+        let mut workloads = Vec::with_capacity(self.workloads.len());
+        for w in &self.workloads {
+            let var = registry
+                .lookup(&w.var)
+                .filter(|v| vars.contains(v))
+                .ok_or_else(|| {
+                    // Register to obtain an id for the error message.
+                    Error::UnknownVariable(registry.register(&w.var))
+                })?;
+            workloads.push(VarWorkload {
+                var,
+                updates: w.updates,
+                period: w.period,
+                offset: w.offset,
+                model: w.values.build(),
+            });
+        }
+        let or_default = |list: &[_], d: DelaySpec| -> Vec<DelaySpec> {
+            if list.is_empty() {
+                vec![d]
+            } else {
+                list.to_vec()
+            }
+        };
+        let scenario = Scenario {
+            condition: Arc::new(condition),
+            replicas: self.replicas,
+            workloads,
+            front_loss: if self.front_loss.is_empty() {
+                vec![LossSpec::Lossless]
+            } else {
+                self.front_loss.clone()
+            },
+            front_delay: or_default(&self.front_delay, DelaySpec::Constant(1)),
+            back_delay: or_default(&self.back_delay, DelaySpec::Constant(1)),
+            outages: self.outages.clone(),
+            ad_outages: self.ad_outages.clone(),
+            seed: self.seed,
+            link_salt: 0,
+        };
+        Ok((scenario, registry))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run;
+
+    fn minimal(condition: &str) -> ScenarioSpec {
+        ScenarioSpec {
+            condition: condition.to_owned(),
+            replicas: 2,
+            workloads: vec![WorkloadSpec {
+                var: "temp".into(),
+                updates: 12,
+                period: 10,
+                offset: 0,
+                values: ValueSpec::RandomWalk {
+                    start: 100.0,
+                    step: 30.0,
+                    lo: 0.0,
+                    hi: 200.0,
+                },
+            }],
+            front_loss: vec![],
+            front_delay: vec![],
+            back_delay: vec![],
+            outages: vec![],
+            ad_outages: vec![],
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn builds_and_runs() {
+        let (scenario, registry) = minimal("temp[0].value > 110").build().unwrap();
+        assert_eq!(registry.lookup("temp"), Some(rcm_core::VarId::new(0)));
+        let result = run(scenario);
+        assert_eq!(result.stats.updates_emitted, 12);
+        assert_eq!(result.inputs.len(), 2);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let spec = minimal("temp[0].value - temp[-1].value > 20 && consecutive(temp)");
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let json = r#"{
+            "condition": "x[0].value > 0",
+            "workloads": [{ "var": "x", "updates": 3, "period": 5,
+                            "values": { "Scripted": [1.0, 2.0, 3.0] } }]
+        }"#;
+        let spec: ScenarioSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(spec.replicas, 2);
+        assert_eq!(spec.seed, 0);
+        let (scenario, _) = spec.build().unwrap();
+        let result = run(scenario);
+        assert_eq!(result.stats.updates_lost, 0); // default lossless
+        assert_eq!(result.arrivals.len(), 6); // 3 alerts × 2 replicas
+    }
+
+    #[test]
+    fn bad_condition_reports_parse_error() {
+        let err = minimal("temp[0].value >").build().unwrap_err();
+        assert!(matches!(err, Error::Parse(_)));
+    }
+
+    #[test]
+    fn workload_for_unknown_variable_rejected() {
+        let mut spec = minimal("temp[0].value > 0");
+        spec.workloads[0].var = "pressure".into();
+        let err = spec.build().unwrap_err();
+        assert!(matches!(err, Error::UnknownVariable(_)));
+    }
+}

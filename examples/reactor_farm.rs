@@ -1,0 +1,100 @@
+//! A reactor farm monitored end to end through the simulator: lossy
+//! sensor links, three CE replicas, and a comparison of all four
+//! single-variable AD algorithms on identical executions.
+//!
+//! The monitored condition is the paper's `c3`: "temperature has risen
+//! more than 200 degrees since the last reading taken at the DM"
+//! (conservative), written in the condition expression language.
+//!
+//! ```text
+//! cargo run --example reactor_farm
+//! ```
+
+use std::sync::Arc;
+
+use rcm::core::ad::{apply_filter, Ad1, Ad2, Ad3, Ad4, AlertFilter};
+use rcm::core::condition::expr::CompiledCondition;
+use rcm::core::VarRegistry;
+use rcm::props::{check_complete_single, check_consistent_single, check_ordered};
+use rcm::sim::{run, DelaySpec, LossSpec, RandomWalk, Scenario, VarWorkload};
+
+fn main() {
+    let mut registry = VarRegistry::new();
+    let c3 = CompiledCondition::compile(
+        "core_temp[0].value - core_temp[-1].value > 200 && consecutive(core_temp)",
+        &mut registry,
+    )
+    .expect("valid condition source");
+    let temp = registry.lookup("core_temp").expect("registered by compile");
+
+    println!("condition: {}", c3.source());
+    println!();
+
+    let scenario = Scenario {
+        condition: Arc::new(c3.clone()),
+        replicas: 3,
+        workloads: vec![VarWorkload {
+            var: temp,
+            updates: 80,
+            period: 10,
+            offset: 0,
+            model: Box::new(RandomWalk::new(2800.0, 260.0, 2000.0, 3600.0)),
+        }],
+        // Each replica's sensor link drops bursts independently.
+        front_loss: vec![LossSpec::Burst { target: 0.2, burst_len: 3.0 }],
+        front_delay: vec![DelaySpec::Uniform(0, 4)],
+        back_delay: vec![DelaySpec::Uniform(0, 30)],
+        outages: vec![],
+        ad_outages: vec![],
+        link_salt: 0,
+        seed: 2026,
+    };
+    let result = run(scenario);
+
+    println!(
+        "emitted {} readings; replicas ingested {:?} (lost {}, reordered {})",
+        result.stats.updates_emitted,
+        result.inputs.iter().map(Vec::len).collect::<Vec<_>>(),
+        result.stats.updates_lost,
+        result.stats.updates_reordered,
+    );
+    println!("alert arrivals at the control-room display: {}", result.arrivals.len());
+    println!();
+    println!(
+        "{:<6} {:>7}   {:>7} {:>8} {:>10}",
+        "AD", "shown", "ordered", "complete", "consistent"
+    );
+
+    for (name, mut filter) in [
+        ("AD-1", Box::new(Ad1::new()) as Box<dyn AlertFilter>),
+        ("AD-2", Box::new(Ad2::new(temp))),
+        ("AD-3", Box::new(Ad3::new(temp))),
+        ("AD-4", Box::new(Ad4::new(temp))),
+    ] {
+        let shown = apply_filter(&mut *filter, &result.arrivals);
+        let ordered = check_ordered(&shown, &[temp]).ok;
+        let complete = check_complete_single(&c3, &result.inputs, &shown).ok;
+        let consistent = check_consistent_single(&c3, &result.inputs, &shown).ok;
+        println!(
+            "{:<6} {:>7}   {:>7} {:>8} {:>10}",
+            name,
+            shown.len(),
+            ordered,
+            complete,
+            consistent
+        );
+        // Conservative condition: every algorithm keeps consistency
+        // (Theorem 3 and the AD-3/AD-4 guarantees).
+        assert!(consistent);
+        if name == "AD-2" || name == "AD-4" {
+            assert!(ordered);
+        }
+    }
+
+    println!();
+    println!(
+        "With a conservative condition every displayer stays consistent; \
+         the orderedness-enforcing ones trade a few alerts for ordered \
+         output (the paper's Table 2 trade-off)."
+    );
+}

@@ -1,0 +1,97 @@
+//! Integration tests driving the Monte-Carlo harness: every √ cell of
+//! the paper's tables must show zero violations, and every ✗ cell must
+//! produce a replayable counterexample within the run budget.
+
+use rcm::sim::montecarlo::{
+    evaluate_cell, paper_expected, FilterKind, PropertyCounts, ScenarioKind, Topology,
+};
+
+const SEED: u64 = 0x5eed;
+
+fn check_table(topo: Topology, filter: FilterKind, runs: u64) {
+    let expected = paper_expected(topo, filter).expect("table defined for this pair");
+    for (row, kind) in ScenarioKind::ALL.into_iter().enumerate() {
+        let counts = evaluate_cell(kind, topo, filter, runs, SEED ^ (row as u64) << 32);
+        let cells = [
+            ("ordered", expected[row][0], counts.unordered),
+            ("complete", expected[row][1], counts.incomplete),
+            ("consistent", expected[row][2], counts.inconsistent),
+        ];
+        for (prop, claimed, violations) in cells {
+            if claimed {
+                assert_eq!(
+                    violations, 0,
+                    "{filter:?}/{kind:?}: paper claims {prop} is guaranteed, \
+                     found {violations} violations ({counts:?})"
+                );
+            } else {
+                assert!(
+                    violations > 0,
+                    "{filter:?}/{kind:?}: paper claims {prop} can be violated, \
+                     but {runs} runs found none"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn table_1_single_var_ad1_matches_paper() {
+    check_table(Topology::SingleVar, FilterKind::Ad1, 120);
+}
+
+#[test]
+fn table_2_single_var_ad2_matches_paper() {
+    check_table(Topology::SingleVar, FilterKind::Ad2, 120);
+}
+
+#[test]
+fn table_1_variant_ad3_matches_paper() {
+    check_table(Topology::SingleVar, FilterKind::Ad3, 120);
+}
+
+#[test]
+fn table_2_variant_ad4_matches_paper() {
+    check_table(Topology::SingleVar, FilterKind::Ad4, 120);
+}
+
+#[test]
+fn theorem_10_multi_var_ad1_matches_paper() {
+    check_table(Topology::MultiVar, FilterKind::Ad1, 60);
+}
+
+#[test]
+fn table_3_multi_var_ad5_matches_paper() {
+    check_table(Topology::MultiVar, FilterKind::Ad5, 60);
+}
+
+#[test]
+fn table_3_variant_ad6_matches_paper() {
+    check_table(Topology::MultiVar, FilterKind::Ad6, 60);
+}
+
+/// Violating runs must be replayable from the reported seed.
+#[test]
+fn violation_seeds_replay() {
+    use rcm::core::ad::apply_filter;
+    use rcm::props::check_consistent_single;
+    use rcm::sim::montecarlo::build_scenario;
+    use rcm::sim::run;
+
+    let counts: PropertyCounts = evaluate_cell(
+        ScenarioKind::LossyAggressive,
+        Topology::SingleVar,
+        FilterKind::Ad1,
+        60,
+        SEED,
+    );
+    let seed = counts.first_inconsistent_seed.expect("aggressive AD-1 must go inconsistent");
+    let scenario = build_scenario(ScenarioKind::LossyAggressive, Topology::SingleVar, seed);
+    let condition = scenario.condition.clone();
+    let vars = condition.variables();
+    let result = run(scenario);
+    let mut filter = FilterKind::Ad1.build(&vars);
+    let shown = apply_filter(&mut *filter, &result.arrivals);
+    let cons = check_consistent_single(&condition, &result.inputs, &shown);
+    assert!(!cons.ok, "replaying the reported seed must reproduce the violation");
+}
