@@ -8,8 +8,8 @@ use rcm_bench::executions;
 use rcm_core::ad::{apply_filter, Ad1};
 use rcm_core::VarId;
 use rcm_props::{
-    check_complete_multi, check_complete_single, check_consistent_multi,
-    check_consistent_single, check_ordered,
+    check_complete_multi, check_complete_single, check_consistent_multi, check_consistent_single,
+    check_ordered,
 };
 use rcm_sim::montecarlo::{ScenarioKind, Topology};
 
@@ -36,43 +36,24 @@ fn bench_checkers(c: &mut Criterion) {
     let mut g = c.benchmark_group("checkers/batch_of_20_runs");
     g.sample_size(20);
     g.bench_function("ordered_single", |b| {
-        b.iter(|| {
-            single
-                .iter()
-                .filter(|(_, _, d)| check_ordered(black_box(d), &[x]).ok)
-                .count()
-        })
+        b.iter(|| single.iter().filter(|(_, _, d)| check_ordered(black_box(d), &[x]).ok).count())
     });
     g.bench_function("complete_single", |b| {
         b.iter(|| {
-            single
-                .iter()
-                .filter(|(c, i, d)| check_complete_single(c, i, black_box(d)).ok)
-                .count()
+            single.iter().filter(|(c, i, d)| check_complete_single(c, i, black_box(d)).ok).count()
         })
     });
     g.bench_function("consistent_single", |b| {
         b.iter(|| {
-            single
-                .iter()
-                .filter(|(c, i, d)| check_consistent_single(c, i, black_box(d)).ok)
-                .count()
+            single.iter().filter(|(c, i, d)| check_consistent_single(c, i, black_box(d)).ok).count()
         })
     });
     g.bench_function("ordered_multi", |b| {
-        b.iter(|| {
-            multi
-                .iter()
-                .filter(|(_, _, d)| check_ordered(black_box(d), &[x, y]).ok)
-                .count()
-        })
+        b.iter(|| multi.iter().filter(|(_, _, d)| check_ordered(black_box(d), &[x, y]).ok).count())
     });
     g.bench_function("consistent_multi_precedence_graph", |b| {
         b.iter(|| {
-            multi
-                .iter()
-                .filter(|(c, i, d)| check_consistent_multi(c, i, black_box(d)).ok)
-                .count()
+            multi.iter().filter(|(c, i, d)| check_consistent_multi(c, i, black_box(d)).ok).count()
         })
     });
     g.finish();
@@ -82,10 +63,7 @@ fn bench_checkers(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("complete_multi_12_updates", |b| {
         b.iter(|| {
-            multi
-                .iter()
-                .filter(|(c, i, d)| check_complete_multi(c, i, black_box(d)).ok)
-                .count()
+            multi.iter().filter(|(c, i, d)| check_complete_multi(c, i, black_box(d)).ok).count()
         })
     });
     g.finish();

@@ -12,9 +12,7 @@ const N: u64 = 10_000;
 
 fn single_var_updates(n: u64) -> Vec<Update> {
     let x = VarId::new(0);
-    (1..=n)
-        .map(|s| Update::new(x, s, 100.0 + 30.0 * ((s as f64) * 0.7).sin()))
-        .collect()
+    (1..=n).map(|s| Update::new(x, s, 100.0 + 30.0 * ((s as f64) * 0.7).sin())).collect()
 }
 
 fn ingest_all<C: Condition>(cond: C, updates: &[Update]) -> u64 {

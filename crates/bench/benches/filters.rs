@@ -40,9 +40,7 @@ fn bench_filters(c: &mut Criterion) {
             apply_filter(&mut *f, black_box(s)).len()
         })
     };
-    g.bench_function("pass_through", |b| {
-        run(b, &|| Box::new(PassThrough::new()), &single)
-    });
+    g.bench_function("pass_through", |b| run(b, &|| Box::new(PassThrough::new()), &single));
     g.bench_function("ad1_dedup", |b| run(b, &|| Box::new(Ad1::new()), &single));
     g.bench_function("ad2_ordered", |b| run(b, &|| Box::new(Ad2::new(x)), &single));
     g.bench_function("ad3_consistent", |b| run(b, &|| Box::new(Ad3::new(x)), &single));
@@ -51,9 +49,7 @@ fn bench_filters(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("filters/offer_multi");
     g.throughput(Throughput::Elements(multi.len() as u64));
-    g.bench_function("ad5_ordered", |b| {
-        run(b, &|| Box::new(Ad5::new([x, y])), &multi)
-    });
+    g.bench_function("ad5_ordered", |b| run(b, &|| Box::new(Ad5::new([x, y])), &multi));
     g.bench_function("ad6_both", |b| run(b, &|| Box::new(Ad6::new([x, y])), &multi));
     g.finish();
 }

@@ -1,0 +1,120 @@
+//! Criterion benches for the alert hot path: inline fingerprint
+//! construction vs the old per-call `Vec` rebuild, and the
+//! interval-backed AD-3/AD-6 consistency bookkeeping vs the retained
+//! BTreeSet reference ([`BTreeConsistency`]).
+//!
+//! Two stream shapes matter. The simulated arrivals mirror the paper's
+//! table scenarios (short runs, realistic loss); the synthetic marching
+//! stream is thousands of alerts with monotonically growing seqnos and
+//! periodic gaps, which is where the reference's per-seqno
+//! `Received`/`Missed` sets grow without bound while the interval
+//! representation stays at a handful of runs.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rcm_bench::executions;
+use rcm_core::ad::{apply_filter, Ad3, Ad6, AlertFilter, BTreeConsistency};
+use rcm_core::{
+    Alert, AlertId, CeId, CondId, HistoryFingerprint, HistorySet, SeqNo, Update, VarId,
+};
+use rcm_sim::montecarlo::{ScenarioKind, Topology};
+
+fn single_var_arrivals() -> Vec<Alert> {
+    executions(ScenarioKind::LossyAggressive, Topology::SingleVar, 300, 7)
+        .into_iter()
+        .flat_map(|e| e.arrivals)
+        .collect()
+}
+
+fn multi_var_arrivals() -> Vec<Alert> {
+    executions(ScenarioKind::LossyAggressive, Topology::MultiVar, 300, 7)
+        .into_iter()
+        .flat_map(|e| e.arrivals)
+        .collect()
+}
+
+/// A long stream of degree-2 alerts whose histories march upward with a
+/// gap every eighth step (so both `Received` and `Missed` keep growing
+/// under the per-seqno reference representation).
+fn marching_arrivals(n: u64) -> Vec<Alert> {
+    let x = VarId::new(0);
+    let mut seq = 1u64;
+    (0..n)
+        .map(|i| {
+            let prev = seq;
+            seq += if i % 8 == 7 { 2 } else { 1 };
+            Alert::new(
+                CondId::SINGLE,
+                HistoryFingerprint::single(x, vec![SeqNo::new(seq), SeqNo::new(prev)]),
+                vec![],
+                AlertId { ce: CeId::new(0), index: i },
+            )
+        })
+        .collect()
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let x = VarId::new(0);
+    let y = VarId::new(1);
+    let mut set = HistorySet::new([(x, 3), (y, 3)]);
+    for s in 1..=5u64 {
+        set.push(Update::new(x, s, s as f64)).unwrap();
+        set.push(Update::new(y, s, -(s as f64))).unwrap();
+    }
+
+    let mut g = c.benchmark_group("hotpath/fingerprint");
+    g.bench_function("inline", |b| b.iter(|| black_box(&set).fingerprint()));
+    g.bench_function("vec_rebuild", |b| {
+        // The pre-inline path: every history's seqnos collected into a
+        // fresh Vec, then the entry list into another.
+        b.iter(|| {
+            let entries: Vec<(VarId, Vec<SeqNo>)> =
+                black_box(&set).iter().map(|h| (h.var(), h.seqnos().to_vec())).collect();
+            HistoryFingerprint::new(entries)
+        })
+    });
+    g.finish();
+}
+
+fn run_filter<F: AlertFilter>(b: &mut criterion::Bencher, mk: impl Fn() -> F, s: &[Alert]) {
+    b.iter(|| {
+        let mut f = mk();
+        apply_filter(&mut f, black_box(s)).len()
+    })
+}
+
+fn bench_consistency_filters(c: &mut Criterion) {
+    let x = VarId::new(0);
+    let y = VarId::new(1);
+    let single = single_var_arrivals();
+    let multi = multi_var_arrivals();
+    let marching = marching_arrivals(4_000);
+
+    let mut g = c.benchmark_group("hotpath/ad3_offer");
+    g.throughput(Throughput::Elements(single.len() as u64));
+    g.bench_function("interval", |b| run_filter(b, || Ad3::new(x), &single));
+    g.bench_function("btree_reference", |b| {
+        run_filter(b, || Ad3::<BTreeConsistency>::with_state(x), &single)
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("hotpath/ad6_offer");
+    g.throughput(Throughput::Elements(multi.len() as u64));
+    g.bench_function("interval", |b| run_filter(b, || Ad6::new([x, y]), &multi));
+    g.bench_function("btree_reference", |b| {
+        run_filter(b, || Ad6::<BTreeConsistency>::with_state([x, y]), &multi)
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("hotpath/ad3_marching");
+    g.throughput(Throughput::Elements(marching.len() as u64));
+    g.bench_function("interval", |b| run_filter(b, || Ad3::new(x), &marching));
+    g.bench_function("btree_reference", |b| {
+        run_filter(b, || Ad3::<BTreeConsistency>::with_state(x), &marching)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fingerprint, bench_consistency_filters);
+criterion_main!(benches);

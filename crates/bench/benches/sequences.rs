@@ -6,9 +6,7 @@ use std::collections::BTreeSet;
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rcm_core::seq::{
-    interleavings, is_ordered, is_subsequence, ordered_union, phi, spanning_gaps,
-};
+use rcm_core::seq::{interleavings, is_ordered, is_subsequence, ordered_union, phi, spanning_gaps};
 
 fn evens(n: u64) -> Vec<u64> {
     (0..n).map(|i| i * 2).collect()
@@ -30,9 +28,7 @@ fn bench_sequences(c: &mut Criterion) {
         bch.iter(|| is_subsequence(black_box(&a), black_box(&sup)))
     });
 
-    c.bench_function("seq/is_ordered/2k", |bch| {
-        bch.iter(|| is_ordered(black_box(&sup)))
-    });
+    c.bench_function("seq/is_ordered/2k", |bch| bch.iter(|| is_ordered(black_box(&sup))));
 
     c.bench_function("seq/phi/2k", |bch| bch.iter(|| phi(black_box(&sup))));
 

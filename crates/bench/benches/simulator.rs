@@ -10,18 +10,14 @@ use rcm_sim::run;
 
 fn bench_simulator(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim/run");
-    for kind in [
-        ScenarioKind::Lossless,
-        ScenarioKind::LossyNonHistorical,
-        ScenarioKind::LossyAggressive,
-    ] {
+    for kind in
+        [ScenarioKind::Lossless, ScenarioKind::LossyNonHistorical, ScenarioKind::LossyAggressive]
+    {
         g.bench_function(format!("single_var/{kind:?}"), |b| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                run(black_box(build_scenario(kind, Topology::SingleVar, seed)))
-                    .stats
-                    .alerts_emitted
+                run(black_box(build_scenario(kind, Topology::SingleVar, seed))).stats.alerts_emitted
             })
         });
     }
@@ -29,13 +25,9 @@ fn bench_simulator(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            run(black_box(build_scenario(
-                ScenarioKind::LossyAggressive,
-                Topology::MultiVar,
-                seed,
-            )))
-            .stats
-            .alerts_emitted
+            run(black_box(build_scenario(ScenarioKind::LossyAggressive, Topology::MultiVar, seed)))
+                .stats
+                .alerts_emitted
         })
     });
     g.finish();

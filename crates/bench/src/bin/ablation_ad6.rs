@@ -63,10 +63,7 @@ fn main() {
             ablated.shown,
             ablated.inconsistent_runs
         );
-        assert_eq!(
-            full.inconsistent_runs, 0,
-            "full AD-6 must stay consistent on {kind:?}"
-        );
+        assert_eq!(full.inconsistent_runs, 0, "full AD-6 must stay consistent on {kind:?}");
         ablated_total.inconsistent_runs += ablated.inconsistent_runs;
         ablated_total.runs += cli.runs;
     }

@@ -27,10 +27,7 @@ fn main() {
         return;
     }
 
-    println!(
-        "Missed-alert fraction vs CE downtime ({} runs/point, seed {})\n",
-        cli.runs, cli.seed
-    );
+    println!("Missed-alert fraction vs CE downtime ({} runs/point, seed {})\n", cli.runs, cli.seed);
     header(&downtimes.map(|d| format!("d={d:.1}")));
     for &r in &replica_counts {
         let row: Vec<f64> = downtime_points

@@ -1,0 +1,166 @@
+//! Writes `BENCH_rcm.json`: a machine-readable snapshot of the hot-path
+//! numbers the criterion benches measure interactively — fingerprint
+//! construction, AD-3/AD-6 offer throughput (interval vs the BTreeSet
+//! reference), and the Monte-Carlo matrix wall-clock serial vs
+//! parallel.
+//!
+//! Usage: `cargo run -p rcm-bench --release --bin bench_snapshot`
+//! (accepts `--runs N` for the matrix budget and `--seed N`; `--json`
+//! additionally echoes the snapshot to stdout).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use rcm_bench::{executions, Cli};
+use rcm_core::ad::{apply_filter, Ad3, Ad6, AlertFilter, BTreeConsistency};
+use rcm_core::{
+    Alert, AlertId, CeId, CondId, HistoryFingerprint, HistorySet, SeqNo, Update, VarId,
+};
+use rcm_sim::montecarlo::{property_matrix, FilterKind, ScenarioKind, Topology};
+use rcm_sim::par::{harness_threads, with_threads};
+use serde_json::json;
+
+/// Mean seconds per call of `f` over `iters` timed iterations (plus
+/// one warm-up call).
+fn time<R>(iters: u32, mut f: impl FnMut() -> R) -> f64 {
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed().as_secs_f64() / f64::from(iters)
+}
+
+fn arrivals(topo: Topology, seed: u64) -> Vec<Alert> {
+    executions(ScenarioKind::LossyAggressive, topo, 300, seed)
+        .into_iter()
+        .flat_map(|e| e.arrivals)
+        .collect()
+}
+
+/// Degree-2 histories marching upward with a gap every eighth step —
+/// the stream shape where per-seqno bookkeeping grows without bound.
+fn marching_arrivals(n: u64) -> Vec<Alert> {
+    let x = VarId::new(0);
+    let mut seq = 1u64;
+    (0..n)
+        .map(|i| {
+            let prev = seq;
+            seq += if i % 8 == 7 { 2 } else { 1 };
+            Alert::new(
+                CondId::SINGLE,
+                HistoryFingerprint::single(x, vec![SeqNo::new(seq), SeqNo::new(prev)]),
+                vec![],
+                AlertId { ce: CeId::new(0), index: i },
+            )
+        })
+        .collect()
+}
+
+/// Times one filter constructor over a stream; returns offers/second.
+fn offers_per_sec<F: AlertFilter>(iters: u32, s: &[Alert], mk: impl Fn() -> F) -> f64 {
+    let secs = time(iters, || {
+        let mut f = mk();
+        apply_filter(&mut f, black_box(s)).len()
+    });
+    s.len() as f64 / secs
+}
+
+fn filter_pair<A, B>(
+    iters: u32,
+    s: &[Alert],
+    fast: impl Fn() -> A,
+    reference: impl Fn() -> B,
+) -> serde_json::Value
+where
+    A: AlertFilter,
+    B: AlertFilter,
+{
+    let fast_ops = offers_per_sec(iters, s, fast);
+    let ref_ops = offers_per_sec(iters, s, reference);
+    json!({
+        "alerts": s.len(),
+        "interval_offers_per_sec": fast_ops,
+        "btree_offers_per_sec": ref_ops,
+        "speedup": fast_ops / ref_ops,
+    })
+}
+
+fn main() {
+    let cli = Cli::parse(60);
+    let x = VarId::new(0);
+    let y = VarId::new(1);
+
+    // Fingerprint construction: inline (History::fingerprint) vs the
+    // old shape that collects every seqno list into a fresh Vec.
+    let mut set = HistorySet::new([(x, 3), (y, 3)]);
+    for s in 1..=5u64 {
+        set.push(Update::new(x, s, s as f64)).unwrap();
+        set.push(Update::new(y, s, -(s as f64))).unwrap();
+    }
+    let inline_s = time(200_000, || set.fingerprint());
+    let rebuild_s = time(200_000, || {
+        let entries: Vec<(VarId, Vec<SeqNo>)> =
+            set.iter().map(|h| (h.var(), h.seqnos().to_vec())).collect();
+        HistoryFingerprint::new(entries)
+    });
+
+    let single = arrivals(Topology::SingleVar, 7);
+    let multi = arrivals(Topology::MultiVar, 7);
+    let marching = marching_arrivals(4_000);
+
+    let ad3 = filter_pair(20, &single, || Ad3::new(x), || Ad3::<BTreeConsistency>::with_state(x));
+    let ad3_marching =
+        filter_pair(20, &marching, || Ad3::new(x), || Ad3::<BTreeConsistency>::with_state(x));
+    let ad6 = filter_pair(
+        20,
+        &multi,
+        || Ad6::new([x, y]),
+        || Ad6::<BTreeConsistency>::with_state([x, y]),
+    );
+
+    // Matrix wall-clock, one thread vs the harness default.
+    let threads = harness_threads();
+    let table =
+        || property_matrix("Table 1", Topology::SingleVar, FilterKind::Ad1, cli.runs, cli.seed);
+    let serial_start = Instant::now();
+    let serial = with_threads(1, table);
+    let serial_secs = serial_start.elapsed().as_secs_f64();
+    let par_start = Instant::now();
+    let par = table();
+    let par_secs = par_start.elapsed().as_secs_f64();
+    assert_eq!(serial, par, "matrix must be bit-identical serial vs parallel");
+
+    let snapshot = json!({
+        "meta": {
+            "generator": "cargo run -p rcm-bench --release --bin bench_snapshot",
+            "placeholder": false,
+            "seed": cli.seed,
+            "matrix_runs_per_cell": cli.runs,
+            "harness_threads": threads,
+        },
+        "fingerprint": {
+            "inline_ns": inline_s * 1e9,
+            "vec_rebuild_ns": rebuild_s * 1e9,
+            "speedup": rebuild_s / inline_s,
+        },
+        "ad3_realistic": ad3,
+        "ad3_marching": ad3_marching,
+        "ad6_realistic": ad6,
+        "matrix_table1_ad1": {
+            "serial_secs": serial_secs,
+            "parallel_secs": par_secs,
+            "threads": threads,
+            "speedup": serial_secs / par_secs,
+            "bit_identical": true,
+        },
+    });
+
+    let pretty = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    std::fs::write("BENCH_rcm.json", format!("{pretty}\n")).expect("write BENCH_rcm.json");
+    if cli.json {
+        println!("{pretty}");
+    } else {
+        println!("wrote BENCH_rcm.json ({threads} harness threads)");
+    }
+}

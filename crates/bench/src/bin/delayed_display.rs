@@ -13,8 +13,8 @@
 
 use rcm_bench::{executions, Cli};
 use rcm_core::ad::{apply_filter, Ad1, Ad2, DelayedOrdered, LatePolicy};
-use rcm_core::VarId;
 use rcm_core::seq::{inversions, project_alerts};
+use rcm_core::VarId;
 use rcm_props::check_ordered;
 use rcm_sim::montecarlo::{ScenarioKind, Topology};
 use serde::Serialize;
@@ -32,17 +32,12 @@ struct Row {
 fn main() {
     let cli = Cli::parse(120);
     let x = VarId::new(0);
-    let execs = executions(ScenarioKind::LossyNonHistorical, Topology::SingleVar, cli.runs, cli.seed);
+    let execs =
+        executions(ScenarioKind::LossyNonHistorical, Topology::SingleVar, cli.runs, cli.seed);
 
     // Baselines.
-    let ad1: usize = execs
-        .iter()
-        .map(|e| apply_filter(&mut Ad1::new(), &e.arrivals).len())
-        .sum();
-    let ad2: usize = execs
-        .iter()
-        .map(|e| apply_filter(&mut Ad2::new(x), &e.arrivals).len())
-        .sum();
+    let ad1: usize = execs.iter().map(|e| apply_filter(&mut Ad1::new(), &e.arrivals).len()).sum();
+    let ad2: usize = execs.iter().map(|e| apply_filter(&mut Ad2::new(x), &e.arrivals).len()).sum();
 
     let mut rows = Vec::new();
     for hold in [0usize, 1, 2, 4, 8, 16] {
@@ -54,10 +49,7 @@ fn main() {
         for e in &execs {
             let mut d = DelayedOrdered::new(x, hold, LatePolicy::Drop);
             let out = d.display_all(&e.arrivals);
-            assert!(
-                check_ordered(&out, &[x]).ok,
-                "drop-policy output must stay ordered"
-            );
+            assert!(check_ordered(&out, &[x]).ok, "drop-policy output must stay ordered");
             displayed_drop += out.len();
             dropped_late += d.dropped_late();
 

@@ -64,8 +64,14 @@ fn main() {
             ("AD-1 ≥ AD-2", check_domination(Ad1::new, || Ad2::new(x), &workloads)),
             ("AD-1 ≥ AD-3", check_domination(Ad1::new, || Ad3::new(x), &workloads)),
             ("AD-1 ≥ AD-4", check_domination(Ad1::new, || Ad4::new(x), &workloads)),
-            ("AD-2 ≥ AD-4 (not a theorem)", check_domination(|| Ad2::new(x), || Ad4::new(x), &workloads)),
-            ("AD-3 ≥ AD-4 (not a theorem)", check_domination(|| Ad3::new(x), || Ad4::new(x), &workloads)),
+            (
+                "AD-2 ≥ AD-4 (not a theorem)",
+                check_domination(|| Ad2::new(x), || Ad4::new(x), &workloads),
+            ),
+            (
+                "AD-3 ≥ AD-4 (not a theorem)",
+                check_domination(|| Ad3::new(x), || Ad4::new(x), &workloads),
+            ),
         ] {
             dominations.push(DominationResult {
                 pair: name.to_owned(),
@@ -115,9 +121,7 @@ fn main() {
     }
     // Only the AD-1-rooted pairs are theorems; the composed pairs are
     // reported for interest (they can legitimately fail).
-    let theorems_hold = points
-        .iter()
-        .all(|p| p.dominations.iter().take(3).all(|d| d.holds));
+    let theorems_hold = points.iter().all(|p| p.dominations.iter().take(3).all(|d| d.holds));
     println!(
         "\nTheorems 6 & 8 prediction (AD-1 dominates AD-2/AD-3/AD-4 on every trace): {}",
         if theorems_hold { "CONFIRMED" } else { "VIOLATED" }
@@ -135,7 +139,10 @@ fn main() {
         for (name, report) in [
             ("AD-1 ≥ AD-5", check_domination(Ad1::new, || Ad5::new([x, y]), &workloads)),
             ("AD-1 ≥ AD-6", check_domination(Ad1::new, || Ad6::new([x, y]), &workloads)),
-            ("AD-5 ≥ AD-6 (not a theorem)", check_domination(|| Ad5::new([x, y]), || Ad6::new([x, y]), &workloads)),
+            (
+                "AD-5 ≥ AD-6 (not a theorem)",
+                check_domination(|| Ad5::new([x, y]), || Ad6::new([x, y]), &workloads),
+            ),
         ] {
             if name.contains("theorem") {
                 // observational only
@@ -162,10 +169,7 @@ fn main() {
     );
 }
 
-fn pass_count(
-    workloads: &[Vec<Alert>],
-    mut make: impl FnMut() -> Box<dyn AlertFilter>,
-) -> usize {
+fn pass_count(workloads: &[Vec<Alert>], mut make: impl FnMut() -> Box<dyn AlertFilter>) -> usize {
     workloads
         .iter()
         .map(|w| {

@@ -35,10 +35,8 @@ fn main() {
         Arc::new(Conservative::new(DeltaRise::new(x, 12.0))),
     ];
 
-    let mut tallies: Vec<StreamTally> = conditions
-        .iter()
-        .map(|c| StreamTally { name: c.name(), ..Default::default() })
-        .collect();
+    let mut tallies: Vec<StreamTally> =
+        conditions.iter().map(|c| StreamTally { name: c.name(), ..Default::default() }).collect();
 
     for i in 0..cli.runs {
         let seed = cli.seed.wrapping_add(i.wrapping_mul(0x9e37_79b9));
@@ -97,8 +95,7 @@ fn main() {
             t.name, t.alerts_shown, t.unordered, t.incomplete, t.inconsistent
         );
     }
-    let guarantees_hold =
-        tallies.iter().all(|t| t.unordered == 0 && t.inconsistent == 0);
+    let guarantees_hold = tallies.iter().all(|t| t.unordered == 0 && t.inconsistent == 0);
     println!(
         "\nAppendix D claim (per-condition filtering preserves each stream's \
          orderedness + consistency): {}",

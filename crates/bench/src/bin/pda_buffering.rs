@@ -88,10 +88,7 @@ fn main() {
         return;
     }
 
-    println!(
-        "Alert buffering while the PDA is off ({} runs/point, seed {})\n",
-        cli.runs, cli.seed
-    );
+    println!("Alert buffering while the PDA is off ({} runs/point, seed {})\n", cli.runs, cli.seed);
     println!(
         "{:>11} {:>12} {:>12} {:>14} {:>13}",
         "AD downtime", "alerts sent", "delivered", "mean latency", "max latency"
@@ -99,7 +96,10 @@ fn main() {
     for r in &rows {
         println!(
             "{:>11.1} {:>12} {:>12} {:>14.1} {:>13}",
-            r.ad_downtime, r.alerts_sent, r.alerts_delivered, r.mean_latency_ticks,
+            r.ad_downtime,
+            r.alerts_sent,
+            r.alerts_delivered,
+            r.mean_latency_ticks,
             r.max_latency_ticks
         );
         assert_eq!(

@@ -73,10 +73,8 @@ fn main() {
         .iter()
         .filter(|r| r.replicas == 1)
         .all(|r| r.unordered + r.incomplete + r.inconsistent == 0);
-    let ad4_ok = rows
-        .iter()
-        .filter(|r| r.filter == "AD-4")
-        .all(|r| r.unordered + r.inconsistent == 0);
+    let ad4_ok =
+        rows.iter().filter(|r| r.filter == "AD-4").all(|r| r.unordered + r.inconsistent == 0);
     println!(
         "\nnon-replicated baseline violation-free: {}",
         if single_ok { "CONFIRMED" } else { "VIOLATED" }

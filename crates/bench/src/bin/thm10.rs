@@ -45,11 +45,7 @@ fn main() {
     println!("  AD-1 displays {}", render(&displayed));
     let ordered = check_ordered(&displayed, &[x, y]);
     let consistent = check_consistent_multi(&cm, &[u1, u2], &displayed);
-    println!(
-        "  ordered: {}   consistent: {}",
-        ordered.ok,
-        consistent.ok
-    );
+    println!("  ordered: {}   consistent: {}", ordered.ok, consistent.ok);
     if let Some(c) = consistent.conflict {
         println!("  conflict: {c}");
     }

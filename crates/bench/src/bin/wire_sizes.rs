@@ -41,14 +41,10 @@ fn main() {
         for e in executions(kind, topo, cli.runs, cli.seed) {
             for a in &e.arrivals {
                 alerts += 1;
-                for (i, fidelity) in [
-                    Fidelity::Digest,
-                    Fidelity::Heads,
-                    Fidelity::Seqnos,
-                    Fidelity::Full,
-                ]
-                .into_iter()
-                .enumerate()
+                for (i, fidelity) in
+                    [Fidelity::Digest, Fidelity::Heads, Fidelity::Seqnos, Fidelity::Full]
+                        .into_iter()
+                        .enumerate()
                 {
                     totals[i] += CompactAlert::of(a, fidelity).encoded_len();
                 }

@@ -62,16 +62,12 @@ impl Cli {
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--runs" => {
-                    cli.runs = args
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--runs takes an integer");
+                    cli.runs =
+                        args.next().and_then(|v| v.parse().ok()).expect("--runs takes an integer");
                 }
                 "--seed" => {
-                    cli.seed = args
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--seed takes an integer");
+                    cli.seed =
+                        args.next().and_then(|v| v.parse().ok()).expect("--seed takes an integer");
                 }
                 "--json" => cli.json = true,
                 other => panic!("unknown argument '{other}' (expected --runs/--seed/--json)"),

@@ -77,10 +77,7 @@ mod tests {
         let mut ad = Ad1::new();
         assert!(ad.offer(&alert1(&[3, 2])).is_deliver());
         assert!(ad.offer(&alert1(&[3, 1])).is_deliver()); // differing H passes
-        assert_eq!(
-            ad.offer(&alert1(&[3, 2])),
-            Decision::Discard(DiscardReason::Duplicate)
-        );
+        assert_eq!(ad.offer(&alert1(&[3, 2])), Decision::Discard(DiscardReason::Duplicate));
         assert_eq!(ad.displayed(), 2);
     }
 

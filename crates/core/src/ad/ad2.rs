@@ -101,20 +101,14 @@ mod tests {
         // U1 = ⟨1(3100)⟩, U2 = ⟨2(3200)⟩; a2 arrives before a1 → a1 dropped.
         let mut f = ad();
         assert!(f.offer(&alert1(&[2])).is_deliver());
-        assert_eq!(
-            f.offer(&alert1(&[1])),
-            Decision::Discard(DiscardReason::OutOfOrder)
-        );
+        assert_eq!(f.offer(&alert1(&[1])), Decision::Discard(DiscardReason::OutOfOrder));
     }
 
     #[test]
     fn equal_seqno_is_duplicate() {
         let mut f = ad();
         f.offer(&alert1(&[2]));
-        assert_eq!(
-            f.offer(&alert1(&[2])),
-            Decision::Discard(DiscardReason::Duplicate)
-        );
+        assert_eq!(f.offer(&alert1(&[2])), Decision::Discard(DiscardReason::Duplicate));
     }
 
     #[test]

@@ -25,7 +25,7 @@ use std::collections::{BTreeMap, HashSet};
 use crate::alert::Alert;
 use crate::var::VarId;
 
-use super::ad3::VarConsistency;
+use super::ad3::{ConsistencyState, VarConsistency};
 use super::{AlertFilter, Decision, DiscardReason};
 
 /// Per-variable consistency filtering only (AD-6 without its AD-5
@@ -33,9 +33,13 @@ use super::{AlertFilter, Decision, DiscardReason};
 /// received/missed claims about any single variable — but does **not**
 /// guarantee multi-variable consistency, because interleaving cycles
 /// pass through untouched.
+///
+/// Like [`super::Ad3`], the per-variable bookkeeping is pluggable via
+/// the `W` parameter; the default is the interval-backed
+/// [`VarConsistency`].
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
-pub struct Ad3Multi {
-    consistency: BTreeMap<VarId, VarConsistency>,
+pub struct Ad3Multi<W = VarConsistency> {
+    consistency: BTreeMap<VarId, W>,
     seen: HashSet<Alert>,
 }
 
@@ -46,9 +50,20 @@ impl Ad3Multi {
     ///
     /// Panics if `vars` is empty or contains duplicates.
     pub fn new(vars: impl IntoIterator<Item = VarId>) -> Self {
+        Self::with_state(vars)
+    }
+}
+
+impl<W: ConsistencyState> Ad3Multi<W> {
+    /// Creates the filter with an explicit bookkeeping strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is empty or contains duplicates.
+    pub fn with_state(vars: impl IntoIterator<Item = VarId>) -> Self {
         let mut consistency = BTreeMap::new();
         for v in vars {
-            let prev = consistency.insert(v, VarConsistency::default());
+            let prev = consistency.insert(v, W::default());
             assert!(prev.is_none(), "duplicate variable {v} in variable set");
         }
         assert!(!consistency.is_empty(), "needs at least one variable");
@@ -56,7 +71,7 @@ impl Ad3Multi {
     }
 }
 
-impl AlertFilter for Ad3Multi {
+impl<W: ConsistencyState> AlertFilter for Ad3Multi<W> {
     fn name(&self) -> &'static str {
         "AD-3/multi"
     }
@@ -65,12 +80,11 @@ impl AlertFilter for Ad3Multi {
         if self.seen.contains(alert) {
             return Decision::Discard(DiscardReason::Duplicate);
         }
-        let conflicts = self.consistency.iter().any(|(&var, state)| {
-            match alert.fingerprint.seqnos(var) {
+        let conflicts =
+            self.consistency.iter().any(|(&var, state)| match alert.fingerprint.seqnos(var) {
                 Some(seqnos) => state.conflicts(seqnos),
                 None => true,
-            }
-        });
+            });
         if conflicts {
             return Decision::Discard(DiscardReason::Conflict);
         }
@@ -121,10 +135,7 @@ mod tests {
         };
         let mut f = Ad3Multi::new([x(), y()]);
         assert!(f.offer(&alert22(&[3, 1], &[1])).is_deliver()); // x: Missed = {2}
-        assert_eq!(
-            f.offer(&alert22(&[4, 3, 2], &[2])),
-            Decision::Discard(DiscardReason::Conflict)
-        );
+        assert_eq!(f.offer(&alert22(&[4, 3, 2], &[2])), Decision::Discard(DiscardReason::Conflict));
     }
 
     #[test]
@@ -145,10 +156,7 @@ mod tests {
     fn duplicates_removed() {
         let mut f = Ad3Multi::new([x(), y()]);
         assert!(f.offer(&alert2(1, 1)).is_deliver());
-        assert_eq!(
-            f.offer(&alert2(1, 1)),
-            Decision::Discard(DiscardReason::Duplicate)
-        );
+        assert_eq!(f.offer(&alert2(1, 1)), Decision::Discard(DiscardReason::Duplicate));
     }
 
     #[test]

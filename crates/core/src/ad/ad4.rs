@@ -5,7 +5,7 @@ use crate::alert::Alert;
 use crate::var::VarId;
 
 use super::ad2::Ad2;
-use super::ad3::Ad3;
+use super::ad3::{Ad3, ConsistencyState, VarConsistency};
 use super::{AlertFilter, Decision};
 
 /// Algorithm AD-4: discards any alert that would be discarded by either
@@ -15,20 +15,31 @@ use super::{AlertFilter, Decision};
 ///
 /// System properties under AD-4 match Table 2 except that the
 /// aggressive-triggering row is also consistent.
+///
+/// Like [`Ad3`], the consistency bookkeeping is pluggable via the `W`
+/// parameter; the default is the interval-backed [`VarConsistency`].
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
-pub struct Ad4 {
+pub struct Ad4<W = VarConsistency> {
     ordered: Ad2,
-    consistent: Ad3,
+    consistent: Ad3<W>,
 }
 
 impl Ad4 {
     /// Creates the filter for the system's single variable.
     pub fn new(var: VarId) -> Self {
-        Ad4 { ordered: Ad2::new(var), consistent: Ad3::new(var) }
+        Self::with_state(var)
     }
 }
 
-impl AlertFilter for Ad4 {
+impl<W: ConsistencyState> Ad4<W> {
+    /// Creates the filter with an explicit bookkeeping strategy for the
+    /// AD-3 half.
+    pub fn with_state(var: VarId) -> Self {
+        Ad4 { ordered: Ad2::new(var), consistent: Ad3::with_state(var) }
+    }
+}
+
+impl<W: ConsistencyState> AlertFilter for Ad4<W> {
     fn name(&self) -> &'static str {
         "AD-4"
     }
@@ -69,20 +80,14 @@ mod tests {
     fn drops_out_of_order_like_ad2() {
         let mut f = ad();
         assert!(f.offer(&alert1(&[3, 2])).is_deliver());
-        assert_eq!(
-            f.offer(&alert1(&[2, 1])),
-            Decision::Discard(DiscardReason::OutOfOrder)
-        );
+        assert_eq!(f.offer(&alert1(&[2, 1])), Decision::Discard(DiscardReason::OutOfOrder));
     }
 
     #[test]
     fn drops_conflicts_like_ad3() {
         let mut f = ad();
         assert!(f.offer(&alert1(&[3, 1])).is_deliver());
-        assert_eq!(
-            f.offer(&alert1(&[4, 3, 2])),
-            Decision::Discard(DiscardReason::Conflict)
-        );
+        assert_eq!(f.offer(&alert1(&[4, 3, 2])), Decision::Discard(DiscardReason::Conflict));
     }
 
     #[test]
@@ -97,8 +102,8 @@ mod tests {
     fn rejected_alert_does_not_pollute_state() {
         let mut f = ad();
         assert!(f.offer(&alert1(&[3, 1])).is_deliver()); // Missed = {2}
-        // Dropped by AD-2 (out of order); its history must NOT be recorded
-        // by the AD-3 half…
+                                                         // Dropped by AD-2 (out of order); its history must NOT be recorded
+                                                         // by the AD-3 half…
         assert!(!f.offer(&alert1(&[2, 1])).is_deliver());
         // …so an alert consistent with the FIRST alert still passes even
         // though it would conflict with the rejected one.
@@ -109,10 +114,7 @@ mod tests {
     fn duplicate_detected() {
         let mut f = ad();
         f.offer(&alert1(&[3, 2]));
-        assert_eq!(
-            f.offer(&alert1(&[3, 2])),
-            Decision::Discard(DiscardReason::Duplicate)
-        );
+        assert_eq!(f.offer(&alert1(&[3, 2])), Decision::Discard(DiscardReason::Duplicate));
     }
 
     #[test]

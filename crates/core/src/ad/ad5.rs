@@ -114,10 +114,7 @@ mod tests {
         // AD-5 drops the second because x regresses 2 → 1.
         let mut f = ad();
         assert!(f.offer(&alert2(2, 1)).is_deliver());
-        assert_eq!(
-            f.offer(&alert2(1, 2)),
-            Decision::Discard(DiscardReason::OutOfOrder)
-        );
+        assert_eq!(f.offer(&alert2(1, 2)), Decision::Discard(DiscardReason::OutOfOrder));
     }
 
     #[test]
@@ -132,10 +129,7 @@ mod tests {
     fn all_equal_is_duplicate() {
         let mut f = ad();
         assert!(f.offer(&alert2(1, 1)).is_deliver());
-        assert_eq!(
-            f.offer(&alert2(1, 1)),
-            Decision::Discard(DiscardReason::Duplicate)
-        );
+        assert_eq!(f.offer(&alert2(1, 1)), Decision::Discard(DiscardReason::Duplicate));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use crate::alert::Alert;
 use crate::var::VarId;
 
-use super::ad3::VarConsistency;
+use super::ad3::{ConsistencyState, VarConsistency};
 use super::ad5::Ad5;
 use super::{AlertFilter, Decision, DiscardReason};
 
@@ -16,10 +16,14 @@ use super::{AlertFilter, Decision, DiscardReason};
 ///
 /// System properties match Table 3 except that the
 /// aggressive-triggering row is also consistent.
+///
+/// Like [`super::Ad3`], the per-variable bookkeeping is pluggable via
+/// the `W` parameter; the default is the interval-backed
+/// [`VarConsistency`].
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
-pub struct Ad6 {
+pub struct Ad6<W = VarConsistency> {
     ordered: Ad5,
-    consistency: BTreeMap<VarId, VarConsistency>,
+    consistency: BTreeMap<VarId, W>,
 }
 
 impl Ad6 {
@@ -29,9 +33,21 @@ impl Ad6 {
     ///
     /// Panics if `vars` is empty or contains duplicates (via [`Ad5`]).
     pub fn new(vars: impl IntoIterator<Item = VarId>) -> Self {
+        Self::with_state(vars)
+    }
+}
+
+impl<W: ConsistencyState> Ad6<W> {
+    /// Creates the filter with an explicit bookkeeping strategy for the
+    /// consistency half.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is empty or contains duplicates (via [`Ad5`]).
+    pub fn with_state(vars: impl IntoIterator<Item = VarId>) -> Self {
         let vars: Vec<VarId> = vars.into_iter().collect();
         let ordered = Ad5::new(vars.iter().copied());
-        let consistency = vars.into_iter().map(|v| (v, VarConsistency::default())).collect();
+        let consistency = vars.into_iter().map(|v| (v, W::default())).collect();
         Ad6 { ordered, consistency }
     }
 
@@ -45,7 +61,7 @@ impl Ad6 {
     }
 }
 
-impl AlertFilter for Ad6 {
+impl<W: ConsistencyState> AlertFilter for Ad6<W> {
     fn name(&self) -> &'static str {
         "AD-6"
     }
@@ -109,10 +125,7 @@ mod tests {
     fn enforces_order_like_ad5() {
         let mut f = ad();
         assert!(f.offer(&alert22(&[2], &[1])).is_deliver());
-        assert_eq!(
-            f.offer(&alert22(&[1], &[2])),
-            Decision::Discard(DiscardReason::OutOfOrder)
-        );
+        assert_eq!(f.offer(&alert22(&[1], &[2])), Decision::Discard(DiscardReason::OutOfOrder));
     }
 
     #[test]
@@ -121,10 +134,7 @@ mod tests {
         // First alert: x history {1,3} → x's Missed = {2}.
         assert!(f.offer(&alert22(&[3, 1], &[1])).is_deliver());
         // Second alert advances (order fine) but needs 2x received.
-        assert_eq!(
-            f.offer(&alert22(&[4, 3, 2], &[2])),
-            Decision::Discard(DiscardReason::Conflict)
-        );
+        assert_eq!(f.offer(&alert22(&[4, 3, 2], &[2])), Decision::Discard(DiscardReason::Conflict));
         // Conflict-free advance passes.
         assert!(f.offer(&alert22(&[4, 3], &[2])).is_deliver());
     }
@@ -150,10 +160,7 @@ mod tests {
     fn duplicates_dropped() {
         let mut f = ad();
         assert!(f.offer(&alert22(&[2, 1], &[1])).is_deliver());
-        assert_eq!(
-            f.offer(&alert22(&[2, 1], &[1])),
-            Decision::Discard(DiscardReason::Duplicate)
-        );
+        assert_eq!(f.offer(&alert22(&[2, 1], &[1])), Decision::Discard(DiscardReason::Duplicate));
     }
 
     #[test]

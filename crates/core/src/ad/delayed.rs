@@ -134,8 +134,7 @@ impl DelayedOrdered {
             .map(|(&s, _)| s)
             .max();
         if let Some(limit) = expired_max {
-            let to_release: Vec<u64> =
-                self.buffer.range(..=limit).map(|(&s, _)| s).collect();
+            let to_release: Vec<u64> = self.buffer.range(..=limit).map(|(&s, _)| s).collect();
             for s in to_release {
                 let (alert, _) = self.buffer.remove(&s).expect("key just listed");
                 self.watermark = Some(SeqNo::new(s));
@@ -235,10 +234,7 @@ mod tests {
             let mut d = DelayedOrdered::new(x(), hold, LatePolicy::Drop);
             let out = d.display_all(&arrivals);
             let s = seqs(&out);
-            assert!(
-                crate::seq::is_strictly_ordered(&s),
-                "hold {hold}: unordered {s:?}"
-            );
+            assert!(crate::seq::is_strictly_ordered(&s), "hold {hold}: unordered {s:?}");
         }
     }
 

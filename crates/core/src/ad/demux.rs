@@ -72,8 +72,7 @@ where
     }
 
     fn offer(&mut self, alert: &Alert) -> Decision {
-        let filter =
-            self.filters.entry(alert.cond).or_insert_with(|| (self.make)(alert.cond));
+        let filter = self.filters.entry(alert.cond).or_insert_with(|| (self.make)(alert.cond));
         filter.offer(alert)
     }
 

@@ -23,7 +23,9 @@ use super::{AlertFilter, Decision, DiscardReason};
 ///
 /// Equal (condition, histories) pairs always produce equal digests;
 /// distinct pairs collide with probability ≈ 2⁻⁶⁴.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct HistoryDigest(u64);
 
 const FNV_OFFSET: u64 = 0xcbf29ce484222325;

@@ -33,6 +33,13 @@
 //! All filters serialize with serde: a displayer can checkpoint its
 //! state and restart without forgetting what it promised the user.
 //!
+//! The consistency filters (AD-3, AD-4, AD-6, the ablation) are generic
+//! over their received/missed bookkeeping ([`ConsistencyState`]): the
+//! default [`VarConsistency`] stores both sets as sorted interval runs
+//! for O(log runs) offers and gap-proportional memory, while
+//! [`BTreeConsistency`] retains the per-seqno reference logic for
+//! validation and benchmarking.
+//!
 //! All filters implement [`AlertFilter`]; [`apply_filter`] runs one
 //! over a merged arrival sequence.
 
@@ -50,7 +57,7 @@ mod reference;
 
 pub use ad1::Ad1;
 pub use ad2::Ad2;
-pub use ad3::Ad3;
+pub use ad3::{Ad3, BTreeConsistency, ConsistencyState, VarConsistency};
 pub use ad3multi::Ad3Multi;
 pub use ad4::Ad4;
 pub use ad5::Ad5;
@@ -149,11 +156,7 @@ impl<F: AlertFilter + ?Sized> AlertFilter for Box<F> {
 /// Runs `arrivals` (the merged alert streams, in arrival order at the
 /// AD) through `filter`, returning the displayed sequence `A`.
 pub fn apply_filter<F: AlertFilter + ?Sized>(filter: &mut F, arrivals: &[Alert]) -> Vec<Alert> {
-    arrivals
-        .iter()
-        .filter(|a| filter.offer(a).is_deliver())
-        .cloned()
-        .collect()
+    arrivals.iter().filter(|a| filter.offer(a).is_deliver()).cloned().collect()
 }
 
 #[cfg(test)]

@@ -65,8 +65,8 @@ impl AlertFilter for DropAll {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ad::testutil::alert1;
     use crate::ad::apply_filter;
+    use crate::ad::testutil::alert1;
 
     #[test]
     fn pass_through_is_identity() {

@@ -3,20 +3,30 @@
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use crate::inline::InlineVec;
 use crate::update::{SeqNo, Update};
 use crate::var::VarId;
+
+/// Inline seqno buffer sized for the paper's histories: degree is 1–3
+/// in every scenario the paper (and our simulator) considers, so the
+/// common case stores the whole list in the fingerprint itself with no
+/// heap allocation. Deeper histories transparently spill to the heap.
+pub type SeqBuf = InlineVec<SeqNo, 3>;
+
+/// Inline entry list for [`HistoryFingerprint`]: conditions mention
+/// 1–3 variables in all paper scenarios.
+type FpEntries = InlineVec<(VarId, SeqBuf), 3>;
 
 /// Identifier of a monitored condition (the paper's `condname`).
 ///
 /// Single-condition systems use [`CondId::SINGLE`]; multi-condition
 /// systems (paper Appendix D) assign one id per condition so the AD can
 /// demultiplex alert streams.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct CondId(u32);
 
 impl CondId {
@@ -41,9 +51,7 @@ impl fmt::Display for CondId {
 }
 
 /// Identifier of a Condition Evaluator replica.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct CeId(u32);
 
 impl CeId {
@@ -70,9 +78,7 @@ impl fmt::Display for CeId {
 /// Provenance is *not* part of alert identity — the paper considers two
 /// alerts identical when their history sets `H` are equal, regardless of
 /// which replica produced them.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct AlertId {
     /// Emitting replica.
     pub ce: CeId,
@@ -95,12 +101,11 @@ impl fmt::Display for AlertId {
 /// seqnos. Values are excluded because an update is a full snapshot —
 /// two CEs receiving update `i_x` necessarily saw the same value, so the
 /// seqnos determine the values.
-#[derive(
-    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct HistoryFingerprint {
-    /// `(variable, seqnos newest-first)` entries sorted by variable.
-    entries: Vec<(VarId, Vec<SeqNo>)>,
+    /// `(variable, seqnos newest-first)` entries sorted by variable,
+    /// stored inline (no heap) for up to 3 variables of degree ≤ 3.
+    entries: FpEntries,
 }
 
 impl HistoryFingerprint {
@@ -113,8 +118,22 @@ impl HistoryFingerprint {
     ///
     /// Panics if a variable appears twice or a seqno list is empty or not
     /// strictly decreasing (newest first).
-    pub fn new(mut entries: Vec<(VarId, Vec<SeqNo>)>) -> Self {
-        entries.sort_by_key(|(v, _)| *v);
+    pub fn new(entries: Vec<(VarId, Vec<SeqNo>)>) -> Self {
+        Self::from_entries(entries.into_iter().map(|(v, s)| (v, SeqBuf::from(s))))
+    }
+
+    /// Builds a fingerprint from `(variable, newest-first seqnos)` pairs
+    /// already in inline-buffer form — the allocation-free construction
+    /// path used by the evaluator's hot loop. Same validation and
+    /// sorting as [`HistoryFingerprint::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable appears twice or a seqno list is empty or not
+    /// strictly decreasing (newest first).
+    pub fn from_entries(entries: impl IntoIterator<Item = (VarId, SeqBuf)>) -> Self {
+        let mut entries: FpEntries = entries.into_iter().collect();
+        entries.as_mut_slice().sort_by_key(|(v, _)| *v);
         for w in entries.windows(2) {
             assert!(w[0].0 != w[1].0, "duplicate variable {} in fingerprint", w[0].0);
         }
@@ -130,16 +149,13 @@ impl HistoryFingerprint {
 
     /// Fingerprint over a single variable; `seqnos` newest-first.
     pub fn single(var: VarId, seqnos: Vec<SeqNo>) -> Self {
-        Self::new(vec![(var, seqnos)])
+        Self::from_entries([(var, SeqBuf::from(seqnos))])
     }
 
     /// The paper's `a.seqno.x`: the newest seqno for `var`, i.e. the
     /// seqno of the last `var`-update received when the alert triggered.
     pub fn seqno(&self, var: VarId) -> Option<SeqNo> {
-        self.entries
-            .iter()
-            .find(|(v, _)| *v == var)
-            .and_then(|(_, s)| s.first().copied())
+        self.entries.iter().find(|(v, _)| *v == var).and_then(|(_, s)| s.first().copied())
     }
 
     /// Newest-first seqnos recorded for `var`.
@@ -161,9 +177,7 @@ impl HistoryFingerprint {
     /// i.e. whether a conservative condition could have triggered on
     /// these histories.
     pub fn is_consecutive(&self) -> bool {
-        self.entries.iter().all(|(_, seqnos)| {
-            seqnos.windows(2).all(|w| w[1].precedes(w[0]))
-        })
+        self.entries.iter().all(|(_, seqnos)| seqnos.windows(2).all(|w| w[1].precedes(w[0])))
     }
 }
 
@@ -212,21 +226,42 @@ pub struct Alert {
     /// The update histories the CE used in evaluating the condition.
     pub fingerprint: HistoryFingerprint,
     /// Snapshot of the triggering updates, newest first per variable
-    /// (for display; not part of identity).
-    pub snapshot: Vec<Update>,
+    /// (for display; not part of identity). Shared via `Arc` so cloning
+    /// an alert into an AD `seen` set or fanning it out to several
+    /// displayers bumps a refcount instead of deep-copying the payload.
+    #[serde(with = "snapshot_serde")]
+    pub snapshot: Arc<[Update]>,
     /// Provenance (not part of identity).
     pub id: AlertId,
 }
 
+/// Serde adapter for `Arc<[Update]>` (the workspace's serde has no
+/// `rc` feature): serialize as a plain sequence, deserialize through a
+/// `Vec`. The wire format is identical to the former `Vec<Update>`
+/// field's.
+mod snapshot_serde {
+    use super::{Arc, Update};
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &Arc<[Update]>, s: S) -> Result<S::Ok, S::Error> {
+        v[..].serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Arc<[Update]>, D::Error> {
+        Ok(Vec::<Update>::deserialize(d)?.into())
+    }
+}
+
 impl Alert {
-    /// Creates an alert.
+    /// Creates an alert; `snapshot` accepts a `Vec<Update>` or an
+    /// already-shared `Arc<[Update]>`.
     pub fn new(
         cond: CondId,
         fingerprint: HistoryFingerprint,
-        snapshot: Vec<Update>,
+        snapshot: impl Into<Arc<[Update]>>,
         id: AlertId,
     ) -> Self {
-        Alert { cond, fingerprint, snapshot, id }
+        Alert { cond, fingerprint, snapshot: snapshot.into(), id }
     }
 
     /// The paper's `a.seqno.x` for `var`.
@@ -261,10 +296,7 @@ mod tests {
     use super::*;
 
     fn fp(seqnos: &[u64]) -> HistoryFingerprint {
-        HistoryFingerprint::single(
-            VarId::new(0),
-            seqnos.iter().map(|&s| SeqNo::new(s)).collect(),
-        )
+        HistoryFingerprint::single(VarId::new(0), seqnos.iter().map(|&s| SeqNo::new(s)).collect())
     }
 
     fn alert(fpr: HistoryFingerprint, ce: u32) -> Alert {
@@ -275,7 +307,7 @@ mod tests {
     fn identity_ignores_provenance_and_snapshot() {
         let a = alert(fp(&[3, 2]), 0);
         let mut b = alert(fp(&[3, 2]), 1);
-        b.snapshot = vec![Update::new(VarId::new(0), 3, 1.0)];
+        b.snapshot = vec![Update::new(VarId::new(0), 3, 1.0)].into();
         assert_eq!(a, b);
         use std::collections::HashSet;
         let set: HashSet<Alert> = [a, b].into_iter().collect();
@@ -302,14 +334,8 @@ mod tests {
     fn fingerprint_sorts_variables() {
         let x = VarId::new(0);
         let y = VarId::new(1);
-        let f1 = HistoryFingerprint::new(vec![
-            (y, vec![SeqNo::new(2)]),
-            (x, vec![SeqNo::new(8)]),
-        ]);
-        let f2 = HistoryFingerprint::new(vec![
-            (x, vec![SeqNo::new(8)]),
-            (y, vec![SeqNo::new(2)]),
-        ]);
+        let f1 = HistoryFingerprint::new(vec![(y, vec![SeqNo::new(2)]), (x, vec![SeqNo::new(8)])]);
+        let f2 = HistoryFingerprint::new(vec![(x, vec![SeqNo::new(8)]), (y, vec![SeqNo::new(2)])]);
         assert_eq!(f1, f2);
         let vars: Vec<_> = f1.variables().collect();
         assert_eq!(vars, vec![x, y]);
@@ -342,5 +368,36 @@ mod tests {
         let a = alert(fp(&[3, 1]), 0);
         assert_eq!(a.to_string(), "a(c0, {v0:[3,1]})");
         assert_eq!(AlertId { ce: CeId::new(2), index: 9 }.to_string(), "CE2#9");
+    }
+
+    #[test]
+    fn cloned_alerts_share_the_snapshot() {
+        let a = Alert::new(
+            CondId::SINGLE,
+            fp(&[3, 2]),
+            vec![Update::new(VarId::new(0), 3, 52.0)],
+            AlertId { ce: CeId::new(0), index: 0 },
+        );
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.snapshot, &b.snapshot));
+    }
+
+    #[test]
+    fn serde_wire_format_unchanged_by_inline_storage() {
+        // The inline fingerprint buffers and the Arc'd snapshot must
+        // serialize exactly like the former Vec-backed fields, so
+        // checkpoints and wire frames from older builds stay readable.
+        let a = Alert::new(
+            CondId::SINGLE,
+            fp(&[3, 2]),
+            vec![Update::new(VarId::new(0), 3, 52.0)],
+            AlertId { ce: CeId::new(0), index: 0 },
+        );
+        let json = serde_json::to_value(&a).unwrap();
+        assert_eq!(json["fingerprint"]["entries"][0][1], serde_json::json!([3, 2]));
+        assert_eq!(json["snapshot"][0]["seqno"], 3);
+        let back: Alert = serde_json::from_value(json).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(back.snapshot[..], a.snapshot[..]);
     }
 }

@@ -257,10 +257,7 @@ mod tests {
         let cons = Conservative::new(DeltaRise::new(x(), 1.0));
         let aggr = DeltaRise::new(x(), 1.0);
         // And with a conservative child covering the only variable.
-        assert_eq!(
-            And::new(cons.clone(), aggr.clone()).triggering(),
-            Triggering::Conservative
-        );
+        assert_eq!(And::new(cons.clone(), aggr.clone()).triggering(), Triggering::Conservative);
         // Or of conservative+aggressive over the same variable: aggressive.
         assert_eq!(Or::new(cons.clone(), aggr.clone()).triggering(), Triggering::Aggressive);
         // Or of two conservatives over the same variable set: conservative.

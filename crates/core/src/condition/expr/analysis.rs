@@ -78,14 +78,9 @@ pub fn analyze(expr: &Expr<String>) -> Result<ExprInfo, ParseError> {
     }
 
     let guarded = top_level_consecutive_guards(expr);
-    let conservative = degrees
-        .iter()
-        .all(|(var, &degree)| degree <= 1 || guarded.iter().any(|g| g == var));
-    let triggering = if conservative {
-        Triggering::Conservative
-    } else {
-        Triggering::Aggressive
-    };
+    let conservative =
+        degrees.iter().all(|(var, &degree)| degree <= 1 || guarded.iter().any(|g| g == var));
+    let triggering = if conservative { Triggering::Conservative } else { Triggering::Aggressive };
     Ok(ExprInfo { degrees, triggering })
 }
 
@@ -220,9 +215,8 @@ mod tests {
 
     #[test]
     fn multi_var_guards_must_cover_all_historical_vars() {
-        let partial = info(
-            "x[0].value - x[-1].value > 1 && y[0].value - y[-1].value > 1 && consecutive(x)",
-        );
+        let partial =
+            info("x[0].value - x[-1].value > 1 && y[0].value - y[-1].value > 1 && consecutive(x)");
         assert_eq!(partial.triggering, Triggering::Aggressive);
         let full = info(
             "x[0].value - x[-1].value > 1 && y[0].value - y[-1].value > 1 \

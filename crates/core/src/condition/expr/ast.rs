@@ -67,10 +67,7 @@ impl BinOp {
 
     /// Whether this operator takes numeric operands and yields a boolean.
     pub fn is_comparison(self) -> bool {
-        matches!(
-            self,
-            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
-        )
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
     }
 
     /// Whether this operator takes boolean operands.
@@ -186,11 +183,9 @@ impl<V> Expr<V> {
             Expr::Consecutive(v) => Expr::Consecutive(f(v)),
             Expr::Agg { op, var, window } => Expr::Agg { op, var: f(var), window },
             Expr::Unary { op, expr } => Expr::Unary { op, expr: Box::new(expr.map_vars(f)) },
-            Expr::Binary { op, lhs, rhs } => Expr::Binary {
-                op,
-                lhs: Box::new(lhs.map_vars(f)),
-                rhs: Box::new(rhs.map_vars(f)),
-            },
+            Expr::Binary { op, lhs, rhs } => {
+                Expr::Binary { op, lhs: Box::new(lhs.map_vars(f)), rhs: Box::new(rhs.map_vars(f)) }
+            }
             Expr::Abs(e) => Expr::Abs(Box::new(e.map_vars(f))),
             Expr::Min(a, b) => Expr::Min(Box::new(a.map_vars(f)), Box::new(b.map_vars(f))),
             Expr::Max(a, b) => Expr::Max(Box::new(a.map_vars(f)), Box::new(b.map_vars(f))),
@@ -274,10 +269,7 @@ mod tests {
         let e: Expr<String> = Expr::Binary {
             op: BinOp::And,
             lhs: Box::new(Expr::Bool(true)),
-            rhs: Box::new(Expr::Unary {
-                op: UnOp::Not,
-                expr: Box::new(Expr::Bool(false)),
-            }),
+            rhs: Box::new(Expr::Unary { op: UnOp::Not, expr: Box::new(Expr::Bool(false)) }),
         };
         assert_eq!(e.to_string(), "(true && !(false))");
     }
@@ -298,8 +290,7 @@ mod tests {
             BinOp::And,
             BinOp::Or,
         ] {
-            let classes =
-                [op.is_arithmetic(), op.is_comparison(), op.is_logical()];
+            let classes = [op.is_arithmetic(), op.is_comparison(), op.is_logical()];
             assert_eq!(classes.iter().filter(|&&b| b).count(), 1, "{op:?}");
         }
     }

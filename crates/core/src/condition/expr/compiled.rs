@@ -163,12 +163,8 @@ fn eval_expr(e: &Expr<VarId>, h: &HistorySet) -> Option<Val> {
             })
         }
         Expr::Abs(e) => Some(Val::Num(eval_expr(e, h)?.num()?.abs())),
-        Expr::Min(a, b) => {
-            Some(Val::Num(eval_expr(a, h)?.num()?.min(eval_expr(b, h)?.num()?)))
-        }
-        Expr::Max(a, b) => {
-            Some(Val::Num(eval_expr(a, h)?.num()?.max(eval_expr(b, h)?.num()?)))
-        }
+        Expr::Min(a, b) => Some(Val::Num(eval_expr(a, h)?.num()?.min(eval_expr(b, h)?.num()?))),
+        Expr::Max(a, b) => Some(Val::Num(eval_expr(a, h)?.num()?.max(eval_expr(b, h)?.num()?))),
     }
 }
 
@@ -276,17 +272,9 @@ mod tests {
         // the last four (max_over includes H[0]) and a strict rise.
         let (c, reg) = setup("x[0].value >= max_over(x, 4) && x[0].value > x[-1].value");
         assert!(!feed(&c, &reg, &[("x", 1, 5.0), ("x", 2, 9.0), ("x", 3, 7.0)])); // degree 4: undefined
-        assert!(feed(
-            &c,
-            &reg,
-            &[("x", 1, 5.0), ("x", 2, 9.0), ("x", 3, 7.0), ("x", 4, 12.0)]
-        ));
+        assert!(feed(&c, &reg, &[("x", 1, 5.0), ("x", 2, 9.0), ("x", 3, 7.0), ("x", 4, 12.0)]));
         // New reading below an older max: no alert.
-        assert!(!feed(
-            &c,
-            &reg,
-            &[("x", 1, 5.0), ("x", 2, 9.0), ("x", 3, 7.0), ("x", 4, 8.0)]
-        ));
+        assert!(!feed(&c, &reg, &[("x", 1, 5.0), ("x", 2, 9.0), ("x", 3, 7.0), ("x", 4, 8.0)]));
 
         let (avg, reg) = setup("avg_over(x, 2) >= 10");
         assert!(feed(&avg, &reg, &[("x", 1, 8.0), ("x", 2, 12.0)]));
@@ -304,8 +292,7 @@ mod tests {
     fn registry_shared_across_conditions() {
         let mut reg = VarRegistry::new();
         let a = CompiledCondition::compile("x[0].value > 1", &mut reg).unwrap();
-        let b = CompiledCondition::compile("x[0].value < 1 && y[0].value > 0", &mut reg)
-            .unwrap();
+        let b = CompiledCondition::compile("x[0].value < 1 && y[0].value > 0", &mut reg).unwrap();
         assert_eq!(a.variables(), vec![reg.lookup("x").unwrap()]);
         assert_eq!(b.variables().len(), 2);
         assert_eq!(reg.len(), 2);

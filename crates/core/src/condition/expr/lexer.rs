@@ -216,7 +216,9 @@ pub fn lex(src: &str) -> Result<Vec<(Token, usize)>, LexError> {
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
-                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
                 {
                     i += 1;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -291,28 +293,22 @@ mod tests {
     #[test]
     fn decimals_and_integers() {
         assert_eq!(toks("3.25 7"), vec![Token::Number(3.25), Token::Number(7.0)]);
-        assert_eq!(toks("1e3 2.5e-2 1E+2"), vec![
-            Token::Number(1000.0),
-            Token::Number(0.025),
-            Token::Number(100.0)
-        ]);
+        assert_eq!(
+            toks("1e3 2.5e-2 1E+2"),
+            vec![Token::Number(1000.0), Token::Number(0.025), Token::Number(100.0)]
+        );
         // 'e' not followed by digits stays an identifier.
         assert_eq!(toks("1e"), vec![Token::Number(1.0), Token::Ident("e".into())]);
         // '5.' is Number(5) followed by Dot (field access style).
-        assert_eq!(toks("5.x"), vec![
-            Token::Number(5.0),
-            Token::Dot,
-            Token::Ident("x".into())
-        ]);
+        assert_eq!(toks("5.x"), vec![Token::Number(5.0), Token::Dot, Token::Ident("x".into())]);
     }
 
     #[test]
     fn comments_skipped() {
-        assert_eq!(toks("1 # the rest is ignored\n+ 2"), vec![
-            Token::Number(1.0),
-            Token::Plus,
-            Token::Number(2.0)
-        ]);
+        assert_eq!(
+            toks("1 # the rest is ignored\n+ 2"),
+            vec![Token::Number(1.0), Token::Plus, Token::Number(2.0)]
+        );
     }
 
     #[test]

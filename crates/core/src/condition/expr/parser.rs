@@ -215,11 +215,7 @@ impl Parser {
                     self.expect(&Token::LParen)?;
                     let var = match self.bump() {
                         Some(Token::Ident(v)) => v,
-                        _ => {
-                            return Err(
-                                self.err_here("consecutive() takes a variable name")
-                            )
-                        }
+                        _ => return Err(self.err_here("consecutive() takes a variable name")),
                     };
                     self.expect(&Token::RParen)?;
                     Ok(Expr::Consecutive(var))
@@ -250,11 +246,7 @@ impl Parser {
                     self.expect(&Token::Comma)?;
                     let window = match self.bump() {
                         Some(Token::Number(n)) if n.fract() == 0.0 && n >= 1.0 => n as u64,
-                        _ => {
-                            return Err(self.err_here(
-                                "window size must be a positive integer",
-                            ))
-                        }
+                        _ => return Err(self.err_here("window size must be a positive integer")),
                     };
                     self.expect(&Token::RParen)?;
                     Ok(Expr::Agg { op, var, window })
@@ -277,10 +269,9 @@ impl Parser {
                 offset: self.tokens[self.pos - 1].1,
                 message: format!("unexpected token '{t}'"),
             }),
-            None => Err(ParseError {
-                offset: self.src_len,
-                message: "unexpected end of input".into(),
-            }),
+            None => {
+                Err(ParseError { offset: self.src_len, message: "unexpected end of input".into() })
+            }
         }
     }
 
@@ -332,11 +323,7 @@ mod tests {
             e,
             Expr::Binary {
                 op: BinOp::Gt,
-                lhs: Box::new(Expr::Term {
-                    var: "x".into(),
-                    index: 0,
-                    field: Field::Value
-                }),
+                lhs: Box::new(Expr::Term { var: "x".into(), index: 0, field: Field::Value }),
                 rhs: Box::new(Expr::Num(3000.0)),
             }
         );
@@ -397,10 +384,9 @@ mod tests {
     fn window_aggregates_parse() {
         let e = parse("x[0].value >= max_over(x, 4)").unwrap();
         match e {
-            Expr::Binary { rhs, .. } => assert_eq!(
-                *rhs,
-                Expr::Agg { op: AggOp::Max, var: "x".into(), window: 4 }
-            ),
+            Expr::Binary { rhs, .. } => {
+                assert_eq!(*rhs, Expr::Agg { op: AggOp::Max, var: "x".into(), window: 4 })
+            }
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse("avg_over(t, 3) > 100").is_ok());

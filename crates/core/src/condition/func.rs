@@ -132,12 +132,9 @@ mod tests {
 
     #[test]
     fn metadata_is_declared() {
-        let c = FnCondition::new(
-            "both-high",
-            [(x(), 1), (y(), 2)],
-            Triggering::Aggressive,
-            |h| h.value(x(), 0).unwrap_or(0.0) > 1.0 && h.value(y(), 0).unwrap_or(0.0) > 1.0,
-        );
+        let c = FnCondition::new("both-high", [(x(), 1), (y(), 2)], Triggering::Aggressive, |h| {
+            h.value(x(), 0).unwrap_or(0.0) > 1.0 && h.value(y(), 0).unwrap_or(0.0) > 1.0
+        });
         assert_eq!(c.name(), "both-high");
         assert_eq!(c.variables(), vec![x(), y()]);
         assert_eq!(c.degree(x()), 1);

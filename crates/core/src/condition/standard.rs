@@ -321,10 +321,7 @@ impl SharpDrop {
     ///
     /// Panics unless `0 < fraction < 1`.
     pub fn new(var: VarId, fraction: f64) -> Self {
-        assert!(
-            fraction > 0.0 && fraction < 1.0,
-            "drop fraction must be strictly between 0 and 1"
-        );
+        assert!(fraction > 0.0 && fraction < 1.0, "drop fraction must be strictly between 0 and 1");
         SharpDrop { var, fraction }
     }
 }

@@ -52,15 +52,7 @@ impl<C: Condition> Evaluator<C> {
     /// (used by replicated and multi-condition systems).
     pub fn with_ids(cond: C, cond_id: CondId, ce: CeId) -> Self {
         let histories = HistorySet::new(cond.history_spec());
-        Evaluator {
-            cond,
-            cond_id,
-            ce,
-            histories,
-            emitted: 0,
-            ingested: 0,
-            dropped_stale: 0,
-        }
+        Evaluator { cond, cond_id, ce, histories, emitted: 0, ingested: 0, dropped_stale: 0 }
     }
 
     /// The monitored condition.
@@ -201,11 +193,9 @@ pub fn transduce_merged<C: Condition>(
     for u in u1.iter().chain(u2) {
         match var {
             None => var = Some(u.var),
-            Some(v) => assert!(
-                v == u.var,
-                "transduce_merged is single-variable; found {v} and {}",
-                u.var
-            ),
+            Some(v) => {
+                assert!(v == u.var, "transduce_merged is single-variable; found {v} and {}", u.var)
+            }
         }
     }
     let mut merged: Vec<Update> = Vec::with_capacity(u1.len() + u2.len());
@@ -345,12 +335,7 @@ mod tests {
     #[should_panic(expected = "single-variable")]
     fn transduce_merged_rejects_multi_var() {
         let c = Threshold::new(x(), Cmp::Gt, 0.0);
-        transduce_merged(
-            &c,
-            CeId::new(0),
-            &[u(1, 1.0)],
-            &[Update::new(VarId::new(1), 1, 1.0)],
-        );
+        transduce_merged(&c, CeId::new(0), &[u(1, 1.0)], &[Update::new(VarId::new(1), 1, 1.0)]);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
-use crate::alert::HistoryFingerprint;
+use crate::alert::{HistoryFingerprint, SeqBuf};
 use crate::error::{Error, Result};
 use crate::update::{SeqNo, Update};
 use crate::var::VarId;
@@ -121,7 +121,10 @@ impl History {
     }
 
     /// Seqnos newest-first, for building a [`HistoryFingerprint`].
-    pub fn seqnos(&self) -> Vec<SeqNo> {
+    ///
+    /// Returns an inline buffer: for degrees up to 3 (every paper
+    /// scenario) this performs no heap allocation.
+    pub fn seqnos(&self) -> SeqBuf {
         self.buf.iter().map(|u| u.seqno).collect()
     }
 
@@ -230,9 +233,7 @@ impl HistorySet {
     /// triggers alerts on defined history sets.
     pub fn fingerprint(&self) -> HistoryFingerprint {
         assert!(self.is_defined(), "fingerprint of an undefined history set");
-        HistoryFingerprint::new(
-            self.histories.iter().map(|(&v, h)| (v, h.seqnos())).collect(),
-        )
+        HistoryFingerprint::from_entries(self.histories.iter().map(|(&v, h)| (v, h.seqnos())))
     }
 
     /// Flat snapshot of all held updates, per variable newest-first.
@@ -295,19 +296,13 @@ mod tests {
     #[test]
     fn rejects_wrong_variable_and_stale_seqno() {
         let mut h = History::new(x(), 2);
-        assert!(matches!(
-            h.push(Update::new(y(), 1, 0.0)),
-            Err(Error::UnknownVariable(_))
-        ));
+        assert!(matches!(h.push(Update::new(y(), 1, 0.0)), Err(Error::UnknownVariable(_))));
         h.push(Update::new(x(), 4, 0.0)).unwrap();
         assert!(matches!(
             h.push(Update::new(x(), 4, 0.0)),
             Err(Error::OutOfOrderUpdate { got: 4, newest: 4, .. })
         ));
-        assert!(matches!(
-            h.push(Update::new(x(), 2, 0.0)),
-            Err(Error::OutOfOrderUpdate { .. })
-        ));
+        assert!(matches!(h.push(Update::new(x(), 2, 0.0)), Err(Error::OutOfOrderUpdate { .. })));
     }
 
     #[test]
@@ -347,10 +342,7 @@ mod tests {
     #[test]
     fn set_rejects_untracked_variable() {
         let mut hs = HistorySet::new([(x(), 1)]);
-        assert!(matches!(
-            hs.push(Update::new(y(), 1, 0.0)),
-            Err(Error::UnknownVariable(_))
-        ));
+        assert!(matches!(hs.push(Update::new(y(), 1, 0.0)), Err(Error::UnknownVariable(_))));
     }
 
     #[test]

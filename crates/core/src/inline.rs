@@ -1,0 +1,338 @@
+//! A no-`unsafe` small-vector used on the alert hot path.
+//!
+//! Every alert carries a [`HistoryFingerprint`](crate::HistoryFingerprint)
+//! — one newest-first seqno list per variable — and in every scenario
+//! the paper considers, history degrees are 1–3 and conditions mention
+//! 1–3 variables. Backing those lists with `Vec` costs two heap
+//! allocations per alert plus one more per clone into an AD `seen`
+//! set. [`InlineVec`] keeps up to `N` elements inline in the struct
+//! itself and only spills to the heap beyond that, so the common case
+//! allocates nothing.
+//!
+//! The crate forbids `unsafe`, so the inline storage is a plain
+//! `[T; N]` of `T::Default` fillers rather than a `MaybeUninit` block;
+//! for the element types used here (`SeqNo`, small tuples) the filler
+//! cost is a few zeroed words.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use serde::{Deserialize, Serialize};
+
+/// A growable sequence storing its first `N` elements inline.
+///
+/// Invariant: when `len <= N` the elements live in `inline[..len]` and
+/// `spill` is empty; once the length exceeds `N`, *all* elements live
+/// in `spill` and the inline slots hold defaults. [`InlineVec::as_slice`]
+/// is contiguous in both regimes, so readers never see the split.
+///
+/// Equality, ordering, hashing and serialization are all slice-based:
+/// an `InlineVec` behaves exactly like the sequence of its elements,
+/// regardless of where they are stored. In particular the serde wire
+/// format is identical to `Vec<T>`'s.
+///
+/// ```rust
+/// use rcm_core::inline::InlineVec;
+/// let mut v: InlineVec<u64, 3> = [1u64, 2].into_iter().collect();
+/// v.push(3); // still inline
+/// v.push(4); // spills
+/// assert_eq!(v.as_slice(), &[1, 2, 3, 4]);
+/// assert_eq!(v, InlineVec::<u64, 3>::from(vec![1, 2, 3, 4]));
+/// ```
+#[derive(Clone)]
+pub struct InlineVec<T, const N: usize> {
+    inline: [T; N],
+    len: usize,
+    spill: Vec<T>,
+}
+
+impl<T: Default, const N: usize> InlineVec<T, N> {
+    /// Creates an empty vector (no heap allocation).
+    pub fn new() -> Self {
+        InlineVec { inline: std::array::from_fn(|_| T::default()), len: 0, spill: Vec::new() }
+    }
+
+    /// Appends an element, spilling to the heap when the inline
+    /// capacity `N` is exceeded.
+    pub fn push(&mut self, value: T) {
+        if self.len < N {
+            self.inline[self.len] = value;
+        } else {
+            if self.len == N {
+                self.spill.reserve(N + 1);
+                for slot in &mut self.inline {
+                    self.spill.push(std::mem::take(slot));
+                }
+            }
+            self.spill.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// Removes all elements, keeping any spill capacity.
+    pub fn clear(&mut self) {
+        self.spill.clear();
+        if self.len > 0 && self.len <= N {
+            for slot in &mut self.inline[..self.len] {
+                *slot = T::default();
+            }
+        }
+        self.len = 0;
+    }
+}
+
+impl<T, const N: usize> InlineVec<T, N> {
+    /// Number of elements held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no elements are held.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the elements currently live in the inline buffer (true
+    /// for up to `N` elements).
+    pub fn is_inline(&self) -> bool {
+        self.len <= N
+    }
+
+    /// All elements as one contiguous slice.
+    pub fn as_slice(&self) -> &[T] {
+        if self.len <= N {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// All elements as one contiguous mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.len <= N {
+            &mut self.inline[..self.len]
+        } else {
+            &mut self.spill
+        }
+    }
+}
+
+impl<T: Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = Self::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+impl<T: Default, const N: usize> Extend<T> for InlineVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.push(item);
+        }
+    }
+}
+
+impl<T: Default, const N: usize> From<Vec<T>> for InlineVec<T, N> {
+    fn from(vec: Vec<T>) -> Self {
+        if vec.len() > N {
+            // Reuse the allocation instead of copying element-wise.
+            InlineVec { inline: std::array::from_fn(|_| T::default()), len: vec.len(), spill: vec }
+        } else {
+            vec.into_iter().collect()
+        }
+    }
+}
+
+impl<T: Clone, const N: usize> From<InlineVec<T, N>> for Vec<T> {
+    fn from(v: InlineVec<T, N>) -> Vec<T> {
+        if v.len > N {
+            v.spill
+        } else {
+            v.inline[..v.len].to_vec()
+        }
+    }
+}
+
+impl<T, const N: usize> std::ops::Deref for InlineVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T, const N: usize> std::ops::DerefMut for InlineVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T, const N: usize> AsRef<[T]> for InlineVec<T, N> {
+    fn as_ref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: PartialEq, const N: usize, const M: usize> PartialEq<InlineVec<T, M>> for InlineVec<T, N> {
+    fn eq(&self, other: &InlineVec<T, M>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T: PartialOrd, const N: usize> PartialOrd for InlineVec<T, N> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.as_slice().partial_cmp(other.as_slice())
+    }
+}
+
+impl<T: Ord, const N: usize> Ord for InlineVec<T, N> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl<T: Hash, const N: usize> Hash for InlineVec<T, N> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Matches Vec<T> / [T]: length prefix then elements, so swapping
+        // a Vec field for an InlineVec preserves hash values.
+        self.as_slice().hash(state);
+    }
+}
+
+impl<T: fmt::Debug, const N: usize> fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for InlineVec<T, N> {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Default, const N: usize> Deserialize<'de> for InlineVec<T, N> {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(Vec::<T>::deserialize(deserializer)?.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type V = InlineVec<u64, 3>;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v = V::new();
+        assert!(v.is_empty() && v.is_inline());
+        for i in 1..=3 {
+            v.push(i);
+        }
+        assert!(v.is_inline());
+        assert_eq!(v.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_and_stays_contiguous() {
+        let mut v = V::new();
+        for i in 1..=10 {
+            v.push(i);
+        }
+        assert!(!v.is_inline());
+        assert_eq!(v.len(), 10);
+        assert_eq!(v.as_slice(), &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn clear_resets_both_regimes() {
+        let mut v: V = (1..=10u64).collect();
+        v.clear();
+        assert!(v.is_empty());
+        v.push(7);
+        assert_eq!(v.as_slice(), &[7]);
+        let mut w: V = (1..=2u64).collect();
+        w.clear();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn equality_ignores_storage_regime() {
+        let small: V = (1..=3u64).collect();
+        let grown: InlineVec<u64, 2> = (1..=3u64).collect();
+        assert!(!grown.is_inline());
+        assert_eq!(small.as_slice(), grown.as_slice());
+    }
+
+    #[test]
+    fn hash_matches_vec() {
+        use std::collections::hash_map::DefaultHasher;
+        fn h<T: Hash>(t: &T) -> u64 {
+            let mut s = DefaultHasher::new();
+            t.hash(&mut s);
+            s.finish()
+        }
+        let v: V = (1..=5u64).collect();
+        let vec: Vec<u64> = (1..=5).collect();
+        assert_eq!(h(&v), h(&vec));
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        for n in [0usize, 2, 3, 4, 9] {
+            let vec: Vec<u64> = (0..n as u64).collect();
+            let iv = V::from(vec.clone());
+            assert_eq!(Vec::from(iv.clone()), vec);
+            assert_eq!(iv.len(), n);
+        }
+    }
+
+    #[test]
+    fn sort_via_mut_slice() {
+        let mut v: V = [3u64, 1, 2].into_iter().collect();
+        v.as_mut_slice().sort_unstable();
+        assert_eq!(v.as_slice(), &[1, 2, 3]);
+        let mut w: V = [5u64, 3, 4, 1, 2].into_iter().collect();
+        w.as_mut_slice().sort_unstable();
+        assert_eq!(w.as_slice(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn serde_roundtrip_matches_vec_format() {
+        let v: V = (1..=5u64).collect();
+        let json = serde_json::to_string(&v).unwrap();
+        assert_eq!(json, "[1,2,3,4,5]");
+        let back: V = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v);
+        let inline: V = (1..=2u64).collect();
+        let back2: V = serde_json::from_str(&serde_json::to_string(&inline).unwrap()).unwrap();
+        assert_eq!(back2, inline);
+    }
+
+    #[test]
+    fn deref_gives_slice_methods() {
+        let v: V = [4u64, 2].into_iter().collect();
+        assert_eq!(v.first(), Some(&4));
+        assert_eq!(v.iter().copied().max(), Some(4));
+        assert_eq!(v.windows(2).count(), 1);
+    }
+}

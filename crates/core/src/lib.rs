@@ -81,14 +81,16 @@ pub mod condition;
 mod error;
 mod evaluator;
 mod history;
+pub mod inline;
 pub mod seq;
 mod update;
 mod var;
 
-pub use alert::{Alert, AlertId, CeId, CondId, HistoryFingerprint};
+pub use alert::{Alert, AlertId, CeId, CondId, HistoryFingerprint, SeqBuf};
 pub use condition::{Condition, ConditionExt, Triggering};
 pub use error::{Error, Result};
 pub use evaluator::{transduce, transduce_merged, Evaluator};
 pub use history::{History, HistorySet};
+pub use inline::InlineVec;
 pub use update::{SeqNo, Update};
 pub use var::{VarId, VarRegistry};

@@ -73,12 +73,7 @@ pub struct Interleavings<T> {
 pub fn interleavings<T: Clone>(left: &[T], right: &[T]) -> Interleavings<T> {
     let total = left.len() + right.len();
     assert!(total <= 63, "interleaving enumeration capped at 63 combined elements");
-    Interleavings {
-        left: left.to_vec(),
-        right: right.to_vec(),
-        mask: 0,
-        done: false,
-    }
+    Interleavings { left: left.to_vec(), right: right.to_vec(), mask: 0, done: false }
 }
 
 impl<T: Clone> Iterator for Interleavings<T> {

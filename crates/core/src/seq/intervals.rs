@@ -1,0 +1,251 @@
+//! Compact sets of `u64` seqnos stored as sorted inclusive runs.
+//!
+//! The AD-3/AD-6 consistency filters track every seqno they have ever
+//! delivered (`Received`) or skipped over (`Missed`). Histories march
+//! forward, so both sets are unions of a few long runs of consecutive
+//! integers — storing them per-element in a `BTreeSet` grows without
+//! bound in a long-running deployment and costs a tree probe per
+//! seqno. [`IntervalSet`] stores the same sets as sorted disjoint
+//! inclusive `(lo, hi)` runs: membership and overlap queries are a
+//! binary search over a handful of runs, and memory is proportional to
+//! the number of *gaps* the monitor has seen, not the number of
+//! updates.
+
+use serde::{Deserialize, Serialize};
+
+/// A set of `u64` values stored as sorted, disjoint, non-adjacent
+/// inclusive intervals.
+///
+/// Adjacent and overlapping insertions coalesce, so the run list is
+/// always minimal: inserting `3`, `5`, then `4` leaves the single run
+/// `(3, 5)`.
+///
+/// ```rust
+/// use rcm_core::seq::IntervalSet;
+/// let mut s = IntervalSet::new();
+/// s.insert(3);
+/// s.insert(5);
+/// assert_eq!(s.num_runs(), 2);
+/// s.insert(4); // bridges the gap
+/// assert_eq!(s.num_runs(), 1);
+/// assert!(s.contains(4) && !s.contains(6));
+/// assert!(s.intersects(0, 3) && !s.intersects(6, 9));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalSet {
+    /// Sorted by `lo`; invariant: `runs[i].1 + 1 < runs[i + 1].0`.
+    runs: Vec<(u64, u64)>,
+}
+
+impl IntervalSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the set holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of stored runs (the memory footprint, up to a constant).
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of values in the set.
+    pub fn len(&self) -> u64 {
+        self.runs.iter().map(|&(lo, hi)| hi - lo + 1).sum()
+    }
+
+    /// Removes all values.
+    pub fn clear(&mut self) {
+        self.runs.clear();
+    }
+
+    /// Inserts a single value.
+    pub fn insert(&mut self, value: u64) {
+        self.insert_range(value, value);
+    }
+
+    /// Inserts every value in the inclusive range `lo..=hi`, merging
+    /// with any overlapping or adjacent runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn insert_range(&mut self, lo: u64, hi: u64) {
+        assert!(lo <= hi, "insert_range: lo {lo} > hi {hi}");
+        // First run that could merge with [lo, hi]: its end reaches at
+        // least lo - 1 (adjacency counts as mergeable).
+        let merge_from = lo.saturating_sub(1);
+        let start = self.runs.partition_point(|&(_, e)| e < merge_from);
+        // One past the last run that could merge: its start is at most
+        // hi + 1.
+        let merge_to = hi.saturating_add(1);
+        let end = start + self.runs[start..].partition_point(|&(s, _)| s <= merge_to);
+        if start == end {
+            self.runs.insert(start, (lo, hi));
+            return;
+        }
+        let new_lo = lo.min(self.runs[start].0);
+        let new_hi = hi.max(self.runs[end - 1].1);
+        self.runs[start] = (new_lo, new_hi);
+        self.runs.drain(start + 1..end);
+    }
+
+    /// Whether `value` is in the set.
+    pub fn contains(&self, value: u64) -> bool {
+        // Last run starting at or before `value`.
+        let idx = self.runs.partition_point(|&(s, _)| s <= value);
+        idx > 0 && self.runs[idx - 1].1 >= value
+    }
+
+    /// Whether any value in the inclusive range `lo..=hi` is in the
+    /// set.
+    pub fn intersects(&self, lo: u64, hi: u64) -> bool {
+        if lo > hi {
+            return false;
+        }
+        // First run ending at or after `lo`; it intersects iff it
+        // starts at or before `hi`.
+        let idx = self.runs.partition_point(|&(_, e)| e < lo);
+        idx < self.runs.len() && self.runs[idx].0 <= hi
+    }
+
+    /// The stored runs as sorted disjoint inclusive `(lo, hi)` pairs.
+    pub fn runs(&self) -> &[(u64, u64)] {
+        &self.runs
+    }
+
+    /// Iterates over every value in ascending order.
+    ///
+    /// Beware: the iterator yields `len()` items, which can dwarf
+    /// `num_runs()`; use it for witnesses and tests, not bookkeeping.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.runs.iter().flat_map(|&(lo, hi)| lo..=hi)
+    }
+}
+
+impl FromIterator<u64> for IntervalSet {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+impl Extend<u64> for IntervalSet {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn coalesces_adjacent_and_overlapping() {
+        let mut s = IntervalSet::new();
+        s.insert_range(10, 12);
+        s.insert_range(14, 16);
+        assert_eq!(s.runs(), &[(10, 12), (14, 16)]);
+        s.insert(13);
+        assert_eq!(s.runs(), &[(10, 16)]);
+        s.insert_range(5, 11);
+        assert_eq!(s.runs(), &[(5, 16)]);
+        s.insert_range(20, 20);
+        s.insert_range(0, 100);
+        assert_eq!(s.runs(), &[(0, 100)]);
+    }
+
+    #[test]
+    fn duplicate_inserts_are_idempotent() {
+        let mut s = IntervalSet::new();
+        s.insert(7);
+        s.insert(7);
+        s.insert_range(5, 9);
+        s.insert_range(5, 9);
+        assert_eq!(s.runs(), &[(5, 9)]);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn contains_and_intersects() {
+        let s: IntervalSet = [1u64, 2, 3, 10, 11, 30].into_iter().collect();
+        assert_eq!(s.runs(), &[(1, 3), (10, 11), (30, 30)]);
+        for v in [1, 3, 10, 30] {
+            assert!(s.contains(v), "{v}");
+        }
+        for v in [0, 4, 9, 12, 29, 31] {
+            assert!(!s.contains(v), "{v}");
+        }
+        assert!(s.intersects(4, 10));
+        assert!(s.intersects(0, 1));
+        assert!(s.intersects(30, 99));
+        assert!(!s.intersects(4, 9));
+        assert!(!s.intersects(12, 29));
+        assert!(!s.intersects(31, u64::MAX));
+        assert!(!s.intersects(9, 4));
+    }
+
+    #[test]
+    fn boundary_values() {
+        let mut s = IntervalSet::new();
+        s.insert(0);
+        s.insert(u64::MAX);
+        assert_eq!(s.runs(), &[(0, 0), (u64::MAX, u64::MAX)]);
+        s.insert(1);
+        assert_eq!(s.runs(), &[(0, 1), (u64::MAX, u64::MAX)]);
+        assert!(s.contains(u64::MAX));
+        assert!(s.intersects(2, u64::MAX));
+        assert!(!s.intersects(3, u64::MAX - 1));
+    }
+
+    #[test]
+    fn iter_matches_btreeset_model() {
+        // Pseudo-random cross-check against the per-element model.
+        let mut model = BTreeSet::new();
+        let mut s = IntervalSet::new();
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for _ in 0..500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let lo = x % 64;
+            let hi = lo + (x >> 32) % 5;
+            s.insert_range(lo, hi);
+            model.extend(lo..=hi);
+            assert_eq!(s.iter().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+            assert_eq!(s.len(), model.len() as u64);
+            let probe = (x >> 16) % 80;
+            assert_eq!(s.contains(probe), model.contains(&probe));
+            let (a, b) = (probe, probe + x % 7);
+            assert_eq!(s.intersects(a, b), model.range(a..=b).next().is_some());
+        }
+        // Runs must stay minimal: disjoint, sorted, non-adjacent.
+        for w in s.runs().windows(2) {
+            assert!(w[0].1 + 1 < w[1].0, "runs not minimal: {:?}", s.runs());
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s: IntervalSet = [1u64, 2, 3, 9].into_iter().collect();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: IntervalSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "insert_range")]
+    fn inverted_range_panics() {
+        IntervalSet::new().insert_range(5, 4);
+    }
+}

@@ -19,14 +19,21 @@
 //! [`interleavings`] enumerates all order-preserving merges of two
 //! sequences; the property checkers use it as a brute-force oracle for
 //! the multi-variable definitions (paper Appendix C).
+//!
+//! [`IntervalSet`] is the runtime counterpart of these set operations:
+//! a seqno set stored as sorted inclusive runs, used by the AD-3/AD-6
+//! consistency bookkeeping so long-running monitors don't accumulate
+//! one tree node per update ever seen.
 
 mod interleave;
+mod intervals;
 mod ops;
 mod project;
 
 pub use interleave::{interleavings, merge_by_schedule, Interleavings};
+pub use intervals::IntervalSet;
 pub use ops::{
-    inversions, is_ordered, is_strictly_ordered, is_subsequence, ordered_union, phi,
-    spanning_gaps, spanning_set,
+    inversions, is_ordered, is_strictly_ordered, is_subsequence, ordered_union, phi, spanning_gaps,
+    spanning_set,
 };
 pub use project::{alerts_ordered, is_ordered_wrt, project_alerts, project_updates};

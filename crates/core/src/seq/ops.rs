@@ -233,10 +233,7 @@ mod tests {
     fn spanning_set_paper_example() {
         // SpanningSet({1,2,5}) = {1,2,3,4,5}
         let s: BTreeSet<u64> = [1, 2, 5].into_iter().collect();
-        assert_eq!(
-            spanning_set(&s).into_iter().collect::<Vec<_>>(),
-            vec![1, 2, 3, 4, 5]
-        );
+        assert_eq!(spanning_set(&s).into_iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 5]);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(x.to_string(), "v0");
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
 )]
 pub struct VarId(u32);
 
@@ -111,20 +111,13 @@ impl VarRegistry {
 
     /// Iterates over `(id, name)` pairs in registration order.
     pub fn iter(&self) -> impl Iterator<Item = (VarId, &str)> {
-        self.names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (VarId::new(i as u32), n.as_str()))
+        self.names.iter().enumerate().map(|(i, n)| (VarId::new(i as u32), n.as_str()))
     }
 
     /// Rebuilds the name-to-id index; needed after deserializing.
     pub fn rebuild_index(&mut self) {
-        self.by_name = self
-            .names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (n.clone(), VarId::new(i as u32)))
-            .collect();
+        self.by_name =
+            self.names.iter().enumerate().map(|(i, n)| (n.clone(), VarId::new(i as u32))).collect();
     }
 }
 

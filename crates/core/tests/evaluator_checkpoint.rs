@@ -27,10 +27,7 @@ fn evaluator_checkpoint_resumes_mid_history() {
     let a_restored = restored.ingest(Update::new(x(), 2, 1300.0));
     assert_eq!(a_live, a_restored);
     let alert = a_restored.expect("rise of 300 over consecutive readings");
-    assert_eq!(
-        alert.fingerprint.seqnos(x()).unwrap(),
-        &[SeqNo::new(2), SeqNo::new(1)]
-    );
+    assert_eq!(alert.fingerprint.seqnos(x()).unwrap(), &[SeqNo::new(2), SeqNo::new(1)]);
 }
 
 #[test]
@@ -42,8 +39,7 @@ fn warm_restart_beats_cold_restart() {
     ce.ingest(Update::new(x(), 1, 1000.0));
 
     let snapshot = serde_json::to_string(&ce).unwrap();
-    let mut warm: Evaluator<Conservative<DeltaRise>> =
-        serde_json::from_str(&snapshot).unwrap();
+    let mut warm: Evaluator<Conservative<DeltaRise>> = serde_json::from_str(&snapshot).unwrap();
     ce.restart(); // cold: history gone
 
     assert!(warm.ingest(Update::new(x(), 2, 1300.0)).is_some());

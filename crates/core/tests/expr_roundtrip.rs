@@ -12,17 +12,13 @@ fn expr_strategy() -> impl Strategy<Value = Expr<String>> {
     let leaf = prop_oneof![
         (0..1000u32).prop_map(|n| Expr::Num(f64::from(n))),
         any::<bool>().prop_map(Expr::Bool),
-        (prop_oneof![Just("a"), Just("b")], 0i64..4, prop_oneof![
-            Just(Field::Value),
-            Just(Field::Seqno)
-        ])
-            .prop_map(|(v, i, field)| Expr::Term {
-                var: v.to_owned(),
-                index: -i,
-                field
-            }),
-        prop_oneof![Just("a"), Just("b")]
-            .prop_map(|v| Expr::Consecutive(v.to_owned())),
+        (
+            prop_oneof![Just("a"), Just("b")],
+            0i64..4,
+            prop_oneof![Just(Field::Value), Just(Field::Seqno)]
+        )
+            .prop_map(|(v, i, field)| Expr::Term { var: v.to_owned(), index: -i, field }),
+        prop_oneof![Just("a"), Just("b")].prop_map(|v| Expr::Consecutive(v.to_owned())),
         (
             prop_oneof![Just(AggOp::Min), Just(AggOp::Max), Just(AggOp::Avg), Just(AggOp::Sum)],
             prop_oneof![Just("a"), Just("b")],
@@ -32,36 +28,33 @@ fn expr_strategy() -> impl Strategy<Value = Expr<String>> {
     ];
     leaf.prop_recursive(4, 32, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinOp::Add),
-                Just(BinOp::Sub),
-                Just(BinOp::Mul),
-                Just(BinOp::Div),
-                Just(BinOp::Lt),
-                Just(BinOp::Le),
-                Just(BinOp::Gt),
-                Just(BinOp::Ge),
-                Just(BinOp::Eq),
-                Just(BinOp::Ne),
-                Just(BinOp::And),
-                Just(BinOp::Or),
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Le),
+                    Just(BinOp::Gt),
+                    Just(BinOp::Ge),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Ne),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                ]
+            )
                 .prop_map(|(l, r, op)| Expr::Binary {
                     op,
                     lhs: Box::new(l),
                     rhs: Box::new(r)
                 }),
-            inner.clone().prop_map(|e| Expr::Unary {
-                op: UnOp::Not,
-                expr: Box::new(e)
-            }),
-            inner.clone().prop_map(|e| Expr::Unary {
-                op: UnOp::Neg,
-                expr: Box::new(e)
-            }),
+            inner.clone().prop_map(|e| Expr::Unary { op: UnOp::Not, expr: Box::new(e) }),
+            inner.clone().prop_map(|e| Expr::Unary { op: UnOp::Neg, expr: Box::new(e) }),
             inner.clone().prop_map(|e| Expr::Abs(Box::new(e))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Expr::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Min(Box::new(a), Box::new(b))),
         ]
     })
 }

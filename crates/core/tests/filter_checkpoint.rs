@@ -3,9 +3,7 @@
 //! left off — the paper's AD never forgets what it displayed, which
 //! the consistency guarantees depend on.
 
-use rcm_core::ad::{
-    Ad1, Ad1Digest, Ad2, Ad3, Ad4, Ad5, Ad6, AlertFilter, Decision,
-};
+use rcm_core::ad::{Ad1, Ad1Digest, Ad2, Ad3, Ad4, Ad5, Ad6, AlertFilter, Decision};
 use rcm_core::{Alert, AlertId, CeId, CondId, HistoryFingerprint, SeqNo, VarId};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
@@ -29,10 +27,7 @@ fn alert(seqnos: &[u64]) -> Alert {
 fn alert2(xs: u64, ys: u64) -> Alert {
     Alert::new(
         CondId::SINGLE,
-        HistoryFingerprint::new(vec![
-            (x(), vec![SeqNo::new(xs)]),
-            (y(), vec![SeqNo::new(ys)]),
-        ]),
+        HistoryFingerprint::new(vec![(x(), vec![SeqNo::new(xs)]), (y(), vec![SeqNo::new(ys)])]),
         vec![],
         AlertId { ce: CeId::new(0), index: 0 },
     )
@@ -91,7 +86,7 @@ fn restored_ad3_remembers_missed_set() {
         !restored.offer(&alert(&[3, 2])).is_deliver(),
         "restart must not forget that update 2 was missed"
     );
-    let witness: Vec<u64> = restored.received().iter().map(|s| s.get()).collect();
+    let witness: Vec<u64> = restored.received().map(|s| s.get()).collect();
     assert_eq!(witness, vec![1, 3]);
 }
 

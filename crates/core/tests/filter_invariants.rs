@@ -4,8 +4,7 @@
 use proptest::prelude::*;
 
 use rcm_core::ad::{
-    apply_filter, Ad1, Ad1Digest, Ad2, Ad3, Ad4, Ad5, Ad6, AlertFilter, DelayedOrdered,
-    LatePolicy,
+    apply_filter, Ad1, Ad1Digest, Ad2, Ad3, Ad4, Ad5, Ad6, AlertFilter, DelayedOrdered, LatePolicy,
 };
 use rcm_core::seq::{is_subsequence, project_alerts};
 use rcm_core::{Alert, AlertId, CeId, CondId, HistoryFingerprint, SeqNo, VarId};

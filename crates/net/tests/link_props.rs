@@ -5,8 +5,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use rcm_net::{
-    Bernoulli, ConstantDelay, GilbertElliott, InOrderGate, Lossless, LossyLink,
-    ReliableLink, Transmit, UniformDelay,
+    Bernoulli, ConstantDelay, GilbertElliott, InOrderGate, Lossless, LossyLink, ReliableLink,
+    Transmit, UniformDelay,
 };
 
 proptest! {

@@ -43,12 +43,8 @@ pub fn brute_consistent_single<C: Condition>(
     // Iterate subsets from largest to smallest is unnecessary; any hit
     // suffices.
     for mask in 0..(1u32 << pool.len()) {
-        let candidate: Vec<Update> = pool
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| mask >> i & 1 == 1)
-            .map(|(_, u)| *u)
-            .collect();
+        let candidate: Vec<Update> =
+            pool.iter().enumerate().filter(|(i, _)| mask >> i & 1 == 1).map(|(_, u)| *u).collect();
         if explains(cond, &candidate, displayed) {
             return true;
         }
@@ -90,9 +86,7 @@ pub fn brute_consistent_multi<C: Condition>(
             );
             offset += flat_lens[li];
         }
-        let hit = enumerate_merges(&kept, &mut |candidate| {
-            explains(cond, candidate, displayed)
-        });
+        let hit = enumerate_merges(&kept, &mut |candidate| explains(cond, candidate, displayed));
         if hit {
             return true;
         }

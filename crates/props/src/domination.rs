@@ -121,17 +121,11 @@ mod tests {
 
     #[test]
     fn ad2_and_ad3_dominate_ad4() {
-        let r = check_domination(
-            || Ad2::new(VarId::new(0)),
-            || Ad4::new(VarId::new(0)),
-            &workloads(),
-        );
+        let r =
+            check_domination(|| Ad2::new(VarId::new(0)), || Ad4::new(VarId::new(0)), &workloads());
         assert!(r.holds);
-        let r = check_domination(
-            || Ad3::new(VarId::new(0)),
-            || Ad4::new(VarId::new(0)),
-            &workloads(),
-        );
+        let r =
+            check_domination(|| Ad3::new(VarId::new(0)), || Ad4::new(VarId::new(0)), &workloads());
         assert!(r.holds);
     }
 

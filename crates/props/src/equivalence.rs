@@ -39,11 +39,8 @@ pub fn check_equivalent_single<C: Condition>(
 ) -> EquivalenceReport {
     let merged = merge_all_single(inputs);
     let reference = transduce(cond, CeId::new(u32::MAX), &merged);
-    let first_divergence = reference
-        .iter()
-        .zip(displayed.iter())
-        .position(|(a, b)| a != b)
-        .or_else(|| {
+    let first_divergence =
+        reference.iter().zip(displayed.iter()).position(|(a, b)| a != b).or_else(|| {
             if reference.len() != displayed.len() {
                 Some(reference.len().min(displayed.len()))
             } else {
@@ -85,11 +82,8 @@ pub fn check_equivalent_multi<C: Condition>(
     let mut found = false;
     crate::multi::enumerate_merges_pub(&lists, &mut |candidate| {
         let reference = transduce(cond, CeId::new(u32::MAX), candidate);
-        let divergence = reference
-            .iter()
-            .zip(displayed.iter())
-            .position(|(a, b)| a != b)
-            .or_else(|| {
+        let divergence =
+            reference.iter().zip(displayed.iter()).position(|(a, b)| a != b).or_else(|| {
                 if reference.len() != displayed.len() {
                     Some(reference.len().min(displayed.len()))
                 } else {
@@ -157,17 +151,13 @@ mod tests {
         let c = Threshold::new(x(), Cmp::Gt, 50.0);
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
         for _ in 0..200 {
-            let uu: Vec<Update> =
-                (1..=8).map(|s| u(s, rng.random_range(0.0..100.0))).collect();
-            let keep1: Vec<Update> =
-                uu.iter().filter(|_| rng.random_bool(0.8)).copied().collect();
-            let keep2: Vec<Update> =
-                uu.iter().filter(|_| rng.random_bool(0.8)).copied().collect();
-            let mut alerts: Vec<Alert> =
-                rcm_core::transduce(&c, CeId::new(1), &keep1)
-                    .into_iter()
-                    .chain(rcm_core::transduce(&c, CeId::new(2), &keep2))
-                    .collect();
+            let uu: Vec<Update> = (1..=8).map(|s| u(s, rng.random_range(0.0..100.0))).collect();
+            let keep1: Vec<Update> = uu.iter().filter(|_| rng.random_bool(0.8)).copied().collect();
+            let keep2: Vec<Update> = uu.iter().filter(|_| rng.random_bool(0.8)).copied().collect();
+            let mut alerts: Vec<Alert> = rcm_core::transduce(&c, CeId::new(1), &keep1)
+                .into_iter()
+                .chain(rcm_core::transduce(&c, CeId::new(2), &keep2))
+                .collect();
             // Random permutation as a hypothetical display order.
             for i in (1..alerts.len()).rev() {
                 let j = rng.random_range(0..=i);

@@ -87,8 +87,7 @@ pub fn probe_one_extra<F: AlertFilter>(
 ) -> ProbeReport {
     // Base run: record per-arrival decisions.
     let mut base = make_filter();
-    let decisions: Vec<bool> =
-        arrivals.iter().map(|a| base.offer(a).is_deliver()).collect();
+    let decisions: Vec<bool> = arrivals.iter().map(|a| base.offer(a).is_deliver()).collect();
 
     let mut probed = 0;
     let mut violations = 0;
@@ -187,8 +186,7 @@ mod tests {
     fn duplicate_free_detects_duplicates() {
         let (_, _, arrivals) = conflicting_arrivals();
         assert!(duplicate_free(&arrivals));
-        let doubled: Vec<Alert> =
-            arrivals.iter().chain(arrivals.iter()).cloned().collect();
+        let doubled: Vec<Alert> = arrivals.iter().chain(arrivals.iter()).cloned().collect();
         assert!(!duplicate_free(&doubled));
         assert!(duplicate_free(&[]));
     }

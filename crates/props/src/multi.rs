@@ -60,10 +60,8 @@ pub fn check_complete_multi<C: Condition>(
     }
     let (_, expected) = best.expect("at least one interleaving exists");
     let expected_set: HashSet<&Alert> = expected.iter().collect();
-    let missing =
-        expected.iter().filter(|a| !displayed_set.contains(*a)).cloned().collect();
-    let extraneous =
-        displayed.iter().filter(|a| !expected_set.contains(a)).cloned().collect();
+    let missing = expected.iter().filter(|a| !displayed_set.contains(*a)).cloned().collect();
+    let extraneous = displayed.iter().filter(|a| !expected_set.contains(a)).cloned().collect();
     CompleteReport::from_sets(missing, extraneous)
 }
 
@@ -373,8 +371,8 @@ mod tests {
         let arrivals: Vec<Alert> = a1.iter().chain(a2.iter()).cloned().collect();
         let a = apply_filter(&mut Ad5::new([x(), y()]), &arrivals);
         assert_eq!(a.len(), 2); // AD-5 passes both (y advances 2 → 4)
-        // No interleaving yields exactly {a(8x,2y), a(8x,4y)} without
-        // also yielding a(8x,3y): the system is incomplete (Lemma 6)…
+                                // No interleaving yields exactly {a(8x,2y), a(8x,4y)} without
+                                // also yielding a(8x,3y): the system is incomplete (Lemma 6)…
         let comp = check_complete_multi(&c, &[u1.clone(), u2.clone()], &a);
         assert!(!comp.ok);
         // The best interleaving either misses one displayed alert or
@@ -402,10 +400,7 @@ mod tests {
 
     #[test]
     fn enumerate_merges_counts() {
-        let lists = vec![
-            vec![ux(1, 0.0), ux(2, 0.0)],
-            vec![uy(1, 0.0)],
-        ];
+        let lists = vec![vec![ux(1, 0.0), ux(2, 0.0)], vec![uy(1, 0.0)]];
         let mut n = 0;
         enumerate_merges(&lists, &mut |_| {
             n += 1;
@@ -439,12 +434,7 @@ mod tests {
         };
         // Degree-2 x histories: {1,3} (2 missed) vs {2,3} (2 received).
         let a = vec![mk(vec![3, 1], vec![1]), mk(vec![3, 2], vec![1])];
-        let pool = vec![
-            ux(1, 0.0),
-            ux(2, 0.0),
-            ux(3, 0.0),
-            uy(1, 0.0),
-        ];
+        let pool = vec![ux(1, 0.0), ux(2, 0.0), ux(3, 0.0), uy(1, 0.0)];
         let cons = check_consistent_multi(&cm, &[pool], &a);
         assert!(!cons.ok);
         assert!(cons.conflict.unwrap().contains("received and missed"));

@@ -33,10 +33,7 @@ pub fn check_ordered(alerts: &[Alert], vars: &[VarId]) -> OrderedReport {
         let proj = project_alerts(alerts, var);
         for (i, w) in proj.windows(2).enumerate() {
             if w[0] > w[1] {
-                return OrderedReport {
-                    ok: false,
-                    violation: Some((var, i + 1, w[0], w[1])),
-                };
+                return OrderedReport { ok: false, violation: Some((var, i + 1, w[0], w[1])) };
             }
         }
     }

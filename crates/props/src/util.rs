@@ -57,10 +57,7 @@ pub fn merge_per_var(inputs: &[Vec<Update>]) -> BTreeMap<VarId, Vec<Update>> {
             merged.entry(u.var).or_default().entry(u.seqno.get()).or_insert(u);
         }
     }
-    merged
-        .into_iter()
-        .map(|(var, by_seq)| (var, by_seq.into_values().collect()))
-        .collect()
+    merged.into_iter().map(|(var, by_seq)| (var, by_seq.into_values().collect())).collect()
 }
 
 /// `U1 ⊔ U2 ⊔ …` for a **single-variable** system: the ordered union of

@@ -36,11 +36,7 @@ fn subset(alerts: &[Alert], mask: &[bool]) -> Vec<Alert> {
 /// Single-variable scenario: full stream of n updates with given
 /// values; two replicas with independent loss masks.
 fn single_var_updates(values: &[f64]) -> Vec<Update> {
-    values
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| Update::new(x(), i as u64 + 1, v))
-        .collect()
+    values.iter().enumerate().map(|(i, &v)| Update::new(x(), i as u64 + 1, v)).collect()
 }
 
 fn run_single<C: Condition>(

@@ -34,12 +34,7 @@ impl std::fmt::Debug for FeedSource {
 /// Runs a Data Monitor: emits one update per reading with consecutive
 /// seqnos, multicasting over a front link per replica, pausing `period`
 /// between emissions.
-pub(crate) fn dm_body(
-    var: VarId,
-    source: FeedSource,
-    period: Duration,
-    mut links: Vec<FrontLink>,
-) {
+pub(crate) fn dm_body(var: VarId, source: FeedSource, period: Duration, mut links: Vec<FrontLink>) {
     let emit = |i: usize, value: f64, links: &mut Vec<FrontLink>| {
         let update = Update::new(var, i as u64 + 1, value);
         for link in links.iter_mut() {
@@ -75,9 +70,8 @@ pub(crate) fn ce_body(
 ) {
     let mut evaluator = Evaluator::with_ids(condition, CondId::SINGLE, ce);
     for update in rx {
-        let alert = evaluator
-            .try_ingest(update)
-            .expect("update routed to evaluator lacking its variable");
+        let alert =
+            evaluator.try_ingest(update).expect("update routed to evaluator lacking its variable");
         ingested.lock().push(update);
         if let Some(alert) = alert {
             // Back links are lossless: a send failure would mean the AD

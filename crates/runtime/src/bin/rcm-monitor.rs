@@ -21,7 +21,7 @@ use rcm_core::ad::{Ad1, Ad2, Ad3, Ad4, Ad5, Ad6, AlertFilter, PassThrough};
 use rcm_core::condition::expr::CompiledCondition;
 use rcm_core::condition::Condition;
 use rcm_core::{VarId, VarRegistry};
-use rcm_net::{Bernoulli, Lossless, LossModel};
+use rcm_net::{Bernoulli, LossModel, Lossless};
 use rcm_runtime::{MonitorSystem, VarFeed};
 
 struct Options {
@@ -42,13 +42,8 @@ fn usage() -> ExitCode {
 }
 
 fn parse_args() -> Option<Options> {
-    let mut opts = Options {
-        condition: String::new(),
-        replicas: 2,
-        filter: "ad1".into(),
-        loss: 0.0,
-        seed: 0,
-    };
+    let mut opts =
+        Options { condition: String::new(), replicas: 2, filter: "ad1".into(), loss: 0.0, seed: 0 };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -66,10 +61,7 @@ fn parse_args() -> Option<Options> {
     Some(opts)
 }
 
-fn build_filter(
-    name: &str,
-    vars: &[VarId],
-) -> Option<Box<dyn AlertFilter>> {
+fn build_filter(name: &str, vars: &[VarId]) -> Option<Box<dyn AlertFilter>> {
     Some(match name {
         "pass" => Box::new(PassThrough::new()),
         "ad1" => Box::new(Ad1::new()),
@@ -140,12 +132,7 @@ fn main() -> ExitCode {
                 })
                 .collect();
             let value = alert.snapshot.first().map(|u| u.value);
-            println!(
-                "ALERT {} (reading {:?}) [from {}]",
-                heads.join(", "),
-                value,
-                alert.id.ce
-            );
+            println!("ALERT {} (reading {:?}) [from {}]", heads.join(", "), value, alert.id.ce);
         });
     for (name, values) in feeds {
         let Some(var) = registry.lookup(&name).filter(|v| vars.contains(v)) else {

@@ -58,11 +58,8 @@ impl VarFeed {
     /// ```
     pub fn streaming(var: VarId) -> (Self, crossbeam_channel::Sender<f64>) {
         let (tx, rx) = unbounded();
-        let feed = VarFeed {
-            var,
-            source: crate::actors::FeedSource::Channel(rx),
-            period: Duration::ZERO,
-        };
+        let feed =
+            VarFeed { var, source: crate::actors::FeedSource::Channel(rx), period: Duration::ZERO };
         (feed, tx)
     }
 
@@ -213,9 +210,8 @@ impl SystemBuilder {
             }
         }
 
-        let mut loss = self
-            .loss
-            .unwrap_or_else(|| Box::new(|_, _| Box::new(Lossless) as Box<dyn LossModel>));
+        let mut loss =
+            self.loss.unwrap_or_else(|| Box::new(|_, _| Box::new(Lossless) as Box<dyn LossModel>));
         let filter_factory = self.filter.unwrap_or_else(|| {
             Box::new(|_vars: &[VarId]| Box::new(Ad1::new()) as Box<dyn AlertFilter>)
         });
@@ -255,15 +251,9 @@ impl SystemBuilder {
         for (fi, feed) in self.feeds.into_iter().enumerate() {
             let mut links = Vec::with_capacity(self.replicas);
             for (ci, tx) in ce_senders.iter().enumerate() {
-                let link_seed = self
-                    .seed
-                    .wrapping_add((fi as u64) << 32)
-                    .wrapping_add(ci as u64);
-                let link = FrontLink::new(
-                    tx.clone(),
-                    loss(feed.var, CeId::new(ci as u32)),
-                    link_seed,
-                );
+                let link_seed = self.seed.wrapping_add((fi as u64) << 32).wrapping_add(ci as u64);
+                let link =
+                    FrontLink::new(tx.clone(), loss(feed.var, CeId::new(ci as u32)), link_seed);
                 link_reports.push(((feed.var, CeId::new(ci as u32)), link.report_handle()));
                 links.push(link);
             }
@@ -339,11 +329,7 @@ impl MonitorSystem {
                         .unwrap_or_else(|arc| arc.lock().clone())
                 })
                 .collect(),
-            links: self
-                .link_reports
-                .into_iter()
-                .map(|(key, m)| (key, *m.lock()))
-                .collect(),
+            links: self.link_reports.into_iter().map(|(key, m)| (key, *m.lock())).collect(),
         }
     }
 }
@@ -424,8 +410,7 @@ mod tests {
             .start()
             .unwrap();
         let report = system.wait();
-        let seqs: Vec<u64> =
-            report.displayed.iter().map(|a| a.seqno(x()).unwrap().get()).collect();
+        let seqs: Vec<u64> = report.displayed.iter().map(|a| a.seqno(x()).unwrap().get()).collect();
         assert!(rcm_core::seq::is_strictly_ordered(&seqs));
         assert!(!report.displayed.is_empty());
     }
@@ -443,8 +428,7 @@ mod tests {
             .start()
             .unwrap();
         let report = system.wait();
-        let check =
-            rcm_props::check_consistent_single(&cond, &report.ingested, &report.displayed);
+        let check = rcm_props::check_consistent_single(&cond, &report.ingested, &report.displayed);
         assert!(check.ok, "{:?}", check.conflict);
     }
 
@@ -469,10 +453,7 @@ mod tests {
             MonitorSystem::builder(c1()).replicas(0).start().err(),
             Some(ConfigError::ZeroReplicas)
         );
-        assert_eq!(
-            MonitorSystem::builder(c1()).start().err(),
-            Some(ConfigError::MissingFeed(x()))
-        );
+        assert_eq!(MonitorSystem::builder(c1()).start().err(), Some(ConfigError::MissingFeed(x())));
         assert_eq!(
             MonitorSystem::builder(c1())
                 .feed(VarFeed::new(x(), vec![1.0]))

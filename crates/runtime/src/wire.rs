@@ -94,11 +94,7 @@ impl CompactAlert {
             Fidelity::Heads => CompactAlert::Heads {
                 cond: alert.cond,
                 id: alert.id,
-                heads: alert
-                    .fingerprint
-                    .iter()
-                    .map(|(v, seqnos)| (v, seqnos[0]))
-                    .collect(),
+                heads: alert.fingerprint.iter().map(|(v, seqnos)| (v, seqnos[0])).collect(),
             },
             Fidelity::Seqnos => CompactAlert::Seqnos {
                 cond: alert.cond,
@@ -203,9 +199,7 @@ pub fn decode(buf: &mut BytesMut) -> Result<Option<Message>, WireError> {
 pub fn roundtrip(msg: &Message) -> Message {
     let bytes = encode(msg).expect("encoding well-formed message");
     let mut buf = BytesMut::from(&bytes[..]);
-    decode(&mut buf)
-        .expect("decoding own frame")
-        .expect("complete frame")
+    decode(&mut buf).expect("decoding own frame").expect("complete frame")
 }
 
 #[cfg(test)]

@@ -11,18 +11,14 @@ use rcm_runtime::wire::{decode, encode, Message};
 fn message_strategy() -> impl Strategy<Value = Message> {
     let update = (0u32..4, 1u64..1000, -1e6f64..1e6)
         .prop_map(|(v, s, val)| Update::new(VarId::new(v), s, val));
-    let alert = (0u32..4, 2u64..1000, 0u32..3, any::<u64>())
-        .prop_map(|(v, s, ce, idx)| {
-            Message::Alert(Alert::new(
-                CondId::new(ce),
-                HistoryFingerprint::single(
-                    VarId::new(v),
-                    vec![SeqNo::new(s), SeqNo::new(s - 1)],
-                ),
-                vec![Update::new(VarId::new(v), s, 1.0)],
-                AlertId { ce: CeId::new(ce), index: idx },
-            ))
-        });
+    let alert = (0u32..4, 2u64..1000, 0u32..3, any::<u64>()).prop_map(|(v, s, ce, idx)| {
+        Message::Alert(Alert::new(
+            CondId::new(ce),
+            HistoryFingerprint::single(VarId::new(v), vec![SeqNo::new(s), SeqNo::new(s - 1)]),
+            vec![Update::new(VarId::new(v), s, 1.0)],
+            AlertId { ce: CeId::new(ce), index: idx },
+        ))
+    });
     prop_oneof![update.prop_map(Message::Update), alert]
 }
 

@@ -202,11 +202,7 @@ mod tests {
 
     #[test]
     fn missed_fraction_edge_cases() {
-        let p = AvailabilityPoint {
-            config: cfg(1, 0.0),
-            true_alerts: 0,
-            delivered: 0,
-        };
+        let p = AvailabilityPoint { config: cfg(1, 0.0), true_alerts: 0, delivered: 0 };
         assert_eq!(p.missed_fraction(), 0.0);
     }
 }

@@ -102,8 +102,7 @@ fn main() -> ExitCode {
     } else {
         // Multi-variable completeness enumeration can be exponential on
         // big traces; report orderedness only unless the trace is small.
-        let total: usize =
-            rcm_props::merge_per_var(&result.inputs).values().map(Vec::len).sum();
+        let total: usize = rcm_props::merge_per_var(&result.inputs).values().map(Vec::len).sum();
         if total <= rcm_props::MULTI_ENUM_CAP {
             (
                 Some(rcm_props::check_complete_multi(&condition, &result.inputs, &displayed).ok),

@@ -106,11 +106,7 @@ pub fn run(scenario: Scenario) -> RunResult {
     // Component state.
     let mut evaluators: Vec<Evaluator<std::sync::Arc<dyn rcm_core::Condition>>> = (0..n_ce)
         .map(|ce| {
-            Evaluator::with_ids(
-                scenario.condition.clone(),
-                CondId::SINGLE,
-                CeId::new(ce as u32),
-            )
+            Evaluator::with_ids(scenario.condition.clone(), CondId::SINGLE, CeId::new(ce as u32))
         })
         .collect();
     let mut front_links: Vec<LossyLink> = (0..n_var * n_ce)
@@ -179,10 +175,9 @@ pub fn run(scenario: Scenario) -> RunResult {
                     let link = &mut front_links[var_index * n_ce + ce];
                     match link.transmit(now, &mut rng) {
                         Transmit::Dropped => stats.updates_lost += 1,
-                        Transmit::DeliverAt { at, tag } => queue.schedule(
-                            at,
-                            Ev::DeliverUpdate { ce, var_index, tag, update },
-                        ),
+                        Transmit::DeliverAt { at, tag } => {
+                            queue.schedule(at, Ev::DeliverUpdate { ce, var_index, tag, update })
+                        }
                     }
                 }
             }

@@ -16,7 +16,10 @@
 //! applies an AD algorithm to the merged alert arrivals, and checks the
 //! three properties with the exact deciders from `rcm-props`. A √ cell
 //! means zero violations across the run budget; an ✗ cell reports the
-//! violation count and a replay seed.
+//! violation count and a replay seed. Cell runs and the table grid
+//! execute on the deterministic parallel harness in [`par`]: the
+//! `Matrix` produced for a base seed is bit-identical for any worker
+//! count (`RCM_THREADS` or [`par::with_threads`] control it).
 //!
 //! The [`availability`] module runs the motivating experiment of the
 //! paper's Figure 1: how replication reduces the probability that a
@@ -32,6 +35,7 @@ mod engine;
 mod event;
 pub mod montecarlo;
 pub mod multicond;
+pub mod par;
 pub mod report;
 mod scenario;
 mod spec;

@@ -16,16 +16,14 @@
 
 use std::sync::Arc;
 
-use rcm_core::ad::{
-    apply_filter, Ad1, Ad2, Ad3, Ad4, Ad5, Ad6, AlertFilter, PassThrough,
-};
+use rcm_core::ad::{apply_filter, Ad1, Ad2, Ad3, Ad4, Ad5, Ad6, AlertFilter, PassThrough};
 use rcm_core::condition::{
     Band, Cmp, Condition, Conservative, CrossesLevel, DeltaRise, Or, Threshold,
 };
 use rcm_core::{Alert, Update, VarId};
 use rcm_props::{
-    check_complete_multi, check_complete_single, check_consistent_multi,
-    check_consistent_single, check_ordered,
+    check_complete_multi, check_complete_single, check_consistent_multi, check_consistent_single,
+    check_ordered,
 };
 use serde::{Deserialize, Serialize};
 
@@ -303,16 +301,13 @@ pub fn build_scenario_n(
         .collect();
 
     let links = vars.len() * replicas;
-    let front_loss: Vec<LossSpec> =
-        (0..links).map(|l| loss_spec(kind, seed, l as u64)).collect();
+    let front_loss: Vec<LossSpec> = (0..links).map(|l| loss_spec(kind, seed, l as u64)).collect();
     let front_delay: Vec<DelaySpec> = (0..links)
         .map(|l| match kind {
             // Constant per-link delay: lossless AND in-order. Spreads
             // of several update periods give the replicas genuinely
             // different interleavings (Theorem 10's setting).
-            ScenarioKind::Lossless => {
-                DelaySpec::Constant(1 + mix(seed ^ (0x99 + l as u64)) % 35)
-            }
+            ScenarioKind::Lossless => DelaySpec::Constant(1 + mix(seed ^ (0x99 + l as u64)) % 35),
             _ => DelaySpec::Uniform(0, 4),
         })
         .collect();
@@ -396,25 +391,39 @@ pub fn evaluate_cell(
     evaluate_cell_n(kind, topo, filter, runs, base_seed, 2)
 }
 
-/// [`evaluate_cell`] with an explicit replica count.
-pub fn evaluate_cell_n(
+/// The per-run seed for run `i` of a cell evaluated with `base_seed`.
+fn run_seed(base_seed: u64, i: u64) -> u64 {
+    base_seed.wrapping_add(i.wrapping_mul(0x9e37_79b9))
+}
+
+/// One seeded trial: builds the scenario, runs it, filters the
+/// arrivals, and checks the three properties. Returns
+/// `(ordered, complete, consistent)`.
+fn run_property_trial(
     kind: ScenarioKind,
     topo: Topology,
     filter: FilterKind,
-    runs: u64,
-    base_seed: u64,
+    seed: u64,
     replicas: usize,
+) -> (bool, bool, bool) {
+    let scenario = build_scenario_n(kind, topo, seed, replicas);
+    let condition = scenario.condition.clone();
+    let vars = condition.variables();
+    let result = run(scenario);
+    let mut filt = filter.build(&vars);
+    let displayed = apply_filter(&mut *filt, &result.arrivals);
+    check_run(topo, &condition, &result, &displayed)
+}
+
+/// Folds per-run trial outcomes into counters, in run order — the fold
+/// is sequential so `first_*_seed` is the genuinely first violating
+/// seed regardless of how the trials were executed.
+fn fold_trials(
+    runs: u64,
+    trials: impl IntoIterator<Item = (u64, (bool, bool, bool))>,
 ) -> PropertyCounts {
     let mut counts = PropertyCounts { runs, ..Default::default() };
-    for i in 0..runs {
-        let seed = base_seed.wrapping_add(i.wrapping_mul(0x9e37_79b9));
-        let scenario = build_scenario_n(kind, topo, seed, replicas);
-        let condition = scenario.condition.clone();
-        let vars = condition.variables();
-        let result = run(scenario);
-        let mut filt = filter.build(&vars);
-        let displayed = apply_filter(&mut *filt, &result.arrivals);
-        let (ordered, complete, consistent) = check_run(topo, &condition, &result, &displayed);
+    for (seed, (ordered, complete, consistent)) in trials {
         if !ordered {
             counts.unordered += 1;
             counts.first_unordered_seed.get_or_insert(seed);
@@ -429,6 +438,27 @@ pub fn evaluate_cell_n(
         }
     }
     counts
+}
+
+/// [`evaluate_cell`] with an explicit replica count.
+///
+/// The `runs` trials execute on the deterministic parallel harness
+/// ([`crate::par::map_indexed`]); each trial's seed is a pure function
+/// of its index, so the returned counts are identical for any worker
+/// count.
+pub fn evaluate_cell_n(
+    kind: ScenarioKind,
+    topo: Topology,
+    filter: FilterKind,
+    runs: u64,
+    base_seed: u64,
+    replicas: usize,
+) -> PropertyCounts {
+    let trials = crate::par::map_indexed(runs as usize, |i| {
+        let seed = run_seed(base_seed, i as u64);
+        (seed, run_property_trial(kind, topo, filter, seed, replicas))
+    });
+    fold_trials(runs, trials)
 }
 
 /// The paper's claimed cells for a (topology, filter) pair, in
@@ -448,15 +478,9 @@ pub fn paper_expected(topo: Topology, filter: FilterKind) -> Option<[[bool; 3]; 
         (SingleVar, Ad2) => Some([[t, t, t], [t, f, t], [t, f, t], [t, f, f]]),
         (SingleVar, Ad3) => Some([[t, t, t], [f, t, t], [f, f, t], [f, f, t]]),
         (SingleVar, Ad4) => Some([[t, t, t], [t, f, t], [t, f, t], [t, f, t]]),
-        (MultiVar | MultiVar3, Ad1) => {
-            Some([[f, f, f], [f, f, f], [f, f, f], [f, f, f]])
-        }
-        (MultiVar | MultiVar3, Ad5) => {
-            Some([[t, f, t], [t, f, t], [t, f, t], [t, f, f]])
-        }
-        (MultiVar | MultiVar3, Ad6) => {
-            Some([[t, f, t], [t, f, t], [t, f, t], [t, f, t]])
-        }
+        (MultiVar | MultiVar3, Ad1) => Some([[f, f, f], [f, f, f], [f, f, f], [f, f, f]]),
+        (MultiVar | MultiVar3, Ad5) => Some([[t, f, t], [t, f, t], [t, f, t], [t, f, f]]),
+        (MultiVar | MultiVar3, Ad6) => Some([[t, f, t], [t, f, t], [t, f, t], [t, f, t]]),
         _ => None,
     }
 }
@@ -471,11 +495,26 @@ pub fn property_matrix(
     base_seed: u64,
 ) -> Matrix {
     let expected = paper_expected(topo, filter);
+    let replicas = 2;
+    let per_cell = runs as usize;
+    // Flatten the whole (scenario row × run) grid into one indexed job
+    // list so the parallel harness balances across rows, not just
+    // within a cell. Each job derives its row and its seed purely from
+    // the flat index, and the per-row sequential folds below reproduce
+    // exactly what per-cell serial loops would have counted.
+    let trials = crate::par::map_indexed(ScenarioKind::ALL.len() * per_cell, |j| {
+        let ri = j / per_cell.max(1);
+        let i = (j % per_cell.max(1)) as u64;
+        let kind = ScenarioKind::ALL[ri];
+        let seed = run_seed(base_seed ^ (ri as u64) << 32, i);
+        (seed, run_property_trial(kind, topo, filter, seed, replicas))
+    });
     let rows = ScenarioKind::ALL
         .iter()
         .enumerate()
         .map(|(ri, &kind)| {
-            let counts = evaluate_cell(kind, topo, filter, runs, base_seed ^ (ri as u64) << 32);
+            let row_trials = trials[ri * per_cell..(ri + 1) * per_cell].iter().copied();
+            let counts = fold_trials(runs, row_trials);
             let exp = expected.map(|e| e[ri]);
             MatrixRow {
                 scenario: kind.label().to_owned(),
@@ -513,7 +552,8 @@ mod tests {
 
     #[test]
     fn lossless_single_ad1_has_no_violations() {
-        let c = evaluate_cell(ScenarioKind::Lossless, Topology::SingleVar, FilterKind::Ad1, RUNS, 11);
+        let c =
+            evaluate_cell(ScenarioKind::Lossless, Topology::SingleVar, FilterKind::Ad1, RUNS, 11);
         assert_eq!((c.unordered, c.incomplete, c.inconsistent), (0, 0, 0), "{c:?}");
     }
 
@@ -581,11 +621,7 @@ mod tests {
                 123,
                 1,
             );
-            assert_eq!(
-                (c.unordered, c.incomplete, c.inconsistent),
-                (0, 0, 0),
-                "{filter:?}: {c:?}"
-            );
+            assert_eq!((c.unordered, c.incomplete, c.inconsistent), (0, 0, 0), "{filter:?}: {c:?}");
         }
     }
 
@@ -641,7 +677,13 @@ mod tests {
     fn filter_kinds_build_and_label() {
         let single = [x()];
         let multi = [x(), y()];
-        for fk in [FilterKind::PassThrough, FilterKind::Ad1, FilterKind::Ad2, FilterKind::Ad3, FilterKind::Ad4] {
+        for fk in [
+            FilterKind::PassThrough,
+            FilterKind::Ad1,
+            FilterKind::Ad2,
+            FilterKind::Ad3,
+            FilterKind::Ad4,
+        ] {
             let f = fk.build(&single);
             assert!(!f.name().is_empty());
         }
@@ -664,5 +706,39 @@ mod tests {
         assert_eq!(t1[0], [true, true, true]);
         assert_eq!(t1[3], [false, false, false]);
         assert!(paper_expected(Topology::SingleVar, FilterKind::Ad5).is_none());
+    }
+
+    #[test]
+    fn evaluate_cell_is_identical_for_any_thread_count() {
+        let cell = |threads| {
+            crate::par::with_threads(threads, || {
+                evaluate_cell(
+                    ScenarioKind::LossyAggressive,
+                    Topology::SingleVar,
+                    FilterKind::Ad1,
+                    30,
+                    22,
+                )
+            })
+        };
+        let serial = cell(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(cell(threads), serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn property_matrix_is_bit_identical_serial_vs_parallel() {
+        let matrix = |threads| {
+            crate::par::with_threads(threads, || {
+                property_matrix("Table 1", Topology::SingleVar, FilterKind::Ad1, 8, 0x5eed)
+            })
+        };
+        let serial = matrix(1);
+        for threads in [2, 7] {
+            assert_eq!(matrix(threads), serial, "threads = {threads}");
+        }
+        let json = serde_json::to_string(&serial).unwrap();
+        assert_eq!(json, serde_json::to_string(&matrix(6)).unwrap(), "wire form diverged");
     }
 }

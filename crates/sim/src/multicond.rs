@@ -219,15 +219,8 @@ mod tests {
             let displayed = apply_filter(&mut ad, &r.arrivals);
             for (ci, cond) in sc.conditions.iter().enumerate() {
                 let stream = MultiCondResult::stream_of(&displayed, ci as u32);
-                assert!(
-                    check_ordered(&stream, &[x()]).ok,
-                    "seed {seed} condition {ci} unordered"
-                );
-                let cons = check_consistent_single(
-                    cond,
-                    &r.per_condition[ci].inputs,
-                    &stream,
-                );
+                assert!(check_ordered(&stream, &[x()]).ok, "seed {seed} condition {ci} unordered");
+                let cons = check_consistent_single(cond, &r.per_condition[ci].inputs, &stream);
                 assert!(cons.ok, "seed {seed} condition {ci}: {:?}", cons.conflict);
             }
         }

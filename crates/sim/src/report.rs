@@ -69,10 +69,7 @@ pub struct Matrix {
 impl Matrix {
     /// Whether every cell's measurement agrees with the paper's claim.
     pub fn matches_paper(&self) -> bool {
-        self.rows
-            .iter()
-            .flat_map(|r| r.cells.iter())
-            .all(|c| c.agrees().unwrap_or(true))
+        self.rows.iter().flat_map(|r| r.cells.iter()).all(|c| c.agrees().unwrap_or(true))
     }
 
     /// Renders the table as aligned ASCII art. Cells read

@@ -6,8 +6,8 @@ use std::sync::Arc;
 use rcm_core::condition::Condition;
 use rcm_core::VarId;
 use rcm_net::{
-    Bernoulli, ConstantDelay, DelayModel, ExponentialDelay, GilbertElliott, LossModel,
-    Lossless, UniformDelay,
+    Bernoulli, ConstantDelay, DelayModel, ExponentialDelay, GilbertElliott, LossModel, Lossless,
+    UniformDelay,
 };
 use serde::{Deserialize, Serialize};
 
@@ -73,9 +73,7 @@ impl DelaySpec {
         match self {
             DelaySpec::Constant(t) => Box::new(ConstantDelay::new(*t)),
             DelaySpec::Uniform(lo, hi) => Box::new(UniformDelay::new(*lo, *hi)),
-            DelaySpec::Exponential { base, mean } => {
-                Box::new(ExponentialDelay::new(*base, *mean))
-            }
+            DelaySpec::Exponential { base, mean } => Box::new(ExponentialDelay::new(*base, *mean)),
         }
     }
 }

@@ -108,13 +108,10 @@ impl ScenarioSpec {
         let vars = condition.variables();
         let mut workloads = Vec::with_capacity(self.workloads.len());
         for w in &self.workloads {
-            let var = registry
-                .lookup(&w.var)
-                .filter(|v| vars.contains(v))
-                .ok_or_else(|| {
-                    // Register to obtain an id for the error message.
-                    Error::UnknownVariable(registry.register(&w.var))
-                })?;
+            let var = registry.lookup(&w.var).filter(|v| vars.contains(v)).ok_or_else(|| {
+                // Register to obtain an id for the error message.
+                Error::UnknownVariable(registry.register(&w.var))
+            })?;
             workloads.push(VarWorkload {
                 var,
                 updates: w.updates,
@@ -164,12 +161,7 @@ mod tests {
                 updates: 12,
                 period: 10,
                 offset: 0,
-                values: ValueSpec::RandomWalk {
-                    start: 100.0,
-                    step: 30.0,
-                    lo: 0.0,
-                    hi: 200.0,
-                },
+                values: ValueSpec::RandomWalk { start: 100.0, step: 30.0, lo: 0.0, hi: 200.0 },
             }],
             front_loss: vec![],
             front_delay: vec![],

@@ -19,11 +19,7 @@ fn main() {
     let c2 = DeltaRise::new(x, 200.0);
 
     // Theorem 4's trace: CE1 saw everything, CE2 missed update 2.
-    let u = vec![
-        Update::new(x, 1, 400.0),
-        Update::new(x, 2, 700.0),
-        Update::new(x, 3, 720.0),
-    ];
+    let u = vec![Update::new(x, 1, 400.0), Update::new(x, 2, 700.0), Update::new(x, 3, 720.0)];
     let a1 = transduce(&c2, CeId::new(1), &u); // alert on 2 (H = ⟨2,1⟩)
     let a2 = transduce(&c2, CeId::new(2), &[u[0], u[2]]); // alert on 3 (H = ⟨3,1⟩)
 

@@ -16,10 +16,7 @@ fn main() {
         // The paper's named conditions.
         ("c1 (threshold)", "temp[0].value > 3000"),
         ("c2 (aggressive rise)", "temp[0].value - temp[-1].value > 200"),
-        (
-            "c3 (conservative rise)",
-            "temp[0].value - temp[-1].value > 200 && consecutive(temp)",
-        ),
+        ("c3 (conservative rise)", "temp[0].value - temp[-1].value > 200 && consecutive(temp)"),
         ("cm (two reactors)", "abs(temp[0].value - temp2[0].value) > 100"),
         // Beyond the paper's examples:
         ("sharp drop (intro)", "(price[-1].value - price[0].value) / price[-1].value > 0.2"),
@@ -28,10 +25,7 @@ fn main() {
             "load[0].value >= max_over(load, 4) && load[0].value > load[-1].value",
         ),
         ("smoothed threshold", "avg_over(load, 3) > 80"),
-        (
-            "seqno arithmetic",
-            "temp[0].seqno == temp[-1].seqno + 1 && temp[0].value > 3000",
-        ),
+        ("seqno arithmetic", "temp[0].seqno == temp[-1].seqno + 1 && temp[0].value > 3000"),
     ];
 
     println!("{:<24} {:<10} {:<14} variables", "name", "degree", "triggering");
@@ -48,8 +42,7 @@ fn main() {
                 Triggering::Aggressive => "aggressive",
             }
         };
-        let var_names: Vec<&str> =
-            vars.iter().filter_map(|&v| registry.name(v)).collect();
+        let var_names: Vec<&str> = vars.iter().filter_map(|&v| registry.name(v)).collect();
         println!("{:<24} {:<10} {:<14} {:?}", name, max_degree, class, var_names);
     }
 

@@ -29,19 +29,19 @@ fn example_1() {
     println!("=== Example 1: duplicate elimination under loss (AD-1) ===");
     let x = VarId::new(0);
     let c1 = Threshold::new(x, Cmp::Gt, 3000.0);
-    let u = vec![
-        Update::new(x, 1, 2900.0),
-        Update::new(x, 2, 3100.0),
-        Update::new(x, 3, 3200.0),
-    ];
+    let u = vec![Update::new(x, 1, 2900.0), Update::new(x, 2, 3100.0), Update::new(x, 3, 3200.0)];
     let u1 = u.clone();
     let u2 = vec![u[0], u[2]];
     let a1 = transduce(&c1, CeId::new(1), &u1);
     let a2 = transduce(&c1, CeId::new(2), &u2);
-    println!("  A1 = T(U1) = ⟨a1, a2⟩ with a1.H = ⟨2x⟩, a2.H = ⟨3x⟩: {:?}",
-        a1.iter().map(ToString::to_string).collect::<Vec<_>>());
-    println!("  A2 = T(U2) = ⟨a3⟩ with a3.H = ⟨3x⟩: {:?}",
-        a2.iter().map(ToString::to_string).collect::<Vec<_>>());
+    println!(
+        "  A1 = T(U1) = ⟨a1, a2⟩ with a1.H = ⟨2x⟩, a2.H = ⟨3x⟩: {:?}",
+        a1.iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
+    println!(
+        "  A2 = T(U2) = ⟨a3⟩ with a3.H = ⟨3x⟩: {:?}",
+        a2.iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
 
     // Arrival order a1, a3, then a2 — the paper's walkthrough.
     let mut ad = Ad1::new();
@@ -64,9 +64,7 @@ fn example_2() {
     let mut ad = Ad2::new(x);
     println!("  arrival a2 (seqno 2) → {}", offer(&mut ad, &a2[0]));
     println!("  arrival a1 (seqno 1) → {} (out of order)", offer(&mut ad, &a1[0]));
-    println!(
-        "  A = ⟨a2⟩, but T(U1 ⊔ U2) has two alerts — ordered yet incomplete\n"
-    );
+    println!("  A = ⟨a2⟩, but T(U1 ⊔ U2) has two alerts — ordered yet incomplete\n");
 }
 
 /// Example 3 (§4.3): AD-3's Received/Missed conflict test.
@@ -86,9 +84,6 @@ fn example_3() {
     let mut ad = Ad3::new(x);
     println!("  arrival a1 with H = ⟨3x, 1x⟩ → {}", offer(&mut ad, alert_a1));
     println!("    Received = {{1, 3}}, Missed = {{2}}");
-    println!(
-        "  arrival a2 with H = ⟨3x, 2x⟩ → {} (2 is in Missed)",
-        offer(&mut ad, alert_a2)
-    );
+    println!("  arrival a2 with H = ⟨3x, 2x⟩ → {} (2 is in Missed)", offer(&mut ad, alert_a2));
     println!("  displaying both would need update 2 received AND missed — inconsistent");
 }

@@ -32,7 +32,10 @@ fn main() {
     let report = system.wait();
 
     println!();
-    println!("updates ingested per replica: {:?}", report.ingested.iter().map(Vec::len).collect::<Vec<_>>());
+    println!(
+        "updates ingested per replica: {:?}",
+        report.ingested.iter().map(Vec::len).collect::<Vec<_>>()
+    );
     println!("alerts arriving at the AD:    {}", report.arrivals.len());
     println!("alerts shown to the user:     {}", report.displayed.len());
     println!();

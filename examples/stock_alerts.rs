@@ -24,8 +24,11 @@ fn main() {
     let condition = SharpDrop::new(stock, 0.2);
 
     // The DM (a stock trading center) sends three quotes.
-    let quotes =
-        vec![Update::new(stock, 1, 100.0), Update::new(stock, 2, 50.0), Update::new(stock, 3, 52.0)];
+    let quotes = vec![
+        Update::new(stock, 1, 100.0),
+        Update::new(stock, 2, 50.0),
+        Update::new(stock, 3, 52.0),
+    ];
 
     // CE1 receives everything; CE2's front link loses the second quote.
     let u1 = quotes.clone();

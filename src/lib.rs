@@ -40,13 +40,11 @@ pub use rcm_sim as sim;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub mod prelude {
-    pub use rcm_core::ad::{
-        apply_filter, Ad1, Ad2, Ad3, Ad4, Ad5, Ad6, AlertFilter, PerCondition,
-    };
+    pub use rcm_core::ad::{apply_filter, Ad1, Ad2, Ad3, Ad4, Ad5, Ad6, AlertFilter, PerCondition};
     pub use rcm_core::condition::expr::CompiledCondition;
     pub use rcm_core::condition::{
-        AbsDifference, Band, Cmp, Condition, ConditionExt, Conservative, DeltaRise,
-        FnCondition, SustainedAbove, Threshold, Triggering,
+        AbsDifference, Band, Cmp, Condition, ConditionExt, Conservative, DeltaRise, FnCondition,
+        SustainedAbove, Threshold, Triggering,
     };
     pub use rcm_core::{
         transduce, Alert, CeId, CondId, Evaluator, SeqNo, Update, VarId, VarRegistry,

@@ -11,23 +11,17 @@ use rcm::sim::{run, Outage};
 #[test]
 fn ce_crashes_do_not_break_ad4_guarantees() {
     for seed in 0..12u64 {
-        let mut scenario =
-            build_scenario(ScenarioKind::LossyAggressive, Topology::SingleVar, seed);
+        let mut scenario = build_scenario(ScenarioKind::LossyAggressive, Topology::SingleVar, seed);
         // Both replicas suffer staggered outages (histories lost on
         // crash, updates missed while down).
-        scenario.outages = vec![
-            Outage { ce: 0, from: 40, to: 90 },
-            Outage { ce: 1, from: 120, to: 180 },
-        ];
+        scenario.outages =
+            vec![Outage { ce: 0, from: 40, to: 90 }, Outage { ce: 1, from: 120, to: 180 }];
         let condition = scenario.condition.clone();
         let vars = condition.variables();
         let result = run(scenario);
         let mut filter = FilterKind::Ad4.build(&vars);
         let displayed = apply_filter(&mut *filter, &result.arrivals);
-        assert!(
-            check_ordered(&displayed, &vars).ok,
-            "seed {seed}: AD-4 unordered under crashes"
-        );
+        assert!(check_ordered(&displayed, &vars).ok, "seed {seed}: AD-4 unordered under crashes");
         let cons = check_consistent_single(&condition, &result.inputs, &displayed);
         assert!(cons.ok, "seed {seed}: AD-4 inconsistent under crashes: {:?}", cons.conflict);
     }
@@ -35,8 +29,7 @@ fn ce_crashes_do_not_break_ad4_guarantees() {
 
 #[test]
 fn crashes_show_up_as_loss_in_the_stats() {
-    let mut scenario =
-        build_scenario(ScenarioKind::Lossless, Topology::SingleVar, 3);
+    let mut scenario = build_scenario(ScenarioKind::Lossless, Topology::SingleVar, 3);
     scenario.outages = vec![Outage { ce: 0, from: 0, to: 120 }];
     let result = run(scenario);
     assert!(result.stats.updates_missed_down > 0);
@@ -54,11 +47,7 @@ fn ad_outage_plus_ce_crashes_still_deliver_every_emitted_alert() {
         let result = run(scenario);
         // Back links are reliable: every alert a CE emitted arrives,
         // eventually.
-        assert_eq!(
-            result.stats.alerts_emitted as usize,
-            result.arrivals.len(),
-            "seed {seed}"
-        );
+        assert_eq!(result.stats.alerts_emitted as usize, result.arrivals.len(), "seed {seed}");
         // Buffered alerts arrive no earlier than the outage end.
         for &(sent, arrived) in &result.arrival_times {
             if (50..200).contains(&sent) {
@@ -72,8 +61,7 @@ fn ad_outage_plus_ce_crashes_still_deliver_every_emitted_alert() {
 fn crashed_replica_histories_reset_cleanly() {
     // After an outage the replica's first fresh alerts must carry
     // post-recovery histories only (no stale pre-crash entries).
-    let mut scenario =
-        build_scenario(ScenarioKind::LossyConservative, Topology::SingleVar, 5);
+    let mut scenario = build_scenario(ScenarioKind::LossyConservative, Topology::SingleVar, 5);
     scenario.outages = vec![Outage { ce: 0, from: 50, to: 150 }];
     let condition = scenario.condition.clone();
     let result = run(scenario);

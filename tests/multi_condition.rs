@@ -22,11 +22,8 @@ fn per_condition_filters_are_isolated() {
     let hot = DeltaRise::new(x(), 200.0); // condition A, aggressive
     let warm = DeltaRise::new(x(), 100.0); // condition B, aggressive
 
-    let u_full = vec![
-        Update::new(x(), 1, 400.0),
-        Update::new(x(), 2, 700.0),
-        Update::new(x(), 3, 720.0),
-    ];
+    let u_full =
+        vec![Update::new(x(), 1, 400.0), Update::new(x(), 2, 700.0), Update::new(x(), 3, 720.0)];
     let u_lossy = vec![u_full[0], u_full[2]]; // missed update 2
 
     // Condition A replicated on two CEs (one lossy) → conflicting alerts.
@@ -58,18 +55,17 @@ fn colocated_conditions_reduce_to_disjunction() {
     let b = Threshold::new(x(), Cmp::Lt, 0.0);
     let c = Or::new(a.clone(), b.clone());
     let updates = vec![
-        Update::new(x(), 1, 50.0),   // neither
-        Update::new(x(), 2, 150.0),  // A
-        Update::new(x(), 3, -10.0),  // B
-        Update::new(x(), 4, 120.0),  // A
+        Update::new(x(), 1, 50.0),  // neither
+        Update::new(x(), 2, 150.0), // A
+        Update::new(x(), 3, -10.0), // B
+        Update::new(x(), 4, 120.0), // A
     ];
     let combined = run_ce(&c, CondId::new(9), 0, &updates);
     let alerts_a = run_ce(&a, CondId::new(0), 0, &updates);
     let alerts_b = run_ce(&b, CondId::new(1), 0, &updates);
     // C triggers exactly when A or B does.
     assert_eq!(combined.len(), alerts_a.len() + alerts_b.len());
-    let c_seqs: Vec<u64> =
-        combined.iter().map(|al| al.seqno(x()).unwrap().get()).collect();
+    let c_seqs: Vec<u64> = combined.iter().map(|al| al.seqno(x()).unwrap().get()).collect();
     assert_eq!(c_seqs, vec![2, 3, 4]);
 }
 

@@ -5,8 +5,8 @@ use rcm::core::ad::{apply_filter, Ad1, Ad2, Ad5};
 use rcm::core::condition::{AbsDifference, Cmp, Conservative, DeltaRise, Threshold};
 use rcm::core::{transduce, Alert, CeId, SeqNo, Update, VarId};
 use rcm::props::{
-    check_complete_multi, check_complete_single, check_consistent_multi,
-    check_consistent_single, check_ordered,
+    check_complete_multi, check_complete_single, check_consistent_multi, check_consistent_single,
+    check_ordered,
 };
 
 fn x() -> VarId {
@@ -50,7 +50,7 @@ fn theorem_3_incomplete_counterexample() {
     let a2 = transduce(&c3, CeId::new(2), &u2);
     assert_eq!(a1.len(), 1); // alert@2
     assert_eq!(a2.len(), 1); // alert@4
-    // Arrival order a@4 then a@2 → A = ⟨4, 2⟩.
+                             // Arrival order a@4 then a@2 → A = ⟨4, 2⟩.
     let arrivals: Vec<Alert> = a2.iter().chain(a1.iter()).cloned().collect();
     let shown = apply_filter(&mut Ad1::new(), &arrivals);
     assert!(!check_ordered(&shown, &[x()]).ok);
@@ -95,11 +95,7 @@ fn theorem_6_ad1_strictly_dominates_ad2() {
     let a1 = transduce(&c1, CeId::new(1), &u1);
     let a2 = transduce(&c1, CeId::new(2), &u2);
     let arrivals: Vec<Alert> = a2.iter().chain(a1.iter()).cloned().collect();
-    let report = rcm::props::domination::check_domination(
-        Ad1::new,
-        || Ad2::new(x()),
-        &[arrivals],
-    );
+    let report = rcm::props::domination::check_domination(Ad1::new, || Ad2::new(x()), &[arrivals]);
     assert!(report.holds);
     assert!(report.strict);
 }
@@ -122,11 +118,7 @@ fn theorem_10_multi_var_counterexample() {
     assert!(!check_ordered(&shown, &[x(), y()]).ok);
     assert!(!check_consistent_multi(&cm, &[u1.clone(), u2.clone()], &shown).ok);
     assert!(!check_complete_multi(&cm, &[u1.clone(), u2.clone()], &shown).ok);
-    assert!(!rcm::props::brute::brute_consistent_multi(
-        &cm,
-        &[u1.clone(), u2.clone()],
-        &shown
-    ));
+    assert!(!rcm::props::brute::brute_consistent_multi(&cm, &[u1.clone(), u2.clone()], &shown));
 
     // AD-5 drops the second alert and restores order + consistency.
     let shown5 = apply_filter(&mut Ad5::new([x(), y()]), &arrivals);
@@ -148,7 +140,6 @@ fn drop_all_is_trivially_correct_and_dominated() {
     assert!(shown.is_empty());
     assert!(check_ordered(&shown, &[x()]).ok);
     assert!(check_consistent_single(&c2, &[uu], &shown).ok);
-    let report =
-        rcm::props::domination::check_domination(Ad1::new, DropAll::new, &[arrivals]);
+    let report = rcm::props::domination::check_domination(Ad1::new, DropAll::new, &[arrivals]);
     assert!(report.holds && report.strict);
 }

@@ -47,10 +47,7 @@ fn ad2_runtime_output_is_always_ordered() {
             .start()
             .expect("valid configuration");
         let report = system.wait();
-        assert!(
-            check_ordered(&report.displayed, &[x()]).ok,
-            "seed {seed}: AD-2 output unordered"
-        );
+        assert!(check_ordered(&report.displayed, &[x()]).ok, "seed {seed}: AD-2 output unordered");
     }
 }
 
@@ -59,20 +56,21 @@ fn ad3_and_ad4_runtime_output_is_always_consistent() {
     for seed in 0..5u64 {
         for ad4 in [false, true] {
             let cond: Arc<dyn Condition> = Arc::new(DeltaRise::new(x(), 25.0));
-            let system = MonitorSystem::builder(cond.clone())
-                .replicas(2)
-                .feed(VarFeed::new(x(), sawtooth(80)))
-                .loss(|_, _| Box::new(Bernoulli::new(0.3)))
-                .seed(seed)
-                .filter(move |vars| {
-                    if ad4 {
-                        Box::new(Ad4::new(vars[0]))
-                    } else {
-                        Box::new(Ad3::new(vars[0]))
-                    }
-                })
-                .start()
-                .expect("valid configuration");
+            let system =
+                MonitorSystem::builder(cond.clone())
+                    .replicas(2)
+                    .feed(VarFeed::new(x(), sawtooth(80)))
+                    .loss(|_, _| Box::new(Bernoulli::new(0.3)))
+                    .seed(seed)
+                    .filter(move |vars| {
+                        if ad4 {
+                            Box::new(Ad4::new(vars[0]))
+                        } else {
+                            Box::new(Ad3::new(vars[0]))
+                        }
+                    })
+                    .start()
+                    .expect("valid configuration");
             let report = system.wait();
             let cons = check_consistent_single(&cond, &report.ingested, &report.displayed);
             assert!(cons.ok, "seed {seed} ad4={ad4}: {:?}", cons.conflict);
@@ -122,7 +120,7 @@ fn streaming_feed_delivers_alerts_live() {
 
     tx.send(50.0).unwrap();
     tx.send(150.0).unwrap(); // alert
-    // The alert must surface while the stream is still open.
+                             // The alert must surface while the stream is still open.
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
     while seen.load(Ordering::SeqCst) == 0 {
         assert!(std::time::Instant::now() < deadline, "alert never surfaced");
@@ -144,13 +142,15 @@ fn replication_survives_a_totally_deaf_replica() {
     let system = MonitorSystem::builder(cond)
         .replicas(2)
         .feed(VarFeed::new(x(), vec![10.0, 60.0, 70.0]))
-        .loss(|_, ce| {
-            if ce.index() == 0 {
-                Box::new(Bernoulli::new(1.0))
-            } else {
-                Box::new(Lossless)
-            }
-        })
+        .loss(
+            |_, ce| {
+                if ce.index() == 0 {
+                    Box::new(Bernoulli::new(1.0))
+                } else {
+                    Box::new(Lossless)
+                }
+            },
+        )
         .start()
         .expect("valid configuration");
     let report = system.wait();

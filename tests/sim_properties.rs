@@ -1,6 +1,13 @@
 //! Integration tests driving the Monte-Carlo harness: every √ cell of
 //! the paper's tables must show zero violations, and every ✗ cell must
 //! produce a replayable counterexample within the run budget.
+//!
+//! √ cells are judged on the base run budget alone — they assert a
+//! guarantee, so the fixed seeds either uphold it or expose a real bug.
+//! ✗ cells are a *statistical search* for a counterexample; when the
+//! base budget comes up empty the search escalates through up to three
+//! extra seed batches (4× total budget) before declaring the paper's
+//! claim unreproduced.
 
 use rcm::sim::montecarlo::{
     evaluate_cell, paper_expected, FilterKind, PropertyCounts, ScenarioKind, Topology,
@@ -8,27 +15,64 @@ use rcm::sim::montecarlo::{
 
 const SEED: u64 = 0x5eed;
 
+/// Stride between escalation batches, chosen to decorrelate the batch
+/// base seeds from the per-run seed sequence within a batch.
+const BATCH_STRIDE: u64 = 0xa5a5_5a5a_0f0f_f0f1;
+
+/// Extra batches an ✗-cell search may spend after the base budget.
+const MAX_EXTRA_BATCHES: u64 = 3;
+
+fn merge(a: PropertyCounts, b: PropertyCounts) -> PropertyCounts {
+    PropertyCounts {
+        runs: a.runs + b.runs,
+        unordered: a.unordered + b.unordered,
+        incomplete: a.incomplete + b.incomplete,
+        inconsistent: a.inconsistent + b.inconsistent,
+        first_unordered_seed: a.first_unordered_seed.or(b.first_unordered_seed),
+        first_incomplete_seed: a.first_incomplete_seed.or(b.first_incomplete_seed),
+        first_inconsistent_seed: a.first_inconsistent_seed.or(b.first_inconsistent_seed),
+    }
+}
+
+/// True while some property the paper claims violable has no witness.
+fn missing_witness(claimed: [bool; 3], counts: &PropertyCounts) -> bool {
+    let found = [counts.unordered, counts.incomplete, counts.inconsistent];
+    claimed.iter().zip(found).any(|(&guaranteed, violations)| !guaranteed && violations == 0)
+}
+
 fn check_table(topo: Topology, filter: FilterKind, runs: u64) {
     let expected = paper_expected(topo, filter).expect("table defined for this pair");
     for (row, kind) in ScenarioKind::ALL.into_iter().enumerate() {
-        let counts = evaluate_cell(kind, topo, filter, runs, SEED ^ (row as u64) << 32);
+        let base_seed = SEED ^ (row as u64) << 32;
+        let base = evaluate_cell(kind, topo, filter, runs, base_seed);
+        let mut merged = base;
+        for extra in 1..=MAX_EXTRA_BATCHES {
+            if !missing_witness(expected[row], &merged) {
+                break;
+            }
+            let batch_seed = base_seed.wrapping_add(extra.wrapping_mul(BATCH_STRIDE));
+            merged = merge(merged, evaluate_cell(kind, topo, filter, runs, batch_seed));
+        }
         let cells = [
-            ("ordered", expected[row][0], counts.unordered),
-            ("complete", expected[row][1], counts.incomplete),
-            ("consistent", expected[row][2], counts.inconsistent),
+            ("ordered", expected[row][0], base.unordered, merged.unordered),
+            ("complete", expected[row][1], base.incomplete, merged.incomplete),
+            ("consistent", expected[row][2], base.inconsistent, merged.inconsistent),
         ];
-        for (prop, claimed, violations) in cells {
+        for (prop, claimed, base_violations, total_violations) in cells {
             if claimed {
+                // Judged on the base batch only: escalation runs exist
+                // to find ✗ witnesses, not to move the √ goalposts.
                 assert_eq!(
-                    violations, 0,
+                    base_violations, 0,
                     "{filter:?}/{kind:?}: paper claims {prop} is guaranteed, \
-                     found {violations} violations ({counts:?})"
+                     found {base_violations} violations ({base:?})"
                 );
             } else {
                 assert!(
-                    violations > 0,
+                    total_violations > 0,
                     "{filter:?}/{kind:?}: paper claims {prop} can be violated, \
-                     but {runs} runs found none"
+                     but {} runs found none",
+                    merged.runs
                 );
             }
         }
@@ -78,14 +122,24 @@ fn violation_seeds_replay() {
     use rcm::sim::montecarlo::build_scenario;
     use rcm::sim::run;
 
-    let counts: PropertyCounts = evaluate_cell(
-        ScenarioKind::LossyAggressive,
-        Topology::SingleVar,
-        FilterKind::Ad1,
-        60,
-        SEED,
-    );
-    let seed = counts.first_inconsistent_seed.expect("aggressive AD-1 must go inconsistent");
+    // Same escalation discipline as the ✗ cells: keep widening the
+    // seed search until aggressive lossy AD-1 goes inconsistent.
+    let mut seed = None;
+    for extra in 0..=MAX_EXTRA_BATCHES {
+        let batch_seed = SEED.wrapping_add(extra.wrapping_mul(BATCH_STRIDE));
+        let counts: PropertyCounts = evaluate_cell(
+            ScenarioKind::LossyAggressive,
+            Topology::SingleVar,
+            FilterKind::Ad1,
+            60,
+            batch_seed,
+        );
+        seed = counts.first_inconsistent_seed;
+        if seed.is_some() {
+            break;
+        }
+    }
+    let seed = seed.expect("aggressive AD-1 must go inconsistent");
     let scenario = build_scenario(ScenarioKind::LossyAggressive, Topology::SingleVar, seed);
     let condition = scenario.condition.clone();
     let vars = condition.variables();

@@ -48,11 +48,8 @@ fn run_sim(cond: Arc<dyn Condition>) -> (Vec<Vec<u64>>, Vec<Vec<Alert>>) {
         link_salt: 0,
     };
     let result = run(scenario);
-    let inputs = result
-        .inputs
-        .iter()
-        .map(|us| us.iter().map(|u| u.seqno.get()).collect())
-        .collect();
+    let inputs =
+        result.inputs.iter().map(|us| us.iter().map(|u| u.seqno.get()).collect()).collect();
     (inputs, result.ce_outputs)
 }
 
@@ -60,17 +57,12 @@ fn run_runtime(cond: Arc<dyn Condition>) -> (Vec<Vec<u64>>, Vec<Vec<Alert>>) {
     let system = MonitorSystem::builder(cond)
         .replicas(2)
         .feed(VarFeed::new(x(), values()))
-        .loss(|_, ce| {
-            Box::new(ScriptedLoss::new(DROPS[ce.index() as usize].iter().copied()))
-        })
+        .loss(|_, ce| Box::new(ScriptedLoss::new(DROPS[ce.index() as usize].iter().copied())))
         .start()
         .expect("valid configuration");
     let report = system.wait();
-    let inputs = report
-        .ingested
-        .iter()
-        .map(|us| us.iter().map(|u| u.seqno.get()).collect())
-        .collect();
+    let inputs =
+        report.ingested.iter().map(|us| us.iter().map(|u| u.seqno.get()).collect()).collect();
     // Recover per-replica alert streams from the merged arrivals: the
     // shared channel preserves each sender's order.
     let mut per_ce: BTreeMap<CeId, Vec<Alert>> = BTreeMap::new();
@@ -106,10 +98,7 @@ fn threshold_condition_agrees_across_substrates() {
 
 #[test]
 fn aggressive_delta_agrees_across_substrates() {
-    compare(
-        Arc::new(DeltaRise::new(x(), 200.0)),
-        Arc::new(DeltaRise::new(x(), 200.0)),
-    );
+    compare(Arc::new(DeltaRise::new(x(), 200.0)), Arc::new(DeltaRise::new(x(), 200.0)));
 }
 
 #[test]

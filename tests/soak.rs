@@ -46,17 +46,8 @@ fn ad6_guarantees_never_violated_multi_var() {
 #[ignore = "soak test: ~minutes; run explicitly with --ignored"]
 fn lossless_single_var_systems_keep_all_three_properties() {
     for filter in [FilterKind::Ad1, FilterKind::Ad2, FilterKind::Ad3, FilterKind::Ad4] {
-        let c = evaluate_cell(
-            ScenarioKind::Lossless,
-            Topology::SingleVar,
-            filter,
-            SOAK_RUNS,
-            0xf00d,
-        );
-        assert_eq!(
-            (c.unordered, c.incomplete, c.inconsistent),
-            (0, 0, 0),
-            "{filter:?}: {c:?}"
-        );
+        let c =
+            evaluate_cell(ScenarioKind::Lossless, Topology::SingleVar, filter, SOAK_RUNS, 0xf00d);
+        assert_eq!((c.unordered, c.incomplete, c.inconsistent), (0, 0, 0), "{filter:?}: {c:?}");
     }
 }
