@@ -1,0 +1,152 @@
+//! CI gate over `BENCH_rcm.json`: compares a freshly generated
+//! snapshot against the committed one.
+//!
+//! Usage: `bench_gate <committed.json> <fresh.json> [--tolerance 0.20]`
+//!
+//! Exits non-zero when the committed file is still the schema
+//! placeholder (`meta.placeholder: true`), when a gated metric drifts
+//! beyond the tolerance, or when the fresh run lost serial/parallel
+//! bit-identity. Absolute nanosecond timings differ wildly across
+//! runner generations, so only the machine-relative ratios (the
+//! `speedup` fields) are gated; absolute numbers are echoed for the
+//! log.
+
+use std::process::ExitCode;
+
+use serde_json::Value;
+
+/// Ratio metrics stable enough across machines to gate on.
+const GATED: &[&str] = &[
+    "/fingerprint/speedup",
+    "/ad3_realistic/speedup",
+    "/ad3_marching/speedup",
+    "/ad6_realistic/speedup",
+    "/matrix_table1_ad1/speedup",
+];
+
+/// Absolute numbers echoed for the log, never gated.
+const INFORMATIONAL: &[&str] = &[
+    "/fingerprint/inline_ns",
+    "/ad3_realistic/interval_offers_per_sec",
+    "/ad3_marching/interval_offers_per_sec",
+    "/ad6_realistic/interval_offers_per_sec",
+    "/matrix_table1_ad1/parallel_secs",
+];
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: not valid JSON: {e}"))
+}
+
+fn metric(doc: &Value, pointer: &str) -> Option<f64> {
+    doc.pointer(pointer).and_then(Value::as_f64)
+}
+
+/// Relative drift of `fresh` against `committed` (symmetric in sign,
+/// relative to the committed value).
+fn drift(committed: f64, fresh: f64) -> f64 {
+    if committed == 0.0 {
+        return if fresh == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    ((fresh - committed) / committed).abs()
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_gate <committed.json> <fresh.json> [--tolerance 0.20]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut paths: Vec<String> = Vec::new();
+    let mut tolerance = 0.20f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tolerance" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(t) => tolerance = t,
+                None => return usage(),
+            },
+            flag if flag.starts_with("--") => return usage(),
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [committed_path, fresh_path] = paths.as_slice() else {
+        return usage();
+    };
+
+    let (committed, fresh) = match (load(committed_path), load(fresh_path)) {
+        (Ok(c), Ok(f)) => (c, f),
+        (c, f) => {
+            for err in [c.err(), f.err()].into_iter().flatten() {
+                eprintln!("bench_gate: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failures = 0u32;
+
+    // A placeholder snapshot asserts nothing — the whole point of the
+    // gate is that the committed numbers are real.
+    if committed.pointer("/meta/placeholder").and_then(Value::as_bool).unwrap_or(true) {
+        eprintln!(
+            "FAIL: {committed_path} is still the schema placeholder — regenerate it with \
+             `cargo run -p rcm-bench --release --bin bench_snapshot` and commit the result"
+        );
+        failures += 1;
+    } else {
+        for &pointer in GATED {
+            match (metric(&committed, pointer), metric(&fresh, pointer)) {
+                (Some(c), Some(f)) => {
+                    let d = drift(c, f);
+                    let verdict = if d <= tolerance { "ok  " } else { "FAIL" };
+                    println!(
+                        "{verdict} {pointer}: committed {c:.3}, fresh {f:.3} \
+                         (drift {:.1}% vs tolerance {:.0}%)",
+                        d * 100.0,
+                        tolerance * 100.0
+                    );
+                    if d > tolerance {
+                        failures += 1;
+                    }
+                }
+                _ => {
+                    eprintln!("FAIL {pointer}: missing or non-numeric in one of the snapshots");
+                    failures += 1;
+                }
+            }
+        }
+    }
+
+    if fresh.pointer("/matrix_table1_ad1/bit_identical").and_then(Value::as_bool) != Some(true) {
+        eprintln!("FAIL: fresh run lost serial/parallel bit-identity");
+        failures += 1;
+    }
+
+    for &pointer in INFORMATIONAL {
+        if let Some(f) = metric(&fresh, pointer) {
+            println!("info {pointer}: {f:.3} (this machine; not gated)");
+        }
+    }
+
+    if failures == 0 {
+        println!("bench gate passed ({} metrics within {:.0}%)", GATED.len(), tolerance * 100.0);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench gate failed: {failures} check(s)");
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::drift;
+
+    #[test]
+    fn drift_is_relative_and_symmetric_in_sign() {
+        assert!((drift(10.0, 12.0) - 0.2).abs() < 1e-12);
+        assert!((drift(10.0, 8.0) - 0.2).abs() < 1e-12);
+        assert_eq!(drift(0.0, 0.0), 0.0);
+        assert_eq!(drift(0.0, 1.0), f64::INFINITY);
+    }
+}

@@ -24,10 +24,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod backoff;
 mod delay;
 mod link;
 mod loss;
 
+pub use backoff::Backoff;
 pub use delay::{ConstantDelay, DelayModel, ExponentialDelay, UniformDelay};
 pub use link::{InOrderGate, LinkStats, LossyLink, ReliableLink, Transmit};
 pub use loss::{Bernoulli, GilbertElliott, LossModel, Lossless, Scripted};

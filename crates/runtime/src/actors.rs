@@ -1,15 +1,29 @@
 //! The three actor bodies: Data Monitor, Condition Evaluator and Alert
-//! Displayer threads.
+//! Displayer threads — plus the CE supervisor that turns injected (or
+//! genuine) panics into bounded restarts with history replay.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam_channel::{Receiver, Sender};
+/// How one supervised CE run ended.
+enum CeExit {
+    /// Every DM hung up; the stream is drained.
+    EndOfStream,
+    /// A scripted kill fired (no unwinding: the crash is simulated by
+    /// wiping state exactly as a panic would, without spamming the
+    /// global panic hook on every chaos run).
+    Killed,
+}
+
+use crossbeam_channel::Receiver;
 use parking_lot::Mutex;
 use rcm_core::ad::AlertFilter;
 use rcm_core::condition::Condition;
 use rcm_core::{Alert, CeId, CondId, Evaluator, Update, VarId};
 
+use crate::backlink::BackLink;
+use crate::faults::{FaultReport, IngestGate, RetainedWindow};
 use crate::link::FrontLink;
 use crate::wire::{roundtrip, Message};
 
@@ -33,10 +47,27 @@ impl std::fmt::Debug for FeedSource {
 
 /// Runs a Data Monitor: emits one update per reading with consecutive
 /// seqnos, multicasting over a front link per replica, pausing `period`
-/// between emissions.
-pub(crate) fn dm_body(var: VarId, source: FeedSource, period: Duration, mut links: Vec<FrontLink>) {
+/// between emissions. When fault injection is on, every emitted update
+/// also lands in the DM's retained window so recovering replicas can
+/// replay recent history.
+pub(crate) fn dm_body(
+    var: VarId,
+    source: FeedSource,
+    period: Duration,
+    mut links: Vec<FrontLink>,
+    window: Option<RetainedWindow>,
+) {
     let emit = |i: usize, value: f64, links: &mut Vec<FrontLink>| {
         let update = Update::new(var, i as u64 + 1, value);
+        // Retention happens BEFORE the multicast: any update a CE could
+        // have pulled off a channel is then guaranteed to be in the
+        // window when that CE recovers, so a crash can never lose an
+        // update that lossless links delivered. (The converse overlap —
+        // replaying an update whose live copy arrives later — is
+        // harmless: the ingest gate discards the second copy.)
+        if let Some(window) = &window {
+            window.push(update);
+        }
         for link in links.iter_mut() {
             link.send(update);
         }
@@ -59,29 +90,155 @@ pub(crate) fn dm_body(var: VarId, source: FeedSource, period: Duration, mut link
     // Links (and their senders) drop here, signalling end-of-stream.
 }
 
-/// Runs a Condition Evaluator replica: ingests updates until every DM
-/// feeding it hangs up, forwarding alerts over the lossless back link.
+/// Per-replica fault configuration handed to the supervised CE body.
+pub(crate) struct CeFaultConfig {
+    /// Arrival counts (1-based) at which to kill this replica, sorted.
+    pub kill_at: Vec<u64>,
+    /// Restart budget; exceeded ⇒ the replica stays dead.
+    pub max_restarts: u32,
+    /// Every DM's retained window, for recovery replay.
+    pub windows: Vec<RetainedWindow>,
+    /// Shared run-wide fault counters.
+    pub report: Arc<Mutex<FaultReport>>,
+    /// This replica's index into `report.restarts`.
+    pub ce_index: usize,
+}
+
+impl std::fmt::Debug for CeFaultConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CeFaultConfig")
+            .field("kill_at", &self.kill_at)
+            .field("max_restarts", &self.max_restarts)
+            .field("ce_index", &self.ce_index)
+            .finish()
+    }
+}
+
+/// Runs a Condition Evaluator replica under supervision: ingests
+/// updates until every DM feeding it hangs up, forwarding alerts over
+/// the (severable) lossless back link. A panic — scripted by the fault
+/// plan or genuine — is caught; within the restart budget the replica
+/// restarts: histories are wiped (the paper's crash model), the channel
+/// backlog that piled up "while down" is discarded as loss, and the
+/// bounded `H_x` histories are rebuilt by replaying the DMs' retained
+/// windows through the normal ingest path. The [`IngestGate`] outlives
+/// every crash, so the recorded `U_i` stays strictly ordered per
+/// variable no matter how replays and live arrivals interleave.
 pub(crate) fn ce_body(
     ce: CeId,
     condition: Arc<dyn Condition>,
     rx: Receiver<Update>,
-    back: Sender<Alert>,
+    mut back: BackLink<Alert>,
     ingested: Arc<Mutex<Vec<Update>>>,
+    emitted: Arc<Mutex<Vec<Alert>>>,
+    faults: Option<CeFaultConfig>,
 ) {
     let mut evaluator = Evaluator::with_ids(condition, CondId::SINGLE, ce);
-    for update in rx {
-        let alert =
-            evaluator.try_ingest(update).expect("update routed to evaluator lacking its variable");
-        ingested.lock().push(update);
-        if let Some(alert) = alert {
-            // Back links are lossless: a send failure would mean the AD
-            // died early, which is a bug worth crashing the replica on.
-            let msg = roundtrip(&Message::Alert(alert));
-            let Message::Alert(alert) = msg else {
-                unreachable!("alert survived the codec as a different variant")
-            };
-            back.send(alert).expect("alert displayer hung up before replicas finished");
+    let mut gate = IngestGate::new();
+    let mut arrivals: u64 = 0;
+    let mut kill_at: Vec<u64> = faults.as_ref().map(|f| f.kill_at.clone()).unwrap_or_default();
+    kill_at.sort_unstable();
+    kill_at.reverse(); // pop() yields the earliest threshold
+
+    loop {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            for update in rx.iter() {
+                arrivals += 1;
+                if kill_at.last().is_some_and(|&k| arrivals >= k) {
+                    kill_at.pop();
+                    return CeExit::Killed;
+                }
+                if !gate.admit(&update) {
+                    continue; // duplicate of a replayed update
+                }
+                ingest(&mut evaluator, update, &mut back, &ingested, &emitted);
+            }
+            CeExit::EndOfStream
+        }));
+        let injected = match run {
+            Ok(CeExit::EndOfStream) => break, // every DM hung up: done
+            Ok(CeExit::Killed) => true,
+            Err(payload) => {
+                if faults.is_none() {
+                    resume_unwind(payload); // unsupervised replica: die loudly
+                }
+                false
+            }
+        };
+        let cfg = faults.as_ref().expect("crash handling requires a fault config");
+        let recovery_start = Instant::now();
+        {
+            let mut report = cfg.report.lock();
+            if injected {
+                report.kills_injected += 1;
+            }
+            if report.restarts[cfg.ce_index] >= cfg.max_restarts {
+                report.replicas_abandoned += 1;
+                // Budget exhausted: the replica stays dead. Its severed
+                // back-link queue dies with it — queued alerts on a dead
+                // replica are the one sanctioned alert loss.
+                return;
+            }
+            report.restarts[cfg.ce_index] += 1;
         }
+        // Crash model: histories are gone, alert numbering is not.
+        evaluator.restart();
+        // Updates that queued while "down" were never received; they
+        // are loss, exactly like a drop on the front link. Kill
+        // thresholds that pass during the outage simply never fire.
+        let mut discarded = 0u64;
+        while rx.try_recv().is_ok() {
+            arrivals += 1;
+            discarded += 1;
+        }
+        while kill_at.last().is_some_and(|&k| arrivals >= k) {
+            kill_at.pop();
+        }
+        // Rebuild bounded histories from every DM's retained window.
+        // The gate admits only seqnos beyond the pre-crash cursor, in
+        // the window's (ascending) order, so `U_i` stays ordered and
+        // nothing is double-ingested.
+        let mut replayed = 0u64;
+        for window in &cfg.windows {
+            for update in window.snapshot() {
+                if gate.admit(&update) {
+                    replayed += 1;
+                    ingest(&mut evaluator, update, &mut back, &ingested, &emitted);
+                }
+            }
+        }
+        let mut report = cfg.report.lock();
+        report.updates_dropped_down += discarded;
+        report.updates_replayed += replayed;
+        report.recovery_latency.push(recovery_start.elapsed());
+    }
+    // End of stream: a severed link must come back up and drain its
+    // queue before the replica exits — that is the lossless contract.
+    back.flush();
+}
+
+/// The shared ingest path (live and replay): record the update in
+/// `U_i`, evaluate, and forward any alert across the codec and the
+/// back link.
+fn ingest(
+    evaluator: &mut Evaluator<Arc<dyn Condition>>,
+    update: Update,
+    back: &mut BackLink<Alert>,
+    ingested: &Arc<Mutex<Vec<Update>>>,
+    emitted: &Arc<Mutex<Vec<Alert>>>,
+) {
+    let alert =
+        evaluator.try_ingest(update).expect("update routed to evaluator lacking its variable");
+    ingested.lock().push(update);
+    if let Some(alert) = alert {
+        // Cross a real serialization boundary, as every alert would in
+        // a deployment.
+        let msg = roundtrip(&Message::Alert(alert));
+        let Message::Alert(alert) = msg else {
+            unreachable!("alert survived the codec as a different variant")
+        };
+        emitted.lock().push(alert.clone());
+        back.send(alert);
     }
 }
 

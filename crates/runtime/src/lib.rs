@@ -7,7 +7,14 @@
 //!
 //! * **front links** are per-`(DM, CE)` channels wrapped in a loss
 //!   model (UDP-like: FIFO but lossy);
-//! * **back links** are plain channels (TCP-like: FIFO and lossless).
+//! * **back links** are [`BackLink`]s (TCP-like: FIFO and lossless,
+//!   surviving scripted severance via backoff-paced reconnect and a
+//!   bounded resend queue).
+//!
+//! Failure is a first-class input: a [`FaultPlan`] can kill CE replicas
+//! (the supervisor restarts them and replays the DMs' retained
+//! windows), sever back links, and stall front links — see
+//! [`SystemBuilder::faults`].
 //!
 //! Messages cross links through the length-prefixed [`wire`] codec, so
 //! the pipeline exercises real serialization end to end. Shutdown is by
@@ -38,9 +45,15 @@
 #![warn(missing_debug_implementations)]
 
 mod actors;
+mod backlink;
+mod faults;
 mod link;
 mod system;
 pub mod wire;
 
+pub use backlink::{BackLink, BackLinkStats};
+pub use faults::{
+    FaultPlan, FaultReport, IngestGate, KillCe, RetainedWindow, SeverBackLink, StallFrontLink,
+};
 pub use link::{FrontLink, LinkReport};
 pub use system::{ConfigError, MonitorSystem, RunReport, SystemBuilder, VarFeed};

@@ -32,6 +32,9 @@ pub struct FrontLink {
     loss: Box<dyn LossModel>,
     rng: ChaCha8Rng,
     report: Arc<Mutex<LinkReport>>,
+    /// Scripted stalls, ascending by send index: `(at_send, stall)`.
+    stalls: std::collections::VecDeque<(u64, std::time::Duration)>,
+    sends_seen: u64,
 }
 
 impl std::fmt::Debug for FrontLink {
@@ -48,7 +51,22 @@ impl FrontLink {
             loss,
             rng: ChaCha8Rng::seed_from_u64(seed),
             report: Arc::new(Mutex::new(LinkReport::default())),
+            stalls: std::collections::VecDeque::new(),
+            sends_seen: 0,
         }
+    }
+
+    /// Scripts delivery stalls as `(at_send, stall)` pairs: the link
+    /// sleeps `stall` just before its `at_send`-th send (0-based count
+    /// of prior sends). Stalls model transient congestion; they reorder
+    /// nothing (the channel stays FIFO), they only perturb timing —
+    /// which is exactly what the chaos harness wants to shake out of
+    /// thread interleavings.
+    #[must_use]
+    pub fn with_stalls(mut self, mut stalls: Vec<(u64, std::time::Duration)>) -> Self {
+        stalls.sort_by_key(|&(at, _)| at);
+        self.stalls = stalls.into();
+        self
     }
 
     /// A handle for reading the link's counters after the DM thread
@@ -61,6 +79,13 @@ impl FrontLink {
     /// receiver may still have hung up, which also counts as not
     /// delivered).
     pub fn send(&mut self, update: Update) -> bool {
+        if let Some(&(at, stall)) = self.stalls.front() {
+            if self.sends_seen >= at {
+                self.stalls.pop_front();
+                std::thread::sleep(stall);
+            }
+        }
+        self.sends_seen += 1;
         let mut report = self.report.lock();
         report.sent += 1;
         if self.loss.drops(&mut self.rng) {
@@ -112,6 +137,21 @@ mod tests {
         let got: Vec<u64> = rx.iter().map(|u| u.seqno.get()).collect();
         assert_eq!(got, vec![1, 3]);
         assert_eq!(*handle.lock(), LinkReport { sent: 3, dropped: 1 });
+    }
+
+    #[test]
+    fn stalls_delay_but_never_reorder() {
+        let (tx, rx) = unbounded();
+        let mut link = FrontLink::new(tx, Box::new(Lossless), 1)
+            .with_stalls(vec![(1, std::time::Duration::from_millis(30))]);
+        let start = std::time::Instant::now();
+        for s in 1..=3 {
+            assert!(link.send(u(s)));
+        }
+        assert!(start.elapsed() >= std::time::Duration::from_millis(30));
+        drop(link);
+        let got: Vec<u64> = rx.iter().map(|u| u.seqno.get()).collect();
+        assert_eq!(got, vec![1, 2, 3]);
     }
 
     #[test]

@@ -10,9 +10,11 @@ use parking_lot::Mutex;
 use rcm_core::ad::{Ad1, AlertFilter};
 use rcm_core::condition::Condition;
 use rcm_core::{Alert, CeId, Update, VarId};
-use rcm_net::{LossModel, Lossless};
+use rcm_net::{Backoff, LossModel, Lossless};
 
-use crate::actors::{ad_body, ce_body, dm_body};
+use crate::actors::{ad_body, ce_body, dm_body, CeFaultConfig};
+use crate::backlink::{BackLink, BackLinkStats};
+use crate::faults::{FaultPlan, FaultReport, RetainedWindow};
 use crate::link::{FrontLink, LinkReport};
 
 /// One variable's data feed: where its Data Monitor's readings come
@@ -97,6 +99,7 @@ pub struct SystemBuilder {
     loss: Option<LossFactory>,
     seed: u64,
     on_alert: Option<AlertCallback>,
+    faults: Option<FaultPlan>,
 }
 
 impl fmt::Debug for SystemBuilder {
@@ -106,6 +109,7 @@ impl fmt::Debug for SystemBuilder {
             .field("replicas", &self.replicas)
             .field("feeds", &self.feeds)
             .field("seed", &self.seed)
+            .field("faults", &self.faults)
             .finish()
     }
 }
@@ -188,6 +192,18 @@ impl SystemBuilder {
         self
     }
 
+    /// Injects a fault schedule and enables supervision: scripted CE
+    /// kills are caught and the replica restarted (within the plan's
+    /// budget) with its histories replayed from the DMs' retained
+    /// windows; back links honor the plan's severances and reconnect
+    /// with capped backoff. Without this call the runtime is the
+    /// happy-path pipeline: panics propagate and links never drop.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Spawns all actor threads and starts the pipeline.
     ///
     /// # Errors
@@ -216,24 +232,68 @@ impl SystemBuilder {
             Box::new(|_vars: &[VarId]| Box::new(Ad1::new()) as Box<dyn AlertFilter>)
         });
 
+        let plan = self.faults;
+        let fault_report = Arc::new(Mutex::new(FaultReport::new(self.replicas)));
+        // One retained window per feed, in feed order (empty when fault
+        // injection is off, so the hot path never touches them).
+        let windows: Vec<RetainedWindow> = match &plan {
+            Some(p) => self.feeds.iter().map(|_| RetainedWindow::new(p.retain_window)).collect(),
+            None => Vec::new(),
+        };
+
         // Channels: one update channel per CE, one alert channel for the AD.
         let (alert_tx, alert_rx) = unbounded::<Alert>();
         let mut ce_senders = Vec::with_capacity(self.replicas);
         let mut handles: Vec<JoinHandle<()>> = Vec::new();
         let mut ingested: Vec<Arc<Mutex<Vec<Update>>>> = Vec::new();
+        let mut emitted: Vec<Arc<Mutex<Vec<Alert>>>> = Vec::new();
+        let mut backlink_stats: Vec<Arc<Mutex<BackLinkStats>>> = Vec::new();
 
         for ce in 0..self.replicas {
             let (tx, rx) = unbounded::<Update>();
             ce_senders.push(tx);
             let record = Arc::new(Mutex::new(Vec::new()));
             ingested.push(Arc::clone(&record));
+            let outputs = Arc::new(Mutex::new(Vec::new()));
+            emitted.push(Arc::clone(&outputs));
             let condition = self.condition.clone();
-            let back = alert_tx.clone();
+
+            let (backoff_base, backoff_cap) = plan
+                .as_ref()
+                .map_or((Duration::from_micros(200), Duration::from_millis(20)), |p| {
+                    (p.backoff_base, p.backoff_cap)
+                });
+            let backoff_seed =
+                self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(ce as u64);
+            let mut back = BackLink::new(
+                alert_tx.clone(),
+                Backoff::new(backoff_base, backoff_cap, backoff_seed),
+            );
+            if let Some(p) = &plan {
+                back = back
+                    .with_severs(
+                        p.severs
+                            .iter()
+                            .filter(|s| s.ce == ce)
+                            .map(|s| (s.at_send, s.down_for))
+                            .collect(),
+                    )
+                    .queue_cap(p.resend_queue_cap);
+            }
+            backlink_stats.push(back.stats_handle());
+
+            let faults = plan.as_ref().map(|p| CeFaultConfig {
+                kill_at: p.kills.iter().filter(|k| k.ce == ce).map(|k| k.at_arrival).collect(),
+                max_restarts: p.max_restarts,
+                windows: windows.clone(),
+                report: Arc::clone(&fault_report),
+                ce_index: ce,
+            });
             handles.push(std::thread::spawn(move || {
-                ce_body(CeId::new(ce as u32), condition, rx, back, record);
+                ce_body(CeId::new(ce as u32), condition, rx, back, record, outputs, faults);
             }));
         }
-        drop(alert_tx); // AD exits when the last CE sender drops.
+        drop(alert_tx); // AD exits when the last CE back link drops.
 
         // The AD thread.
         let arrivals = Arc::new(Mutex::new(Vec::new()));
@@ -252,19 +312,38 @@ impl SystemBuilder {
             let mut links = Vec::with_capacity(self.replicas);
             for (ci, tx) in ce_senders.iter().enumerate() {
                 let link_seed = self.seed.wrapping_add((fi as u64) << 32).wrapping_add(ci as u64);
-                let link =
+                let mut link =
                     FrontLink::new(tx.clone(), loss(feed.var, CeId::new(ci as u32)), link_seed);
+                if let Some(p) = &plan {
+                    link = link.with_stalls(
+                        p.stalls
+                            .iter()
+                            .filter(|s| s.feed == fi && s.ce == ci)
+                            .map(|s| (s.at_send, s.stall))
+                            .collect(),
+                    );
+                }
                 link_reports.push(((feed.var, CeId::new(ci as u32)), link.report_handle()));
                 links.push(link);
             }
             let (var, source, period) = (feed.var, feed.source, feed.period);
+            let window = windows.get(fi).cloned();
             handles.push(std::thread::spawn(move || {
-                dm_body(var, source, period, links);
+                dm_body(var, source, period, links, window);
             }));
         }
         drop(ce_senders); // CEs exit when all DM links drop.
 
-        Ok(MonitorSystem { handles, arrivals, displayed, ingested, link_reports })
+        Ok(MonitorSystem {
+            handles,
+            arrivals,
+            displayed,
+            ingested,
+            emitted,
+            link_reports,
+            fault_report,
+            backlink_stats,
+        })
     }
 }
 
@@ -274,7 +353,10 @@ pub struct MonitorSystem {
     arrivals: Arc<Mutex<Vec<Alert>>>,
     displayed: Arc<Mutex<Vec<Alert>>>,
     ingested: Vec<Arc<Mutex<Vec<Update>>>>,
+    emitted: Vec<Arc<Mutex<Vec<Alert>>>>,
     link_reports: LinkReports,
+    fault_report: Arc<Mutex<FaultReport>>,
+    backlink_stats: Vec<Arc<Mutex<BackLinkStats>>>,
 }
 
 impl fmt::Debug for MonitorSystem {
@@ -294,6 +376,7 @@ impl MonitorSystem {
             loss: None,
             seed: 0,
             on_alert: None,
+            faults: None,
         }
     }
 
@@ -313,7 +396,20 @@ impl MonitorSystem {
         for h in self.handles {
             h.join().expect("actor thread panicked");
         }
+        let faults = {
+            let mut report = self.fault_report.lock().clone();
+            for stats in &self.backlink_stats {
+                let s = *stats.lock();
+                report.backlink_severs += s.severs;
+                report.backlink_reconnects += s.reconnects;
+                report.backlink_attempts += s.attempts;
+                report.backlink_duplicates += s.resent_duplicates;
+                report.alerts_lost_overflow += s.lost_overflow;
+            }
+            report
+        };
         RunReport {
+            faults,
             arrivals: Arc::try_unwrap(self.arrivals)
                 .map(Mutex::into_inner)
                 .unwrap_or_else(|arc| arc.lock().clone()),
@@ -322,6 +418,15 @@ impl MonitorSystem {
                 .unwrap_or_else(|arc| arc.lock().clone()),
             ingested: self
                 .ingested
+                .into_iter()
+                .map(|m| {
+                    Arc::try_unwrap(m)
+                        .map(Mutex::into_inner)
+                        .unwrap_or_else(|arc| arc.lock().clone())
+                })
+                .collect(),
+            emitted: self
+                .emitted
                 .into_iter()
                 .map(|m| {
                     Arc::try_unwrap(m)
@@ -344,8 +449,14 @@ pub struct RunReport {
     /// Per replica: updates ingested, in arrival order (the paper's
     /// `U_i`).
     pub ingested: Vec<Vec<Update>>,
+    /// Per replica: alerts emitted over its back link, in emission
+    /// order (pre-merge, pre-filter).
+    pub emitted: Vec<Vec<Alert>>,
     /// Per front link `(variable, replica)`: loss counters.
     pub links: Vec<((VarId, CeId), LinkReport)>,
+    /// What the fault layer observed (all zeros without a
+    /// [`FaultPlan`]).
+    pub faults: FaultReport,
 }
 
 #[cfg(test)]
@@ -445,6 +556,24 @@ mod tests {
         let report = system.wait();
         assert_eq!(*seen.lock(), report.displayed.len());
         assert_eq!(report.displayed.len(), 2);
+    }
+
+    #[test]
+    fn empty_fault_plan_leaves_the_happy_path_untouched() {
+        let system = MonitorSystem::builder(c1())
+            .replicas(2)
+            .feed(VarFeed::new(x(), vec![2900.0, 3100.0, 3200.0]))
+            .faults(FaultPlan::scripted())
+            .start()
+            .unwrap();
+        let report = system.wait();
+        assert_eq!(report.displayed.len(), 2);
+        assert_eq!(report.faults.total_restarts(), 0);
+        assert_eq!(report.faults.backlink_severs, 0);
+        assert_eq!(report.faults.alerts_lost_overflow, 0);
+        // Every arrival at the AD is accounted to some replica's
+        // emission record.
+        assert_eq!(report.emitted.iter().map(Vec::len).sum::<usize>(), report.arrivals.len());
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! Crash/recovery and back-link fault-injection tests for the threaded
+//! runtime: supervisor restart bounds, kill-one-replica availability,
+//! lossless severed back links, retained-window replay — and the
+//! duplicate-offer indifference property the reconnect path relies on
+//! (a resent alert must never change any AD filter's decisions).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rcm_core::ad::{Ad1, Ad2, Ad3, Ad4, Ad5, Ad6, AlertFilter};
+use rcm_core::condition::{Cmp, Condition, DeltaRise, Threshold};
+use rcm_core::{transduce, Alert, CeId, Update, VarId};
+use rcm_props::{check_complete_single, check_ordered};
+use rcm_runtime::{FaultPlan, MonitorSystem, VarFeed};
+
+fn x() -> VarId {
+    VarId::new(0)
+}
+
+fn threshold() -> Arc<dyn Condition> {
+    Arc::new(Threshold::new(x(), Cmp::Gt, 50.0))
+}
+
+#[test]
+fn kill_one_replica_keeps_surviving_alerts_displayed() {
+    // Replica 0 dies on its first arrival with no restart budget; the
+    // survivor must carry the run alone.
+    let system = MonitorSystem::builder(threshold())
+        .replicas(2)
+        .feed(VarFeed::new(x(), vec![60.0, 40.0, 70.0, 55.0, 30.0, 80.0]))
+        .faults(FaultPlan::scripted().kill_ce(0, 1).max_restarts(0))
+        .start()
+        .unwrap();
+    let report = system.wait();
+
+    assert_eq!(report.faults.replicas_abandoned, 1);
+    assert_eq!(report.faults.restarts[0], 0);
+    assert!(report.emitted[0].is_empty(), "dead replica emitted alerts");
+    assert_eq!(report.emitted[1].len(), 4);
+    for alert in &report.emitted[1] {
+        assert!(report.displayed.contains(alert), "surviving alert {alert} not displayed");
+    }
+    assert_eq!(report.displayed.len(), 4);
+}
+
+#[test]
+fn restart_budget_is_a_hard_bound() {
+    // A kill scheduled at every arrival: however the backlog drains
+    // race with the kill thresholds, the supervisor must never restart
+    // the replica more often than the budget allows.
+    let values: Vec<f64> = (0..40).map(|i| f64::from((i * 7) % 100)).collect();
+    let mut plan = FaultPlan::scripted().max_restarts(3);
+    for arrival in 1..=40 {
+        plan = plan.kill_ce(0, arrival);
+    }
+    let system = MonitorSystem::builder(threshold())
+        .replicas(2)
+        .feed(VarFeed::new(x(), values.clone()).period(Duration::from_micros(500)))
+        .faults(plan)
+        .start()
+        .unwrap();
+    let report = system.wait();
+
+    assert!(report.faults.kills_injected >= 1, "the arrival-1 kill always fires");
+    assert!(
+        report.faults.restarts[0] <= 3,
+        "supervisor exceeded the restart budget: {:?}",
+        report.faults.restarts
+    );
+    if report.faults.replicas_abandoned == 1 {
+        assert_eq!(report.faults.restarts[0], 3, "abandonment implies an exhausted budget");
+    }
+    // The untouched replica keeps the system available: every alert of
+    // the full update sequence is displayed exactly once (AD-1 dedups).
+    let updates: Vec<Update> =
+        values.iter().enumerate().map(|(i, &v)| Update::new(x(), i as u64 + 1, v)).collect();
+    let expected = transduce(&threshold(), CeId::new(9), &updates);
+    assert_eq!(report.displayed.len(), expected.len());
+}
+
+#[test]
+fn severed_back_link_loses_no_alerts() {
+    // Both back links are severed mid-stream; reconnect + resend must
+    // preserve the lossless contract: nothing dropped, duplicates only.
+    let cond: Arc<dyn Condition> = Arc::new(Threshold::new(x(), Cmp::Gt, -1.0));
+    let n = 30u64;
+    let system =
+        MonitorSystem::builder(cond)
+            .replicas(2)
+            .feed(VarFeed::new(x(), (0..n).map(|i| i as f64).collect::<Vec<_>>()))
+            .faults(
+                FaultPlan::scripted()
+                    .sever_back_link(0, 5, Duration::from_millis(5))
+                    .sever_back_link(1, 2, Duration::from_millis(1)),
+            )
+            .start()
+            .unwrap();
+    let report = system.wait();
+
+    assert_eq!(report.faults.backlink_severs, 2);
+    assert_eq!(report.faults.alerts_lost_overflow, 0);
+    // Every update alerts; AD-1 displays each distinct alert once no
+    // matter how the resent duplicates interleave.
+    assert_eq!(report.displayed.len(), n as usize);
+    assert!(check_ordered(&report.displayed, &[x()]).ok);
+    // Both replicas' full streams arrived (plus any resend duplicates).
+    assert!(report.arrivals.len() >= 2 * n as usize);
+}
+
+#[test]
+fn recovery_replays_retained_window() {
+    // Scripted kill mid-stream with a full retained window: replay must
+    // rebuild the histories so the run stays complete and ordered —
+    // indistinguishable from a fault-free run for a degree-1 condition
+    // over lossless links.
+    let values: Vec<f64> = (0..30).map(|i| f64::from((i * 13) % 100)).collect();
+    let system = MonitorSystem::builder(threshold())
+        .replicas(2)
+        .feed(VarFeed::new(x(), values))
+        .faults(FaultPlan::scripted().kill_ce(0, 10).retain_window(4096).max_restarts(3))
+        .start()
+        .unwrap();
+    let report = system.wait();
+
+    assert_eq!(report.faults.kills_injected, 1);
+    assert_eq!(report.faults.restarts[0], 1);
+    assert_eq!(report.faults.replicas_abandoned, 0);
+    // Replay restored the killed replica's `U_i` to the full sequence.
+    assert_eq!(report.ingested[0].len(), 30);
+    assert_eq!(report.ingested[1].len(), 30);
+    let complete = check_complete_single(&threshold(), &report.ingested, &report.displayed);
+    assert!(complete.ok, "missing={:?} extraneous={:?}", complete.missing, complete.extraneous);
+    assert!(check_ordered(&report.displayed, &[x()]).ok);
+}
+
+/// Builds one fresh instance of every AD filter.
+fn all_filters() -> Vec<Box<dyn AlertFilter>> {
+    vec![
+        Box::new(Ad1::new()),
+        Box::new(Ad2::new(x())),
+        Box::new(Ad3::new(x())),
+        Box::new(Ad4::new(x())),
+        Box::new(Ad5::new([x()])),
+        Box::new(Ad6::new([x()])),
+    ]
+}
+
+/// The property the back-link resend path relies on: re-offering an
+/// alert that was already offered earlier (a reconnect duplicate) must
+/// not change any filter's decision on any *original* offer.
+///
+/// `values`/`keep` derive two replica alert streams (replica 2 misses
+/// the unkept updates), interleaved round-robin; `dups` picks
+/// (position, earlier-offer) pairs to replay into the stream.
+fn check_duplicate_indifference(
+    values: &[f64],
+    keep: &[bool],
+    dups: &[(usize, usize)],
+    use_delta: bool,
+) {
+    let cond: Arc<dyn Condition> = if use_delta {
+        Arc::new(DeltaRise::new(x(), 5.0))
+    } else {
+        Arc::new(Threshold::new(x(), Cmp::Gt, 50.0))
+    };
+    let u1: Vec<Update> =
+        values.iter().enumerate().map(|(i, &v)| Update::new(x(), i as u64 + 1, v)).collect();
+    let u2: Vec<Update> = u1
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *keep.get(*i).unwrap_or(&true))
+        .map(|(_, &u)| u)
+        .collect();
+    let a1 = transduce(&cond, CeId::new(0), &u1);
+    let a2 = transduce(&cond, CeId::new(1), &u2);
+
+    // Round-robin merge of the two back-link streams.
+    let mut base: Vec<Alert> = Vec::with_capacity(a1.len() + a2.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a1.len() || j < a2.len() {
+        if i < a1.len() {
+            base.push(a1[i].clone());
+            i += 1;
+        }
+        if j < a2.len() {
+            base.push(a2[j].clone());
+            j += 1;
+        }
+    }
+    if base.is_empty() {
+        return;
+    }
+
+    // The duplicated stream: same offers, with replays of earlier
+    // offers spliced in. `true` marks an original offer.
+    let mut with_dups: Vec<(Alert, bool)> = base.iter().map(|a| (a.clone(), true)).collect();
+    for &(pos, src) in dups {
+        let pos = 1 + pos % with_dups.len();
+        // Replay something offered strictly before the splice point.
+        let originals_before: Vec<&Alert> =
+            with_dups[..pos].iter().filter(|(_, orig)| *orig).map(|(a, _)| a).collect();
+        let dup = originals_before[src % originals_before.len()].clone();
+        with_dups.insert(pos, (dup, false));
+    }
+
+    for (mut clean, mut dirty) in all_filters().into_iter().zip(all_filters()) {
+        let clean_decisions: Vec<bool> = base.iter().map(|a| clean.offer(a).is_deliver()).collect();
+        let dirty_decisions: Vec<bool> = with_dups
+            .iter()
+            .filter_map(|(a, orig)| {
+                let deliver = dirty.offer(a).is_deliver();
+                orig.then_some(deliver)
+            })
+            .collect();
+        assert_eq!(
+            clean_decisions,
+            dirty_decisions,
+            "{} changed a decision because of duplicate offers",
+            clean.name()
+        );
+    }
+}
+
+#[test]
+fn duplicate_indifference_smoke() {
+    // A couple of fixed cases (including the degenerate no-alert one),
+    // then a deterministic seeded sweep.
+    check_duplicate_indifference(
+        &[60.0, 40.0, 70.0],
+        &[true, false, true],
+        &[(0, 0), (2, 1)],
+        false,
+    );
+    check_duplicate_indifference(&[1.0, 2.0], &[true, true], &[], true);
+    let mut state = 0x5eedu64;
+    let mut next = |m: u64| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) % m
+    };
+    for _ in 0..50 {
+        let n = 5 + next(40) as usize;
+        let values: Vec<f64> = (0..n).map(|_| next(1000) as f64 / 10.0).collect();
+        let keep: Vec<bool> = (0..n).map(|_| next(4) != 0).collect();
+        let dups: Vec<(usize, usize)> =
+            (0..next(10)).map(|_| (next(1000) as usize, next(1000) as usize)).collect();
+        check_duplicate_indifference(&values, &keep, &dups, next(2) == 0);
+    }
+}
+
+proptest! {
+    #[test]
+    fn duplicate_offers_never_change_decisions(
+        values in proptest::collection::vec(0.0f64..100.0, 5..50),
+        keep in proptest::collection::vec(any::<bool>(), 50..51),
+        dups in proptest::collection::vec((0usize..1000, 0usize..1000), 0..12),
+        use_delta in any::<bool>(),
+    ) {
+        check_duplicate_indifference(&values, &keep, &dups, use_delta);
+    }
+}

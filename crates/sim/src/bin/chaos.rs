@@ -1,0 +1,403 @@
+//! `chaos` — randomized fault-injection gauntlet for the threaded runtime.
+//!
+//! ```text
+//! cargo run --release -p rcm-sim --bin chaos -- [--plans N] [--seed S] [--json]
+//! ```
+//!
+//! Unlike the discrete-event simulator (which *enumerates* adversarial
+//! schedules), this harness runs the real `rcm-runtime` pipeline — OS
+//! threads, channels, the wire codec — under randomized [`FaultPlan`]s:
+//! CE replicas are killed and restarted with history replay, back links
+//! are severed and must reconnect losslessly, front links stall and
+//! (in the lossy classes) drop. After every run the displayed sequence
+//! is checked against the exact property deciders in `rcm-props`.
+//!
+//! Each plan draws one of five classes, asserting only the properties
+//! that provably hold for its configuration:
+//!
+//! | class | condition | front links | AD   | asserted                      |
+//! |-------|-----------|-------------|------|-------------------------------|
+//! | 0     | Threshold | lossless    | AD-1 | ordered, complete, consistent |
+//! | 1     | DeltaRise | lossless    | AD-1 | consistent                    |
+//! | 2     | Threshold | 20% loss    | AD-2 | ordered                       |
+//! | 3     | DeltaRise | 20% loss    | AD-3 | consistent                    |
+//! | 4     | Threshold | 20% loss    | AD-4 | ordered, consistent           |
+//!
+//! Class 0 is the strong case: a degree-1 condition over lossless links
+//! with a full retained window means crash-recovery replay loses
+//! nothing, so every property of the fault-free run must survive
+//! arbitrary kills and severs. Class 1 drops completeness/orderedness
+//! because a degree-2 condition loses the alert straddling a crash
+//! (history is wiped; the first post-replay update has no predecessor
+//! in the replica's rebuilt window when the crash lands between the
+//! pair), and the AD-1 merge of gap-streams need not be ordered. The
+//! lossy classes assert exactly the per-algorithm guarantees of AD-2/3/4,
+//! which hold under any interleaving.
+//!
+//! Before the randomized sweep, one scripted availability plan kills
+//! replica 0 permanently (restart budget zero) and requires every alert
+//! the surviving replica emitted to be displayed.
+//!
+//! Exit status is nonzero if any property check fails or any alert is
+//! lost to resend-queue overflow, so CI can gate on this binary.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rcm_core::ad::{Ad1, Ad2, Ad3, Ad4, AlertFilter};
+use rcm_core::condition::{Cmp, Condition, DeltaRise, Threshold};
+use rcm_core::VarId;
+use rcm_net::{Bernoulli, LossModel, Lossless};
+use rcm_props::{check_complete_single, check_consistent_single, check_ordered};
+use rcm_runtime::{FaultPlan, MonitorSystem, RunReport, VarFeed};
+
+/// SplitMix64: the harness's only randomness source, so a `(seed,
+/// plans)` pair names one exact gauntlet.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Everything one gauntlet run produced, for reporting.
+struct PlanOutcome {
+    index: usize,
+    class: usize,
+    updates: usize,
+    replicas: usize,
+    kills: u32,
+    restarts: u32,
+    severs: u64,
+    duplicates: u64,
+    replayed: u64,
+    recovery: Vec<Duration>,
+    violations: Vec<String>,
+}
+
+/// Per-class configuration: what to build and what must hold.
+struct ClassSpec {
+    name: &'static str,
+    lossy: bool,
+    assert_ordered: bool,
+    assert_complete: bool,
+    assert_consistent: bool,
+}
+
+const CLASSES: [ClassSpec; 5] = [
+    ClassSpec {
+        name: "threshold/lossless/ad1",
+        lossy: false,
+        assert_ordered: true,
+        assert_complete: true,
+        assert_consistent: true,
+    },
+    ClassSpec {
+        name: "delta-rise/lossless/ad1",
+        lossy: false,
+        assert_ordered: false,
+        assert_complete: false,
+        assert_consistent: true,
+    },
+    ClassSpec {
+        name: "threshold/lossy/ad2",
+        lossy: true,
+        assert_ordered: true,
+        assert_complete: false,
+        assert_consistent: false,
+    },
+    ClassSpec {
+        name: "delta-rise/lossy/ad3",
+        lossy: true,
+        assert_ordered: false,
+        assert_complete: false,
+        assert_consistent: true,
+    },
+    ClassSpec {
+        name: "threshold/lossy/ad4",
+        lossy: true,
+        assert_ordered: true,
+        assert_complete: false,
+        assert_consistent: true,
+    },
+];
+
+fn usage() -> ExitCode {
+    eprintln!("usage: chaos [--plans N] [--seed S] [--json]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut plans = 25usize;
+    let mut seed = 7u64;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--plans" => {
+                let Some(n) = args.next().and_then(|s| s.parse().ok()) else { return usage() };
+                plans = n;
+            }
+            "--seed" => {
+                let Some(s) = args.next().and_then(|s| s.parse().ok()) else { return usage() };
+                seed = s;
+            }
+            "--json" => json = true,
+            _ => return usage(),
+        }
+    }
+
+    let availability_violations = availability_check();
+    if !json {
+        if availability_violations.is_empty() {
+            println!("availability: kill-one-replica plan displayed every surviving alert");
+        } else {
+            for v in &availability_violations {
+                println!("availability VIOLATION: {v}");
+            }
+        }
+    }
+
+    let mut outcomes = Vec::with_capacity(plans);
+    for index in 0..plans {
+        let outcome = run_plan(index, mix(seed ^ (index as u64).wrapping_mul(0x9e37_79b9)));
+        if !json {
+            print_outcome(&outcome);
+        }
+        outcomes.push(outcome);
+    }
+
+    let violation_count =
+        availability_violations.len() + outcomes.iter().map(|o| o.violations.len()).sum::<usize>();
+    let mut recovery: Vec<Duration> = outcomes.iter().flat_map(|o| o.recovery.clone()).collect();
+    recovery.sort_unstable();
+    let recovery_max = recovery.last().copied().unwrap_or(Duration::ZERO);
+    let recovery_mean = if recovery.is_empty() {
+        Duration::ZERO
+    } else {
+        recovery.iter().sum::<Duration>() / recovery.len() as u32
+    };
+    let kills: u32 = outcomes.iter().map(|o| o.kills).sum();
+    let restarts: u32 = outcomes.iter().map(|o| o.restarts).sum();
+    let severs: u64 = outcomes.iter().map(|o| o.severs).sum();
+    let duplicates: u64 = outcomes.iter().map(|o| o.duplicates).sum();
+    let replayed: u64 = outcomes.iter().map(|o| o.replayed).sum();
+
+    if json {
+        let doc = serde_json::json!({
+            "seed": seed,
+            "plans": plans,
+            "violations": violation_count,
+            "availability_violations": availability_violations,
+            "totals": serde_json::json!({
+                "kills": kills,
+                "restarts": restarts,
+                "backlink_severs": severs,
+                "backlink_duplicates": duplicates,
+                "updates_replayed": replayed,
+                "recovery_mean_us": recovery_mean.as_micros() as u64,
+                "recovery_max_us": recovery_max.as_micros() as u64,
+            }),
+            "runs": outcomes.iter().map(|o| serde_json::json!({
+                "plan": o.index,
+                "class": CLASSES[o.class].name,
+                "updates": o.updates,
+                "replicas": o.replicas,
+                "kills": o.kills,
+                "restarts": o.restarts,
+                "backlink_severs": o.severs,
+                "backlink_duplicates": o.duplicates,
+                "updates_replayed": o.replayed,
+                "recovery_us": o.recovery.iter().map(|d| d.as_micros() as u64).collect::<Vec<_>>(),
+                "violations": o.violations.clone(),
+            })).collect::<Vec<_>>(),
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).expect("report serializes"));
+    } else {
+        println!(
+            "\nchaos: {plans} plans, {kills} kills, {restarts} restarts, \
+             {severs} severs, {duplicates} duplicate offers, {replayed} updates replayed"
+        );
+        println!(
+            "recovery latency: mean {recovery_mean:?}, max {recovery_max:?} \
+             over {} recoveries",
+            recovery.len()
+        );
+        println!("violations: {violation_count}");
+    }
+
+    if violation_count == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Scripted plan: replica 0 is killed on its first arrival with a zero
+/// restart budget, so it stays dead. Availability demands the surviving
+/// replica carry the run: every alert it emitted must be displayed.
+fn availability_check() -> Vec<String> {
+    let x = VarId::new(0);
+    let cond: Arc<dyn Condition> = Arc::new(Threshold::new(x, Cmp::Gt, 50.0));
+    let system = MonitorSystem::builder(cond)
+        .replicas(2)
+        .feed(VarFeed::new(x, vec![60.0, 40.0, 70.0, 55.0, 30.0, 80.0]))
+        .faults(FaultPlan::scripted().kill_ce(0, 1).max_restarts(0))
+        .start()
+        .expect("availability plan config is valid");
+    let report = system.wait();
+
+    let mut violations = Vec::new();
+    if report.faults.replicas_abandoned != 1 {
+        violations.push(format!(
+            "expected exactly one abandoned replica, saw {}",
+            report.faults.replicas_abandoned
+        ));
+    }
+    for alert in &report.emitted[1] {
+        if !report.displayed.contains(alert) {
+            violations.push(format!("surviving replica's alert {alert:?} was not displayed"));
+        }
+    }
+    if report.displayed.len() != 4 {
+        violations.push(format!(
+            "expected the 4 surviving-replica alerts displayed, saw {}",
+            report.displayed.len()
+        ));
+    }
+    violations
+}
+
+/// Runs one randomized plan and checks its class's properties.
+fn run_plan(index: usize, plan_seed: u64) -> PlanOutcome {
+    let class = index % CLASSES.len();
+    let spec = &CLASSES[class];
+    let x = VarId::new(0);
+    let replicas = 2 + (mix(plan_seed ^ 1) % 2) as usize;
+    let updates = 60 + (mix(plan_seed ^ 2) % 81) as usize;
+
+    // A jittery random walk: enough threshold crossings and steep rises
+    // that every class produces a meaningful alert stream.
+    let mut state = mix(plan_seed ^ 3);
+    let values: Vec<f64> = (0..updates)
+        .map(|_| {
+            state = mix(state);
+            (state % 1000) as f64 / 10.0
+        })
+        .collect();
+
+    let condition: Arc<dyn Condition> = if spec.name.starts_with("threshold") {
+        Arc::new(Threshold::new(x, Cmp::Gt, 50.0))
+    } else {
+        Arc::new(DeltaRise::new(x, 5.0))
+    };
+
+    // A retained window larger than the workload plus a generous
+    // restart budget: recovery replays the full history, which is what
+    // makes the class-0 completeness assertion sound.
+    let plan = FaultPlan::random(plan_seed, replicas, 1, updates as u64)
+        .retain_window(4096)
+        .max_restarts(8);
+    let lossy = spec.lossy;
+    let mut builder = MonitorSystem::builder(condition.clone())
+        .replicas(replicas)
+        .feed(VarFeed::new(x, values))
+        .seed(plan_seed)
+        .faults(plan)
+        .loss(move |_, _| {
+            if lossy {
+                Box::new(Bernoulli::new(0.2)) as Box<dyn LossModel>
+            } else {
+                Box::new(Lossless)
+            }
+        });
+    builder = match class {
+        0 | 1 => builder.filter(|_| Box::new(Ad1::new()) as Box<dyn AlertFilter>),
+        2 => builder.filter(|vars| Box::new(Ad2::new(vars[0])) as Box<dyn AlertFilter>),
+        3 => builder.filter(|vars| Box::new(Ad3::new(vars[0])) as Box<dyn AlertFilter>),
+        _ => builder.filter(|vars| Box::new(Ad4::new(vars[0])) as Box<dyn AlertFilter>),
+    };
+    let report = builder.start().expect("chaos plan config is valid").wait();
+
+    let violations = check(spec, &condition, &report, x);
+    PlanOutcome {
+        index,
+        class,
+        updates,
+        replicas,
+        kills: report.faults.kills_injected,
+        restarts: report.faults.total_restarts(),
+        severs: report.faults.backlink_severs,
+        duplicates: report.faults.backlink_duplicates,
+        replayed: report.faults.updates_replayed,
+        recovery: report.faults.recovery_latency.clone(),
+        violations,
+    }
+}
+
+/// Applies the class's property assertions plus the invariants every
+/// class must uphold.
+fn check(
+    spec: &ClassSpec,
+    condition: &Arc<dyn Condition>,
+    report: &RunReport,
+    x: VarId,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    // The lossless back-link contract: severance may queue and
+    // duplicate, never drop. This holds in every class.
+    if report.faults.alerts_lost_overflow != 0 {
+        violations.push(format!(
+            "{} alerts lost to resend-queue overflow",
+            report.faults.alerts_lost_overflow
+        ));
+    }
+    if report.faults.replicas_abandoned != 0 {
+        violations.push(format!(
+            "{} replicas exhausted a restart budget sized to be inexhaustible",
+            report.faults.replicas_abandoned
+        ));
+    }
+    if spec.assert_ordered {
+        let ordered = check_ordered(&report.displayed, &[x]);
+        if !ordered.ok {
+            violations.push(format!("orderedness violated: {:?}", ordered.violation));
+        }
+    }
+    if spec.assert_complete {
+        let complete = check_complete_single(condition, &report.ingested, &report.displayed);
+        if !complete.ok {
+            violations.push(format!(
+                "completeness violated: missing {:?}, extraneous {:?}",
+                complete.missing, complete.extraneous
+            ));
+        }
+    }
+    if spec.assert_consistent {
+        let consistent = check_consistent_single(condition, &report.ingested, &report.displayed);
+        if !consistent.ok {
+            violations.push(format!("consistency violated: {:?}", consistent.conflict));
+        }
+    }
+    violations
+}
+
+fn print_outcome(o: &PlanOutcome) {
+    let verdict = if o.violations.is_empty() { "ok" } else { "VIOLATION" };
+    println!(
+        "plan {:>3}  {:<24} updates={:<3} replicas={} kills={} restarts={} \
+         severs={} dups={}  {verdict}",
+        o.index,
+        CLASSES[o.class].name,
+        o.updates,
+        o.replicas,
+        o.kills,
+        o.restarts,
+        o.severs,
+        o.duplicates,
+    );
+    for v in &o.violations {
+        println!("          {v}");
+    }
+}
