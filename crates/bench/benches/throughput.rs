@@ -1,0 +1,83 @@
+//! Criterion benches for the multi-condition engine's ingest
+//! throughput: a [`ConditionRegistry`] hosting 1 / 100 / 10 000
+//! compiled conditions over one shared update stream, evaluated
+//! incrementally (per-node caches with dirty bits) vs with a full
+//! expression walk per routed arrival — plus the sharded registry at
+//! several shard counts to show the merge overhead is paid back.
+//!
+//! The workload is `rcm_bench::throughput`, shared verbatim with
+//! `bench_snapshot` (which feeds `BENCH_rcm.json`) and the
+//! `throughput_smoke` CI check.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rcm_bench::throughput::{conditions, stream};
+use rcm_core::condition::Condition;
+use rcm_core::{Alert, CeId, ConditionRegistry};
+use rcm_sim::shard::ShardedRegistry;
+
+fn bench_registry(c: &mut Criterion) {
+    for (label, n_conds, n_updates) in
+        [("conds_1", 1, 4096), ("conds_100", 100, 2048), ("conds_10k", 10_000, 256)]
+    {
+        let (conds, ids) = conditions(n_conds);
+        let updates = stream(&ids, n_updates);
+
+        let mut incremental = ConditionRegistry::new(CeId::new(0));
+        let mut full = ConditionRegistry::new(CeId::new(0));
+        for cond in &conds {
+            incremental.add_compiled(cond.clone());
+            full.add(Arc::new(cond.clone()) as Arc<dyn Condition>);
+        }
+
+        let mut g = c.benchmark_group(format!("throughput/{label}"));
+        g.throughput(Throughput::Elements(n_updates as u64));
+        if n_conds >= 10_000 {
+            g.sample_size(10);
+        }
+        let mut out: Vec<Alert> = Vec::new();
+        g.bench_function("incremental", |b| {
+            b.iter(|| {
+                incremental.restart();
+                out.clear();
+                incremental.ingest_batch(black_box(&updates), &mut out);
+                out.len()
+            })
+        });
+        g.bench_function("full_reeval", |b| {
+            b.iter(|| {
+                full.restart();
+                out.clear();
+                full.ingest_batch(black_box(&updates), &mut out);
+                out.len()
+            })
+        });
+        g.finish();
+    }
+}
+
+fn bench_sharded(c: &mut Criterion) {
+    let (conds, ids) = conditions(10_000);
+    let updates = stream(&ids, 256);
+    let mut g = c.benchmark_group("throughput/sharded_10k");
+    g.throughput(Throughput::Elements(updates.len() as u64));
+    g.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        let mut reg = ShardedRegistry::from_compiled(CeId::new(0), conds.iter().cloned(), shards);
+        let mut out: Vec<Alert> = Vec::new();
+        g.bench_function(format!("shards_{shards}"), |b| {
+            b.iter(|| {
+                reg.restart();
+                out.clear();
+                reg.ingest_batch(black_box(&updates), &mut out);
+                out.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_registry, bench_sharded);
+criterion_main!(benches);

@@ -10,6 +10,12 @@
 //! runner generations, so only the machine-relative ratios (the
 //! `speedup` fields) are gated; absolute numbers are echoed for the
 //! log.
+//!
+//! Setting `RCM_BENCH_OFFLINE=1` downgrades the placeholder failure to
+//! a loud warning (the ratio checks are then skipped — a placeholder
+//! has no numbers to compare against). This is the escape hatch for
+//! environments that cannot regenerate the committed snapshot; every
+//! other failure mode (drift, lost bit-identity) still fails.
 
 use std::process::ExitCode;
 
@@ -21,6 +27,8 @@ const GATED: &[&str] = &[
     "/ad3_realistic/speedup",
     "/ad3_marching/speedup",
     "/ad6_realistic/speedup",
+    "/throughput/conds_100/speedup",
+    "/throughput/conds_10k/speedup",
     "/matrix_table1_ad1/speedup",
 ];
 
@@ -30,6 +38,8 @@ const INFORMATIONAL: &[&str] = &[
     "/ad3_realistic/interval_offers_per_sec",
     "/ad3_marching/interval_offers_per_sec",
     "/ad6_realistic/interval_offers_per_sec",
+    "/throughput/conds_100/incremental_ups",
+    "/throughput/conds_10k/incremental_ups",
     "/matrix_table1_ad1/parallel_secs",
 ];
 
@@ -87,13 +97,26 @@ fn main() -> ExitCode {
     let mut failures = 0u32;
 
     // A placeholder snapshot asserts nothing — the whole point of the
-    // gate is that the committed numbers are real.
+    // gate is that the committed numbers are real. RCM_BENCH_OFFLINE=1
+    // downgrades exactly this failure (and nothing else) to a warning
+    // for environments that cannot regenerate the snapshot.
     if committed.pointer("/meta/placeholder").and_then(Value::as_bool).unwrap_or(true) {
-        eprintln!(
-            "FAIL: {committed_path} is still the schema placeholder — regenerate it with \
-             `cargo run -p rcm-bench --release --bin bench_snapshot` and commit the result"
-        );
-        failures += 1;
+        let offline = std::env::var("RCM_BENCH_OFFLINE").is_ok_and(|v| v == "1");
+        if offline {
+            eprintln!(
+                "WARNING: {committed_path} is still the schema placeholder; the ratio checks \
+                 are SKIPPED because RCM_BENCH_OFFLINE=1 is set. Regenerate it with \
+                 `cargo run -p rcm-bench --release --bin bench_snapshot` and commit the \
+                 result as soon as a benchmark-capable machine is available."
+            );
+        } else {
+            eprintln!(
+                "FAIL: {committed_path} is still the schema placeholder — regenerate it with \
+                 `cargo run -p rcm-bench --release --bin bench_snapshot` and commit the result \
+                 (or set RCM_BENCH_OFFLINE=1 to downgrade this to a warning)"
+            );
+            failures += 1;
+        }
     } else {
         for &pointer in GATED {
             match (metric(&committed, pointer), metric(&fresh, pointer)) {

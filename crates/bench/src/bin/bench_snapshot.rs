@@ -9,12 +9,15 @@
 //! additionally echoes the snapshot to stdout).
 
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
-use rcm_bench::{executions, Cli};
+use rcm_bench::{executions, throughput, Cli};
 use rcm_core::ad::{apply_filter, Ad3, Ad6, AlertFilter, BTreeConsistency};
+use rcm_core::condition::Condition;
 use rcm_core::{
-    Alert, AlertId, CeId, CondId, HistoryFingerprint, HistorySet, SeqNo, Update, VarId,
+    Alert, AlertId, CeId, CondId, ConditionRegistry, HistoryFingerprint, HistorySet, SeqNo, Update,
+    VarId,
 };
 use rcm_sim::montecarlo::{property_matrix, FilterKind, ScenarioKind, Topology};
 use rcm_sim::par::{harness_threads, with_threads};
@@ -86,6 +89,49 @@ where
     })
 }
 
+/// Registry ingest throughput over the shared `rcm_bench::throughput`
+/// workload at one condition-count size: updates/second with
+/// incremental re-evaluation vs a full expression walk per routed
+/// arrival. Asserts the two modes emit identical alerts first.
+fn throughput_cell(n_conds: usize, n_updates: usize, iters: u32) -> serde_json::Value {
+    let (conds, ids) = throughput::conditions(n_conds);
+    let updates = throughput::stream(&ids, n_updates);
+    let mut incremental = ConditionRegistry::new(CeId::new(0));
+    let mut full = ConditionRegistry::new(CeId::new(0));
+    for cond in &conds {
+        incremental.add_compiled(cond.clone());
+        full.add(Arc::new(cond.clone()) as Arc<dyn Condition>);
+    }
+
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    incremental.ingest_batch(&updates, &mut a);
+    full.ingest_batch(&updates, &mut b);
+    assert_eq!(a, b, "incremental and full evaluation must emit identical alerts");
+
+    let mut out: Vec<Alert> = Vec::new();
+    let inc_secs = time(iters, || {
+        incremental.restart();
+        out.clear();
+        incremental.ingest_batch(black_box(&updates), &mut out);
+        out.len()
+    });
+    let full_secs = time(iters, || {
+        full.restart();
+        out.clear();
+        full.ingest_batch(black_box(&updates), &mut out);
+        out.len()
+    });
+    let inc_ups = n_updates as f64 / inc_secs;
+    let full_ups = n_updates as f64 / full_secs;
+    json!({
+        "conditions": n_conds,
+        "updates_per_pass": n_updates,
+        "incremental_ups": inc_ups,
+        "full_ups": full_ups,
+        "speedup": inc_ups / full_ups,
+    })
+}
+
 fn main() {
     let cli = Cli::parse(60);
     let x = VarId::new(0);
@@ -119,6 +165,15 @@ fn main() {
         || Ad6::<BTreeConsistency>::with_state([x, y]),
     );
 
+    // Registry ingest throughput: 1 / 100 / 10k hosted conditions,
+    // incremental vs full re-evaluation (shared workload with the
+    // criterion `throughput` bench and `throughput_smoke`).
+    let throughput = json!({
+        "conds_1": throughput_cell(1, 4096, 40),
+        "conds_100": throughput_cell(100, 2048, 20),
+        "conds_10k": throughput_cell(10_000, 256, 5),
+    });
+
     // Matrix wall-clock, one thread vs the harness default.
     let threads = harness_threads();
     let table =
@@ -147,6 +202,7 @@ fn main() {
         "ad3_realistic": ad3,
         "ad3_marching": ad3_marching,
         "ad6_realistic": ad6,
+        "throughput": throughput,
         "matrix_table1_ad1": {
             "serial_secs": serial_secs,
             "parallel_secs": par_secs,

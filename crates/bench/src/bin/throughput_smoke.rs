@@ -1,0 +1,99 @@
+//! CI smoke check for the multi-condition engine: over the shared
+//! `rcm_bench::throughput` workload, incremental re-evaluation must (a)
+//! emit exactly the alerts a full expression walk emits and (b) not be
+//! slower than it. Runs in seconds with tiny iteration counts — it is
+//! a direction check, not a measurement; `bench_snapshot` produces the
+//! gated numbers.
+//!
+//! Usage: `throughput_smoke [--conditions N] [--updates N] [--trials N]`
+//! Exits non-zero on an equivalence mismatch or when full re-evaluation
+//! beats incremental (best-of-`trials` for each mode, interleaved so
+//! machine noise hits both alike).
+
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rcm_bench::throughput;
+use rcm_core::condition::Condition;
+use rcm_core::{Alert, CeId, ConditionRegistry, Update};
+
+/// One full pass over the stream, from cleared histories.
+fn pass(reg: &mut ConditionRegistry, updates: &[Update], out: &mut Vec<Alert>) -> usize {
+    reg.restart();
+    out.clear();
+    reg.ingest_batch(black_box(updates), out);
+    out.len()
+}
+
+/// Next argument parsed as an integer, or a panic with the flag name.
+fn next_int(args: &mut impl Iterator<Item = String>, flag: &str) -> usize {
+    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| panic!("{flag} takes an integer"))
+}
+
+fn main() -> ExitCode {
+    let (mut n_conds, mut n_updates, mut trials) = (100usize, 1024usize, 5usize);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--conditions" => n_conds = next_int(&mut args, "--conditions"),
+            "--updates" => n_updates = next_int(&mut args, "--updates"),
+            "--trials" => trials = next_int(&mut args, "--trials"),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                eprintln!("usage: throughput_smoke [--conditions N] [--updates N] [--trials N]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (conds, ids) = throughput::conditions(n_conds);
+    let updates = throughput::stream(&ids, n_updates);
+    let mut incremental = ConditionRegistry::new(CeId::new(0));
+    let mut full = ConditionRegistry::new(CeId::new(0));
+    for cond in &conds {
+        incremental.add_compiled(cond.clone());
+        full.add(Arc::new(cond.clone()) as Arc<dyn Condition>);
+    }
+
+    // Equivalence first: both modes must emit identical alert streams.
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    pass(&mut incremental, &updates, &mut a);
+    pass(&mut full, &updates, &mut b);
+    if a != b || a.iter().zip(&b).any(|(x, y)| x.id != y.id) {
+        eprintln!(
+            "FAIL: incremental and full evaluation diverged ({} vs {} alerts)",
+            a.len(),
+            b.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Best-of-`trials`, interleaved (warm-up pass already done above).
+    let (mut inc_best, mut full_best) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..trials {
+        let t = Instant::now();
+        black_box(pass(&mut incremental, &updates, &mut a));
+        inc_best = inc_best.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        black_box(pass(&mut full, &updates, &mut b));
+        full_best = full_best.min(t.elapsed().as_secs_f64());
+    }
+    let inc_ups = n_updates as f64 / inc_best;
+    let full_ups = n_updates as f64 / full_best;
+    println!(
+        "throughput_smoke: {n_conds} conditions, {n_updates} updates, {} alerts/pass",
+        a.len()
+    );
+    println!("  incremental: {inc_ups:>12.0} updates/sec");
+    println!("  full_reeval: {full_ups:>12.0} updates/sec");
+    println!("  speedup:     {:>12.2}x", inc_ups / full_ups);
+
+    if inc_ups < full_ups {
+        eprintln!("FAIL: incremental evaluation is slower than the full re-evaluation walk");
+        return ExitCode::FAILURE;
+    }
+    println!("ok: incremental >= full re-evaluation");
+    ExitCode::SUCCESS
+}

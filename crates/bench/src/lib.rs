@@ -90,6 +90,71 @@ pub fn print_matrix(matrix: &Matrix, json: bool) {
     }
 }
 
+/// Shared workload for the multi-condition throughput benches: the
+/// criterion `throughput` bench, the `bench_snapshot` section and the
+/// `throughput_smoke` CI check all measure exactly this registry load,
+/// so their numbers are comparable.
+///
+/// Every condition is a compiled expression over four of
+/// [`throughput::VARS`] shared variables, summing one window-16
+/// aggregate per variable — the shape where incremental re-evaluation
+/// pays: an update to one variable dirties only that variable's
+/// aggregate subtree (16 history reads) and the spine above it, while
+/// the other three stay cached; full re-evaluation recomputes all four
+/// on every routed arrival.
+pub mod throughput {
+    use rcm_core::condition::expr::CompiledCondition;
+    use rcm_core::{Update, VarId, VarRegistry};
+
+    /// Number of distinct variables the conditions draw from.
+    pub const VARS: usize = 8;
+
+    /// Compiles `n` conditions over the shared variable pool; returns
+    /// them with the pool's [`VarId`]s (registration order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload template fails to compile (a bug).
+    pub fn conditions(n: usize) -> (Vec<CompiledCondition>, Vec<VarId>) {
+        let mut reg = VarRegistry::new();
+        let ids: Vec<VarId> = (0..VARS).map(|v| reg.register(&format!("v{v}"))).collect();
+        let conds = (0..n)
+            .map(|i| {
+                let a = format!("v{}", i % VARS);
+                let b = format!("v{}", (i + 1) % VARS);
+                let c = format!("v{}", (i + 3) % VARS);
+                let d = format!("v{}", (i + 5) % VARS);
+                // Thresholds keep alerts rare enough that emission cost
+                // (identical in both modes) does not drown evaluation.
+                let t = 80 + (i % 40) as i64;
+                let jump = 100 + (i % 30) as i64;
+                let src = format!(
+                    "avg_over({a}, 16) + avg_over({b}, 16) \
+                     + avg_over({c}, 16) + avg_over({d}, 16) > {t} \
+                     || {a}[0].value - {a}[-1].value > {jump}"
+                );
+                CompiledCondition::compile(&src, &mut reg).expect("throughput workload compiles")
+            })
+            .collect();
+        (conds, ids)
+    }
+
+    /// A deterministic update stream round-robining the variable pool
+    /// with consecutive per-variable seqnos and hash-derived values in
+    /// `[-100, 100)`.
+    pub fn stream(ids: &[VarId], updates: usize) -> Vec<Update> {
+        (0..updates)
+            .map(|i| {
+                let v = i % ids.len();
+                let seqno = (i / ids.len()) as u64 + 1;
+                let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let value = ((h >> 16) % 200) as f64 - 100.0;
+                Update::new(ids[v], seqno, value)
+            })
+            .collect()
+    }
+}
+
 /// One simulated execution used by the domination and maximality
 /// experiments: the condition, each replica's received updates, and
 /// the merged alert arrival sequence at the AD.

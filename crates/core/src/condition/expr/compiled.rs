@@ -79,20 +79,20 @@ impl CompiledCondition {
 
 /// Runtime value during evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Val {
+pub(crate) enum Val {
     Num(f64),
     Bool(bool),
 }
 
 impl Val {
-    fn num(self) -> Option<f64> {
+    pub(crate) fn num(self) -> Option<f64> {
         match self {
             Val::Num(n) => Some(n),
             Val::Bool(_) => None,
         }
     }
 
-    fn boolean(self) -> Option<bool> {
+    pub(crate) fn boolean(self) -> Option<bool> {
         match self {
             Val::Bool(b) => Some(b),
             Val::Num(_) => None,
@@ -103,7 +103,7 @@ impl Val {
 /// Evaluates an expression; `None` when a history entry is missing
 /// (undefined history) — the evaluator treats that as "condition not
 /// satisfied".
-fn eval_expr(e: &Expr<VarId>, h: &HistorySet) -> Option<Val> {
+pub(crate) fn eval_expr(e: &Expr<VarId>, h: &HistorySet) -> Option<Val> {
     match e {
         Expr::Num(n) => Some(Val::Num(*n)),
         Expr::Bool(b) => Some(Val::Bool(*b)),

@@ -1,0 +1,401 @@
+//! Incremental expression re-evaluation.
+//!
+//! [`IncrementalExpr`] flattens a resolved [`Expr<VarId>`] into a node
+//! arena and keeps, per node, a cached result plus a dirty bit keyed by
+//! the variables the node's subtree reads. When an update for variable
+//! `x` arrives, [`IncrementalExpr::invalidate`] clears only the nodes
+//! whose subtree mentions `x`; the next [`IncrementalExpr::eval`]
+//! recomputes exactly those and reuses every other subtree's cached
+//! value. Over a registry hosting many conditions this is the
+//! dependency-driven evaluation that keeps per-update work proportional
+//! to the affected subexpressions, not the whole formula.
+//!
+//! # Invariants
+//!
+//! The cache is coherent as long as every mutation of the backing
+//! [`HistorySet`] is mirrored here:
+//!
+//! - a successful `push` of an update for `x` ⇒ `invalidate(x)` —
+//!   *before* the next `eval`, and even while the history is not yet
+//!   fully defined (a later defined `eval` must not see stale caches);
+//! - a rejected (stale) push leaves the histories untouched ⇒ no
+//!   invalidation needed;
+//! - `HistorySet::clear` ⇒ [`IncrementalExpr::invalidate_all`].
+//!
+//! Under those rules `eval` is observationally identical to the
+//! from-scratch [`eval_expr`](super::compiled) walk, including
+//! short-circuit `&&`/`||` and `None` (undefined history) propagation:
+//! each node's value is a pure function of the histories of the
+//! variables in its dependency mask, and any change to those histories
+//! clears the node. A cached `None` is itself a valid cache entry — it
+//! means "this subtree is undefined for the *current* histories", not
+//! "unknown".
+
+use std::collections::BTreeMap;
+
+use super::ast::{AggOp, BinOp, Expr, Field, UnOp};
+use super::compiled::{CompiledCondition, Val};
+use crate::history::HistorySet;
+use crate::var::VarId;
+
+/// Flattened expression node; children are identified by arena index
+/// and always precede their parent (post-order), so the root is the
+/// last node.
+#[derive(Debug, Clone, Copy)]
+enum Node {
+    Num(f64),
+    Bool(bool),
+    Term { var: VarId, depth: usize, field: Field },
+    Consecutive(VarId),
+    Agg { op: AggOp, var: VarId, window: usize },
+    Unary { op: UnOp, child: u32 },
+    Binary { op: BinOp, lhs: u32, rhs: u32 },
+    Abs(u32),
+    Min(u32, u32),
+    Max(u32, u32),
+}
+
+/// The condition-local variable slot a mask bit stands for. Conditions
+/// with more than [`MASK_BITS`] distinct variables park the overflow on
+/// the last bit; those variables then over-invalidate each other, which
+/// costs recomputation but never correctness.
+const MASK_BITS: u32 = u64::BITS;
+
+/// A memoizing evaluator for one compiled expression.
+///
+/// Built from a [`CompiledCondition`] via
+/// [`CompiledCondition::incremental`]; see the module docs for the
+/// invalidation contract.
+#[derive(Debug, Clone)]
+pub struct IncrementalExpr {
+    nodes: Vec<Node>,
+    /// Per node: bitmask over condition-local variable slots its
+    /// subtree reads.
+    deps: Vec<u64>,
+    /// Per node: cached result, meaningful only when `valid`.
+    cache: Vec<Option<Val>>,
+    valid: Vec<bool>,
+    /// Variable → mask bit, slots assigned in first-appearance order.
+    var_bits: BTreeMap<VarId, u64>,
+}
+
+impl IncrementalExpr {
+    /// Flattens `ast` into an arena with all caches invalid.
+    pub(crate) fn from_ast(ast: &Expr<VarId>) -> Self {
+        let mut inc = IncrementalExpr {
+            nodes: Vec::new(),
+            deps: Vec::new(),
+            cache: Vec::new(),
+            valid: Vec::new(),
+            var_bits: BTreeMap::new(),
+        };
+        inc.flatten(ast);
+        inc
+    }
+
+    /// Adds `ast`'s nodes to the arena (children first) and returns the
+    /// subtree root's index and dependency mask.
+    fn flatten(&mut self, ast: &Expr<VarId>) -> (u32, u64) {
+        let (node, deps) = match ast {
+            Expr::Num(n) => (Node::Num(*n), 0),
+            Expr::Bool(b) => (Node::Bool(*b), 0),
+            Expr::Term { var, index, field } => (
+                Node::Term { var: *var, depth: index.unsigned_abs() as usize, field: *field },
+                self.bit_for(*var),
+            ),
+            Expr::Consecutive(var) => (Node::Consecutive(*var), self.bit_for(*var)),
+            Expr::Agg { op, var, window } => {
+                (Node::Agg { op: *op, var: *var, window: *window as usize }, self.bit_for(*var))
+            }
+            Expr::Unary { op, expr } => {
+                let (child, d) = self.flatten(expr);
+                (Node::Unary { op: *op, child }, d)
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let (l, dl) = self.flatten(lhs);
+                let (r, dr) = self.flatten(rhs);
+                (Node::Binary { op: *op, lhs: l, rhs: r }, dl | dr)
+            }
+            Expr::Abs(e) => {
+                let (child, d) = self.flatten(e);
+                (Node::Abs(child), d)
+            }
+            Expr::Min(a, b) => {
+                let (l, dl) = self.flatten(a);
+                let (r, dr) = self.flatten(b);
+                (Node::Min(l, r), dl | dr)
+            }
+            Expr::Max(a, b) => {
+                let (l, dl) = self.flatten(a);
+                let (r, dr) = self.flatten(b);
+                (Node::Max(l, r), dl | dr)
+            }
+        };
+        let idx = u32::try_from(self.nodes.len()).expect("expression arena exceeds u32 indices");
+        self.nodes.push(node);
+        self.deps.push(deps);
+        self.cache.push(None);
+        self.valid.push(false);
+        (idx, deps)
+    }
+
+    /// The mask bit standing for `var`, assigning a fresh slot on first
+    /// sight (overflow beyond [`MASK_BITS`] shares the last bit).
+    fn bit_for(&mut self, var: VarId) -> u64 {
+        let next = self.var_bits.len() as u32;
+        *self.var_bits.entry(var).or_insert_with(|| 1u64 << next.min(MASK_BITS - 1))
+    }
+
+    /// Marks every node whose subtree reads `var` dirty. Must be called
+    /// after each successful history push for `var`.
+    pub fn invalidate(&mut self, var: VarId) {
+        let Some(&mask) = self.var_bits.get(&var) else {
+            return; // variable not mentioned — nothing cached reads it
+        };
+        for (i, &deps) in self.deps.iter().enumerate() {
+            if deps & mask != 0 {
+                self.valid[i] = false;
+            }
+        }
+    }
+
+    /// Drops every cached value; required after `HistorySet::clear`
+    /// (e.g. an evaluator restart).
+    pub fn invalidate_all(&mut self) {
+        self.valid.iter_mut().for_each(|v| *v = false);
+    }
+
+    /// Evaluates the root against `h`, reusing every clean subtree.
+    /// Semantics match the from-scratch walk exactly: `true` only when
+    /// all referenced histories are defined and the expression is
+    /// boolean-true.
+    pub fn eval(&mut self, h: &HistorySet) -> bool {
+        let root = self.nodes.len() - 1;
+        self.eval_node(root, h).and_then(Val::boolean).unwrap_or(false)
+    }
+
+    fn eval_node(&mut self, i: usize, h: &HistorySet) -> Option<Val> {
+        if self.valid[i] {
+            return self.cache[i];
+        }
+        let v = self.compute(i, h);
+        self.cache[i] = v;
+        self.valid[i] = true;
+        v
+    }
+
+    /// Recomputes node `i`; mirrors `eval_expr` in `compiled.rs` —
+    /// any semantic change there must land here too (the equivalence
+    /// proptest pins this).
+    fn compute(&mut self, i: usize, h: &HistorySet) -> Option<Val> {
+        match self.nodes[i] {
+            Node::Num(n) => Some(Val::Num(n)),
+            Node::Bool(b) => Some(Val::Bool(b)),
+            Node::Term { var, depth, field } => {
+                let v = match field {
+                    Field::Value => h.value(var, depth)?,
+                    Field::Seqno => h.seqno(var, depth)?.get() as f64,
+                };
+                Some(Val::Num(v))
+            }
+            Node::Consecutive(var) => Some(Val::Bool(h.history(var)?.is_consecutive())),
+            Node::Agg { op, var, window } => {
+                let mut values = Vec::with_capacity(window);
+                for d in 0..window {
+                    values.push(h.value(var, d)?);
+                }
+                let v = match op {
+                    AggOp::Min => values.iter().cloned().fold(f64::INFINITY, f64::min),
+                    AggOp::Max => values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                    AggOp::Sum => values.iter().sum(),
+                    AggOp::Avg => values.iter().sum::<f64>() / values.len() as f64,
+                };
+                Some(Val::Num(v))
+            }
+            Node::Unary { op, child } => {
+                let v = self.eval_node(child as usize, h)?;
+                match op {
+                    UnOp::Neg => Some(Val::Num(-v.num()?)),
+                    UnOp::Not => Some(Val::Bool(!v.boolean()?)),
+                }
+            }
+            Node::Binary { op, lhs, rhs } => {
+                if op.is_logical() {
+                    // Short-circuit exactly like the full walk: a
+                    // deciding lhs leaves the rhs unevaluated (and, here,
+                    // possibly still dirty — which is safe, it just stays
+                    // lazily pending).
+                    let l = self.eval_node(lhs as usize, h)?.boolean()?;
+                    return match (op, l) {
+                        (BinOp::And, false) => Some(Val::Bool(false)),
+                        (BinOp::Or, true) => Some(Val::Bool(true)),
+                        _ => Some(Val::Bool(self.eval_node(rhs as usize, h)?.boolean()?)),
+                    };
+                }
+                let l = self.eval_node(lhs as usize, h)?.num()?;
+                let r = self.eval_node(rhs as usize, h)?.num()?;
+                Some(match op {
+                    BinOp::Add => Val::Num(l + r),
+                    BinOp::Sub => Val::Num(l - r),
+                    BinOp::Mul => Val::Num(l * r),
+                    BinOp::Div => Val::Num(l / r),
+                    BinOp::Lt => Val::Bool(l < r),
+                    BinOp::Le => Val::Bool(l <= r),
+                    BinOp::Gt => Val::Bool(l > r),
+                    BinOp::Ge => Val::Bool(l >= r),
+                    BinOp::Eq => Val::Bool(l == r),
+                    BinOp::Ne => Val::Bool(l != r),
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                })
+            }
+            Node::Abs(e) => Some(Val::Num(self.eval_node(e as usize, h)?.num()?.abs())),
+            Node::Min(a, b) => Some(Val::Num(
+                self.eval_node(a as usize, h)?.num()?.min(self.eval_node(b as usize, h)?.num()?),
+            )),
+            Node::Max(a, b) => Some(Val::Num(
+                self.eval_node(a as usize, h)?.num()?.max(self.eval_node(b as usize, h)?.num()?),
+            )),
+        }
+    }
+
+    /// Number of arena nodes (diagnostics / bench reporting).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// How many nodes are currently dirty (diagnostics).
+    pub fn dirty_count(&self) -> usize {
+        self.valid.iter().filter(|v| !**v).count()
+    }
+}
+
+impl CompiledCondition {
+    /// Builds a memoizing evaluator for this condition's expression.
+    pub fn incremental(&self) -> IncrementalExpr {
+        IncrementalExpr::from_ast(self.ast())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::{Condition, ConditionExt};
+    use crate::update::Update;
+    use crate::var::VarRegistry;
+
+    fn compile(src: &str) -> (CompiledCondition, VarRegistry) {
+        let mut reg = VarRegistry::new();
+        let c = CompiledCondition::compile(src, &mut reg).unwrap();
+        (c, reg)
+    }
+
+    /// Drives incremental and full evaluation in lockstep over a
+    /// scripted update stream, asserting equality after every push.
+    fn lockstep(src: &str, updates: &[(&str, u64, f64)]) {
+        let (cond, reg) = compile(src);
+        let mut h = HistorySet::new(cond.history_spec());
+        let mut inc = cond.incremental();
+        for &(name, s, v) in updates {
+            let var = reg.lookup(name).unwrap();
+            if h.push(Update::new(var, s, v)).is_ok() {
+                inc.invalidate(var);
+            }
+            assert_eq!(inc.eval(&h), cond.eval(&h), "after ({name},{s},{v}) in {src}");
+            // A second eval with warm caches must agree too.
+            assert_eq!(inc.eval(&h), cond.eval(&h), "warm re-eval in {src}");
+        }
+    }
+
+    #[test]
+    fn matches_full_eval_through_definition_boundary() {
+        lockstep(
+            "x[0].value - x[-1].value > 200 && consecutive(x)",
+            &[("x", 1, 400.0), ("x", 3, 720.0), ("x", 4, 950.0), ("x", 2, 0.0)],
+        );
+    }
+
+    #[test]
+    fn untouched_subtree_stays_cached() {
+        let (cond, reg) = compile("x[0].value > 1 && y[0].value > 1");
+        let (x, y) = (reg.lookup("x").unwrap(), reg.lookup("y").unwrap());
+        let mut h = HistorySet::new(cond.history_spec());
+        let mut inc = cond.incremental();
+        h.push(Update::new(x, 1, 5.0)).unwrap();
+        inc.invalidate(x);
+        h.push(Update::new(y, 1, 5.0)).unwrap();
+        inc.invalidate(y);
+        assert!(inc.eval(&h));
+        assert_eq!(inc.dirty_count(), 0);
+        // An update to y must leave x's comparison subtree cached.
+        h.push(Update::new(y, 2, 0.0)).unwrap();
+        inc.invalidate(y);
+        // Dirty: y's term, y's comparison, and the root `&&`.
+        assert_eq!(inc.dirty_count(), 3);
+        assert!(!inc.eval(&h));
+        assert!(!cond.eval(&h));
+    }
+
+    #[test]
+    fn short_circuit_leaves_rhs_lazily_dirty() {
+        let (cond, reg) = compile("x[0].value > 10 && x[-1].value > 0");
+        let x = reg.lookup("x").unwrap();
+        let mut h = HistorySet::new(cond.history_spec());
+        let mut inc = cond.incremental();
+        h.push(Update::new(x, 1, 5.0)).unwrap();
+        inc.invalidate(x);
+        // lhs false short-circuits; rhs (undefined x[-1]) never read.
+        assert!(!inc.eval(&h));
+        assert!(!cond.eval(&h));
+        h.push(Update::new(x, 2, 50.0)).unwrap();
+        inc.invalidate(x);
+        assert!(inc.eval(&h));
+        assert!(cond.eval(&h));
+    }
+
+    #[test]
+    fn invalidate_all_matches_cleared_histories() {
+        let (cond, reg) = compile("x[0].value > 1");
+        let x = reg.lookup("x").unwrap();
+        let mut h = HistorySet::new(cond.history_spec());
+        let mut inc = cond.incremental();
+        h.push(Update::new(x, 1, 5.0)).unwrap();
+        inc.invalidate(x);
+        assert!(inc.eval(&h));
+        h.clear();
+        inc.invalidate_all();
+        assert!(!inc.eval(&h));
+        assert_eq!(inc.eval(&h), cond.eval(&h));
+    }
+
+    #[test]
+    fn aggregates_and_seqno_terms_track() {
+        lockstep(
+            "avg_over(x, 2) >= 10 || x[0].seqno == x[-1].seqno + 1",
+            &[("x", 1, 8.0), ("x", 2, 12.0), ("x", 4, 2.0), ("x", 5, 2.0)],
+        );
+        lockstep(
+            "min(abs(x[0].value - y[0].value), 50) < max_over(y, 2)",
+            &[("y", 1, 1.0), ("x", 1, 30.0), ("y", 2, 9.0), ("x", 2, -4.0)],
+        );
+    }
+
+    #[test]
+    fn node_count_reflects_arena() {
+        let (cond, _) = compile("x[0].value > 1 && y[0].value > 1");
+        // 2 terms + 2 literals + 2 comparisons + 1 `&&` = 7 nodes.
+        assert_eq!(cond.incremental().node_count(), 7);
+    }
+
+    #[test]
+    fn unknown_variable_invalidation_is_a_noop() {
+        let (cond, reg) = compile("x[0].value > 1");
+        let x = reg.lookup("x").unwrap();
+        let mut h = HistorySet::new(cond.history_spec());
+        let mut inc = cond.incremental();
+        h.push(Update::new(x, 1, 5.0)).unwrap();
+        inc.invalidate(x);
+        assert!(inc.eval(&h));
+        inc.invalidate(VarId::new(999));
+        assert_eq!(inc.dirty_count(), 0);
+    }
+}

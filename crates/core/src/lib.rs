@@ -36,7 +36,11 @@
 //!   ([`ad::DelayedOrdered`]), and the AD-6 ablation [`ad::Ad3Multi`];
 //! * **durable state**: every filter and the [`Evaluator`] serialize
 //!   with serde, so displayers and evaluators can checkpoint and
-//!   restart without forgetting what they promised the user.
+//!   restart without forgetting what they promised the user;
+//! * a **multi-condition engine** ([`ConditionRegistry`]): N conditions
+//!   hosted over one update stream behind a variable→condition inverted
+//!   index, with incremental expression re-evaluation
+//!   ([`condition::expr::IncrementalExpr`]) for compiled conditions.
 //!
 //! ## Quick example
 //!
@@ -82,6 +86,7 @@ mod error;
 mod evaluator;
 mod history;
 pub mod inline;
+mod registry;
 pub mod seq;
 mod update;
 mod var;
@@ -92,5 +97,6 @@ pub use error::{Error, Result};
 pub use evaluator::{transduce, transduce_merged, Evaluator};
 pub use history::{History, HistorySet};
 pub use inline::InlineVec;
+pub use registry::{ConditionRegistry, RegistryStats};
 pub use update::{SeqNo, Update};
 pub use var::{VarId, VarRegistry};

@@ -1,0 +1,501 @@
+//! The multi-condition engine: one [`ConditionRegistry`] hosts many
+//! conditions over a single update stream.
+//!
+//! The paper's Condition Evaluator pairs one condition with one
+//! [`Evaluator`](crate::Evaluator). At scale a CE hosts thousands of
+//! conditions, and two costs dominate a naive loop of evaluators:
+//! offering every update to every condition, and re-computing whole
+//! expressions whose inputs did not change. The registry removes both:
+//!
+//! * a **variable → condition inverted index**, built from each
+//!   condition's variable set, so an arriving `u(x, s, v)` touches only
+//!   the conditions that mention `x`;
+//! * **incremental re-evaluation** for compiled conditions
+//!   ([`IncrementalExpr`]): per-node result caches with dirty bits
+//!   keyed by the updated variable, so unaffected subtrees are never
+//!   re-visited.
+//!
+//! Per condition the registry is *observationally identical* to an
+//! independent [`Evaluator`](crate::Evaluator) fed the projection of
+//! the stream onto that condition's variables — same alerts, same
+//! fingerprints, same per-condition `AlertId` numbering, same stale
+//! handling (a property test pins this byte-for-byte). Per update,
+//! alerts are emitted in ascending registration order; registering
+//! conditions in ascending [`CondId`] order (as [`ConditionRegistry::add`]
+//! does) therefore yields ascending-`CondId` emission, which is what the
+//! sharded wrapper in `rcm-sim` relies on to merge shard outputs
+//! bit-identically to an unsharded registry.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::alert::{Alert, AlertId, CeId, CondId};
+use crate::condition::expr::{CompiledCondition, IncrementalExpr};
+use crate::condition::{Condition, ConditionExt, DynCondition};
+use crate::error::Error;
+use crate::history::HistorySet;
+use crate::update::Update;
+use crate::var::VarId;
+
+/// One hosted condition: its evaluator state plus per-condition
+/// counters mirroring [`Evaluator`](crate::Evaluator)'s.
+#[derive(Debug)]
+struct Entry {
+    cond_id: CondId,
+    cond: DynCondition,
+    /// Memoizing evaluator for compiled conditions; `None` falls back
+    /// to full `Condition::eval` per arrival.
+    incremental: Option<IncrementalExpr>,
+    histories: HistorySet,
+    emitted: u64,
+    ingested: u64,
+    dropped_stale: u64,
+}
+
+impl Entry {
+    /// Offers one update to this condition; mirrors
+    /// `Evaluator::try_ingest` exactly (the equivalence proptest pins
+    /// this): push → stale drop → count → defined && eval → alert with
+    /// the per-condition emission index.
+    fn offer(&mut self, update: Update, ce: CeId) -> Option<Alert> {
+        match self.histories.push(update) {
+            Ok(()) => {}
+            Err(Error::OutOfOrderUpdate { .. }) => {
+                self.dropped_stale += 1;
+                return None;
+            }
+            // The inverted index routes only subscribed variables, so
+            // `UnknownVariable` cannot happen here.
+            Err(e) => unreachable!("registry routed an unsubscribed update: {e}"),
+        }
+        self.ingested += 1;
+        if let Some(inc) = &mut self.incremental {
+            inc.invalidate(update.var);
+        }
+        if !self.histories.is_defined() {
+            return None;
+        }
+        let satisfied = match &mut self.incremental {
+            Some(inc) => inc.eval(&self.histories),
+            None => self.cond.eval(&self.histories),
+        };
+        if !satisfied {
+            return None;
+        }
+        let alert = Alert::new(
+            self.cond_id,
+            self.histories.fingerprint(),
+            self.histories.snapshot(),
+            AlertId { ce, index: self.emitted },
+        );
+        self.emitted += 1;
+        Some(alert)
+    }
+}
+
+/// Aggregate ingestion counters for a registry (sums over all hosted
+/// conditions, plus stream-level routing stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Updates incorporated into at least zero histories — i.e. offers
+    /// accepted (one update fanned out to `k` conditions counts `k`).
+    pub ingested: u64,
+    /// Stale offers discarded (per condition, summed).
+    pub dropped_stale: u64,
+    /// Alerts emitted (all conditions).
+    pub emitted: u64,
+    /// Stream updates whose variable no hosted condition mentions.
+    pub unrouted: u64,
+}
+
+/// A set of conditions evaluated together over one update stream.
+///
+/// ```rust
+/// use rcm_core::condition::expr::CompiledCondition;
+/// use rcm_core::{CeId, ConditionRegistry, Update, VarRegistry};
+///
+/// let mut vars = VarRegistry::new();
+/// let mut reg = ConditionRegistry::new(CeId::new(0));
+/// reg.add_compiled(CompiledCondition::compile("x[0].value > 10", &mut vars)?);
+/// reg.add_compiled(CompiledCondition::compile("x[0].value > 20 && y[0].value > 0", &mut vars)?);
+///
+/// let x = vars.lookup("x").unwrap();
+/// let mut alerts = Vec::new();
+/// reg.ingest(Update::new(x, 1, 15.0), &mut alerts);
+/// assert_eq!(alerts.len(), 1); // first condition fires, second undefined
+/// # Ok::<(), rcm_core::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct ConditionRegistry {
+    ce: CeId,
+    entries: Vec<Entry>,
+    /// Variable → indices into `entries`, ascending (registration
+    /// order), for conditions mentioning that variable.
+    index: BTreeMap<VarId, Vec<u32>>,
+    unrouted: u64,
+}
+
+impl ConditionRegistry {
+    /// Creates an empty registry for replica `ce`.
+    pub fn new(ce: CeId) -> Self {
+        ConditionRegistry { ce, entries: Vec::new(), index: BTreeMap::new(), unrouted: 0 }
+    }
+
+    /// Registers a condition under the next sequential [`CondId`]
+    /// (`0, 1, 2, …` — matching registration order) and returns it.
+    /// Evaluation uses full `Condition::eval` per arrival.
+    pub fn add(&mut self, cond: DynCondition) -> CondId {
+        let id = CondId::new(self.entries.len() as u32);
+        self.insert(id, cond);
+        id
+    }
+
+    /// Registers a compiled condition under the next sequential
+    /// [`CondId`] with incremental re-evaluation enabled.
+    pub fn add_compiled(&mut self, cond: CompiledCondition) -> CondId {
+        let id = CondId::new(self.entries.len() as u32);
+        self.insert_compiled(id, cond);
+        id
+    }
+
+    /// Registers a condition under an explicit id (used by sharded
+    /// deployments, where each shard hosts a subset of a global id
+    /// space).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cond_id` is already registered here.
+    pub fn insert(&mut self, cond_id: CondId, cond: DynCondition) {
+        let incremental = None;
+        self.insert_entry(cond_id, cond, incremental);
+    }
+
+    /// Registers a compiled condition under an explicit id with
+    /// incremental re-evaluation enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cond_id` is already registered here.
+    pub fn insert_compiled(&mut self, cond_id: CondId, cond: CompiledCondition) {
+        let incremental = Some(cond.incremental());
+        self.insert_entry(cond_id, Arc::new(cond), incremental);
+    }
+
+    fn insert_entry(
+        &mut self,
+        cond_id: CondId,
+        cond: DynCondition,
+        incremental: Option<IncrementalExpr>,
+    ) {
+        assert!(
+            self.entries.iter().all(|e| e.cond_id != cond_id),
+            "condition id {cond_id} already registered"
+        );
+        let slot = u32::try_from(self.entries.len()).expect("more than u32::MAX conditions");
+        for var in cond.variables() {
+            self.index.entry(var).or_default().push(slot);
+        }
+        let histories = HistorySet::new(cond.history_spec());
+        self.entries.push(Entry {
+            cond_id,
+            cond,
+            incremental,
+            histories,
+            emitted: 0,
+            ingested: 0,
+            dropped_stale: 0,
+        });
+    }
+
+    /// Number of hosted conditions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no conditions are hosted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// This registry's replica id (stamped into emitted alerts).
+    pub fn ce_id(&self) -> CeId {
+        self.ce
+    }
+
+    /// The hosted condition ids in registration order.
+    pub fn condition_ids(&self) -> impl Iterator<Item = CondId> + '_ {
+        self.entries.iter().map(|e| e.cond_id)
+    }
+
+    /// The union of all hosted conditions' variable sets, ascending.
+    pub fn variables(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.index.keys().copied()
+    }
+
+    /// Alerts emitted so far for `cond_id` (its next `AlertId::index`).
+    pub fn alerts_emitted(&self, cond_id: CondId) -> Option<u64> {
+        self.entries.iter().find(|e| e.cond_id == cond_id).map(|e| e.emitted)
+    }
+
+    /// Aggregate counters over all hosted conditions.
+    pub fn stats(&self) -> RegistryStats {
+        let mut s = RegistryStats { unrouted: self.unrouted, ..RegistryStats::default() };
+        for e in &self.entries {
+            s.ingested += e.ingested;
+            s.dropped_stale += e.dropped_stale;
+            s.emitted += e.emitted;
+        }
+        s
+    }
+
+    /// Offers one update to every condition mentioning its variable
+    /// (ascending registration order), appending any alerts to `out`.
+    ///
+    /// Updates for variables no condition mentions are counted in
+    /// [`RegistryStats::unrouted`] and otherwise ignored — a registry
+    /// subscribes to the union of its conditions' variable sets, so an
+    /// unrouted update is stream-level noise, not a per-condition
+    /// wiring bug.
+    pub fn ingest(&mut self, update: Update, out: &mut Vec<Alert>) {
+        self.ingest_all(std::slice::from_ref(&update), |_, a| out.push(a));
+    }
+
+    /// Ingests a burst of updates in order, appending alerts to `out`.
+    ///
+    /// Exactly equivalent to calling [`ConditionRegistry::ingest`] per
+    /// update (the proptest pins this); the batch entry point amortizes
+    /// the per-call bookkeeping — in particular, consecutive updates
+    /// for the same variable reuse one inverted-index lookup.
+    pub fn ingest_batch(&mut self, updates: &[Update], out: &mut Vec<Alert>) {
+        self.ingest_all(updates, |_, a| out.push(a));
+    }
+
+    /// Like [`ConditionRegistry::ingest_batch`] but tags each alert
+    /// with the index of the update (within `updates`) that produced
+    /// it. Shards merge on this tag to reconstruct the exact unsharded
+    /// emission order.
+    pub fn ingest_batch_tagged(&mut self, updates: &[Update], out: &mut Vec<(u64, Alert)>) {
+        self.ingest_all(updates, |i, a| out.push((i, a)));
+    }
+
+    /// The single ingestion loop behind every public entry point, so
+    /// batched, one-at-a-time, and tagged ingestion cannot diverge.
+    fn ingest_all(&mut self, updates: &[Update], mut emit: impl FnMut(u64, Alert)) {
+        let ce = self.ce;
+        // Split borrows: the index is read-only while entries mutate.
+        let index = &self.index;
+        let entries = &mut self.entries;
+        let mut cached: Option<(VarId, &[u32])> = None;
+        for (i, &update) in updates.iter().enumerate() {
+            let routed = match cached {
+                Some((var, slots)) if var == update.var => slots,
+                _ => match index.get(&update.var) {
+                    Some(slots) => {
+                        cached = Some((update.var, slots));
+                        slots
+                    }
+                    None => {
+                        self.unrouted += 1;
+                        continue;
+                    }
+                },
+            };
+            for &slot in routed {
+                if let Some(alert) = entries[slot as usize].offer(update, ce) {
+                    emit(i as u64, alert);
+                }
+            }
+        }
+    }
+
+    /// Simulates a crash-restart of the hosting CE: every condition's
+    /// in-memory histories (and incremental caches) are lost; alert
+    /// numbering continues, per condition, exactly like
+    /// [`Evaluator::restart`](crate::Evaluator::restart).
+    pub fn restart(&mut self) {
+        for e in &mut self.entries {
+            e.histories.clear();
+            if let Some(inc) = &mut e.incremental {
+                inc.invalidate_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::{Cmp, Threshold};
+    use crate::evaluator::Evaluator;
+    use crate::var::VarRegistry;
+
+    fn compiled(src: &str, vars: &mut VarRegistry) -> CompiledCondition {
+        CompiledCondition::compile(src, vars).unwrap()
+    }
+
+    #[test]
+    fn routes_only_subscribed_conditions() {
+        let mut vars = VarRegistry::new();
+        let mut reg = ConditionRegistry::new(CeId::new(0));
+        let cx = reg.add_compiled(compiled("x[0].value > 0", &mut vars));
+        let cy = reg.add_compiled(compiled("y[0].value > 0", &mut vars));
+        assert_eq!((cx, cy), (CondId::new(0), CondId::new(1)));
+        let (x, y) = (vars.lookup("x").unwrap(), vars.lookup("y").unwrap());
+
+        let mut out = Vec::new();
+        reg.ingest(Update::new(x, 1, 1.0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].cond, cx);
+        // y's condition saw nothing: still zero ingested for it.
+        reg.ingest(Update::new(y, 1, 1.0), &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].cond, cy);
+        let stats = reg.stats();
+        assert_eq!(stats.ingested, 2);
+        assert_eq!(stats.emitted, 2);
+        assert_eq!(stats.unrouted, 0);
+    }
+
+    #[test]
+    fn unrouted_updates_are_counted_not_fatal() {
+        let mut vars = VarRegistry::new();
+        let mut reg = ConditionRegistry::new(CeId::new(0));
+        reg.add_compiled(compiled("x[0].value > 0", &mut vars));
+        let mut out = Vec::new();
+        reg.ingest(Update::new(VarId::new(99), 1, 1.0), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(reg.stats().unrouted, 1);
+    }
+
+    #[test]
+    fn per_update_emission_order_is_registration_order() {
+        let mut vars = VarRegistry::new();
+        let mut reg = ConditionRegistry::new(CeId::new(0));
+        let a = reg.add_compiled(compiled("x[0].value > 0", &mut vars));
+        let b = reg.add_compiled(compiled("x[0].value > -1", &mut vars));
+        let x = vars.lookup("x").unwrap();
+        let mut out = Vec::new();
+        reg.ingest(Update::new(x, 1, 1.0), &mut out);
+        assert_eq!(out.iter().map(|al| al.cond).collect::<Vec<_>>(), vec![a, b]);
+    }
+
+    #[test]
+    fn matches_independent_evaluators() {
+        let mut vars = VarRegistry::new();
+        let sources =
+            ["x[0].value > 5", "x[0].value - x[-1].value > 2 && consecutive(x)", "y[0].value < 0"];
+        let mut reg = ConditionRegistry::new(CeId::new(3));
+        let conds: Vec<CompiledCondition> =
+            sources.iter().map(|s| compiled(s, &mut vars)).collect();
+        for c in &conds {
+            reg.add_compiled(c.clone());
+        }
+        let mut evs: Vec<Evaluator<CompiledCondition>> = conds
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Evaluator::with_ids(c.clone(), CondId::new(i as u32), CeId::new(3)))
+            .collect();
+
+        let (x, y) = (vars.lookup("x").unwrap(), vars.lookup("y").unwrap());
+        let stream = [
+            Update::new(x, 1, 4.0),
+            Update::new(y, 1, -1.0),
+            Update::new(x, 2, 7.0),
+            Update::new(x, 2, 7.0), // stale duplicate
+            Update::new(x, 4, 11.0),
+            Update::new(y, 2, 3.0),
+            Update::new(x, 5, 14.0),
+        ];
+        let mut got = Vec::new();
+        reg.ingest_batch(&stream, &mut got);
+
+        let mut want = Vec::new();
+        for &u in &stream {
+            for (ci, ev) in evs.iter_mut().enumerate() {
+                if conds[ci].variables().contains(&u.var) {
+                    if let Ok(Some(a)) = ev.try_ingest(u) {
+                        want.push(a);
+                    }
+                }
+            }
+        }
+        assert_eq!(got, want);
+        // Byte-identical provenance, not just paper identity.
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.id, w.id);
+            assert_eq!(g.snapshot[..], w.snapshot[..]);
+        }
+    }
+
+    #[test]
+    fn batch_equals_one_at_a_time() {
+        let mut vars = VarRegistry::new();
+        let mut batched = ConditionRegistry::new(CeId::new(0));
+        let mut stepped = ConditionRegistry::new(CeId::new(0));
+        for reg in [&mut batched, &mut stepped] {
+            let mut v = VarRegistry::new();
+            reg.add_compiled(compiled("x[0].value > 0 && consecutive(x)", &mut v));
+            reg.add_compiled(compiled("x[0].value + y[0].value > 3", &mut v));
+        }
+        let (x, y) = (vars.register("x"), vars.register("y"));
+        let stream = [
+            Update::new(x, 1, 1.0),
+            Update::new(x, 3, 2.0),
+            Update::new(y, 1, 2.0),
+            Update::new(x, 4, 2.0),
+        ];
+        let mut a = Vec::new();
+        batched.ingest_batch(&stream, &mut a);
+        let mut b = Vec::new();
+        for &u in &stream {
+            stepped.ingest(u, &mut b);
+        }
+        assert_eq!(a, b);
+        assert_eq!(batched.stats(), stepped.stats());
+    }
+
+    #[test]
+    fn restart_clears_state_keeps_numbering() {
+        let mut vars = VarRegistry::new();
+        let mut reg = ConditionRegistry::new(CeId::new(0));
+        let c = reg.add_compiled(compiled("x[0].value > 0", &mut vars));
+        let x = vars.lookup("x").unwrap();
+        let mut out = Vec::new();
+        reg.ingest(Update::new(x, 1, 1.0), &mut out);
+        assert_eq!(out[0].id.index, 0);
+        reg.restart();
+        reg.ingest(Update::new(x, 7, 1.0), &mut out);
+        assert_eq!(out[1].id.index, 1);
+        assert_eq!(reg.alerts_emitted(c), Some(2));
+    }
+
+    #[test]
+    fn non_compiled_conditions_fall_back_to_full_eval() {
+        let x = VarId::new(0);
+        let mut reg = ConditionRegistry::new(CeId::new(0));
+        let id = reg.add(Arc::new(Threshold::new(x, Cmp::Gt, 10.0)));
+        let mut out = Vec::new();
+        reg.ingest(Update::new(x, 1, 11.0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].cond, id);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_cond_id_rejected() {
+        let x = VarId::new(0);
+        let mut reg = ConditionRegistry::new(CeId::new(0));
+        reg.insert(CondId::new(5), Arc::new(Threshold::new(x, Cmp::Gt, 0.0)));
+        reg.insert(CondId::new(5), Arc::new(Threshold::new(x, Cmp::Gt, 1.0)));
+    }
+
+    #[test]
+    fn variables_is_union_of_subscriptions() {
+        let mut vars = VarRegistry::new();
+        let mut reg = ConditionRegistry::new(CeId::new(0));
+        reg.add_compiled(compiled("x[0].value > 0 && y[0].value > 0", &mut vars));
+        reg.add_compiled(compiled("y[0].value < 0", &mut vars));
+        let got: Vec<VarId> = reg.variables().collect();
+        assert_eq!(got, vec![vars.lookup("x").unwrap(), vars.lookup("y").unwrap()]);
+    }
+}

@@ -20,7 +20,7 @@ use crossbeam_channel::Receiver;
 use parking_lot::Mutex;
 use rcm_core::ad::AlertFilter;
 use rcm_core::condition::Condition;
-use rcm_core::{Alert, CeId, CondId, Evaluator, Update, VarId};
+use rcm_core::{Alert, CeId, CondId, ConditionRegistry, Update, VarId};
 
 use crate::backlink::BackLink;
 use crate::faults::{FaultReport, IngestGate, RetainedWindow};
@@ -116,24 +116,36 @@ impl std::fmt::Debug for CeFaultConfig {
 
 /// Runs a Condition Evaluator replica under supervision: ingests
 /// updates until every DM feeding it hangs up, forwarding alerts over
-/// the (severable) lossless back link. A panic — scripted by the fault
-/// plan or genuine — is caught; within the restart budget the replica
-/// restarts: histories are wiped (the paper's crash model), the channel
-/// backlog that piled up "while down" is discarded as loss, and the
-/// bounded `H_x` histories are rebuilt by replaying the DMs' retained
-/// windows through the normal ingest path. The [`IngestGate`] outlives
-/// every crash, so the recorded `U_i` stays strictly ordered per
-/// variable no matter how replays and live arrivals interleave.
+/// the (severable) lossless back link. The replica hosts its whole
+/// condition set in one [`ConditionRegistry`] — condition `i` is
+/// `CondId::new(i)`, so a single-condition system emits under
+/// [`CondId::SINGLE`] exactly as before — and each arrival is routed
+/// through the registry's variable index to the conditions that mention
+/// it. A panic — scripted by the fault plan or genuine — is caught;
+/// within the restart budget the replica restarts: every condition's
+/// histories are wiped (the paper's crash model), the channel backlog
+/// that piled up "while down" is discarded as loss, and the bounded
+/// `H_x` histories are rebuilt by replaying the DMs' retained windows
+/// through the normal ingest path. The [`IngestGate`] outlives every
+/// crash, so the recorded `U_i` stays strictly ordered per variable no
+/// matter how replays and live arrivals interleave; per-condition alert
+/// numbering survives crashes too (the registry keeps it across
+/// `restart`).
 pub(crate) fn ce_body(
     ce: CeId,
-    condition: Arc<dyn Condition>,
+    conditions: Vec<Arc<dyn Condition>>,
     rx: Receiver<Update>,
     mut back: BackLink<Alert>,
     ingested: Arc<Mutex<Vec<Update>>>,
     emitted: Arc<Mutex<Vec<Alert>>>,
     faults: Option<CeFaultConfig>,
 ) {
-    let mut evaluator = Evaluator::with_ids(condition, CondId::SINGLE, ce);
+    let mut registry = ConditionRegistry::new(ce);
+    for (i, condition) in conditions.into_iter().enumerate() {
+        registry.insert(CondId::new(i as u32), condition);
+    }
+    // Reused per-arrival alert buffer: the hot path allocates nothing.
+    let mut alerts: Vec<Alert> = Vec::new();
     let mut gate = IngestGate::new();
     let mut arrivals: u64 = 0;
     let mut kill_at: Vec<u64> = faults.as_ref().map(|f| f.kill_at.clone()).unwrap_or_default();
@@ -151,7 +163,7 @@ pub(crate) fn ce_body(
                 if !gate.admit(&update) {
                     continue; // duplicate of a replayed update
                 }
-                ingest(&mut evaluator, update, &mut back, &ingested, &emitted);
+                ingest(&mut registry, update, &mut alerts, &mut back, &ingested, &emitted);
             }
             CeExit::EndOfStream
         }));
@@ -182,7 +194,7 @@ pub(crate) fn ce_body(
             report.restarts[cfg.ce_index] += 1;
         }
         // Crash model: histories are gone, alert numbering is not.
-        evaluator.restart();
+        registry.restart();
         // Updates that queued while "down" were never received; they
         // are loss, exactly like a drop on the front link. Kill
         // thresholds that pass during the outage simply never fire.
@@ -203,7 +215,7 @@ pub(crate) fn ce_body(
             for update in window.snapshot() {
                 if gate.admit(&update) {
                     replayed += 1;
-                    ingest(&mut evaluator, update, &mut back, &ingested, &emitted);
+                    ingest(&mut registry, update, &mut alerts, &mut back, &ingested, &emitted);
                 }
             }
         }
@@ -218,19 +230,21 @@ pub(crate) fn ce_body(
 }
 
 /// The shared ingest path (live and replay): record the update in
-/// `U_i`, evaluate, and forward any alert across the codec and the
-/// back link.
+/// `U_i`, route it through the registry to every subscribed condition,
+/// and forward each resulting alert across the codec and the back link
+/// (in registration order — ascending [`CondId`]).
 fn ingest(
-    evaluator: &mut Evaluator<Arc<dyn Condition>>,
+    registry: &mut ConditionRegistry,
     update: Update,
+    alerts: &mut Vec<Alert>,
     back: &mut BackLink<Alert>,
     ingested: &Arc<Mutex<Vec<Update>>>,
     emitted: &Arc<Mutex<Vec<Alert>>>,
 ) {
-    let alert =
-        evaluator.try_ingest(update).expect("update routed to evaluator lacking its variable");
+    alerts.clear();
+    registry.ingest(update, alerts);
     ingested.lock().push(update);
-    if let Some(alert) = alert {
+    for alert in alerts.drain(..) {
         // Cross a real serialization boundary, as every alert would in
         // a deployment.
         let msg = roundtrip(&Message::Alert(alert));

@@ -16,6 +16,14 @@
 //! windows), sever back links, and stall front links — see
 //! [`SystemBuilder::faults`].
 //!
+//! A replica is not limited to one condition: each CE hosts its whole
+//! condition set in a single [`rcm_core::ConditionRegistry`], routing
+//! every arrival through the registry's variable index. Build a
+//! multi-condition system with [`MonitorSystem::builder_multi`] or
+//! [`SystemBuilder::monitor`]; condition `i` emits under
+//! `CondId::new(i)` and the AD can demultiplex per condition with
+//! [`rcm_core::ad::PerCondition`].
+//!
 //! Messages cross links through the length-prefixed [`wire`] codec, so
 //! the pipeline exercises real serialization end to end. Shutdown is by
 //! ownership: when a DM finishes its workload it drops its senders;

@@ -92,7 +92,7 @@ type LinkReports = Vec<((VarId, CeId), Arc<Mutex<LinkReport>>)>;
 
 /// Builder for a [`MonitorSystem`].
 pub struct SystemBuilder {
-    condition: Arc<dyn Condition>,
+    conditions: Vec<Arc<dyn Condition>>,
     replicas: usize,
     feeds: Vec<VarFeed>,
     filter: Option<FilterFactory>,
@@ -105,7 +105,7 @@ pub struct SystemBuilder {
 impl fmt::Debug for SystemBuilder {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SystemBuilder")
-            .field("condition", &self.condition.name())
+            .field("conditions", &self.conditions.iter().map(|c| c.name()).collect::<Vec<_>>())
             .field("replicas", &self.replicas)
             .field("feeds", &self.feeds)
             .field("seed", &self.seed)
@@ -120,9 +120,11 @@ impl fmt::Debug for SystemBuilder {
 pub enum ConfigError {
     /// `replicas(0)` was requested.
     ZeroReplicas,
-    /// No feed was supplied for a variable in the condition's set.
+    /// [`MonitorSystem::builder_multi`] was given no conditions.
+    NoConditions,
+    /// No feed was supplied for a variable in the conditions' set.
     MissingFeed(VarId),
-    /// A feed was supplied for a variable outside the condition's set.
+    /// A feed was supplied for a variable outside the conditions' set.
     UnknownFeedVariable(VarId),
 }
 
@@ -130,11 +132,12 @@ impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConfigError::ZeroReplicas => write!(f, "system needs at least one replica"),
+            ConfigError::NoConditions => write!(f, "system needs at least one condition"),
             ConfigError::MissingFeed(v) => {
                 write!(f, "no feed supplied for condition variable {v}")
             }
             ConfigError::UnknownFeedVariable(v) => {
-                write!(f, "feed variable {v} is not in the condition's variable set")
+                write!(f, "feed variable {v} is not in any condition's variable set")
             }
         }
     }
@@ -154,6 +157,17 @@ impl SystemBuilder {
     #[must_use]
     pub fn feed(mut self, feed: VarFeed) -> Self {
         self.feeds.push(feed);
+        self
+    }
+
+    /// Adds another condition to monitor alongside the ones already
+    /// registered. Condition `i` (in registration order, starting from
+    /// the one passed to [`MonitorSystem::builder`]) emits alerts under
+    /// `CondId::new(i)`; every replica hosts the full set in one
+    /// [`rcm_core::ConditionRegistry`], sharing the per-variable feeds.
+    #[must_use]
+    pub fn monitor(mut self, condition: Arc<dyn Condition>) -> Self {
+        self.conditions.push(condition);
         self
     }
 
@@ -214,7 +228,15 @@ impl SystemBuilder {
         if self.replicas == 0 {
             return Err(ConfigError::ZeroReplicas);
         }
-        let vars = self.condition.variables();
+        if self.conditions.is_empty() {
+            return Err(ConfigError::NoConditions);
+        }
+        // The system's variable set is the union over all monitored
+        // conditions (ascending, deduplicated) — feeds must cover it
+        // exactly.
+        let mut vars: Vec<VarId> = self.conditions.iter().flat_map(|c| c.variables()).collect();
+        vars.sort_unstable();
+        vars.dedup();
         for feed in &self.feeds {
             if !vars.contains(&feed.var) {
                 return Err(ConfigError::UnknownFeedVariable(feed.var));
@@ -256,7 +278,7 @@ impl SystemBuilder {
             ingested.push(Arc::clone(&record));
             let outputs = Arc::new(Mutex::new(Vec::new()));
             emitted.push(Arc::clone(&outputs));
-            let condition = self.condition.clone();
+            let conditions = self.conditions.clone();
 
             let (backoff_base, backoff_cap) = plan
                 .as_ref()
@@ -290,7 +312,7 @@ impl SystemBuilder {
                 ce_index: ce,
             });
             handles.push(std::thread::spawn(move || {
-                ce_body(CeId::new(ce as u32), condition, rx, back, record, outputs, faults);
+                ce_body(CeId::new(ce as u32), conditions, rx, back, record, outputs, faults);
             }));
         }
         drop(alert_tx); // AD exits when the last CE back link drops.
@@ -366,10 +388,24 @@ impl fmt::Debug for MonitorSystem {
 }
 
 impl MonitorSystem {
-    /// Starts building a system for `condition`.
+    /// Starts building a system for `condition` (alerts under
+    /// [`rcm_core::CondId::SINGLE`]). Monitor additional conditions
+    /// with [`SystemBuilder::monitor`] or start from a whole set with
+    /// [`MonitorSystem::builder_multi`].
     pub fn builder(condition: Arc<dyn Condition>) -> SystemBuilder {
+        Self::builder_multi([condition])
+    }
+
+    /// Starts building a system monitoring a set of conditions over
+    /// shared feeds: every CE replica hosts all of them in one
+    /// [`rcm_core::ConditionRegistry`], and condition `i` emits alerts
+    /// under `CondId::new(i)` so the AD can demultiplex (e.g. with
+    /// [`rcm_core::ad::PerCondition`]).
+    pub fn builder_multi(
+        conditions: impl IntoIterator<Item = Arc<dyn Condition>>,
+    ) -> SystemBuilder {
         SystemBuilder {
-            condition,
+            conditions: conditions.into_iter().collect(),
             replicas: 2,
             feeds: Vec::new(),
             filter: None,
@@ -582,6 +618,10 @@ mod tests {
             MonitorSystem::builder(c1()).replicas(0).start().err(),
             Some(ConfigError::ZeroReplicas)
         );
+        assert_eq!(
+            MonitorSystem::builder_multi(Vec::<Arc<dyn Condition>>::new()).start().err(),
+            Some(ConfigError::NoConditions)
+        );
         assert_eq!(MonitorSystem::builder(c1()).start().err(), Some(ConfigError::MissingFeed(x())));
         assert_eq!(
             MonitorSystem::builder(c1())
@@ -591,6 +631,60 @@ mod tests {
                 .err(),
             Some(ConfigError::UnknownFeedVariable(VarId::new(7)))
         );
+    }
+
+    #[test]
+    fn multi_condition_replicas_match_a_local_registry() {
+        use rcm_core::ad::PerCondition;
+        use rcm_core::{CondId, ConditionRegistry};
+
+        let y = VarId::new(1);
+        let set: Vec<Arc<dyn Condition>> = vec![
+            Arc::new(Threshold::new(x(), Cmp::Gt, 50.0)),
+            Arc::new(DeltaRise::new(x(), 10.0)),
+            Arc::new(rcm_core::condition::AbsDifference::new(x(), y, 25.0)),
+        ];
+        let system = MonitorSystem::builder(set[0].clone())
+            .monitor(set[1].clone())
+            .monitor(set[2].clone())
+            .replicas(2)
+            .feed(VarFeed::new(x(), vec![40.0, 60.0, 55.0, 80.0, 10.0, 90.0]))
+            .feed(VarFeed::new(y, vec![42.0, 58.0, 90.0, 81.0, 12.0, 30.0]))
+            .filter(|_| Box::new(PerCondition::new(|_c| Ad1::new())))
+            .start()
+            .unwrap();
+        let report = system.wait();
+
+        // Each replica's emission stream is exactly what a local
+        // registry produces from that replica's own `U_i` (the two feeds
+        // interleave nondeterministically, so replay the recorded ingest
+        // order rather than assuming one).
+        for (ce, emitted) in report.emitted.iter().enumerate() {
+            let mut registry = ConditionRegistry::new(CeId::new(ce as u32));
+            for c in &set {
+                registry.add(Arc::clone(c));
+            }
+            let mut want = Vec::new();
+            registry.ingest_batch(&report.ingested[ce], &mut want);
+            assert_eq!(emitted, &want);
+            for (g, w) in emitted.iter().zip(&want) {
+                assert_eq!(g.id, w.id);
+            }
+            // Per-condition provenance numbering ascends without gaps.
+            for cond in 0..set.len() as u32 {
+                let idxs: Vec<u64> = emitted
+                    .iter()
+                    .filter(|a| a.cond == CondId::new(cond))
+                    .map(|a| a.id.index)
+                    .collect();
+                assert!(idxs.iter().enumerate().all(|(i, &n)| n == i as u64), "{idxs:?}");
+            }
+        }
+        // The per-condition demux displayed both the deterministic
+        // threshold stream (cond 0) and at least the final
+        // |x − y| = 60 > 25 divergence alert (cond 2).
+        assert!(report.displayed.iter().any(|a| a.cond == CondId::new(0)));
+        assert!(report.displayed.iter().any(|a| a.cond == CondId::new(2)));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::time::Duration;
 use proptest::prelude::*;
 use rcm_core::ad::{Ad1, Ad2, Ad3, Ad4, Ad5, Ad6, AlertFilter};
 use rcm_core::condition::{Cmp, Condition, DeltaRise, Threshold};
-use rcm_core::{transduce, Alert, CeId, Update, VarId};
+use rcm_core::{transduce, Alert, CeId, CondId, ConditionRegistry, Update, VarId};
 use rcm_props::{check_complete_single, check_ordered};
 use rcm_runtime::{FaultPlan, MonitorSystem, VarFeed};
 
@@ -132,6 +132,90 @@ fn recovery_replays_retained_window() {
     let complete = check_complete_single(&threshold(), &report.ingested, &report.displayed);
     assert!(complete.ok, "missing={:?} extraneous={:?}", complete.missing, complete.extraneous);
     assert!(check_ordered(&report.displayed, &[x()]).ok);
+}
+
+#[test]
+fn multicond_restart_rebuilds_registry_and_keeps_numbering() {
+    // A replica hosting several conditions in one registry is killed
+    // mid-stream. The retained window must rebuild the registry's
+    // histories through the shared gate (so `U_i` ends up complete and
+    // ordered), the crash must wipe every condition's history at the
+    // same point (the paper's crash model — a historical condition
+    // misses the one delta that spans the wipe), and per-condition
+    // alert numbering must keep ascending across the restart.
+    let set: Vec<Arc<dyn Condition>> = vec![
+        Arc::new(Threshold::new(x(), Cmp::Gt, 50.0)),
+        Arc::new(DeltaRise::new(x(), 10.0)),
+        Arc::new(Threshold::new(x(), Cmp::Lt, 20.0)),
+    ];
+    let values: Vec<f64> = (0..30).map(|i| f64::from((i * 13) % 100)).collect();
+    let system = MonitorSystem::builder_multi(set.clone())
+        .replicas(2)
+        .feed(VarFeed::new(x(), values.clone()))
+        .faults(FaultPlan::scripted().kill_ce(0, 12).retain_window(4096).max_restarts(3))
+        .start()
+        .unwrap();
+    let report = system.wait();
+
+    assert_eq!(report.faults.kills_injected, 1);
+    assert_eq!(report.faults.restarts[0], 1);
+    assert_eq!(report.faults.replicas_abandoned, 0);
+    // Window replay restored the killed replica's `U_i` in full order.
+    assert_eq!(report.ingested[0].len(), values.len());
+    assert_eq!(report.ingested[1].len(), values.len());
+
+    // Reproduce each replica locally: one registry hosting the whole
+    // set, fed the replica's recorded `U_i` — with `restart()` spliced
+    // in at the crash point for replica 0. Arrivals 1..=11 are ingested
+    // before the scripted kill at arrival 12 fires, so the wipe lands
+    // after exactly 11 updates.
+    for (ce, emitted) in report.emitted.iter().enumerate() {
+        let mut registry = ConditionRegistry::new(CeId::new(ce as u32));
+        for c in &set {
+            registry.add(Arc::clone(c));
+        }
+        let mut want = Vec::new();
+        let mut buf = Vec::new();
+        for (i, &u) in report.ingested[ce].iter().enumerate() {
+            if ce == 0 && i == 11 {
+                registry.restart();
+            }
+            buf.clear();
+            registry.ingest(u, &mut buf);
+            want.append(&mut buf);
+        }
+        assert_eq!(emitted, &want, "replica {ce} diverged from the local registry replay");
+        for (g, w) in emitted.iter().zip(&want) {
+            assert_eq!(g.id, w.id);
+        }
+        // Numbering never resets: per condition, provenance indices are
+        // 0..k ascending even across the crash.
+        for cond in 0..set.len() as u32 {
+            let idxs: Vec<u64> = emitted
+                .iter()
+                .filter(|a| a.cond == CondId::new(cond))
+                .map(|a| a.id.index)
+                .collect();
+            assert!(
+                idxs.iter().enumerate().all(|(i, &n)| n == i as u64),
+                "condition {cond} numbering broke across the restart: {idxs:?}"
+            );
+        }
+    }
+
+    // AD-1 displays each distinct (cond, fingerprint) alert exactly
+    // once, so the display equals the distinct union of both replicas'
+    // emissions — the survivor covers what the crash suppressed.
+    let mut distinct: Vec<&Alert> = Vec::new();
+    for a in report.emitted.iter().flatten() {
+        if !distinct.contains(&a) {
+            distinct.push(a);
+        }
+    }
+    assert_eq!(report.displayed.len(), distinct.len());
+    for &a in &distinct {
+        assert!(report.displayed.contains(a), "distinct alert {a} not displayed");
+    }
 }
 
 /// Builds one fresh instance of every AD filter.

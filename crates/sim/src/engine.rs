@@ -63,11 +63,28 @@ impl RunResult {
 
 #[derive(Debug)]
 enum Ev {
-    Emit { var_index: usize },
-    DeliverUpdate { ce: usize, var_index: usize, tag: u64, update: Update },
-    DeliverAlert { alert: Alert, sent_at: u64 },
-    CrashStart { ce: usize },
-    CrashEnd { ce: usize },
+    Emit {
+        var_index: usize,
+    },
+    DeliverUpdate {
+        ce: usize,
+        var_index: usize,
+        tag: u64,
+        update: Update,
+    },
+    /// Alerts travel by reference: `(ce, idx)` names the alert already
+    /// recorded in `ce_outputs`, so the event loop never clones one.
+    DeliverAlert {
+        ce: usize,
+        idx: usize,
+        sent_at: u64,
+    },
+    CrashStart {
+        ce: usize,
+    },
+    CrashEnd {
+        ce: usize,
+    },
 }
 
 /// Runs a scenario to completion (all workloads drained, all in-flight
@@ -103,12 +120,9 @@ pub fn run(scenario: Scenario) -> RunResult {
         ChaCha8Rng::seed_from_u64(scenario.seed ^ scenario.link_salt.rotate_left(17) ^ 0x11a5);
     let mut queue: EventQueue<Ev> = EventQueue::new();
 
-    // Component state.
-    let mut evaluators: Vec<Evaluator<std::sync::Arc<dyn rcm_core::Condition>>> = (0..n_ce)
-        .map(|ce| {
-            Evaluator::with_ids(scenario.condition.clone(), CondId::SINGLE, CeId::new(ce as u32))
-        })
-        .collect();
+    // Component state. Everything reading `&scenario` is built first;
+    // the owned fields (condition, workloads, AD outages) are then
+    // moved out rather than cloned.
     let mut front_links: Vec<LossyLink> = (0..n_var * n_ce)
         .map(|i| {
             let (v, c) = (i / n_ce, i % n_ce);
@@ -123,20 +137,30 @@ pub fn run(scenario: Scenario) -> RunResult {
         (0..n_ce).map(|c| ReliableLink::new(scenario.back_delay_for(c).build())).collect();
     let mut down = vec![false; n_ce];
 
+    // Replica evaluators share the scenario's condition by borrow (a
+    // `&dyn Condition` is itself a `Condition`) — no per-replica
+    // refcount traffic, no clone.
+    let condition = scenario.condition;
+    let cond: &dyn rcm_core::Condition = &*condition;
+    let mut evaluators: Vec<Evaluator<&dyn rcm_core::Condition>> = (0..n_ce)
+        .map(|ce| Evaluator::with_ids(cond, CondId::SINGLE, CeId::new(ce as u32)))
+        .collect();
+
     // Workload state.
     let mut models = scenario.workloads;
     let mut next_seqno: Vec<u64> = vec![0; n_var];
 
-    // Outputs.
+    // Outputs. Arrivals are logged as `(ce, idx)` references into
+    // `ce_outputs` and materialized once after the event loop.
     let mut emitted: Vec<Update> = Vec::new();
     let mut inputs: Vec<Vec<Update>> = vec![Vec::new(); n_ce];
     let mut ce_outputs: Vec<Vec<Alert>> = vec![Vec::new(); n_ce];
-    let mut arrivals: Vec<Alert> = Vec::new();
+    let mut arrival_log: Vec<(usize, usize)> = Vec::new();
     let mut arrival_times: Vec<(u64, u64)> = Vec::new();
     let mut stats = RunStats::default();
 
     // Normalize AD outage windows: sorted, validated.
-    let mut ad_outages = scenario.ad_outages.clone();
+    let mut ad_outages = scenario.ad_outages;
     ad_outages.sort_unstable();
     for w in ad_outages.windows(2) {
         assert!(w[0].1 <= w[1].0, "AD outage windows must not overlap");
@@ -197,21 +221,22 @@ pub fn run(scenario: Scenario) -> RunResult {
                 stats.updates_ingested += 1;
                 if let Some(alert) = maybe_alert {
                     stats.alerts_emitted += 1;
-                    ce_outputs[ce].push(alert.clone());
+                    let idx = ce_outputs[ce].len();
+                    ce_outputs[ce].push(alert);
                     let at = back_links[ce].transmit(now, &mut rng);
-                    queue.schedule(at, Ev::DeliverAlert { alert, sent_at: now });
+                    queue.schedule(at, Ev::DeliverAlert { ce, idx, sent_at: now });
                 }
             }
-            Ev::DeliverAlert { alert, sent_at } => {
+            Ev::DeliverAlert { ce, idx, sent_at } => {
                 // Powered-off PDA: the reliable back link buffers the
                 // alert and redelivers when the AD comes back. Same-tick
                 // redeliveries keep their relative (FIFO) order through
                 // the queue's insertion-order tie-break.
                 if let Some(up_at) = ad_up_at(now) {
-                    queue.schedule(up_at, Ev::DeliverAlert { alert, sent_at });
+                    queue.schedule(up_at, Ev::DeliverAlert { ce, idx, sent_at });
                 } else {
                     arrival_times.push((sent_at, now));
-                    arrivals.push(alert);
+                    arrival_log.push((ce, idx));
                 }
             }
             Ev::CrashStart { ce } => {
@@ -222,6 +247,11 @@ pub fn run(scenario: Scenario) -> RunResult {
         }
     }
 
+    // Materialize the AD's arrival stream; each clone here is an
+    // `Arc` bump on the shared snapshot, and this is the only place in
+    // the run that copies an alert.
+    let arrivals: Vec<Alert> =
+        arrival_log.into_iter().map(|(ce, idx)| ce_outputs[ce][idx].clone()).collect();
     RunResult { emitted, inputs, ce_outputs, arrivals, arrival_times, stats }
 }
 

@@ -38,6 +38,7 @@ pub mod multicond;
 pub mod par;
 pub mod report;
 mod scenario;
+pub mod shard;
 mod spec;
 mod workload;
 

@@ -11,15 +11,22 @@
 //! one engine run per condition, sharing the DM value stream (same
 //! seed) over independent links (distinct salts), merged at the AD by
 //! arrival time.
+//!
+//! [`run_hosted`] simulates the alternative *hosted* deployment — one
+//! replicated CE group hosting every condition in a sharded
+//! [`ConditionRegistry`](rcm_core::ConditionRegistry) — where all
+//! conditions on a replica share one subscription and therefore one
+//! loss pattern per variable.
 
 use std::sync::Arc;
 
-use rcm_core::condition::Condition;
-use rcm_core::{Alert, CondId, VarId};
+use rcm_core::condition::{Condition, Triggering};
+use rcm_core::{Alert, CeId, CondId, HistorySet, RegistryStats, Update, VarId};
 
 use crate::engine::{run, RunResult};
 use crate::event::SimTime;
 use crate::scenario::{DelaySpec, LossSpec, Scenario, VarWorkload};
+use crate::shard::ShardedRegistry;
 use crate::workload::ValueSpec;
 
 /// One shared Data Monitor description (rebuildable per condition run).
@@ -121,7 +128,7 @@ pub fn run_multi(scenario: &MultiCondScenario) -> MultiCondResult {
             );
         }
         let single = Scenario {
-            condition: condition.clone(),
+            condition: Arc::clone(condition),
             replicas: scenario.replicas,
             workloads,
             front_loss: vec![scenario.front_loss.clone()],
@@ -148,13 +155,127 @@ pub fn run_multi(scenario: &MultiCondScenario) -> MultiCondResult {
     }
 
     // Merge by arrival time; equal times break by condition index then
-    // stream position (deterministic).
+    // stream position (deterministic). The clone is an `Arc` bump on
+    // the alert's shared snapshot, not a payload copy.
     tagged.sort_unstable();
     let arrivals = tagged
         .into_iter()
         .map(|(_, ci, ai)| per_condition[ci as usize].arrivals[ai].clone())
         .collect();
     MultiCondResult { per_condition, arrivals }
+}
+
+/// The hosted CE group's subscription: a pseudo-condition carrying the
+/// union of the monitored variables. It drives the engine's DM and
+/// front-link machinery to produce per-replica input streams and never
+/// fires itself.
+#[derive(Debug)]
+struct Subscription {
+    vars: Vec<VarId>,
+}
+
+impl Condition for Subscription {
+    fn name(&self) -> String {
+        "hosted-subscription".to_owned()
+    }
+    fn variables(&self) -> Vec<VarId> {
+        self.vars.clone()
+    }
+    fn degree(&self, var: VarId) -> usize {
+        usize::from(self.vars.binary_search(&var).is_ok())
+    }
+    fn triggering(&self) -> Triggering {
+        Triggering::Conservative
+    }
+    fn eval(&self, _h: &HistorySet) -> bool {
+        false
+    }
+}
+
+/// Result of a hosted multi-condition run ([`run_hosted`]).
+#[derive(Debug, Clone)]
+pub struct HostedResult {
+    /// Every update emitted by the shared DMs, in emission order.
+    pub emitted: Vec<Update>,
+    /// Per replica: the updates its CE incorporated, in arrival order —
+    /// one stream per replica, shared by all hosted conditions.
+    pub inputs: Vec<Vec<Update>>,
+    /// Per replica: the alerts its sharded registry emitted over the
+    /// input stream, in emission order (condition `i` carries
+    /// `CondId::new(i)`).
+    pub per_replica: Vec<Vec<Alert>>,
+    /// Per replica: registry ingestion counters.
+    pub stats: Vec<RegistryStats>,
+}
+
+/// Runs a multi-condition scenario in the *hosted* deployment: one
+/// replicated CE group hosts every condition in a sharded
+/// [`ConditionRegistry`](rcm_core::ConditionRegistry), instead of
+/// Appendix D's one CE group per condition ([`run_multi`]).
+///
+/// The difference is observable: hosted conditions share each replica's
+/// front links (one subscription on the variable union, `link_salt` 0),
+/// so all conditions on a replica see the *same* loss pattern, while
+/// [`run_multi`] gives every condition independent links. Within a
+/// replica the registry is byte-identical to independent per-condition
+/// evaluators fed that replica's stream, for any shard count and any
+/// worker-thread count ([`ShardedRegistry`]'s contract).
+///
+/// # Panics
+///
+/// Panics if a condition uses a variable with no shared workload, if
+/// `shards` is zero, or propagates the engine's validation panics.
+pub fn run_hosted(scenario: &MultiCondScenario, shards: usize) -> HostedResult {
+    let mut vars: Vec<VarId> = scenario.workloads.iter().map(|w| w.var).collect();
+    vars.sort_unstable();
+    vars.dedup();
+    for (ci, c) in scenario.conditions.iter().enumerate() {
+        for v in c.variables() {
+            assert!(
+                vars.binary_search(&v).is_ok(),
+                "condition {ci} uses variable {v} with no shared workload"
+            );
+        }
+    }
+    let workloads: Vec<VarWorkload> = scenario
+        .workloads
+        .iter()
+        .map(|w| VarWorkload {
+            var: w.var,
+            updates: w.updates,
+            period: w.period,
+            offset: w.offset,
+            model: w.values.build(),
+        })
+        .collect();
+    let probe = Scenario {
+        condition: Arc::new(Subscription { vars }),
+        replicas: scenario.replicas,
+        workloads,
+        front_loss: vec![scenario.front_loss.clone()],
+        front_delay: vec![scenario.front_delay.clone()],
+        back_delay: vec![scenario.back_delay.clone()],
+        outages: vec![],
+        ad_outages: vec![],
+        seed: scenario.seed,
+        link_salt: 0,
+    };
+    let probe_run = run(probe);
+
+    let mut per_replica = Vec::with_capacity(scenario.replicas);
+    let mut stats = Vec::with_capacity(scenario.replicas);
+    for (ce, stream) in probe_run.inputs.iter().enumerate() {
+        let mut reg = ShardedRegistry::from_conditions(
+            CeId::new(ce as u32),
+            scenario.conditions.iter().map(Arc::clone),
+            shards,
+        );
+        let mut alerts = Vec::new();
+        reg.ingest_batch(stream, &mut alerts);
+        stats.push(reg.stats());
+        per_replica.push(alerts);
+    }
+    HostedResult { emitted: probe_run.emitted, inputs: probe_run.inputs, per_replica, stats }
 }
 
 #[cfg(test)]
@@ -239,5 +360,77 @@ mod tests {
         let mut sc = scenario(1);
         sc.conditions.push(Arc::new(Threshold::new(VarId::new(9), Cmp::Gt, 0.0)));
         run_multi(&sc);
+    }
+
+    #[test]
+    fn hosted_matches_independent_evaluators_per_replica() {
+        use rcm_core::{CeId, Evaluator};
+        let sc = scenario(21);
+        let r = run_hosted(&sc, 2);
+        assert_eq!(r.inputs.len(), sc.replicas);
+        assert_eq!(r.per_replica.len(), sc.replicas);
+        assert!(r.per_replica.iter().any(|a| !a.is_empty()), "expected hosted alerts");
+        for ce in 0..sc.replicas {
+            let mut evs: Vec<Evaluator<Arc<dyn Condition>>> = sc
+                .conditions
+                .iter()
+                .enumerate()
+                .map(|(ci, c)| {
+                    Evaluator::with_ids(Arc::clone(c), CondId::new(ci as u32), CeId::new(ce as u32))
+                })
+                .collect();
+            let mut want = Vec::new();
+            for &u in &r.inputs[ce] {
+                for (ci, ev) in evs.iter_mut().enumerate() {
+                    if sc.conditions[ci].variables().contains(&u.var) {
+                        if let Ok(Some(a)) = ev.try_ingest(u) {
+                            want.push(a);
+                        }
+                    }
+                }
+            }
+            assert_eq!(r.per_replica[ce], want);
+            for (g, w) in r.per_replica[ce].iter().zip(&want) {
+                assert_eq!(g.id, w.id);
+                assert_eq!(g.snapshot[..], w.snapshot[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn hosted_is_invariant_to_shards_and_threads() {
+        use crate::par::with_threads;
+        let sc = scenario(22);
+        let base = run_hosted(&sc, 1);
+        for shards in [2, 3, 8] {
+            let r = with_threads(if shards == 3 { 2 } else { 4 }, || run_hosted(&sc, shards));
+            assert_eq!(r.inputs, base.inputs, "shards = {shards}");
+            assert_eq!(r.per_replica, base.per_replica, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn hosted_replicas_share_one_loss_pattern() {
+        // All conditions on a replica see the same input stream — the
+        // defining difference from `run_multi`'s independent links.
+        let sc = scenario(23);
+        let r = run_hosted(&sc, 2);
+        assert_eq!(r.inputs.len(), 2);
+        // The shared stream is the only source: per-replica alerts for
+        // both conditions reference seqnos from that replica's inputs.
+        for ce in 0..2 {
+            let seqnos: Vec<u64> = r.inputs[ce].iter().map(|u| u.seqno.get()).collect();
+            for a in &r.per_replica[ce] {
+                assert!(seqnos.contains(&a.seqno(x()).unwrap().get()));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no shared workload")]
+    fn hosted_missing_workload_rejected() {
+        let mut sc = scenario(1);
+        sc.conditions.push(Arc::new(Threshold::new(VarId::new(9), Cmp::Gt, 0.0)));
+        run_hosted(&sc, 1);
     }
 }

@@ -1,0 +1,121 @@
+//! Property pin for the sharded multi-condition engine: for random
+//! condition families, random update streams (with seqno gaps and stale
+//! duplicates), any shard count and any worker-thread count,
+//! [`ShardedRegistry`] is byte-identical to the unsharded
+//! [`ConditionRegistry`] — whether fed one big batch or one update at a
+//! time — which is itself pinned to a loop of independent
+//! [`Evaluator`]s.
+
+use proptest::prelude::*;
+
+use rcm_core::condition::expr::CompiledCondition;
+use rcm_core::condition::Condition;
+use rcm_core::{CeId, CondId, ConditionRegistry, Evaluator, Update, VarId, VarRegistry};
+use rcm_sim::par::with_threads;
+use rcm_sim::shard::ShardedRegistry;
+
+const VARS: [&str; 2] = ["x", "y"];
+
+/// Condition sources drawn from the paper's family: thresholds,
+/// conservative deltas, and a two-variable sum.
+fn source() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0..VARS.len(), -20i64..20).prop_map(|(v, t)| format!("{}[0].value > {t}", VARS[v])),
+        (0..VARS.len(), 0i64..10).prop_map(|(v, t)| {
+            format!("{0}[0].value - {0}[-1].value > {t} && consecutive({0})", VARS[v])
+        }),
+        (-30i64..30).prop_map(|t| format!("x[0].value + y[0].value > {t}")),
+    ]
+}
+
+/// Stream steps: `(variable, seqno gap, value)` — gap 0 re-sends the
+/// previous seqno (stale duplicate), ≥2 models loss.
+fn stream() -> impl Strategy<Value = Vec<(usize, u64, f64)>> {
+    prop::collection::vec((0..VARS.len(), 0u64..4, -50.0f64..50.0), 0..60)
+}
+
+fn updates(steps: &[(usize, u64, f64)], ids: &[VarId]) -> Vec<Update> {
+    let mut next: Vec<u64> = vec![1; ids.len()];
+    let mut out = Vec::with_capacity(steps.len());
+    for &(v, gap, value) in steps {
+        let seqno = if gap == 0 { next[v].saturating_sub(1).max(1) } else { next[v] + gap - 1 };
+        next[v] = next[v].max(seqno + 1);
+        out.push(Update::new(ids[v], seqno, value));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sharded_matches_unsharded_and_evaluators(
+        sources in prop::collection::vec(source(), 1..8),
+        steps in stream(),
+        shards in 1usize..6,
+        threads in 1usize..5,
+    ) {
+        let mut vars = VarRegistry::new();
+        let ids: Vec<VarId> = VARS.iter().map(|n| vars.register(n)).collect();
+        let conds: Vec<CompiledCondition> = sources
+            .iter()
+            .map(|s| CompiledCondition::compile(s, &mut vars).unwrap())
+            .collect();
+        let stream = updates(&steps, &ids);
+        let ce = CeId::new(4);
+
+        // Reference 1: the unsharded registry.
+        let mut plain = ConditionRegistry::new(ce);
+        for c in &conds {
+            plain.add_compiled(c.clone());
+        }
+        let mut want = Vec::new();
+        plain.ingest_batch(&stream, &mut want);
+
+        // Reference 2: independent evaluators (the paper's model).
+        let mut evs: Vec<Evaluator<CompiledCondition>> = conds
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Evaluator::with_ids(c.clone(), CondId::new(i as u32), ce))
+            .collect();
+        let mut independent = Vec::new();
+        for &u in &stream {
+            for (ci, ev) in evs.iter_mut().enumerate() {
+                if conds[ci].variables().contains(&u.var) {
+                    if let Ok(Some(a)) = ev.try_ingest(u) {
+                        independent.push(a);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(&want, &independent);
+
+        // Sharded, one big batch, under the drawn thread count.
+        let batched = with_threads(threads, || {
+            let mut reg = ShardedRegistry::from_compiled(ce, conds.iter().cloned(), shards);
+            let mut out = Vec::new();
+            reg.ingest_batch(&stream, &mut out);
+            out
+        });
+        prop_assert_eq!(batched.len(), want.len());
+        for (g, w) in batched.iter().zip(&want) {
+            prop_assert_eq!(g, w);
+            prop_assert_eq!(g.id, w.id);
+            prop_assert_eq!(&g.snapshot[..], &w.snapshot[..]);
+        }
+
+        // Sharded, one update at a time (singleton batches).
+        let stepped = with_threads(threads, || {
+            let mut reg = ShardedRegistry::from_compiled(ce, conds.iter().cloned(), shards);
+            let mut out = Vec::new();
+            for u in &stream {
+                reg.ingest_batch(std::slice::from_ref(u), &mut out);
+            }
+            out
+        });
+        prop_assert_eq!(&stepped, &batched);
+        for (g, w) in stepped.iter().zip(&batched) {
+            prop_assert_eq!(g.id, w.id);
+        }
+    }
+}
