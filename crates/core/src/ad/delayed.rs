@@ -136,9 +136,10 @@ impl DelayedOrdered {
         if let Some(limit) = expired_max {
             let to_release: Vec<u64> = self.buffer.range(..=limit).map(|(&s, _)| s).collect();
             for s in to_release {
-                let (alert, _) = self.buffer.remove(&s).expect("key just listed");
-                self.watermark = Some(SeqNo::new(s));
-                out.push(alert);
+                if let Some((alert, _)) = self.buffer.remove(&s) {
+                    self.watermark = Some(SeqNo::new(s));
+                    out.push(alert);
+                }
             }
         }
     }

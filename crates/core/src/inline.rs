@@ -1,4 +1,4 @@
-//! A no-`unsafe` small-vector used on the alert hot path.
+//! A small-vector used on the alert hot path.
 //!
 //! Every alert carries a [`HistoryFingerprint`](crate::HistoryFingerprint)
 //! — one newest-first seqno list per variable — and in every scenario
@@ -9,22 +9,33 @@
 //! itself and only spills to the heap beyond that, so the common case
 //! allocates nothing.
 //!
-//! The crate forbids `unsafe`, so the inline storage is a plain
-//! `[T; N]` of `T::Default` fillers rather than a `MaybeUninit` block;
-//! for the element types used here (`SeqNo`, small tuples) the filler
-//! cost is a few zeroed words.
+//! The inline storage is a `[MaybeUninit<T>; N]` block, so pushing
+//! never writes `T::Default` fillers and the element type needs no
+//! `Default` impl. This is the crate's **only** `unsafe` module (the
+//! crate is otherwise `#![deny(unsafe_code)]`, and `cargo xtask lint`
+//! pins the allowlist): every `unsafe` block cites the single
+//! invariant below, and the drop-counter tests at the bottom pin
+//! leak-freedom and double-drop-freedom through every storage
+//! transition.
+#![allow(unsafe_code)]
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::mem::{ManuallyDrop, MaybeUninit};
 
 use serde::{Deserialize, Serialize};
 
 /// A growable sequence storing its first `N` elements inline.
 ///
-/// Invariant: when `len <= N` the elements live in `inline[..len]` and
-/// `spill` is empty; once the length exceeds `N`, *all* elements live
-/// in `spill` and the inline slots hold defaults. [`InlineVec::as_slice`]
-/// is contiguous in both regimes, so readers never see the split.
+/// # Invariant (load-bearing for every `unsafe` block here)
+///
+/// * `len <= N` (**inline regime**): `inline[..len]` are initialized
+///   `T`s, `inline[len..]` are uninitialized, and `spill` is empty.
+/// * `len > N` (**spill regime**): all `len` elements live in `spill`
+///   (`spill.len() == len`) and *every* inline slot is uninitialized.
+///
+/// [`InlineVec::as_slice`] is contiguous in both regimes, so readers
+/// never see the split.
 ///
 /// Equality, ordering, hashing and serialization are all slice-based:
 /// an `InlineVec` behaves exactly like the sequence of its elements,
@@ -39,29 +50,35 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(v.as_slice(), &[1, 2, 3, 4]);
 /// assert_eq!(v, InlineVec::<u64, 3>::from(vec![1, 2, 3, 4]));
 /// ```
-#[derive(Clone)]
 pub struct InlineVec<T, const N: usize> {
-    inline: [T; N],
+    inline: [MaybeUninit<T>; N],
     len: usize,
     spill: Vec<T>,
 }
 
-impl<T: Default, const N: usize> InlineVec<T, N> {
+impl<T, const N: usize> InlineVec<T, N> {
     /// Creates an empty vector (no heap allocation).
     pub fn new() -> Self {
-        InlineVec { inline: std::array::from_fn(|_| T::default()), len: 0, spill: Vec::new() }
+        InlineVec { inline: [const { MaybeUninit::uninit() }; N], len: 0, spill: Vec::new() }
     }
 
     /// Appends an element, spilling to the heap when the inline
     /// capacity `N` is exceeded.
     pub fn push(&mut self, value: T) {
         if self.len < N {
-            self.inline[self.len] = value;
+            self.inline[self.len].write(value);
         } else {
             if self.len == N {
+                // Reserve up front so the moves below cannot panic
+                // with elements duplicated between the two buffers.
                 self.spill.reserve(N + 1);
                 for slot in &mut self.inline {
-                    self.spill.push(std::mem::take(slot));
+                    // SAFETY: len == N, so by the invariant every
+                    // inline slot is initialized; each is read exactly
+                    // once and the regime flips to spill (len becomes
+                    // N + 1 below), so the now-moved-out slots are
+                    // never read or dropped again.
+                    self.spill.push(unsafe { slot.assume_init_read() });
                 }
             }
             self.spill.push(value);
@@ -71,17 +88,18 @@ impl<T: Default, const N: usize> InlineVec<T, N> {
 
     /// Removes all elements, keeping any spill capacity.
     pub fn clear(&mut self) {
-        self.spill.clear();
-        if self.len > 0 && self.len <= N {
-            for slot in &mut self.inline[..self.len] {
-                *slot = T::default();
-            }
+        if self.len <= N {
+            // SAFETY: inline regime — `as_mut_slice` covers exactly
+            // the initialized `inline[..len]`; dropping them in place
+            // leaves every slot uninitialized, matching len = 0.
+            unsafe { std::ptr::drop_in_place(self.as_mut_slice() as *mut [T]) };
+        } else {
+            // Spill regime: inline slots are already all uninitialized.
+            self.spill.clear();
         }
         self.len = 0;
     }
-}
 
-impl<T, const N: usize> InlineVec<T, N> {
     /// Number of elements held.
     pub fn len(&self) -> usize {
         self.len
@@ -101,7 +119,10 @@ impl<T, const N: usize> InlineVec<T, N> {
     /// All elements as one contiguous slice.
     pub fn as_slice(&self) -> &[T] {
         if self.len <= N {
-            &self.inline[..self.len]
+            // SAFETY: inline regime — the first `len` slots are
+            // initialized, and `MaybeUninit<T>` has the same layout as
+            // `T`, so the prefix reinterprets as a `[T]` slice.
+            unsafe { std::slice::from_raw_parts(self.inline.as_ptr().cast::<T>(), self.len) }
         } else {
             &self.spill
         }
@@ -110,20 +131,42 @@ impl<T, const N: usize> InlineVec<T, N> {
     /// All elements as one contiguous mutable slice.
     pub fn as_mut_slice(&mut self) -> &mut [T] {
         if self.len <= N {
-            &mut self.inline[..self.len]
+            // SAFETY: as in `as_slice`, plus `&mut self` guarantees
+            // exclusivity.
+            unsafe {
+                std::slice::from_raw_parts_mut(self.inline.as_mut_ptr().cast::<T>(), self.len)
+            }
         } else {
             &mut self.spill
         }
     }
 }
 
-impl<T: Default, const N: usize> Default for InlineVec<T, N> {
+impl<T, const N: usize> Drop for InlineVec<T, N> {
+    fn drop(&mut self) {
+        if self.len <= N {
+            // SAFETY: inline regime — exactly `inline[..len]` are live
+            // and nothing else owns them; `spill` (empty) drops itself
+            // afterwards. In the spill regime `spill`'s own Drop frees
+            // the elements and the inline slots hold nothing.
+            unsafe { std::ptr::drop_in_place(self.as_mut_slice() as *mut [T]) };
+        }
+    }
+}
+
+impl<T: Clone, const N: usize> Clone for InlineVec<T, N> {
+    fn clone(&self) -> Self {
+        self.as_slice().iter().cloned().collect()
+    }
+}
+
+impl<T, const N: usize> Default for InlineVec<T, N> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<T: Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+impl<T, const N: usize> FromIterator<T> for InlineVec<T, N> {
     fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
         let mut v = Self::new();
         for item in iter {
@@ -133,7 +176,7 @@ impl<T: Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
     }
 }
 
-impl<T: Default, const N: usize> Extend<T> for InlineVec<T, N> {
+impl<T, const N: usize> Extend<T> for InlineVec<T, N> {
     fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
         for item in iter {
             self.push(item);
@@ -141,23 +184,39 @@ impl<T: Default, const N: usize> Extend<T> for InlineVec<T, N> {
     }
 }
 
-impl<T: Default, const N: usize> From<Vec<T>> for InlineVec<T, N> {
+impl<T, const N: usize> From<Vec<T>> for InlineVec<T, N> {
     fn from(vec: Vec<T>) -> Self {
         if vec.len() > N {
             // Reuse the allocation instead of copying element-wise.
-            InlineVec { inline: std::array::from_fn(|_| T::default()), len: vec.len(), spill: vec }
+            InlineVec { inline: [const { MaybeUninit::uninit() }; N], len: vec.len(), spill: vec }
         } else {
             vec.into_iter().collect()
         }
     }
 }
 
-impl<T: Clone, const N: usize> From<InlineVec<T, N>> for Vec<T> {
+impl<T, const N: usize> From<InlineVec<T, N>> for Vec<T> {
     fn from(v: InlineVec<T, N>) -> Vec<T> {
+        // Suppress InlineVec::drop: ownership of every element moves
+        // out below, exactly once.
+        let mut v = ManuallyDrop::new(v);
         if v.len > N {
-            v.spill
+            std::mem::take(&mut v.spill)
         } else {
-            v.inline[..v.len].to_vec()
+            // `spill` is empty but may hold capacity from an earlier
+            // spill/clear cycle; take it out so the allocation is
+            // freed (ManuallyDrop won't run its Drop).
+            drop(std::mem::take(&mut v.spill));
+            let len = v.len;
+            let mut out = Vec::with_capacity(len);
+            for slot in &mut v.inline[..len] {
+                // SAFETY: inline regime — each of the first `len`
+                // slots is initialized and read exactly once; the
+                // ManuallyDrop wrapper guarantees no drop runs on the
+                // moved-out slots.
+                out.push(unsafe { slot.assume_init_read() });
+            }
+            out
         }
     }
 }
@@ -229,7 +288,7 @@ impl<T: Serialize, const N: usize> Serialize for InlineVec<T, N> {
     }
 }
 
-impl<'de, T: Deserialize<'de> + Default, const N: usize> Deserialize<'de> for InlineVec<T, N> {
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for InlineVec<T, N> {
     fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         Ok(Vec::<T>::deserialize(deserializer)?.into())
     }
@@ -319,12 +378,13 @@ mod tests {
     #[test]
     fn serde_roundtrip_matches_vec_format() {
         let v: V = (1..=5u64).collect();
-        let json = serde_json::to_string(&v).unwrap();
+        let json = serde_json::to_string(&v).expect("serializes");
         assert_eq!(json, "[1,2,3,4,5]");
-        let back: V = serde_json::from_str(&json).unwrap();
+        let back: V = serde_json::from_str(&json).expect("parses back");
         assert_eq!(back, v);
         let inline: V = (1..=2u64).collect();
-        let back2: V = serde_json::from_str(&serde_json::to_string(&inline).unwrap()).unwrap();
+        let round = serde_json::to_string(&inline).expect("serializes");
+        let back2: V = serde_json::from_str(&round).expect("parses back");
         assert_eq!(back2, inline);
     }
 
@@ -334,5 +394,118 @@ mod tests {
         assert_eq!(v.first(), Some(&4));
         assert_eq!(v.iter().copied().max(), Some(4));
         assert_eq!(v.windows(2).count(), 1);
+    }
+
+    #[test]
+    fn works_without_default_impls() {
+        // MaybeUninit storage means T needs no Default.
+        #[derive(Clone, Debug, PartialEq)]
+        struct NoDefault(u64);
+        let v: InlineVec<NoDefault, 2> =
+            [NoDefault(1), NoDefault(2), NoDefault(3)].into_iter().collect();
+        assert_eq!(v.as_slice().last(), Some(&NoDefault(3)));
+    }
+
+    // ---- drop accounting: the unsafe audit's executable half -------
+
+    use std::sync::atomic::{AtomicI64, Ordering};
+
+    static LIVE: AtomicI64 = AtomicI64::new(0);
+
+    /// An element that counts live instances; a double drop would send
+    /// the counter negative, a leak leaves it positive.
+    #[derive(Debug)]
+    struct Counted(u64);
+    impl Counted {
+        fn new(v: u64) -> Self {
+            LIVE.fetch_add(1, Ordering::SeqCst);
+            Counted(v)
+        }
+    }
+    impl Clone for Counted {
+        fn clone(&self) -> Self {
+            Counted::new(self.0)
+        }
+    }
+    impl Drop for Counted {
+        fn drop(&mut self) {
+            LIVE.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    fn assert_balanced(f: impl FnOnce()) {
+        let before = LIVE.load(Ordering::SeqCst);
+        f();
+        assert_eq!(LIVE.load(Ordering::SeqCst), before, "leak or double drop");
+    }
+
+    #[test]
+    fn drop_accounting_inline_regime() {
+        assert_balanced(|| {
+            let mut v: InlineVec<Counted, 3> = InlineVec::new();
+            v.push(Counted::new(1));
+            v.push(Counted::new(2));
+        });
+    }
+
+    #[test]
+    fn drop_accounting_across_the_spill_transition() {
+        assert_balanced(|| {
+            let mut v: InlineVec<Counted, 3> = InlineVec::new();
+            for i in 0..7 {
+                v.push(Counted::new(i));
+            }
+            assert!(!v.is_inline());
+        });
+    }
+
+    #[test]
+    fn drop_accounting_clear_then_reuse() {
+        assert_balanced(|| {
+            let mut v: InlineVec<Counted, 2> = InlineVec::new();
+            for i in 0..5 {
+                v.push(Counted::new(i));
+            }
+            v.clear(); // spill regime clear
+            for i in 0..2 {
+                v.push(Counted::new(i));
+            }
+            v.clear(); // inline regime clear
+            v.push(Counted::new(9));
+        });
+    }
+
+    #[test]
+    fn drop_accounting_clone_and_into_vec() {
+        assert_balanced(|| {
+            let mut v: InlineVec<Counted, 3> = InlineVec::new();
+            for i in 0..2 {
+                v.push(Counted::new(i));
+            }
+            let w = v.clone();
+            let out: Vec<Counted> = v.into(); // inline-regime move-out
+            assert_eq!(out.len(), 2);
+            let mut big: InlineVec<Counted, 2> = w.as_slice().iter().cloned().collect();
+            big.push(Counted::new(7));
+            let spilled: Vec<Counted> = big.into(); // spill-regime move-out
+            assert_eq!(spilled.len(), 3);
+        });
+    }
+
+    #[test]
+    fn drop_accounting_into_vec_after_spill_shrink() {
+        assert_balanced(|| {
+            // Regression: an inline-regime InlineVec whose spill Vec
+            // still holds capacity from an earlier spill must free that
+            // allocation on conversion, not leak it.
+            let mut v: InlineVec<Counted, 2> = InlineVec::new();
+            for i in 0..4 {
+                v.push(Counted::new(i));
+            }
+            v.clear();
+            v.push(Counted::new(8));
+            let out: Vec<Counted> = v.into();
+            assert_eq!(out.len(), 1);
+        });
     }
 }

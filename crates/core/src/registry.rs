@@ -191,7 +191,12 @@ impl ConditionRegistry {
             self.entries.iter().all(|e| e.cond_id != cond_id),
             "condition id {cond_id} already registered"
         );
-        let slot = u32::try_from(self.entries.len()).expect("more than u32::MAX conditions");
+        assert!(
+            u32::try_from(self.entries.len()).is_ok(),
+            "condition table full: {} entries",
+            self.entries.len()
+        );
+        let slot = self.entries.len() as u32;
         for var in cond.variables() {
             self.index.entry(var).or_default().push(slot);
         }

@@ -83,8 +83,25 @@ impl Backoff {
     }
 
     /// The nominal (un-jittered) delay of attempt `i`, for reporting.
+    ///
+    /// The exponent is capped *before* the shift: past
+    /// [`Backoff::cap_exponent`] every nominal is `cap` anyway, and an
+    /// uncapped `1u32 << i` debug-panics at `i >= 32` — reachable by a
+    /// link that stays severed through a long soak.
     pub fn nominal(&self, i: u32) -> Duration {
-        self.base.saturating_mul(1u32 << i.min(31)).min(self.cap)
+        self.base.saturating_mul(1u32 << i.min(self.cap_exponent())).min(self.cap)
+    }
+
+    /// Smallest exponent whose un-jittered delay already reaches `cap`,
+    /// clamped to 31 (the largest shift that cannot overflow the `u32`
+    /// multiplier). Attempts at or past this exponent all wait `cap`
+    /// (or `base << 31`, whichever is smaller).
+    fn cap_exponent(&self) -> u32 {
+        // `cap >= base > 0` is a constructor invariant, so the ratio is
+        // at least 1 and `ilog2` cannot panic.
+        let ratio = self.cap.as_nanos() / self.base.as_nanos().max(1);
+        let exact = ratio.is_power_of_two();
+        (ratio.ilog2() + u32::from(!exact)).min(31)
     }
 }
 
@@ -139,7 +156,53 @@ mod tests {
         assert_eq!(b.nominal(2), ms(4));
         assert_eq!(b.nominal(3), ms(8));
         assert_eq!(b.nominal(10), ms(8));
-        assert_eq!(b.nominal(60), ms(8)); // shift saturates, no overflow
+        assert_eq!(b.nominal(60), ms(8)); // exponent capped, no overflow
+    }
+
+    #[test]
+    fn nominal_exponent_caps_before_the_shift() {
+        // A huge cap/base ratio pushes the raw exponent far past 31;
+        // the clamp must absorb the u32 shift boundary and beyond.
+        let b = Backoff::new(Duration::from_nanos(1), Duration::from_secs(3600), 0);
+        assert_eq!(b.nominal(31), Duration::from_nanos(1 << 31));
+        for i in [32, 33, 63, u32::MAX] {
+            assert_eq!(b.nominal(i), b.nominal(31), "attempt {i}");
+        }
+    }
+
+    #[test]
+    fn nominal_is_monotone_and_reaches_the_cap_exactly() {
+        // ratio 40/3 rounds up to exponent 4: nominal(4) = 48ms, capped
+        // to 40ms; everything past it holds there.
+        let b = Backoff::new(ms(3), ms(40), 0);
+        let mut prev = Duration::ZERO;
+        for i in 0..64 {
+            let n = b.nominal(i);
+            assert!(n >= prev, "attempt {i}: {n:?} < {prev:?}");
+            prev = n;
+        }
+        assert_eq!(b.nominal(3), ms(24));
+        assert_eq!(b.nominal(4), ms(40));
+        assert_eq!(b.nominal(63), ms(40));
+    }
+
+    #[test]
+    fn exact_power_of_two_ratio_needs_no_extra_exponent() {
+        // cap/base = 8 exactly: exponent 3 lands on the cap, and the
+        // clamp keeps later attempts from shifting further.
+        let b = Backoff::new(ms(1), ms(8), 0);
+        assert_eq!(b.nominal(3), ms(8));
+        assert_eq!(b.nominal(u32::MAX), ms(8));
+    }
+
+    #[test]
+    fn high_attempt_counts_never_panic_next_delay() {
+        let mut b = Backoff::new(Duration::from_nanos(1), Duration::from_secs(60), 77);
+        for _ in 0..40 {
+            let d = b.next_delay();
+            assert!(d <= Duration::from_secs(60));
+        }
+        assert_eq!(b.attempts(), 40);
     }
 
     #[test]

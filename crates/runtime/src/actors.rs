@@ -1,10 +1,16 @@
 //! The three actor bodies: Data Monitor, Condition Evaluator and Alert
 //! Displayer threads — plus the CE supervisor that turns injected (or
 //! genuine) panics into bounded restarts with history replay.
+//!
+//! LOCK ORDER: actor bodies only touch leaf mutexes owned elsewhere
+//! (fault report, record/output/arrival/display sinks). Each is taken
+//! alone and released before any channel operation; no actor ever
+//! holds two locks, so cross-thread lock cycles are impossible.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+
+use rcm_sync::time::{Duration, Instant};
+use rcm_sync::Arc;
 
 /// How one supervised CE run ended.
 enum CeExit {
@@ -16,8 +22,9 @@ enum CeExit {
     Killed,
 }
 
-use crossbeam_channel::Receiver;
-use parking_lot::Mutex;
+use rcm_sync::chan::Receiver;
+use rcm_sync::Mutex;
+
 use rcm_core::ad::AlertFilter;
 use rcm_core::condition::Condition;
 use rcm_core::{Alert, CeId, CondId, ConditionRegistry, Update, VarId};
@@ -72,7 +79,7 @@ pub(crate) fn dm_body(
             link.send(update);
         }
         if !period.is_zero() {
-            std::thread::sleep(period);
+            rcm_sync::thread::sleep(period);
         }
     };
     match source {

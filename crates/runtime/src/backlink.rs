@@ -15,13 +15,16 @@
 //! the lossless contract hold: nothing queued is ever abandoned, and
 //! only a deliberately undersized queue can lose (counted, never
 //! silent).
+//!
+//! LOCK ORDER: the only mutex is the `stats` counter block, a leaf —
+//! it is never held across a channel send, a sleep, or any other lock.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
-use std::time::{Duration, Instant};
 
-use crossbeam_channel::Sender;
-use parking_lot::Mutex;
+use rcm_sync::chan::Sender;
+use rcm_sync::time::{Duration, Instant};
+use rcm_sync::{Arc, Mutex};
+
 use rcm_net::Backoff;
 
 /// Counters for one back link.
@@ -75,7 +78,7 @@ impl<T> std::fmt::Debug for BackLink<T> {
     }
 }
 
-impl<T: Clone> BackLink<T> {
+impl<T: Clone + Send + 'static> BackLink<T> {
     /// Wraps a channel sender; with no severances scripted the link is
     /// a plain pass-through.
     pub fn new(tx: Sender<T>, backoff: Backoff) -> Self {
@@ -180,7 +183,7 @@ impl<T: Clone> BackLink<T> {
                 if !blocking {
                     return;
                 }
-                std::thread::sleep(self.next_attempt - now);
+                rcm_sync::thread::sleep(self.next_attempt - now);
             }
             self.stats.lock().attempts += 1;
             if Instant::now() >= until {
@@ -241,15 +244,15 @@ impl<T: Clone> BackLink<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossbeam_channel::unbounded;
+    use rcm_sync::chan::unbounded;
 
-    fn link(severs: Vec<(u64, Duration)>) -> (BackLink<u64>, crossbeam_channel::Receiver<u64>) {
+    fn link(severs: Vec<(u64, Duration)>) -> (BackLink<u64>, rcm_sync::chan::Receiver<u64>) {
         let (tx, rx) = unbounded();
         let backoff = Backoff::new(Duration::from_micros(50), Duration::from_millis(2), 7);
         (BackLink::new(tx, backoff).with_severs(severs), rx)
     }
 
-    fn drain(rx: &crossbeam_channel::Receiver<u64>) -> Vec<u64> {
+    fn drain(rx: &rcm_sync::chan::Receiver<u64>) -> Vec<u64> {
         rx.try_iter().collect()
     }
 

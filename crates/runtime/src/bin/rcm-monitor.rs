@@ -11,11 +11,14 @@
 //! `<var> <value>` (multi-variable); readings are assigned consecutive
 //! per-variable sequence numbers in input order. Each displayed alert
 //! is printed as it happens; a summary follows at end of stream.
+//!
+//! LOCK ORDER: no mutexes in this binary — the only `.lock()` is
+//! stdin's reader lock, held for the read loop on the main thread.
 
+use rcm_sync::Arc;
 use std::collections::BTreeMap;
 use std::io::BufRead;
 use std::process::ExitCode;
-use std::sync::Arc;
 
 use rcm_core::ad::{Ad1, Ad2, Ad3, Ad4, Ad5, Ad6, AlertFilter, PassThrough};
 use rcm_core::condition::expr::CompiledCondition;

@@ -23,12 +23,15 @@
 //!   this with a per-variable seqno cursor that survives the crash;
 //! * alert numbering **must** keep ascending across restarts (the
 //!   evaluator keeps its `emitted` counter; only histories are rebuilt).
+//!
+//! LOCK ORDER: the only mutex is the [`RetainedWindow`] deque, a leaf —
+//! push and snapshot each take it alone and release before returning.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use rcm_sync::{Arc, Mutex};
+
 use rcm_core::{Update, VarId};
 
 /// splitmix64, for deriving scripted faults from a seed.
@@ -356,6 +359,44 @@ mod tests {
         assert!(gate.admit(&u(0, 4)));
         assert_eq!(gate.cursor(VarId::new(0)), Some(4));
         assert_eq!(gate.cursor(VarId::new(2)), None);
+    }
+
+    /// Deterministic replay of the adversarial interleaving the loom
+    /// suite explores exhaustively (`tests/loom.rs`): a restart replays
+    /// the retained window through the gate *while* live updates keep
+    /// arriving, and replayed updates interleave with — and can even
+    /// overtake — live ones. Regression-pins the exactly-once ordering
+    /// without needing `--cfg loom`.
+    #[test]
+    fn replay_interleaved_with_live_feed_admits_exactly_once() {
+        let window = RetainedWindow::new(8);
+        let mut gate = IngestGate::new();
+        let mut admitted = Vec::new();
+        let mut offer = |gate: &mut IngestGate, up: Update| {
+            if gate.admit(&up) {
+                admitted.push(up.seqno.get());
+            }
+        };
+
+        // Live traffic before the kill; the DM retains what it sent.
+        for s in 1..=2 {
+            window.push(u(0, s));
+            offer(&mut gate, u(0, s));
+        }
+        // Crash point: the DM races ahead while the CE is down.
+        window.push(u(0, 3));
+        // Recovery: replay snapshot [1, 2, 3] — 1 and 2 are duplicates
+        // of already-ingested updates, 3 overtakes its live delivery.
+        for up in window.snapshot() {
+            offer(&mut gate, up);
+        }
+        // The live queue then drains, re-offering 3 and delivering 4.
+        offer(&mut gate, u(0, 3));
+        window.push(u(0, 4));
+        offer(&mut gate, u(0, 4));
+
+        assert_eq!(admitted, vec![1, 2, 3, 4], "exactly-once, in order");
+        assert_eq!(gate.cursor(VarId::new(0)), Some(4));
     }
 
     #[test]

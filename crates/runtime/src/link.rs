@@ -1,9 +1,11 @@
 //! Runtime links: lossy FIFO channels with real serialization.
+//!
+//! LOCK ORDER: the only mutex is the `report` counter block, a leaf —
+//! held only to bump counters, never across the channel send.
 
-use std::sync::Arc;
+use rcm_sync::chan::Sender;
+use rcm_sync::{Arc, Mutex};
 
-use crossbeam_channel::Sender;
-use parking_lot::Mutex;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rcm_core::Update;
@@ -82,7 +84,7 @@ impl FrontLink {
         if let Some(&(at, stall)) = self.stalls.front() {
             if self.sends_seen >= at {
                 self.stalls.pop_front();
-                std::thread::sleep(stall);
+                rcm_sync::thread::sleep(stall);
             }
         }
         self.sends_seen += 1;
@@ -105,9 +107,9 @@ impl FrontLink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossbeam_channel::unbounded;
     use rcm_core::VarId;
     use rcm_net::{Lossless, Scripted};
+    use rcm_sync::chan::unbounded;
 
     fn u(s: u64) -> Update {
         Update::new(VarId::new(0), s, s as f64)
@@ -144,7 +146,7 @@ mod tests {
         let (tx, rx) = unbounded();
         let mut link = FrontLink::new(tx, Box::new(Lossless), 1)
             .with_stalls(vec![(1, std::time::Duration::from_millis(30))]);
-        let start = std::time::Instant::now();
+        let start = rcm_sync::time::Instant::now();
         for s in 1..=3 {
             assert!(link.send(u(s)));
         }

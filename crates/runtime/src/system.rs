@@ -1,12 +1,17 @@
 //! System assembly: builder, running handle and final report.
+//!
+//! LOCK ORDER: every mutex here (fault report, per-replica record and
+//! output sinks, AD arrival/display sinks, link stats) is a leaf —
+//! taken alone, released before any send or other acquisition. No two
+//! of these locks are ever held at once, so no ordering is needed.
 
 use std::fmt;
-use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam_channel::unbounded;
-use parking_lot::Mutex;
+use rcm_sync::chan::unbounded;
+use rcm_sync::thread::JoinHandle;
+use rcm_sync::{Arc, Mutex};
+
 use rcm_core::ad::{Ad1, AlertFilter};
 use rcm_core::condition::Condition;
 use rcm_core::{Alert, CeId, Update, VarId};
@@ -58,7 +63,7 @@ impl VarFeed {
     /// assert_eq!(report.displayed.len(), 1);
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
-    pub fn streaming(var: VarId) -> (Self, crossbeam_channel::Sender<f64>) {
+    pub fn streaming(var: VarId) -> (Self, rcm_sync::chan::Sender<f64>) {
         let (tx, rx) = unbounded();
         let feed =
             VarFeed { var, source: crate::actors::FeedSource::Channel(rx), period: Duration::ZERO };
@@ -311,7 +316,7 @@ impl SystemBuilder {
                 report: Arc::clone(&fault_report),
                 ce_index: ce,
             });
-            handles.push(std::thread::spawn(move || {
+            handles.push(rcm_sync::thread::spawn(move || {
                 ce_body(CeId::new(ce as u32), conditions, rx, back, record, outputs, faults);
             }));
         }
@@ -324,7 +329,7 @@ impl SystemBuilder {
         let ad_arrivals = Arc::clone(&arrivals);
         let ad_displayed = Arc::clone(&displayed);
         let on_alert = self.on_alert;
-        handles.push(std::thread::spawn(move || {
+        handles.push(rcm_sync::thread::spawn(move || {
             ad_body(alert_rx, filter, ad_arrivals, ad_displayed, on_alert);
         }));
 
@@ -350,7 +355,7 @@ impl SystemBuilder {
             }
             let (var, source, period) = (feed.var, feed.source, feed.period);
             let window = windows.get(fi).cloned();
-            handles.push(std::thread::spawn(move || {
+            handles.push(rcm_sync::thread::spawn(move || {
                 dm_body(var, source, period, links, window);
             }));
         }
@@ -516,7 +521,7 @@ mod tests {
             .replicas(2)
             .feed(VarFeed::new(x(), vec![2900.0, 3100.0, 3200.0]))
             .start()
-            .unwrap();
+            .expect("system starts");
         let report = system.wait();
         // Four alerts arrive (two per CE); AD-1 displays two.
         assert_eq!(report.arrivals.len(), 4);
@@ -540,7 +545,7 @@ mod tests {
                 }
             })
             .start()
-            .unwrap();
+            .expect("system starts");
         let report = system.wait();
         assert_eq!(report.ingested[1].len(), 2);
         assert_eq!(report.displayed.len(), 2);
@@ -555,9 +560,13 @@ mod tests {
             .feed(VarFeed::new(x(), (0..60).map(|i| 3000.0 + f64::from(i)).collect::<Vec<_>>()))
             .filter(|vars| Box::new(Ad2::new(vars[0])))
             .start()
-            .unwrap();
+            .expect("system starts");
         let report = system.wait();
-        let seqs: Vec<u64> = report.displayed.iter().map(|a| a.seqno(x()).unwrap().get()).collect();
+        let seqs: Vec<u64> = report
+            .displayed
+            .iter()
+            .map(|a| a.seqno(x()).expect("alert carries seqno for x").get())
+            .collect();
         assert!(rcm_core::seq::is_strictly_ordered(&seqs));
         assert!(!report.displayed.is_empty());
     }
@@ -573,7 +582,7 @@ mod tests {
             .seed(99)
             .filter(|vars| Box::new(Ad3::new(vars[0])))
             .start()
-            .unwrap();
+            .expect("system starts");
         let report = system.wait();
         let check = rcm_props::check_consistent_single(&cond, &report.ingested, &report.displayed);
         assert!(check.ok, "{:?}", check.conflict);
@@ -588,7 +597,7 @@ mod tests {
             .feed(VarFeed::new(x(), vec![3100.0, 3200.0]))
             .on_alert(move |_| *seen2.lock() += 1)
             .start()
-            .unwrap();
+            .expect("system starts");
         let report = system.wait();
         assert_eq!(*seen.lock(), report.displayed.len());
         assert_eq!(report.displayed.len(), 2);
@@ -601,7 +610,7 @@ mod tests {
             .feed(VarFeed::new(x(), vec![2900.0, 3100.0, 3200.0]))
             .faults(FaultPlan::scripted())
             .start()
-            .unwrap();
+            .expect("system starts");
         let report = system.wait();
         assert_eq!(report.displayed.len(), 2);
         assert_eq!(report.faults.total_restarts(), 0);
@@ -652,7 +661,7 @@ mod tests {
             .feed(VarFeed::new(y, vec![42.0, 58.0, 90.0, 81.0, 12.0, 30.0]))
             .filter(|_| Box::new(PerCondition::new(|_c| Ad1::new())))
             .start()
-            .unwrap();
+            .expect("system starts");
         let report = system.wait();
 
         // Each replica's emission stream is exactly what a local
@@ -698,7 +707,7 @@ mod tests {
             .feed(VarFeed::new(y, vec![1050.0, 1150.0]))
             .filter(|vars| Box::new(rcm_core::ad::Ad5::new(vars.to_vec())))
             .start()
-            .unwrap();
+            .expect("system starts");
         let report = system.wait();
         // The displayed sequence is ordered in both variables.
         assert!(rcm_core::seq::alerts_ordered(&report.displayed, &[x(), y]));

@@ -244,15 +244,15 @@ mod tests {
     fn streamed_frames_decode_incrementally() {
         let m1 = Message::Update(update());
         let m2 = Message::Alert(alert());
-        let f1 = encode(&m1).unwrap();
-        let f2 = encode(&m2).unwrap();
+        let f1 = encode(&m1).expect("update frame encodes");
+        let f2 = encode(&m2).expect("alert frame encodes");
         let mut buf = BytesMut::new();
         // Feed byte by byte; decoder must wait for full frames.
         let all: Vec<u8> = f1.iter().chain(f2.iter()).copied().collect();
         let mut decoded = Vec::new();
         for b in all {
             buf.put_u8(b);
-            while let Some(m) = decode(&mut buf).unwrap() {
+            while let Some(m) = decode(&mut buf).expect("well-formed frame decodes") {
                 decoded.push(m);
             }
         }
@@ -342,16 +342,19 @@ mod tests {
         let a = alert();
         for fidelity in [Fidelity::Digest, Fidelity::Heads, Fidelity::Seqnos, Fidelity::Full] {
             let c = CompactAlert::of(&a, fidelity);
-            let json = serde_json::to_string(&c).unwrap();
-            assert_eq!(serde_json::from_str::<CompactAlert>(&json).unwrap(), c);
+            let json = serde_json::to_string(&c).expect("compact alert serializes");
+            assert_eq!(
+                serde_json::from_str::<CompactAlert>(&json).expect("compact alert parses back"),
+                c
+            );
         }
     }
 
     #[test]
     fn short_buffer_returns_none() {
         let mut buf = BytesMut::new();
-        assert!(decode(&mut buf).unwrap().is_none());
+        assert!(decode(&mut buf).expect("empty buffer is not an error").is_none());
         buf.put_u8(0);
-        assert!(decode(&mut buf).unwrap().is_none());
+        assert!(decode(&mut buf).expect("partial header is not an error").is_none());
     }
 }

@@ -1,0 +1,202 @@
+//! Model-checked concurrency tests for the threaded runtime.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`, where every
+//! `rcm_sync` primitive resolves to the bundled deterministic model
+//! checker: each test body runs under **every** thread interleaving
+//! within the preemption bound (see `rcm_sync::model`), so the
+//! assertions are schedule-universal, not one-lucky-run facts.
+//!
+//! Run with:
+//!
+//! ```sh
+//! RUSTFLAGS="--cfg loom" cargo test -p rcm-runtime --test loom --release
+//! ```
+#![cfg(loom)]
+
+use std::time::Duration;
+
+use rcm_core::{Update, VarId};
+use rcm_net::Backoff;
+use rcm_runtime::{BackLink, IngestGate, RetainedWindow};
+use rcm_sync::chan::unbounded;
+use rcm_sync::model::model;
+use rcm_sync::{thread, Arc, Mutex};
+
+fn u(s: u64) -> Update {
+    Update::new(VarId::new(0), s, s as f64)
+}
+
+/// Supervisor-restart handoff: a recovering CE replays the DM's
+/// retained window through its ingest gate while the live feed keeps
+/// arriving. Under every interleaving of replay and live delivery the
+/// gate must admit each seqno exactly once, in order — the crash must
+/// cause neither duplicate ingestion nor a gap.
+#[test]
+fn restart_replay_admits_each_seqno_exactly_once() {
+    let executions = model(|| {
+        let window = RetainedWindow::new(8);
+        let (tx, rx) = unbounded::<Update>();
+        let dm_window = window.clone();
+        let dm = thread::spawn(move || {
+            for s in 1..=4 {
+                dm_window.push(u(s));
+                tx.send(u(s)).expect("CE alive");
+            }
+        });
+
+        let mut gate = IngestGate::new();
+        let mut admitted = Vec::new();
+        // Live ingest until the scripted kill point (2 deliveries)...
+        for _ in 0..2 {
+            if let Ok(up) = rx.recv() {
+                if gate.admit(&up) {
+                    admitted.push(up.seqno.get());
+                }
+            }
+        }
+        // ...crash: histories are lost, the gate survives (it belongs
+        // to the supervisor). Replay the retained window — which the DM
+        // may still be appending to — through the same gate.
+        for up in window.snapshot() {
+            if gate.admit(&up) {
+                admitted.push(up.seqno.get());
+            }
+        }
+        // Back live: drain the rest of the feed.
+        while let Ok(up) = rx.recv() {
+            if gate.admit(&up) {
+                admitted.push(up.seqno.get());
+            }
+        }
+        dm.join().expect("DM exits cleanly");
+
+        assert_eq!(admitted, vec![1, 2, 3, 4], "exactly-once, in order");
+        assert_eq!(gate.cursor(VarId::new(0)), Some(4));
+    });
+    assert!(executions > 1, "replay must race the live feed, got {executions} schedules");
+}
+
+/// Back-link severance: while the link is down, sends are queued and
+/// the unacked tail is re-sent on reconnect — concurrently with the AD
+/// draining the channel. Under every schedule the receiver must see
+/// every message at least once, with first occurrences in send order
+/// (duplicates are exact copies of already-seen messages).
+#[test]
+fn severed_backlink_is_lossless_and_ordered_under_all_schedules() {
+    model(|| {
+        let (tx, rx) = unbounded::<u64>();
+        let ce = thread::spawn(move || {
+            let backoff = Backoff::new(Duration::from_micros(50), Duration::from_millis(2), 7);
+            let mut link =
+                BackLink::new(tx, backoff).with_severs(vec![(1, Duration::from_micros(200))]);
+            for m in 1..=3 {
+                link.send(m);
+            }
+            link.flush();
+            link.stats_handle()
+        });
+
+        let got: Vec<u64> = rx.into_iter().collect();
+        let stats = ce.join().expect("CE exits cleanly");
+
+        // First occurrences reconstruct the send order exactly.
+        let mut firsts = Vec::new();
+        for &m in &got {
+            if !firsts.contains(&m) {
+                firsts.push(m);
+            }
+        }
+        assert_eq!(firsts, vec![1, 2, 3], "lossless and ordered; got {got:?}");
+        let s = stats.lock();
+        assert_eq!(s.severs, 1);
+        assert_eq!(s.reconnects, 1);
+    });
+}
+
+/// Alert numbering across a modeled replica kill: two CE replicas emit
+/// `(replica, alert_index)` pairs to one AD; replica 0 crashes
+/// mid-stream and restarts with its histories wiped but its emission
+/// counter intact (that is the supervisor contract). Under every
+/// interleaving of the surviving replica and the restarting one, the
+/// AD must observe each replica's indexes strictly ascending.
+#[test]
+fn alert_numbering_is_monotonic_across_a_replica_kill() {
+    let executions = model(|| {
+        let (tx, rx) = unbounded::<(u32, u64)>();
+
+        // Supervisor-held state for replica 0: the emission counter
+        // survives the kill; the history buffer does not.
+        let counter0 = Arc::new(Mutex::new(0u64));
+        let c0 = Arc::clone(&counter0);
+        let tx0 = tx.clone();
+        let ce0 = thread::spawn(move || {
+            // First incarnation: two alerts, then a scripted kill.
+            let mut history = vec![0u64];
+            for _ in 0..2 {
+                let mut n = c0.lock();
+                history.push(*n);
+                tx0.send((0, *n)).expect("AD alive");
+                *n += 1;
+            }
+            drop(history); // the crash wipes in-memory histories
+                           // Restart: fresh histories, same counter.
+            let mut history = Vec::new();
+            for _ in 0..2 {
+                let mut n = c0.lock();
+                history.push(*n);
+                tx0.send((0, *n)).expect("AD alive");
+                *n += 1;
+            }
+            assert_eq!(history.len(), 2);
+        });
+        let ce1 = thread::spawn(move || {
+            for i in 0..3 {
+                tx.send((1, i)).expect("AD alive");
+            }
+        });
+
+        let mut last: [Option<u64>; 2] = [None, None];
+        for (ce, idx) in rx.into_iter() {
+            let slot = &mut last[ce as usize];
+            assert!(
+                slot.is_none_or(|prev| idx > prev),
+                "replica {ce} regressed: {idx} after {slot:?}"
+            );
+            *slot = Some(idx);
+        }
+        ce0.join().expect("ce0");
+        ce1.join().expect("ce1");
+        assert_eq!(last, [Some(3), Some(2)], "every alert arrived");
+    });
+    assert!(executions > 1, "replica streams must interleave, got {executions} schedules");
+}
+
+/// Retained-window atomicity: a DM pushes into a capacity-bounded
+/// window while a recovering replica snapshots it. Under every
+/// interleaving the snapshot must be a contiguous, ascending run of
+/// seqnos — eviction and append are atomic, so a reader can never see
+/// a torn window (a gap would replay a corrupted history).
+#[test]
+fn retained_window_snapshots_are_never_torn() {
+    model(|| {
+        let window = RetainedWindow::new(2);
+        window.push(u(1)); // pre-crash traffic
+        let dm_window = window.clone();
+        let dm = thread::spawn(move || {
+            for s in 2..=4 {
+                dm_window.push(u(s));
+            }
+        });
+
+        let snap: Vec<u64> = window.snapshot().iter().map(|u| u.seqno.get()).collect();
+        assert!(snap.len() <= 2, "capacity respected: {snap:?}");
+        assert!(
+            snap.windows(2).all(|w| w[1] == w[0] + 1),
+            "snapshot tore across an eviction: {snap:?}"
+        );
+        dm.join().expect("DM exits cleanly");
+
+        let settled: Vec<u64> = window.snapshot().iter().map(|u| u.seqno.get()).collect();
+        assert_eq!(settled, vec![3, 4], "final window is the newest suffix");
+    });
+}

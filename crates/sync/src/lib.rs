@@ -1,0 +1,90 @@
+//! # rcm-sync — the runtime's one door to concurrency primitives
+//!
+//! Every lock, channel, thread and clock the threaded runtime
+//! (`rcm-runtime`) uses is imported from this crate, never from
+//! `std::sync`/`std::thread`/`parking_lot`/`crossbeam_channel`
+//! directly (`cargo xtask lint` enforces this). That indirection buys
+//! model checking for free:
+//!
+//! * **Default build**: the types below are the production primitives —
+//!   [`parking_lot::Mutex`], [`crossbeam_channel`] channels,
+//!   [`std::thread`], [`std::time::Instant`]. Zero overhead, zero
+//!   behavior change.
+//! * **`RUSTFLAGS="--cfg loom"`**: the same paths resolve to the
+//!   bundled deterministic [`model`] checker's instrumented types, and
+//!   a test wrapped in [`model::model`] runs under every thread
+//!   interleaving (bounded-exhaustive, loom-style) instead of the one
+//!   the OS happened to pick.
+//!
+//! The shim surface is deliberately small — exactly what the runtime
+//! needs: `Arc` (always `std::sync::Arc`; reference counting is not
+//! schedule-relevant), an infallible-`lock` `Mutex`, unbounded MPSC
+//! channels ([`chan`]), [`thread`] spawn/join/sleep/yield, [`time`]
+//! instants, and sequentially consistent [`atomic`]s.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod model;
+
+pub use std::sync::Arc;
+
+#[cfg(not(loom))]
+pub use parking_lot::{Mutex, MutexGuard};
+
+#[cfg(loom)]
+pub use model::sync::{Mutex, MutexGuard};
+
+/// Unbounded MPSC channels (crossbeam-channel API subset).
+#[cfg(not(loom))]
+pub mod chan {
+    pub use crossbeam_channel::{
+        unbounded, IntoIter, Iter, Receiver, RecvError, SendError, Sender, TryIter, TryRecvError,
+    };
+}
+
+/// Unbounded MPSC channels (model-checked).
+#[cfg(loom)]
+pub mod chan {
+    pub use crate::model::chan::{
+        unbounded, IntoIter, Iter, Receiver, RecvError, SendError, Sender, TryIter, TryRecvError,
+    };
+}
+
+/// Thread spawn/join, sleep and yield.
+#[cfg(not(loom))]
+pub mod thread {
+    pub use std::thread::{sleep, spawn, yield_now, JoinHandle};
+}
+
+/// Thread spawn/join, sleep and yield (model-checked).
+#[cfg(loom)]
+pub mod thread {
+    pub use crate::model::thread::{sleep, spawn, yield_now, JoinHandle};
+}
+
+/// Monotonic clock reads.
+#[cfg(not(loom))]
+pub mod time {
+    pub use std::time::{Duration, Instant};
+}
+
+/// Monotonic clock reads (virtual under the model).
+#[cfg(loom)]
+pub mod time {
+    pub use crate::model::time::Instant;
+    pub use std::time::Duration;
+}
+
+/// Sequentially consistent atomics.
+#[cfg(not(loom))]
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+/// Sequentially consistent atomics (model-checked).
+#[cfg(loom)]
+pub mod atomic {
+    pub use crate::model::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}

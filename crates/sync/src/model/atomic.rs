@@ -1,0 +1,74 @@
+//! Model-instrumented atomics: every operation is a schedule point, so
+//! the explorer interleaves around them. Orderings are accepted but
+//! the model is sequentially consistent (one thread runs at a time).
+
+pub use std::sync::atomic::Ordering;
+
+use super::sched::current;
+
+macro_rules! model_atomic {
+    ($name:ident, $inner:ty, $prim:ty) => {
+        /// Model-checked atomic; see the module docs.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $inner,
+        }
+
+        impl $name {
+            /// Creates the atomic with an initial value.
+            pub fn new(v: $prim) -> Self {
+                Self { inner: <$inner>::new(v) }
+            }
+
+            /// Loads the value (schedule point).
+            pub fn load(&self, order: Ordering) -> $prim {
+                let (exec, me) = current();
+                exec.switch_point(me, None);
+                self.inner.load(order)
+            }
+
+            /// Stores a value (schedule point).
+            pub fn store(&self, v: $prim, order: Ordering) {
+                let (exec, me) = current();
+                exec.switch_point(me, None);
+                self.inner.store(v, order);
+            }
+
+            /// Consumes the atomic, returning the value.
+            pub fn into_inner(self) -> $prim {
+                self.inner.into_inner()
+            }
+        }
+    };
+}
+
+model_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+impl AtomicU64 {
+    /// Atomic add returning the previous value (schedule point).
+    pub fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+        let (exec, me) = current();
+        exec.switch_point(me, None);
+        self.inner.fetch_add(v, order)
+    }
+}
+
+impl AtomicUsize {
+    /// Atomic add returning the previous value (schedule point).
+    pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+        let (exec, me) = current();
+        exec.switch_point(me, None);
+        self.inner.fetch_add(v, order)
+    }
+}
+
+impl AtomicBool {
+    /// Atomic swap returning the previous value (schedule point).
+    pub fn swap(&self, v: bool, order: Ordering) -> bool {
+        let (exec, me) = current();
+        exec.switch_point(me, None);
+        self.inner.swap(v, order)
+    }
+}

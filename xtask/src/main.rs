@@ -1,0 +1,439 @@
+//! `cargo xtask lint` — the repository's custom static-analysis pass.
+//!
+//! Four rules, all of them invariants the compiler cannot express:
+//!
+//! 1. **Shim discipline** (`shim`): no `std::sync::*`, `std::thread`,
+//!    `crossbeam_channel` or `parking_lot` references in
+//!    `crates/runtime/src` — every concurrency primitive must come
+//!    through `rcm_sync`, so the whole runtime stays model-checkable
+//!    under `--cfg loom`.
+//! 2. **Hot-path panic freedom** (`hot-path`): no `.unwrap()` /
+//!    `.expect(` in the evaluator, registry, history or `ad/*` modules
+//!    of `rcm-core` outside their `#[cfg(test)]` tails — a poisoned
+//!    alert must surface as a value, not a CE crash. The runtime crate
+//!    additionally bans `.unwrap()` everywhere (use `.expect` with a
+//!    message).
+//! 3. **Unsafe allowlist** (`unsafe`): the `unsafe` keyword may appear
+//!    only in the audited files listed in [`UNSAFE_ALLOWLIST`]; new
+//!    unsafe code requires updating the allowlist in the same PR, which
+//!    makes it reviewable.
+//! 4. **Lock-order annotations** (`lock-order`): every runtime source
+//!    file that takes a `Mutex` must carry a `LOCK ORDER:` comment
+//!    stating its ordering discipline, so deadlock reasoning is local.
+//!
+//! Comments and string literals are stripped before matching, so prose
+//! and panic messages never trip a rule. The scanner is deliberately
+//! line-oriented and dependency-free: it must run in seconds on CI and
+//! build with nothing but std.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Files allowed to contain the `unsafe` keyword, with the reason.
+/// Adding a file here is a reviewable act: do it in the PR that adds
+/// the unsafe code, alongside its `// SAFETY:` comments.
+const UNSAFE_ALLOWLIST: &[(&str, &str)] = &[(
+    "crates/core/src/inline.rs",
+    "MaybeUninit small-vector storage; SAFETY-audited, Miri-covered",
+)];
+
+/// rcm-core modules on the alert hot path (panic-free zone).
+const HOT_PATH: &[&str] =
+    &["crates/core/src/evaluator.rs", "crates/core/src/registry.rs", "crates/core/src/history.rs"];
+
+const RUNTIME_SRC: &str = "crates/runtime/src";
+
+#[derive(Debug)]
+struct Violation {
+    file: String,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") | None => lint(),
+        Some(other) => {
+            eprintln!("unknown xtask `{other}`; available: lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    // xtask lives at <repo>/xtask, so the repo root is one level up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits inside the repository")
+        .to_path_buf();
+    let violations = run_all_rules(&root);
+    if violations.is_empty() {
+        println!("xtask lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn run_all_rules(root: &Path) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for file in rust_files(&root.join("crates")) {
+        let rel = file
+            .strip_prefix(root)
+            .expect("walked file is under the root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let raw = match fs::read_to_string(&file) {
+            Ok(s) => s,
+            Err(e) => {
+                violations.push(Violation {
+                    file: rel,
+                    line: 0,
+                    rule: "io",
+                    message: format!("unreadable: {e}"),
+                });
+                continue;
+            }
+        };
+        let stripped = strip_comments_and_strings(&raw);
+        violations.extend(check_file(&rel, &raw, &stripped));
+    }
+    violations
+}
+
+/// Every rule, applied to one file. Code rules match against the
+/// comment/string-stripped text; the lock-order rule looks for its
+/// annotation in the raw text (the annotation *is* a comment).
+/// Separated from I/O so the negative tests below can feed synthetic
+/// sources straight in.
+fn check_file(rel: &str, raw: &str, stripped: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let in_runtime = rel.starts_with(RUNTIME_SRC);
+    let hot_path = HOT_PATH.contains(&rel) || rel.starts_with("crates/core/src/ad/");
+
+    if in_runtime {
+        for (idx, line) in stripped.lines().enumerate() {
+            for needle in ["std::sync::", "std::thread", "crossbeam_channel", "parking_lot"] {
+                if line.contains(needle) {
+                    out.push(Violation {
+                        file: rel.to_string(),
+                        line: idx + 1,
+                        rule: "shim",
+                        message: format!("`{needle}` bypasses rcm_sync; import the shim instead"),
+                    });
+                }
+            }
+            if line.contains(".unwrap()") {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    rule: "hot-path",
+                    message: "`.unwrap()` in the runtime; use `.expect(\"why\")`".to_string(),
+                });
+            }
+        }
+        if stripped.contains(".lock()") && !raw.contains("LOCK ORDER:") {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: 1,
+                rule: "lock-order",
+                message: "file takes a Mutex but has no `LOCK ORDER:` comment".to_string(),
+            });
+        }
+    }
+
+    if hot_path {
+        // Repo convention: the `#[cfg(test)] mod tests` block is the
+        // file's tail, so everything after the first `#[cfg(test)]` is
+        // test code and exempt.
+        for (idx, line) in stripped.lines().enumerate() {
+            if line.contains("#[cfg(test)]") {
+                break;
+            }
+            for needle in [".unwrap()", ".expect("] {
+                if line.contains(needle) {
+                    out.push(Violation {
+                        file: rel.to_string(),
+                        line: idx + 1,
+                        rule: "hot-path",
+                        message: format!(
+                            "`{needle}` on the alert hot path; return the error or assert the \
+                             invariant explicitly"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    if !UNSAFE_ALLOWLIST.iter().any(|&(allowed, _)| allowed == rel) {
+        for (idx, line) in stripped.lines().enumerate() {
+            if contains_word(line, "unsafe") {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    rule: "unsafe",
+                    message: "`unsafe` outside the audited allowlist (see xtask/src/main.rs)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    out
+}
+
+/// Whether `word` occurs in `line` with non-identifier characters (or
+/// the line boundary) on both sides — so `unsafe_code` in a lint
+/// attribute does not count as the keyword `unsafe`.
+fn contains_word(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let is_ident = |b: u8| b == b'_' || b.is_ascii_alphanumeric();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let begin = start + pos;
+        let end = begin + word.len();
+        let ok_before = begin == 0 || !is_ident(bytes[begin - 1]);
+        let ok_after = end == bytes.len() || !is_ident(bytes[end]);
+        if ok_before && ok_after {
+            return true;
+        }
+        start = begin + 1;
+    }
+    false
+}
+
+/// Recursively collects `.rs` files, sorted for stable output.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return out,
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            // `target/` never lives inside crates/, but guard anyway.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            out.extend(rust_files(&path));
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out
+}
+
+/// Replaces comments and string/char-literal contents with spaces,
+/// preserving newlines so violation line numbers stay true.
+fn strip_comments_and_strings(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1;
+                out.extend_from_slice(b"  ");
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                // String literal (raw strings are handled by the same
+                // escape-free walk when prefixed r/r#: the `#` and `r`
+                // pass through harmlessly as normal chars).
+                let raw = i > 0 && (bytes[i - 1] == b'r' || bytes[i - 1] == b'#');
+                out.push(b'"');
+                i += 1;
+                while i < bytes.len() {
+                    if !raw && bytes[i] == b'\\' {
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if bytes[i] == b'"' {
+                        out.push(b'"');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a literal closes within a
+                // few bytes; a lifetime has no closing quote.
+                let close = if bytes.get(i + 1) == Some(&b'\\') {
+                    bytes.get(i + 2).and_then(|_| {
+                        (i + 3..(i + 6).min(bytes.len())).find(|&j| bytes[j] == b'\'')
+                    })
+                } else {
+                    // `'x'` only — `'ab` is a lifetime.
+                    (bytes.get(i + 2) == Some(&b'\'')).then_some(i + 2)
+                };
+                if let Some(end) = close {
+                    out.push(b'\'');
+                    out.resize(out.len() + (end - i - 1), b' ');
+                    out.push(b'\'');
+                    i = end + 1;
+                } else {
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).expect("stripping preserves UTF-8 (non-ASCII only inside spans)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(rel: &str, src: &str) -> Vec<Violation> {
+        check_file(rel, src, &strip_comments_and_strings(src))
+    }
+
+    // ---- negative tests: each rule demonstrably fires --------------
+
+    #[test]
+    fn shim_rule_catches_direct_std_sync() {
+        let bad = "use std::sync::Mutex;\nfn f() { std::thread::spawn(|| {}); }\n";
+        let got = check("crates/runtime/src/evil.rs", bad);
+        assert_eq!(got.iter().filter(|v| v.rule == "shim").count(), 2, "{got:?}");
+    }
+
+    #[test]
+    fn shim_rule_catches_bypassing_the_shim_crates() {
+        let bad = "use crossbeam_channel::unbounded;\nuse parking_lot::Mutex;\n";
+        let got = check("crates/runtime/src/evil.rs", bad);
+        assert_eq!(got.iter().filter(|v| v.rule == "shim").count(), 2);
+    }
+
+    #[test]
+    fn runtime_unwrap_is_flagged_even_in_tests() {
+        let bad = "fn f() { Some(1).unwrap(); }\n";
+        let got = check("crates/runtime/src/evil.rs", bad);
+        assert!(got.iter().any(|v| v.rule == "hot-path"), "{got:?}");
+    }
+
+    #[test]
+    fn hot_path_rule_catches_unwrap_and_expect() {
+        let bad = "fn f() { x.unwrap(); }\nfn g() { y.expect(\"oops\"); }\n";
+        for file in ["crates/core/src/registry.rs", "crates/core/src/ad/ad1.rs"] {
+            let got = check(file, bad);
+            assert_eq!(got.iter().filter(|v| v.rule == "hot-path").count(), 2, "{file}");
+        }
+    }
+
+    #[test]
+    fn hot_path_rule_exempts_the_test_tail() {
+        let ok = "fn f() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
+        assert!(check("crates/core/src/registry.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn unsafe_rule_catches_new_unsafe() {
+        let bad = "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
+        let got = check("crates/core/src/history.rs", bad);
+        assert!(got.iter().any(|v| v.rule == "unsafe"), "{got:?}");
+    }
+
+    #[test]
+    fn unsafe_rule_honors_the_allowlist() {
+        let audited = "fn f() { unsafe { ptr.read() } }\n";
+        let got = check("crates/core/src/inline.rs", audited);
+        assert!(!got.iter().any(|v| v.rule == "unsafe"));
+    }
+
+    #[test]
+    fn lock_order_rule_requires_the_annotation() {
+        let bad = "fn f(m: &Mutex<u32>) { *m.lock() += 1; }\n";
+        let got = check("crates/runtime/src/evil.rs", bad);
+        assert!(got.iter().any(|v| v.rule == "lock-order"));
+        let ok =
+            "// LOCK ORDER: single lock, never nested.\nfn f(m: &Mutex<u32>) { *m.lock() += 1; }\n";
+        assert!(check("crates/runtime/src/evil.rs", ok).is_empty());
+    }
+
+    // ---- false-positive guards -------------------------------------
+
+    #[test]
+    fn comments_and_strings_never_trip_rules() {
+        let ok = concat!(
+            "//! use std::sync::Arc; parking_lot too\n",
+            "// std::thread::spawn in prose\n",
+            "fn f() { let _ = \"std::sync::Mutex .unwrap() unsafe\"; }\n",
+            "/* unsafe { } crossbeam_channel */\n",
+        );
+        assert!(check("crates/runtime/src/fine.rs", ok).is_empty(), "prose is not code");
+    }
+
+    #[test]
+    fn unsafe_code_attribute_is_not_the_keyword() {
+        let ok = "#![deny(unsafe_code)]\n#![allow(unsafe_code)]\n";
+        assert!(check("crates/core/src/lib.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn lifetimes_survive_stripping() {
+        let s = strip_comments_and_strings("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(s.contains("'a"), "{s}");
+        let c = strip_comments_and_strings("let q = 'q'; let nl = '\\n';");
+        assert!(!c.contains('q') || c.starts_with("let q"), "{c}");
+    }
+
+    #[test]
+    fn rules_scope_to_their_crates() {
+        // std::sync is fine outside the runtime crate.
+        let ok = "use std::sync::Arc;\nfn f() { x.unwrap(); }\n";
+        assert!(check("crates/sim/src/lib.rs", ok).is_empty());
+    }
+
+    // ---- whole-tree run: the lint must pass on this repository -----
+
+    #[test]
+    fn the_tree_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().expect("repo root").to_path_buf();
+        let violations = run_all_rules(&root);
+        assert!(violations.is_empty(), "{violations:#?}");
+    }
+}
