@@ -29,10 +29,41 @@ use rcm_core::ad::AlertFilter;
 use rcm_core::condition::Condition;
 use rcm_core::{Alert, CeId, CondId, ConditionRegistry, Update, VarId};
 
-use crate::backlink::BackLink;
 use crate::faults::{FaultReport, IngestGate, RetainedWindow};
-use crate::link::FrontLink;
 use crate::wire::{roundtrip, Message};
+
+/// One DM → CE path, as the DM body sees it: the in-process
+/// [`FrontLink`](crate::link::FrontLink) (a lossy channel) and the
+/// socket transport's UDP link implement this, so the same actor body
+/// drives either.
+pub(crate) trait UpdateSender: Send {
+    /// Transmits one update; returns whether the link accepted it
+    /// (loss and hangups both report `false`).
+    fn send_update(&mut self, update: Update) -> bool;
+
+    /// Signals end-of-stream. Channels signal it by dropping, so the
+    /// default does nothing; socket links send explicit Fin markers.
+    fn finish(&mut self) {}
+}
+
+/// One CE → AD path, as the CE body sees it: the in-process
+/// [`BackLink`](crate::backlink::BackLink) and the socket transport's
+/// TCP link implement this.
+pub(crate) trait AlertSink: Send {
+    /// Sends one alert (queued while the link is down — the link owns
+    /// the lossless contract).
+    fn send_alert(&mut self, alert: Alert);
+
+    /// Blocks until the link is up and everything queued is out —
+    /// called once at end-of-stream.
+    fn flush(&mut self);
+
+    /// Closes without flushing: the path for a replica abandoned past
+    /// its restart budget, whose queued alerts are sanctioned loss.
+    /// Channels need nothing (dropping the sender suffices); socket
+    /// links still owe their listener an end-of-stream marker.
+    fn abandon(&mut self) {}
+}
 
 /// Where a Data Monitor's readings come from.
 pub(crate) enum FeedSource {
@@ -61,10 +92,10 @@ pub(crate) fn dm_body(
     var: VarId,
     source: FeedSource,
     period: Duration,
-    mut links: Vec<FrontLink>,
+    mut links: Vec<Box<dyn UpdateSender>>,
     window: Option<RetainedWindow>,
 ) {
-    let emit = |i: usize, value: f64, links: &mut Vec<FrontLink>| {
+    let emit = |i: usize, value: f64, links: &mut Vec<Box<dyn UpdateSender>>| {
         let update = Update::new(var, i as u64 + 1, value);
         // Retention happens BEFORE the multicast: any update a CE could
         // have pulled off a channel is then guaranteed to be in the
@@ -76,7 +107,7 @@ pub(crate) fn dm_body(
             window.push(update);
         }
         for link in links.iter_mut() {
-            link.send(update);
+            link.send_update(update);
         }
         if !period.is_zero() {
             rcm_sync::thread::sleep(period);
@@ -94,7 +125,11 @@ pub(crate) fn dm_body(
             }
         }
     }
-    // Links (and their senders) drop here, signalling end-of-stream.
+    // Explicit end-of-stream for socket links; in-process links signal
+    // it by dropping below.
+    for link in links.iter_mut() {
+        link.finish();
+    }
 }
 
 /// Per-replica fault configuration handed to the supervised CE body.
@@ -142,7 +177,7 @@ pub(crate) fn ce_body(
     ce: CeId,
     conditions: Vec<Arc<dyn Condition>>,
     rx: Receiver<Update>,
-    mut back: BackLink<Alert>,
+    mut back: Box<dyn AlertSink>,
     ingested: Arc<Mutex<Vec<Update>>>,
     emitted: Arc<Mutex<Vec<Alert>>>,
     faults: Option<CeFaultConfig>,
@@ -170,7 +205,7 @@ pub(crate) fn ce_body(
                 if !gate.admit(&update) {
                     continue; // duplicate of a replayed update
                 }
-                ingest(&mut registry, update, &mut alerts, &mut back, &ingested, &emitted);
+                ingest(&mut registry, update, &mut alerts, back.as_mut(), &ingested, &emitted);
             }
             CeExit::EndOfStream
         }));
@@ -193,9 +228,13 @@ pub(crate) fn ce_body(
             }
             if report.restarts[cfg.ce_index] >= cfg.max_restarts {
                 report.replicas_abandoned += 1;
+                drop(report);
                 // Budget exhausted: the replica stays dead. Its severed
                 // back-link queue dies with it — queued alerts on a dead
-                // replica are the one sanctioned alert loss.
+                // replica are the one sanctioned alert loss. Socket
+                // links still send their end-of-stream marker so the
+                // AD listener does not wait on a corpse.
+                back.abandon();
                 return;
             }
             report.restarts[cfg.ce_index] += 1;
@@ -222,7 +261,7 @@ pub(crate) fn ce_body(
             for update in window.snapshot() {
                 if gate.admit(&update) {
                     replayed += 1;
-                    ingest(&mut registry, update, &mut alerts, &mut back, &ingested, &emitted);
+                    ingest(&mut registry, update, &mut alerts, back.as_mut(), &ingested, &emitted);
                 }
             }
         }
@@ -244,7 +283,7 @@ fn ingest(
     registry: &mut ConditionRegistry,
     update: Update,
     alerts: &mut Vec<Alert>,
-    back: &mut BackLink<Alert>,
+    back: &mut dyn AlertSink,
     ingested: &Arc<Mutex<Vec<Update>>>,
     emitted: &Arc<Mutex<Vec<Alert>>>,
 ) {
@@ -259,7 +298,7 @@ fn ingest(
             unreachable!("alert survived the codec as a different variant")
         };
         emitted.lock().push(alert.clone());
-        back.send(alert);
+        back.send_alert(alert);
     }
 }
 

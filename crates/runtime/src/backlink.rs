@@ -241,6 +241,18 @@ impl<T: Clone + Send + 'static> BackLink<T> {
     }
 }
 
+impl crate::actors::AlertSink for BackLink<rcm_core::Alert> {
+    fn send_alert(&mut self, alert: rcm_core::Alert) {
+        self.send(alert);
+    }
+
+    fn flush(&mut self) {
+        BackLink::flush(self);
+    }
+    // Default `abandon`: dropping the channel sender is the hangup, and
+    // the queued alerts of an abandoned replica are sanctioned loss.
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

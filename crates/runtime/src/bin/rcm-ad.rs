@@ -1,0 +1,122 @@
+//! `rcm-ad` — a deployable Alert Displayer node: accepts TCP
+//! connections from every CE replica, filters the merged alert stream,
+//! and prints each displayed alert.
+//!
+//! ```text
+//! cargo run -p rcm-runtime --bin rcm-ad -- \
+//!     --bind 127.0.0.1:7200 --replicas 2 --filter ad1
+//! ```
+//!
+//! Reconnecting back links re-send their unacked tail, so the merged
+//! stream contains duplicates by design — the selected AD algorithm is
+//! what keeps the user's view clean. Variable-scoped filters (ad2–ad6)
+//! take the variable ids via repeated `--var` flags, matching the CE's
+//! first-mention order. The node exits once `--replicas` distinct Fin
+//! markers arrived (or after `--idle-ms` of silence).
+//!
+//! LOCK ORDER: no locks on the main thread beyond the listener's leaf
+//! stats mutex, read after the stream ends.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use rcm_core::ad::{Ad1, Ad2, Ad3, Ad4, Ad5, Ad6, AlertFilter, PassThrough};
+use rcm_core::VarId;
+use rcm_sync::time::Duration;
+use rcm_transport::TcpAlertListener;
+
+struct Options {
+    bind: SocketAddr,
+    replicas: usize,
+    filter: String,
+    vars: Vec<VarId>,
+    idle: Duration,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: rcm-ad --bind HOST:PORT [--replicas N] \
+         [--filter pass|ad1|ad2|ad3|ad4|ad5|ad6] [--var N ...] [--idle-ms N]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_args() -> Option<Options> {
+    let any: SocketAddr = "0.0.0.0:0".parse().ok()?;
+    let mut opts = Options {
+        bind: any,
+        replicas: 2,
+        filter: "ad1".into(),
+        vars: Vec::new(),
+        idle: Duration::from_secs(10),
+    };
+    let mut seen_bind = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bind" => {
+                opts.bind = args.next()?.parse().ok()?;
+                seen_bind = true;
+            }
+            "--replicas" => opts.replicas = args.next()?.parse().ok()?,
+            "--filter" => opts.filter = args.next()?,
+            "--var" => opts.vars.push(VarId::new(args.next()?.parse().ok()?)),
+            "--idle-ms" => opts.idle = Duration::from_millis(args.next()?.parse().ok()?),
+            _ => return None,
+        }
+    }
+    if !seen_bind {
+        return None;
+    }
+    if opts.vars.is_empty() {
+        opts.vars.push(VarId::new(0));
+    }
+    Some(opts)
+}
+
+fn build_filter(name: &str, vars: &[VarId]) -> Option<Box<dyn AlertFilter>> {
+    Some(match name {
+        "pass" => Box::new(PassThrough::new()),
+        "ad1" => Box::new(Ad1::new()),
+        "ad2" if vars.len() == 1 => Box::new(Ad2::new(vars[0])),
+        "ad3" if vars.len() == 1 => Box::new(Ad3::new(vars[0])),
+        "ad4" if vars.len() == 1 => Box::new(Ad4::new(vars[0])),
+        "ad5" => Box::new(Ad5::new(vars.to_vec())),
+        "ad6" => Box::new(Ad6::new(vars.to_vec())),
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let Some(opts) = parse_args() else { return usage() };
+
+    let Some(mut filter) = build_filter(&opts.filter, &opts.vars) else {
+        eprintln!("error: filter '{}' unavailable for this variable count", opts.filter);
+        return ExitCode::FAILURE;
+    };
+    let listener = match TcpAlertListener::bind(opts.bind) {
+        Ok(l) => l.expected_fins(opts.replicas).idle_timeout(opts.idle),
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", opts.bind);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut displayed: u64 = 0;
+    let stats = listener.run(|alert| {
+        if filter.offer(&alert).is_deliver() {
+            displayed += 1;
+            let heads: Vec<String> =
+                alert.fingerprint.iter().map(|(v, seqnos)| format!("{v}@{}", seqnos[0])).collect();
+            let value = alert.snapshot.first().map(|u| u.value);
+            println!("ALERT {} (reading {:?}) [from {}]", heads.join(", "), value, alert.id.ce);
+        }
+    });
+
+    eprintln!(
+        "done: {displayed} alert(s) displayed of {} arriving over {} connection(s); \
+         {} decode error(s)",
+        stats.alerts, stats.connections, stats.decode_errors
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,137 @@
+//! `rcm-ce` — a deployable Condition Evaluator node: receives updates
+//! over UDP, evaluates its condition set, and forwards alerts over a
+//! reconnecting TCP back link to the AD.
+//!
+//! ```text
+//! cargo run -p rcm-runtime --bin rcm-ce -- \
+//!     --bind 127.0.0.1:7101 --ad 127.0.0.1:7200 --node 0 \
+//!     --condition 'temp[0].value > 3000'
+//! ```
+//!
+//! Variables get ids in first-mention order across the `--condition`
+//! expressions, so every DM's `--var` index must match that order. The
+//! UDP ingress enforces the front-link contract (reordered and
+//! duplicated datagrams are dropped); the TCP back link queues and
+//! resends across connection drops, so no alert handed to it is lost.
+//! The node exits once `--dms` distinct Fin markers arrived (or after
+//! `--idle-ms` of silence as a backstop against lost Fins).
+//!
+//! LOCK ORDER: the only locks are the transport links' leaf stats
+//! mutexes, read one at a time after the stream ends.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use rcm_core::condition::expr::CompiledCondition;
+use rcm_core::{CeId, CondId, ConditionRegistry, VarRegistry};
+use rcm_net::Backoff;
+use rcm_sync::time::Duration;
+use rcm_sync::Arc;
+use rcm_transport::{TcpBackLink, UdpFrontReceiver};
+
+struct Options {
+    bind: SocketAddr,
+    ad: SocketAddr,
+    conditions: Vec<String>,
+    node: u32,
+    dms: usize,
+    idle: Duration,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: rcm-ce --bind HOST:PORT --ad HOST:PORT --condition '<expr>' \
+         [--condition '<expr>' ...] [--node N] [--dms N] [--idle-ms N]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_args() -> Option<Options> {
+    let any: SocketAddr = "0.0.0.0:0".parse().ok()?;
+    let mut opts = Options {
+        bind: any,
+        ad: any,
+        conditions: Vec::new(),
+        node: 0,
+        dms: 1,
+        idle: Duration::from_secs(5),
+    };
+    let mut seen_bind = false;
+    let mut seen_ad = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bind" => {
+                opts.bind = args.next()?.parse().ok()?;
+                seen_bind = true;
+            }
+            "--ad" => {
+                opts.ad = args.next()?.parse().ok()?;
+                seen_ad = true;
+            }
+            "--condition" => opts.conditions.push(args.next()?),
+            "--node" => opts.node = args.next()?.parse().ok()?,
+            "--dms" => opts.dms = args.next()?.parse().ok()?,
+            "--idle-ms" => opts.idle = Duration::from_millis(args.next()?.parse().ok()?),
+            _ => return None,
+        }
+    }
+    if !seen_bind || !seen_ad || opts.conditions.is_empty() {
+        return None;
+    }
+    Some(opts)
+}
+
+fn main() -> ExitCode {
+    let Some(opts) = parse_args() else { return usage() };
+
+    let mut vars = VarRegistry::new();
+    let mut registry = ConditionRegistry::new(CeId::new(opts.node));
+    for (i, expr) in opts.conditions.iter().enumerate() {
+        match CompiledCondition::compile(expr, &mut vars) {
+            Ok(c) => registry.insert(CondId::new(i as u32), Arc::new(c)),
+            Err(e) => {
+                eprintln!("error: bad condition '{expr}': {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let receiver = match UdpFrontReceiver::bind(opts.bind) {
+        Ok(r) => r.expected_fins(opts.dms).idle_timeout(opts.idle),
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", opts.bind);
+            return ExitCode::FAILURE;
+        }
+    };
+    let backoff =
+        Backoff::new(Duration::from_millis(1), Duration::from_millis(100), opts.node as u64);
+    let mut back = match TcpBackLink::connect(opts.ad, opts.node, backoff) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot reach AD at {}: {e}", opts.ad);
+            return ExitCode::FAILURE;
+        }
+    };
+    let back_stats = back.stats_handle();
+
+    // Single-threaded pipeline: ingress → registry → back link. The
+    // receiver's gate already dropped reorders/duplicates, so every
+    // delivered update goes straight into evaluation.
+    let mut alerts = Vec::new();
+    let ingress = receiver.run(|update| {
+        alerts.clear();
+        registry.ingest(update, &mut alerts);
+        for alert in alerts.drain(..) {
+            back.send_alert(alert);
+        }
+    });
+    back.finish();
+
+    let sent = back_stats.lock().sent;
+    eprintln!(
+        "done: {} update(s) evaluated ({} stale dropped, {} decode error(s)); {} alert(s) sent",
+        ingress.delivered, ingress.dropped_stale, ingress.decode_errors, sent
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,116 @@
+//! `rcm-dm` — a deployable Data Monitor node: reads one variable's
+//! readings from stdin and multicasts them as sequence-numbered updates
+//! over UDP to every CE replica.
+//!
+//! ```text
+//! printf '2900\n3100\n3200\n' | \
+//!     cargo run -p rcm-runtime --bin rcm-dm -- \
+//!         --ce 127.0.0.1:7101 --ce 127.0.0.1:7102 --var 0 --period-us 500
+//! ```
+//!
+//! One reading per line; readings get consecutive sequence numbers in
+//! input order. The front link is UDP — lossy by design — so the node
+//! ends the stream with repeated Fin markers (`--fin-repeats`) rather
+//! than relying on any single datagram arriving.
+//!
+//! LOCK ORDER: the only locks are stdin's reader lock (held for the
+//! read loop on the main thread) and the links' leaf stats mutexes,
+//! read one at a time after the stream ends.
+
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use rcm_core::{Update, VarId};
+use rcm_sync::time::Duration;
+use rcm_transport::UdpFrontLink;
+
+struct Options {
+    ce: Vec<SocketAddr>,
+    var: u32,
+    node: u32,
+    period: Duration,
+    fin_repeats: usize,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: rcm-dm --ce HOST:PORT [--ce HOST:PORT ...] [--var N] [--node N] \
+         [--period-us N] [--fin-repeats N]\n\
+         readings on stdin: one '<value>' per line"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_args() -> Option<Options> {
+    let mut opts = Options {
+        ce: Vec::new(),
+        var: 0,
+        node: 0,
+        period: Duration::from_micros(500),
+        fin_repeats: 16,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ce" => opts.ce.push(args.next()?.parse().ok()?),
+            "--var" => opts.var = args.next()?.parse().ok()?,
+            "--node" => opts.node = args.next()?.parse().ok()?,
+            "--period-us" => opts.period = Duration::from_micros(args.next()?.parse().ok()?),
+            "--fin-repeats" => opts.fin_repeats = args.next()?.parse().ok()?,
+            _ => return None,
+        }
+    }
+    if opts.ce.is_empty() {
+        return None;
+    }
+    Some(opts)
+}
+
+fn main() -> ExitCode {
+    let Some(opts) = parse_args() else { return usage() };
+
+    let mut links = Vec::with_capacity(opts.ce.len());
+    for addr in &opts.ce {
+        match UdpFrontLink::connect(*addr, opts.node) {
+            Ok(link) => links.push(link),
+            Err(e) => {
+                eprintln!("error: cannot open front link to {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let var = VarId::new(opts.var);
+    let mut seqno: u64 = 0;
+    for (lineno, line) in std::io::stdin().lock().lines().enumerate() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Ok(value) = line.parse::<f64>() else {
+            eprintln!("error: line {}: bad value '{line}'", lineno + 1);
+            return ExitCode::FAILURE;
+        };
+        seqno += 1;
+        let update = Update::new(var, seqno, value);
+        for link in &mut links {
+            link.send_update(update);
+        }
+        if !opts.period.is_zero() {
+            rcm_sync::thread::sleep(opts.period);
+        }
+    }
+    for link in &mut links {
+        link.finish(opts.fin_repeats);
+    }
+
+    let sent: u64 = links.iter().map(|l| l.stats_handle().lock().frames_sent).sum();
+    let dropped: u64 = links.iter().map(|l| l.stats_handle().lock().frames_dropped).sum();
+    eprintln!(
+        "done: {seqno} reading(s) as {sent} frame(s) over {} link(s); {dropped} send error(s)",
+        links.len()
+    );
+    ExitCode::SUCCESS
+}

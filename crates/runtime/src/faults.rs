@@ -27,12 +27,12 @@
 //! LOCK ORDER: the only mutex is the [`RetainedWindow`] deque, a leaf —
 //! push and snapshot each take it alone and release before returning.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::time::Duration;
 
 use rcm_sync::{Arc, Mutex};
 
-use rcm_core::{Update, VarId};
+use rcm_core::Update;
 
 /// splitmix64, for deriving scripted faults from a seed.
 fn mix(mut z: u64) -> u64 {
@@ -236,34 +236,12 @@ impl FaultPlan {
 /// on both the live path and the replay path, making ingestion
 /// exactly-once per `(variable, seqno)` no matter how live arrivals and
 /// window replays interleave.
-#[derive(Debug, Clone, Default)]
-pub struct IngestGate {
-    cursor: HashMap<VarId, u64>,
-}
-
-impl IngestGate {
-    /// A gate that admits any first seqno per variable.
-    pub fn new() -> Self {
-        IngestGate::default()
-    }
-
-    /// Admits `update` iff its seqno advances the variable's cursor;
-    /// admission advances the cursor.
-    pub fn admit(&mut self, update: &Update) -> bool {
-        let cursor = self.cursor.entry(update.var).or_insert(0);
-        if update.seqno.get() > *cursor {
-            *cursor = update.seqno.get();
-            true
-        } else {
-            false
-        }
-    }
-
-    /// The highest admitted seqno for `var`, if any.
-    pub fn cursor(&self, var: VarId) -> Option<u64> {
-        self.cursor.get(&var).copied()
-    }
-}
+///
+/// The same cursor is what the socket transport's UDP receiver uses to
+/// enforce the front-link contract (drop reorders and duplicates), so
+/// the implementation lives there and the runtime re-exports it under
+/// its historical name.
+pub use rcm_transport::SeqGate as IngestGate;
 
 /// A DM's bounded retention buffer: the last `cap` updates it emitted,
 /// shared with recovering CE replicas for history replay.

@@ -30,6 +30,13 @@
 //! when every DM feeding a CE is gone the CE drains and exits; when
 //! every CE is gone the AD finishes filtering and the system joins.
 //!
+//! The same pipeline also runs over **real sockets**: bind a
+//! [`Topology`] (UDP per front link, TCP per back link — see
+//! `rcm_transport`) and hand it to [`SystemBuilder::transport`], or
+//! deploy the `rcm-dm` / `rcm-ce` / `rcm-ad` binaries as separate
+//! processes. Either way the actor bodies, codec and fault machinery
+//! are identical; only the link layer changes.
+//!
 //! ```rust
 //! use rcm_runtime::{MonitorSystem, VarFeed};
 //! use rcm_core::condition::{Threshold, Cmp};
@@ -56,6 +63,7 @@ mod actors;
 mod backlink;
 mod faults;
 mod link;
+mod socket;
 mod system;
 pub mod wire;
 
@@ -64,4 +72,5 @@ pub use faults::{
     FaultPlan, FaultReport, IngestGate, KillCe, RetainedWindow, SeverBackLink, StallFrontLink,
 };
 pub use link::{FrontLink, LinkReport};
+pub use rcm_transport::{BoundTopology, Topology, TransportMode, TransportReport};
 pub use system::{ConfigError, MonitorSystem, RunReport, SystemBuilder, VarFeed};

@@ -104,6 +104,13 @@ impl FrontLink {
     }
 }
 
+impl crate::actors::UpdateSender for FrontLink {
+    fn send_update(&mut self, update: Update) -> bool {
+        self.send(update)
+    }
+    // Default `finish`: dropping the channel sender is the hangup.
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,11 +16,16 @@ use rcm_core::ad::{Ad1, AlertFilter};
 use rcm_core::condition::Condition;
 use rcm_core::{Alert, CeId, Update, VarId};
 use rcm_net::{Backoff, LossModel, Lossless};
+use rcm_transport::{
+    BoundTopology, FrontLinkStats, IngressStats, ListenerStats, TcpAlertListener, TcpBackLink,
+    TcpLinkStats, TransportMode, TransportReport, UdpFrontLink, UdpFrontReceiver,
+};
 
-use crate::actors::{ad_body, ce_body, dm_body, CeFaultConfig};
+use crate::actors::{ad_body, ce_body, dm_body, AlertSink, CeFaultConfig, UpdateSender};
 use crate::backlink::{BackLink, BackLinkStats};
 use crate::faults::{FaultPlan, FaultReport, RetainedWindow};
 use crate::link::{FrontLink, LinkReport};
+use crate::socket::UdpSender;
 
 /// One variable's data feed: where its Data Monitor's readings come
 /// from — a pre-recorded list or a live channel.
@@ -105,6 +110,7 @@ pub struct SystemBuilder {
     seed: u64,
     on_alert: Option<AlertCallback>,
     faults: Option<FaultPlan>,
+    transport: Option<BoundTopology>,
 }
 
 impl fmt::Debug for SystemBuilder {
@@ -131,6 +137,16 @@ pub enum ConfigError {
     MissingFeed(VarId),
     /// A feed was supplied for a variable outside the conditions' set.
     UnknownFeedVariable(VarId),
+    /// A bound topology's replica count disagrees with
+    /// [`SystemBuilder::replicas`].
+    TopologyMismatch {
+        /// Replicas the builder was configured for.
+        expected: usize,
+        /// Replicas the topology binds.
+        got: usize,
+    },
+    /// A socket-mode link failed to set up (bind, connect, configure).
+    Transport(String),
 }
 
 impl fmt::Display for ConfigError {
@@ -144,6 +160,10 @@ impl fmt::Display for ConfigError {
             ConfigError::UnknownFeedVariable(v) => {
                 write!(f, "feed variable {v} is not in any condition's variable set")
             }
+            ConfigError::TopologyMismatch { expected, got } => {
+                write!(f, "topology binds {got} CE replicas but the builder wants {expected}")
+            }
+            ConfigError::Transport(e) => write!(f, "socket transport setup failed: {e}"),
         }
     }
 }
@@ -223,13 +243,30 @@ impl SystemBuilder {
         self
     }
 
+    /// Runs the pipeline over real sockets instead of channels: DMs
+    /// send updates over UDP to the topology's CE addresses, CEs send
+    /// alerts over TCP to its AD listener. The topology's replica count
+    /// must match [`SystemBuilder::replicas`].
+    ///
+    /// Loss models ([`SystemBuilder::loss`]) and front-link stalls are
+    /// in-process constructs and are ignored in socket mode — impair a
+    /// socket run by routing front links through a
+    /// [`LossProxy`](rcm_transport::LossProxy) instead
+    /// ([`BoundTopology::route_front_links`]). Back-link severances and
+    /// CE kills from the [`FaultPlan`] apply in both modes.
+    #[must_use]
+    pub fn transport(mut self, topology: BoundTopology) -> Self {
+        self.transport = Some(topology);
+        self
+    }
+
     /// Spawns all actor threads and starts the pipeline.
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] when the configuration is unusable
     /// (zero replicas, feeds not matching the condition's variables).
-    pub fn start(self) -> Result<MonitorSystem, ConfigError> {
+    pub fn start(mut self) -> Result<MonitorSystem, ConfigError> {
         if self.replicas == 0 {
             return Err(ConfigError::ZeroReplicas);
         }
@@ -251,6 +288,9 @@ impl SystemBuilder {
             if !self.feeds.iter().any(|f| f.var == v) {
                 return Err(ConfigError::MissingFeed(v));
             }
+        }
+        if let Some(topology) = self.transport.take() {
+            return self.start_sockets(topology, &vars);
         }
 
         let mut loss =
@@ -317,7 +357,15 @@ impl SystemBuilder {
                 ce_index: ce,
             });
             handles.push(rcm_sync::thread::spawn(move || {
-                ce_body(CeId::new(ce as u32), conditions, rx, back, record, outputs, faults);
+                ce_body(
+                    CeId::new(ce as u32),
+                    conditions,
+                    rx,
+                    Box::new(back) as Box<dyn AlertSink>,
+                    record,
+                    outputs,
+                    faults,
+                );
             }));
         }
         drop(alert_tx); // AD exits when the last CE back link drops.
@@ -336,7 +384,7 @@ impl SystemBuilder {
         // DM threads, one per feed, each with a link per replica.
         let mut link_reports = Vec::new();
         for (fi, feed) in self.feeds.into_iter().enumerate() {
-            let mut links = Vec::with_capacity(self.replicas);
+            let mut links: Vec<Box<dyn UpdateSender>> = Vec::with_capacity(self.replicas);
             for (ci, tx) in ce_senders.iter().enumerate() {
                 let link_seed = self.seed.wrapping_add((fi as u64) << 32).wrapping_add(ci as u64);
                 let mut link =
@@ -351,7 +399,7 @@ impl SystemBuilder {
                     );
                 }
                 link_reports.push(((feed.var, CeId::new(ci as u32)), link.report_handle()));
-                links.push(link);
+                links.push(Box::new(link));
             }
             let (var, source, period) = (feed.var, feed.source, feed.period);
             let window = windows.get(fi).cloned();
@@ -370,6 +418,184 @@ impl SystemBuilder {
             link_reports,
             fault_report,
             backlink_stats,
+            mode: TransportMode::InProcess,
+            replicas: self.replicas,
+            front_vars: Vec::new(),
+            front_stats: Vec::new(),
+            ingress_stats: Vec::new(),
+            tcp_stats: Vec::new(),
+            ad_stats: None,
+        })
+    }
+
+    /// Socket-mode assembly: the same actor bodies, with every channel
+    /// link swapped for a real socket from the bound topology. DMs own
+    /// one UDP socket per replica; each CE gets a UDP ingress thread
+    /// (enforcing the front-link contract through the shared seqno
+    /// gate) and a reconnecting TCP back link; the AD gets a TCP
+    /// listener thread fanning frames into the ordinary `ad_body`.
+    fn start_sockets(
+        self,
+        topology: BoundTopology,
+        vars: &[VarId],
+    ) -> Result<MonitorSystem, ConfigError> {
+        if topology.replicas() != self.replicas {
+            return Err(ConfigError::TopologyMismatch {
+                expected: self.replicas,
+                got: topology.replicas(),
+            });
+        }
+        let transport_err = |e: std::io::Error| ConfigError::Transport(e.to_string());
+        let filter_factory = self.filter.unwrap_or_else(|| {
+            Box::new(|_vars: &[VarId]| Box::new(Ad1::new()) as Box<dyn AlertFilter>)
+        });
+
+        let plan = self.faults;
+        let fault_report = Arc::new(Mutex::new(FaultReport::new(self.replicas)));
+        let windows: Vec<RetainedWindow> = match &plan {
+            Some(p) => self.feeds.iter().map(|_| RetainedWindow::new(p.retain_window)).collect(),
+            None => Vec::new(),
+        };
+        let parts = topology.into_parts();
+        let n_feeds = self.feeds.len();
+
+        let mut handles: Vec<JoinHandle<()>> = Vec::new();
+
+        // AD side: the TCP listener thread decodes alert frames from
+        // every CE connection and fans them into the same channel the
+        // in-process AD consumes. It hangs up (closing the channel)
+        // once every replica's end-of-stream marker arrived.
+        let (alert_tx, alert_rx) = unbounded::<Alert>();
+        let listener = TcpAlertListener::from_listener(parts.listener)
+            .map_err(transport_err)?
+            .expected_fins(self.replicas)
+            .idle_timeout(parts.idle_timeout * 2);
+        let ad_stats = listener.stats_handle();
+        handles.push(rcm_sync::thread::spawn(move || {
+            listener.run(|alert| {
+                let _ = alert_tx.send(alert);
+            });
+        }));
+
+        // CE side: per replica, a UDP ingress thread feeding the CE
+        // thread over a channel, and a TCP back link to the AD. The
+        // back link connects eagerly, so a dead AD address fails here
+        // rather than silently dropping alerts later.
+        let mut ingested: Vec<Arc<Mutex<Vec<Update>>>> = Vec::new();
+        let mut emitted: Vec<Arc<Mutex<Vec<Alert>>>> = Vec::new();
+        let mut ingress_stats: Vec<Arc<Mutex<IngressStats>>> = Vec::new();
+        let mut tcp_stats: Vec<Arc<Mutex<TcpLinkStats>>> = Vec::new();
+        for (ce, sock) in parts.ce_sockets.into_iter().enumerate() {
+            let receiver = UdpFrontReceiver::from_socket(sock)
+                .map_err(transport_err)?
+                .expected_fins(n_feeds)
+                .idle_timeout(parts.idle_timeout);
+            ingress_stats.push(receiver.stats_handle());
+            let (tx, rx) = unbounded::<Update>();
+            handles.push(rcm_sync::thread::spawn(move || {
+                receiver.run(|update| {
+                    let _ = tx.send(update);
+                });
+            }));
+
+            let (backoff_base, backoff_cap) = plan
+                .as_ref()
+                .map_or((Duration::from_micros(200), Duration::from_millis(20)), |p| {
+                    (p.backoff_base, p.backoff_cap)
+                });
+            let backoff_seed =
+                self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(ce as u64);
+            let mut back = TcpBackLink::connect(
+                parts.ad_addr,
+                ce as u32,
+                Backoff::new(backoff_base, backoff_cap, backoff_seed),
+            )
+            .map_err(transport_err)?;
+            if let Some(p) = &plan {
+                back = back
+                    .with_severs(
+                        p.severs
+                            .iter()
+                            .filter(|s| s.ce == ce)
+                            .map(|s| (s.at_send, s.down_for))
+                            .collect(),
+                    )
+                    .queue_cap(p.resend_queue_cap);
+            }
+            tcp_stats.push(back.stats_handle());
+
+            let record = Arc::new(Mutex::new(Vec::new()));
+            ingested.push(Arc::clone(&record));
+            let outputs = Arc::new(Mutex::new(Vec::new()));
+            emitted.push(Arc::clone(&outputs));
+            let conditions = self.conditions.clone();
+            let faults = plan.as_ref().map(|p| CeFaultConfig {
+                kill_at: p.kills.iter().filter(|k| k.ce == ce).map(|k| k.at_arrival).collect(),
+                max_restarts: p.max_restarts,
+                windows: windows.clone(),
+                report: Arc::clone(&fault_report),
+                ce_index: ce,
+            });
+            handles.push(rcm_sync::thread::spawn(move || {
+                ce_body(
+                    CeId::new(ce as u32),
+                    conditions,
+                    rx,
+                    Box::new(back) as Box<dyn AlertSink>,
+                    record,
+                    outputs,
+                    faults,
+                );
+            }));
+        }
+
+        // The AD filter thread, fed by the listener thread's channel.
+        let arrivals = Arc::new(Mutex::new(Vec::new()));
+        let displayed = Arc::new(Mutex::new(Vec::new()));
+        let filter = filter_factory(vars);
+        let ad_arrivals = Arc::clone(&arrivals);
+        let ad_displayed = Arc::clone(&displayed);
+        let on_alert = self.on_alert;
+        handles.push(rcm_sync::thread::spawn(move || {
+            ad_body(alert_rx, filter, ad_arrivals, ad_displayed, on_alert);
+        }));
+
+        // DM threads: one UDP socket per (feed, replica) front link,
+        // aimed at the topology's routed targets (the CE sockets, or an
+        // interposed loss proxy per replica).
+        let mut front_vars = Vec::with_capacity(n_feeds);
+        let mut front_stats: Vec<((usize, usize), Arc<Mutex<FrontLinkStats>>)> = Vec::new();
+        for (fi, feed) in self.feeds.into_iter().enumerate() {
+            front_vars.push(feed.var);
+            let mut links: Vec<Box<dyn UpdateSender>> = Vec::with_capacity(self.replicas);
+            for (ci, target) in parts.dm_targets.iter().enumerate() {
+                let link = UdpFrontLink::connect(*target, fi as u32).map_err(transport_err)?;
+                front_stats.push(((fi, ci), link.stats_handle()));
+                links.push(Box::new(UdpSender { link, fin_repeats: parts.fin_repeats }));
+            }
+            let (var, source, period) = (feed.var, feed.source, feed.period);
+            let window = windows.get(fi).cloned();
+            handles.push(rcm_sync::thread::spawn(move || {
+                dm_body(var, source, period, links, window);
+            }));
+        }
+
+        Ok(MonitorSystem {
+            handles,
+            arrivals,
+            displayed,
+            ingested,
+            emitted,
+            link_reports: Vec::new(),
+            fault_report,
+            backlink_stats: Vec::new(),
+            mode: TransportMode::Sockets,
+            replicas: self.replicas,
+            front_vars,
+            front_stats,
+            ingress_stats,
+            tcp_stats,
+            ad_stats: Some(ad_stats),
         })
     }
 }
@@ -384,6 +610,15 @@ pub struct MonitorSystem {
     link_reports: LinkReports,
     fault_report: Arc<Mutex<FaultReport>>,
     backlink_stats: Vec<Arc<Mutex<BackLinkStats>>>,
+    mode: TransportMode,
+    replicas: usize,
+    /// Feed index → variable (socket mode; for the `links` report).
+    front_vars: Vec<VarId>,
+    /// Socket-mode sender counters keyed `(feed, ce)`.
+    front_stats: Vec<((usize, usize), Arc<Mutex<FrontLinkStats>>)>,
+    ingress_stats: Vec<Arc<Mutex<IngressStats>>>,
+    tcp_stats: Vec<Arc<Mutex<TcpLinkStats>>>,
+    ad_stats: Option<Arc<Mutex<ListenerStats>>>,
 }
 
 impl fmt::Debug for MonitorSystem {
@@ -418,6 +653,7 @@ impl MonitorSystem {
             seed: 0,
             on_alert: None,
             faults: None,
+            transport: None,
         }
     }
 
@@ -439,7 +675,17 @@ impl MonitorSystem {
         }
         let faults = {
             let mut report = self.fault_report.lock().clone();
+            // Both link kinds fold into the same fault counters, so the
+            // fault ledger reads identically across transports.
             for stats in &self.backlink_stats {
+                let s = *stats.lock();
+                report.backlink_severs += s.severs;
+                report.backlink_reconnects += s.reconnects;
+                report.backlink_attempts += s.attempts;
+                report.backlink_duplicates += s.resent_duplicates;
+                report.alerts_lost_overflow += s.lost_overflow;
+            }
+            for stats in &self.tcp_stats {
                 let s = *stats.lock();
                 report.backlink_severs += s.severs;
                 report.backlink_reconnects += s.reconnects;
@@ -449,8 +695,75 @@ impl MonitorSystem {
             }
             report
         };
+        let transport = match self.mode {
+            TransportMode::InProcess => TransportReport {
+                mode: TransportMode::InProcess,
+                // Channel links were registered feed-major, replica-minor.
+                front_links: self
+                    .link_reports
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (_, stats))| {
+                        let r = *stats.lock();
+                        let front =
+                            FrontLinkStats { frames_sent: r.sent, frames_dropped: r.dropped };
+                        (i / self.replicas, i % self.replicas, front)
+                    })
+                    .collect(),
+                ingress: Vec::new(),
+                back_links: self
+                    .backlink_stats
+                    .iter()
+                    .map(|stats| {
+                        let s = *stats.lock();
+                        TcpLinkStats {
+                            sent: s.sent,
+                            severs: s.severs,
+                            reconnects: s.reconnects,
+                            attempts: s.attempts,
+                            resent_duplicates: s.resent_duplicates,
+                            queued_peak: s.queued_peak,
+                            lost_overflow: s.lost_overflow,
+                            io_errors: 0,
+                        }
+                    })
+                    .collect(),
+                ad: ListenerStats::default(),
+            },
+            TransportMode::Sockets => TransportReport {
+                mode: TransportMode::Sockets,
+                front_links: self
+                    .front_stats
+                    .iter()
+                    .map(|((fi, ci), stats)| (*fi, *ci, *stats.lock()))
+                    .collect(),
+                ingress: self.ingress_stats.iter().map(|s| *s.lock()).collect(),
+                back_links: self.tcp_stats.iter().map(|s| *s.lock()).collect(),
+                ad: self.ad_stats.as_ref().map(|s| *s.lock()).unwrap_or_default(),
+            },
+        };
+        // Socket mode has no channel-link reports; synthesize the
+        // legacy per-link view from the sender counters so downstream
+        // consumers see one shape.
+        let links: Vec<((VarId, CeId), LinkReport)> = match self.mode {
+            TransportMode::InProcess => {
+                self.link_reports.into_iter().map(|(key, m)| (key, *m.lock())).collect()
+            }
+            TransportMode::Sockets => self
+                .front_stats
+                .iter()
+                .map(|((fi, ci), stats)| {
+                    let s = *stats.lock();
+                    (
+                        (self.front_vars[*fi], CeId::new(*ci as u32)),
+                        LinkReport { sent: s.frames_sent, dropped: s.frames_dropped },
+                    )
+                })
+                .collect(),
+        };
         RunReport {
             faults,
+            transport,
             arrivals: Arc::try_unwrap(self.arrivals)
                 .map(Mutex::into_inner)
                 .unwrap_or_else(|arc| arc.lock().clone()),
@@ -475,7 +788,7 @@ impl MonitorSystem {
                         .unwrap_or_else(|arc| arc.lock().clone())
                 })
                 .collect(),
-            links: self.link_reports.into_iter().map(|(key, m)| (key, *m.lock())).collect(),
+            links,
         }
     }
 }
@@ -498,6 +811,9 @@ pub struct RunReport {
     /// What the fault layer observed (all zeros without a
     /// [`FaultPlan`]).
     pub faults: FaultReport,
+    /// Per-link transport counters, shaped identically whether the run
+    /// rode channels or real sockets.
+    pub transport: TransportReport,
 }
 
 #[cfg(test)]

@@ -1,360 +1,9 @@
-//! Length-prefixed wire codec for updates and alerts.
+//! The frame codec, re-exported from [`rcm_transport::wire`].
 //!
-//! Every message crossing a runtime link is serialized to JSON and
-//! framed with a 4-byte big-endian length prefix — the format a real
-//! deployment would put on a socket. The codec is symmetric and
-//! self-delimiting, so a stream of frames can be decoded incrementally
-//! from a byte buffer.
+//! The codec started life in this crate when the runtime was the only
+//! thing serializing messages; once real sockets arrived it moved to
+//! `rcm-transport` so the in-process links, the UDP/TCP links and the
+//! node binaries all share one frame format by construction. This
+//! module keeps the old `rcm_runtime::wire` paths working.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use rcm_core::{Alert, Update};
-use serde::{Deserialize, Serialize};
-
-/// A message on a monitoring link.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum Message {
-    /// A data update (front links).
-    Update(Update),
-    /// An alert (back links).
-    Alert(Alert),
-}
-
-/// How much of an alert's history set is put on the wire.
-///
-/// The paper's §2: "although conceptually we send all histories in an
-/// alert, in practice this is often not necessary. … some systems do
-/// not need this information at all. Others need only the update
-/// sequence numbers contained in the histories. Still others only use
-/// these sequence numbers in a simple equality test, in which case it
-/// may be sufficient to send just a checksum of the histories."
-///
-/// Minimum fidelity per AD algorithm:
-///
-/// | Fidelity | Sufficient for |
-/// |----------|----------------|
-/// | [`Fidelity::Digest`] | AD-1 (equality test only) |
-/// | [`Fidelity::Heads`] | AD-2, AD-5 (per-variable `a.seqno.x` comparisons) |
-/// | [`Fidelity::Seqnos`] | AD-3, AD-4, AD-6 (full history seqnos for the spanning-set test) |
-/// | [`Fidelity::Full`] | displays that show triggering values to the user |
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Fidelity {
-    /// Only a 64-bit checksum of the histories.
-    Digest,
-    /// Only the newest seqno per variable.
-    Heads,
-    /// All history seqnos, no values.
-    Seqnos,
-    /// The complete alert including the value snapshot.
-    Full,
-}
-
-/// An alert reduced to a wire fidelity level.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum CompactAlert {
-    /// Checksum only.
-    Digest {
-        /// Condition id.
-        cond: rcm_core::CondId,
-        /// Provenance.
-        id: rcm_core::AlertId,
-        /// [`HistoryDigest`](rcm_core::ad::HistoryDigest) value.
-        digest: u64,
-    },
-    /// Newest seqno per variable.
-    Heads {
-        /// Condition id.
-        cond: rcm_core::CondId,
-        /// Provenance.
-        id: rcm_core::AlertId,
-        /// `(variable, a.seqno.var)` pairs, ascending by variable.
-        heads: Vec<(rcm_core::VarId, rcm_core::SeqNo)>,
-    },
-    /// Full history seqnos, values stripped.
-    Seqnos {
-        /// Condition id.
-        cond: rcm_core::CondId,
-        /// Provenance.
-        id: rcm_core::AlertId,
-        /// The complete fingerprint.
-        fingerprint: rcm_core::HistoryFingerprint,
-    },
-    /// The complete alert.
-    Full(Alert),
-}
-
-impl CompactAlert {
-    /// Reduces an alert to the requested fidelity.
-    pub fn of(alert: &Alert, fidelity: Fidelity) -> Self {
-        match fidelity {
-            Fidelity::Digest => CompactAlert::Digest {
-                cond: alert.cond,
-                id: alert.id,
-                digest: rcm_core::ad::HistoryDigest::of(alert).get(),
-            },
-            Fidelity::Heads => CompactAlert::Heads {
-                cond: alert.cond,
-                id: alert.id,
-                heads: alert.fingerprint.iter().map(|(v, seqnos)| (v, seqnos[0])).collect(),
-            },
-            Fidelity::Seqnos => CompactAlert::Seqnos {
-                cond: alert.cond,
-                id: alert.id,
-                fingerprint: alert.fingerprint.clone(),
-            },
-            Fidelity::Full => CompactAlert::Full(alert.clone()),
-        }
-    }
-
-    /// Serialized payload size in bytes at this fidelity.
-    pub fn encoded_len(&self) -> usize {
-        serde_json::to_vec(self).expect("well-formed alert serializes").len()
-    }
-}
-
-/// Errors produced while encoding or decoding frames.
-#[derive(Debug)]
-pub enum WireError {
-    /// The payload was not valid JSON for a [`Message`].
-    Codec(serde_json::Error),
-    /// A frame declared a length larger than the cap.
-    FrameTooLarge {
-        /// Declared payload size.
-        declared: usize,
-    },
-}
-
-impl std::fmt::Display for WireError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            WireError::Codec(e) => write!(f, "payload codec error: {e}"),
-            WireError::FrameTooLarge { declared } => {
-                write!(f, "frame of {declared} bytes exceeds the {MAX_FRAME} byte cap")
-            }
-        }
-    }
-}
-
-impl std::error::Error for WireError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            WireError::Codec(e) => Some(e),
-            WireError::FrameTooLarge { .. } => None,
-        }
-    }
-}
-
-/// Maximum accepted payload size; an alert's histories are bounded by
-/// the condition degree, so real frames are tiny — the cap exists to
-/// fail fast on corrupted length prefixes.
-pub const MAX_FRAME: usize = 1 << 20;
-
-/// Encodes a message as one length-prefixed frame.
-///
-/// # Errors
-///
-/// Returns [`WireError::Codec`] if serialization fails (cannot happen
-/// for well-formed messages; kept fallible for API honesty).
-pub fn encode(msg: &Message) -> Result<Bytes, WireError> {
-    let payload = serde_json::to_vec(msg).map_err(WireError::Codec)?;
-    let mut buf = BytesMut::with_capacity(4 + payload.len());
-    buf.put_u32(payload.len() as u32);
-    buf.put_slice(&payload);
-    Ok(buf.freeze())
-}
-
-/// Attempts to decode one frame from the front of `buf`.
-///
-/// Returns `Ok(None)` when the buffer does not yet hold a complete
-/// frame (read more bytes and retry); on success the frame's bytes are
-/// consumed from `buf`.
-///
-/// # Errors
-///
-/// Returns [`WireError::FrameTooLarge`] for implausible length
-/// prefixes and [`WireError::Codec`] for undecodable payloads.
-pub fn decode(buf: &mut BytesMut) -> Result<Option<Message>, WireError> {
-    if buf.len() < 4 {
-        return Ok(None);
-    }
-    let declared = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
-    if declared > MAX_FRAME {
-        return Err(WireError::FrameTooLarge { declared });
-    }
-    if buf.len() < 4 + declared {
-        return Ok(None);
-    }
-    buf.advance(4);
-    let payload = buf.split_to(declared);
-    let msg = serde_json::from_slice(&payload).map_err(WireError::Codec)?;
-    Ok(Some(msg))
-}
-
-/// Round-trips a message through the codec — used by links to make
-/// every delivered message cross a real serialization boundary.
-///
-/// # Panics
-///
-/// Panics if the codec disagrees with itself; that is a bug worth
-/// crashing on.
-pub fn roundtrip(msg: &Message) -> Message {
-    let bytes = encode(msg).expect("encoding well-formed message");
-    let mut buf = BytesMut::from(&bytes[..]);
-    decode(&mut buf).expect("decoding own frame").expect("complete frame")
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rcm_core::{AlertId, CeId, CondId, HistoryFingerprint, SeqNo, VarId};
-
-    fn update() -> Update {
-        Update::new(VarId::new(3), 17, 3000.5)
-    }
-
-    fn alert() -> Alert {
-        Alert::new(
-            CondId::new(2),
-            HistoryFingerprint::single(VarId::new(3), vec![SeqNo::new(17), SeqNo::new(15)]),
-            vec![update()],
-            AlertId { ce: CeId::new(1), index: 9 },
-        )
-    }
-
-    #[test]
-    fn update_roundtrip() {
-        let m = Message::Update(update());
-        assert_eq!(roundtrip(&m), m);
-    }
-
-    #[test]
-    fn alert_roundtrip_preserves_fingerprint_and_provenance() {
-        let m = Message::Alert(alert());
-        let back = roundtrip(&m);
-        match (m, back) {
-            (Message::Alert(a), Message::Alert(b)) => {
-                assert_eq!(a, b); // identity (cond + fingerprint)
-                assert_eq!(a.id, b.id); // provenance survives too
-                assert_eq!(a.snapshot.len(), b.snapshot.len());
-            }
-            _ => panic!("variant changed in flight"),
-        }
-    }
-
-    #[test]
-    fn streamed_frames_decode_incrementally() {
-        let m1 = Message::Update(update());
-        let m2 = Message::Alert(alert());
-        let f1 = encode(&m1).expect("update frame encodes");
-        let f2 = encode(&m2).expect("alert frame encodes");
-        let mut buf = BytesMut::new();
-        // Feed byte by byte; decoder must wait for full frames.
-        let all: Vec<u8> = f1.iter().chain(f2.iter()).copied().collect();
-        let mut decoded = Vec::new();
-        for b in all {
-            buf.put_u8(b);
-            while let Some(m) = decode(&mut buf).expect("well-formed frame decodes") {
-                decoded.push(m);
-            }
-        }
-        assert_eq!(decoded, vec![m1, m2]);
-        assert!(buf.is_empty());
-    }
-
-    #[test]
-    fn oversized_frame_rejected() {
-        let mut buf = BytesMut::new();
-        buf.put_u32(MAX_FRAME as u32 + 1);
-        buf.put_slice(&[0; 8]);
-        assert!(matches!(decode(&mut buf), Err(WireError::FrameTooLarge { .. })));
-    }
-
-    #[test]
-    fn garbage_payload_rejected() {
-        let mut buf = BytesMut::new();
-        buf.put_u32(3);
-        buf.put_slice(b"wat");
-        assert!(matches!(decode(&mut buf), Err(WireError::Codec(_))));
-    }
-
-    #[test]
-    fn fidelity_levels_shrink() {
-        let a = alert();
-        let full = CompactAlert::of(&a, Fidelity::Full).encoded_len();
-        let seqnos = CompactAlert::of(&a, Fidelity::Seqnos).encoded_len();
-        let heads = CompactAlert::of(&a, Fidelity::Heads).encoded_len();
-        let digest = CompactAlert::of(&a, Fidelity::Digest).encoded_len();
-        assert!(full > seqnos, "{full} > {seqnos} expected");
-        assert!(seqnos > heads, "{seqnos} > {heads} expected");
-        assert!(seqnos > digest, "{seqnos} > {digest} expected");
-    }
-
-    #[test]
-    fn digest_size_is_constant_in_the_degree() {
-        // The paper's checksum point: history payload grows with the
-        // condition degree, the digest does not.
-        let deep = |degree: u64| {
-            let seqnos: Vec<SeqNo> = (0..degree).map(|i| SeqNo::new(100 - i)).collect();
-            Alert::new(
-                CondId::new(1),
-                HistoryFingerprint::single(VarId::new(0), seqnos),
-                vec![],
-                AlertId { ce: CeId::new(0), index: 0 },
-            )
-        };
-        let d2 = deep(2);
-        let d8 = deep(8);
-        assert!(
-            CompactAlert::of(&d8, Fidelity::Seqnos).encoded_len()
-                > CompactAlert::of(&d2, Fidelity::Seqnos).encoded_len()
-        );
-        // Digest length varies only with the decimal rendering of the
-        // checksum, never with the degree.
-        let l2 = CompactAlert::of(&d2, Fidelity::Digest).encoded_len();
-        let l8 = CompactAlert::of(&d8, Fidelity::Digest).encoded_len();
-        assert!(l2.abs_diff(l8) <= 20, "{l2} vs {l8}");
-    }
-
-    #[test]
-    fn heads_keep_the_newest_seqno_per_variable() {
-        let a = alert();
-        match CompactAlert::of(&a, Fidelity::Heads) {
-            CompactAlert::Heads { heads, .. } => {
-                assert_eq!(heads, vec![(VarId::new(3), SeqNo::new(17))]);
-            }
-            other => panic!("unexpected {other:?}"),
-        }
-    }
-
-    #[test]
-    fn digest_matches_core_digest() {
-        let a = alert();
-        match CompactAlert::of(&a, Fidelity::Digest) {
-            CompactAlert::Digest { digest, cond, .. } => {
-                assert_eq!(digest, rcm_core::ad::HistoryDigest::of(&a).get());
-                assert_eq!(cond, a.cond);
-            }
-            other => panic!("unexpected {other:?}"),
-        }
-    }
-
-    #[test]
-    fn compact_alert_serde_roundtrip() {
-        let a = alert();
-        for fidelity in [Fidelity::Digest, Fidelity::Heads, Fidelity::Seqnos, Fidelity::Full] {
-            let c = CompactAlert::of(&a, fidelity);
-            let json = serde_json::to_string(&c).expect("compact alert serializes");
-            assert_eq!(
-                serde_json::from_str::<CompactAlert>(&json).expect("compact alert parses back"),
-                c
-            );
-        }
-    }
-
-    #[test]
-    fn short_buffer_returns_none() {
-        let mut buf = BytesMut::new();
-        assert!(decode(&mut buf).expect("empty buffer is not an error").is_none());
-        buf.put_u8(0);
-        assert!(decode(&mut buf).expect("partial header is not an error").is_none());
-    }
-}
+pub use rcm_transport::wire::*;

@@ -1,0 +1,156 @@
+//! Loopback socket-transport tests: the same system, once over
+//! in-process channels and once over real UDP/TCP sockets, must show
+//! the user the exact same filtered alert sequence — under scripted
+//! front-link loss injected by a [`LossProxy`], and across a mid-run
+//! TCP back-link severance.
+//!
+//! These are the tentpole acceptance tests for the socket transport:
+//! they prove the deployment path is behaviorally identical to the
+//! model the rest of the repo verifies.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rcm_core::condition::{Cmp, Condition, Threshold};
+use rcm_core::{Alert, VarId};
+use rcm_net::Scripted;
+use rcm_runtime::{FaultPlan, MonitorSystem, RunReport, Topology, TransportMode, VarFeed};
+use rcm_transport::{LossProxy, ProxyStats};
+
+fn x() -> VarId {
+    VarId::new(0)
+}
+
+fn threshold() -> Arc<dyn Condition> {
+    Arc::new(Threshold::new(x(), Cmp::Gt, 50.0))
+}
+
+/// Workload: 20 readings, every odd one above the threshold → 10
+/// deterministic alerts per fully-fed replica.
+fn values() -> Vec<f64> {
+    (0..20).map(|i| if i % 2 == 1 { 60.0 + f64::from(i) } else { 40.0 }).collect()
+}
+
+/// Pace DM emissions so loopback datagrams (and the single-threaded
+/// proxy) preserve send order; scripted drop positions then line up
+/// exactly with the in-process loss model's.
+const PERIOD: Duration = Duration::from_millis(1);
+
+fn run_in_process(plan: FaultPlan, drops: &'static [u64]) -> RunReport {
+    MonitorSystem::builder(threshold())
+        .replicas(2)
+        .feed(VarFeed::new(x(), values()).period(PERIOD))
+        .loss(move |_, _| Box::new(Scripted::new(drops.iter().copied())))
+        .faults(plan)
+        .start()
+        .expect("in-process system starts")
+        .wait()
+}
+
+/// Runs the same system over real sockets, with a [`LossProxy`] per CE
+/// replica replaying the same scripted drop set on the real datagrams.
+fn run_sockets(plan: FaultPlan, drops: &'static [u64]) -> (RunReport, Vec<ProxyStats>) {
+    let bound = Topology::loopback(2).bind().expect("bind topology");
+    let mut proxies = Vec::new();
+    let mut targets = Vec::new();
+    for addr in bound.ce_addrs() {
+        let proxy = LossProxy::bind(*addr, Box::new(Scripted::new(drops.iter().copied())), 0)
+            .expect("bind proxy")
+            .spawn()
+            .expect("spawn proxy");
+        targets.push(proxy.addr());
+        proxies.push(proxy);
+    }
+    let bound = bound.route_front_links(targets).idle_timeout(Duration::from_secs(10));
+    let report = MonitorSystem::builder(threshold())
+        .replicas(2)
+        .feed(VarFeed::new(x(), values()).period(PERIOD))
+        .faults(plan)
+        .transport(bound)
+        .start()
+        .expect("socket system starts")
+        .wait();
+    let stats = proxies.into_iter().map(rcm_transport::ProxyHandle::stop).collect();
+    (report, stats)
+}
+
+fn displayed_seqnos(report: &RunReport) -> Vec<u64> {
+    report
+        .displayed
+        .iter()
+        .map(|a: &Alert| a.seqno(x()).expect("single-variable alert").get())
+        .collect()
+}
+
+/// Acceptance: a 2-replica CE topology over real sockets with 20%
+/// scripted front-link loss produces the exact same filtered alert
+/// sequence as the in-process runtime fed the same workload and drop
+/// set.
+#[test]
+fn scripted_loss_matches_in_process_output_exactly() {
+    // 4 of 20 datagrams per front link: 20% loss, same set on every
+    // link in both modes.
+    const DROPS: &[u64] = &[1, 4, 7, 11];
+    let in_process = run_in_process(FaultPlan::scripted(), DROPS);
+    let (sockets, proxy_stats) = run_sockets(FaultPlan::scripted(), DROPS);
+
+    assert_eq!(sockets.transport.mode, TransportMode::Sockets);
+    assert!(!sockets.displayed.is_empty(), "loss must not silence the system");
+    assert_eq!(
+        sockets.displayed,
+        in_process.displayed,
+        "socket pipeline diverged from the in-process model under 20% loss \
+         (sockets {:?} vs in-process {:?})",
+        displayed_seqnos(&sockets),
+        displayed_seqnos(&in_process),
+    );
+
+    // The loss really happened on the wire, not in a model: each proxy
+    // ate exactly the scripted positions, and each CE ingress saw only
+    // the survivors.
+    for stats in &proxy_stats {
+        assert_eq!(stats.dropped, DROPS.len() as u64);
+    }
+    for ingress in &sockets.transport.ingress {
+        assert_eq!(ingress.delivered, (values().len() - DROPS.len()) as u64);
+        assert_eq!(ingress.decode_errors, 0);
+    }
+    // The legacy per-link view is populated in both modes.
+    assert_eq!(sockets.links.len(), 2);
+    let sent: u64 = sockets.transport.front_links.iter().map(|(_, _, s)| s.frames_sent).sum();
+    assert_eq!(sent, 2 * values().len() as u64);
+}
+
+/// Acceptance: severing a CE's TCP back link mid-run loses no alert —
+/// the link reconnects (visible in the fault counters) and the user
+/// output still matches the in-process run with the same plan.
+#[test]
+fn back_link_sever_reconnects_without_losing_alerts() {
+    let plan = || FaultPlan::scripted().sever_back_link(0, 3, Duration::from_millis(30));
+    let in_process = run_in_process(plan(), &[]);
+    let (sockets, _) = run_sockets(plan(), &[]);
+
+    assert_eq!(
+        sockets.displayed,
+        in_process.displayed,
+        "socket pipeline diverged across a back-link severance \
+         (sockets {:?} vs in-process {:?})",
+        displayed_seqnos(&sockets),
+        displayed_seqnos(&in_process),
+    );
+    // Every reading above the threshold is displayed exactly once:
+    // nothing lost to the severance, duplicates filtered.
+    assert_eq!(displayed_seqnos(&sockets), (1..=20).filter(|s| s % 2 == 0).collect::<Vec<_>>());
+
+    // The counters prove a real TCP connection dropped and came back.
+    assert_eq!(sockets.faults.backlink_severs, 1);
+    assert!(sockets.faults.backlink_reconnects >= 1, "sever must be followed by a reconnect");
+    assert_eq!(sockets.faults.alerts_lost_overflow, 0);
+    assert!(
+        sockets.transport.ad.connections >= 3,
+        "two initial connections plus at least one reconnect, got {}",
+        sockets.transport.ad.connections
+    );
+    assert_eq!(sockets.transport.back_links.len(), 2);
+    assert_eq!(sockets.transport.back_links[0].severs, 1);
+}

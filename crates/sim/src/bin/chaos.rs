@@ -50,7 +50,7 @@ use rcm_core::condition::{Cmp, Condition, DeltaRise, Threshold};
 use rcm_core::VarId;
 use rcm_net::{Bernoulli, LossModel, Lossless};
 use rcm_props::{check_complete_single, check_consistent_single, check_ordered};
-use rcm_runtime::{FaultPlan, MonitorSystem, RunReport, VarFeed};
+use rcm_runtime::{FaultPlan, MonitorSystem, RunReport, TransportReport, VarFeed};
 
 /// SplitMix64: the harness's only randomness source, so a `(seed,
 /// plans)` pair names one exact gauntlet.
@@ -73,6 +73,7 @@ struct PlanOutcome {
     duplicates: u64,
     replayed: u64,
     recovery: Vec<Duration>,
+    transport: TransportReport,
     violations: Vec<String>,
 }
 
@@ -183,6 +184,8 @@ fn main() -> ExitCode {
     let severs: u64 = outcomes.iter().map(|o| o.severs).sum();
     let duplicates: u64 = outcomes.iter().map(|o| o.duplicates).sum();
     let replayed: u64 = outcomes.iter().map(|o| o.replayed).sum();
+    let frames_dropped: u64 = outcomes.iter().map(|o| o.transport.front_frames_dropped()).sum();
+    let reconnects: u64 = outcomes.iter().map(|o| o.transport.reconnects()).sum();
 
     if json {
         let doc = serde_json::json!({
@@ -196,6 +199,8 @@ fn main() -> ExitCode {
                 "backlink_severs": severs,
                 "backlink_duplicates": duplicates,
                 "updates_replayed": replayed,
+                "front_frames_dropped": frames_dropped,
+                "backlink_reconnects": reconnects,
                 "recovery_mean_us": recovery_mean.as_micros() as u64,
                 "recovery_max_us": recovery_max.as_micros() as u64,
             }),
@@ -210,6 +215,7 @@ fn main() -> ExitCode {
                 "backlink_duplicates": o.duplicates,
                 "updates_replayed": o.replayed,
                 "recovery_us": o.recovery.iter().map(|d| d.as_micros() as u64).collect::<Vec<_>>(),
+                "transport": serde_json::to_value(&o.transport).expect("transport serializes"),
                 "violations": o.violations.clone(),
             })).collect::<Vec<_>>(),
         });
@@ -332,6 +338,7 @@ fn run_plan(index: usize, plan_seed: u64) -> PlanOutcome {
         duplicates: report.faults.backlink_duplicates,
         replayed: report.faults.updates_replayed,
         recovery: report.faults.recovery_latency.clone(),
+        transport: report.transport.clone(),
         violations,
     }
 }

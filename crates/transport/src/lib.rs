@@ -1,0 +1,54 @@
+//! # rcm-transport — real socket transport for replicated condition
+//! monitoring
+//!
+//! The paper's link model is *explicitly* a transport spec: front
+//! links (DM → CE) are "UDP-like" — in-order but potentially lossy —
+//! and back links (CE → AD) are "TCP-like" — in-order and lossless.
+//! This crate implements both over actual sockets so the same
+//! monitoring pipeline the in-process runtime drives over channels can
+//! be deployed as separate OS processes:
+//!
+//! * [`wire`] — the shared frame codec (version byte, length prefix,
+//!   checksum, JSON payload) used by every link, in-process or socket;
+//! * [`UdpFrontLink`] / [`UdpFrontReceiver`] — updates over UDP, with
+//!   the receiver enforcing the front-link contract by discarding
+//!   reordered and duplicated datagrams via a per-variable seqno
+//!   high-water mark ([`SeqGate`]);
+//! * [`TcpBackLink`] / [`TcpAlertListener`] — alerts over TCP with
+//!   reconnect driven by [`rcm_net::Backoff`] and a bounded resend
+//!   queue, preserving the lossless contract across connection drops;
+//! * [`LossProxy`] — a UDP forwarder replaying [`rcm_net`] loss models
+//!   onto real packets, for deterministic loss injection in loopback
+//!   integration tests;
+//! * [`Topology`] / [`BoundTopology`] — address plans binding a whole
+//!   DM / CE×n / AD deployment, used by the runtime's `SystemBuilder`
+//!   and the `rcm-dm` / `rcm-ce` / `rcm-ad` node binaries.
+//!
+//! Everything is `std::net` — blocking sockets with short read
+//! timeouts — because the build environment is offline and the paper's
+//! message rates (a DM is "a simple device multicasting numerous
+//! updates") are nowhere near needing an async reactor. All
+//! concurrency goes through the `rcm-sync` shim, same discipline as
+//! the runtime, so `cargo xtask lint` covers this crate too.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod gate;
+mod proxy;
+mod report;
+mod tcp;
+mod topology;
+mod udp;
+pub mod wire;
+
+pub use gate::SeqGate;
+pub use proxy::{LossProxy, ProxyHandle};
+pub use report::{
+    FrontLinkStats, IngressStats, ListenerStats, ProxyStats, TcpLinkStats, TransportMode,
+    TransportReport,
+};
+pub use tcp::{TcpAlertListener, TcpBackLink};
+pub use topology::{BoundTopology, Topology, TopologyParts};
+pub use udp::{UdpFrontLink, UdpFrontReceiver};

@@ -1,0 +1,225 @@
+//! A loss-injecting UDP forwarder: the network impairment knob for
+//! loopback integration tests.
+//!
+//! Real loopback links essentially never drop datagrams, so the
+//! scripted and stochastic loss the simulator applies in-process has
+//! to be injected *somewhere* on a socket path. The proxy is that
+//! somewhere: DMs send to the proxy's address instead of the CE's, and
+//! the proxy replays an [`rcm_net::LossModel`] — [`Scripted`] for
+//! exact drop positions, [`Bernoulli`]/[`GilbertElliott`] for
+//! stochastic runs — onto the real datagrams before forwarding the
+//! survivors. A single forwarding thread keeps arrival order intact,
+//! so a [`Scripted`] model makes the whole socket pipeline
+//! deterministic.
+//!
+//! [`Scripted`]: rcm_net::Scripted
+//! [`Bernoulli`]: rcm_net::Bernoulli
+//! [`GilbertElliott`]: rcm_net::GilbertElliott
+//!
+//! LOCK ORDER: the only mutex is the `stats` counter block, a leaf —
+//! never held across a socket call.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rcm_net::LossModel;
+use rcm_sync::atomic::{AtomicBool, Ordering};
+use rcm_sync::time::Duration;
+use rcm_sync::{Arc, Mutex};
+
+use crate::report::ProxyStats;
+
+/// Forward-loop wake interval (stop-flag check cadence).
+const TICK: Duration = Duration::from_millis(10);
+
+/// A one-hop UDP forwarder applying a loss model to every datagram.
+pub struct LossProxy {
+    sock: UdpSocket,
+    target: SocketAddr,
+    loss: Box<dyn LossModel>,
+    rng: ChaCha8Rng,
+    stats: Arc<Mutex<ProxyStats>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for LossProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LossProxy")
+            .field("local", &self.sock.local_addr().ok())
+            .field("target", &self.target)
+            .field("loss", &self.loss)
+            .field("stats", &*self.stats.lock())
+            .finish()
+    }
+}
+
+impl LossProxy {
+    /// Binds an ephemeral loopback socket forwarding to `target`
+    /// through `loss`; `seed` drives any stochastic model (ignored by
+    /// scripted ones).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind/configure failures.
+    pub fn bind(target: SocketAddr, loss: Box<dyn LossModel>, seed: u64) -> io::Result<Self> {
+        let sock = UdpSocket::bind("127.0.0.1:0")?;
+        sock.set_read_timeout(Some(TICK))?;
+        Ok(LossProxy {
+            sock,
+            target,
+            loss,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            stats: Arc::new(Mutex::new(ProxyStats::default())),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The proxy's receiving address — point the DM here instead of at
+    /// the CE.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.sock.local_addr()
+    }
+
+    /// Starts the forwarding thread and returns its control handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the address query failure.
+    pub fn spawn(mut self) -> io::Result<ProxyHandle> {
+        let addr = self.local_addr()?;
+        let stats = Arc::clone(&self.stats);
+        let stop = Arc::clone(&self.stop);
+        let handle = rcm_sync::thread::spawn(move || self.forward_loop());
+        Ok(ProxyHandle { addr, stats, stop, handle: Some(handle) })
+    }
+
+    /// The forwarding loop: one thread, so arrival order is preserved
+    /// and a scripted model's drop positions line up with send order.
+    fn forward_loop(&mut self) {
+        let mut buf = [0u8; 65_535];
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let len = match self.sock.recv(&mut buf) {
+                Ok(len) => len,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(_) => return,
+            };
+            if self.loss.drops(&mut self.rng) {
+                self.stats.lock().dropped += 1;
+            } else {
+                let _ = self.sock.send_to(&buf[..len], self.target);
+                self.stats.lock().forwarded += 1;
+            }
+        }
+    }
+}
+
+/// Control handle for a running [`LossProxy`].
+#[derive(Debug)]
+pub struct ProxyHandle {
+    addr: SocketAddr,
+    stats: Arc<Mutex<ProxyStats>>,
+    stop: Arc<AtomicBool>,
+    handle: Option<rcm_sync::thread::JoinHandle<()>>,
+}
+
+impl ProxyHandle {
+    /// The address the proxy listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A live view of the proxy's counters.
+    pub fn stats(&self) -> ProxyStats {
+        *self.stats.lock()
+    }
+
+    /// Stops the forwarding thread and returns the final counters.
+    pub fn stop(mut self) -> ProxyStats {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        *self.stats.lock()
+    }
+}
+
+impl Drop for ProxyHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcm_net::{Lossless, Scripted};
+
+    fn recv_all(sock: &UdpSocket, idle: Duration) -> Vec<Vec<u8>> {
+        sock.set_read_timeout(Some(idle)).expect("set timeout");
+        let mut buf = [0u8; 2048];
+        let mut got = Vec::new();
+        while let Ok(len) = sock.recv(&mut buf) {
+            got.push(buf[..len].to_vec());
+        }
+        got
+    }
+
+    #[test]
+    fn lossless_proxy_forwards_everything_in_order() {
+        let sink = UdpSocket::bind("127.0.0.1:0").expect("bind sink");
+        let proxy = LossProxy::bind(sink.local_addr().expect("sink addr"), Box::new(Lossless), 0)
+            .expect("bind proxy")
+            .spawn()
+            .expect("spawn proxy");
+        let tx = UdpSocket::bind("127.0.0.1:0").expect("bind tx");
+        for i in 0..10u8 {
+            tx.send_to(&[i], proxy.addr()).expect("send");
+            // Pace the datagrams so kernel scheduling cannot reorder
+            // them before the proxy's single thread sees them.
+            rcm_sync::thread::sleep(Duration::from_millis(1));
+        }
+        let got = recv_all(&sink, Duration::from_millis(200));
+        assert_eq!(got, (0..10u8).map(|i| vec![i]).collect::<Vec<_>>());
+        let stats = proxy.stop();
+        assert_eq!(stats, ProxyStats { forwarded: 10, dropped: 0 });
+    }
+
+    #[test]
+    fn scripted_proxy_drops_exact_positions() {
+        let sink = UdpSocket::bind("127.0.0.1:0").expect("bind sink");
+        let proxy = LossProxy::bind(
+            sink.local_addr().expect("sink addr"),
+            Box::new(Scripted::new([1, 3])),
+            42,
+        )
+        .expect("bind proxy")
+        .spawn()
+        .expect("spawn proxy");
+        let tx = UdpSocket::bind("127.0.0.1:0").expect("bind tx");
+        for i in 0..5u8 {
+            tx.send_to(&[i], proxy.addr()).expect("send");
+            rcm_sync::thread::sleep(Duration::from_millis(1));
+        }
+        let got = recv_all(&sink, Duration::from_millis(200));
+        assert_eq!(got, vec![vec![0], vec![2], vec![4]], "positions 1 and 3 eaten");
+        let stats = proxy.stop();
+        assert_eq!(stats, ProxyStats { forwarded: 3, dropped: 2 });
+    }
+}

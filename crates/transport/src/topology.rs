@@ -1,0 +1,272 @@
+//! Deployment topology: the address plan for one DM / CE×n / AD
+//! system, and the eagerly-bound sockets behind it.
+//!
+//! A [`Topology`] is the *spec* — how many CE replicas, which
+//! condition expressions, which addresses. [`Topology::bind`] turns it
+//! into a [`BoundTopology`] by actually binding every socket up front:
+//! with `127.0.0.1:0` everywhere (the [`Topology::loopback`]
+//! constructor) the OS picks ephemeral ports, the bound addresses are
+//! captured before any node thread starts, and a test suite can run
+//! many systems in parallel without port collisions.
+//!
+//! The runtime's `SystemBuilder` consumes a [`BoundTopology`] to run
+//! the very same pipeline it normally drives over channels across real
+//! sockets instead; the `rcm-dm` / `rcm-ce` / `rcm-ad` binaries use the
+//! same address conventions with fixed ports.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, UdpSocket};
+
+use rcm_core::condition::expr::CompiledCondition;
+use rcm_core::VarRegistry;
+use rcm_sync::time::Duration;
+
+/// An address plan: where each CE listens for updates and where the AD
+/// listens for alerts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    conditions: Vec<String>,
+    ce_update: Vec<SocketAddr>,
+    ad_alert: SocketAddr,
+}
+
+impl Topology {
+    /// A loopback plan with `replicas` CEs, all ports ephemeral —
+    /// the parallel-safe default for tests and single-host runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn loopback(replicas: usize) -> Self {
+        assert!(replicas > 0, "a topology needs at least one CE replica");
+        let any: SocketAddr = "127.0.0.1:0".parse().expect("literal addr");
+        Topology { conditions: Vec::new(), ce_update: vec![any; replicas], ad_alert: any }
+    }
+
+    /// A plan with explicit addresses (fixed ports for a real
+    /// deployment): one UDP address per CE, one TCP address for the AD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ce_update` is empty.
+    pub fn with_addrs(ce_update: Vec<SocketAddr>, ad_alert: SocketAddr) -> Self {
+        assert!(!ce_update.is_empty(), "a topology needs at least one CE replica");
+        Topology { conditions: Vec::new(), ce_update, ad_alert }
+    }
+
+    /// Adds a condition expression every CE will evaluate.
+    #[must_use]
+    pub fn with_condition(mut self, expr: impl Into<String>) -> Self {
+        self.conditions.push(expr.into());
+        self
+    }
+
+    /// The CE replica count.
+    pub fn replicas(&self) -> usize {
+        self.ce_update.len()
+    }
+
+    /// The condition expressions, in insertion order.
+    pub fn conditions(&self) -> &[String] {
+        &self.conditions
+    }
+
+    /// Compiles every condition expression against `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first compile error (`rcm_core::Error::Parse`).
+    pub fn compile_conditions(
+        &self,
+        registry: &mut VarRegistry,
+    ) -> Result<Vec<CompiledCondition>, rcm_core::Error> {
+        self.conditions.iter().map(|expr| CompiledCondition::compile(expr, registry)).collect()
+    }
+
+    /// Binds every socket in the plan, capturing the real addresses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first bind failure.
+    pub fn bind(self) -> io::Result<BoundTopology> {
+        let mut ce_sockets = Vec::with_capacity(self.ce_update.len());
+        let mut ce_addrs = Vec::with_capacity(self.ce_update.len());
+        for addr in &self.ce_update {
+            let sock = UdpSocket::bind(addr)?;
+            ce_addrs.push(sock.local_addr()?);
+            ce_sockets.push(sock);
+        }
+        let listener = TcpListener::bind(self.ad_alert)?;
+        let ad_addr = listener.local_addr()?;
+        Ok(BoundTopology {
+            conditions: self.conditions,
+            ce_sockets,
+            listener,
+            dm_targets: ce_addrs.clone(),
+            ce_addrs,
+            ad_addr,
+            fin_repeats: 16,
+            idle_timeout: Duration::from_secs(5),
+        })
+    }
+}
+
+/// A topology with every socket bound and every address real.
+#[derive(Debug)]
+pub struct BoundTopology {
+    conditions: Vec<String>,
+    ce_sockets: Vec<UdpSocket>,
+    listener: TcpListener,
+    ce_addrs: Vec<SocketAddr>,
+    /// Where DMs actually send — normally the CE addresses, but tests
+    /// interpose a [`LossProxy`](crate::LossProxy) per replica.
+    dm_targets: Vec<SocketAddr>,
+    ad_addr: SocketAddr,
+    fin_repeats: usize,
+    idle_timeout: Duration,
+}
+
+impl BoundTopology {
+    /// The bound per-CE update addresses.
+    pub fn ce_addrs(&self) -> &[SocketAddr] {
+        &self.ce_addrs
+    }
+
+    /// The bound AD alert address.
+    pub fn ad_addr(&self) -> SocketAddr {
+        self.ad_addr
+    }
+
+    /// The condition expressions carried over from the spec.
+    pub fn conditions(&self) -> &[String] {
+        &self.conditions
+    }
+
+    /// The CE replica count.
+    pub fn replicas(&self) -> usize {
+        self.ce_sockets.len()
+    }
+
+    /// Reroutes DM traffic through interposed addresses (one per CE
+    /// replica, e.g. a loss proxy in front of each).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `targets` has exactly one address per replica.
+    #[must_use]
+    pub fn route_front_links(mut self, targets: Vec<SocketAddr>) -> Self {
+        assert_eq!(targets.len(), self.ce_sockets.len(), "one DM target per CE replica");
+        self.dm_targets = targets;
+        self
+    }
+
+    /// How many times each DM repeats its end-of-stream marker
+    /// (default 16 — enough to survive heavy scripted loss).
+    #[must_use]
+    pub fn fin_repeats(mut self, repeats: usize) -> Self {
+        self.fin_repeats = repeats.max(1);
+        self
+    }
+
+    /// Receiver idle backstop for lost end-of-stream markers
+    /// (default 5 s).
+    #[must_use]
+    pub fn idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// Dismantles the bound topology into the pieces a system runner
+    /// needs.
+    pub fn into_parts(self) -> TopologyParts {
+        TopologyParts {
+            ce_sockets: self.ce_sockets,
+            listener: self.listener,
+            dm_targets: self.dm_targets,
+            ad_addr: self.ad_addr,
+            fin_repeats: self.fin_repeats,
+            idle_timeout: self.idle_timeout,
+        }
+    }
+}
+
+/// The raw pieces of a [`BoundTopology`], handed to whoever wires the
+/// node threads (the runtime's `SystemBuilder` in socket mode).
+#[derive(Debug)]
+pub struct TopologyParts {
+    /// One bound UDP socket per CE replica, in replica order.
+    pub ce_sockets: Vec<UdpSocket>,
+    /// The bound AD alert listener.
+    pub listener: TcpListener,
+    /// Where each DM sends for each replica (proxy-aware).
+    pub dm_targets: Vec<SocketAddr>,
+    /// The AD listener's address, for the CE back links.
+    pub ad_addr: SocketAddr,
+    /// DM end-of-stream repeat count.
+    pub fin_repeats: usize,
+    /// Receiver idle backstop.
+    pub idle_timeout: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_bind_assigns_real_distinct_ports() {
+        let bound = Topology::loopback(3).bind().expect("bind topology");
+        assert_eq!(bound.replicas(), 3);
+        let mut ports: Vec<u16> = bound.ce_addrs().iter().map(|a| a.port()).collect();
+        ports.push(bound.ad_addr().port());
+        assert!(ports.iter().all(|&p| p != 0), "ephemeral ports resolved: {ports:?}");
+        ports.sort_unstable();
+        ports.dedup();
+        assert_eq!(ports.len(), 4, "all sockets distinct");
+        // Default routing sends straight to the CE sockets.
+        assert_eq!(bound.dm_targets, bound.ce_addrs);
+    }
+
+    #[test]
+    fn conditions_carry_through_and_compile() {
+        let topology = Topology::loopback(2)
+            .with_condition("temp[0].value > 3000")
+            .with_condition("pressure[0].value > 10");
+        let mut registry = VarRegistry::new();
+        let compiled = topology.compile_conditions(&mut registry).expect("valid expressions");
+        assert_eq!(compiled.len(), 2);
+        assert!(registry.lookup("temp").is_some());
+        assert!(registry.lookup("pressure").is_some());
+        let bound = topology.bind().expect("bind topology");
+        assert_eq!(bound.conditions().len(), 2);
+    }
+
+    #[test]
+    fn bad_condition_reports_a_compile_error() {
+        let topology = Topology::loopback(1).with_condition("temp[0].value >");
+        assert!(topology.compile_conditions(&mut VarRegistry::new()).is_err());
+    }
+
+    #[test]
+    fn rerouting_replaces_dm_targets() {
+        let proxy_addrs: Vec<SocketAddr> =
+            vec!["127.0.0.1:4001".parse().expect("addr"), "127.0.0.1:4002".parse().expect("addr")];
+        let bound = Topology::loopback(2)
+            .bind()
+            .expect("bind topology")
+            .route_front_links(proxy_addrs.clone())
+            .fin_repeats(4)
+            .idle_timeout(Duration::from_secs(1));
+        let parts = bound.into_parts();
+        assert_eq!(parts.dm_targets, proxy_addrs);
+        assert_eq!(parts.fin_repeats, 4);
+        assert_eq!(parts.idle_timeout, Duration::from_secs(1));
+        assert_eq!(parts.ce_sockets.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one DM target per CE replica")]
+    fn mismatched_route_length_panics() {
+        let bound = Topology::loopback(2).bind().expect("bind topology");
+        let _ = bound.route_front_links(vec!["127.0.0.1:4001".parse().expect("addr")]);
+    }
+}

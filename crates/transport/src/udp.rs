@@ -1,0 +1,385 @@
+//! The UDP front link: DM → CE updates over a real datagram socket.
+//!
+//! The paper picks "a UDP-like datagram protocol" for front links
+//! because a DM is a simple device multicasting numerous updates, the
+//! stream is loss-tolerant, and in-order delivery can be recovered
+//! cheaply by "tagging all messages with a sequence number and letting
+//! the receiver discard messages that arrive out of order". That is
+//! literally what this module does: the sender puts one frame per
+//! datagram on the wire, and [`UdpFrontReceiver`] discards anything
+//! whose seqno does not advance its variable's high-water mark
+//! ([`SeqGate`]) — reordering and duplication become loss, which the
+//! CE already tolerates.
+//!
+//! LOCK ORDER: the only mutexes are the per-link `stats` counter
+//! blocks, leaves — never held across a socket call.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+
+use rcm_core::Update;
+use rcm_sync::time::{Duration, Instant};
+use rcm_sync::{Arc, Mutex};
+
+use crate::gate::SeqGate;
+use crate::report::{FrontLinkStats, IngressStats};
+use crate::wire::{self, Message};
+
+/// How often the receiver wakes from `recv` to check its idle
+/// deadline.
+const RECV_TICK: Duration = Duration::from_millis(20);
+
+/// Binds an ephemeral socket suitable for talking to `peer`: loopback
+/// peers get a loopback bind so the traffic never leaves the host.
+fn bind_for(peer: SocketAddr) -> io::Result<UdpSocket> {
+    let local: SocketAddr = match peer {
+        SocketAddr::V4(p) if p.ip().is_loopback() => "127.0.0.1:0".parse().expect("literal addr"),
+        SocketAddr::V4(_) => "0.0.0.0:0".parse().expect("literal addr"),
+        SocketAddr::V6(_) => "[::]:0".parse().expect("literal addr"),
+    };
+    UdpSocket::bind(local)
+}
+
+/// The sending half of a front link: one CE target, one frame per
+/// datagram.
+pub struct UdpFrontLink {
+    sock: UdpSocket,
+    node: u32,
+    stats: Arc<Mutex<FrontLinkStats>>,
+}
+
+impl std::fmt::Debug for UdpFrontLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdpFrontLink")
+            .field("peer", &self.sock.peer_addr().ok())
+            .field("node", &self.node)
+            .field("stats", &*self.stats.lock())
+            .finish()
+    }
+}
+
+impl UdpFrontLink {
+    /// Opens a link to the CE at `peer`; `node` is the sending DM's
+    /// index, carried in the end-of-stream marker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind/connect failures.
+    pub fn connect(peer: SocketAddr, node: u32) -> io::Result<Self> {
+        let sock = bind_for(peer)?;
+        sock.connect(peer)?;
+        Ok(UdpFrontLink { sock, node, stats: Arc::new(Mutex::new(FrontLinkStats::default())) })
+    }
+
+    /// A handle for reading the link's counters after a DM thread has
+    /// taken ownership of the link.
+    pub fn stats_handle(&self) -> Arc<Mutex<FrontLinkStats>> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The local socket address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.sock.local_addr()
+    }
+
+    /// Sends one update as one datagram; returns whether the socket
+    /// accepted it. UDP gives no delivery guarantee either way — a
+    /// `true` here can still be lost in flight, which is the point.
+    pub fn send_update(&mut self, update: Update) -> bool {
+        let frame = match wire::encode(&Message::Update(update)) {
+            Ok(frame) => frame,
+            Err(_) => {
+                // Unreachable for well-formed updates; counted, not
+                // panicked, because this is the hot path.
+                let mut stats = self.stats.lock();
+                stats.frames_sent += 1;
+                stats.frames_dropped += 1;
+                return false;
+            }
+        };
+        let ok = self.sock.send(&frame).is_ok();
+        let mut stats = self.stats.lock();
+        stats.frames_sent += 1;
+        if !ok {
+            stats.frames_dropped += 1;
+        }
+        ok
+    }
+
+    /// Signals end-of-stream by sending the Fin marker `repeats` times
+    /// (spaced slightly so a bursty loss episode cannot eat them all).
+    /// Fin datagrams are not counted as frames.
+    pub fn finish(&mut self, repeats: usize) {
+        let frame = match wire::encode(&Message::Fin { node: self.node }) {
+            Ok(frame) => frame,
+            Err(_) => return,
+        };
+        for i in 0..repeats.max(1) {
+            let _ = self.sock.send(&frame);
+            if i + 1 < repeats {
+                rcm_sync::thread::sleep(Duration::from_micros(500));
+            }
+        }
+    }
+}
+
+/// The receiving half: owns the CE's UDP socket, enforces the
+/// front-link contract, and hands admitted updates to a caller
+/// closure.
+pub struct UdpFrontReceiver {
+    sock: UdpSocket,
+    gate: SeqGate,
+    stats: Arc<Mutex<IngressStats>>,
+    expected_fins: usize,
+    idle_timeout: Duration,
+}
+
+impl std::fmt::Debug for UdpFrontReceiver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdpFrontReceiver")
+            .field("local", &self.sock.local_addr().ok())
+            .field("expected_fins", &self.expected_fins)
+            .field("stats", &*self.stats.lock())
+            .finish()
+    }
+}
+
+impl UdpFrontReceiver {
+    /// Binds a fresh socket (use `127.0.0.1:0` in tests for an
+    /// ephemeral parallel-safe port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind(addr: SocketAddr) -> io::Result<Self> {
+        Self::from_socket(UdpSocket::bind(addr)?)
+    }
+
+    /// Wraps an already-bound socket (the topology binder uses this to
+    /// reserve ports before any node starts).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the read-timeout configuration failure.
+    pub fn from_socket(sock: UdpSocket) -> io::Result<Self> {
+        sock.set_read_timeout(Some(RECV_TICK))?;
+        Ok(UdpFrontReceiver {
+            sock,
+            gate: SeqGate::new(),
+            stats: Arc::new(Mutex::new(IngressStats::default())),
+            expected_fins: 1,
+            idle_timeout: Duration::from_secs(5),
+        })
+    }
+
+    /// How many distinct DM end-of-stream markers terminate the run
+    /// (one per feed; default 1).
+    #[must_use]
+    pub fn expected_fins(mut self, fins: usize) -> Self {
+        self.expected_fins = fins;
+        self
+    }
+
+    /// Backstop: stop anyway after this long with no datagrams at all,
+    /// in case every Fin was lost (default 5 s).
+    #[must_use]
+    pub fn idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// The bound address (query this after an ephemeral-port bind).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.sock.local_addr()
+    }
+
+    /// A handle for reading the ingress counters while `run` owns the
+    /// receiver.
+    pub fn stats_handle(&self) -> Arc<Mutex<IngressStats>> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Receives until every expected Fin arrived (or the idle backstop
+    /// fires), delivering each admitted update to `deliver` in arrival
+    /// order. Returns the final counters.
+    pub fn run(mut self, mut deliver: impl FnMut(Update)) -> IngressStats {
+        let mut fins_seen = std::collections::HashSet::new();
+        let mut buf = [0u8; 65_535];
+        let mut last_activity = Instant::now();
+        loop {
+            let len = match self.sock.recv(&mut buf) {
+                Ok(len) => len,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if last_activity.elapsed() >= self.idle_timeout {
+                        break;
+                    }
+                    continue;
+                }
+                Err(_) => break,
+            };
+            last_activity = Instant::now();
+            self.stats.lock().frames_received += 1;
+            match wire::decode_datagram(&buf[..len]) {
+                Ok(Message::Update(update)) => {
+                    if self.gate.admit(&update) {
+                        self.stats.lock().delivered += 1;
+                        deliver(update);
+                    } else {
+                        self.stats.lock().dropped_stale += 1;
+                    }
+                }
+                Ok(Message::Fin { node }) => {
+                    if fins_seen.insert(node) {
+                        self.stats.lock().fins += 1;
+                    }
+                    if fins_seen.len() >= self.expected_fins {
+                        break;
+                    }
+                }
+                // An alert or hello on a front link is protocol abuse;
+                // count it with the undecodable garbage.
+                Ok(_) | Err(_) => self.stats.lock().decode_errors += 1,
+            }
+        }
+        *self.stats.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcm_core::VarId;
+
+    fn u(seqno: u64, value: f64) -> Update {
+        Update::new(VarId::new(0), seqno, value)
+    }
+
+    fn pair() -> (UdpFrontLink, UdpFrontReceiver) {
+        let rx = UdpFrontReceiver::bind("127.0.0.1:0".parse().expect("literal addr"))
+            .expect("bind receiver")
+            .idle_timeout(Duration::from_secs(2));
+        let tx =
+            UdpFrontLink::connect(rx.local_addr().expect("bound addr"), 0).expect("connect sender");
+        (tx, rx)
+    }
+
+    #[test]
+    fn updates_flow_end_to_end_in_order() {
+        let (mut tx, rx) = pair();
+        let stats = rx.stats_handle();
+        let handle = rcm_sync::thread::spawn(move || {
+            let mut got = Vec::new();
+            let final_stats = rx.run(|u| got.push(u.seqno.get()));
+            (got, final_stats)
+        });
+        for s in 1..=5 {
+            assert!(tx.send_update(u(s, s as f64)));
+        }
+        tx.finish(4);
+        let (got, final_stats) = handle.join().expect("receiver thread");
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+        assert_eq!(final_stats.delivered, 5);
+        assert_eq!(final_stats.fins, 1);
+        assert_eq!(final_stats.decode_errors, 0);
+        assert_eq!(stats.lock().delivered, 5);
+        assert_eq!(tx.stats_handle().lock().frames_sent, 5);
+    }
+
+    /// Craft raw datagrams out of order on a bare socket: the gate
+    /// must turn the reorder and the duplicate into drops.
+    #[test]
+    fn receiver_discards_reordered_and_duplicated_datagrams() {
+        let rx = UdpFrontReceiver::bind("127.0.0.1:0".parse().expect("literal addr"))
+            .expect("bind receiver")
+            .idle_timeout(Duration::from_secs(2));
+        let target = rx.local_addr().expect("bound addr");
+        let handle = rcm_sync::thread::spawn(move || {
+            let mut got = Vec::new();
+            let stats = rx.run(|u| got.push(u.seqno.get()));
+            (got, stats)
+        });
+        let raw = UdpSocket::bind("127.0.0.1:0").expect("bind raw");
+        let send = |msg: &Message| {
+            let frame = wire::encode(msg).expect("encodes");
+            raw.send_to(&frame, target).expect("send_to");
+            // Space the datagrams so the kernel cannot reorder them
+            // on us — the reorder under test is the crafted one.
+            rcm_sync::thread::sleep(Duration::from_millis(2));
+        };
+        send(&Message::Update(u(1, 1.0)));
+        send(&Message::Update(u(3, 3.0)));
+        send(&Message::Update(u(2, 2.0))); // overtaken → discarded
+        send(&Message::Update(u(3, 3.0))); // duplicate → discarded
+        send(&Message::Update(u(4, 4.0)));
+        send(&Message::Fin { node: 0 });
+        let (got, stats) = handle.join().expect("receiver thread");
+        assert_eq!(got, vec![1, 3, 4], "stream stayed in order; reorder became loss");
+        assert_eq!(stats.dropped_stale, 2);
+        assert_eq!(stats.frames_received, 6);
+    }
+
+    #[test]
+    fn corrupt_datagrams_count_as_decode_errors_and_never_panic() {
+        let rx = UdpFrontReceiver::bind("127.0.0.1:0".parse().expect("literal addr"))
+            .expect("bind receiver")
+            .idle_timeout(Duration::from_secs(2));
+        let target = rx.local_addr().expect("bound addr");
+        let handle = rcm_sync::thread::spawn(move || rx.run(|_| {}));
+        let raw = UdpSocket::bind("127.0.0.1:0").expect("bind raw");
+        let mut corrupted = wire::encode(&Message::Update(u(1, 1.0))).expect("encodes");
+        let last = corrupted.len() - 1;
+        corrupted[last] ^= 0xff;
+        for payload in [&b"\x00garbage"[..], &corrupted[..]] {
+            raw.send_to(payload, target).expect("send_to");
+            rcm_sync::thread::sleep(Duration::from_millis(2));
+        }
+        // An alert does not belong on a front link either.
+        let misdirected = wire::encode(&Message::Hello { node: 9 }).expect("encodes");
+        raw.send_to(&misdirected, target).expect("send_to");
+        rcm_sync::thread::sleep(Duration::from_millis(2));
+        raw.send_to(&wire::encode(&Message::Fin { node: 0 }).expect("encodes"), target)
+            .expect("send_to");
+        let stats = handle.join().expect("receiver thread");
+        assert_eq!(stats.decode_errors, 3);
+        assert_eq!(stats.delivered, 0);
+    }
+
+    #[test]
+    fn idle_timeout_is_a_backstop_when_every_fin_is_lost() {
+        let rx = UdpFrontReceiver::bind("127.0.0.1:0".parse().expect("literal addr"))
+            .expect("bind receiver")
+            .idle_timeout(Duration::from_millis(150));
+        let start = Instant::now();
+        let stats = rx.run(|_| {});
+        assert!(start.elapsed() >= Duration::from_millis(150));
+        assert_eq!(stats.fins, 0);
+    }
+
+    #[test]
+    fn two_feeds_terminate_on_two_distinct_fins() {
+        let rx = UdpFrontReceiver::bind("127.0.0.1:0".parse().expect("literal addr"))
+            .expect("bind receiver")
+            .expected_fins(2)
+            .idle_timeout(Duration::from_secs(2));
+        let target = rx.local_addr().expect("bound addr");
+        let handle = rcm_sync::thread::spawn(move || rx.run(|_| {}));
+        let mut a = UdpFrontLink::connect(target, 0).expect("connect a");
+        let mut b = UdpFrontLink::connect(target, 1).expect("connect b");
+        a.finish(3); // repeated Fins from one node count once
+        rcm_sync::thread::sleep(Duration::from_millis(10));
+        b.finish(3);
+        let stats = handle.join().expect("receiver thread");
+        assert_eq!(stats.fins, 2);
+    }
+}

@@ -1,0 +1,614 @@
+//! The shared frame codec: every byte that crosses a monitoring link —
+//! in-process or on a real socket — goes through here.
+//!
+//! Frame layout (all integers big-endian):
+//!
+//! ```text
+//! +---------+-------------------+---------------------+-----------------+
+//! | version | payload length u32| FNV-1a-32 checksum  | payload (JSON)  |
+//! |  1 byte |      4 bytes      |       4 bytes       | `length` bytes  |
+//! +---------+-------------------+---------------------+-----------------+
+//! ```
+//!
+//! The version byte fails fast on protocol skew between nodes built
+//! from different revisions; the checksum rejects payload corruption
+//! before the JSON parser ever sees it (UDP's 16-bit checksum is weak
+//! and optional, and a TCP stream that desynchronizes mid-frame would
+//! otherwise feed garbage lengths forever). The codec is symmetric and
+//! self-delimiting: a TCP byte stream decodes incrementally through a
+//! [`FrameBuf`], and a UDP datagram carries exactly one frame decoded
+//! with [`decode_datagram`].
+//!
+//! This module used to live in `rcm-runtime::wire` (which still
+//! re-exports it); it moved here so the socket transport and the
+//! in-process runtime share one frame format by construction.
+
+use rcm_core::{Alert, Update};
+use serde::{Deserialize, Serialize};
+
+/// A message on a monitoring link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// A data update (front links).
+    Update(Update),
+    /// An alert (back links).
+    Alert(Alert),
+    /// Connection preamble: which node is speaking. Sent by a TCP back
+    /// link on every (re)connect so the receiver can attribute the
+    /// stream.
+    Hello {
+        /// Sender's node index (CE replica index on back links).
+        node: u32,
+    },
+    /// End-of-stream marker: the sending node has no more messages.
+    /// Repeated a few times on lossy links so the receiver's shutdown
+    /// does not hinge on one datagram surviving.
+    Fin {
+        /// Sender's node index (DM index on front links, CE replica
+        /// index on back links).
+        node: u32,
+    },
+}
+
+/// How much of an alert's history set is put on the wire.
+///
+/// The paper's §2: "although conceptually we send all histories in an
+/// alert, in practice this is often not necessary. … some systems do
+/// not need this information at all. Others need only the update
+/// sequence numbers contained in the histories. Still others only use
+/// these sequence numbers in a simple equality test, in which case it
+/// may be sufficient to send just a checksum of the histories."
+///
+/// Minimum fidelity per AD algorithm:
+///
+/// | Fidelity | Sufficient for |
+/// |----------|----------------|
+/// | [`Fidelity::Digest`] | AD-1 (equality test only) |
+/// | [`Fidelity::Heads`] | AD-2, AD-5 (per-variable `a.seqno.x` comparisons) |
+/// | [`Fidelity::Seqnos`] | AD-3, AD-4, AD-6 (full history seqnos for the spanning-set test) |
+/// | [`Fidelity::Full`] | displays that show triggering values to the user |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Fidelity {
+    /// Only a 64-bit checksum of the histories.
+    Digest,
+    /// Only the newest seqno per variable.
+    Heads,
+    /// All history seqnos, no values.
+    Seqnos,
+    /// The complete alert including the value snapshot.
+    Full,
+}
+
+/// An alert reduced to a wire fidelity level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CompactAlert {
+    /// Checksum only.
+    Digest {
+        /// Condition id.
+        cond: rcm_core::CondId,
+        /// Provenance.
+        id: rcm_core::AlertId,
+        /// [`HistoryDigest`](rcm_core::ad::HistoryDigest) value.
+        digest: u64,
+    },
+    /// Newest seqno per variable.
+    Heads {
+        /// Condition id.
+        cond: rcm_core::CondId,
+        /// Provenance.
+        id: rcm_core::AlertId,
+        /// `(variable, a.seqno.var)` pairs, ascending by variable.
+        heads: Vec<(rcm_core::VarId, rcm_core::SeqNo)>,
+    },
+    /// Full history seqnos, values stripped.
+    Seqnos {
+        /// Condition id.
+        cond: rcm_core::CondId,
+        /// Provenance.
+        id: rcm_core::AlertId,
+        /// The complete fingerprint.
+        fingerprint: rcm_core::HistoryFingerprint,
+    },
+    /// The complete alert.
+    Full(Alert),
+}
+
+impl CompactAlert {
+    /// Reduces an alert to the requested fidelity.
+    pub fn of(alert: &Alert, fidelity: Fidelity) -> Self {
+        match fidelity {
+            Fidelity::Digest => CompactAlert::Digest {
+                cond: alert.cond,
+                id: alert.id,
+                digest: rcm_core::ad::HistoryDigest::of(alert).get(),
+            },
+            Fidelity::Heads => CompactAlert::Heads {
+                cond: alert.cond,
+                id: alert.id,
+                heads: alert.fingerprint.iter().map(|(v, seqnos)| (v, seqnos[0])).collect(),
+            },
+            Fidelity::Seqnos => CompactAlert::Seqnos {
+                cond: alert.cond,
+                id: alert.id,
+                fingerprint: alert.fingerprint.clone(),
+            },
+            Fidelity::Full => CompactAlert::Full(alert.clone()),
+        }
+    }
+
+    /// Serialized payload size in bytes at this fidelity.
+    pub fn encoded_len(&self) -> usize {
+        serde_json::to_vec(self).expect("well-formed alert serializes").len()
+    }
+}
+
+/// Errors produced while encoding or decoding frames.
+#[derive(Debug)]
+pub enum WireError {
+    /// The payload was not valid JSON for a [`Message`].
+    Codec(serde_json::Error),
+    /// A frame declared a length larger than the cap.
+    FrameTooLarge {
+        /// Declared payload size.
+        declared: usize,
+    },
+    /// The frame's version byte is not [`WIRE_VERSION`].
+    BadVersion {
+        /// The version byte found on the wire.
+        found: u8,
+    },
+    /// The payload failed its checksum: corruption in flight.
+    BadChecksum {
+        /// Checksum carried in the header.
+        declared: u32,
+        /// Checksum computed over the received payload.
+        computed: u32,
+    },
+    /// A datagram ended before its declared payload did.
+    Truncated {
+        /// Declared payload size.
+        declared: usize,
+        /// Payload bytes actually present.
+        got: usize,
+    },
+    /// A datagram carried bytes past its single frame.
+    TrailingBytes {
+        /// Extra byte count.
+        extra: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Codec(e) => write!(f, "payload codec error: {e}"),
+            WireError::FrameTooLarge { declared } => {
+                write!(f, "frame of {declared} bytes exceeds the {MAX_FRAME} byte cap")
+            }
+            WireError::BadVersion { found } => {
+                write!(f, "wire version {found} (this build speaks {WIRE_VERSION})")
+            }
+            WireError::BadChecksum { declared, computed } => {
+                write!(f, "payload checksum {computed:#010x} != declared {declared:#010x}")
+            }
+            WireError::Truncated { declared, got } => {
+                write!(f, "datagram truncated: {got} of {declared} payload bytes")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "datagram carries {extra} bytes past its frame")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// The frame format revision this build speaks. Bump when the layout
+/// or the payload schema changes incompatibly.
+pub const WIRE_VERSION: u8 = 2;
+
+/// Bytes before the payload: version, length, checksum.
+pub const HEADER_LEN: usize = 9;
+
+/// Maximum accepted payload size; an alert's histories are bounded by
+/// the condition degree, so real frames are tiny — the cap exists to
+/// fail fast on corrupted length prefixes.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// FNV-1a over the payload: cheap, dependency-free, and plenty to
+/// catch the bit flips and desynchronized-stream garbage this header
+/// field exists for (it is an integrity check, not an authenticator).
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// Encodes a message as one framed byte vector.
+///
+/// # Errors
+///
+/// Returns [`WireError::Codec`] if serialization fails (cannot happen
+/// for well-formed messages; kept fallible for API honesty).
+pub fn encode(msg: &Message) -> Result<Vec<u8>, WireError> {
+    let payload = serde_json::to_vec(msg).map_err(WireError::Codec)?;
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.push(WIRE_VERSION);
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(&fnv1a(&payload).to_be_bytes());
+    buf.extend_from_slice(&payload);
+    Ok(buf)
+}
+
+/// An incremental decode buffer for framed byte streams (the TCP
+/// side): push received bytes in, pull whole frames out with
+/// [`decode`]. Consumed bytes are reclaimed lazily so a long-lived
+/// connection does not creep.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    head: usize,
+}
+
+impl FrameBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        FrameBuf::default()
+    }
+
+    /// Appends received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Reclaim consumed space before growing, once it dominates.
+        if self.head > 4096 && self.head * 2 > self.buf.len() {
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed byte count.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    /// Whether every pushed byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The unconsumed bytes.
+    fn pending(&self) -> &[u8] {
+        &self.buf[self.head..]
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.head += n;
+        if self.head == self.buf.len() {
+            self.buf.clear();
+            self.head = 0;
+        }
+    }
+}
+
+impl From<&[u8]> for FrameBuf {
+    fn from(bytes: &[u8]) -> Self {
+        FrameBuf { buf: bytes.to_vec(), head: 0 }
+    }
+}
+
+/// Parses one frame header from `bytes`; `Ok(None)` means incomplete.
+/// On success returns the payload length (the payload begins at
+/// [`HEADER_LEN`]).
+fn parse_header(bytes: &[u8]) -> Result<Option<usize>, WireError> {
+    if bytes.is_empty() {
+        return Ok(None);
+    }
+    if bytes[0] != WIRE_VERSION {
+        return Err(WireError::BadVersion { found: bytes[0] });
+    }
+    if bytes.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let declared = u32::from_be_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]) as usize;
+    if declared > MAX_FRAME {
+        return Err(WireError::FrameTooLarge { declared });
+    }
+    Ok(Some(declared))
+}
+
+/// Verifies and deserializes a complete frame's payload.
+fn parse_payload(header: &[u8], payload: &[u8]) -> Result<Message, WireError> {
+    let declared = u32::from_be_bytes([header[5], header[6], header[7], header[8]]);
+    let computed = fnv1a(payload);
+    if computed != declared {
+        return Err(WireError::BadChecksum { declared, computed });
+    }
+    serde_json::from_slice(payload).map_err(WireError::Codec)
+}
+
+/// Attempts to decode one frame from the front of `buf`.
+///
+/// Returns `Ok(None)` when the buffer does not yet hold a complete
+/// frame (read more bytes and retry); on success the frame's bytes are
+/// consumed from `buf`.
+///
+/// A decode error is fatal for the stream: the buffer's read position
+/// is left at the bad frame, and a desynchronized or corrupted peer
+/// should be disconnected, not resynchronized.
+///
+/// # Errors
+///
+/// [`WireError::BadVersion`] for protocol skew,
+/// [`WireError::FrameTooLarge`] for implausible length prefixes,
+/// [`WireError::BadChecksum`] for corrupted payloads and
+/// [`WireError::Codec`] for undecodable ones.
+pub fn decode(buf: &mut FrameBuf) -> Result<Option<Message>, WireError> {
+    let Some(declared) = parse_header(buf.pending())? else { return Ok(None) };
+    if buf.len() < HEADER_LEN + declared {
+        return Ok(None);
+    }
+    let (header, rest) = buf.pending().split_at(HEADER_LEN);
+    let msg = parse_payload(header, &rest[..declared])?;
+    buf.consume(HEADER_LEN + declared);
+    Ok(Some(msg))
+}
+
+/// Decodes a datagram that must contain exactly one whole frame — the
+/// UDP side, where the kernel already delimits messages and a partial
+/// or over-full datagram is corruption, not back-pressure.
+///
+/// # Errors
+///
+/// Everything [`decode`] can return, plus [`WireError::Truncated`] and
+/// [`WireError::TrailingBytes`] for mis-sized datagrams.
+pub fn decode_datagram(bytes: &[u8]) -> Result<Message, WireError> {
+    let Some(declared) = parse_header(bytes)? else {
+        return Err(WireError::Truncated { declared: HEADER_LEN, got: bytes.len() });
+    };
+    let got = bytes.len() - HEADER_LEN;
+    if got < declared {
+        return Err(WireError::Truncated { declared, got });
+    }
+    if got > declared {
+        return Err(WireError::TrailingBytes { extra: got - declared });
+    }
+    let (header, payload) = bytes.split_at(HEADER_LEN);
+    parse_payload(header, payload)
+}
+
+/// Round-trips a message through the codec — used by links to make
+/// every delivered message cross a real serialization boundary.
+///
+/// # Panics
+///
+/// Panics if the codec disagrees with itself; that is a bug worth
+/// crashing on.
+pub fn roundtrip(msg: &Message) -> Message {
+    let bytes = encode(msg).expect("encoding well-formed message");
+    decode_datagram(&bytes).expect("decoding own frame")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcm_core::{AlertId, CeId, CondId, HistoryFingerprint, SeqNo, Update, VarId};
+
+    fn update() -> Update {
+        Update::new(VarId::new(3), 17, 3000.5)
+    }
+
+    fn alert() -> Alert {
+        Alert::new(
+            CondId::new(2),
+            HistoryFingerprint::single(VarId::new(3), vec![SeqNo::new(17), SeqNo::new(15)]),
+            vec![update()],
+            AlertId { ce: CeId::new(1), index: 9 },
+        )
+    }
+
+    #[test]
+    fn update_roundtrip() {
+        let m = Message::Update(update());
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn control_messages_roundtrip() {
+        for m in [Message::Hello { node: 7 }, Message::Fin { node: 0 }] {
+            assert_eq!(roundtrip(&m), m);
+        }
+    }
+
+    #[test]
+    fn alert_roundtrip_preserves_fingerprint_and_provenance() {
+        let m = Message::Alert(alert());
+        let back = roundtrip(&m);
+        match (m, back) {
+            (Message::Alert(a), Message::Alert(b)) => {
+                assert_eq!(a, b); // identity (cond + fingerprint)
+                assert_eq!(a.id, b.id); // provenance survives too
+                assert_eq!(a.snapshot.len(), b.snapshot.len());
+            }
+            _ => panic!("variant changed in flight"),
+        }
+    }
+
+    #[test]
+    fn streamed_frames_decode_incrementally() {
+        let m1 = Message::Update(update());
+        let m2 = Message::Alert(alert());
+        let f1 = encode(&m1).expect("update frame encodes");
+        let f2 = encode(&m2).expect("alert frame encodes");
+        let mut buf = FrameBuf::new();
+        // Feed byte by byte; decoder must wait for full frames.
+        let all: Vec<u8> = f1.iter().chain(f2.iter()).copied().collect();
+        let mut decoded = Vec::new();
+        for b in all {
+            buf.push(&[b]);
+            while let Some(m) = decode(&mut buf).expect("well-formed frame decodes") {
+                decoded.push(m);
+            }
+        }
+        assert_eq!(decoded, vec![m1, m2]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut raw = vec![WIRE_VERSION];
+        raw.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        raw.extend_from_slice(&[0; 12]);
+        let mut buf = FrameBuf::from(&raw[..]);
+        assert!(matches!(decode(&mut buf), Err(WireError::FrameTooLarge { .. })));
+    }
+
+    #[test]
+    fn wrong_version_rejected_on_the_first_byte() {
+        let mut frame = encode(&Message::Update(update())).expect("encodes");
+        frame[0] = WIRE_VERSION + 1;
+        let mut buf = FrameBuf::from(&frame[..1]);
+        // One byte suffices: skew fails fast, before any length read.
+        assert!(
+            matches!(decode(&mut buf), Err(WireError::BadVersion { found }) if found == WIRE_VERSION + 1)
+        );
+        assert!(matches!(decode_datagram(&frame), Err(WireError::BadVersion { .. })));
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_the_checksum() {
+        let mut frame = encode(&Message::Alert(alert())).expect("encodes");
+        let last = frame.len() - 1;
+        frame[last] ^= 0x01;
+        let mut buf = FrameBuf::from(&frame[..]);
+        assert!(matches!(decode(&mut buf), Err(WireError::BadChecksum { .. })));
+        assert!(matches!(decode_datagram(&frame), Err(WireError::BadChecksum { .. })));
+    }
+
+    #[test]
+    fn garbage_payload_with_honest_checksum_rejected_by_codec() {
+        let payload = b"wat";
+        let mut raw = vec![WIRE_VERSION];
+        raw.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        raw.extend_from_slice(&fnv1a(payload).to_be_bytes());
+        raw.extend_from_slice(payload);
+        let mut buf = FrameBuf::from(&raw[..]);
+        assert!(matches!(decode(&mut buf), Err(WireError::Codec(_))));
+    }
+
+    #[test]
+    fn datagram_must_hold_exactly_one_frame() {
+        let frame = encode(&Message::Update(update())).expect("encodes");
+        assert!(matches!(
+            decode_datagram(&frame[..frame.len() - 1]),
+            Err(WireError::Truncated { .. })
+        ));
+        let mut padded = frame.clone();
+        padded.push(0);
+        assert!(matches!(decode_datagram(&padded), Err(WireError::TrailingBytes { extra: 1 })));
+        assert!(matches!(decode_datagram(&[]), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn short_buffer_returns_none() {
+        let mut buf = FrameBuf::new();
+        assert!(decode(&mut buf).expect("empty buffer is not an error").is_none());
+        buf.push(&[WIRE_VERSION]);
+        assert!(decode(&mut buf).expect("partial header is not an error").is_none());
+    }
+
+    #[test]
+    fn framebuf_reclaims_consumed_space() {
+        let frame = encode(&Message::Update(update())).expect("encodes");
+        let mut buf = FrameBuf::new();
+        for _ in 0..200 {
+            buf.push(&frame);
+            while decode(&mut buf).expect("own frames decode").is_some() {}
+        }
+        assert!(buf.is_empty());
+        assert!(buf.buf.len() < 8192, "consumed bytes were reclaimed");
+    }
+
+    #[test]
+    fn fidelity_levels_shrink() {
+        let a = alert();
+        let full = CompactAlert::of(&a, Fidelity::Full).encoded_len();
+        let seqnos = CompactAlert::of(&a, Fidelity::Seqnos).encoded_len();
+        let heads = CompactAlert::of(&a, Fidelity::Heads).encoded_len();
+        let digest = CompactAlert::of(&a, Fidelity::Digest).encoded_len();
+        assert!(full > seqnos, "{full} > {seqnos} expected");
+        assert!(seqnos > heads, "{seqnos} > {heads} expected");
+        assert!(seqnos > digest, "{seqnos} > {digest} expected");
+    }
+
+    #[test]
+    fn digest_size_is_constant_in_the_degree() {
+        // The paper's checksum point: history payload grows with the
+        // condition degree, the digest does not.
+        let deep = |degree: u64| {
+            let seqnos: Vec<SeqNo> = (0..degree).map(|i| SeqNo::new(100 - i)).collect();
+            Alert::new(
+                CondId::new(1),
+                HistoryFingerprint::single(VarId::new(0), seqnos),
+                vec![],
+                AlertId { ce: CeId::new(0), index: 0 },
+            )
+        };
+        let d2 = deep(2);
+        let d8 = deep(8);
+        assert!(
+            CompactAlert::of(&d8, Fidelity::Seqnos).encoded_len()
+                > CompactAlert::of(&d2, Fidelity::Seqnos).encoded_len()
+        );
+        // Digest length varies only with the decimal rendering of the
+        // checksum, never with the degree.
+        let l2 = CompactAlert::of(&d2, Fidelity::Digest).encoded_len();
+        let l8 = CompactAlert::of(&d8, Fidelity::Digest).encoded_len();
+        assert!(l2.abs_diff(l8) <= 20, "{l2} vs {l8}");
+    }
+
+    #[test]
+    fn heads_keep_the_newest_seqno_per_variable() {
+        let a = alert();
+        match CompactAlert::of(&a, Fidelity::Heads) {
+            CompactAlert::Heads { heads, .. } => {
+                assert_eq!(heads, vec![(VarId::new(3), SeqNo::new(17))]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn digest_matches_core_digest() {
+        let a = alert();
+        match CompactAlert::of(&a, Fidelity::Digest) {
+            CompactAlert::Digest { digest, cond, .. } => {
+                assert_eq!(digest, rcm_core::ad::HistoryDigest::of(&a).get());
+                assert_eq!(cond, a.cond);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compact_alert_serde_roundtrip() {
+        let a = alert();
+        for fidelity in [Fidelity::Digest, Fidelity::Heads, Fidelity::Seqnos, Fidelity::Full] {
+            let c = CompactAlert::of(&a, fidelity);
+            let json = serde_json::to_string(&c).expect("compact alert serializes");
+            assert_eq!(
+                serde_json::from_str::<CompactAlert>(&json).expect("compact alert parses back"),
+                c
+            );
+        }
+    }
+}

@@ -13,7 +13,10 @@
 //! * [`sim`] — deterministic discrete-event simulator and the
 //!   Monte-Carlo harness that regenerates the paper's tables;
 //! * [`runtime`] — threaded actor runtime for deploying a monitoring
-//!   pipeline in a real process.
+//!   pipeline in a real process;
+//! * [`transport`] — real UDP/TCP socket transport and the topology
+//!   spec behind the deployable `rcm-dm`/`rcm-ce`/`rcm-ad` node
+//!   binaries.
 //!
 //! See `examples/quickstart.rs` for a end-to-end tour, and DESIGN.md /
 //! EXPERIMENTS.md for the experiment index.
@@ -23,6 +26,7 @@ pub use rcm_net as net;
 pub use rcm_props as props;
 pub use rcm_runtime as runtime;
 pub use rcm_sim as sim;
+pub use rcm_transport as transport;
 
 /// One-stop imports for the common monitoring workflow.
 ///

@@ -4,9 +4,12 @@
 //!
 //! 1. **Shim discipline** (`shim`): no `std::sync::*`, `std::thread`,
 //!    `crossbeam_channel` or `parking_lot` references in
-//!    `crates/runtime/src` — every concurrency primitive must come
-//!    through `rcm_sync`, so the whole runtime stays model-checkable
-//!    under `--cfg loom`.
+//!    `crates/runtime/src` or `crates/transport/src` — every
+//!    concurrency primitive must come through `rcm_sync`, so the whole
+//!    runtime (transport included: the loom job compiles it as a
+//!    runtime dependency) stays model-checkable under `--cfg loom`.
+//!    `std::net` is deliberately *not* banned: sockets are the
+//!    transport crate's whole job and loom has no model for them.
 //! 2. **Hot-path panic freedom** (`hot-path`): no `.unwrap()` /
 //!    `.expect(` in the evaluator, registry, history or `ad/*` modules
 //!    of `rcm-core` outside their `#[cfg(test)]` tails — a poisoned
@@ -44,6 +47,12 @@ const HOT_PATH: &[&str] =
     &["crates/core/src/evaluator.rs", "crates/core/src/registry.rs", "crates/core/src/history.rs"];
 
 const RUNTIME_SRC: &str = "crates/runtime/src";
+
+/// The socket transport obeys the same shim discipline as the runtime:
+/// it is compiled under `--cfg loom` as an `rcm-runtime` dependency, so
+/// any direct `std::sync`/`std::thread` use would silently escape the
+/// model checker.
+const TRANSPORT_SRC: &str = "crates/transport/src";
 
 #[derive(Debug)]
 struct Violation {
@@ -122,7 +131,7 @@ fn run_all_rules(root: &Path) -> Vec<Violation> {
 /// sources straight in.
 fn check_file(rel: &str, raw: &str, stripped: &str) -> Vec<Violation> {
     let mut out = Vec::new();
-    let in_runtime = rel.starts_with(RUNTIME_SRC);
+    let in_runtime = rel.starts_with(RUNTIME_SRC) || rel.starts_with(TRANSPORT_SRC);
     let hot_path = HOT_PATH.contains(&rel) || rel.starts_with("crates/core/src/ad/");
 
     if in_runtime {
@@ -346,6 +355,19 @@ mod tests {
         let bad = "use crossbeam_channel::unbounded;\nuse parking_lot::Mutex;\n";
         let got = check("crates/runtime/src/evil.rs", bad);
         assert_eq!(got.iter().filter(|v| v.rule == "shim").count(), 2);
+    }
+
+    #[test]
+    fn shim_rule_covers_the_transport_crate() {
+        // The transport crate ships real sockets but still may not
+        // bypass rcm_sync: the loom job compiles it too.
+        let bad = "use std::thread;\nfn f(m: &std::sync::Mutex<u8>) { m.lock(); }\n";
+        let got = check("crates/transport/src/evil.rs", bad);
+        assert_eq!(got.iter().filter(|v| v.rule == "shim").count(), 2, "{got:?}");
+        assert!(got.iter().any(|v| v.rule == "lock-order"), "{got:?}");
+        // std::net stays legal there — sockets are the point.
+        let ok = "use std::net::UdpSocket;\nfn f(s: &UdpSocket) { let _ = s; }\n";
+        assert!(check("crates/transport/src/fine.rs", ok).is_empty());
     }
 
     #[test]
