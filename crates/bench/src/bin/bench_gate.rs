@@ -5,11 +5,12 @@
 //!
 //! Exits non-zero when the committed file is still the schema
 //! placeholder (`meta.placeholder: true`), when a gated metric drifts
-//! beyond the tolerance, or when the fresh run lost serial/parallel
-//! bit-identity. Absolute nanosecond timings differ wildly across
-//! runner generations, so only the machine-relative ratios (the
-//! `speedup` fields) are gated; absolute numbers are echoed for the
-//! log.
+//! beyond the tolerance, when the fresh run misses an absolute floor
+//! (the advertised wins — e.g. batched binary frames must beat JSON by
+//! ≥10×), or when the fresh run lost serial/parallel bit-identity.
+//! Absolute nanosecond timings differ wildly across runner
+//! generations, so only the machine-relative ratios (the `speedup`
+//! fields) are gated; absolute numbers are echoed for the log.
 //!
 //! Setting `RCM_BENCH_OFFLINE=1` downgrades the placeholder failure to
 //! a loud warning (the ratio checks are then skipped — a placeholder
@@ -32,8 +33,15 @@ const GATED: &[&str] = &[
     "/matrix_table1_ad1/speedup",
 ];
 
+/// Machine-relative ratios the *fresh* snapshot must clear outright —
+/// these are the advertised wins, not drift checks, so the committed
+/// snapshot plays no part. `(json pointer, minimum)`.
+const FLOORS: &[(&str, f64)] = &[("/codec/speedup_vs_json", 10.0)];
+
 /// Absolute numbers echoed for the log, never gated.
 const INFORMATIONAL: &[&str] = &[
+    "/codec/binary_batched_ups",
+    "/codec/json_ups",
     "/fingerprint/inline_ns",
     "/ad3_realistic/interval_offers_per_sec",
     "/ad3_marching/interval_offers_per_sec",
@@ -100,8 +108,8 @@ fn main() -> ExitCode {
     // gate is that the committed numbers are real. RCM_BENCH_OFFLINE=1
     // downgrades exactly this failure (and nothing else) to a warning
     // for environments that cannot regenerate the snapshot.
+    let offline = std::env::var("RCM_BENCH_OFFLINE").is_ok_and(|v| v == "1");
     if committed.pointer("/meta/placeholder").and_then(Value::as_bool).unwrap_or(true) {
-        let offline = std::env::var("RCM_BENCH_OFFLINE").is_ok_and(|v| v == "1");
         if offline {
             eprintln!(
                 "WARNING: {committed_path} is still the schema placeholder; the ratio checks \
@@ -137,6 +145,33 @@ fn main() -> ExitCode {
                     eprintln!("FAIL {pointer}: missing or non-numeric in one of the snapshots");
                     failures += 1;
                 }
+            }
+        }
+    }
+
+    // Floors judge the fresh snapshot alone: the win must hold on the
+    // machine at hand, whatever the committed numbers say. Only a
+    // fresh snapshot that is itself the offline placeholder may skip.
+    let fresh_placeholder =
+        fresh.pointer("/meta/placeholder").and_then(Value::as_bool).unwrap_or(true);
+    for &(pointer, floor) in FLOORS {
+        match metric(&fresh, pointer) {
+            Some(f) if f >= floor => {
+                println!("ok   {pointer}: {f:.1} (floor {floor:.0})");
+            }
+            Some(f) => {
+                eprintln!("FAIL {pointer}: {f:.1} is below the {floor:.0} floor");
+                failures += 1;
+            }
+            None if fresh_placeholder && offline => {
+                eprintln!(
+                    "WARNING: {pointer} floor SKIPPED — fresh snapshot is a placeholder and \
+                     RCM_BENCH_OFFLINE=1 is set"
+                );
+            }
+            None => {
+                eprintln!("FAIL {pointer}: missing or non-numeric in the fresh snapshot");
+                failures += 1;
             }
         }
     }

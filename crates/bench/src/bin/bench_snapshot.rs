@@ -21,6 +21,7 @@ use rcm_core::{
 };
 use rcm_sim::montecarlo::{property_matrix, FilterKind, ScenarioKind, Topology};
 use rcm_sim::par::{harness_threads, with_threads};
+use rcm_transport::wire::{self, Codec, Message};
 use serde_json::json;
 
 /// Mean seconds per call of `f` over `iters` timed iterations (plus
@@ -132,6 +133,58 @@ fn throughput_cell(n_conds: usize, n_updates: usize, iters: u32) -> serde_json::
     })
 }
 
+/// Wire-codec roundtrip throughput over the `codec` criterion bench's
+/// update workload: encode∘decode updates/second as JSON frames,
+/// binary frames, and one binary `UpdateBatch` frame — the deployment
+/// configuration. `speedup_vs_json` (batched binary over per-frame
+/// JSON) is the ratio `bench_gate` floors at 10×.
+fn codec_cell(iters: u32) -> serde_json::Value {
+    const BATCH: u64 = 64;
+    let updates: Vec<Update> = (1..=BATCH)
+        .map(|s| Update::new(VarId::new((s % 4) as u32), s, s as f64 * 1.5 - 40.0))
+        .collect();
+
+    // Every mode reuses one frame buffer, so neither codec pays an
+    // allocation the others skip.
+    let per_frame = |codec: Codec| {
+        let mut frame = Vec::with_capacity(4096);
+        let secs = time(iters, || {
+            let mut delivered = 0u64;
+            for u in &updates {
+                frame.clear();
+                wire::encode_into(codec, &Message::Update(*u), &mut frame).expect("update encodes");
+                match wire::decode_datagram(black_box(&frame)).expect("update decodes") {
+                    Message::Update(got) => delivered += u64::from(got.seqno == u.seqno),
+                    _ => unreachable!("update frame"),
+                }
+            }
+            delivered
+        });
+        BATCH as f64 / secs
+    };
+    let json_ups = per_frame(Codec::Json);
+    let binary_ups = per_frame(Codec::Binary);
+
+    let mut frame = Vec::with_capacity(4096);
+    let batched_secs = time(iters, || {
+        frame.clear();
+        wire::encode_updates_into(Codec::Binary, &updates, &mut frame).expect("batch encodes");
+        match wire::decode_datagram(black_box(&frame)).expect("batch decodes") {
+            Message::UpdateBatch(got) => got.len(),
+            _ => unreachable!("batch frame"),
+        }
+    });
+    let binary_batched_ups = BATCH as f64 / batched_secs;
+
+    json!({
+        "updates_per_pass": BATCH,
+        "json_ups": json_ups,
+        "binary_ups": binary_ups,
+        "binary_batched_ups": binary_batched_ups,
+        "speedup_vs_json": binary_batched_ups / json_ups,
+    })
+}
+
 fn main() {
     let cli = Cli::parse(60);
     let x = VarId::new(0);
@@ -174,6 +227,10 @@ fn main() {
         "conds_10k": throughput_cell(10_000, 256, 5),
     });
 
+    // Wire-codec roundtrip throughput (shared workload with the
+    // `codec` criterion bench).
+    let codec = codec_cell(2_000);
+
     // Matrix wall-clock, one thread vs the harness default.
     let threads = harness_threads();
     let table =
@@ -203,6 +260,7 @@ fn main() {
         "ad3_marching": ad3_marching,
         "ad6_realistic": ad6,
         "throughput": throughput,
+        "codec": codec,
         "matrix_table1_ad1": {
             "serial_secs": serial_secs,
             "parallel_secs": par_secs,

@@ -92,6 +92,38 @@ impl fmt::Display for AlertId {
     }
 }
 
+/// Why a `(variable, seqnos)` set is not a well-formed history set.
+///
+/// Returned by [`HistoryFingerprint::try_new`], the validating
+/// constructor used when fingerprints are built from untrusted input
+/// (e.g. the binary wire decoder) where the panicking constructors
+/// would turn hostile bytes into a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FingerprintError {
+    /// The same variable appeared in two entries.
+    DuplicateVariable(VarId),
+    /// A variable carried no seqnos at all.
+    EmptyHistory(VarId),
+    /// A seqno list was not strictly decreasing (newest first).
+    UnorderedHistory(VarId),
+}
+
+impl fmt::Display for FingerprintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FingerprintError::DuplicateVariable(v) => {
+                write!(f, "duplicate variable {v} in fingerprint")
+            }
+            FingerprintError::EmptyHistory(v) => write!(f, "empty history for variable {v}"),
+            FingerprintError::UnorderedHistory(v) => {
+                write!(f, "history seqnos for {v} must be strictly decreasing (newest first)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FingerprintError {}
+
 /// The update histories an alert triggered on, reduced to sequence
 /// numbers: one newest-first seqno list per variable, sorted by variable.
 ///
@@ -132,19 +164,51 @@ impl HistoryFingerprint {
     /// Panics if a variable appears twice or a seqno list is empty or not
     /// strictly decreasing (newest first).
     pub fn from_entries(entries: impl IntoIterator<Item = (VarId, SeqBuf)>) -> Self {
+        match Self::try_from_entries(entries) {
+            Ok(fp) => fp,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The non-panicking twin of [`HistoryFingerprint::new`]: validates
+    /// `(variable, newest-first seqnos)` pairs and reports malformed
+    /// input instead of crashing. This is the construction path for
+    /// fingerprints decoded from untrusted bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`FingerprintError`] when a variable appears twice, a history is
+    /// empty, or a seqno list is not strictly decreasing.
+    pub fn try_new(entries: Vec<(VarId, Vec<SeqNo>)>) -> Result<Self, FingerprintError> {
+        Self::try_from_entries(entries.into_iter().map(|(v, s)| (v, SeqBuf::from(s))))
+    }
+
+    /// Validating construction from inline-buffer entries; see
+    /// [`HistoryFingerprint::try_new`].
+    ///
+    /// # Errors
+    ///
+    /// [`FingerprintError`] when a variable appears twice, a history is
+    /// empty, or a seqno list is not strictly decreasing.
+    pub fn try_from_entries(
+        entries: impl IntoIterator<Item = (VarId, SeqBuf)>,
+    ) -> Result<Self, FingerprintError> {
         let mut entries: FpEntries = entries.into_iter().collect();
         entries.as_mut_slice().sort_by_key(|(v, _)| *v);
         for w in entries.windows(2) {
-            assert!(w[0].0 != w[1].0, "duplicate variable {} in fingerprint", w[0].0);
+            if w[0].0 == w[1].0 {
+                return Err(FingerprintError::DuplicateVariable(w[0].0));
+            }
         }
         for (v, seqnos) in &entries {
-            assert!(!seqnos.is_empty(), "empty history for variable {v}");
-            assert!(
-                seqnos.windows(2).all(|w| w[0] > w[1]),
-                "history seqnos for {v} must be strictly decreasing (newest first)"
-            );
+            if seqnos.is_empty() {
+                return Err(FingerprintError::EmptyHistory(*v));
+            }
+            if !seqnos.windows(2).all(|w| w[0] > w[1]) {
+                return Err(FingerprintError::UnorderedHistory(*v));
+            }
         }
-        HistoryFingerprint { entries }
+        Ok(HistoryFingerprint { entries })
     }
 
     /// Fingerprint over a single variable; `seqnos` newest-first.
@@ -361,6 +425,26 @@ mod tests {
             (VarId::new(0), vec![SeqNo::new(1)]),
             (VarId::new(0), vec![SeqNo::new(2)]),
         ]);
+    }
+
+    #[test]
+    fn try_new_reports_instead_of_panicking() {
+        let v = VarId::new(0);
+        assert_eq!(
+            HistoryFingerprint::try_new(vec![(v, vec![SeqNo::new(2), SeqNo::new(3)])]),
+            Err(FingerprintError::UnorderedHistory(v))
+        );
+        assert_eq!(
+            HistoryFingerprint::try_new(vec![(v, vec![])]),
+            Err(FingerprintError::EmptyHistory(v))
+        );
+        assert_eq!(
+            HistoryFingerprint::try_new(vec![(v, vec![SeqNo::new(1)]), (v, vec![SeqNo::new(2)]),]),
+            Err(FingerprintError::DuplicateVariable(v))
+        );
+        let ok = HistoryFingerprint::try_new(vec![(v, vec![SeqNo::new(3), SeqNo::new(2)])])
+            .expect("well-formed history set");
+        assert_eq!(ok, fp(&[3, 2]));
     }
 
     #[test]

@@ -96,7 +96,7 @@ pub mod seq;
 mod update;
 mod var;
 
-pub use alert::{Alert, AlertId, CeId, CondId, HistoryFingerprint, SeqBuf};
+pub use alert::{Alert, AlertId, CeId, CondId, FingerprintError, HistoryFingerprint, SeqBuf};
 pub use condition::{Condition, ConditionExt, Triggering};
 pub use error::{Error, Result};
 pub use evaluator::{transduce, transduce_merged, Evaluator};

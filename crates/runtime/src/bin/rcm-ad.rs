@@ -14,6 +14,10 @@
 //! first-mention order. The node exits once `--replicas` distinct Fin
 //! markers arrived (or after `--idle-ms` of silence).
 //!
+//! There is no `--codec` flag here: the listener dispatches on each
+//! frame's version byte, so JSON and binary CEs (batched or not) can
+//! share one AD during a rollout.
+//!
 //! LOCK ORDER: no locks on the main thread beyond the listener's leaf
 //! stats mutex, read after the stream ends.
 

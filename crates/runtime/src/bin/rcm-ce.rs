@@ -16,6 +16,13 @@
 //! The node exits once `--dms` distinct Fin markers arrived (or after
 //! `--idle-ms` of silence as a backstop against lost Fins).
 //!
+//! The UDP ingress auto-detects each frame's codec from its version
+//! byte, so DMs may send JSON or binary (or a mix) without
+//! configuration here. `--codec json|binary` selects what *this* node
+//! emits on its back link (default binary; the AD auto-detects too),
+//! and `--batch N` coalesces up to `N` alerts per stream write
+//! (default 1 — no batching).
+//!
 //! LOCK ORDER: the only locks are the transport links' leaf stats
 //! mutexes, read one at a time after the stream ends.
 
@@ -27,7 +34,7 @@ use rcm_core::{CeId, CondId, ConditionRegistry, VarRegistry};
 use rcm_net::Backoff;
 use rcm_sync::time::Duration;
 use rcm_sync::Arc;
-use rcm_transport::{TcpBackLink, UdpFrontReceiver};
+use rcm_transport::{BatchPolicy, Codec, TcpBackLink, UdpFrontReceiver};
 
 struct Options {
     bind: SocketAddr,
@@ -36,12 +43,15 @@ struct Options {
     node: u32,
     dms: usize,
     idle: Duration,
+    codec: Codec,
+    batch: BatchPolicy,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rcm-ce --bind HOST:PORT --ad HOST:PORT --condition '<expr>' \
-         [--condition '<expr>' ...] [--node N] [--dms N] [--idle-ms N]"
+         [--condition '<expr>' ...] [--node N] [--dms N] [--idle-ms N] \
+         [--codec json|binary] [--batch N]"
     );
     ExitCode::FAILURE
 }
@@ -55,6 +65,8 @@ fn parse_args() -> Option<Options> {
         node: 0,
         dms: 1,
         idle: Duration::from_secs(5),
+        codec: Codec::default(),
+        batch: BatchPolicy::off(),
     };
     let mut seen_bind = false;
     let mut seen_ad = false;
@@ -73,6 +85,15 @@ fn parse_args() -> Option<Options> {
             "--node" => opts.node = args.next()?.parse().ok()?,
             "--dms" => opts.dms = args.next()?.parse().ok()?,
             "--idle-ms" => opts.idle = Duration::from_millis(args.next()?.parse().ok()?),
+            "--codec" => opts.codec = args.next()?.parse().ok()?,
+            "--batch" => {
+                let n: usize = args.next()?.parse().ok()?;
+                opts.batch = if n > 1 {
+                    BatchPolicy { max_count: n, ..BatchPolicy::stream() }
+                } else {
+                    BatchPolicy::off()
+                };
+            }
             _ => return None,
         }
     }
@@ -107,7 +128,7 @@ fn main() -> ExitCode {
     let backoff =
         Backoff::new(Duration::from_millis(1), Duration::from_millis(100), opts.node as u64);
     let mut back = match TcpBackLink::connect(opts.ad, opts.node, backoff) {
-        Ok(b) => b,
+        Ok(b) => b.codec(opts.codec).batching(opts.batch),
         Err(e) => {
             eprintln!("error: cannot reach AD at {}: {e}", opts.ad);
             return ExitCode::FAILURE;

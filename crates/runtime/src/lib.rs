@@ -72,5 +72,7 @@ pub use faults::{
     FaultPlan, FaultReport, IngestGate, KillCe, RetainedWindow, SeverBackLink, StallFrontLink,
 };
 pub use link::{FrontLink, LinkReport};
-pub use rcm_transport::{BoundTopology, Topology, TransportMode, TransportReport};
+pub use rcm_transport::{
+    BatchPolicy, BoundTopology, Codec, Topology, TransportMode, TransportReport,
+};
 pub use system::{ConfigError, MonitorSystem, RunReport, SystemBuilder, VarFeed};

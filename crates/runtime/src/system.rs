@@ -510,7 +510,9 @@ impl SystemBuilder {
                 ce as u32,
                 Backoff::new(backoff_base, backoff_cap, backoff_seed),
             )
-            .map_err(transport_err)?;
+            .map_err(transport_err)?
+            .codec(parts.back_codec)
+            .batching(parts.back_batch);
             if let Some(p) = &plan {
                 back = back
                     .with_severs(
@@ -569,7 +571,10 @@ impl SystemBuilder {
             front_vars.push(feed.var);
             let mut links: Vec<Box<dyn UpdateSender>> = Vec::with_capacity(self.replicas);
             for (ci, target) in parts.dm_targets.iter().enumerate() {
-                let link = UdpFrontLink::connect(*target, fi as u32).map_err(transport_err)?;
+                let link = UdpFrontLink::connect(*target, fi as u32)
+                    .map_err(transport_err)?
+                    .codec(parts.front_codec)
+                    .batching(parts.front_batch);
                 front_stats.push(((fi, ci), link.stats_handle()));
                 links.push(Box::new(UdpSender { link, fin_repeats: parts.fin_repeats }));
             }
@@ -705,8 +710,14 @@ impl MonitorSystem {
                     .enumerate()
                     .map(|(i, (_, stats))| {
                         let r = *stats.lock();
-                        let front =
-                            FrontLinkStats { frames_sent: r.sent, frames_dropped: r.dropped };
+                        // Channel links carry one update per "frame"
+                        // and no wire bytes.
+                        let front = FrontLinkStats {
+                            frames_sent: r.sent,
+                            frames_dropped: r.dropped,
+                            updates_sent: r.sent,
+                            bytes_sent: 0,
+                        };
                         (i / self.replicas, i % self.replicas, front)
                     })
                     .collect(),
@@ -725,6 +736,9 @@ impl MonitorSystem {
                             queued_peak: s.queued_peak,
                             lost_overflow: s.lost_overflow,
                             io_errors: 0,
+                            frames_sent: s.sent,
+                            bytes_sent: 0,
+                            dedup_suppressed: 0,
                         }
                     })
                     .collect(),
@@ -754,9 +768,11 @@ impl MonitorSystem {
                 .iter()
                 .map(|((fi, ci), stats)| {
                     let s = *stats.lock();
+                    // The legacy view counts updates, not datagrams —
+                    // with batching on they differ.
                     (
                         (self.front_vars[*fi], CeId::new(*ci as u32)),
-                        LinkReport { sent: s.frames_sent, dropped: s.frames_dropped },
+                        LinkReport { sent: s.updates_sent, dropped: s.frames_dropped },
                     )
                 })
                 .collect(),

@@ -6,7 +6,9 @@
 //!
 //! These are the tentpole acceptance tests for the socket transport:
 //! they prove the deployment path is behaviorally identical to the
-//! model the rest of the repo verifies.
+//! model the rest of the repo verifies — for every payload codec
+//! (JSON, binary, and a mixed-fleet split), and with frame batching
+//! on.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -14,7 +16,9 @@ use std::time::Duration;
 use rcm_core::condition::{Cmp, Condition, Threshold};
 use rcm_core::{Alert, VarId};
 use rcm_net::Scripted;
-use rcm_runtime::{FaultPlan, MonitorSystem, RunReport, Topology, TransportMode, VarFeed};
+use rcm_runtime::{
+    BatchPolicy, Codec, FaultPlan, MonitorSystem, RunReport, Topology, TransportMode, VarFeed,
+};
 use rcm_transport::{LossProxy, ProxyStats};
 
 fn x() -> VarId {
@@ -50,7 +54,17 @@ fn run_in_process(plan: FaultPlan, drops: &'static [u64]) -> RunReport {
 /// Runs the same system over real sockets, with a [`LossProxy`] per CE
 /// replica replaying the same scripted drop set on the real datagrams.
 fn run_sockets(plan: FaultPlan, drops: &'static [u64]) -> (RunReport, Vec<ProxyStats>) {
-    let bound = Topology::loopback(2).bind().expect("bind topology");
+    run_sockets_on(Topology::loopback(2), plan, drops)
+}
+
+/// Like [`run_sockets`] but over a caller-configured topology (codec
+/// and batching choices).
+fn run_sockets_on(
+    topology: Topology,
+    plan: FaultPlan,
+    drops: &'static [u64],
+) -> (RunReport, Vec<ProxyStats>) {
+    let bound = topology.bind().expect("bind topology");
     let mut proxies = Vec::new();
     let mut targets = Vec::new();
     for addr in bound.ce_addrs() {
@@ -119,6 +133,74 @@ fn scripted_loss_matches_in_process_output_exactly() {
     assert_eq!(sockets.links.len(), 2);
     let sent: u64 = sockets.transport.front_links.iter().map(|(_, _, s)| s.frames_sent).sum();
     assert_eq!(sent, 2 * values().len() as u64);
+}
+
+/// Acceptance for the codec seam: every codec assignment — all-JSON,
+/// all-binary, and a mixed fleet (binary front links feeding CEs that
+/// answer a JSON-era AD, and the reverse) — produces the exact same
+/// displayed alert sequence as the in-process model, at 0% and at 20%
+/// scripted loss. Receivers dispatch on each frame's version byte, so
+/// no run needs (or has) receiver-side codec configuration.
+#[test]
+fn every_codec_assignment_matches_in_process_output() {
+    const DROPS: &[u64] = &[1, 4, 7, 11];
+    let clean = run_in_process(FaultPlan::scripted(), &[]);
+    let lossy = run_in_process(FaultPlan::scripted(), DROPS);
+    assert!(!clean.displayed.is_empty());
+
+    for (front, back) in [
+        (Codec::Json, Codec::Json),
+        (Codec::Binary, Codec::Binary),
+        (Codec::Binary, Codec::Json),
+        (Codec::Json, Codec::Binary),
+    ] {
+        for (drops, baseline) in [(&[] as &'static [u64], &clean), (DROPS, &lossy)] {
+            let topology = Topology::loopback(2).with_codecs(front, back);
+            let (sockets, _) = run_sockets_on(topology, FaultPlan::scripted(), drops);
+            assert_eq!(
+                sockets.displayed,
+                baseline.displayed,
+                "codec ({front}, {back}) with {} drops diverged from the in-process model \
+                 (sockets {:?} vs in-process {:?})",
+                drops.len(),
+                displayed_seqnos(&sockets),
+                displayed_seqnos(baseline),
+            );
+            assert_eq!(sockets.transport.decode_errors(), 0, "codec ({front}, {back})");
+        }
+    }
+}
+
+/// Acceptance for batching: packing 5 updates per datagram changes the
+/// datagram count (visible in the new transport counters) but not one
+/// bit of the displayed output.
+#[test]
+fn batched_front_links_change_framing_but_not_output() {
+    let baseline = run_in_process(FaultPlan::scripted(), &[]);
+    let topology = Topology::loopback(2).with_front_batching(BatchPolicy {
+        max_count: 5,
+        max_bytes: 1200,
+        max_delay: Duration::from_secs(10),
+    });
+    let (sockets, _) = run_sockets_on(topology, FaultPlan::scripted(), &[]);
+
+    assert_eq!(
+        sockets.displayed,
+        baseline.displayed,
+        "batched socket run diverged (sockets {:?} vs in-process {:?})",
+        displayed_seqnos(&sockets),
+        displayed_seqnos(&baseline),
+    );
+    // 20 readings at 5 per datagram → exactly 4 datagrams per front
+    // link (the deadline is far away and 5 binary updates fit well
+    // under the size cap), and the rollups see the 5× amortization.
+    for (_, _, stats) in &sockets.transport.front_links {
+        assert_eq!(stats.frames_sent, 4, "20 updates at 5 per datagram");
+        assert_eq!(stats.updates_sent, 20);
+        assert!(stats.bytes_sent > 0);
+    }
+    assert!((sockets.transport.updates_per_datagram() - 5.0).abs() < f64::EPSILON);
+    assert!(sockets.transport.bytes_per_frame() > 0.0);
 }
 
 /// Acceptance: severing a CE's TCP back link mid-run loses no alert —

@@ -186,6 +186,9 @@ fn main() -> ExitCode {
     let replayed: u64 = outcomes.iter().map(|o| o.replayed).sum();
     let frames_dropped: u64 = outcomes.iter().map(|o| o.transport.front_frames_dropped()).sum();
     let reconnects: u64 = outcomes.iter().map(|o| o.transport.reconnects()).sum();
+    let frames_sent: u64 = outcomes.iter().map(|o| o.transport.front_frames_sent()).sum();
+    let updates_sent: u64 = outcomes.iter().map(|o| o.transport.front_updates_sent()).sum();
+    let bytes_sent: u64 = outcomes.iter().map(|o| o.transport.front_bytes_sent()).sum();
 
     if json {
         let doc = serde_json::json!({
@@ -201,6 +204,14 @@ fn main() -> ExitCode {
                 "updates_replayed": replayed,
                 "front_frames_dropped": frames_dropped,
                 "backlink_reconnects": reconnects,
+                "front_frames_sent": frames_sent,
+                "front_updates_sent": updates_sent,
+                "front_bytes_sent": bytes_sent,
+                "updates_per_datagram": if frames_sent == 0 {
+                    0.0
+                } else {
+                    updates_sent as f64 / frames_sent as f64
+                },
                 "recovery_mean_us": recovery_mean.as_micros() as u64,
                 "recovery_max_us": recovery_max.as_micros() as u64,
             }),

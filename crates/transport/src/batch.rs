@@ -1,0 +1,127 @@
+//! Frame batching policy: when a link coalesces several messages into
+//! one wire frame, and when it stops waiting and flushes.
+//!
+//! Batching amortizes the per-frame fixed costs (header + checksum,
+//! one syscall per datagram or stream write) across many messages —
+//! the transport-throughput lever the codec alone cannot pull. A batch
+//! flushes on the **first** of three triggers:
+//!
+//! * **count** — the batch holds [`max_count`](BatchPolicy::max_count)
+//!   messages;
+//! * **size** — the encoded frame would exceed
+//!   [`max_bytes`](BatchPolicy::max_bytes) (kept under the path MTU on
+//!   UDP so a batch never fragments — losing one IP fragment loses the
+//!   whole datagram, which would *amplify* loss);
+//! * **deadline** — the oldest buffered message has waited
+//!   [`max_delay`](BatchPolicy::max_delay).
+//!
+//! The deadline is checked on each subsequent send (the links own no
+//! timer thread), so the worst-case added latency is `max_delay` plus
+//! the sender's inter-send gap; callers that go quiet flush explicitly
+//! or on `finish`. With the default [`BatchPolicy::off`] every message
+//! is its own frame and links behave exactly as they did before
+//! batching existed.
+
+use rcm_sync::time::{Duration, Instant};
+
+/// When a batching link flushes its buffered messages. See the module
+/// docs for the flush triggers; construct with [`BatchPolicy::off`],
+/// [`BatchPolicy::datagram`], [`BatchPolicy::stream`], or literal
+/// fields for full control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Flush once this many messages are buffered. `1` (or `0`)
+    /// disables batching entirely.
+    pub max_count: usize,
+    /// Flush before the encoded frame would exceed this many bytes.
+    pub max_bytes: usize,
+    /// Flush once the oldest buffered message has waited this long.
+    pub max_delay: Duration,
+}
+
+impl BatchPolicy {
+    /// No batching: every message is its own frame (the default).
+    pub const fn off() -> Self {
+        BatchPolicy { max_count: 1, max_bytes: usize::MAX, max_delay: Duration::ZERO }
+    }
+
+    /// Defaults tuned for UDP front links: up to 64 updates per
+    /// datagram, capped at 1200 bytes to stay safely under common path
+    /// MTUs, 1ms deadline so batching never costs a visible delay at
+    /// monitoring timescales.
+    pub const fn datagram() -> Self {
+        BatchPolicy { max_count: 64, max_bytes: 1200, max_delay: Duration::from_millis(1) }
+    }
+
+    /// Defaults tuned for TCP back links: same count and deadline as
+    /// [`BatchPolicy::datagram`] but a 32 KiB size cap — a stream has
+    /// no MTU concern, only write-buffer sanity.
+    pub const fn stream() -> Self {
+        BatchPolicy { max_count: 64, max_bytes: 32 * 1024, max_delay: Duration::from_millis(1) }
+    }
+
+    /// Whether this policy disables batching.
+    pub const fn is_off(&self) -> bool {
+        self.max_count <= 1
+    }
+
+    /// Whether a batch of `count` messages has hit the count trigger.
+    pub const fn count_full(&self, count: usize) -> bool {
+        count >= self.max_count
+    }
+
+    /// Whether a batch of `bytes` encoded bytes has hit the size
+    /// trigger.
+    pub const fn bytes_full(&self, bytes: usize) -> bool {
+        bytes >= self.max_bytes
+    }
+
+    /// Whether a batch whose oldest message was buffered at `oldest`
+    /// has hit the deadline trigger.
+    pub fn expired(&self, oldest: Instant) -> bool {
+        oldest.elapsed() >= self.max_delay
+    }
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_the_default_and_never_batches() {
+        assert_eq!(BatchPolicy::default(), BatchPolicy::off());
+        assert!(BatchPolicy::off().is_off());
+        assert!(BatchPolicy::off().count_full(1));
+    }
+
+    #[test]
+    fn presets_batch() {
+        for policy in [BatchPolicy::datagram(), BatchPolicy::stream()] {
+            assert!(!policy.is_off());
+            assert!(!policy.count_full(policy.max_count - 1));
+            assert!(policy.count_full(policy.max_count));
+            assert!(!policy.bytes_full(policy.max_bytes - 1));
+            assert!(policy.bytes_full(policy.max_bytes));
+        }
+        // Datagram batches must fit one unfragmented packet.
+        assert!(BatchPolicy::datagram().max_bytes <= 1400);
+    }
+
+    #[test]
+    fn deadline_triggers_on_elapsed_time() {
+        let now = Instant::now();
+        let patient =
+            BatchPolicy { max_delay: Duration::from_secs(3600), ..BatchPolicy::datagram() };
+        assert!(!patient.expired(now));
+        // A zero deadline is always already expired — off() never
+        // buffers anyway, but the math should hold.
+        let impatient = BatchPolicy { max_delay: Duration::ZERO, ..BatchPolicy::datagram() };
+        assert!(impatient.expired(now));
+    }
+}

@@ -9,7 +9,14 @@
 //! be deployed as separate OS processes:
 //!
 //! * [`wire`] — the shared frame codec (version byte, length prefix,
-//!   checksum, JSON payload) used by every link, in-process or socket;
+//!   checksum, payload) used by every link, in-process or socket. The
+//!   version byte selects the payload [`Codec`] behind the pluggable
+//!   [`wire::SerDes`] seam: version-2 JSON or the default version-3
+//!   compact binary layout, interoperable frame by frame;
+//! * [`BatchPolicy`] — frame batching: links coalesce many updates per
+//!   datagram / many alerts per stream write, flushing on
+//!   count/size/deadline, with delivery semantics identical to
+//!   unbatched sends;
 //! * [`UdpFrontLink`] / [`UdpFrontReceiver`] — updates over UDP, with
 //!   the receiver enforcing the front-link contract by discarding
 //!   reordered and duplicated datagrams via a per-variable seqno
@@ -35,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod batch;
 mod gate;
 mod proxy;
 mod report;
@@ -43,6 +51,7 @@ mod topology;
 mod udp;
 pub mod wire;
 
+pub use batch::BatchPolicy;
 pub use gate::SeqGate;
 pub use proxy::{LossProxy, ProxyHandle};
 pub use report::{
@@ -52,3 +61,4 @@ pub use report::{
 pub use tcp::{TcpAlertListener, TcpBackLink};
 pub use topology::{BoundTopology, Topology, TopologyParts};
 pub use udp::{UdpFrontLink, UdpFrontReceiver};
+pub use wire::Codec;

@@ -17,11 +17,19 @@ pub enum TransportMode {
 /// Sender-side counters for one DM → CE front link.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FrontLinkStats {
-    /// Frames handed to the socket (or channel).
+    /// Frames handed to the socket (or channel). With batching on, one
+    /// frame can carry many updates — compare against `updates_sent`.
     pub frames_sent: u64,
     /// Frames dropped before delivery (loss model in-process; send
     /// errors on a socket).
     pub frames_dropped: u64,
+    /// Updates handed to the link (equal to `frames_sent` when
+    /// batching is off).
+    #[serde(default)]
+    pub updates_sent: u64,
+    /// Wire bytes handed to the socket, headers included.
+    #[serde(default)]
+    pub bytes_sent: u64,
 }
 
 /// Receiver-side counters for one CE's UDP ingress.
@@ -38,6 +46,9 @@ pub struct IngressStats {
     pub decode_errors: u64,
     /// Distinct end-of-stream markers seen.
     pub fins: u64,
+    /// Wire bytes received from the socket, headers included.
+    #[serde(default)]
+    pub bytes_received: u64,
 }
 
 /// Counters for one CE → AD TCP back link.
@@ -60,6 +71,17 @@ pub struct TcpLinkStats {
     /// Genuine socket errors (connection refused/reset mid-write) —
     /// distinct from scripted severances.
     pub io_errors: u64,
+    /// Alert-bearing frames written to the stream, duplicate resends
+    /// included. With batching on, one frame can carry many alerts.
+    #[serde(default)]
+    pub frames_sent: u64,
+    /// Wire bytes written to the stream, headers included.
+    #[serde(default)]
+    pub bytes_sent: u64,
+    /// Alerts suppressed by within-frame dedup (safe because ADs are
+    /// duplicate-indifferent; counted in `sends_seen`, not `sent`).
+    #[serde(default)]
+    pub dedup_suppressed: u64,
 }
 
 /// Counters for the AD-side TCP listener.
@@ -73,6 +95,9 @@ pub struct ListenerStats {
     pub decode_errors: u64,
     /// Distinct end-of-stream markers seen.
     pub fins: u64,
+    /// Wire bytes received across all connections, headers included.
+    #[serde(default)]
+    pub bytes_received: u64,
 }
 
 /// Counters for one [`LossProxy`](crate::LossProxy).
@@ -120,6 +145,43 @@ impl TransportReport {
     pub fn decode_errors(&self) -> u64 {
         self.ingress.iter().map(|s| s.decode_errors).sum::<u64>() + self.ad.decode_errors
     }
+
+    /// Total frames handed to front links (sender side).
+    pub fn front_frames_sent(&self) -> u64 {
+        self.front_links.iter().map(|(_, _, s)| s.frames_sent).sum()
+    }
+
+    /// Total updates handed to front links (sender side).
+    pub fn front_updates_sent(&self) -> u64 {
+        self.front_links.iter().map(|(_, _, s)| s.updates_sent).sum()
+    }
+
+    /// Total wire bytes put on front links (sender side).
+    pub fn front_bytes_sent(&self) -> u64 {
+        self.front_links.iter().map(|(_, _, s)| s.bytes_sent).sum()
+    }
+
+    /// Mean updates per front-link datagram — the batching win. `0.0`
+    /// when no frames were sent (or the run predates the counter).
+    pub fn updates_per_datagram(&self) -> f64 {
+        let frames = self.front_frames_sent();
+        if frames == 0 {
+            0.0
+        } else {
+            self.front_updates_sent() as f64 / frames as f64
+        }
+    }
+
+    /// Mean wire bytes per front-link datagram, headers included.
+    /// `0.0` when no frames were sent.
+    pub fn bytes_per_frame(&self) -> f64 {
+        let frames = self.front_frames_sent();
+        if frames == 0 {
+            0.0
+        } else {
+            self.front_bytes_sent() as f64 / frames as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -130,15 +192,38 @@ mod tests {
     fn report_serializes_with_stable_field_names() {
         let report = TransportReport {
             mode: TransportMode::Sockets,
-            front_links: vec![(0, 1, FrontLinkStats { frames_sent: 10, frames_dropped: 2 })],
+            front_links: vec![(
+                0,
+                1,
+                FrontLinkStats {
+                    frames_sent: 10,
+                    frames_dropped: 2,
+                    updates_sent: 10,
+                    bytes_sent: 500,
+                },
+            )],
             ingress: vec![IngressStats { frames_received: 8, delivered: 8, ..Default::default() }],
             back_links: vec![TcpLinkStats { sent: 3, reconnects: 1, ..Default::default() }],
-            ad: ListenerStats { connections: 2, alerts: 3, decode_errors: 0, fins: 1 },
+            ad: ListenerStats {
+                connections: 2,
+                alerts: 3,
+                decode_errors: 0,
+                fins: 1,
+                bytes_received: 120,
+            },
         };
         let json = serde_json::to_string(&report).expect("report serializes");
         // The chaos CI step greps for these keys; keep them stable.
-        for key in ["mode", "front_links", "ingress", "back_links", "frames_dropped", "reconnects"]
-        {
+        for key in [
+            "mode",
+            "front_links",
+            "ingress",
+            "back_links",
+            "frames_dropped",
+            "reconnects",
+            "updates_sent",
+            "bytes_sent",
+        ] {
             assert!(json.contains(key), "missing key {key} in {json}");
         }
         let back: TransportReport = serde_json::from_str(&json).expect("report parses back");
@@ -146,12 +231,41 @@ mod tests {
     }
 
     #[test]
+    fn old_reports_without_byte_counters_still_parse() {
+        // Snapshots serialized before the batching counters existed
+        // must deserialize with the new fields zeroed.
+        let old = r#"{"frames_sent":4,"frames_dropped":1}"#;
+        let stats: FrontLinkStats = serde_json::from_str(old).expect("old stats parse");
+        assert_eq!(stats.frames_sent, 4);
+        assert_eq!(stats.updates_sent, 0);
+        assert_eq!(stats.bytes_sent, 0);
+    }
+
+    #[test]
     fn rollups_sum_across_links() {
         let report = TransportReport {
             mode: TransportMode::Sockets,
             front_links: vec![
-                (0, 0, FrontLinkStats { frames_sent: 5, frames_dropped: 1 }),
-                (0, 1, FrontLinkStats { frames_sent: 5, frames_dropped: 2 }),
+                (
+                    0,
+                    0,
+                    FrontLinkStats {
+                        frames_sent: 5,
+                        frames_dropped: 1,
+                        updates_sent: 20,
+                        bytes_sent: 250,
+                    },
+                ),
+                (
+                    0,
+                    1,
+                    FrontLinkStats {
+                        frames_sent: 5,
+                        frames_dropped: 2,
+                        updates_sent: 20,
+                        bytes_sent: 250,
+                    },
+                ),
             ],
             ingress: vec![IngressStats { decode_errors: 1, ..Default::default() }],
             back_links: vec![
@@ -163,5 +277,17 @@ mod tests {
         assert_eq!(report.front_frames_dropped(), 3);
         assert_eq!(report.reconnects(), 3);
         assert_eq!(report.decode_errors(), 2);
+        assert_eq!(report.front_frames_sent(), 10);
+        assert_eq!(report.front_updates_sent(), 40);
+        assert_eq!(report.front_bytes_sent(), 500);
+        assert!((report.updates_per_datagram() - 4.0).abs() < f64::EPSILON);
+        assert!((report.bytes_per_frame() - 50.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn ratio_rollups_are_zero_without_frames() {
+        let report = TransportReport::default();
+        assert_eq!(report.updates_per_datagram(), 0.0);
+        assert_eq!(report.bytes_per_frame(), 0.0);
     }
 }

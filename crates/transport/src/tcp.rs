@@ -22,6 +22,17 @@
 //! send; the two share their counters' meaning so `RunReport.faults`
 //! reads the same in both modes.
 //!
+//! With a [`BatchPolicy`] the link coalesces alerts into one
+//! `AlertBatch` frame per stream write (flushed on
+//! count/size/deadline), deduplicating identical alerts *within* a
+//! frame — safe because every AD filter is duplicate-indifferent, and
+//! counted in `dedup_suppressed` so nothing disappears silently. The
+//! sever/queue/reconnect state machine is unchanged: a buffered batch
+//! spills into the resend queue the moment the link goes down, before
+//! anything newer is queued, so FIFO order and the lossless contract
+//! survive batching. The payload [`Codec`] is per-link configuration;
+//! the listener dispatches on each frame's version byte.
+//!
 //! LOCK ORDER: the only mutexes are the `stats` counter blocks,
 //! leaves — never held across a socket call, a sleep, or a channel
 //! send.
@@ -37,8 +48,9 @@ use rcm_sync::chan::Sender;
 use rcm_sync::time::{Duration, Instant};
 use rcm_sync::{Arc, Mutex};
 
+use crate::batch::BatchPolicy;
 use crate::report::{ListenerStats, TcpLinkStats};
-use crate::wire::{self, FrameBuf, Message};
+use crate::wire::{self, Codec, FrameBuf, Message};
 
 /// How many recently-sent alerts the link keeps for post-reconnect
 /// resend (same tail length as the in-process back link).
@@ -68,6 +80,15 @@ pub struct TcpBackLink {
     /// How long a blocking flush keeps retrying before declaring the
     /// peer gone and counting the queue as lost.
     blocking_deadline: Duration,
+    codec: Codec,
+    batch: BatchPolicy,
+    /// Alerts buffered for the next batch frame (only while up; spills
+    /// into `queue` the moment the link goes down).
+    pending: Vec<Alert>,
+    pending_bytes: usize,
+    pending_since: Instant,
+    /// Reused frame-encode scratch buffer.
+    frame: Vec<u8>,
     stats: Arc<Mutex<TcpLinkStats>>,
 }
 
@@ -92,7 +113,7 @@ impl TcpBackLink {
     /// existed is a deployment error, not an outage to ride out.
     pub fn connect(peer: SocketAddr, node: u32, backoff: Backoff) -> io::Result<Self> {
         let mut stream = open_stream(peer)?;
-        write_msg(&mut stream, &Message::Hello { node })?;
+        write_msg(&mut stream, Codec::default(), &Message::Hello { node })?;
         Ok(TcpBackLink {
             peer,
             node,
@@ -108,8 +129,29 @@ impl TcpBackLink {
             unacked: VecDeque::new(),
             unacked_cap: UNACKED_TAIL,
             blocking_deadline: Duration::from_secs(10),
+            codec: Codec::default(),
+            batch: BatchPolicy::off(),
+            pending: Vec::new(),
+            pending_bytes: 0,
+            pending_since: Instant::now(),
+            frame: Vec::new(),
             stats: Arc::new(Mutex::new(TcpLinkStats::default())),
         })
+    }
+
+    /// Selects the payload codec this link speaks (default binary).
+    #[must_use]
+    pub fn codec(mut self, codec: Codec) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Enables frame batching under `policy` (default off: one alert
+    /// per stream write).
+    #[must_use]
+    pub fn batching(mut self, policy: BatchPolicy) -> Self {
+        self.batch = policy;
+        self
     }
 
     /// Scripts severances as `(at_send, down_for)` pairs; `at_send`
@@ -159,7 +201,11 @@ impl TcpBackLink {
 
     /// Sends one alert: transmitted immediately when connected, queued
     /// when down (a non-blocking reconnect attempt is made first if
-    /// the backoff schedule allows one).
+    /// the backoff schedule allows one). With batching on, a connected
+    /// link buffers the alert and flushes the batch on
+    /// count/size/deadline — identical alerts already in the buffer
+    /// are suppressed (`dedup_suppressed`), which is safe because ADs
+    /// are duplicate-indifferent.
     pub fn send_alert(&mut self, alert: Alert) {
         if let Some(&(at, down_for)) = self.severs.front() {
             if self.sends_seen >= at {
@@ -171,12 +217,91 @@ impl TcpBackLink {
             }
         }
         self.sends_seen += 1;
+        if self.batch.is_off() {
+            if self.down {
+                self.try_reconnect(false);
+            }
+            if self.down {
+                self.enqueue(alert);
+            } else if !self.write_alert(alert.clone()) {
+                self.enqueue(alert);
+            }
+            return;
+        }
         if self.down {
             self.try_reconnect(false);
         }
         if self.down {
+            // FIFO across the outage: the buffered batch (older) goes
+            // to the queue before this alert does.
+            self.spill_pending();
             self.enqueue(alert);
-        } else if !self.write_alert(alert.clone()) {
+            return;
+        }
+        if self.pending.iter().any(|a| *a == alert) {
+            self.stats.lock().dedup_suppressed += 1;
+            return;
+        }
+        let add = match wire::frame_len(self.codec, &Message::Alert(alert.clone())) {
+            // Per-alert payload cost; slightly over for the batch
+            // encoding (which shares one tag), never under for binary.
+            Ok(len) => len - wire::HEADER_LEN,
+            Err(_) => 256,
+        };
+        if !self.pending.is_empty()
+            && (self.batch.expired(self.pending_since)
+                || self.batch.bytes_full(self.pending_bytes + add))
+        {
+            self.flush_pending();
+        }
+        if self.down {
+            // The flush hit a write error and spilled; keep FIFO.
+            self.enqueue(alert);
+            return;
+        }
+        if self.pending.is_empty() {
+            self.pending_since = Instant::now();
+            self.pending_bytes = wire::HEADER_LEN + 2; // tag + count
+        }
+        self.pending.push(alert);
+        self.pending_bytes += add;
+        if self.batch.count_full(self.pending.len()) {
+            self.flush_pending();
+        }
+    }
+
+    /// Writes the buffered batch as one frame now. When the link is
+    /// down (or the write fails and marks it down) the batch spills
+    /// into the resend queue instead — never lost, never reordered.
+    pub fn flush_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        if self.down {
+            self.spill_pending();
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        self.pending_bytes = 0;
+        if self.write_batch(&pending) {
+            for alert in pending {
+                self.push_unacked(alert);
+            }
+        } else {
+            for alert in pending {
+                self.enqueue(alert);
+            }
+        }
+    }
+
+    /// Moves buffered-but-unwritten alerts into the resend queue,
+    /// oldest first. FIFO holds because alerts are only buffered while
+    /// the link is up — at which point the queue is empty — so the
+    /// spilled batch always predates anything enqueued after it.
+    fn spill_pending(&mut self) {
+        let pending = std::mem::take(&mut self.pending);
+        self.pending_bytes = 0;
+        for alert in pending {
             self.enqueue(alert);
         }
     }
@@ -188,6 +313,9 @@ impl TcpBackLink {
     /// unreachable past the deadline, the remaining queue is counted
     /// into `lost_overflow` — loss is never silent.
     pub fn finish(&mut self) {
+        // A buffered batch goes first: written if up, spilled to the
+        // queue (and flushed by the blocking reconnect) if not.
+        self.flush_pending();
         if self.down {
             self.try_reconnect(true);
         }
@@ -198,8 +326,9 @@ impl TcpBackLink {
             return;
         }
         debug_assert!(self.queue.is_empty(), "reconnect flushes the queue");
+        let codec = self.codec;
         if let Some(stream) = self.stream.as_mut() {
-            let _ = write_msg(stream, &Message::Fin { node: self.node });
+            let _ = write_msg(stream, codec, &Message::Fin { node: self.node });
         }
         self.stream = None;
     }
@@ -210,13 +339,16 @@ impl TcpBackLink {
     /// as the in-process abandoned path) but whose listener still
     /// needs the end-of-stream marker to shut down.
     pub fn abandon(&mut self) {
+        self.pending.clear();
+        self.pending_bytes = 0;
         self.queue.clear();
         self.unacked.clear();
         if self.down {
             self.try_reconnect(true);
         }
+        let codec = self.codec;
         if let Some(stream) = self.stream.as_mut() {
-            let _ = write_msg(stream, &Message::Fin { node: self.node });
+            let _ = write_msg(stream, codec, &Message::Fin { node: self.node });
         }
         self.stream = None;
     }
@@ -255,7 +387,9 @@ impl TcpBackLink {
             self.stats.lock().attempts += 1;
             if self.floor.is_none_or(|f| Instant::now() >= f) {
                 if let Ok(mut stream) = open_stream(self.peer) {
-                    if write_msg(&mut stream, &Message::Hello { node: self.node }).is_ok() {
+                    if write_msg(&mut stream, self.codec, &Message::Hello { node: self.node })
+                        .is_ok()
+                    {
                         self.stream = Some(stream);
                         self.down = false;
                         self.floor = None;
@@ -277,18 +411,29 @@ impl TcpBackLink {
     }
 
     /// Re-sends the unacked tail: pure duplicates, exactly the
-    /// adversarial input the AD filters must tolerate.
+    /// adversarial input the AD filters must tolerate. Each duplicate
+    /// travels as its own frame and is counted in
+    /// `frames_sent`/`bytes_sent` but not `sent`.
     fn resend_unacked(&mut self) {
         let tail: Vec<Alert> = self.unacked.iter().cloned().collect();
         for alert in tail {
+            if self.stream.is_none() {
+                return;
+            }
+            self.frame.clear();
+            if wire::encode_into(self.codec, &Message::Alert(alert), &mut self.frame).is_err() {
+                return;
+            }
             let Some(stream) = self.stream.as_mut() else { return };
-            let Ok(frame) = wire::encode(&Message::Alert(alert)) else { return };
-            if stream.write_all(&frame).is_err() {
+            if stream.write_all(&self.frame).is_err() {
                 self.stats.lock().io_errors += 1;
                 self.mark_down(None);
                 return;
             }
-            self.stats.lock().resent_duplicates += 1;
+            let mut stats = self.stats.lock();
+            stats.resent_duplicates += 1;
+            stats.frames_sent += 1;
+            stats.bytes_sent += self.frame.len() as u64;
         }
     }
 
@@ -308,29 +453,56 @@ impl TcpBackLink {
     /// down (no scripted floor) and reports `false` — the caller
     /// decides where the alert goes.
     fn write_alert(&mut self, alert: Alert) -> bool {
-        let Some(stream) = self.stream.as_mut() else { return false };
-        let frame = match wire::encode(&Message::Alert(alert.clone())) {
-            Ok(frame) => frame,
-            Err(_) => {
-                // Unreachable for well-formed alerts; counted, not
-                // panicked.
-                self.stats.lock().io_errors += 1;
-                return false;
+        if !self.write_batch(std::slice::from_ref(&alert)) {
+            return false;
+        }
+        self.push_unacked(alert);
+        true
+    }
+
+    /// Encodes `alerts` as one frame in the link's codec (a plain
+    /// `Alert` frame for a lone alert, so unbatched traffic keeps the
+    /// pre-batching wire format; an `AlertBatch` otherwise) and writes
+    /// it to the live stream. Counts `sent`/`frames_sent`/`bytes_sent`
+    /// on success; marks the link down on a socket error. The caller
+    /// owns the unacked-tail bookkeeping.
+    fn write_batch(&mut self, alerts: &[Alert]) -> bool {
+        if self.stream.is_none() {
+            return false;
+        }
+        self.frame.clear();
+        let result = match alerts {
+            [single] => {
+                wire::encode_into(self.codec, &Message::Alert(single.clone()), &mut self.frame)
             }
+            many => wire::encode_alerts_into(self.codec, many, &mut self.frame),
         };
-        if stream.write_all(&frame).is_err() {
+        if result.is_err() {
+            // Unreachable for well-formed alerts; counted, not
+            // panicked.
+            self.stats.lock().io_errors += 1;
+            return false;
+        }
+        let Some(stream) = self.stream.as_mut() else { return false };
+        if stream.write_all(&self.frame).is_err() {
             self.stats.lock().io_errors += 1;
             self.mark_down(None);
             return false;
         }
+        let mut stats = self.stats.lock();
+        stats.sent += alerts.len() as u64;
+        stats.frames_sent += 1;
+        stats.bytes_sent += self.frame.len() as u64;
+        true
+    }
+
+    fn push_unacked(&mut self, alert: Alert) {
         if self.unacked_cap > 0 {
             if self.unacked.len() == self.unacked_cap {
                 self.unacked.pop_front();
             }
             self.unacked.push_back(alert);
         }
-        self.stats.lock().sent += 1;
-        true
     }
 
     fn enqueue(&mut self, alert: Alert) {
@@ -352,8 +524,8 @@ fn open_stream(peer: SocketAddr) -> io::Result<TcpStream> {
     Ok(stream)
 }
 
-fn write_msg(stream: &mut TcpStream, msg: &Message) -> io::Result<()> {
-    let frame = wire::encode(msg).map_err(io::Error::other)?;
+fn write_msg(stream: &mut TcpStream, codec: Codec, msg: &Message) -> io::Result<()> {
+    let frame = wire::encode_with(codec, msg).map_err(io::Error::other)?;
     stream.write_all(&frame)
 }
 
@@ -462,8 +634,9 @@ impl TcpAlertListener {
                     {
                         let tx = tx.clone();
                         let stop = Arc::clone(&stop);
+                        let stats = Arc::clone(&self.stats);
                         readers.push(rcm_sync::thread::spawn(move || {
-                            reader_loop(stream, &tx, &stop);
+                            reader_loop(stream, &tx, &stop, &stats);
                         }));
                     }
                 }
@@ -518,10 +691,17 @@ impl TcpAlertListener {
 }
 
 /// Per-connection reader: decodes frames off the stream and relays
-/// them as events. Exits on EOF, a fatal decode error (a
-/// desynchronized stream cannot be trusted again), a socket error, or
-/// the listener's stop flag.
-fn reader_loop(mut stream: TcpStream, tx: &Sender<Event>, stop: &AtomicBool) {
+/// them as events (frames of either codec, dispatched per version
+/// byte). Exits on EOF, a fatal decode error (a desynchronized stream
+/// cannot be trusted again), a socket error, or the listener's stop
+/// flag. Only touches the shared stats for the byte counter — a leaf
+/// lock, per the file's LOCK ORDER note.
+fn reader_loop(
+    mut stream: TcpStream,
+    tx: &Sender<Event>,
+    stop: &AtomicBool,
+    stats: &Mutex<ListenerStats>,
+) {
     let mut frames = FrameBuf::new();
     let mut buf = [0u8; 8192];
     loop {
@@ -531,6 +711,7 @@ fn reader_loop(mut stream: TcpStream, tx: &Sender<Event>, stop: &AtomicBool) {
         match stream.read(&mut buf) {
             Ok(0) => return,
             Ok(n) => {
+                stats.lock().bytes_received += n as u64;
                 frames.push(&buf[..n]);
                 loop {
                     match wire::decode(&mut frames) {
@@ -539,11 +720,18 @@ fn reader_loop(mut stream: TcpStream, tx: &Sender<Event>, stop: &AtomicBool) {
                                 return;
                             }
                         }
+                        Ok(Some(Message::AlertBatch(alerts))) => {
+                            for alert in alerts {
+                                if tx.send(Event::Alert(alert)).is_err() {
+                                    return;
+                                }
+                            }
+                        }
                         Ok(Some(Message::Fin { node })) => {
                             let _ = tx.send(Event::Fin(node));
                         }
                         Ok(Some(Message::Hello { .. })) => {}
-                        Ok(Some(Message::Update(_))) => {
+                        Ok(Some(Message::Update(_) | Message::UpdateBatch(_))) => {
                             // An update on a back link is protocol
                             // abuse; count it, keep the stream.
                             let _ = tx.send(Event::DecodeError);
@@ -674,6 +862,97 @@ mod tests {
         let (got, _) = handle.join().expect("listener thread");
         assert_eq!(seqnos(&got), vec![4, 5], "kept the newest two");
         assert_eq!(link.stats_handle().lock().lost_overflow, 3);
+    }
+
+    #[test]
+    fn batched_alerts_coalesce_and_dedup_within_the_frame() {
+        let listener = TcpAlertListener::bind("127.0.0.1:0".parse().expect("literal addr"))
+            .expect("bind listener")
+            .idle_timeout(Duration::from_secs(3));
+        let addr = listener.local_addr().expect("bound addr");
+        let handle = rcm_sync::thread::spawn(move || {
+            let mut got = Vec::new();
+            let stats = listener.run(|a| got.push(a));
+            (got, stats)
+        });
+        let mut link =
+            TcpBackLink::connect(addr, 0, backoff()).expect("connect").batching(BatchPolicy {
+                max_count: 3,
+                max_bytes: 32 * 1024,
+                max_delay: Duration::from_secs(10),
+            });
+        link.send_alert(alert(1));
+        link.send_alert(alert(1)); // identical, same frame → suppressed
+        link.send_alert(alert(2));
+        link.send_alert(alert(3)); // count trigger: flushes [1, 2, 3]
+        link.send_alert(alert(4));
+        link.send_alert(alert(5));
+        link.finish(); // flushes [4, 5]
+        let (got, stats) = handle.join().expect("listener thread");
+        assert_eq!(seqnos(&got), vec![1, 2, 3, 4, 5], "in order, duplicate suppressed");
+        assert_eq!(stats.alerts, 5);
+        assert_eq!(stats.fins, 1);
+        assert!(stats.bytes_received > 0);
+        let link_stats = *link.stats_handle().lock();
+        assert_eq!(link_stats.sent, 5);
+        assert_eq!(link_stats.dedup_suppressed, 1);
+        assert_eq!(link_stats.frames_sent, 2, "two batch frames, Fin not counted");
+        assert!(link_stats.bytes_sent > 0);
+        assert_eq!(link_stats.lost_overflow, 0);
+    }
+
+    #[test]
+    fn batched_link_survives_a_sever_without_loss() {
+        let listener = TcpAlertListener::bind("127.0.0.1:0".parse().expect("literal addr"))
+            .expect("bind listener")
+            .idle_timeout(Duration::from_secs(5));
+        let addr = listener.local_addr().expect("bound addr");
+        let handle = rcm_sync::thread::spawn(move || {
+            let mut got = Vec::new();
+            let stats = listener.run(|a| got.push(a));
+            (got, stats)
+        });
+        let mut link = TcpBackLink::connect(addr, 0, backoff())
+            .expect("connect")
+            .with_severs(vec![(2, Duration::from_millis(40))])
+            .batching(BatchPolicy {
+                max_count: 2,
+                max_bytes: 32 * 1024,
+                max_delay: Duration::from_secs(10),
+            });
+        for i in 1..=6 {
+            link.send_alert(alert(i));
+        }
+        link.finish();
+        let (got, _) = handle.join().expect("listener thread");
+        assert_eq!(dedup(seqnos(&got)), vec![1, 2, 3, 4, 5, 6], "lossless across the sever");
+        let link_stats = *link.stats_handle().lock();
+        assert_eq!(link_stats.severs, 1);
+        assert!(link_stats.reconnects >= 1);
+        assert_eq!(link_stats.lost_overflow, 0);
+    }
+
+    #[test]
+    fn json_codec_link_interops_with_the_listener() {
+        let listener = TcpAlertListener::bind("127.0.0.1:0".parse().expect("literal addr"))
+            .expect("bind listener")
+            .idle_timeout(Duration::from_secs(3));
+        let addr = listener.local_addr().expect("bound addr");
+        let handle = rcm_sync::thread::spawn(move || {
+            let mut got = Vec::new();
+            let stats = listener.run(|a| got.push(a));
+            (got, stats)
+        });
+        let mut link =
+            TcpBackLink::connect(addr, 0, backoff()).expect("connect").codec(Codec::Json);
+        for i in 1..=3 {
+            link.send_alert(alert(i));
+        }
+        link.finish();
+        let (got, stats) = handle.join().expect("listener thread");
+        assert_eq!(seqnos(&got), vec![1, 2, 3]);
+        assert_eq!(stats.decode_errors, 0);
+        assert_eq!(stats.fins, 1);
     }
 
     #[test]

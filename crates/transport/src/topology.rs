@@ -21,13 +21,21 @@ use rcm_core::condition::expr::CompiledCondition;
 use rcm_core::VarRegistry;
 use rcm_sync::time::Duration;
 
+use crate::batch::BatchPolicy;
+use crate::wire::Codec;
+
 /// An address plan: where each CE listens for updates and where the AD
-/// listens for alerts.
+/// listens for alerts — plus the wire configuration (payload codec and
+/// batching policy per link direction) every node derives from it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Topology {
     conditions: Vec<String>,
     ce_update: Vec<SocketAddr>,
     ad_alert: SocketAddr,
+    front_codec: Codec,
+    back_codec: Codec,
+    front_batch: BatchPolicy,
+    back_batch: BatchPolicy,
 }
 
 impl Topology {
@@ -40,7 +48,15 @@ impl Topology {
     pub fn loopback(replicas: usize) -> Self {
         assert!(replicas > 0, "a topology needs at least one CE replica");
         let any: SocketAddr = "127.0.0.1:0".parse().expect("literal addr");
-        Topology { conditions: Vec::new(), ce_update: vec![any; replicas], ad_alert: any }
+        Topology {
+            conditions: Vec::new(),
+            ce_update: vec![any; replicas],
+            ad_alert: any,
+            front_codec: Codec::default(),
+            back_codec: Codec::default(),
+            front_batch: BatchPolicy::off(),
+            back_batch: BatchPolicy::off(),
+        }
     }
 
     /// A plan with explicit addresses (fixed ports for a real
@@ -51,7 +67,15 @@ impl Topology {
     /// Panics if `ce_update` is empty.
     pub fn with_addrs(ce_update: Vec<SocketAddr>, ad_alert: SocketAddr) -> Self {
         assert!(!ce_update.is_empty(), "a topology needs at least one CE replica");
-        Topology { conditions: Vec::new(), ce_update, ad_alert }
+        Topology {
+            conditions: Vec::new(),
+            ce_update,
+            ad_alert,
+            front_codec: Codec::default(),
+            back_codec: Codec::default(),
+            front_batch: BatchPolicy::off(),
+            back_batch: BatchPolicy::off(),
+        }
     }
 
     /// Adds a condition expression every CE will evaluate.
@@ -59,6 +83,50 @@ impl Topology {
     pub fn with_condition(mut self, expr: impl Into<String>) -> Self {
         self.conditions.push(expr.into());
         self
+    }
+
+    /// Selects one payload codec for both link directions (default
+    /// binary). Receivers always speak both; this sets what the
+    /// senders emit.
+    #[must_use]
+    pub fn with_codec(self, codec: Codec) -> Self {
+        self.with_codecs(codec, codec)
+    }
+
+    /// Selects the payload codec per direction — `front` for DM → CE
+    /// updates, `back` for CE → AD alerts. Mixing codecs is the
+    /// rollout scenario: a binary CE can serve a JSON AD because every
+    /// frame names its codec in the version byte.
+    #[must_use]
+    pub fn with_codecs(mut self, front: Codec, back: Codec) -> Self {
+        self.front_codec = front;
+        self.back_codec = back;
+        self
+    }
+
+    /// Enables update batching on the DM → CE front links
+    /// (default off).
+    #[must_use]
+    pub fn with_front_batching(mut self, policy: BatchPolicy) -> Self {
+        self.front_batch = policy;
+        self
+    }
+
+    /// Enables alert batching on the CE → AD back links (default off).
+    #[must_use]
+    pub fn with_back_batching(mut self, policy: BatchPolicy) -> Self {
+        self.back_batch = policy;
+        self
+    }
+
+    /// The front-link (DM → CE) payload codec.
+    pub fn front_codec(&self) -> Codec {
+        self.front_codec
+    }
+
+    /// The back-link (CE → AD) payload codec.
+    pub fn back_codec(&self) -> Codec {
+        self.back_codec
     }
 
     /// The CE replica count.
@@ -107,6 +175,10 @@ impl Topology {
             ad_addr,
             fin_repeats: 16,
             idle_timeout: Duration::from_secs(5),
+            front_codec: self.front_codec,
+            back_codec: self.back_codec,
+            front_batch: self.front_batch,
+            back_batch: self.back_batch,
         })
     }
 }
@@ -124,6 +196,10 @@ pub struct BoundTopology {
     ad_addr: SocketAddr,
     fin_repeats: usize,
     idle_timeout: Duration,
+    front_codec: Codec,
+    back_codec: Codec,
+    front_batch: BatchPolicy,
+    back_batch: BatchPolicy,
 }
 
 impl BoundTopology {
@@ -186,6 +262,10 @@ impl BoundTopology {
             ad_addr: self.ad_addr,
             fin_repeats: self.fin_repeats,
             idle_timeout: self.idle_timeout,
+            front_codec: self.front_codec,
+            back_codec: self.back_codec,
+            front_batch: self.front_batch,
+            back_batch: self.back_batch,
         }
     }
 }
@@ -206,6 +286,14 @@ pub struct TopologyParts {
     pub fin_repeats: usize,
     /// Receiver idle backstop.
     pub idle_timeout: Duration,
+    /// Payload codec the DMs emit on the front links.
+    pub front_codec: Codec,
+    /// Payload codec the CEs emit on the back links.
+    pub back_codec: Codec,
+    /// Update-batching policy for the front links.
+    pub front_batch: BatchPolicy,
+    /// Alert-batching policy for the back links.
+    pub back_batch: BatchPolicy,
 }
 
 #[cfg(test)]
@@ -261,6 +349,31 @@ mod tests {
         assert_eq!(parts.fin_repeats, 4);
         assert_eq!(parts.idle_timeout, Duration::from_secs(1));
         assert_eq!(parts.ce_sockets.len(), 2);
+    }
+
+    #[test]
+    fn wire_config_defaults_and_threads_through_bind() {
+        let topology = Topology::loopback(1);
+        assert_eq!(topology.front_codec(), Codec::Binary);
+        assert_eq!(topology.back_codec(), Codec::Binary);
+
+        let parts = Topology::loopback(1)
+            .with_codecs(Codec::Binary, Codec::Json)
+            .with_front_batching(BatchPolicy::datagram())
+            .with_back_batching(BatchPolicy::stream())
+            .bind()
+            .expect("bind topology")
+            .into_parts();
+        assert_eq!(parts.front_codec, Codec::Binary);
+        assert_eq!(parts.back_codec, Codec::Json);
+        assert_eq!(parts.front_batch, BatchPolicy::datagram());
+        assert_eq!(parts.back_batch, BatchPolicy::stream());
+
+        // Defaults: binary payloads, no batching.
+        let parts = Topology::loopback(1).bind().expect("bind topology").into_parts();
+        assert_eq!(parts.front_codec, Codec::Binary);
+        assert_eq!(parts.front_batch, BatchPolicy::off());
+        assert_eq!(parts.back_batch, BatchPolicy::off());
     }
 
     #[test]

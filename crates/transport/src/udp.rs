@@ -11,6 +11,15 @@
 //! ([`SeqGate`]) — reordering and duplication become loss, which the
 //! CE already tolerates.
 //!
+//! With a [`BatchPolicy`] the sender coalesces updates into one
+//! `UpdateBatch` frame per datagram (flushed on count/size/deadline),
+//! amortizing the header and the syscall; the receiver runs a batch's
+//! updates through the gate in batch order, so delivery is exactly
+//! what individual datagrams arriving in that order would produce.
+//! Both halves speak whichever [`Codec`] each frame's version byte
+//! names, so mixed-codec fleets interoperate; the sender's codec is
+//! configuration.
+//!
 //! LOCK ORDER: the only mutexes are the per-link `stats` counter
 //! blocks, leaves — never held across a socket call.
 
@@ -21,9 +30,10 @@ use rcm_core::Update;
 use rcm_sync::time::{Duration, Instant};
 use rcm_sync::{Arc, Mutex};
 
+use crate::batch::BatchPolicy;
 use crate::gate::SeqGate;
 use crate::report::{FrontLinkStats, IngressStats};
-use crate::wire::{self, Message};
+use crate::wire::{self, Codec, Message};
 
 /// How often the receiver wakes from `recv` to check its idle
 /// deadline.
@@ -41,10 +51,16 @@ fn bind_for(peer: SocketAddr) -> io::Result<UdpSocket> {
 }
 
 /// The sending half of a front link: one CE target, one frame per
-/// datagram.
+/// datagram (one *batch* per datagram under a [`BatchPolicy`]).
 pub struct UdpFrontLink {
     sock: UdpSocket,
     node: u32,
+    codec: Codec,
+    batch: BatchPolicy,
+    pending: Vec<Update>,
+    pending_bytes: usize,
+    pending_since: Instant,
+    frame: Vec<u8>,
     stats: Arc<Mutex<FrontLinkStats>>,
 }
 
@@ -53,6 +69,9 @@ impl std::fmt::Debug for UdpFrontLink {
         f.debug_struct("UdpFrontLink")
             .field("peer", &self.sock.peer_addr().ok())
             .field("node", &self.node)
+            .field("codec", &self.codec)
+            .field("batch", &self.batch)
+            .field("pending", &self.pending.len())
             .field("stats", &*self.stats.lock())
             .finish()
     }
@@ -68,7 +87,32 @@ impl UdpFrontLink {
     pub fn connect(peer: SocketAddr, node: u32) -> io::Result<Self> {
         let sock = bind_for(peer)?;
         sock.connect(peer)?;
-        Ok(UdpFrontLink { sock, node, stats: Arc::new(Mutex::new(FrontLinkStats::default())) })
+        Ok(UdpFrontLink {
+            sock,
+            node,
+            codec: Codec::default(),
+            batch: BatchPolicy::off(),
+            pending: Vec::new(),
+            pending_bytes: 0,
+            pending_since: Instant::now(),
+            frame: Vec::new(),
+            stats: Arc::new(Mutex::new(FrontLinkStats::default())),
+        })
+    }
+
+    /// Selects the payload codec this link speaks (default binary).
+    #[must_use]
+    pub fn codec(mut self, codec: Codec) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Enables frame batching under `policy` (default off: one update
+    /// per datagram).
+    #[must_use]
+    pub fn batching(mut self, policy: BatchPolicy) -> Self {
+        self.batch = policy;
+        self
     }
 
     /// A handle for reading the link's counters after a DM thread has
@@ -86,40 +130,106 @@ impl UdpFrontLink {
         self.sock.local_addr()
     }
 
-    /// Sends one update as one datagram; returns whether the socket
-    /// accepted it. UDP gives no delivery guarantee either way — a
-    /// `true` here can still be lost in flight, which is the point.
+    /// Sends one update; returns whether the link accepted it. With
+    /// batching off the update goes out as its own datagram; with
+    /// batching on it is buffered (always accepted) and flushed with
+    /// its batch on count/size/deadline. UDP gives no delivery
+    /// guarantee either way — a `true` here can still be lost in
+    /// flight, which is the point.
     pub fn send_update(&mut self, update: Update) -> bool {
-        let frame = match wire::encode(&Message::Update(update)) {
-            Ok(frame) => frame,
-            Err(_) => {
-                // Unreachable for well-formed updates; counted, not
-                // panicked, because this is the hot path.
-                let mut stats = self.stats.lock();
-                stats.frames_sent += 1;
-                stats.frames_dropped += 1;
-                return false;
-            }
+        if self.batch.is_off() {
+            return self.send_batch(&[update]);
+        }
+        // Size trigger first, *before* buffering: a batch never grows
+        // past the policy's datagram budget.
+        let add = match wire::frame_len(self.codec, &Message::Update(update)) {
+            // Per-update payload cost; slightly over for the batch
+            // encoding (which shares one tag), never under for binary.
+            Ok(len) => len - wire::HEADER_LEN,
+            Err(_) => 64,
         };
-        let ok = self.sock.send(&frame).is_ok();
+        if !self.pending.is_empty() && self.batch.bytes_full(self.pending_bytes + add) {
+            self.flush();
+        }
+        if self.pending.is_empty() {
+            self.pending_since = Instant::now();
+            self.pending_bytes = wire::HEADER_LEN + 2; // tag + count
+        } else if self.batch.expired(self.pending_since) {
+            self.flush();
+            self.pending_since = Instant::now();
+            self.pending_bytes = wire::HEADER_LEN + 2;
+        }
+        self.pending.push(update);
+        self.pending_bytes += add;
+        if self.batch.count_full(self.pending.len()) {
+            self.flush();
+        }
+        true
+    }
+
+    /// Sends any buffered batch now; returns whether a datagram was
+    /// put on the wire (`false` when nothing was pending or the socket
+    /// refused it).
+    pub fn flush(&mut self) -> bool {
+        if self.pending.is_empty() {
+            return false;
+        }
+        let sent = {
+            // Move the batch out so `send_batch` can borrow `self`;
+            // swapping back afterwards keeps the allocation.
+            let pending = std::mem::take(&mut self.pending);
+            let ok = self.send_batch(&pending);
+            self.pending = pending;
+            ok
+        };
+        self.pending.clear();
+        self.pending_bytes = 0;
+        sent
+    }
+
+    /// Encodes `updates` as one frame (a plain `Update` frame for a
+    /// lone update, so unbatched traffic is byte-identical to the
+    /// pre-batching wire format) and puts it on the socket.
+    fn send_batch(&mut self, updates: &[Update]) -> bool {
+        self.frame.clear();
+        let result = match updates {
+            [single] => wire::encode_into(self.codec, &Message::Update(*single), &mut self.frame),
+            many => wire::encode_updates_into(self.codec, many, &mut self.frame),
+        };
+        if result.is_err() {
+            // Unreachable for well-formed updates; counted, not
+            // panicked, because this is the hot path.
+            let mut stats = self.stats.lock();
+            stats.frames_sent += 1;
+            stats.updates_sent += updates.len() as u64;
+            stats.frames_dropped += 1;
+            return false;
+        }
+        let ok = self.sock.send(&self.frame).is_ok();
         let mut stats = self.stats.lock();
         stats.frames_sent += 1;
+        stats.updates_sent += updates.len() as u64;
+        stats.bytes_sent += self.frame.len() as u64;
         if !ok {
             stats.frames_dropped += 1;
         }
         ok
     }
 
-    /// Signals end-of-stream by sending the Fin marker `repeats` times
-    /// (spaced slightly so a bursty loss episode cannot eat them all).
-    /// Fin datagrams are not counted as frames.
+    /// Signals end-of-stream by flushing any buffered batch and then
+    /// sending the Fin marker `repeats` times (spaced slightly so a
+    /// bursty loss episode cannot eat them all). Fin datagrams are not
+    /// counted as frames.
     pub fn finish(&mut self, repeats: usize) {
-        let frame = match wire::encode(&Message::Fin { node: self.node }) {
-            Ok(frame) => frame,
-            Err(_) => return,
-        };
+        self.flush();
+        self.frame.clear();
+        if wire::encode_into(self.codec, &Message::Fin { node: self.node }, &mut self.frame)
+            .is_err()
+        {
+            return;
+        }
         for i in 0..repeats.max(1) {
-            let _ = self.sock.send(&frame);
+            let _ = self.sock.send(&self.frame);
             if i + 1 < repeats {
                 rcm_sync::thread::sleep(Duration::from_micros(500));
             }
@@ -229,7 +339,11 @@ impl UdpFrontReceiver {
                 Err(_) => break,
             };
             last_activity = Instant::now();
-            self.stats.lock().frames_received += 1;
+            {
+                let mut stats = self.stats.lock();
+                stats.frames_received += 1;
+                stats.bytes_received += len as u64;
+            }
             match wire::decode_datagram(&buf[..len]) {
                 Ok(Message::Update(update)) => {
                     if self.gate.admit(&update) {
@@ -237,6 +351,20 @@ impl UdpFrontReceiver {
                         deliver(update);
                     } else {
                         self.stats.lock().dropped_stale += 1;
+                    }
+                }
+                // A batch is delivered exactly as if its updates had
+                // arrived as individual datagrams in batch order — the
+                // gate is the same per-variable high-water mark either
+                // way.
+                Ok(Message::UpdateBatch(updates)) => {
+                    for update in updates {
+                        if self.gate.admit(&update) {
+                            self.stats.lock().delivered += 1;
+                            deliver(update);
+                        } else {
+                            self.stats.lock().dropped_stale += 1;
+                        }
                     }
                 }
                 Ok(Message::Fin { node }) => {
@@ -364,6 +492,81 @@ mod tests {
         let stats = rx.run(|_| {});
         assert!(start.elapsed() >= Duration::from_millis(150));
         assert_eq!(stats.fins, 0);
+    }
+
+    #[test]
+    fn batched_updates_coalesce_and_deliver_in_order() {
+        let (tx, rx) = pair();
+        let mut tx = tx.batching(BatchPolicy {
+            max_count: 5,
+            max_bytes: 1200,
+            max_delay: Duration::from_secs(10),
+        });
+        let stats = tx.stats_handle();
+        let handle = rcm_sync::thread::spawn(move || {
+            let mut got = Vec::new();
+            let final_stats = rx.run(|u| got.push(u.seqno.get()));
+            (got, final_stats)
+        });
+        for s in 1..=20 {
+            assert!(tx.send_update(u(s, s as f64)));
+        }
+        tx.finish(4);
+        let (got, final_stats) = handle.join().expect("receiver thread");
+        assert_eq!(got, (1..=20).collect::<Vec<_>>());
+        assert_eq!(final_stats.delivered, 20);
+        assert_eq!(final_stats.frames_received, 5, "4 batch datagrams + 1 fin");
+        assert!(final_stats.bytes_received > 0);
+        let s = *stats.lock();
+        assert_eq!(s.frames_sent, 4, "count trigger: 20 updates, 5 per datagram");
+        assert_eq!(s.updates_sent, 20);
+        assert!(s.bytes_sent > 0);
+    }
+
+    #[test]
+    fn zero_deadline_flushes_the_previous_batch_on_each_send() {
+        let (tx, rx) = pair();
+        let mut tx =
+            tx.batching(BatchPolicy { max_count: 100, max_bytes: 1200, max_delay: Duration::ZERO });
+        let stats = tx.stats_handle();
+        let handle = rcm_sync::thread::spawn(move || rx.run(|_| {}));
+        for s in 1..=3 {
+            assert!(tx.send_update(u(s, 0.0)));
+        }
+        assert!(tx.flush(), "the last update was still buffered");
+        assert!(!tx.flush(), "nothing left to flush");
+        tx.finish(2);
+        let final_stats = handle.join().expect("receiver thread");
+        assert_eq!(final_stats.delivered, 3);
+        let s = *stats.lock();
+        assert_eq!(s.frames_sent, 3, "each send flushed the previously buffered update");
+        assert_eq!(s.updates_sent, 3);
+    }
+
+    #[test]
+    fn receiver_speaks_both_codecs_frame_by_frame() {
+        let rx = UdpFrontReceiver::bind("127.0.0.1:0".parse().expect("literal addr"))
+            .expect("bind receiver")
+            .idle_timeout(Duration::from_secs(2));
+        let target = rx.local_addr().expect("bound addr");
+        let handle = rcm_sync::thread::spawn(move || {
+            let mut got = Vec::new();
+            let stats = rx.run(|u| got.push(u.seqno.get()));
+            (got, stats)
+        });
+        let mut json_tx =
+            UdpFrontLink::connect(target, 0).expect("connect json").codec(Codec::Json);
+        let mut bin_tx = UdpFrontLink::connect(target, 1).expect("connect binary");
+        json_tx.send_update(u(1, 1.0));
+        rcm_sync::thread::sleep(Duration::from_millis(2));
+        bin_tx.send_update(u(2, 2.0));
+        rcm_sync::thread::sleep(Duration::from_millis(2));
+        json_tx.send_update(u(3, 3.0));
+        rcm_sync::thread::sleep(Duration::from_millis(2));
+        json_tx.finish(2);
+        let (got, stats) = handle.join().expect("receiver thread");
+        assert_eq!(got, vec![1, 2, 3], "frames dispatched per version byte, one gate");
+        assert_eq!(stats.decode_errors, 0);
     }
 
     #[test]

@@ -1,29 +1,58 @@
 //! The shared frame codec: every byte that crosses a monitoring link —
 //! in-process or on a real socket — goes through here.
 //!
-//! Frame layout (all integers big-endian):
+//! Frame layout (header integers big-endian):
 //!
 //! ```text
 //! +---------+-------------------+---------------------+-----------------+
-//! | version | payload length u32| FNV-1a-32 checksum  | payload (JSON)  |
+//! | version | payload length u32| FNV-1a-32 checksum  | payload         |
 //! |  1 byte |      4 bytes      |       4 bytes       | `length` bytes  |
 //! +---------+-------------------+---------------------+-----------------+
 //! ```
 //!
-//! The version byte fails fast on protocol skew between nodes built
-//! from different revisions; the checksum rejects payload corruption
-//! before the JSON parser ever sees it (UDP's 16-bit checksum is weak
-//! and optional, and a TCP stream that desynchronizes mid-frame would
-//! otherwise feed garbage lengths forever). The codec is symmetric and
-//! self-delimiting: a TCP byte stream decodes incrementally through a
-//! [`FrameBuf`], and a UDP datagram carries exactly one frame decoded
-//! with [`decode_datagram`].
+//! The version byte selects the payload codec — it is the negotiation
+//! mechanism, not just a skew check. Two codecs are live behind the
+//! [`SerDes`] seam:
+//!
+//! * version 2 — [`JsonSerDes`]: the original self-describing JSON
+//!   payload, kept for rollout interop and human-readable captures;
+//! * version 3 — [`BinarySerDes`]: a hand-rolled compact layout — one
+//!   tag byte, LEB128 varints for every id/seqno/count, and raw
+//!   little-endian `f64` bits — encoded into a caller-provided buffer
+//!   and decoded straight off the frame with no intermediate
+//!   allocation.
+//!
+//! Receivers dispatch per frame on the version byte, so a binary CE
+//! can serve a JSON AD (and vice versa) during a mixed-codec rollout;
+//! any *other* version byte fails fast on the first byte. The checksum
+//! rejects payload corruption before either parser sees it (UDP's
+//! 16-bit checksum is weak and optional, and a TCP stream that
+//! desynchronizes mid-frame would otherwise feed garbage lengths
+//! forever). The codec is symmetric and self-delimiting: a TCP byte
+//! stream decodes incrementally through a [`FrameBuf`], and a UDP
+//! datagram carries exactly one frame decoded with [`decode_datagram`].
+//!
+//! Binary payload layout (`varint` = unsigned LEB128, ≤ 10 bytes):
+//!
+//! ```text
+//! payload   := tag:u8 body
+//! tag       := 0 Update | 1 Alert | 2 Hello | 3 Fin
+//!            | 4 UpdateBatch | 5 AlertBatch
+//! update    := var:varint seqno:varint value:f64-le-bits
+//! alert     := cond:varint ce:varint index:varint
+//!              nvars:varint { var:varint nseq:varint seqno:varint* }*
+//!              nsnap:varint update*
+//! hello/fin := node:varint
+//! batches   := count:varint item*
+//! ```
 //!
 //! This module used to live in `rcm-runtime::wire` (which still
 //! re-exports it); it moved here so the socket transport and the
 //! in-process runtime share one frame format by construction.
 
-use rcm_core::{Alert, Update};
+use std::io;
+
+use rcm_core::{Alert, AlertId, CeId, CondId, SeqNo, Update, VarId};
 use serde::{Deserialize, Serialize};
 
 /// A message on a monitoring link.
@@ -48,6 +77,14 @@ pub enum Message {
         /// index on back links).
         node: u32,
     },
+    /// Several updates coalesced into one frame by a batching front
+    /// link. Receivers run each update through the seqno gate in batch
+    /// order, so delivery is indistinguishable from the updates having
+    /// arrived as individual frames.
+    UpdateBatch(Vec<Update>),
+    /// Several alerts coalesced into one back-link write. Order within
+    /// the batch is the send order.
+    AlertBatch(Vec<Alert>),
 }
 
 /// How much of an alert's history set is put on the wire.
@@ -136,9 +173,16 @@ impl CompactAlert {
         }
     }
 
-    /// Serialized payload size in bytes at this fidelity.
+    /// Serialized JSON payload size in bytes at this fidelity,
+    /// measured through the [`SerDes`] seam's counting sink — no
+    /// serialization buffer is allocated.
     pub fn encoded_len(&self) -> usize {
-        serde_json::to_vec(self).expect("well-formed alert serializes").len()
+        match json_len(self) {
+            Ok(len) => len,
+            // Unreachable for well-formed alerts; a zero length is a
+            // harmless answer for a sizing query on the hot path.
+            Err(_) => 0,
+        }
     }
 }
 
@@ -147,12 +191,18 @@ impl CompactAlert {
 pub enum WireError {
     /// The payload was not valid JSON for a [`Message`].
     Codec(serde_json::Error),
+    /// A binary payload was structurally invalid (bad tag, truncated
+    /// body, overflowing varint, malformed fingerprint, …).
+    Malformed {
+        /// What the decoder tripped on.
+        context: &'static str,
+    },
     /// A frame declared a length larger than the cap.
     FrameTooLarge {
         /// Declared payload size.
         declared: usize,
     },
-    /// The frame's version byte is not [`WIRE_VERSION`].
+    /// The frame's version byte names no codec this build speaks.
     BadVersion {
         /// The version byte found on the wire.
         found: u8,
@@ -182,11 +232,16 @@ impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WireError::Codec(e) => write!(f, "payload codec error: {e}"),
+            WireError::Malformed { context } => write!(f, "malformed binary payload: {context}"),
             WireError::FrameTooLarge { declared } => {
                 write!(f, "frame of {declared} bytes exceeds the {MAX_FRAME} byte cap")
             }
             WireError::BadVersion { found } => {
-                write!(f, "wire version {found} (this build speaks {WIRE_VERSION})")
+                write!(
+                    f,
+                    "wire version {found} (this build speaks {WIRE_VERSION} and \
+                     {BINARY_WIRE_VERSION})"
+                )
             }
             WireError::BadChecksum { declared, computed } => {
                 write!(f, "payload checksum {computed:#010x} != declared {declared:#010x}")
@@ -210,17 +265,480 @@ impl std::error::Error for WireError {
     }
 }
 
-/// The frame format revision this build speaks. Bump when the layout
-/// or the payload schema changes incompatibly.
+/// The JSON codec's version byte (the original frame format revision).
 pub const WIRE_VERSION: u8 = 2;
+
+/// The compact binary codec's version byte.
+pub const BINARY_WIRE_VERSION: u8 = 3;
 
 /// Bytes before the payload: version, length, checksum.
 pub const HEADER_LEN: usize = 9;
 
 /// Maximum accepted payload size; an alert's histories are bounded by
-/// the condition degree, so real frames are tiny — the cap exists to
-/// fail fast on corrupted length prefixes.
+/// the condition degree and batches are flushed long before this, so
+/// real frames are tiny — the cap exists to fail fast on corrupted
+/// length prefixes.
 pub const MAX_FRAME: usize = 1 << 20;
+
+/// Which payload codec a link speaks. The runtime-dispatch selector in
+/// front of the [`SerDes`] seam: configuration (topology, node-binary
+/// flags) carries a `Codec`, the seam does the work.
+///
+/// Receivers do not need one — they dispatch on each frame's version
+/// byte, which is what lets mixed-codec fleets interoperate during a
+/// rollout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Codec {
+    /// Version-2 self-describing JSON payloads.
+    Json,
+    /// Version-3 compact binary payloads (the default).
+    #[default]
+    Binary,
+}
+
+impl Codec {
+    /// The version byte frames of this codec carry.
+    pub const fn version(self) -> u8 {
+        match self {
+            Codec::Json => JsonSerDes::VERSION,
+            Codec::Binary => BinarySerDes::VERSION,
+        }
+    }
+
+    /// The codec a version byte names, if any.
+    pub const fn from_version(version: u8) -> Option<Codec> {
+        match version {
+            WIRE_VERSION => Some(Codec::Json),
+            BINARY_WIRE_VERSION => Some(Codec::Binary),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling used by the node binaries (`--codec json`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Codec::Json => "json",
+            Codec::Binary => "binary",
+        }
+    }
+}
+
+impl std::str::FromStr for Codec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "json" => Ok(Codec::Json),
+            "binary" => Ok(Codec::Binary),
+            other => Err(format!("unknown codec {other:?} (expected json or binary)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Codec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The pluggable serializer/deserializer seam. A codec implements this
+/// to plug into the shared framing (version byte, length, checksum):
+/// encoding appends to a caller-provided buffer so steady-state links
+/// reuse one allocation, decoding reads straight off the frame slice,
+/// and sizing is computed without serializing into a buffer at all.
+pub trait SerDes {
+    /// The version byte frames of this codec carry on the wire.
+    const VERSION: u8;
+
+    /// Appends `msg`'s payload encoding (no header) to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Codec-specific serialization failures.
+    fn encode_payload(msg: &Message, out: &mut Vec<u8>) -> Result<(), WireError>;
+
+    /// Appends a borrowed update run as an `UpdateBatch` payload —
+    /// the batching fast path, identical bytes to
+    /// `encode_payload(&Message::UpdateBatch(updates.to_vec()))`
+    /// without taking ownership of the batch.
+    ///
+    /// # Errors
+    ///
+    /// Codec-specific serialization failures.
+    fn encode_update_slice(updates: &[Update], out: &mut Vec<u8>) -> Result<(), WireError>;
+
+    /// Appends a borrowed alert run as an `AlertBatch` payload; see
+    /// [`SerDes::encode_update_slice`].
+    ///
+    /// # Errors
+    ///
+    /// Codec-specific serialization failures.
+    fn encode_alert_slice(alerts: &[Alert], out: &mut Vec<u8>) -> Result<(), WireError>;
+
+    /// Decodes one complete payload.
+    ///
+    /// # Errors
+    ///
+    /// Codec-specific parse failures; must never panic, whatever the
+    /// bytes.
+    fn decode_payload(payload: &[u8]) -> Result<Message, WireError>;
+
+    /// Exact encoded payload size in bytes, computed without
+    /// allocating.
+    ///
+    /// # Errors
+    ///
+    /// Codec-specific serialization failures.
+    fn payload_len(msg: &Message) -> Result<usize, WireError>;
+}
+
+/// An `io::Write` sink that only counts — the allocation-free length
+/// path of the JSON codec.
+struct ByteCount(usize);
+
+impl io::Write for ByteCount {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0 += buf.len();
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Serialized JSON size of any value, streamed into a counting sink.
+fn json_len<T: Serialize + ?Sized>(value: &T) -> Result<usize, WireError> {
+    let mut sink = ByteCount(0);
+    serde_json::to_writer(&mut sink, value).map_err(WireError::Codec)?;
+    Ok(sink.0)
+}
+
+/// Serde mirror of the batch variants over borrowed slices: serializes
+/// byte-identically to the owned [`Message`] variants (same externally
+/// tagged layout, same variant names).
+#[derive(Serialize)]
+enum BorrowedBatch<'a> {
+    UpdateBatch(&'a [Update]),
+    AlertBatch(&'a [Alert]),
+}
+
+/// The version-2 JSON codec: self-describing, interoperable,
+/// human-readable in a capture — and an order of magnitude slower than
+/// [`BinarySerDes`], which is why it is no longer the default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsonSerDes;
+
+impl SerDes for JsonSerDes {
+    const VERSION: u8 = WIRE_VERSION;
+
+    fn encode_payload(msg: &Message, out: &mut Vec<u8>) -> Result<(), WireError> {
+        serde_json::to_writer(&mut *out, msg).map_err(WireError::Codec)
+    }
+
+    fn encode_update_slice(updates: &[Update], out: &mut Vec<u8>) -> Result<(), WireError> {
+        serde_json::to_writer(&mut *out, &BorrowedBatch::UpdateBatch(updates))
+            .map_err(WireError::Codec)
+    }
+
+    fn encode_alert_slice(alerts: &[Alert], out: &mut Vec<u8>) -> Result<(), WireError> {
+        serde_json::to_writer(&mut *out, &BorrowedBatch::AlertBatch(alerts))
+            .map_err(WireError::Codec)
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<Message, WireError> {
+        serde_json::from_slice(payload).map_err(WireError::Codec)
+    }
+
+    fn payload_len(msg: &Message) -> Result<usize, WireError> {
+        json_len(msg)
+    }
+}
+
+/// Message tags of the binary payload layout.
+mod tag {
+    pub const UPDATE: u8 = 0;
+    pub const ALERT: u8 = 1;
+    pub const HELLO: u8 = 2;
+    pub const FIN: u8 = 3;
+    pub const UPDATE_BATCH: u8 = 4;
+    pub const ALERT_BATCH: u8 = 5;
+}
+
+/// Smallest possible binary encoding of one update (two 1-byte varints
+/// plus the 8 value bytes) — used to bound declared batch counts.
+const UPDATE_WIRE_MIN: usize = 10;
+
+/// Smallest possible binary encoding of one alert (five 1-byte
+/// varints: cond, ce, index, zero history entries, zero snapshot).
+const ALERT_WIRE_MIN: usize = 5;
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn varint_len(mut v: u64) -> usize {
+    let mut len = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        len += 1;
+    }
+    len
+}
+
+fn put_update(out: &mut Vec<u8>, update: &Update) {
+    put_varint(out, u64::from(update.var.index()));
+    put_varint(out, update.seqno.get());
+    out.extend_from_slice(&update.value.to_bits().to_le_bytes());
+}
+
+fn update_wire_len(update: &Update) -> usize {
+    varint_len(u64::from(update.var.index())) + varint_len(update.seqno.get()) + 8
+}
+
+fn put_alert(out: &mut Vec<u8>, alert: &Alert) {
+    put_varint(out, u64::from(alert.cond.index()));
+    put_varint(out, u64::from(alert.id.ce.index()));
+    put_varint(out, alert.id.index);
+    put_varint(out, alert.fingerprint.iter().count() as u64);
+    for (var, seqnos) in alert.fingerprint.iter() {
+        put_varint(out, u64::from(var.index()));
+        put_varint(out, seqnos.len() as u64);
+        for s in seqnos {
+            put_varint(out, s.get());
+        }
+    }
+    put_varint(out, alert.snapshot.len() as u64);
+    for update in alert.snapshot.iter() {
+        put_update(out, update);
+    }
+}
+
+fn alert_wire_len(alert: &Alert) -> usize {
+    let mut len = varint_len(u64::from(alert.cond.index()))
+        + varint_len(u64::from(alert.id.ce.index()))
+        + varint_len(alert.id.index)
+        + varint_len(alert.fingerprint.iter().count() as u64)
+        + varint_len(alert.snapshot.len() as u64);
+    for (var, seqnos) in alert.fingerprint.iter() {
+        len += varint_len(u64::from(var.index())) + varint_len(seqnos.len() as u64);
+        for s in seqnos {
+            len += varint_len(s.get());
+        }
+    }
+    for update in alert.snapshot.iter() {
+        len += update_wire_len(update);
+    }
+    len
+}
+
+/// Forward-only reader over a binary payload. Every accessor reports
+/// truncation instead of panicking — the decoder's promise on garbage.
+struct Reader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.bytes.len() < n {
+            return Err(WireError::Malformed { context: "payload ended early" });
+        }
+        let (head, rest) = self.bytes.split_at(n);
+        self.bytes = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn varint(&mut self) -> Result<u64, WireError> {
+        let mut value: u64 = 0;
+        let mut shift: u32 = 0;
+        loop {
+            let byte = self.u8()?;
+            let bits = u64::from(byte & 0x7f);
+            if shift > 63 || (shift == 63 && bits > 1) {
+                return Err(WireError::Malformed { context: "varint overflows 64 bits" });
+            }
+            value |= bits << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    fn varint_u32(&mut self) -> Result<u32, WireError> {
+        u32::try_from(self.varint()?)
+            .map_err(|_| WireError::Malformed { context: "id overflows 32 bits" })
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        let raw = self.take(8)?;
+        let mut bits = [0u8; 8];
+        bits.copy_from_slice(raw);
+        Ok(f64::from_bits(u64::from_le_bytes(bits)))
+    }
+
+    fn update(&mut self) -> Result<Update, WireError> {
+        let var = VarId::new(self.varint_u32()?);
+        let seqno = self.varint()?;
+        let value = self.f64()?;
+        Ok(Update::new(var, seqno, value))
+    }
+
+    fn update_batch(&mut self) -> Result<Vec<Update>, WireError> {
+        let count = self.varint()? as usize;
+        if count > self.remaining() / UPDATE_WIRE_MIN + 1 {
+            return Err(WireError::Malformed { context: "batch count exceeds payload" });
+        }
+        let mut updates = Vec::with_capacity(count);
+        for _ in 0..count {
+            updates.push(self.update()?);
+        }
+        Ok(updates)
+    }
+
+    fn alert(&mut self) -> Result<Alert, WireError> {
+        let cond = CondId::new(self.varint_u32()?);
+        let ce = CeId::new(self.varint_u32()?);
+        let index = self.varint()?;
+        let nvars = self.varint()? as usize;
+        if nvars > self.remaining() / 2 + 1 {
+            return Err(WireError::Malformed { context: "history count exceeds payload" });
+        }
+        let mut entries: Vec<(VarId, Vec<SeqNo>)> = Vec::with_capacity(nvars);
+        for _ in 0..nvars {
+            let var = VarId::new(self.varint_u32()?);
+            let nseq = self.varint()? as usize;
+            if nseq > self.remaining() {
+                return Err(WireError::Malformed { context: "history count exceeds payload" });
+            }
+            let mut seqnos = Vec::with_capacity(nseq);
+            for _ in 0..nseq {
+                seqnos.push(SeqNo::new(self.varint()?));
+            }
+            entries.push((var, seqnos));
+        }
+        let fingerprint = rcm_core::HistoryFingerprint::try_new(entries)
+            .map_err(|_| WireError::Malformed { context: "invalid history fingerprint" })?;
+        let snapshot = self.update_batch()?;
+        Ok(Alert::new(cond, fingerprint, snapshot, AlertId { ce, index }))
+    }
+}
+
+/// The version-3 compact binary codec. See the module docs for the
+/// layout; the design point is that the per-message fixed cost is a
+/// handful of varint reads instead of a JSON parse, and encode writes
+/// straight into the caller's frame buffer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BinarySerDes;
+
+impl SerDes for BinarySerDes {
+    const VERSION: u8 = BINARY_WIRE_VERSION;
+
+    fn encode_payload(msg: &Message, out: &mut Vec<u8>) -> Result<(), WireError> {
+        match msg {
+            Message::Update(u) => {
+                out.push(tag::UPDATE);
+                put_update(out, u);
+            }
+            Message::Alert(a) => {
+                out.push(tag::ALERT);
+                put_alert(out, a);
+            }
+            Message::Hello { node } => {
+                out.push(tag::HELLO);
+                put_varint(out, u64::from(*node));
+            }
+            Message::Fin { node } => {
+                out.push(tag::FIN);
+                put_varint(out, u64::from(*node));
+            }
+            Message::UpdateBatch(updates) => return Self::encode_update_slice(updates, out),
+            Message::AlertBatch(alerts) => return Self::encode_alert_slice(alerts, out),
+        }
+        Ok(())
+    }
+
+    fn encode_update_slice(updates: &[Update], out: &mut Vec<u8>) -> Result<(), WireError> {
+        out.push(tag::UPDATE_BATCH);
+        put_varint(out, updates.len() as u64);
+        for u in updates {
+            put_update(out, u);
+        }
+        Ok(())
+    }
+
+    fn encode_alert_slice(alerts: &[Alert], out: &mut Vec<u8>) -> Result<(), WireError> {
+        out.push(tag::ALERT_BATCH);
+        put_varint(out, alerts.len() as u64);
+        for a in alerts {
+            put_alert(out, a);
+        }
+        Ok(())
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<Message, WireError> {
+        let mut r = Reader::new(payload);
+        let msg = match r.u8()? {
+            tag::UPDATE => Message::Update(r.update()?),
+            tag::ALERT => Message::Alert(r.alert()?),
+            tag::HELLO => Message::Hello { node: r.varint_u32()? },
+            tag::FIN => Message::Fin { node: r.varint_u32()? },
+            tag::UPDATE_BATCH => Message::UpdateBatch(r.update_batch()?),
+            tag::ALERT_BATCH => {
+                let count = r.varint()? as usize;
+                if count > r.remaining() / ALERT_WIRE_MIN + 1 {
+                    return Err(WireError::Malformed { context: "batch count exceeds payload" });
+                }
+                let mut alerts = Vec::with_capacity(count);
+                for _ in 0..count {
+                    alerts.push(r.alert()?);
+                }
+                Message::AlertBatch(alerts)
+            }
+            _ => return Err(WireError::Malformed { context: "unknown message tag" }),
+        };
+        if r.remaining() != 0 {
+            return Err(WireError::Malformed { context: "trailing payload bytes" });
+        }
+        Ok(msg)
+    }
+
+    fn payload_len(msg: &Message) -> Result<usize, WireError> {
+        Ok(match msg {
+            Message::Update(u) => 1 + update_wire_len(u),
+            Message::Alert(a) => 1 + alert_wire_len(a),
+            Message::Hello { node } | Message::Fin { node } => 1 + varint_len(u64::from(*node)),
+            Message::UpdateBatch(updates) => {
+                1 + varint_len(updates.len() as u64)
+                    + updates.iter().map(update_wire_len).sum::<usize>()
+            }
+            Message::AlertBatch(alerts) => {
+                1 + varint_len(alerts.len() as u64)
+                    + alerts.iter().map(alert_wire_len).sum::<usize>()
+            }
+        })
+    }
+}
 
 /// FNV-1a over the payload: cheap, dependency-free, and plenty to
 /// catch the bit flips and desynchronized-stream garbage this header
@@ -234,20 +752,122 @@ fn fnv1a(bytes: &[u8]) -> u32 {
     hash
 }
 
-/// Encodes a message as one framed byte vector.
+/// Appends one complete frame to `out`: writes the version byte,
+/// leaves room for the length/checksum, runs `encode`, then patches
+/// the header over what it produced. On error `out` is truncated back
+/// to its original length.
+fn frame_with(
+    codec: Codec,
+    out: &mut Vec<u8>,
+    encode: impl FnOnce(&mut Vec<u8>) -> Result<(), WireError>,
+) -> Result<(), WireError> {
+    let start = out.len();
+    out.push(codec.version());
+    out.extend_from_slice(&[0u8; 8]);
+    if let Err(e) = encode(out) {
+        out.truncate(start);
+        return Err(e);
+    }
+    let payload_start = start + HEADER_LEN;
+    let payload_len = out.len() - payload_start;
+    if payload_len > MAX_FRAME {
+        out.truncate(start);
+        return Err(WireError::FrameTooLarge { declared: payload_len });
+    }
+    let checksum = fnv1a(&out[payload_start..]);
+    out[start + 1..start + 5].copy_from_slice(&(payload_len as u32).to_be_bytes());
+    out[start + 5..start + 9].copy_from_slice(&checksum.to_be_bytes());
+    Ok(())
+}
+
+/// Encodes a message as one framed byte vector in the legacy JSON
+/// codec — kept for tests and captures that want self-describing
+/// frames; production links use [`encode_into`] with a configured
+/// [`Codec`] and a reused buffer.
 ///
 /// # Errors
 ///
 /// Returns [`WireError::Codec`] if serialization fails (cannot happen
 /// for well-formed messages; kept fallible for API honesty).
 pub fn encode(msg: &Message) -> Result<Vec<u8>, WireError> {
-    let payload = serde_json::to_vec(msg).map_err(WireError::Codec)?;
-    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
-    buf.push(WIRE_VERSION);
-    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-    buf.extend_from_slice(&fnv1a(&payload).to_be_bytes());
-    buf.extend_from_slice(&payload);
-    Ok(buf)
+    encode_with(Codec::Json, msg)
+}
+
+/// Encodes a message as one framed byte vector in the given codec.
+///
+/// # Errors
+///
+/// Serialization failures from the selected codec.
+pub fn encode_with(codec: Codec, msg: &Message) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::new();
+    encode_into(codec, msg, &mut out)?;
+    Ok(out)
+}
+
+/// Appends one complete frame for `msg` to `out` — the zero-allocation
+/// encode path: a link clears and reuses one buffer across sends.
+///
+/// # Errors
+///
+/// Serialization failures from the selected codec; `out` is left
+/// unchanged on error.
+pub fn encode_into(codec: Codec, msg: &Message, out: &mut Vec<u8>) -> Result<(), WireError> {
+    frame_with(codec, out, |out| match codec {
+        Codec::Json => JsonSerDes::encode_payload(msg, out),
+        Codec::Binary => BinarySerDes::encode_payload(msg, out),
+    })
+}
+
+/// Appends one `UpdateBatch` frame for a borrowed update run —
+/// byte-identical to `encode_into` of [`Message::UpdateBatch`] without
+/// taking ownership of the batch.
+///
+/// # Errors
+///
+/// Serialization failures from the selected codec; `out` is left
+/// unchanged on error.
+pub fn encode_updates_into(
+    codec: Codec,
+    updates: &[Update],
+    out: &mut Vec<u8>,
+) -> Result<(), WireError> {
+    frame_with(codec, out, |out| match codec {
+        Codec::Json => JsonSerDes::encode_update_slice(updates, out),
+        Codec::Binary => BinarySerDes::encode_update_slice(updates, out),
+    })
+}
+
+/// Appends one `AlertBatch` frame for a borrowed alert run; see
+/// [`encode_updates_into`].
+///
+/// # Errors
+///
+/// Serialization failures from the selected codec; `out` is left
+/// unchanged on error.
+pub fn encode_alerts_into(
+    codec: Codec,
+    alerts: &[Alert],
+    out: &mut Vec<u8>,
+) -> Result<(), WireError> {
+    frame_with(codec, out, |out| match codec {
+        Codec::Json => JsonSerDes::encode_alert_slice(alerts, out),
+        Codec::Binary => BinarySerDes::encode_alert_slice(alerts, out),
+    })
+}
+
+/// The complete frame size (header + payload) `msg` would occupy in
+/// `codec`, computed without encoding — what the batching links use
+/// for their size-triggered flush.
+///
+/// # Errors
+///
+/// Serialization failures from the selected codec.
+pub fn frame_len(codec: Codec, msg: &Message) -> Result<usize, WireError> {
+    let payload = match codec {
+        Codec::Json => JsonSerDes::payload_len(msg)?,
+        Codec::Binary => BinarySerDes::payload_len(msg)?,
+    };
+    Ok(HEADER_LEN + payload)
 }
 
 /// An incremental decode buffer for framed byte streams (the TCP
@@ -307,15 +927,13 @@ impl From<&[u8]> for FrameBuf {
 }
 
 /// Parses one frame header from `bytes`; `Ok(None)` means incomplete.
-/// On success returns the payload length (the payload begins at
-/// [`HEADER_LEN`]).
-fn parse_header(bytes: &[u8]) -> Result<Option<usize>, WireError> {
-    if bytes.is_empty() {
-        return Ok(None);
-    }
-    if bytes[0] != WIRE_VERSION {
-        return Err(WireError::BadVersion { found: bytes[0] });
-    }
+/// On success returns the payload codec (dispatched off the version
+/// byte) and the payload length (the payload begins at [`HEADER_LEN`]).
+fn parse_header(bytes: &[u8]) -> Result<Option<(Codec, usize)>, WireError> {
+    let Some(&version) = bytes.first() else { return Ok(None) };
+    let Some(codec) = Codec::from_version(version) else {
+        return Err(WireError::BadVersion { found: version });
+    };
     if bytes.len() < HEADER_LEN {
         return Ok(None);
     }
@@ -323,24 +941,28 @@ fn parse_header(bytes: &[u8]) -> Result<Option<usize>, WireError> {
     if declared > MAX_FRAME {
         return Err(WireError::FrameTooLarge { declared });
     }
-    Ok(Some(declared))
+    Ok(Some((codec, declared)))
 }
 
 /// Verifies and deserializes a complete frame's payload.
-fn parse_payload(header: &[u8], payload: &[u8]) -> Result<Message, WireError> {
+fn parse_payload(codec: Codec, header: &[u8], payload: &[u8]) -> Result<Message, WireError> {
     let declared = u32::from_be_bytes([header[5], header[6], header[7], header[8]]);
     let computed = fnv1a(payload);
     if computed != declared {
         return Err(WireError::BadChecksum { declared, computed });
     }
-    serde_json::from_slice(payload).map_err(WireError::Codec)
+    match codec {
+        Codec::Json => JsonSerDes::decode_payload(payload),
+        Codec::Binary => BinarySerDes::decode_payload(payload),
+    }
 }
 
 /// Attempts to decode one frame from the front of `buf`.
 ///
 /// Returns `Ok(None)` when the buffer does not yet hold a complete
 /// frame (read more bytes and retry); on success the frame's bytes are
-/// consumed from `buf`.
+/// consumed from `buf`. Frames of either codec are accepted, each
+/// dispatched on its own version byte.
 ///
 /// A decode error is fatal for the stream: the buffer's read position
 /// is left at the bad frame, and a desynchronized or corrupted peer
@@ -351,28 +973,30 @@ fn parse_payload(header: &[u8], payload: &[u8]) -> Result<Message, WireError> {
 /// [`WireError::BadVersion`] for protocol skew,
 /// [`WireError::FrameTooLarge`] for implausible length prefixes,
 /// [`WireError::BadChecksum`] for corrupted payloads and
-/// [`WireError::Codec`] for undecodable ones.
+/// [`WireError::Codec`] / [`WireError::Malformed`] for undecodable
+/// ones.
 pub fn decode(buf: &mut FrameBuf) -> Result<Option<Message>, WireError> {
-    let Some(declared) = parse_header(buf.pending())? else { return Ok(None) };
+    let Some((codec, declared)) = parse_header(buf.pending())? else { return Ok(None) };
     if buf.len() < HEADER_LEN + declared {
         return Ok(None);
     }
     let (header, rest) = buf.pending().split_at(HEADER_LEN);
-    let msg = parse_payload(header, &rest[..declared])?;
+    let msg = parse_payload(codec, header, &rest[..declared])?;
     buf.consume(HEADER_LEN + declared);
     Ok(Some(msg))
 }
 
 /// Decodes a datagram that must contain exactly one whole frame — the
 /// UDP side, where the kernel already delimits messages and a partial
-/// or over-full datagram is corruption, not back-pressure.
+/// or over-full datagram is corruption, not back-pressure. Frames of
+/// either codec are accepted.
 ///
 /// # Errors
 ///
 /// Everything [`decode`] can return, plus [`WireError::Truncated`] and
 /// [`WireError::TrailingBytes`] for mis-sized datagrams.
 pub fn decode_datagram(bytes: &[u8]) -> Result<Message, WireError> {
-    let Some(declared) = parse_header(bytes)? else {
+    let Some((codec, declared)) = parse_header(bytes)? else {
         return Err(WireError::Truncated { declared: HEADER_LEN, got: bytes.len() });
     };
     let got = bytes.len() - HEADER_LEN;
@@ -383,25 +1007,44 @@ pub fn decode_datagram(bytes: &[u8]) -> Result<Message, WireError> {
         return Err(WireError::TrailingBytes { extra: got - declared });
     }
     let (header, payload) = bytes.split_at(HEADER_LEN);
-    parse_payload(header, payload)
+    parse_payload(codec, header, payload)
 }
 
-/// Round-trips a message through the codec — used by links to make
-/// every delivered message cross a real serialization boundary.
+/// Round-trips a message through the binary codec — used by the
+/// in-process links to make every delivered message cross a real
+/// serialization boundary.
 ///
 /// # Panics
 ///
 /// Panics if the codec disagrees with itself; that is a bug worth
 /// crashing on.
 pub fn roundtrip(msg: &Message) -> Message {
-    let bytes = encode(msg).expect("encoding well-formed message");
-    decode_datagram(&bytes).expect("decoding own frame")
+    roundtrip_with(Codec::Binary, msg)
+}
+
+/// Round-trips a message through the given codec; see [`roundtrip`].
+///
+/// # Panics
+///
+/// Panics if the codec disagrees with itself; that is a bug worth
+/// crashing on.
+pub fn roundtrip_with(codec: Codec, msg: &Message) -> Message {
+    let bytes = match encode_with(codec, msg) {
+        Ok(bytes) => bytes,
+        Err(e) => panic!("encoding well-formed message: {e}"),
+    };
+    match decode_datagram(&bytes) {
+        Ok(msg) => msg,
+        Err(e) => panic!("decoding own frame: {e}"),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rcm_core::{AlertId, CeId, CondId, HistoryFingerprint, SeqNo, Update, VarId};
+
+    const CODECS: [Codec; 2] = [Codec::Json, Codec::Binary];
 
     fn update() -> Update {
         Update::new(VarId::new(3), 17, 3000.5)
@@ -414,6 +1057,20 @@ mod tests {
             vec![update()],
             AlertId { ce: CeId::new(1), index: 9 },
         )
+    }
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::Update(update()),
+            Message::Alert(alert()),
+            Message::Hello { node: 7 },
+            Message::Fin { node: 0 },
+            Message::UpdateBatch(vec![]),
+            Message::UpdateBatch(
+                (0..5).map(|i| Update::new(VarId::new(1), i + 1, i as f64)).collect(),
+            ),
+            Message::AlertBatch(vec![alert(), alert()]),
+        ]
     }
 
     #[test]
@@ -430,16 +1087,106 @@ mod tests {
     }
 
     #[test]
-    fn alert_roundtrip_preserves_fingerprint_and_provenance() {
-        let m = Message::Alert(alert());
-        let back = roundtrip(&m);
-        match (m, back) {
-            (Message::Alert(a), Message::Alert(b)) => {
-                assert_eq!(a, b); // identity (cond + fingerprint)
-                assert_eq!(a.id, b.id); // provenance survives too
-                assert_eq!(a.snapshot.len(), b.snapshot.len());
+    fn every_message_roundtrips_in_both_codecs() {
+        for codec in CODECS {
+            for m in sample_messages() {
+                assert_eq!(roundtrip_with(codec, &m), m, "{codec} codec, {m:?}");
             }
-            _ => panic!("variant changed in flight"),
+        }
+    }
+
+    #[test]
+    fn alert_roundtrip_preserves_fingerprint_and_provenance() {
+        for codec in CODECS {
+            let m = Message::Alert(alert());
+            let back = roundtrip_with(codec, &m);
+            match (m, back) {
+                (Message::Alert(a), Message::Alert(b)) => {
+                    assert_eq!(a, b); // identity (cond + fingerprint)
+                    assert_eq!(a.id, b.id); // provenance survives too
+                    assert_eq!(a.snapshot[..], b.snapshot[..]); // values exact in both codecs
+                }
+                _ => panic!("variant changed in flight"),
+            }
+        }
+    }
+
+    #[test]
+    fn payload_len_is_exact_without_encoding() {
+        for codec in CODECS {
+            for m in sample_messages() {
+                let frame = encode_with(codec, &m).expect("encodes");
+                assert_eq!(
+                    frame_len(codec, &m).expect("sized"),
+                    frame.len(),
+                    "{codec} codec, {m:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binary_frames_are_smaller_than_json() {
+        for m in [Message::Update(update()), Message::Alert(alert())] {
+            let json = encode_with(Codec::Json, &m).expect("encodes").len();
+            let binary = encode_with(Codec::Binary, &m).expect("encodes").len();
+            assert!(binary * 3 < json, "binary {binary} vs json {json} for {m:?}");
+        }
+    }
+
+    #[test]
+    fn encode_into_appends_reusing_the_buffer() {
+        let mut buf = Vec::new();
+        let m1 = Message::Update(update());
+        let m2 = Message::Fin { node: 1 };
+        encode_into(Codec::Binary, &m1, &mut buf).expect("encodes");
+        let first = buf.len();
+        encode_into(Codec::Binary, &m2, &mut buf).expect("encodes");
+        assert_eq!(&buf[..first], &encode_with(Codec::Binary, &m1).expect("encodes")[..]);
+        assert_eq!(&buf[first..], &encode_with(Codec::Binary, &m2).expect("encodes")[..]);
+        // The streaming decoder consumes both appended frames.
+        let mut frames = FrameBuf::from(&buf[..]);
+        assert_eq!(decode(&mut frames).expect("decodes"), Some(m1));
+        assert_eq!(decode(&mut frames).expect("decodes"), Some(m2));
+        assert!(frames.is_empty());
+    }
+
+    #[test]
+    fn slice_encoders_match_the_owned_batch_variants() {
+        let updates: Vec<Update> = (0..4).map(|i| Update::new(VarId::new(0), i + 1, 0.5)).collect();
+        let alerts = vec![alert(), alert()];
+        for codec in CODECS {
+            let mut from_slice = Vec::new();
+            encode_updates_into(codec, &updates, &mut from_slice).expect("encodes");
+            let owned =
+                encode_with(codec, &Message::UpdateBatch(updates.clone())).expect("encodes");
+            assert_eq!(from_slice, owned, "{codec} update batch");
+            let mut from_slice = Vec::new();
+            encode_alerts_into(codec, &alerts, &mut from_slice).expect("encodes");
+            let owned = encode_with(codec, &Message::AlertBatch(alerts.clone())).expect("encodes");
+            assert_eq!(from_slice, owned, "{codec} alert batch");
+        }
+    }
+
+    #[test]
+    fn cross_codec_relabel_is_rejected_not_misparsed() {
+        // A frame whose version byte is rewritten to the *other* codec
+        // passes the checksum (it covers only the payload) but must
+        // fail cleanly in the payload parser — this is what makes the
+        // version byte a safe negotiation mechanism for mixed fleets.
+        for m in sample_messages() {
+            let mut as_binary = encode_with(Codec::Binary, &m).expect("encodes");
+            as_binary[0] = WIRE_VERSION;
+            assert!(
+                matches!(decode_datagram(&as_binary), Err(WireError::Codec(_))),
+                "binary payload misparsed as JSON for {m:?}"
+            );
+            let mut as_json = encode_with(Codec::Json, &m).expect("encodes");
+            as_json[0] = BINARY_WIRE_VERSION;
+            assert!(
+                matches!(decode_datagram(&as_json), Err(WireError::Malformed { .. })),
+                "JSON payload misparsed as binary for {m:?}"
+            );
         }
     }
 
@@ -447,8 +1194,9 @@ mod tests {
     fn streamed_frames_decode_incrementally() {
         let m1 = Message::Update(update());
         let m2 = Message::Alert(alert());
-        let f1 = encode(&m1).expect("update frame encodes");
-        let f2 = encode(&m2).expect("alert frame encodes");
+        // Mixed-codec stream: one JSON frame, one binary frame.
+        let f1 = encode_with(Codec::Json, &m1).expect("update frame encodes");
+        let f2 = encode_with(Codec::Binary, &m2).expect("alert frame encodes");
         let mut buf = FrameBuf::new();
         // Feed byte by byte; decoder must wait for full frames.
         let all: Vec<u8> = f1.iter().chain(f2.iter()).copied().collect();
@@ -465,56 +1213,117 @@ mod tests {
 
     #[test]
     fn oversized_frame_rejected() {
-        let mut raw = vec![WIRE_VERSION];
-        raw.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
-        raw.extend_from_slice(&[0; 12]);
-        let mut buf = FrameBuf::from(&raw[..]);
-        assert!(matches!(decode(&mut buf), Err(WireError::FrameTooLarge { .. })));
+        for version in [WIRE_VERSION, BINARY_WIRE_VERSION] {
+            let mut raw = vec![version];
+            raw.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
+            raw.extend_from_slice(&[0; 12]);
+            let mut buf = FrameBuf::from(&raw[..]);
+            assert!(matches!(decode(&mut buf), Err(WireError::FrameTooLarge { .. })));
+        }
     }
 
     #[test]
-    fn wrong_version_rejected_on_the_first_byte() {
+    fn unknown_version_rejected_on_the_first_byte() {
+        // 2 and 3 are live codecs; anything else is skew. One byte
+        // suffices: the reject happens before any length read.
         let mut frame = encode(&Message::Update(update())).expect("encodes");
-        frame[0] = WIRE_VERSION + 1;
+        frame[0] = 9;
         let mut buf = FrameBuf::from(&frame[..1]);
-        // One byte suffices: skew fails fast, before any length read.
-        assert!(
-            matches!(decode(&mut buf), Err(WireError::BadVersion { found }) if found == WIRE_VERSION + 1)
-        );
+        assert!(matches!(decode(&mut buf), Err(WireError::BadVersion { found: 9 })));
         assert!(matches!(decode_datagram(&frame), Err(WireError::BadVersion { .. })));
     }
 
     #[test]
     fn flipped_payload_byte_fails_the_checksum() {
-        let mut frame = encode(&Message::Alert(alert())).expect("encodes");
-        let last = frame.len() - 1;
-        frame[last] ^= 0x01;
-        let mut buf = FrameBuf::from(&frame[..]);
-        assert!(matches!(decode(&mut buf), Err(WireError::BadChecksum { .. })));
-        assert!(matches!(decode_datagram(&frame), Err(WireError::BadChecksum { .. })));
+        for codec in CODECS {
+            let mut frame = encode_with(codec, &Message::Alert(alert())).expect("encodes");
+            let last = frame.len() - 1;
+            frame[last] ^= 0x01;
+            let mut buf = FrameBuf::from(&frame[..]);
+            assert!(matches!(decode(&mut buf), Err(WireError::BadChecksum { .. })));
+            assert!(matches!(decode_datagram(&frame), Err(WireError::BadChecksum { .. })));
+        }
+    }
+
+    fn raw_frame(version: u8, payload: &[u8]) -> Vec<u8> {
+        let mut raw = vec![version];
+        raw.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        raw.extend_from_slice(&fnv1a(payload).to_be_bytes());
+        raw.extend_from_slice(payload);
+        raw
     }
 
     #[test]
     fn garbage_payload_with_honest_checksum_rejected_by_codec() {
-        let payload = b"wat";
-        let mut raw = vec![WIRE_VERSION];
-        raw.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-        raw.extend_from_slice(&fnv1a(payload).to_be_bytes());
-        raw.extend_from_slice(payload);
-        let mut buf = FrameBuf::from(&raw[..]);
+        let mut buf = FrameBuf::from(&raw_frame(WIRE_VERSION, b"wat")[..]);
         assert!(matches!(decode(&mut buf), Err(WireError::Codec(_))));
     }
 
     #[test]
+    fn malformed_binary_payloads_error_without_panicking() {
+        // tag 9 does not exist
+        let bad_tag = raw_frame(BINARY_WIRE_VERSION, &[9]);
+        // update truncated after the var id
+        let truncated = raw_frame(BINARY_WIRE_VERSION, &[tag::UPDATE, 3]);
+        // alert with an increasing (invalid) seqno history: cond 0,
+        // ce 0, index 0, 1 var, var 0, 2 seqnos: 2 then 3
+        let bad_fp = raw_frame(BINARY_WIRE_VERSION, &[tag::ALERT, 0, 0, 0, 1, 0, 2, 2, 3, 0]);
+        // batch declaring far more updates than the payload could hold
+        let bad_count = raw_frame(BINARY_WIRE_VERSION, &[tag::UPDATE_BATCH, 0xff, 0xff, 0x03]);
+        // valid fin with a trailing byte inside the payload
+        let trailing = raw_frame(BINARY_WIRE_VERSION, &[tag::FIN, 1, 0]);
+        // a varint that never terminates within 64 bits
+        let overflow = raw_frame(
+            BINARY_WIRE_VERSION,
+            &[tag::FIN, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f],
+        );
+        for raw in [&bad_tag, &truncated, &bad_fp, &bad_count, &trailing, &overflow] {
+            assert!(
+                matches!(decode_datagram(raw), Err(WireError::Malformed { .. })),
+                "{raw:?} should be Malformed, got {:?}",
+                decode_datagram(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn binary_values_survive_exactly_including_nonfinite() {
+        // JSON cannot represent these at all; the binary codec ships
+        // raw bits, so in-process roundtripping is total over f64.
+        for value in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0, f64::MIN_POSITIVE] {
+            let m = Message::Update(Update::new(VarId::new(0), 1, value));
+            match roundtrip_with(Codec::Binary, &m) {
+                Message::Update(u) => assert_eq!(u.value.to_bits(), value.to_bits()),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn codec_parses_from_flag_spellings() {
+        assert_eq!("json".parse::<Codec>(), Ok(Codec::Json));
+        assert_eq!("binary".parse::<Codec>(), Ok(Codec::Binary));
+        assert!("msgpack".parse::<Codec>().is_err());
+        assert_eq!(Codec::Json.version(), WIRE_VERSION);
+        assert_eq!(Codec::Binary.version(), BINARY_WIRE_VERSION);
+        assert_eq!(Codec::from_version(WIRE_VERSION), Some(Codec::Json));
+        assert_eq!(Codec::from_version(BINARY_WIRE_VERSION), Some(Codec::Binary));
+        assert_eq!(Codec::from_version(9), None);
+        assert_eq!(Codec::default(), Codec::Binary);
+    }
+
+    #[test]
     fn datagram_must_hold_exactly_one_frame() {
-        let frame = encode(&Message::Update(update())).expect("encodes");
-        assert!(matches!(
-            decode_datagram(&frame[..frame.len() - 1]),
-            Err(WireError::Truncated { .. })
-        ));
-        let mut padded = frame.clone();
-        padded.push(0);
-        assert!(matches!(decode_datagram(&padded), Err(WireError::TrailingBytes { extra: 1 })));
+        for codec in CODECS {
+            let frame = encode_with(codec, &Message::Update(update())).expect("encodes");
+            assert!(matches!(
+                decode_datagram(&frame[..frame.len() - 1]),
+                Err(WireError::Truncated { .. })
+            ));
+            let mut padded = frame.clone();
+            padded.push(0);
+            assert!(matches!(decode_datagram(&padded), Err(WireError::TrailingBytes { extra: 1 })));
+        }
         assert!(matches!(decode_datagram(&[]), Err(WireError::Truncated { .. })));
     }
 
@@ -523,6 +1332,9 @@ mod tests {
         let mut buf = FrameBuf::new();
         assert!(decode(&mut buf).expect("empty buffer is not an error").is_none());
         buf.push(&[WIRE_VERSION]);
+        assert!(decode(&mut buf).expect("partial header is not an error").is_none());
+        let mut buf = FrameBuf::new();
+        buf.push(&[BINARY_WIRE_VERSION]);
         assert!(decode(&mut buf).expect("partial header is not an error").is_none());
     }
 
@@ -548,6 +1360,16 @@ mod tests {
         assert!(full > seqnos, "{full} > {seqnos} expected");
         assert!(seqnos > heads, "{seqnos} > {heads} expected");
         assert!(seqnos > digest, "{seqnos} > {digest} expected");
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_serialization() {
+        let a = alert();
+        for fidelity in [Fidelity::Digest, Fidelity::Heads, Fidelity::Seqnos, Fidelity::Full] {
+            let c = CompactAlert::of(&a, fidelity);
+            let actual = serde_json::to_vec(&c).expect("compact alert serializes").len();
+            assert_eq!(c.encoded_len(), actual, "{fidelity:?}");
+        }
     }
 
     #[test]

@@ -1,27 +1,46 @@
-//! Property-based tests of the shared frame codec: every message type
-//! survives encode∘decode however the stream is fragmented, and no
-//! input — garbage, truncation, single-byte corruption — ever panics
-//! the decoder.
+//! Property-based tests of the shared frame codec — now over **both**
+//! payload codecs: every message type survives encode∘decode in JSON
+//! and binary however the stream is fragmented (even with codecs mixed
+//! frame-by-frame), no input — garbage, truncation, single-byte
+//! corruption — ever panics the decoder, and a frame relabeled with
+//! the *other* codec's version byte is rejected rather than misparsed.
 
 use proptest::prelude::*;
 
 use rcm_core::{Alert, AlertId, CeId, CondId, HistoryFingerprint, SeqNo, Update, VarId};
-use rcm_transport::wire::{decode, decode_datagram, encode, FrameBuf, Message};
+use rcm_transport::wire::{
+    decode, decode_datagram, encode_with, Codec, FrameBuf, Message, WireError,
+};
 
-fn message_strategy() -> impl Strategy<Value = Message> {
-    let update = (0u32..4, 1u64..1000, -1e6f64..1e6)
-        .prop_map(|(v, s, val)| Message::Update(Update::new(VarId::new(v), s, val)));
-    let alert = (0u32..4, 2u64..1000, 0u32..3, any::<u64>()).prop_map(|(v, s, ce, idx)| {
-        Message::Alert(Alert::new(
+fn codec_strategy() -> impl Strategy<Value = Codec> {
+    prop_oneof![Just(Codec::Json), Just(Codec::Binary)]
+}
+
+fn update_strategy() -> impl Strategy<Value = Update> {
+    (0u32..4, 1u64..1000, -1e6f64..1e6).prop_map(|(v, s, val)| Update::new(VarId::new(v), s, val))
+}
+
+fn alert_strategy() -> impl Strategy<Value = Alert> {
+    (0u32..4, 2u64..1000, 0u32..3, any::<u64>()).prop_map(|(v, s, ce, idx)| {
+        Alert::new(
             CondId::new(ce),
             HistoryFingerprint::single(VarId::new(v), vec![SeqNo::new(s), SeqNo::new(s - 1)]),
             vec![Update::new(VarId::new(v), s, 1.0)],
             AlertId { ce: CeId::new(ce), index: idx },
-        ))
-    });
+        )
+    })
+}
+
+fn message_strategy() -> impl Strategy<Value = Message> {
+    let update = update_strategy().prop_map(Message::Update);
+    let alert = alert_strategy().prop_map(Message::Alert);
+    let update_batch =
+        proptest::collection::vec(update_strategy(), 0..8).prop_map(Message::UpdateBatch);
+    let alert_batch =
+        proptest::collection::vec(alert_strategy(), 0..4).prop_map(Message::AlertBatch);
     let hello = any::<u32>().prop_map(|node| Message::Hello { node });
     let fin = any::<u32>().prop_map(|node| Message::Fin { node });
-    prop_oneof![update, alert, hello, fin]
+    prop_oneof![update, alert, update_batch, alert_batch, hello, fin]
 }
 
 proptest! {
@@ -38,19 +57,21 @@ proptest! {
     }
 
     #[test]
-    fn every_message_type_roundtrips(msg in message_strategy()) {
-        let frame = encode(&msg).expect("encodable");
+    fn every_message_type_roundtrips(msg in message_strategy(), codec in codec_strategy()) {
+        let frame = encode_with(codec, &msg).expect("encodable");
         prop_assert_eq!(decode_datagram(&frame).expect("decodable"), msg);
     }
 
     #[test]
     fn roundtrip_survives_fragmentation(
-        msgs in proptest::collection::vec(message_strategy(), 1..8),
+        msgs in proptest::collection::vec((message_strategy(), codec_strategy()), 1..8),
         cut in any::<prop::sample::Index>(),
     ) {
+        // Codecs mixed frame-by-frame: the receiver dispatches on each
+        // frame's version byte, never on stream-level configuration.
         let mut stream = Vec::new();
-        for msg in &msgs {
-            stream.extend_from_slice(&encode(msg).expect("encodable"));
+        for (msg, codec) in &msgs {
+            stream.extend_from_slice(&encode_with(*codec, msg).expect("encodable"));
         }
         // Feed the stream in two arbitrary fragments; frame boundaries
         // and fragment boundaries need not line up.
@@ -65,13 +86,18 @@ proptest! {
         while let Some(msg) = decode(&mut buf).expect("well-formed stream") {
             got.push(msg);
         }
-        prop_assert_eq!(got, msgs);
+        let want: Vec<Message> = msgs.into_iter().map(|(msg, _)| msg).collect();
+        prop_assert_eq!(got, want);
         prop_assert!(buf.is_empty(), "no trailing bytes for complete frames");
     }
 
     #[test]
-    fn truncation_never_yields_a_message(msg in message_strategy(), keep in any::<prop::sample::Index>()) {
-        let frame = encode(&msg).expect("encodable");
+    fn truncation_never_yields_a_message(
+        msg in message_strategy(),
+        codec in codec_strategy(),
+        keep in any::<prop::sample::Index>(),
+    ) {
+        let frame = encode_with(codec, &msg).expect("encodable");
         let keep = keep.index(frame.len()); // strictly shorter than the frame
         // A truncated datagram is an error, never a decoded message.
         prop_assert!(decode_datagram(&frame[..keep]).is_err());
@@ -88,22 +114,43 @@ proptest! {
     #[test]
     fn corruption_is_detected_or_harmless(
         msg in message_strategy(),
+        codec in codec_strategy(),
         pos in any::<prop::sample::Index>(),
         xor in 1u8..=255,
     ) {
-        let mut frame = encode(&msg).expect("encodable");
+        let mut frame = encode_with(codec, &msg).expect("encodable");
         let pos = pos.index(frame.len());
         frame[pos] ^= xor;
         match decode_datagram(&frame) {
             // Flips in the header or payload are caught by the version
             // byte, the length, the checksum or the codec...
             Err(_) => {}
-            // ...except a flip inside the JSON payload that still
-            // parses (e.g. a digit of a value). The framing cannot see
-            // it — but the checksum must then have been flipped too,
-            // which decode_datagram checks first, so the only survivors
-            // are flips the codec maps to a *different* valid message.
+            // ...except a flip inside the payload that still parses
+            // (e.g. a digit of a JSON value, or a varint byte). The
+            // framing cannot see it — but the checksum must then have
+            // been flipped too, which decode_datagram checks first, so
+            // the only survivors are flips the codec maps to a
+            // *different* valid message.
             Ok(got) => prop_assert_ne!(got, msg, "corrupted frame decoded to the original"),
+        }
+    }
+
+    #[test]
+    fn cross_version_relabel_is_rejected(msg in message_strategy(), codec in codec_strategy()) {
+        // A frame labeled with the *other* codec's version byte must
+        // fail decoding (the checksum covers the payload only, so the
+        // rejection has to come from the payload parser) — never
+        // silently misparse into some other message.
+        let other = match codec {
+            Codec::Json => Codec::Binary,
+            Codec::Binary => Codec::Json,
+        };
+        let mut frame = encode_with(codec, &msg).expect("encodable");
+        frame[0] = other.version();
+        match decode_datagram(&frame) {
+            Err(WireError::Codec(_) | WireError::Malformed { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error class: {e}"),
+            Ok(got) => prop_assert!(false, "relabeled frame decoded to {got:?}"),
         }
     }
 }

@@ -12,10 +12,12 @@
 //!    transport crate's whole job and loom has no model for them.
 //! 2. **Hot-path panic freedom** (`hot-path`): no `.unwrap()` /
 //!    `.expect(` in the evaluator, registry, history or `ad/*` modules
-//!    of `rcm-core` outside their `#[cfg(test)]` tails — a poisoned
-//!    alert must surface as a value, not a CE crash. The runtime crate
-//!    additionally bans `.unwrap()` everywhere (use `.expect` with a
-//!    message).
+//!    of `rcm-core`, nor in the transport's wire codec and batch
+//!    policy ([`TRANSPORT_HOT_PATH`] — they run per frame on every
+//!    link), outside their `#[cfg(test)]` tails — a poisoned alert or
+//!    malformed frame must surface as a value, not a node crash. The
+//!    runtime and transport crates additionally ban `.unwrap()`
+//!    everywhere (use `.expect` with a message).
 //! 3. **Unsafe allowlist** (`unsafe`): the `unsafe` keyword may appear
 //!    only in the audited files listed in [`UNSAFE_ALLOWLIST`]; new
 //!    unsafe code requires updating the allowlist in the same PR, which
@@ -45,6 +47,12 @@ const UNSAFE_ALLOWLIST: &[(&str, &str)] = &[(
 /// rcm-core modules on the alert hot path (panic-free zone).
 const HOT_PATH: &[&str] =
     &["crates/core/src/evaluator.rs", "crates/core/src/registry.rs", "crates/core/src/history.rs"];
+
+/// Transport modules on the wire hot path: the codec runs per frame on
+/// every link, so it counts malformed input and encode failures
+/// instead of panicking. Same rule as [`HOT_PATH`].
+const TRANSPORT_HOT_PATH: &[&str] =
+    &["crates/transport/src/wire.rs", "crates/transport/src/batch.rs"];
 
 const RUNTIME_SRC: &str = "crates/runtime/src";
 
@@ -132,7 +140,9 @@ fn run_all_rules(root: &Path) -> Vec<Violation> {
 fn check_file(rel: &str, raw: &str, stripped: &str) -> Vec<Violation> {
     let mut out = Vec::new();
     let in_runtime = rel.starts_with(RUNTIME_SRC) || rel.starts_with(TRANSPORT_SRC);
-    let hot_path = HOT_PATH.contains(&rel) || rel.starts_with("crates/core/src/ad/");
+    let hot_path = HOT_PATH.contains(&rel)
+        || TRANSPORT_HOT_PATH.contains(&rel)
+        || rel.starts_with("crates/core/src/ad/");
 
     if in_runtime {
         for (idx, line) in stripped.lines().enumerate() {
@@ -384,6 +394,22 @@ mod tests {
             let got = check(file, bad);
             assert_eq!(got.iter().filter(|v| v.rule == "hot-path").count(), 2, "{file}");
         }
+    }
+
+    #[test]
+    fn hot_path_rule_covers_the_wire_codec() {
+        // The frame codec runs per datagram on every link: `.expect(`
+        // is banned outside the test tail, exactly as in rcm-core's
+        // hot-path modules.
+        let bad = "fn f() { y.expect(\"oops\"); }\n";
+        for file in ["crates/transport/src/wire.rs", "crates/transport/src/batch.rs"] {
+            let got = check(file, bad);
+            assert!(got.iter().any(|v| v.rule == "hot-path"), "{file}: {got:?}");
+        }
+        // The links themselves may expect() — only unwrap() is banned
+        // crate-wide.
+        let ok = "fn f() { y.expect(\"socket closed\"); }\n";
+        assert!(check("crates/transport/src/udp.rs", ok).is_empty());
     }
 
     #[test]
