@@ -1,0 +1,181 @@
+//! The submit/wake handoff: how caller threads (CE bodies, node
+//! mains) hand work to the event loop without ever blocking, and how
+//! the loop sleeps without ever losing a wakeup.
+//!
+//! The protocol is the classic Dekker-style flag dance:
+//!
+//! * **producer**: push the item under the queue mutex, *then* read
+//!   the consumer's `sleeping` flag; if set, fire the waker.
+//! * **consumer**: set `sleeping`, *then* re-check the queue; if
+//!   non-empty, clear the flag and skip the sleep entirely.
+//!
+//! Both sides use `SeqCst`, so at least one of them observes the
+//! other: either the producer sees `sleeping` and wakes, or the
+//! consumer's re-check sees the item and never sleeps. The
+//! `crates/runtime/tests/loom.rs` suite runs this exact handoff
+//! through every interleaving the bundled model checker can produce —
+//! which is why everything here goes through the `rcm-sync` shim and
+//! the [`Wake`] trait instead of a concrete fd waker.
+//!
+//! LOCK ORDER: the queue mutex is a leaf — never held across a wake,
+//! a poll, or any other lock.
+
+use std::collections::VecDeque;
+
+use rcm_sync::atomic::{AtomicBool, Ordering};
+use rcm_sync::{Arc, Mutex};
+
+/// Something that can interrupt the consumer's readiness wait. The
+/// event loop passes its self-pipe waker; the loom suite passes a
+/// channel.
+pub trait Wake {
+    /// Interrupts the consumer's current (or next) wait. Must be
+    /// non-blocking and idempotent.
+    fn wake(&self);
+}
+
+struct Inner<T> {
+    queue: Mutex<VecDeque<T>>,
+    sleeping: AtomicBool,
+}
+
+/// The multi-producer, single-consumer command queue between caller
+/// threads and the event loop. Cloning shares the queue.
+pub struct SubmitQueue<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for SubmitQueue<T> {
+    fn clone(&self) -> Self {
+        SubmitQueue { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> std::fmt::Debug for SubmitQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubmitQueue")
+            .field("len", &self.inner.queue.lock().len())
+            .field("sleeping", &self.inner.sleeping.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl<T> Default for SubmitQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SubmitQueue<T> {
+    /// An empty queue with the consumer presumed awake.
+    pub fn new() -> Self {
+        SubmitQueue {
+            inner: Arc::new(Inner {
+                queue: Mutex::new(VecDeque::new()),
+                sleeping: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Producer side: enqueues `item` and wakes the consumer if it is
+    /// (or is about to go) sleeping. Never blocks beyond the queue
+    /// mutex, which is only ever held for a push or a drain.
+    pub fn submit(&self, item: T, waker: &impl Wake) {
+        self.inner.queue.lock().push_back(item);
+        // Read *after* the push: pairs with prepare_sleep's
+        // store-then-recheck so one side always sees the other.
+        if self.inner.sleeping.load(Ordering::SeqCst) {
+            waker.wake();
+        }
+    }
+
+    /// Consumer side: moves everything queued into `out`; returns how
+    /// many items were taken.
+    pub fn drain(&self, out: &mut Vec<T>) -> usize {
+        let mut queue = self.inner.queue.lock();
+        let taken = queue.len();
+        out.extend(queue.drain(..));
+        taken
+    }
+
+    /// Consumer side: announces the intent to sleep, then re-checks
+    /// the queue. Returns `true` when it is safe to block in the
+    /// readiness wait; `false` means an item raced in and the caller
+    /// must drain instead of sleeping (the flag is already cleared).
+    pub fn prepare_sleep(&self) -> bool {
+        self.inner.sleeping.store(true, Ordering::SeqCst);
+        let empty = self.inner.queue.lock().is_empty();
+        if !empty {
+            self.inner.sleeping.store(false, Ordering::SeqCst);
+        }
+        empty
+    }
+
+    /// Consumer side: clears the sleeping flag after the wait returns
+    /// (for any reason — wake, readiness, or timeout).
+    pub fn wake_done(&self) {
+        self.inner.sleeping.store(false, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountingWaker(rcm_sync::atomic::AtomicU64);
+
+    impl Wake for CountingWaker {
+        fn wake(&self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn submit_to_an_awake_consumer_skips_the_waker() {
+        let q: SubmitQueue<u32> = SubmitQueue::new();
+        let waker = CountingWaker(rcm_sync::atomic::AtomicU64::new(0));
+        q.submit(1, &waker);
+        assert_eq!(waker.0.load(Ordering::SeqCst), 0, "consumer never announced a sleep");
+        let mut out = Vec::new();
+        assert_eq!(q.drain(&mut out), 1);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn submit_to_a_sleeping_consumer_fires_the_waker() {
+        let q: SubmitQueue<u32> = SubmitQueue::new();
+        let waker = CountingWaker(rcm_sync::atomic::AtomicU64::new(0));
+        assert!(q.prepare_sleep(), "empty queue: safe to sleep");
+        q.submit(2, &waker);
+        assert_eq!(waker.0.load(Ordering::SeqCst), 1);
+        q.wake_done();
+        let mut out = Vec::new();
+        assert_eq!(q.drain(&mut out), 1);
+    }
+
+    #[test]
+    fn prepare_sleep_refuses_when_an_item_already_raced_in() {
+        let q: SubmitQueue<u32> = SubmitQueue::new();
+        let waker = CountingWaker(rcm_sync::atomic::AtomicU64::new(0));
+        q.submit(3, &waker);
+        assert!(!q.prepare_sleep(), "an item is queued: do not sleep");
+        // The refusal already cleared the flag: a subsequent submit
+        // does not fire the waker again.
+        q.submit(4, &waker);
+        assert_eq!(waker.0.load(Ordering::SeqCst), 0);
+        let mut out = Vec::new();
+        assert_eq!(q.drain(&mut out), 2);
+        assert_eq!(out, vec![3, 4]);
+    }
+
+    #[test]
+    fn cloned_handles_share_one_queue() {
+        let q: SubmitQueue<u32> = SubmitQueue::new();
+        let waker = CountingWaker(rcm_sync::atomic::AtomicU64::new(0));
+        let producer = q.clone();
+        producer.submit(7, &waker);
+        let mut out = Vec::new();
+        assert_eq!(q.drain(&mut out), 1);
+        assert_eq!(out, vec![7]);
+    }
+}

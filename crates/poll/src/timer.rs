@@ -1,0 +1,326 @@
+//! A hashed timer wheel: the event loop's single clock for Backoff
+//! reconnects, batch `max_delay` flushes, retransmit/finish deadlines
+//! and idle backstops.
+//!
+//! Design: `slots.len()` buckets of `tick` resolution each; a timer
+//! with deadline tick `t` lives in bucket `t % slots.len()` and
+//! carries its absolute tick, so a bucket visit fires only the
+//! entries whose lap has come and *cascades* (keeps) the rest — the
+//! classic hashed wheel, O(1) schedule/cancel, no per-timer heap.
+//! Entries are slab-allocated with a generation counter: a
+//! [`TimerKey`] from a previous occupant of the same slab index can
+//! never cancel (or be confused with) the current one, which is what
+//! makes cancel-vs-fire races safe by construction.
+//!
+//! The wheel is deliberately single-threaded (owned by the event
+//! loop; fed explicit `now` values), so it needs no locks and runs
+//! identically under `--cfg loom` — time comes from the `rcm-sync`
+//! shim either way.
+
+use rcm_sync::time::{Duration, Instant};
+
+/// A scheduled timer's handle; stale keys (fired, cancelled, or from
+/// a recycled slab slot) are harmlessly inert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerKey {
+    index: usize,
+    gen: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    gen: u64,
+    deadline_tick: u64,
+    data: u64,
+    armed: bool,
+}
+
+/// The wheel itself. All methods take explicit instants so the owner
+/// controls the clock — essential for deterministic tests and for the
+/// model checker.
+#[derive(Debug)]
+pub struct TimerWheel {
+    start: Instant,
+    tick: Duration,
+    slots: Vec<Vec<usize>>,
+    entries: Vec<Entry>,
+    free: Vec<usize>,
+    /// The next tick to be processed; every deadline strictly below it
+    /// has already fired.
+    current_tick: u64,
+    armed: usize,
+    next_gen: u64,
+}
+
+impl TimerWheel {
+    /// A wheel anchored at `start` with the given tick resolution and
+    /// bucket count (resolution 1 ms × 256 buckets covers a quarter
+    /// second per lap; longer deadlines just cascade).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` is zero or `buckets` is zero — a degenerate
+    /// wheel cannot make progress.
+    pub fn new(start: Instant, tick: Duration, buckets: usize) -> Self {
+        assert!(!tick.is_zero(), "timer wheel tick must be non-zero");
+        assert!(buckets > 0, "timer wheel needs at least one bucket");
+        TimerWheel {
+            start,
+            tick,
+            slots: (0..buckets).map(|_| Vec::new()).collect(),
+            entries: Vec::new(),
+            free: Vec::new(),
+            current_tick: 0,
+            armed: 0,
+            next_gen: 1,
+        }
+    }
+
+    /// How many timers are currently armed.
+    pub fn armed(&self) -> usize {
+        self.armed
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        if at <= self.start {
+            return 0;
+        }
+        let since = at - self.start;
+        (since.as_nanos() / self.tick.as_nanos().max(1)) as u64
+    }
+
+    /// Schedules `data` to fire once `deadline` has passed; deadlines
+    /// already in the past fire on the next [`advance`](Self::advance).
+    pub fn schedule_at(&mut self, deadline: Instant, data: u64) -> TimerKey {
+        // Round *up* so a timer never fires early, and clamp to the
+        // unprocessed region so a past deadline still has a bucket
+        // visit ahead of it.
+        let raw = self.tick_of(deadline);
+        let exact = self.start + self.tick * (raw as u32);
+        let tick = (if exact >= deadline { raw } else { raw + 1 }).max(self.current_tick);
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        let entry = Entry { gen, deadline_tick: tick, data, armed: true };
+        let index = match self.free.pop() {
+            Some(index) => {
+                self.entries[index] = entry;
+                index
+            }
+            None => {
+                self.entries.push(entry);
+                self.entries.len() - 1
+            }
+        };
+        let bucket = (tick % self.slots.len() as u64) as usize;
+        self.slots[bucket].push(index);
+        self.armed += 1;
+        TimerKey { index, gen }
+    }
+
+    /// Schedules `data` to fire `delay` after `now`.
+    pub fn schedule_after(&mut self, now: Instant, delay: Duration, data: u64) -> TimerKey {
+        self.schedule_at(now + delay, data)
+    }
+
+    /// Cancels a pending timer; returns whether it was still armed
+    /// (false for already-fired, already-cancelled, or stale keys —
+    /// the cancel-vs-fire race resolves to "the fire won").
+    pub fn cancel(&mut self, key: TimerKey) -> bool {
+        match self.entries.get_mut(key.index) {
+            Some(entry) if entry.gen == key.gen && entry.armed => {
+                entry.armed = false;
+                self.armed -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The earliest armed deadline, if any (what the event loop turns
+    /// into its poll timeout).
+    pub fn next_deadline(&self) -> Option<Instant> {
+        let mut earliest: Option<u64> = None;
+        for entry in &self.entries {
+            if entry.armed {
+                earliest = Some(match earliest {
+                    Some(t) if t <= entry.deadline_tick => t,
+                    _ => entry.deadline_tick,
+                });
+            }
+        }
+        earliest.map(|t| self.start + self.tick * (t as u32))
+    }
+
+    /// Fires everything due at `now`, appending each timer's `data` to
+    /// `fired` in tick order; returns how many fired. Buckets holding
+    /// later laps are cascaded in place.
+    pub fn advance(&mut self, now: Instant, fired: &mut Vec<u64>) -> usize {
+        let target = self.tick_of(now);
+        if target < self.current_tick {
+            return 0;
+        }
+        let buckets = self.slots.len() as u64;
+        let span = target - self.current_tick;
+        let visits = if span >= buckets { buckets } else { span + 1 };
+        let before = fired.len();
+        for i in 0..visits {
+            let bucket = ((self.current_tick + i) % buckets) as usize;
+            let mut slot = std::mem::take(&mut self.slots[bucket]);
+            slot.retain(|&index| {
+                let entry = &mut self.entries[index];
+                if !entry.armed {
+                    // Cancelled while parked: reclaim the slab slot now.
+                    self.free.push(index);
+                    return false;
+                }
+                if entry.deadline_tick <= target {
+                    fired.push(entry.data);
+                    entry.armed = false;
+                    self.armed -= 1;
+                    self.free.push(index);
+                    return false;
+                }
+                // A later lap: cascade (stay parked in this bucket).
+                true
+            });
+            self.slots[bucket] = slot;
+        }
+        self.current_tick = target + 1;
+        fired.len() - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wheel(buckets: usize) -> (TimerWheel, Instant) {
+        let start = Instant::now();
+        (TimerWheel::new(start, Duration::from_millis(1), buckets), start)
+    }
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn fires_at_the_deadline_not_before() {
+        let (mut w, t0) = wheel(16);
+        w.schedule_at(t0 + ms(5), 42);
+        let mut fired = Vec::new();
+        assert_eq!(w.advance(t0 + ms(4), &mut fired), 0);
+        assert!(fired.is_empty());
+        assert_eq!(w.advance(t0 + ms(5), &mut fired), 1);
+        assert_eq!(fired, vec![42]);
+        assert_eq!(w.armed(), 0);
+    }
+
+    #[test]
+    fn coalesced_deadlines_fire_together_in_schedule_order() {
+        let (mut w, t0) = wheel(16);
+        w.schedule_at(t0 + ms(3), 1);
+        w.schedule_at(t0 + ms(3), 2);
+        w.schedule_at(t0 + ms(3), 3);
+        let mut fired = Vec::new();
+        assert_eq!(w.advance(t0 + ms(3), &mut fired), 3);
+        assert_eq!(fired, vec![1, 2, 3]);
+    }
+
+    /// Cascade boundary: a deadline exactly one full lap away shares
+    /// its bucket with a near deadline; the near visit must not fire
+    /// the far entry, and the far entry must survive to its own lap.
+    #[test]
+    fn full_lap_collision_cascades_instead_of_firing_early() {
+        let (mut w, t0) = wheel(8);
+        w.schedule_at(t0 + ms(2), 10); // tick 2, bucket 2
+        w.schedule_at(t0 + ms(10), 20); // tick 10, bucket 2 as well
+        let mut fired = Vec::new();
+        assert_eq!(w.advance(t0 + ms(2), &mut fired), 1);
+        assert_eq!(fired, vec![10], "the same-bucket far entry cascaded");
+        assert_eq!(w.armed(), 1);
+        fired.clear();
+        assert_eq!(w.advance(t0 + ms(9), &mut fired), 0, "one tick early on the next lap");
+        assert_eq!(w.advance(t0 + ms(10), &mut fired), 1);
+        assert_eq!(fired, vec![20]);
+    }
+
+    /// A jump of many laps in one advance must still fire everything
+    /// due exactly once (each bucket is visited at most once).
+    #[test]
+    fn multi_lap_jump_fires_every_due_timer_exactly_once() {
+        let (mut w, t0) = wheel(4);
+        for i in 0..12u64 {
+            w.schedule_at(t0 + ms(i + 1), i);
+        }
+        let mut fired = Vec::new();
+        assert_eq!(w.advance(t0 + ms(100), &mut fired), 12);
+        let mut sorted = fired.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_the_next_advance() {
+        let (mut w, t0) = wheel(8);
+        let mut fired = Vec::new();
+        w.advance(t0 + ms(50), &mut fired);
+        w.schedule_at(t0 + ms(3), 7); // long past; clamped, not lost
+        assert_eq!(w.advance(t0 + ms(51), &mut fired), 1);
+        assert_eq!(fired, vec![7]);
+    }
+
+    #[test]
+    fn cancel_before_the_deadline_suppresses_the_fire() {
+        let (mut w, t0) = wheel(8);
+        let key = w.schedule_at(t0 + ms(5), 1);
+        assert!(w.cancel(key));
+        assert!(!w.cancel(key), "second cancel is a no-op");
+        let mut fired = Vec::new();
+        assert_eq!(w.advance(t0 + ms(10), &mut fired), 0);
+        assert_eq!(w.armed(), 0);
+    }
+
+    /// The cancel-vs-fire race: once the deadline has passed and the
+    /// wheel advanced, a late cancel must report "too late" and a
+    /// stale key must never touch the slab slot's next occupant.
+    #[test]
+    fn late_cancel_loses_the_race_and_stale_keys_are_inert() {
+        let (mut w, t0) = wheel(8);
+        let key = w.schedule_at(t0 + ms(2), 1);
+        let mut fired = Vec::new();
+        assert_eq!(w.advance(t0 + ms(2), &mut fired), 1);
+        assert!(!w.cancel(key), "the fire won");
+        // The slab slot is recycled with a new generation; the stale
+        // key must not cancel the new timer.
+        let fresh = w.schedule_at(t0 + ms(5), 2);
+        assert!(!w.cancel(key), "stale key is inert against the recycled slot");
+        assert!(w.cancel(fresh));
+    }
+
+    #[test]
+    fn next_deadline_tracks_the_earliest_armed_timer() {
+        let (mut w, t0) = wheel(8);
+        assert!(w.next_deadline().is_none());
+        w.schedule_at(t0 + ms(9), 1);
+        let early = w.schedule_at(t0 + ms(4), 2);
+        assert_eq!(w.next_deadline(), Some(t0 + ms(4)));
+        w.cancel(early);
+        assert_eq!(w.next_deadline(), Some(t0 + ms(9)));
+    }
+
+    #[test]
+    fn cancelled_entries_parked_in_a_bucket_are_reclaimed_on_visit() {
+        let (mut w, t0) = wheel(4);
+        let keys: Vec<_> = (0..8).map(|i| w.schedule_at(t0 + ms(i + 1), i)).collect();
+        for key in &keys {
+            assert!(w.cancel(*key));
+        }
+        let mut fired = Vec::new();
+        assert_eq!(w.advance(t0 + ms(20), &mut fired), 0);
+        // All slab slots recycled: scheduling 8 more reuses them.
+        for i in 0..8u64 {
+            w.schedule_at(t0 + ms(30 + i), i);
+        }
+        assert_eq!(w.armed(), 8);
+    }
+}

@@ -16,7 +16,10 @@
 //!
 //! There is no `--codec` flag here: the listener dispatches on each
 //! frame's version byte, so JSON and binary CEs (batched or not) can
-//! share one AD during a rollout.
+//! share one AD during a rollout. `--engine threaded|evented` picks
+//! the socket engine (default evented: the accept socket and every CE
+//! connection ride one readiness loop, so an AD holds hundreds of back
+//! links without per-connection reader threads).
 //!
 //! LOCK ORDER: no locks on the main thread beyond the listener's leaf
 //! stats mutex, read after the stream ends.
@@ -27,7 +30,7 @@ use std::process::ExitCode;
 use rcm_core::ad::{Ad1, Ad2, Ad3, Ad4, Ad5, Ad6, AlertFilter, PassThrough};
 use rcm_core::VarId;
 use rcm_sync::time::Duration;
-use rcm_transport::TcpAlertListener;
+use rcm_transport::{Engine, EventLoop, ListenerStats, TcpAlertListener};
 
 struct Options {
     bind: SocketAddr,
@@ -35,12 +38,14 @@ struct Options {
     filter: String,
     vars: Vec<VarId>,
     idle: Duration,
+    engine: Engine,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rcm-ad --bind HOST:PORT [--replicas N] \
-         [--filter pass|ad1|ad2|ad3|ad4|ad5|ad6] [--var N ...] [--idle-ms N]"
+         [--filter pass|ad1|ad2|ad3|ad4|ad5|ad6] [--var N ...] [--idle-ms N] \
+         [--engine threaded|evented]"
     );
     ExitCode::FAILURE
 }
@@ -53,6 +58,7 @@ fn parse_args() -> Option<Options> {
         filter: "ad1".into(),
         vars: Vec::new(),
         idle: Duration::from_secs(10),
+        engine: Engine::default(),
     };
     let mut seen_bind = false;
     let mut args = std::env::args().skip(1);
@@ -66,6 +72,7 @@ fn parse_args() -> Option<Options> {
             "--filter" => opts.filter = args.next()?,
             "--var" => opts.vars.push(VarId::new(args.next()?.parse().ok()?)),
             "--idle-ms" => opts.idle = Duration::from_millis(args.next()?.parse().ok()?),
+            "--engine" => opts.engine = args.next()?.parse().ok()?,
             _ => return None,
         }
     }
@@ -98,16 +105,8 @@ fn main() -> ExitCode {
         eprintln!("error: filter '{}' unavailable for this variable count", opts.filter);
         return ExitCode::FAILURE;
     };
-    let listener = match TcpAlertListener::bind(opts.bind) {
-        Ok(l) => l.expected_fins(opts.replicas).idle_timeout(opts.idle),
-        Err(e) => {
-            eprintln!("error: cannot bind {}: {e}", opts.bind);
-            return ExitCode::FAILURE;
-        }
-    };
-
     let mut displayed: u64 = 0;
-    let stats = listener.run(|alert| {
+    let mut display = |alert: rcm_core::Alert| {
         if filter.offer(&alert).is_deliver() {
             displayed += 1;
             let heads: Vec<String> =
@@ -115,7 +114,56 @@ fn main() -> ExitCode {
             let value = alert.snapshot.first().map(|u| u.value);
             println!("ALERT {} (reading {:?}) [from {}]", heads.join(", "), value, alert.id.ce);
         }
-    });
+    };
+
+    let stats: ListenerStats = match opts.engine {
+        Engine::Threaded => {
+            let listener = match TcpAlertListener::bind(opts.bind) {
+                Ok(l) => l.expected_fins(opts.replicas).idle_timeout(opts.idle),
+                Err(e) => {
+                    eprintln!("error: cannot bind {}: {e}", opts.bind);
+                    return ExitCode::FAILURE;
+                }
+            };
+            listener.run(display)
+        }
+        Engine::Evented => {
+            // The accept socket and every CE connection share one
+            // readiness loop on a side thread; filtering stays here,
+            // fed by a channel that closes when the listener retires.
+            let sock = match std::net::TcpListener::bind(opts.bind) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot bind {}: {e}", opts.bind);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut el = match EventLoop::new() {
+                Ok(el) => el,
+                Err(e) => {
+                    eprintln!("error: cannot create event loop: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let (tx, rx) = rcm_sync::chan::unbounded();
+            let counters =
+                match el.add_alert_listener(sock, opts.replicas, opts.idle, move |alert| {
+                    let _ = tx.send(alert);
+                }) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("error: cannot register listener: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            let engine = rcm_sync::thread::spawn(move || el.run());
+            while let Ok(alert) = rx.recv() {
+                display(alert);
+            }
+            let _ = engine.join();
+            counters.snapshot()
+        }
+    };
 
     eprintln!(
         "done: {displayed} alert(s) displayed of {} arriving over {} connection(s); \

@@ -21,7 +21,10 @@
 //! configuration here. `--codec json|binary` selects what *this* node
 //! emits on its back link (default binary; the AD auto-detects too),
 //! and `--batch N` coalesces up to `N` alerts per stream write
-//! (default 1 — no batching).
+//! (default 1 — no batching). `--engine threaded|evented` picks the
+//! socket engine (default evented: every socket of the node rides one
+//! readiness loop, so a CE holds thousands of idle front links;
+//! `threaded` is the blocking reference path).
 //!
 //! LOCK ORDER: the only locks are the transport links' leaf stats
 //! mutexes, read one at a time after the stream ends.
@@ -34,7 +37,9 @@ use rcm_core::{CeId, CondId, ConditionRegistry, VarRegistry};
 use rcm_net::Backoff;
 use rcm_sync::time::Duration;
 use rcm_sync::Arc;
-use rcm_transport::{BatchPolicy, Codec, TcpBackLink, UdpFrontReceiver};
+use rcm_transport::{
+    BackLinkSpec, BatchPolicy, Codec, Engine, EventLoop, TcpBackLink, UdpFrontReceiver,
+};
 
 struct Options {
     bind: SocketAddr,
@@ -45,13 +50,14 @@ struct Options {
     idle: Duration,
     codec: Codec,
     batch: BatchPolicy,
+    engine: Engine,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rcm-ce --bind HOST:PORT --ad HOST:PORT --condition '<expr>' \
          [--condition '<expr>' ...] [--node N] [--dms N] [--idle-ms N] \
-         [--codec json|binary] [--batch N]"
+         [--codec json|binary] [--batch N] [--engine threaded|evented]"
     );
     ExitCode::FAILURE
 }
@@ -67,6 +73,7 @@ fn parse_args() -> Option<Options> {
         idle: Duration::from_secs(5),
         codec: Codec::default(),
         batch: BatchPolicy::off(),
+        engine: Engine::default(),
     };
     let mut seen_bind = false;
     let mut seen_ad = false;
@@ -86,6 +93,7 @@ fn parse_args() -> Option<Options> {
             "--dms" => opts.dms = args.next()?.parse().ok()?,
             "--idle-ms" => opts.idle = Duration::from_millis(args.next()?.parse().ok()?),
             "--codec" => opts.codec = args.next()?.parse().ok()?,
+            "--engine" => opts.engine = args.next()?.parse().ok()?,
             "--batch" => {
                 let n: usize = args.next()?.parse().ok()?;
                 opts.batch = if n > 1 {
@@ -117,7 +125,15 @@ fn main() -> ExitCode {
             }
         }
     }
+    match opts.engine {
+        Engine::Threaded => run_threaded(&opts, registry),
+        Engine::Evented => run_evented(&opts, registry),
+    }
+}
 
+/// The reference path: a blocking ingress loop on this thread, a
+/// blocking back link inside its callback.
+fn run_threaded(opts: &Options, mut registry: ConditionRegistry) -> ExitCode {
     let receiver = match UdpFrontReceiver::bind(opts.bind) {
         Ok(r) => r.expected_fins(opts.dms).idle_timeout(opts.idle),
         Err(e) => {
@@ -125,9 +141,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let backoff =
-        Backoff::new(Duration::from_millis(1), Duration::from_millis(100), opts.node as u64);
-    let mut back = match TcpBackLink::connect(opts.ad, opts.node, backoff) {
+    let mut back = match TcpBackLink::connect(opts.ad, opts.node, backoff(opts)) {
         Ok(b) => b.codec(opts.codec).batching(opts.batch),
         Err(e) => {
             eprintln!("error: cannot reach AD at {}: {e}", opts.ad);
@@ -150,9 +164,74 @@ fn main() -> ExitCode {
     back.finish();
 
     let sent = back_stats.lock().sent;
-    eprintln!(
-        "done: {} update(s) evaluated ({} stale dropped, {} decode error(s)); {} alert(s) sent",
-        ingress.delivered, ingress.dropped_stale, ingress.decode_errors, sent
-    );
+    report(ingress.delivered, ingress.dropped_stale, ingress.decode_errors, sent);
     ExitCode::SUCCESS
+}
+
+/// The default path: ingress and back link as state machines on one
+/// readiness loop; evaluation stays on this thread, fed by a channel
+/// that closes when the ingress retires (all Fins, or the idle
+/// backstop).
+fn run_evented(opts: &Options, mut registry: ConditionRegistry) -> ExitCode {
+    let sock = match std::net::UdpSocket::bind(opts.bind) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", opts.bind);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut el = match EventLoop::new() {
+        Ok(el) => el,
+        Err(e) => {
+            eprintln!("error: cannot create event loop: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (tx, rx) = rcm_sync::chan::unbounded();
+    let ingress = match el.add_front_ingress(sock, opts.dms, opts.idle, move |update| {
+        let _ = tx.send(update);
+    }) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot register ingress: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec =
+        BackLinkSpec::new(opts.ad, opts.node, backoff(opts)).codec(opts.codec).batching(opts.batch);
+    let mut back = match el.add_back_link(spec) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot reach AD at {}: {e}", opts.ad);
+            return ExitCode::FAILURE;
+        }
+    };
+    let back_stats = back.stats_handle();
+    let engine = rcm_sync::thread::spawn(move || el.run());
+
+    let mut alerts = Vec::new();
+    while let Ok(update) = rx.recv() {
+        alerts.clear();
+        registry.ingest(update, &mut alerts);
+        for alert in alerts.drain(..) {
+            back.send_alert(alert);
+        }
+    }
+    back.finish();
+    let _ = engine.join();
+
+    let i = ingress.snapshot();
+    report(i.delivered, i.dropped_stale, i.decode_errors, back_stats.snapshot().sent);
+    ExitCode::SUCCESS
+}
+
+fn backoff(opts: &Options) -> Backoff {
+    Backoff::new(Duration::from_millis(1), Duration::from_millis(100), opts.node as u64)
+}
+
+fn report(delivered: u64, stale: u64, decode_errors: u64, sent: u64) {
+    eprintln!(
+        "done: {delivered} update(s) evaluated ({stale} stale dropped, \
+         {decode_errors} decode error(s)); {sent} alert(s) sent"
+    );
 }

@@ -73,6 +73,6 @@ pub use faults::{
 };
 pub use link::{FrontLink, LinkReport};
 pub use rcm_transport::{
-    BatchPolicy, BoundTopology, Codec, Topology, TransportMode, TransportReport,
+    BatchPolicy, BoundTopology, Codec, Engine, Topology, TransportMode, TransportReport,
 };
 pub use system::{ConfigError, MonitorSystem, RunReport, SystemBuilder, VarFeed};

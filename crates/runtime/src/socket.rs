@@ -7,7 +7,7 @@
 //! transport links, whose counter mutexes are leaves.
 
 use rcm_core::{Alert, Update};
-use rcm_transport::{TcpBackLink, UdpFrontLink};
+use rcm_transport::{EventedBackLink, TcpBackLink, UdpFrontLink};
 
 use crate::actors::{AlertSink, UpdateSender};
 
@@ -40,5 +40,19 @@ impl AlertSink for TcpBackLink {
 
     fn abandon(&mut self) {
         TcpBackLink::abandon(self);
+    }
+}
+
+impl AlertSink for EventedBackLink {
+    fn send_alert(&mut self, alert: Alert) {
+        EventedBackLink::send_alert(self, alert);
+    }
+
+    fn flush(&mut self) {
+        self.finish();
+    }
+
+    fn abandon(&mut self) {
+        EventedBackLink::abandon(self);
     }
 }

@@ -16,9 +16,11 @@ use rcm_core::ad::{Ad1, AlertFilter};
 use rcm_core::condition::Condition;
 use rcm_core::{Alert, CeId, Update, VarId};
 use rcm_net::{Backoff, LossModel, Lossless};
+use rcm_transport::engine::{BackLinkCounters, EngineCounters, IngressCounters, ListenerCounters};
 use rcm_transport::{
-    BoundTopology, FrontLinkStats, IngressStats, ListenerStats, TcpAlertListener, TcpBackLink,
-    TcpLinkStats, TransportMode, TransportReport, UdpFrontLink, UdpFrontReceiver,
+    BackLinkSpec, BoundTopology, Engine, EngineStats, EventLoop, FrontLinkStats, IngressStats,
+    ListenerStats, TcpAlertListener, TcpBackLink, TcpLinkStats, TransportMode, TransportReport,
+    UdpFrontLink, UdpFrontReceiver,
 };
 
 use crate::actors::{ad_body, ce_body, dm_body, AlertSink, CeFaultConfig, UpdateSender};
@@ -425,6 +427,10 @@ impl SystemBuilder {
             ingress_stats: Vec::new(),
             tcp_stats: Vec::new(),
             ad_stats: None,
+            engine_counters: None,
+            evented_ingress: Vec::new(),
+            evented_tcp: Vec::new(),
+            evented_ad: None,
         })
     }
 
@@ -461,21 +467,47 @@ impl SystemBuilder {
 
         let mut handles: Vec<JoinHandle<()>> = Vec::new();
 
-        // AD side: the TCP listener thread decodes alert frames from
-        // every CE connection and fans them into the same channel the
-        // in-process AD consumes. It hangs up (closing the channel)
-        // once every replica's end-of-stream marker arrived.
+        // Evented mode runs every CE ingress, back link and the AD
+        // listener of this process as state machines on one readiness
+        // loop; threaded mode keeps the reference thread-per-link path.
+        let mut event_loop = match parts.engine {
+            Engine::Evented => Some(EventLoop::new().map_err(transport_err)?),
+            Engine::Threaded => None,
+        };
+        let mut evented_ingress: Vec<Arc<IngressCounters>> = Vec::new();
+        let mut evented_tcp: Vec<Arc<BackLinkCounters>> = Vec::new();
+        let mut evented_ad: Option<Arc<ListenerCounters>> = None;
+
+        // AD side: the TCP listener decodes alert frames from every CE
+        // connection and fans them into the same channel the in-process
+        // AD consumes. It hangs up (closing the channel) once every
+        // replica's end-of-stream marker arrived.
         let (alert_tx, alert_rx) = unbounded::<Alert>();
-        let listener = TcpAlertListener::from_listener(parts.listener)
-            .map_err(transport_err)?
-            .expected_fins(self.replicas)
-            .idle_timeout(parts.idle_timeout * 2);
-        let ad_stats = listener.stats_handle();
-        handles.push(rcm_sync::thread::spawn(move || {
-            listener.run(|alert| {
-                let _ = alert_tx.send(alert);
-            });
-        }));
+        let mut ad_stats = None;
+        if let Some(el) = event_loop.as_mut() {
+            evented_ad = Some(
+                el.add_alert_listener(
+                    parts.listener,
+                    self.replicas,
+                    parts.idle_timeout * 2,
+                    move |alert| {
+                        let _ = alert_tx.send(alert);
+                    },
+                )
+                .map_err(transport_err)?,
+            );
+        } else {
+            let listener = TcpAlertListener::from_listener(parts.listener)
+                .map_err(transport_err)?
+                .expected_fins(self.replicas)
+                .idle_timeout(parts.idle_timeout * 2);
+            ad_stats = Some(listener.stats_handle());
+            handles.push(rcm_sync::thread::spawn(move || {
+                listener.run(|alert| {
+                    let _ = alert_tx.send(alert);
+                });
+            }));
+        }
 
         // CE side: per replica, a UDP ingress thread feeding the CE
         // thread over a channel, and a TCP back link to the AD. The
@@ -486,17 +518,26 @@ impl SystemBuilder {
         let mut ingress_stats: Vec<Arc<Mutex<IngressStats>>> = Vec::new();
         let mut tcp_stats: Vec<Arc<Mutex<TcpLinkStats>>> = Vec::new();
         for (ce, sock) in parts.ce_sockets.into_iter().enumerate() {
-            let receiver = UdpFrontReceiver::from_socket(sock)
-                .map_err(transport_err)?
-                .expected_fins(n_feeds)
-                .idle_timeout(parts.idle_timeout);
-            ingress_stats.push(receiver.stats_handle());
             let (tx, rx) = unbounded::<Update>();
-            handles.push(rcm_sync::thread::spawn(move || {
-                receiver.run(|update| {
-                    let _ = tx.send(update);
-                });
-            }));
+            if let Some(el) = event_loop.as_mut() {
+                evented_ingress.push(
+                    el.add_front_ingress(sock, n_feeds, parts.idle_timeout, move |update| {
+                        let _ = tx.send(update);
+                    })
+                    .map_err(transport_err)?,
+                );
+            } else {
+                let receiver = UdpFrontReceiver::from_socket(sock)
+                    .map_err(transport_err)?
+                    .expected_fins(n_feeds)
+                    .idle_timeout(parts.idle_timeout);
+                ingress_stats.push(receiver.stats_handle());
+                handles.push(rcm_sync::thread::spawn(move || {
+                    receiver.run(|update| {
+                        let _ = tx.send(update);
+                    });
+                }));
+            }
 
             let (backoff_base, backoff_cap) = plan
                 .as_ref()
@@ -505,26 +546,39 @@ impl SystemBuilder {
                 });
             let backoff_seed =
                 self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(ce as u64);
-            let mut back = TcpBackLink::connect(
-                parts.ad_addr,
-                ce as u32,
-                Backoff::new(backoff_base, backoff_cap, backoff_seed),
-            )
-            .map_err(transport_err)?
-            .codec(parts.back_codec)
-            .batching(parts.back_batch);
-            if let Some(p) = &plan {
-                back = back
-                    .with_severs(
-                        p.severs
-                            .iter()
-                            .filter(|s| s.ce == ce)
-                            .map(|s| (s.at_send, s.down_for))
-                            .collect(),
-                    )
-                    .queue_cap(p.resend_queue_cap);
-            }
-            tcp_stats.push(back.stats_handle());
+            let backoff = Backoff::new(backoff_base, backoff_cap, backoff_seed);
+            let severs = plan.as_ref().map(|p| {
+                p.severs
+                    .iter()
+                    .filter(|s| s.ce == ce)
+                    .map(|s| (s.at_send, s.down_for))
+                    .collect::<Vec<_>>()
+            });
+            let back: Box<dyn AlertSink> = if let Some(el) = event_loop.as_mut() {
+                let mut spec = BackLinkSpec::new(parts.ad_addr, ce as u32, backoff)
+                    .codec(parts.back_codec)
+                    .batching(parts.back_batch);
+                if let Some(p) = &plan {
+                    spec = spec
+                        .with_severs(severs.clone().unwrap_or_default())
+                        .queue_cap(p.resend_queue_cap);
+                }
+                let link = el.add_back_link(spec).map_err(transport_err)?;
+                evented_tcp.push(link.stats_handle());
+                Box::new(link)
+            } else {
+                let mut back = TcpBackLink::connect(parts.ad_addr, ce as u32, backoff)
+                    .map_err(transport_err)?
+                    .codec(parts.back_codec)
+                    .batching(parts.back_batch);
+                if let Some(p) = &plan {
+                    back = back
+                        .with_severs(severs.clone().unwrap_or_default())
+                        .queue_cap(p.resend_queue_cap);
+                }
+                tcp_stats.push(back.stats_handle());
+                Box::new(back)
+            };
 
             let record = Arc::new(Mutex::new(Vec::new()));
             ingested.push(Arc::clone(&record));
@@ -539,17 +593,19 @@ impl SystemBuilder {
                 ce_index: ce,
             });
             handles.push(rcm_sync::thread::spawn(move || {
-                ce_body(
-                    CeId::new(ce as u32),
-                    conditions,
-                    rx,
-                    Box::new(back) as Box<dyn AlertSink>,
-                    record,
-                    outputs,
-                    faults,
-                );
+                ce_body(CeId::new(ce as u32), conditions, rx, back, record, outputs, faults);
             }));
         }
+
+        // With every source registered, the loop itself gets a thread.
+        // `run` returns once the last primary source retires, which is
+        // exactly when every CE finished its back link and the AD saw
+        // every Fin — the same join condition the threaded path has.
+        let engine_counters = event_loop.take().map(|el| {
+            let counters = el.counters();
+            handles.push(rcm_sync::thread::spawn(move || el.run()));
+            counters
+        });
 
         // The AD filter thread, fed by the listener thread's channel.
         let arrivals = Arc::new(Mutex::new(Vec::new()));
@@ -600,7 +656,11 @@ impl SystemBuilder {
             front_stats,
             ingress_stats,
             tcp_stats,
-            ad_stats: Some(ad_stats),
+            ad_stats,
+            engine_counters,
+            evented_ingress,
+            evented_tcp,
+            evented_ad,
         })
     }
 }
@@ -624,6 +684,13 @@ pub struct MonitorSystem {
     ingress_stats: Vec<Arc<Mutex<IngressStats>>>,
     tcp_stats: Vec<Arc<Mutex<TcpLinkStats>>>,
     ad_stats: Option<Arc<Mutex<ListenerStats>>>,
+    /// Evented-engine counter blocks (socket mode with the evented
+    /// engine; the threaded vectors above stay empty then, and vice
+    /// versa, so the report merge is a plain concatenation).
+    engine_counters: Option<Arc<EngineCounters>>,
+    evented_ingress: Vec<Arc<IngressCounters>>,
+    evented_tcp: Vec<Arc<BackLinkCounters>>,
+    evented_ad: Option<Arc<ListenerCounters>>,
 }
 
 impl fmt::Debug for MonitorSystem {
@@ -698,6 +765,14 @@ impl MonitorSystem {
                 report.backlink_duplicates += s.resent_duplicates;
                 report.alerts_lost_overflow += s.lost_overflow;
             }
+            for counters in &self.evented_tcp {
+                let s = counters.snapshot();
+                report.backlink_severs += s.severs;
+                report.backlink_reconnects += s.reconnects;
+                report.backlink_attempts += s.attempts;
+                report.backlink_duplicates += s.resent_duplicates;
+                report.alerts_lost_overflow += s.lost_overflow;
+            }
             report
         };
         let transport = match self.mode {
@@ -739,10 +814,12 @@ impl MonitorSystem {
                             frames_sent: s.sent,
                             bytes_sent: 0,
                             dedup_suppressed: 0,
+                            shed: 0,
                         }
                     })
                     .collect(),
                 ad: ListenerStats::default(),
+                engine: EngineStats::default(),
             },
             TransportMode::Sockets => TransportReport {
                 mode: TransportMode::Sockets,
@@ -751,9 +828,27 @@ impl MonitorSystem {
                     .iter()
                     .map(|((fi, ci), stats)| (*fi, *ci, *stats.lock()))
                     .collect(),
-                ingress: self.ingress_stats.iter().map(|s| *s.lock()).collect(),
-                back_links: self.tcp_stats.iter().map(|s| *s.lock()).collect(),
-                ad: self.ad_stats.as_ref().map(|s| *s.lock()).unwrap_or_default(),
+                // Exactly one engine populated its side, so chaining the
+                // threaded and evented blocks yields one per-link list.
+                ingress: self
+                    .ingress_stats
+                    .iter()
+                    .map(|s| *s.lock())
+                    .chain(self.evented_ingress.iter().map(|c| c.snapshot()))
+                    .collect(),
+                back_links: self
+                    .tcp_stats
+                    .iter()
+                    .map(|s| *s.lock())
+                    .chain(self.evented_tcp.iter().map(|c| c.snapshot()))
+                    .collect(),
+                ad: self
+                    .ad_stats
+                    .as_ref()
+                    .map(|s| *s.lock())
+                    .or_else(|| self.evented_ad.as_ref().map(|c| c.snapshot()))
+                    .unwrap_or_default(),
+                engine: self.engine_counters.as_ref().map(|c| c.snapshot()).unwrap_or_default(),
             },
         };
         // Socket mode has no channel-link reports; synthesize the

@@ -18,9 +18,10 @@ use std::time::Duration;
 use rcm_core::{Update, VarId};
 use rcm_net::Backoff;
 use rcm_runtime::{BackLink, IngestGate, RetainedWindow};
-use rcm_sync::chan::unbounded;
+use rcm_sync::chan::{unbounded, Sender};
 use rcm_sync::model::model;
 use rcm_sync::{thread, Arc, Mutex};
+use rcm_transport::engine::{SubmitQueue, Wake};
 
 fn u(s: u64) -> Update {
     Update::new(VarId::new(0), s, s as f64)
@@ -169,6 +170,62 @@ fn alert_numbering_is_monotonic_across_a_replica_kill() {
         assert_eq!(last, [Some(3), Some(2)], "every alert arrived");
     });
     assert!(executions > 1, "replica streams must interleave, got {executions} schedules");
+}
+
+/// The event loop's submit/wake handoff, exhaustively: a caller thread
+/// submits commands while the loop thread runs its real sleep protocol
+/// (drain → `prepare_sleep` → blocked wait → `wake_done` → drain).
+/// The classic lost-wakeup bug — producer pushes between the
+/// consumer's last drain and its sleep, and the wake is skipped —
+/// must be impossible under **every** interleaving: the waker channel
+/// is kept open after the producer exits, so a lost wakeup parks the
+/// consumer forever with work queued, which the model checker reports
+/// as a deadlocked schedule instead of a lucky pass.
+#[test]
+fn submit_wake_handoff_never_strands_a_command() {
+    /// The loom stand-in for the event loop's self-pipe waker: wake =
+    /// make the blocked "readiness wait" (a channel recv) return.
+    struct ChanWaker(Sender<()>);
+    impl Wake for ChanWaker {
+        fn wake(&self) {
+            let _ = self.0.send(());
+        }
+    }
+
+    let executions = model(|| {
+        let queue: SubmitQueue<u64> = SubmitQueue::new();
+        let (wake_tx, wake_rx) = unbounded::<()>();
+        let producer_queue = queue.clone();
+        let producer = thread::spawn(move || {
+            let waker = ChanWaker(wake_tx);
+            for command in 1..=2 {
+                producer_queue.submit(command, &waker);
+            }
+            // Return the waker instead of dropping it: the channel
+            // staying open means a missed wake cannot be papered over
+            // by a hangup — it must surface as a stuck schedule.
+            waker
+        });
+
+        let mut got = Vec::new();
+        let mut cmds = Vec::new();
+        while got.len() < 2 {
+            queue.drain(&mut cmds);
+            got.append(&mut cmds);
+            if got.len() == 2 {
+                break;
+            }
+            if !queue.prepare_sleep() {
+                continue; // a submit raced in: drain, don't sleep
+            }
+            let _ = wake_rx.recv(); // the modeled readiness wait
+            queue.wake_done();
+        }
+        let _waker = producer.join().expect("producer exits cleanly");
+
+        assert_eq!(got, vec![1, 2], "every command survived the handoff, in order");
+    });
+    assert!(executions > 1, "the handoff must actually race, got {executions} schedules");
 }
 
 /// Retained-window atomicity: a DM pushes into a capacity-bounded

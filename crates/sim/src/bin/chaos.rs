@@ -36,7 +36,11 @@
 //!
 //! Before the randomized sweep, one scripted availability plan kills
 //! replica 0 permanently (restart budget zero) and requires every alert
-//! the surviving replica emitted to be displayed.
+//! the surviving replica emitted to be displayed. After it, one
+//! loopback **socket** run on the evented engine rides along, so the
+//! gauntlet's JSON carries real event-loop counters (wakeups, timer
+//! fires, spurious readiness) for `cargo xtask assert-chaos` to gate
+//! on.
 //!
 //! Exit status is nonzero if any property check fails or any alert is
 //! lost to resend-queue overflow, so CI can gate on this binary.
@@ -50,7 +54,7 @@ use rcm_core::condition::{Cmp, Condition, DeltaRise, Threshold};
 use rcm_core::VarId;
 use rcm_net::{Bernoulli, LossModel, Lossless};
 use rcm_props::{check_complete_single, check_consistent_single, check_ordered};
-use rcm_runtime::{FaultPlan, MonitorSystem, RunReport, TransportReport, VarFeed};
+use rcm_runtime::{FaultPlan, MonitorSystem, RunReport, Topology, TransportReport, VarFeed};
 
 /// SplitMix64: the harness's only randomness source, so a `(seed,
 /// plans)` pair names one exact gauntlet.
@@ -160,6 +164,21 @@ fn main() -> ExitCode {
         }
     }
 
+    let (socket_transport, socket_violations) = socket_smoke();
+    if !json {
+        if socket_violations.is_empty() {
+            println!(
+                "socket smoke: evented loopback run matched in-process output \
+                 ({} wakeups, {} timer fires)",
+                socket_transport.engine.wakeups, socket_transport.engine.timer_fires
+            );
+        } else {
+            for v in &socket_violations {
+                println!("socket smoke VIOLATION: {v}");
+            }
+        }
+    }
+
     let mut outcomes = Vec::with_capacity(plans);
     for index in 0..plans {
         let outcome = run_plan(index, mix(seed ^ (index as u64).wrapping_mul(0x9e37_79b9)));
@@ -169,8 +188,9 @@ fn main() -> ExitCode {
         outcomes.push(outcome);
     }
 
-    let violation_count =
-        availability_violations.len() + outcomes.iter().map(|o| o.violations.len()).sum::<usize>();
+    let violation_count = availability_violations.len()
+        + socket_violations.len()
+        + outcomes.iter().map(|o| o.violations.len()).sum::<usize>();
     let mut recovery: Vec<Duration> = outcomes.iter().flat_map(|o| o.recovery.clone()).collect();
     recovery.sort_unstable();
     let recovery_max = recovery.last().copied().unwrap_or(Duration::ZERO);
@@ -189,6 +209,14 @@ fn main() -> ExitCode {
     let frames_sent: u64 = outcomes.iter().map(|o| o.transport.front_frames_sent()).sum();
     let updates_sent: u64 = outcomes.iter().map(|o| o.transport.front_updates_sent()).sum();
     let bytes_sent: u64 = outcomes.iter().map(|o| o.transport.front_bytes_sent()).sum();
+    // In-process plans report zero engine counters; the socket smoke
+    // run is what makes these totals nonzero.
+    let engine_wakeups: u64 = socket_transport.engine.wakeups
+        + outcomes.iter().map(|o| o.transport.engine.wakeups).sum::<u64>();
+    let engine_timer_fires: u64 = socket_transport.engine.timer_fires
+        + outcomes.iter().map(|o| o.transport.engine.timer_fires).sum::<u64>();
+    let engine_spurious: u64 = socket_transport.engine.spurious_readiness
+        + outcomes.iter().map(|o| o.transport.engine.spurious_readiness).sum::<u64>();
 
     if json {
         let doc = serde_json::json!({
@@ -196,6 +224,11 @@ fn main() -> ExitCode {
             "plans": plans,
             "violations": violation_count,
             "availability_violations": availability_violations,
+            "socket_smoke": serde_json::json!({
+                "violations": socket_violations,
+                "transport": serde_json::to_value(&socket_transport)
+                    .expect("transport serializes"),
+            }),
             "totals": serde_json::json!({
                 "kills": kills,
                 "restarts": restarts,
@@ -214,6 +247,9 @@ fn main() -> ExitCode {
                 },
                 "recovery_mean_us": recovery_mean.as_micros() as u64,
                 "recovery_max_us": recovery_max.as_micros() as u64,
+                "engine_wakeups": engine_wakeups,
+                "engine_timer_fires": engine_timer_fires,
+                "engine_spurious_readiness": engine_spurious,
             }),
             "runs": outcomes.iter().map(|o| serde_json::json!({
                 "plan": o.index,
@@ -284,6 +320,46 @@ fn availability_check() -> Vec<String> {
         ));
     }
     violations
+}
+
+/// One loopback socket run on the evented engine: output must match
+/// the in-process model, and the readiness loop must actually have
+/// carried it (nonzero wakeups).
+fn socket_smoke() -> (TransportReport, Vec<String>) {
+    let x = VarId::new(0);
+    let cond: Arc<dyn Condition> = Arc::new(Threshold::new(x, Cmp::Gt, 50.0));
+    let values: Vec<f64> =
+        (0..40).map(|i| if i % 2 == 1 { 60.0 + f64::from(i) } else { 40.0 }).collect();
+    let in_process = MonitorSystem::builder(cond.clone())
+        .replicas(2)
+        .feed(VarFeed::new(x, values.clone()))
+        .start()
+        .expect("in-process smoke config is valid")
+        .wait();
+    let bound = Topology::loopback(2).bind().expect("loopback topology binds");
+    let sockets = MonitorSystem::builder(cond)
+        .replicas(2)
+        .feed(VarFeed::new(x, values).period(Duration::from_millis(1)))
+        .transport(bound)
+        .start()
+        .expect("socket smoke config is valid")
+        .wait();
+
+    let mut violations = Vec::new();
+    if sockets.displayed != in_process.displayed {
+        violations.push(format!(
+            "evented socket run displayed {} alert(s), in-process displayed {}",
+            sockets.displayed.len(),
+            in_process.displayed.len()
+        ));
+    }
+    if sockets.transport.engine.wakeups == 0 {
+        violations.push("evented engine recorded no wakeups".into());
+    }
+    if sockets.transport.decode_errors() != 0 {
+        violations.push(format!("{} decode errors on loopback", sockets.transport.decode_errors()));
+    }
+    (sockets.transport, violations)
 }
 
 /// Runs one randomized plan and checks its class's properties.

@@ -1,0 +1,289 @@
+//! `scale` — the evented engine's link-count gauntlet.
+//!
+//! ```text
+//! cargo run --release -p rcm-sim --bin scale -- \
+//!     --front 2000 --back 100 --active 100 --updates 20 --json
+//! ```
+//!
+//! One process, one readiness loop: `--front N` loopback UDP front
+//! links feed a single evented CE ingress, and `--back M` TCP back
+//! links feed a single evented AD listener. Only `--active A` of the
+//! front links carry traffic (`--updates K` each); the rest sit idle
+//! until their Fin — the paper's "numerous update streams" regime,
+//! where the engine's job is to hold thousands of mostly-quiet links
+//! without a thread or a 64 KiB buffer per socket.
+//!
+//! Every delivered update becomes one alert fanned out on *all* M back
+//! links, so the AD sees each alert M times and its AD-1 filter must
+//! display it **exactly once**. The run fails (nonzero exit) if:
+//!
+//! * any of the A×K emitted alerts is displayed zero or multiple times,
+//! * the listener heard anything other than emitted × M alerts,
+//! * any link surfaced a decode error, or
+//! * the run overshot `--budget-ms` of wall clock.
+//!
+//! `--json` adds the capacity evidence CI archives: peak process FDs
+//! (read from `/proc/self/fd`) and resident-set delta per link, plus
+//! the engine's wakeup/timer/spurious counters. CI runs 2,000 front
+//! links in the PR gauntlet (`scale-smoke`); the 10k-link soak is
+//! nightly.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rcm_core::ad::{Ad1, AlertFilter};
+use rcm_core::{Alert, AlertId, CeId, CondId, HistoryFingerprint, SeqNo, Update, VarId};
+use rcm_net::Backoff;
+use rcm_transport::{BackLinkSpec, EventLoop, UdpFrontLink};
+
+use std::time::Duration;
+
+struct Options {
+    front: usize,
+    back: usize,
+    active: usize,
+    updates: u64,
+    budget: Duration,
+    json: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: scale [--front N] [--back M] [--active A] [--updates K] \
+         [--budget-ms MS] [--json]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_args() -> Option<Options> {
+    let mut opts = Options {
+        front: 2000,
+        back: 100,
+        active: 100,
+        updates: 20,
+        budget: Duration::from_secs(120),
+        json: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--front" => opts.front = args.next()?.parse().ok()?,
+            "--back" => opts.back = args.next()?.parse().ok()?,
+            "--active" => opts.active = args.next()?.parse().ok()?,
+            "--updates" => opts.updates = args.next()?.parse().ok()?,
+            "--budget-ms" => opts.budget = Duration::from_millis(args.next()?.parse().ok()?),
+            "--json" => opts.json = true,
+            _ => return None,
+        }
+    }
+    opts.active = opts.active.min(opts.front);
+    Some(opts)
+}
+
+/// Open file descriptors of this process (Linux; 0 elsewhere).
+fn open_fds() -> u64 {
+    std::fs::read_dir("/proc/self/fd").map(|d| d.count() as u64).unwrap_or(0)
+}
+
+/// Resident set size in bytes (Linux; 0 elsewhere).
+fn rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+fn main() -> ExitCode {
+    let Some(opts) = parse_args() else { return usage() };
+    let started = Instant::now();
+    let rss_before = rss_bytes();
+
+    // The node under test: one loop holding the CE ingress, the AD
+    // listener, and every back link.
+    let ce_sock = std::net::UdpSocket::bind("127.0.0.1:0").expect("bind CE socket");
+    let ce_addr = ce_sock.local_addr().expect("CE addr");
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind AD listener");
+    let ad_addr = listener.local_addr().expect("AD addr");
+
+    // The wall-clock budget is the gauntlet's only backstop: the idle
+    // timeouts must outlast any legitimately quiet phase (at 10k links
+    // the Fin handshake alone is tens of seconds of listener silence),
+    // or the backstop severs a healthy pipeline mid-run.
+    let idle = opts.budget;
+    let mut el = EventLoop::new().expect("event loop");
+    let engine_counters = el.counters();
+    let (update_tx, update_rx) = rcm_sync::chan::unbounded();
+    let ingress = el
+        .add_front_ingress(ce_sock, opts.front, idle, move |u| {
+            let _ = update_tx.send(u);
+        })
+        .expect("register ingress");
+    let (alert_tx, alert_rx) = rcm_sync::chan::unbounded();
+    let ad = el
+        .add_alert_listener(listener, opts.back, idle, move |a| {
+            let _ = alert_tx.send(a);
+        })
+        .expect("register listener");
+    let mut backs = Vec::with_capacity(opts.back);
+    let mut back_stats = Vec::with_capacity(opts.back);
+    for j in 0..opts.back {
+        let backoff = Backoff::new(Duration::from_micros(200), Duration::from_millis(20), j as u64);
+        let back = el
+            .add_back_link(BackLinkSpec::new(ad_addr, j as u32, backoff))
+            .expect("back link connects");
+        back_stats.push(back.stats_handle());
+        backs.push(back);
+    }
+    let engine = rcm_sync::thread::spawn(move || el.run());
+
+    // The DM fleet: every front link exists (and owns an FD); only the
+    // active prefix ever sends an update.
+    let mut fronts = Vec::with_capacity(opts.front);
+    for i in 0..opts.front {
+        fronts.push(UdpFrontLink::connect(ce_addr, i as u32).expect("front link connects"));
+    }
+    let peak_fds = open_fds();
+    let rss_after_links = rss_bytes();
+
+    // Pace sends per round: the gauntlet measures link *capacity* and
+    // exactly-once display, not the kernel's UDP receive-buffer depth —
+    // an unpaced blast of active×updates datagrams into one socket
+    // would overflow it and read as loss.
+    for k in 1..=opts.updates {
+        for (i, link) in fronts.iter_mut().take(opts.active).enumerate() {
+            let _ = link.send_update(Update::new(VarId::new(i as u32), k, k as f64));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    for link in &mut fronts {
+        link.finish(8);
+    }
+
+    // CE body: each delivered update becomes one alert, fanned out on
+    // every back link. The channel closes when the ingress saw all N
+    // Fins (or its idle backstop fired).
+    let mut emitted: u64 = 0;
+    while let Ok(update) = update_rx.recv() {
+        let alert = Alert::new(
+            CondId::new(0),
+            HistoryFingerprint::single(update.var, vec![update.seqno]),
+            vec![update],
+            AlertId { ce: CeId::new(0), index: emitted },
+        );
+        for back in &mut backs {
+            back.send_alert(alert.clone());
+        }
+        emitted += 1;
+    }
+    for back in &mut backs {
+        back.finish();
+    }
+    engine.join().expect("loop thread");
+
+    // AD body: AD-1 over the merged stream — every emitted alert must
+    // survive exactly once.
+    let mut filter = Ad1::new();
+    let mut heard: u64 = 0;
+    let mut displayed: u64 = 0;
+    while let Ok(alert) = alert_rx.recv() {
+        heard += 1;
+        if filter.offer(&alert).is_deliver() {
+            displayed += 1;
+        }
+    }
+
+    let elapsed = started.elapsed();
+    let ingress_stats = ingress.snapshot();
+    let ad_stats = ad.snapshot();
+    let engine_stats = engine_counters.snapshot();
+    let lost_overflow: u64 = back_stats.iter().map(|s| s.snapshot().lost_overflow).sum();
+    let shed: u64 = back_stats.iter().map(|s| s.snapshot().shed).sum();
+    let per_link_bytes = if opts.front == 0 {
+        0
+    } else {
+        rss_after_links.saturating_sub(rss_before) / opts.front as u64
+    };
+
+    let expected_emitted = opts.active as u64 * opts.updates;
+    let mut violations: Vec<String> = Vec::new();
+    if emitted != expected_emitted {
+        violations.push(format!("emitted {emitted} alerts, expected {expected_emitted}"));
+    }
+    if displayed != emitted {
+        violations.push(format!("displayed {displayed} of {emitted} alerts — not exactly-once"));
+    }
+    if heard != emitted * opts.back as u64 {
+        violations.push(format!(
+            "listener heard {heard} alerts, expected emitted × back links = {}",
+            emitted * opts.back as u64
+        ));
+    }
+    if ingress_stats.decode_errors != 0 || ad_stats.decode_errors != 0 {
+        violations.push(format!(
+            "decode errors on loopback (ingress {}, listener {})",
+            ingress_stats.decode_errors, ad_stats.decode_errors
+        ));
+    }
+    if lost_overflow != 0 {
+        violations.push(format!("{lost_overflow} alerts lost to resend-queue overflow"));
+    }
+    if ingress_stats.fins != opts.front as u64 {
+        violations.push(format!(
+            "ingress saw {} of {} Fins (idle backstop ended the run)",
+            ingress_stats.fins, opts.front
+        ));
+    }
+    if elapsed > opts.budget {
+        violations.push(format!("wall clock {elapsed:?} overshot budget {:?}", opts.budget));
+    }
+
+    if opts.json {
+        let doc = serde_json::json!({
+            "front_links": opts.front,
+            "back_links": opts.back,
+            "active_links": opts.active,
+            "updates_per_active_link": opts.updates,
+            "emitted": emitted,
+            "displayed": displayed,
+            "listener_alerts": heard,
+            "fins_seen": ingress_stats.fins,
+            "connections": ad_stats.connections,
+            "peak_fds": peak_fds,
+            "rss_delta_bytes": rss_after_links.saturating_sub(rss_before),
+            "per_link_bytes": per_link_bytes,
+            "shed": shed,
+            "elapsed_ms": elapsed.as_millis() as u64,
+            "budget_ms": opts.budget.as_millis() as u64,
+            "engine": serde_json::to_value(&engine_stats).expect("engine stats serialize"),
+            "violations": violations,
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).expect("report serializes"));
+    } else {
+        println!(
+            "scale: {} front links ({} active × {} updates), {} back links",
+            opts.front, opts.active, opts.updates, opts.back
+        );
+        println!(
+            "  emitted {emitted}, displayed {displayed} (exactly-once), \
+             listener heard {heard}"
+        );
+        println!(
+            "  peak fds {peak_fds}, ~{per_link_bytes} B/link resident, \
+             {} wakeups, {} timer fires, {elapsed:?} elapsed",
+            engine_stats.wakeups, engine_stats.timer_fires
+        );
+        for v in &violations {
+            println!("  VIOLATION: {v}");
+        }
+    }
+
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

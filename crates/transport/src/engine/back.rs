@@ -1,0 +1,817 @@
+//! The evented CE → AD back link: `TcpBackLink`'s full
+//! sever/queue/reconnect machine with every blocking state made
+//! explicit.
+//!
+//! Where the threaded link blocks, this one parks state:
+//!
+//! * a partial write parks the frame's remainder as a
+//!   [`PendingWrite`] continuation and waits for writability;
+//! * a down link parks a reconnect timer paced by the same seeded
+//!   [`Backoff`] schedule (and a connect attempt in flight is its own
+//!   `Connecting` state, aborted by a capped timer — the evented
+//!   analogue of `RECONNECT_CONNECT_CAP`);
+//! * `finish` parks a drain-then-Fin plan with a deadline timer, so a
+//!   dead peer costs a counted queue loss, never a hung thread.
+//!
+//! Counter timing matches the threaded link at frame *completion*
+//! (the threaded `write_all` either fully succeeds or fails), so the
+//! loopback equivalence suite can compare reports across engines.
+//! The caller-side handle, [`EventedBackLink`], never blocks on
+//! `send_alert`: everything past the bound is shed-with-counter, the
+//! same back-pressure contract as the threaded `enqueue`.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::AsRawFd;
+
+use rcm_core::Alert;
+use rcm_net::Backoff;
+use rcm_poll::{sys, Event, Interest, SubmitQueue, TimerKey, Token, Waker};
+use rcm_sync::atomic::Ordering;
+use rcm_sync::chan::{Receiver, Sender};
+use rcm_sync::time::{Duration, Instant};
+use rcm_sync::Arc;
+
+use super::counters::BackLinkCounters;
+use super::event_loop::{timer_data, Command, Core, KIND_DEADLINE, KIND_FLUSH, KIND_RECONNECT};
+use crate::batch::BatchPolicy;
+use crate::wire::{self, Codec, Message};
+
+/// Same tail length as the threaded link.
+const UNACKED_TAIL: usize = 8;
+
+/// How long one in-flight reconnect attempt may sit in `Connecting`
+/// before the abort timer kills it — the evented analogue of the
+/// threaded path's `RECONNECT_CONNECT_CAP`.
+const CONNECT_CAP: Duration = Duration::from_millis(250);
+
+/// The initial connect keeps the threaded deployment-error semantics:
+/// it happens on the caller thread and is worth waiting for. Bounded
+/// only so a silently-dropping peer cannot park deployment forever.
+const INITIAL_CONNECT_WAIT: Duration = Duration::from_secs(30);
+
+/// Everything needed to open one evented back link — the same knobs
+/// as `TcpBackLink`'s builder methods, gathered so the link can be
+/// built inside the loop.
+#[derive(Debug, Clone)]
+pub struct BackLinkSpec {
+    pub(super) peer: SocketAddr,
+    pub(super) node: u32,
+    pub(super) backoff: Backoff,
+    pub(super) codec: Codec,
+    pub(super) batch: BatchPolicy,
+    pub(super) severs: Vec<(u64, Duration)>,
+    pub(super) queue_cap: usize,
+    pub(super) unacked_cap: usize,
+    pub(super) blocking_deadline: Duration,
+}
+
+impl BackLinkSpec {
+    /// A spec with the threaded link's defaults: binary codec, no
+    /// batching, queue cap 1024, unacked tail 8, 10 s finish deadline.
+    pub fn new(peer: SocketAddr, node: u32, backoff: Backoff) -> Self {
+        BackLinkSpec {
+            peer,
+            node,
+            backoff,
+            codec: Codec::default(),
+            batch: BatchPolicy::off(),
+            severs: Vec::new(),
+            queue_cap: 1024,
+            unacked_cap: UNACKED_TAIL,
+            blocking_deadline: Duration::from_secs(10),
+        }
+    }
+
+    /// Selects the payload codec this link speaks (default binary).
+    #[must_use]
+    pub fn codec(mut self, codec: Codec) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Enables frame batching under `policy` (default off).
+    #[must_use]
+    pub fn batching(mut self, policy: BatchPolicy) -> Self {
+        self.batch = policy;
+        self
+    }
+
+    /// Scripts severances as `(at_send, down_for)` pairs; sorted
+    /// internally, same contract as the threaded link.
+    #[must_use]
+    pub fn with_severs(mut self, mut severs: Vec<(u64, Duration)>) -> Self {
+        severs.sort_by_key(|&(at, _)| at);
+        self.severs = severs;
+        self
+    }
+
+    /// Bounds the resend queue (default 1024).
+    #[must_use]
+    pub fn queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap.max(1);
+        self
+    }
+
+    /// Sets the unacked-tail length resent on reconnect (default 8;
+    /// 0 disables duplicate resends).
+    #[must_use]
+    pub fn unacked_cap(mut self, cap: usize) -> Self {
+        self.unacked_cap = cap;
+        self
+    }
+
+    /// How long `finish` keeps retrying a dead peer before counting
+    /// the queue as lost (default 10 s).
+    #[must_use]
+    pub fn reconnect_deadline(mut self, deadline: Duration) -> Self {
+        self.blocking_deadline = deadline;
+        self
+    }
+}
+
+/// The caller-side handle to one evented back link. Lives on the CE
+/// thread; every method is a non-blocking submit to the loop except
+/// `finish`/`abandon`, which wait for the state machine's
+/// acknowledgement (the evented analogue of the threaded link's
+/// blocking drain).
+pub struct EventedBackLink {
+    id: usize,
+    commands: SubmitQueue<Command>,
+    waker: Waker,
+    done_rx: Receiver<()>,
+    counters: Arc<BackLinkCounters>,
+    finished: bool,
+}
+
+impl std::fmt::Debug for EventedBackLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventedBackLink")
+            .field("id", &self.id)
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+impl EventedBackLink {
+    pub(super) fn new(
+        id: usize,
+        commands: SubmitQueue<Command>,
+        waker: Waker,
+        done_rx: Receiver<()>,
+        counters: Arc<BackLinkCounters>,
+    ) -> Self {
+        EventedBackLink { id, commands, waker, done_rx, counters, finished: false }
+    }
+
+    /// Hands one alert to the loop. Never blocks: a down peer costs a
+    /// bounded queue slot (or a counted shed), never a stalled caller.
+    pub fn send_alert(&mut self, alert: Alert) {
+        if self.finished {
+            return;
+        }
+        self.commands.submit(Command::Send { id: self.id, alert }, &self.waker);
+    }
+
+    /// Asks the loop to drain losslessly, send Fin, and close; waits
+    /// for the acknowledgement. Same lossless contract (and same
+    /// deadline-bounded loss accounting) as the threaded `finish`.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.commands.submit(Command::Finish { id: self.id }, &self.waker);
+        // A loop that died early drops the sender; either way we stop.
+        let _ = self.done_rx.recv();
+    }
+
+    /// Drops everything queued, best-effort Fin, close — the
+    /// abandoned-replica path. Waits for the acknowledgement.
+    pub fn abandon(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.commands.submit(Command::Abandon { id: self.id }, &self.waker);
+        let _ = self.done_rx.recv();
+    }
+
+    /// A handle for reading the link's counters.
+    pub fn stats_handle(&self) -> Arc<BackLinkCounters> {
+        Arc::clone(&self.counters)
+    }
+}
+
+/// One frame on its way out: bytes plus the continuation cursor, and
+/// the bookkeeping that fires when the last byte lands.
+struct PendingWrite {
+    bytes: Vec<u8>,
+    written: usize,
+    /// The alerts this frame carries (empty for Hello/Fin control
+    /// frames, which the counters ignore — matching the threaded
+    /// link's `write_msg`).
+    alerts: Vec<Alert>,
+    resend: bool,
+    fin: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LinkState {
+    Up,
+    /// A non-blocking connect is in flight; writability (or the abort
+    /// timer) resolves it.
+    Connecting,
+    Down,
+}
+
+/// The loop-side state machine for one back link.
+pub(super) struct BackSource {
+    peer: SocketAddr,
+    node: u32,
+    stream: Option<TcpStream>,
+    state: LinkState,
+    finishing: bool,
+    fin_queued: bool,
+    deadline_passed: bool,
+    floor: Option<Instant>,
+    severs: VecDeque<(u64, Duration)>,
+    sends_seen: u64,
+    backoff: Backoff,
+    queue: VecDeque<Alert>,
+    queue_cap: usize,
+    unacked: VecDeque<Alert>,
+    unacked_cap: usize,
+    blocking_deadline: Duration,
+    codec: Codec,
+    batch: BatchPolicy,
+    pending: Vec<Alert>,
+    pending_bytes: usize,
+    pending_since: Instant,
+    out: VecDeque<PendingWrite>,
+    registered_write: bool,
+    reconnect_timer: Option<TimerKey>,
+    flush_timer: Option<TimerKey>,
+    deadline_timer: Option<TimerKey>,
+    counters: Arc<BackLinkCounters>,
+    done_tx: Sender<()>,
+}
+
+impl BackSource {
+    /// Opens the link: the initial connect on the caller thread (a
+    /// failure here is a deployment error, like the threaded
+    /// `connect`), then registers the live stream with the loop and
+    /// queues the Hello preamble.
+    pub(super) fn open(
+        spec: BackLinkSpec,
+        core: &mut Core,
+        id: usize,
+        done_tx: Sender<()>,
+    ) -> io::Result<Self> {
+        let stream = sys::connect_nonblocking(spec.peer)?;
+        let fd = stream.as_raw_fd();
+        if !sys::await_writable(fd, INITIAL_CONNECT_WAIT)? {
+            return Err(io::Error::new(io::ErrorKind::TimedOut, "initial back-link connect"));
+        }
+        sys::take_socket_error(fd)?;
+        // Alerts are small and latency-sensitive; never batch them
+        // behind Nagle.
+        stream.set_nodelay(true)?;
+        core.poller.register(fd, Token(id), Interest::WRITE)?;
+        let mut source = BackSource {
+            peer: spec.peer,
+            node: spec.node,
+            stream: Some(stream),
+            state: LinkState::Up,
+            finishing: false,
+            fin_queued: false,
+            deadline_passed: false,
+            floor: None,
+            severs: spec.severs.into(),
+            sends_seen: 0,
+            backoff: spec.backoff,
+            queue: VecDeque::new(),
+            queue_cap: spec.queue_cap,
+            unacked: VecDeque::new(),
+            unacked_cap: spec.unacked_cap,
+            blocking_deadline: spec.blocking_deadline,
+            codec: spec.codec,
+            batch: spec.batch,
+            pending: Vec::new(),
+            pending_bytes: 0,
+            pending_since: Instant::now(),
+            out: VecDeque::new(),
+            registered_write: true,
+            reconnect_timer: None,
+            flush_timer: None,
+            deadline_timer: None,
+            counters: Arc::new(BackLinkCounters::default()),
+            done_tx,
+        };
+        source.queue_control(Message::Hello { node: spec.node });
+        Ok(source)
+    }
+
+    pub(super) fn counters(&self) -> Arc<BackLinkCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    // ---- command handlers (all return `true` when the link retired).
+
+    pub(super) fn on_send(&mut self, core: &mut Core, id: usize, alert: Alert) -> bool {
+        let now = Instant::now();
+        if let Some(&(at, down_for)) = self.severs.front() {
+            if self.sends_seen >= at {
+                self.severs.pop_front();
+                self.counters.severs.fetch_add(1, Ordering::SeqCst);
+                // A severance landing while already down extends the
+                // outage rather than stacking a second one.
+                self.mark_down(core, id, Some(now + down_for));
+            }
+        }
+        self.sends_seen += 1;
+        if self.batch.is_off() {
+            if self.state == LinkState::Up {
+                self.queue_frame(vec![alert], false);
+                self.drain_out(core, id);
+            } else {
+                self.enqueue(alert);
+            }
+            return false;
+        }
+        if self.state != LinkState::Up {
+            // FIFO across the outage: the buffered batch (older) goes
+            // to the queue before this alert does.
+            self.spill_pending(core);
+            self.enqueue(alert);
+            return false;
+        }
+        if self.pending.iter().any(|a| *a == alert) {
+            self.counters.dedup_suppressed.fetch_add(1, Ordering::SeqCst);
+            return false;
+        }
+        let add = match wire::frame_len(self.codec, &Message::Alert(alert.clone())) {
+            Ok(len) => len - wire::HEADER_LEN,
+            Err(_) => 256,
+        };
+        if !self.pending.is_empty()
+            && (self.batch.expired(self.pending_since)
+                || self.batch.bytes_full(self.pending_bytes + add))
+        {
+            self.flush_pending(core, id);
+        }
+        if self.state != LinkState::Up {
+            // The flush hit a write error and spilled; keep FIFO.
+            self.enqueue(alert);
+            return false;
+        }
+        if self.pending.is_empty() {
+            self.pending_since = now;
+            self.pending_bytes = wire::HEADER_LEN + 2; // tag + count
+                                                       // The threaded link checks `max_delay` on the next send;
+                                                       // the loop gets an explicit flush deadline instead.
+            self.flush_timer = Some(
+                core.wheel.schedule_at(now + self.batch.max_delay, timer_data(id, KIND_FLUSH)),
+            );
+        }
+        self.pending.push(alert);
+        self.pending_bytes += add;
+        if self.batch.count_full(self.pending.len()) {
+            self.flush_pending(core, id);
+        }
+        false
+    }
+
+    pub(super) fn on_finish(&mut self, core: &mut Core, id: usize) -> bool {
+        self.finishing = true;
+        self.flush_pending(core, id);
+        if self.state == LinkState::Up {
+            if !self.fin_queued {
+                self.queue_fin();
+            }
+            return self.drain_out(core, id);
+        }
+        self.arm_finish_deadline(core, id);
+        false
+    }
+
+    pub(super) fn on_abandon(&mut self, core: &mut Core, id: usize) -> bool {
+        // Sanctioned loss: the queue dies with the replica, but the
+        // listener still needs the end-of-stream marker.
+        self.pending.clear();
+        self.pending_bytes = 0;
+        if let Some(key) = self.flush_timer.take() {
+            core.wheel.cancel(key);
+        }
+        self.queue.clear();
+        self.unacked.clear();
+        self.finishing = true;
+        if self.state == LinkState::Up {
+            if !self.fin_queued {
+                self.queue_fin();
+            }
+            return self.drain_out(core, id);
+        }
+        self.arm_finish_deadline(core, id);
+        false
+    }
+
+    fn arm_finish_deadline(&mut self, core: &mut Core, id: usize) {
+        let now = Instant::now();
+        self.deadline_timer = Some(
+            core.wheel.schedule_at(now + self.blocking_deadline, timer_data(id, KIND_DEADLINE)),
+        );
+        if self.state == LinkState::Down && self.reconnect_timer.is_none() {
+            self.schedule_reconnect(core, id, now);
+        }
+    }
+
+    // ---- readiness and timers.
+
+    pub(super) fn on_event(&mut self, core: &mut Core, id: usize, ev: Event) -> bool {
+        match self.state {
+            LinkState::Connecting => self.on_connect_resolved(core, id, ev),
+            LinkState::Up => {
+                if ev.error {
+                    self.counters.io_errors.fetch_add(1, Ordering::SeqCst);
+                    self.mark_down(core, id, None);
+                    return self.after_down(core, id);
+                }
+                if ev.writable {
+                    return self.drain_out(core, id);
+                }
+                false
+            }
+            // The fd was deregistered on the way down; a straggler
+            // event for the old registration is a no-op.
+            LinkState::Down => false,
+        }
+    }
+
+    pub(super) fn on_timer(&mut self, core: &mut Core, id: usize, kind: u64) -> bool {
+        match kind {
+            KIND_RECONNECT => {
+                self.reconnect_timer = None;
+                match self.state {
+                    LinkState::Connecting => {
+                        // The in-flight attempt outlived the cap.
+                        self.close_stream(core);
+                        self.state = LinkState::Down;
+                        let delay = self.backoff.next_delay();
+                        self.schedule_reconnect(core, id, Instant::now() + delay);
+                    }
+                    LinkState::Down => self.attempt_connect(core, id),
+                    LinkState::Up => {}
+                }
+                false
+            }
+            KIND_FLUSH => {
+                self.flush_timer = None;
+                if !self.pending.is_empty() {
+                    return self.flush_pending(core, id);
+                }
+                false
+            }
+            KIND_DEADLINE => {
+                self.deadline_timer = None;
+                if !self.finishing {
+                    return false;
+                }
+                if self.state == LinkState::Up {
+                    // Mid-drain: let it run, but a fresh outage now
+                    // ends the finish instead of restarting the clock.
+                    self.deadline_passed = true;
+                    return false;
+                }
+                self.abort_finish(core);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn on_connect_resolved(&mut self, core: &mut Core, id: usize, ev: Event) -> bool {
+        if let Some(key) = self.reconnect_timer.take() {
+            core.wheel.cancel(key);
+        }
+        let sock_err = match &self.stream {
+            Some(stream) => sys::take_socket_error(stream.as_raw_fd()).err(),
+            None => Some(io::Error::other("no stream in Connecting state")),
+        };
+        if ev.error || sock_err.is_some() {
+            self.close_stream(core);
+            self.state = LinkState::Down;
+            let delay = self.backoff.next_delay();
+            self.schedule_reconnect(core, id, Instant::now() + delay);
+            return false;
+        }
+        // Connected: same sequence as the threaded reconnect — Hello,
+        // unacked-tail duplicates, then the queue in FIFO order.
+        if let Some(stream) = &self.stream {
+            let _ = stream.set_nodelay(true);
+        }
+        self.state = LinkState::Up;
+        self.registered_write = true; // still registered for WRITE
+        self.floor = None;
+        self.backoff.reset();
+        self.counters.reconnects.fetch_add(1, Ordering::SeqCst);
+        self.queue_control(Message::Hello { node: self.node });
+        self.resend_unacked();
+        while let Some(alert) = self.queue.pop_front() {
+            self.queue_frame(vec![alert], false);
+        }
+        if self.finishing && !self.fin_queued {
+            self.queue_fin();
+        }
+        self.drain_out(core, id)
+    }
+
+    fn attempt_connect(&mut self, core: &mut Core, id: usize) {
+        self.counters.attempts.fetch_add(1, Ordering::SeqCst);
+        let now = Instant::now();
+        if self.floor.is_some_and(|f| now < f) {
+            let delay = self.backoff.next_delay();
+            self.schedule_reconnect(core, id, now + delay);
+            return;
+        }
+        match sys::connect_nonblocking(self.peer) {
+            Ok(stream) => {
+                let fd = stream.as_raw_fd();
+                if core.poller.register(fd, Token(id), Interest::WRITE).is_ok() {
+                    self.stream = Some(stream);
+                    self.state = LinkState::Connecting;
+                    self.registered_write = true;
+                    // The abort timer doubles as the reconnect key.
+                    self.schedule_reconnect(core, id, now + CONNECT_CAP);
+                    return;
+                }
+                let delay = self.backoff.next_delay();
+                self.schedule_reconnect(core, id, now + delay);
+            }
+            Err(_) => {
+                let delay = self.backoff.next_delay();
+                self.schedule_reconnect(core, id, now + delay);
+            }
+        }
+    }
+
+    // ---- the write path.
+
+    /// Encodes `alerts` as one frame (plain `Alert` for a lone alert,
+    /// `AlertBatch` otherwise — the threaded wire format) and parks it
+    /// on the out-queue. Counting happens at completion.
+    fn queue_frame(&mut self, alerts: Vec<Alert>, resend: bool) {
+        let mut bytes = Vec::new();
+        let result = match alerts.as_slice() {
+            [single] => wire::encode_into(self.codec, &Message::Alert(single.clone()), &mut bytes),
+            many => wire::encode_alerts_into(self.codec, many, &mut bytes),
+        };
+        if result.is_err() {
+            // Unreachable for well-formed alerts; counted, not
+            // panicked. Duplicates (resends) are simply dropped.
+            self.counters.io_errors.fetch_add(1, Ordering::SeqCst);
+            if !resend {
+                for alert in alerts {
+                    self.enqueue(alert);
+                }
+            }
+            return;
+        }
+        self.out.push_back(PendingWrite { bytes, written: 0, alerts, resend, fin: false });
+    }
+
+    fn queue_control(&mut self, msg: Message) {
+        let fin = matches!(msg, Message::Fin { .. });
+        match wire::encode_with(self.codec, &msg) {
+            Ok(bytes) => {
+                self.out.push_back(PendingWrite {
+                    bytes,
+                    written: 0,
+                    alerts: Vec::new(),
+                    resend: false,
+                    fin,
+                });
+                if fin {
+                    self.fin_queued = true;
+                }
+            }
+            Err(_) => {
+                self.counters.io_errors.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    fn queue_fin(&mut self) {
+        self.queue_control(Message::Fin { node: self.node });
+    }
+
+    fn resend_unacked(&mut self) {
+        // Pure duplicates, exactly the adversarial input the AD
+        // filters must tolerate; one frame each, like the threaded
+        // resend.
+        let tail: Vec<Alert> = self.unacked.iter().cloned().collect();
+        for alert in tail {
+            self.queue_frame(vec![alert], true);
+        }
+    }
+
+    /// Writes as much of the out-queue as the socket takes right now.
+    /// Returns `true` when the Fin frame completed and the link
+    /// retired (or a failure while finishing past the deadline ended
+    /// it as counted loss).
+    fn drain_out(&mut self, core: &mut Core, id: usize) -> bool {
+        while self.state == LinkState::Up && !self.out.is_empty() {
+            let Some(stream) = self.stream.as_mut() else { break };
+            let Some(front) = self.out.front_mut() else { break };
+            match stream.write(&front.bytes[front.written..]) {
+                Ok(n) => {
+                    front.written += n;
+                    if front.written >= front.bytes.len() {
+                        if let Some(done) = self.out.pop_front() {
+                            if self.complete_frame(core, done) {
+                                return true;
+                            }
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.counters.io_errors.fetch_add(1, Ordering::SeqCst);
+                    self.mark_down(core, id, None);
+                    return self.after_down(core, id);
+                }
+            }
+        }
+        self.update_interest(core, id);
+        false
+    }
+
+    /// Completion bookkeeping for one fully-written frame — the moment
+    /// the threaded link's `write_all` would have returned `Ok`.
+    fn complete_frame(&mut self, core: &mut Core, frame: PendingWrite) -> bool {
+        if frame.fin {
+            self.retire(core);
+            return true;
+        }
+        if frame.alerts.is_empty() {
+            return false; // Hello: uncounted, like write_msg
+        }
+        let len = frame.bytes.len() as u64;
+        self.counters.frames_sent.fetch_add(1, Ordering::SeqCst);
+        self.counters.bytes_sent.fetch_add(len, Ordering::SeqCst);
+        if frame.resend {
+            self.counters.resent_duplicates.fetch_add(1, Ordering::SeqCst);
+        } else {
+            self.counters.sent.fetch_add(frame.alerts.len() as u64, Ordering::SeqCst);
+            for alert in frame.alerts {
+                self.push_unacked(alert);
+            }
+        }
+        false
+    }
+
+    fn update_interest(&mut self, core: &mut Core, id: usize) {
+        let want = self.state == LinkState::Up && !self.out.is_empty();
+        if want == self.registered_write {
+            return;
+        }
+        if let Some(stream) = &self.stream {
+            let interest =
+                if want { Interest::WRITE } else { Interest { read: false, write: false } };
+            let _ = core.poller.reregister(stream.as_raw_fd(), Token(id), interest);
+        }
+        self.registered_write = want;
+    }
+
+    // ---- outage handling.
+
+    fn mark_down(&mut self, core: &mut Core, id: usize, floor: Option<Instant>) {
+        self.close_stream(core);
+        self.state = LinkState::Down;
+        self.floor = match (self.floor, floor) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.backoff.reset();
+        // In-flight frames spill to the queue FRONT in order: they are
+        // older than anything queued after them. (The queue is empty
+        // while up, so in practice this rebuilds FIFO exactly.) A
+        // partially-written frame is re-sent whole — the peer's frame
+        // buffer discards the torn prefix with the dead connection.
+        let mut spilled: Vec<Alert> = Vec::new();
+        for frame in self.out.drain(..) {
+            if frame.fin {
+                self.fin_queued = false; // the finish plan re-issues it
+            }
+            if !frame.resend {
+                spilled.extend(frame.alerts);
+            }
+        }
+        for alert in spilled.into_iter().rev() {
+            self.queue.push_front(alert);
+        }
+        // The buffered batch spills behind everything already queued.
+        self.spill_pending(core);
+        if let Some(key) = self.flush_timer.take() {
+            core.wheel.cancel(key);
+        }
+        self.schedule_reconnect(core, id, Instant::now());
+    }
+
+    /// After a fresh outage: a finish already past its deadline ends
+    /// now as counted loss instead of riding a new reconnect cycle.
+    fn after_down(&mut self, core: &mut Core, id: usize) -> bool {
+        let _ = id;
+        if self.finishing && self.deadline_passed {
+            self.abort_finish(core);
+            return true;
+        }
+        false
+    }
+
+    fn abort_finish(&mut self, core: &mut Core) {
+        let dropped = self.queue.len() as u64;
+        self.queue.clear();
+        if dropped > 0 {
+            self.counters.lost_overflow.fetch_add(dropped, Ordering::SeqCst);
+        }
+        self.retire(core);
+    }
+
+    /// Final cleanup + the caller's acknowledgement.
+    fn retire(&mut self, core: &mut Core) {
+        self.close_stream(core);
+        for key in
+            [self.reconnect_timer.take(), self.flush_timer.take(), self.deadline_timer.take()]
+                .into_iter()
+                .flatten()
+        {
+            core.wheel.cancel(key);
+        }
+        let _ = self.done_tx.send(());
+    }
+
+    fn close_stream(&mut self, core: &mut Core) {
+        if let Some(stream) = self.stream.take() {
+            core.poller.deregister(stream.as_raw_fd());
+        }
+        self.registered_write = false;
+    }
+
+    fn schedule_reconnect(&mut self, core: &mut Core, id: usize, at: Instant) {
+        if let Some(key) = self.reconnect_timer.take() {
+            core.wheel.cancel(key);
+        }
+        self.reconnect_timer = Some(core.wheel.schedule_at(at, timer_data(id, KIND_RECONNECT)));
+    }
+
+    // ---- queue bookkeeping (same contract as the threaded link).
+
+    fn flush_pending(&mut self, core: &mut Core, id: usize) -> bool {
+        if let Some(key) = self.flush_timer.take() {
+            core.wheel.cancel(key);
+        }
+        if self.pending.is_empty() {
+            return false;
+        }
+        if self.state != LinkState::Up {
+            self.spill_pending(core);
+            return false;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        self.pending_bytes = 0;
+        self.queue_frame(pending, false);
+        self.drain_out(core, id)
+    }
+
+    fn spill_pending(&mut self, _core: &mut Core) {
+        let pending = std::mem::take(&mut self.pending);
+        self.pending_bytes = 0;
+        for alert in pending {
+            self.enqueue(alert);
+        }
+    }
+
+    fn enqueue(&mut self, alert: Alert) {
+        if self.queue.len() >= self.queue_cap {
+            // Strictly non-blocking back-pressure: shed the oldest and
+            // count it, never stall anything on a down peer.
+            self.queue.pop_front();
+            self.counters.lost_overflow.fetch_add(1, Ordering::SeqCst);
+            self.counters.shed.fetch_add(1, Ordering::SeqCst);
+        }
+        self.queue.push_back(alert);
+        self.counters.observe_queue_depth(self.queue.len() as u64);
+    }
+
+    fn push_unacked(&mut self, alert: Alert) {
+        if self.unacked_cap > 0 {
+            if self.unacked.len() == self.unacked_cap {
+                self.unacked.pop_front();
+            }
+            self.unacked.push_back(alert);
+        }
+    }
+}

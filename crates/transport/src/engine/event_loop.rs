@@ -1,0 +1,443 @@
+//! The readiness loop itself: one thread, one poller, one timer
+//! wheel, and a slab of connection state machines.
+//!
+//! Ownership discipline: every socket lives inside exactly one
+//! [`Source`] slot, and every slot is touched only by the loop thread.
+//! Caller threads reach the loop exclusively through the
+//! [`SubmitQueue`] + [`Waker`] pair, so no lock is ever shared between
+//! a caller and the loop (and none is ever held across the poll).
+//!
+//! The slab never reuses slots: a finished source leaves `None`
+//! behind, which makes a late timer fire or a stale readiness event
+//! for that token a silent no-op instead of a use-after-retire bug.
+//! Timer payloads encode `(slot << 2) | kind`, so one wheel serves
+//! idle backstops, reconnect pacing, batch flush deadlines, and
+//! finish deadlines without per-source timer threads.
+
+use std::io;
+use std::net::{TcpListener, TcpStream, UdpSocket};
+use std::os::fd::AsRawFd;
+
+use rcm_core::{Alert, Update};
+use rcm_poll::{Event, Interest, Poller, SubmitQueue, TimerWheel, Token, WAKE_TOKEN};
+use rcm_sync::atomic::Ordering;
+use rcm_sync::time::{Duration, Instant};
+use rcm_sync::Arc;
+
+use super::back::{BackLinkSpec, BackSource, EventedBackLink};
+use super::counters::{EngineCounters, IngressCounters, ListenerCounters};
+use super::front::FrontSource;
+use super::listener::{ConnSource, ListenerSource};
+
+/// Timer-wheel resolution. Coarser than the OS clock on purpose: every
+/// engine deadline (backoff floors, batch `max_delay`, idle backstops)
+/// is milliseconds-scale, and a coarse tick keeps the wheel's cascade
+/// work near zero.
+const TICK: Duration = Duration::from_millis(1);
+
+/// Wheel size: one lap covers 512 ms before cascading. Longer
+/// deadlines (idle backstops, finish deadlines) just take extra laps.
+const BUCKETS: usize = 512;
+
+/// Timer kinds, packed into the low bits of the wheel's `data` word.
+pub(super) const KIND_IDLE: u64 = 0;
+pub(super) const KIND_RECONNECT: u64 = 1;
+pub(super) const KIND_FLUSH: u64 = 2;
+pub(super) const KIND_DEADLINE: u64 = 3;
+
+/// Packs a slab slot and a timer kind into one wheel payload.
+pub(super) fn timer_data(id: usize, kind: u64) -> u64 {
+    ((id as u64) << 2) | kind
+}
+
+/// What caller threads may ask of the loop. Every variant is
+/// fire-and-forget except that `Finish`/`Abandon` are acknowledged on
+/// the link's done channel once the state machine retires.
+pub(super) enum Command {
+    /// Transmit (or queue) one alert on back link `id`.
+    Send { id: usize, alert: Alert },
+    /// Drain link `id` losslessly, send Fin, then acknowledge.
+    Finish { id: usize },
+    /// Drop link `id`'s queue, best-effort Fin, then acknowledge.
+    Abandon { id: usize },
+}
+
+/// State shared between the loop and every source: the poller, the
+/// wheel, the engine counters, and one reused read buffer (a per-link
+/// buffer would cost 64 KiB × 10k links; readiness means one is
+/// enough).
+pub(super) struct Core {
+    pub poller: Poller,
+    pub wheel: TimerWheel,
+    pub counters: Arc<EngineCounters>,
+    pub buf: Box<[u8]>,
+}
+
+/// One slab slot: every socket the loop owns, as a state machine.
+enum Source {
+    Front(FrontSource),
+    Back(BackSource),
+    Listener(ListenerSource),
+    Conn(ConnSource),
+}
+
+/// The evented engine: owns every socket of one node process and runs
+/// them all on a single readiness loop.
+///
+/// Build it on the caller thread (registration happens eagerly, so
+/// bind/connect errors surface as `io::Result` right here), then hand
+/// the loop to a thread via [`run`](Self::run). Handles returned by
+/// `add_*` stay valid after the move.
+pub struct EventLoop {
+    core: Core,
+    commands: SubmitQueue<Command>,
+    sources: Vec<Option<Source>>,
+    /// Primary sources (fronts, listeners, back links) still running.
+    /// Conn sources ride on their listener and are not counted — the
+    /// loop exits when the last primary source retires.
+    active: usize,
+}
+
+impl std::fmt::Debug for EventLoop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLoop")
+            .field("sources", &self.sources.len())
+            .field("active", &self.active)
+            .finish()
+    }
+}
+
+impl EventLoop {
+    /// A loop on the platform's best readiness backend (epoll on
+    /// Linux, kqueue on macOS, `poll(2)` elsewhere).
+    ///
+    /// # Errors
+    ///
+    /// Propagates poller-construction failure (fd exhaustion).
+    pub fn new() -> io::Result<Self> {
+        Ok(Self::from_poller(Poller::new()?))
+    }
+
+    /// A loop pinned to the portable `poll(2)` backend — the
+    /// equivalence suite runs both to keep the fallback honest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates poller-construction failure (fd exhaustion).
+    pub fn with_poll_fallback() -> io::Result<Self> {
+        Ok(Self::from_poller(Poller::with_poll_fallback()?))
+    }
+
+    fn from_poller(poller: Poller) -> Self {
+        EventLoop {
+            core: Core {
+                poller,
+                wheel: TimerWheel::new(Instant::now(), TICK, BUCKETS),
+                counters: Arc::new(EngineCounters::default()),
+                buf: vec![0u8; 65_535].into_boxed_slice(),
+            },
+            commands: SubmitQueue::new(),
+            sources: Vec::new(),
+            active: 0,
+        }
+    }
+
+    /// The loop-level counters (wakeups, timer fires, spurious
+    /// readiness), readable while the loop runs.
+    pub fn counters(&self) -> Arc<EngineCounters> {
+        Arc::clone(&self.core.counters)
+    }
+
+    fn alloc(&mut self) -> usize {
+        self.sources.push(None);
+        self.sources.len() - 1
+    }
+
+    /// Adds one CE UDP ingress: the evented [`UdpFrontReceiver`]. The
+    /// socket is made non-blocking and every admitted update is handed
+    /// to `deliver` on the loop thread, in arrival order, until every
+    /// expected Fin arrived or the idle backstop fires.
+    ///
+    /// [`UdpFrontReceiver`]: crate::UdpFrontReceiver
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-configuration and registration failures.
+    pub fn add_front_ingress(
+        &mut self,
+        sock: UdpSocket,
+        expected_fins: usize,
+        idle_timeout: Duration,
+        deliver: impl FnMut(Update) + Send + 'static,
+    ) -> io::Result<Arc<IngressCounters>> {
+        sock.set_nonblocking(true)?;
+        let id = self.alloc();
+        self.core.poller.register(sock.as_raw_fd(), Token(id), Interest::READ)?;
+        let now = Instant::now();
+        let timer = self.core.wheel.schedule_at(now + idle_timeout, timer_data(id, KIND_IDLE));
+        let source =
+            FrontSource::new(sock, expected_fins, idle_timeout, Box::new(deliver), timer, now);
+        let counters = source.counters();
+        self.sources[id] = Some(Source::Front(source));
+        self.active += 1;
+        Ok(counters)
+    }
+
+    /// Adds the AD-side alert listener: the evented
+    /// [`TcpAlertListener`]. Accepted connections become their own
+    /// sources; every decoded alert is handed to `deliver` on the loop
+    /// thread until every expected Fin arrived or the idle backstop
+    /// fires.
+    ///
+    /// [`TcpAlertListener`]: crate::TcpAlertListener
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-configuration and registration failures.
+    pub fn add_alert_listener(
+        &mut self,
+        listener: TcpListener,
+        expected_fins: usize,
+        idle_timeout: Duration,
+        deliver: impl FnMut(Alert) + Send + 'static,
+    ) -> io::Result<Arc<ListenerCounters>> {
+        listener.set_nonblocking(true)?;
+        let id = self.alloc();
+        self.core.poller.register(listener.as_raw_fd(), Token(id), Interest::READ)?;
+        let now = Instant::now();
+        let timer = self.core.wheel.schedule_at(now + idle_timeout, timer_data(id, KIND_IDLE));
+        let source = ListenerSource::new(
+            listener,
+            expected_fins,
+            idle_timeout,
+            Box::new(deliver),
+            timer,
+            now,
+        );
+        let counters = source.counters();
+        self.sources[id] = Some(Source::Listener(source));
+        self.active += 1;
+        Ok(counters)
+    }
+
+    /// Adds one CE → AD back link: the evented [`TcpBackLink`]. The
+    /// initial connect happens here, on the caller thread, with the
+    /// threaded path's deployment-error semantics; everything after
+    /// (severs, reconnects, batching, the lossless drain) runs as a
+    /// state machine on the loop.
+    ///
+    /// [`TcpBackLink`]: crate::TcpBackLink
+    ///
+    /// # Errors
+    ///
+    /// Propagates the initial connect failure — a back link that never
+    /// existed is a deployment error, not an outage to ride out.
+    pub fn add_back_link(&mut self, spec: BackLinkSpec) -> io::Result<EventedBackLink> {
+        let id = self.alloc();
+        let (done_tx, done_rx) = rcm_sync::chan::unbounded();
+        let source = BackSource::open(spec, &mut self.core, id, done_tx)?;
+        let counters = source.counters();
+        self.sources[id] = Some(Source::Back(source));
+        self.active += 1;
+        Ok(EventedBackLink::new(
+            id,
+            self.commands.clone(),
+            self.core.poller.waker(),
+            done_rx,
+            counters,
+        ))
+    }
+
+    /// Runs until every primary source has retired: fronts and
+    /// listeners when their Fins (or idle backstops) arrive, back
+    /// links when their owner finishes or abandons them. Call from a
+    /// dedicated thread; the handles returned by `add_*` remain the
+    /// caller-side API.
+    pub fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        let mut fired: Vec<u64> = Vec::new();
+        let mut cmds: Vec<Command> = Vec::new();
+        while self.active > 0 {
+            self.commands.drain(&mut cmds);
+            for cmd in cmds.drain(..) {
+                self.handle_command(cmd);
+            }
+            fired.clear();
+            let fires = self.core.wheel.advance(Instant::now(), &mut fired);
+            if fires > 0 {
+                self.core.counters.timer_fires.fetch_add(fires as u64, Ordering::SeqCst);
+            }
+            for data in fired.drain(..) {
+                self.handle_timer(data);
+            }
+            if self.active == 0 {
+                break;
+            }
+            // No deadline pending means the wait parks until readiness
+            // or an explicit wake — the waker covers submits that race
+            // with `prepare_sleep`.
+            let timeout = self.core.wheel.next_deadline().map(|d| d - Instant::now());
+            if !self.commands.prepare_sleep() {
+                continue;
+            }
+            let waited = self.core.poller.wait(&mut events, timeout);
+            self.commands.wake_done();
+            if waited.is_err() {
+                // A broken poller cannot make progress; bail rather
+                // than spin. Dropping the sources closes every socket
+                // and unblocks finish() callers via their channels.
+                return;
+            }
+            self.core.counters.wakeups.fetch_add(1, Ordering::SeqCst);
+            for i in 0..events.len() {
+                let ev = events[i];
+                if ev.token != WAKE_TOKEN {
+                    self.dispatch_event(ev);
+                }
+            }
+        }
+    }
+
+    fn handle_command(&mut self, cmd: Command) {
+        let (id, is_send) = match &cmd {
+            Command::Send { id, .. } => (*id, true),
+            Command::Finish { id } | Command::Abandon { id } => (*id, false),
+        };
+        let Some(slot) = self.sources.get_mut(id) else { return };
+        // A command for a retired link (send-after-finish) is dropped;
+        // the handle's own `finished` flag keeps finish/abandon from
+        // waiting on an acknowledgement that cannot come.
+        let Some(source) = slot.take() else { return };
+        let Source::Back(mut back) = source else {
+            *slot = Some(source);
+            return;
+        };
+        let done = match cmd {
+            Command::Send { alert, .. } => back.on_send(&mut self.core, id, alert),
+            Command::Finish { .. } => back.on_finish(&mut self.core, id),
+            Command::Abandon { .. } => back.on_abandon(&mut self.core, id),
+        };
+        debug_assert!(!is_send || !done, "a send never retires the link");
+        if done {
+            self.active -= 1;
+        } else {
+            self.sources[id] = Some(Source::Back(back));
+        }
+    }
+
+    fn handle_timer(&mut self, data: u64) {
+        let id = (data >> 2) as usize;
+        let kind = data & 0b11;
+        let Some(slot) = self.sources.get_mut(id) else { return };
+        let Some(source) = slot.take() else { return };
+        match source {
+            Source::Front(mut front) if kind == KIND_IDLE => {
+                if front.on_idle(&mut self.core, id) {
+                    self.active -= 1;
+                } else {
+                    self.sources[id] = Some(Source::Front(front));
+                }
+            }
+            Source::Listener(mut listener) if kind == KIND_IDLE => {
+                if listener.on_idle(&mut self.core, id) {
+                    self.finish_listener(listener);
+                } else {
+                    self.sources[id] = Some(Source::Listener(listener));
+                }
+            }
+            Source::Back(mut back) => {
+                if back.on_timer(&mut self.core, id, kind) {
+                    self.active -= 1;
+                } else {
+                    self.sources[id] = Some(Source::Back(back));
+                }
+            }
+            // A slot outliving its timer kind is a stale fire; put the
+            // source back untouched.
+            other => *slot = Some(other),
+        }
+    }
+
+    fn dispatch_event(&mut self, ev: Event) {
+        let id = ev.token.0;
+        let Some(slot) = self.sources.get_mut(id) else { return };
+        let Some(source) = slot.take() else { return };
+        match source {
+            Source::Front(mut front) => {
+                if front.on_readable(&mut self.core) {
+                    self.active -= 1;
+                } else {
+                    self.sources[id] = Some(Source::Front(front));
+                }
+            }
+            Source::Back(mut back) => {
+                if back.on_event(&mut self.core, id, ev) {
+                    self.active -= 1;
+                } else {
+                    self.sources[id] = Some(Source::Back(back));
+                }
+            }
+            Source::Listener(mut listener) => {
+                let accepted = listener.accept_ready(&mut self.core);
+                for stream in accepted {
+                    let cid = self.alloc();
+                    let fd = stream.as_raw_fd();
+                    if self.core.poller.register(fd, Token(cid), Interest::READ).is_ok() {
+                        listener.track_conn(cid);
+                        self.sources[cid] =
+                            Some(Source::Conn(ConnSource::new(stream, id, listener.counters())));
+                    }
+                }
+                self.sources[id] = Some(Source::Listener(listener));
+            }
+            Source::Conn(mut conn) => {
+                let lid = conn.listener_id();
+                let (outs, closed) = conn.on_readable(&mut self.core);
+                if closed {
+                    conn.close(&mut self.core);
+                } else {
+                    self.sources[id] = Some(Source::Conn(conn));
+                }
+                // Routed only after the conn slot is settled, so the
+                // listener (a different slot) can be borrowed freely.
+                self.route_conn_outs(lid, outs);
+            }
+        }
+    }
+
+    fn route_conn_outs(&mut self, lid: usize, outs: Vec<super::listener::ConnOut>) {
+        if outs.is_empty() {
+            return;
+        }
+        let Some(slot) = self.sources.get_mut(lid) else { return };
+        let listener = match slot.take() {
+            Some(Source::Listener(listener)) => listener,
+            other => {
+                *slot = other;
+                return;
+            }
+        };
+        let mut listener = listener;
+        if listener.handle_outs(outs) {
+            self.finish_listener(listener);
+        } else {
+            self.sources[lid] = Some(Source::Listener(listener));
+        }
+    }
+
+    /// Retires a listener: closes the accept socket, then closes every
+    /// connection that rode on it. Dropping the listener drops the
+    /// caller's `deliver` closure, which is what ends the downstream
+    /// (the AD body sees its channel close).
+    fn finish_listener(&mut self, mut listener: ListenerSource) {
+        listener.shutdown(&mut self.core);
+        for cid in listener.take_conns() {
+            match self.sources.get_mut(cid).and_then(Option::take) {
+                Some(Source::Conn(mut conn)) => conn.close(&mut self.core),
+                Some(other) => self.sources[cid] = Some(other),
+                None => {}
+            }
+        }
+        self.active -= 1;
+    }
+}

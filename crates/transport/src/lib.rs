@@ -31,18 +31,24 @@
 //!   DM / CE×n / AD deployment, used by the runtime's `SystemBuilder`
 //!   and the `rcm-dm` / `rcm-ce` / `rcm-ad` node binaries.
 //!
-//! Everything is `std::net` — blocking sockets with short read
-//! timeouts — because the build environment is offline and the paper's
-//! message rates (a DM is "a simple device multicasting numerous
-//! updates") are nowhere near needing an async reactor. All
-//! concurrency goes through the `rcm-sync` shim, same discipline as
-//! the runtime, so `cargo xtask lint` covers this crate too.
+//! Two engines carry these links. The *threaded* engine — the
+//! original, kept as the reference implementation — spends a blocked
+//! OS thread (blocking socket + short read timeout) per link. The
+//! *evented* engine ([`engine`], the default) runs every socket of a
+//! node as a state machine on one `rcm-poll` readiness loop, so a
+//! single CE process holds 10k+ idle front links; the [`Engine`]
+//! selector threads from [`Topology`] through the runtime and node
+//! binaries, and the loopback equivalence suite pins both engines to
+//! the in-process pipeline's output. All concurrency goes through the
+//! `rcm-sync` shim, same discipline as the runtime, so `cargo xtask
+//! lint` covers this crate too.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod batch;
+pub mod engine;
 mod gate;
 mod proxy;
 mod report;
@@ -52,11 +58,12 @@ mod udp;
 pub mod wire;
 
 pub use batch::BatchPolicy;
+pub use engine::{BackLinkSpec, Engine, EventLoop, EventedBackLink};
 pub use gate::SeqGate;
 pub use proxy::{LossProxy, ProxyHandle};
 pub use report::{
-    FrontLinkStats, IngressStats, ListenerStats, ProxyStats, TcpLinkStats, TransportMode,
-    TransportReport,
+    EngineStats, FrontLinkStats, IngressStats, ListenerStats, ProxyStats, TcpLinkStats,
+    TransportMode, TransportReport,
 };
 pub use tcp::{TcpAlertListener, TcpBackLink};
 pub use topology::{BoundTopology, Topology, TopologyParts};

@@ -82,6 +82,11 @@ pub struct TcpLinkStats {
     /// duplicate-indifferent; counted in `sends_seen`, not `sent`).
     #[serde(default)]
     pub dedup_suppressed: u64,
+    /// Alerts shed because the bounded resend queue was full while the
+    /// peer was down (each is also counted in `lost_overflow` — this
+    /// counter isolates back-pressure sheds from other overflow paths).
+    #[serde(default)]
+    pub shed: u64,
 }
 
 /// Counters for the AD-side TCP listener.
@@ -98,6 +103,20 @@ pub struct ListenerStats {
     /// Wire bytes received across all connections, headers included.
     #[serde(default)]
     pub bytes_received: u64,
+}
+
+/// Event-loop counters from the evented engine (all zero on the
+/// threaded path and in-process runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Times the loop's readiness wait returned (readiness, timer
+    /// deadline, or an explicit wake).
+    pub wakeups: u64,
+    /// Timer-wheel deadlines that fired.
+    pub timer_fires: u64,
+    /// Readable wakeups that yielded zero bytes/frames — the kernel
+    /// said "ready", the read said `WouldBlock`.
+    pub spurious_readiness: u64,
 }
 
 /// Counters for one [`LossProxy`](crate::LossProxy).
@@ -128,6 +147,10 @@ pub struct TransportReport {
     pub back_links: Vec<TcpLinkStats>,
     /// AD-side listener counters (zeroed in-process).
     pub ad: ListenerStats,
+    /// Event-loop counters (zeroed on the threaded path; absent in
+    /// reports that predate the evented engine).
+    #[serde(default)]
+    pub engine: EngineStats,
 }
 
 impl TransportReport {
@@ -211,6 +234,7 @@ mod tests {
                 fins: 1,
                 bytes_received: 120,
             },
+            engine: EngineStats { wakeups: 40, timer_fires: 6, spurious_readiness: 1 },
         };
         let json = serde_json::to_string(&report).expect("report serializes");
         // The chaos CI step greps for these keys; keep them stable.
@@ -223,6 +247,9 @@ mod tests {
             "reconnects",
             "updates_sent",
             "bytes_sent",
+            "wakeups",
+            "timer_fires",
+            "spurious_readiness",
         ] {
             assert!(json.contains(key), "missing key {key} in {json}");
         }
@@ -239,6 +266,16 @@ mod tests {
         assert_eq!(stats.frames_sent, 4);
         assert_eq!(stats.updates_sent, 0);
         assert_eq!(stats.bytes_sent, 0);
+    }
+
+    #[test]
+    fn old_reports_without_engine_counters_still_parse() {
+        // Reports serialized before the evented engine existed carry
+        // neither the `engine` block nor the `shed` counter.
+        let old = r#"{"mode":"Sockets","front_links":[],"ingress":[],"back_links":[{"sent":3,"severs":0,"reconnects":0,"attempts":1,"resent_duplicates":0,"queued_peak":0,"lost_overflow":0,"io_errors":0}],"ad":{"connections":1,"alerts":3,"decode_errors":0,"fins":1}}"#;
+        let report: TransportReport = serde_json::from_str(old).expect("old report parses");
+        assert_eq!(report.engine, EngineStats::default());
+        assert_eq!(report.back_links[0].shed, 0);
     }
 
     #[test]
@@ -273,6 +310,7 @@ mod tests {
                 TcpLinkStats { reconnects: 2, ..Default::default() },
             ],
             ad: ListenerStats { decode_errors: 1, ..Default::default() },
+            engine: EngineStats::default(),
         };
         assert_eq!(report.front_frames_dropped(), 3);
         assert_eq!(report.reconnects(), 3);

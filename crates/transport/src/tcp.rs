@@ -59,6 +59,14 @@ const UNACKED_TAIL: usize = 8;
 /// Read-timeout tick for listener reader threads.
 const RECV_TICK: Duration = Duration::from_millis(50);
 
+/// Connect-attempt cap for *reconnects*. A bare `connect` can block
+/// for the OS handshake timeout (minutes against a silently dropping
+/// peer), which would stall the CE inside `send_alert`; reconnect
+/// attempts are therefore bounded and paced by the backoff schedule
+/// instead. The initial connect stays unbounded — a back link that
+/// never existed is a deployment error worth waiting to discover.
+const RECONNECT_CONNECT_CAP: Duration = Duration::from_millis(250);
+
 /// The sending half of a back link: owns the connection to the AD and
 /// the full sever/queue/reconnect state machine.
 pub struct TcpBackLink {
@@ -112,7 +120,7 @@ impl TcpBackLink {
     /// Propagates the initial connect failure — a back link that never
     /// existed is a deployment error, not an outage to ride out.
     pub fn connect(peer: SocketAddr, node: u32, backoff: Backoff) -> io::Result<Self> {
-        let mut stream = open_stream(peer)?;
+        let mut stream = open_stream(peer, None)?;
         write_msg(&mut stream, Codec::default(), &Message::Hello { node })?;
         Ok(TcpBackLink {
             peer,
@@ -386,7 +394,7 @@ impl TcpBackLink {
             }
             self.stats.lock().attempts += 1;
             if self.floor.is_none_or(|f| Instant::now() >= f) {
-                if let Ok(mut stream) = open_stream(self.peer) {
+                if let Ok(mut stream) = open_stream(self.peer, Some(RECONNECT_CONNECT_CAP)) {
                     if write_msg(&mut stream, self.codec, &Message::Hello { node: self.node })
                         .is_ok()
                     {
@@ -508,16 +516,22 @@ impl TcpBackLink {
     fn enqueue(&mut self, alert: Alert) {
         let mut stats = self.stats.lock();
         if self.queue.len() >= self.queue_cap {
+            // Strictly non-blocking back-pressure: shed the oldest and
+            // count it, never stall the caller on a down peer.
             self.queue.pop_front();
             stats.lost_overflow += 1;
+            stats.shed += 1;
         }
         self.queue.push_back(alert);
         stats.queued_peak = stats.queued_peak.max(self.queue.len() as u64);
     }
 }
 
-fn open_stream(peer: SocketAddr) -> io::Result<TcpStream> {
-    let stream = TcpStream::connect(peer)?;
+fn open_stream(peer: SocketAddr, cap: Option<Duration>) -> io::Result<TcpStream> {
+    let stream = match cap {
+        Some(cap) => TcpStream::connect_timeout(&peer, cap)?,
+        None => TcpStream::connect(peer)?,
+    };
     // Alerts are small and latency-sensitive; never batch them behind
     // Nagle.
     stream.set_nodelay(true)?;
@@ -861,7 +875,9 @@ mod tests {
         link.finish();
         let (got, _) = handle.join().expect("listener thread");
         assert_eq!(seqnos(&got), vec![4, 5], "kept the newest two");
-        assert_eq!(link.stats_handle().lock().lost_overflow, 3);
+        let link_stats = *link.stats_handle().lock();
+        assert_eq!(link_stats.lost_overflow, 3);
+        assert_eq!(link_stats.shed, 3, "every overflow was a non-blocking shed");
     }
 
     #[test]

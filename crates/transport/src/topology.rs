@@ -22,6 +22,7 @@ use rcm_core::VarRegistry;
 use rcm_sync::time::Duration;
 
 use crate::batch::BatchPolicy;
+use crate::engine::Engine;
 use crate::wire::Codec;
 
 /// An address plan: where each CE listens for updates and where the AD
@@ -36,6 +37,7 @@ pub struct Topology {
     back_codec: Codec,
     front_batch: BatchPolicy,
     back_batch: BatchPolicy,
+    engine: Engine,
 }
 
 impl Topology {
@@ -56,6 +58,7 @@ impl Topology {
             back_codec: Codec::default(),
             front_batch: BatchPolicy::off(),
             back_batch: BatchPolicy::off(),
+            engine: Engine::default(),
         }
     }
 
@@ -75,6 +78,7 @@ impl Topology {
             back_codec: Codec::default(),
             front_batch: BatchPolicy::off(),
             back_batch: BatchPolicy::off(),
+            engine: Engine::default(),
         }
     }
 
@@ -117,6 +121,19 @@ impl Topology {
     pub fn with_back_batching(mut self, policy: BatchPolicy) -> Self {
         self.back_batch = policy;
         self
+    }
+
+    /// Selects which socket engine carries the run (default evented;
+    /// threaded is the reference implementation).
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Which socket engine carries the run.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// The front-link (DM → CE) payload codec.
@@ -179,6 +196,7 @@ impl Topology {
             back_codec: self.back_codec,
             front_batch: self.front_batch,
             back_batch: self.back_batch,
+            engine: self.engine,
         })
     }
 }
@@ -200,6 +218,7 @@ pub struct BoundTopology {
     back_codec: Codec,
     front_batch: BatchPolicy,
     back_batch: BatchPolicy,
+    engine: Engine,
 }
 
 impl BoundTopology {
@@ -266,6 +285,7 @@ impl BoundTopology {
             back_codec: self.back_codec,
             front_batch: self.front_batch,
             back_batch: self.back_batch,
+            engine: self.engine,
         }
     }
 }
@@ -294,6 +314,8 @@ pub struct TopologyParts {
     pub front_batch: BatchPolicy,
     /// Alert-batching policy for the back links.
     pub back_batch: BatchPolicy,
+    /// Which socket engine carries the run.
+    pub engine: Engine,
 }
 
 #[cfg(test)]
@@ -374,6 +396,15 @@ mod tests {
         assert_eq!(parts.front_codec, Codec::Binary);
         assert_eq!(parts.front_batch, BatchPolicy::off());
         assert_eq!(parts.back_batch, BatchPolicy::off());
+        assert_eq!(parts.engine, Engine::Evented, "evented is the default engine");
+    }
+
+    #[test]
+    fn engine_selector_threads_through_bind() {
+        let topology = Topology::loopback(1).with_engine(Engine::Threaded);
+        assert_eq!(topology.engine(), Engine::Threaded);
+        let parts = topology.bind().expect("bind topology").into_parts();
+        assert_eq!(parts.engine, Engine::Threaded);
     }
 
     #[test]

@@ -1,6 +1,8 @@
-//! `cargo xtask lint` — the repository's custom static-analysis pass.
+//! `cargo xtask lint` — the repository's custom static-analysis pass —
+//! plus `cargo xtask assert-chaos <report.json>`, the CI-side schema
+//! and invariant check over the chaos gauntlet's JSON report.
 //!
-//! Four rules, all of them invariants the compiler cannot express:
+//! Five rules, all of them invariants the compiler cannot express:
 //!
 //! 1. **Shim discipline** (`shim`): no `std::sync::*`, `std::thread`,
 //!    `crossbeam_channel` or `parking_lot` references in
@@ -25,6 +27,13 @@
 //! 4. **Lock-order annotations** (`lock-order`): every runtime source
 //!    file that takes a `Mutex` must carry a `LOCK ORDER:` comment
 //!    stating its ordering discipline, so deadlock reasoning is local.
+//! 5. **Event-loop discipline** (`event-loop`): nothing under
+//!    `crates/transport/src/engine/` may block the loop thread — no
+//!    blocking connects, no socket timeouts, no `thread::sleep`, no
+//!    locks, no `write_all`/`read_exact` retry loops. Deadlines belong
+//!    on the timer wheel; partial I/O parks as a state-machine
+//!    continuation; cross-thread state is atomics plus the submit
+//!    queue ([`ENGINE_NEEDLES`]).
 //!
 //! Comments and string literals are stripped before matching, so prose
 //! and panic messages never trip a rule. The scanner is deliberately
@@ -39,10 +48,14 @@ use std::process::ExitCode;
 /// Files allowed to contain the `unsafe` keyword, with the reason.
 /// Adding a file here is a reviewable act: do it in the PR that adds
 /// the unsafe code, alongside its `// SAFETY:` comments.
-const UNSAFE_ALLOWLIST: &[(&str, &str)] = &[(
-    "crates/core/src/inline.rs",
-    "MaybeUninit small-vector storage; SAFETY-audited, Miri-covered",
-)];
+const UNSAFE_ALLOWLIST: &[(&str, &str)] = &[
+    ("crates/core/src/inline.rs", "MaybeUninit small-vector storage; SAFETY-audited, Miri-covered"),
+    (
+        "crates/poll/src/sys.rs",
+        "raw epoll/kqueue/poll/fcntl syscalls behind safe wrappers; the \
+         crate root stays deny(unsafe_code)",
+    ),
+];
 
 /// rcm-core modules on the alert hot path (panic-free zone).
 const HOT_PATH: &[&str] =
@@ -62,6 +75,24 @@ const RUNTIME_SRC: &str = "crates/runtime/src";
 /// model checker.
 const TRANSPORT_SRC: &str = "crates/transport/src";
 
+/// The evented engine's home: one readiness loop that must never
+/// block. Everything here runs on the loop thread, so one blocking
+/// call stalls every link in the process.
+const ENGINE_SRC: &str = "crates/transport/src/engine/";
+
+/// Constructs that block (or hide blocking) a readiness loop, with the
+/// non-blocking idiom each must use instead.
+const ENGINE_NEEDLES: &[(&str, &str)] = &[
+    ("TcpStream::connect(", "blocking connect; use rcm_poll::sys::connect_nonblocking"),
+    ("connect_timeout(", "blocking connect; use rcm_poll::sys::connect_nonblocking"),
+    (".set_read_timeout(", "socket timeouts block; deadlines belong on the timer wheel"),
+    (".set_write_timeout(", "socket timeouts block; deadlines belong on the timer wheel"),
+    ("thread::sleep(", "a sleeping loop thread stalls every link; park a wheel timer"),
+    (".lock()", "no locks on the loop; cross-thread state is atomics + the submit queue"),
+    ("write_all(", "a blocking write loop; park the remainder as a continuation state"),
+    ("read_exact(", "a blocking read loop; buffer the partial frame in the source"),
+];
+
 #[derive(Debug)]
 struct Violation {
     file: String,
@@ -80,8 +111,15 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") | None => lint(),
+        Some("assert-chaos") => match args.get(1) {
+            Some(path) => assert_chaos(Path::new(path)),
+            None => {
+                eprintln!("usage: cargo xtask assert-chaos <chaos.json>");
+                ExitCode::from(2)
+            }
+        },
         Some(other) => {
-            eprintln!("unknown xtask `{other}`; available: lint");
+            eprintln!("unknown xtask `{other}`; available: lint, assert-chaos");
             ExitCode::from(2)
         }
     }
@@ -172,6 +210,21 @@ fn check_file(rel: &str, raw: &str, stripped: &str) -> Vec<Violation> {
                 rule: "lock-order",
                 message: "file takes a Mutex but has no `LOCK ORDER:` comment".to_string(),
             });
+        }
+    }
+
+    if rel.starts_with(ENGINE_SRC) {
+        for (idx, line) in stripped.lines().enumerate() {
+            for &(needle, why) in ENGINE_NEEDLES {
+                if line.contains(needle) {
+                    out.push(Violation {
+                        file: rel.to_string(),
+                        line: idx + 1,
+                        rule: "event-loop",
+                        message: format!("`{needle}` — {why}"),
+                    });
+                }
+            }
         }
     }
 
@@ -343,6 +396,336 @@ fn strip_comments_and_strings(src: &str) -> String {
     String::from_utf8(out).expect("stripping preserves UTF-8 (non-ASCII only inside spans)")
 }
 
+// ---------------------------------------------------------------------
+// assert-chaos: the CI gate over the chaos gauntlet's JSON report.
+// Replaces the inline Python that used to live in ci.yml, so the
+// assertions are compiled, unit-tested, and versioned with the schema
+// they check.
+// ---------------------------------------------------------------------
+
+fn assert_chaos(path: &Path) -> ExitCode {
+    let raw = match fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask assert-chaos: cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let doc = match json::parse(&raw) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("xtask assert-chaos: {} is not valid JSON: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let problems = check_chaos_report(&doc);
+    if problems.is_empty() {
+        let runs = doc.get("runs").and_then(json::Json::as_arr).map_or(0, <[_]>::len);
+        println!("xtask assert-chaos: schema and invariants hold over {runs} run(s)");
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            eprintln!("{}: {p}", path.display());
+        }
+        eprintln!("xtask assert-chaos: {} problem(s)", problems.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Every invariant the chaos report must satisfy. Mirrors what the
+/// simulator promises: per-link transport counters in the totals and
+/// in every run, a socket smoke that matched the in-process pipeline,
+/// and live engine counters proving the evented loop actually ran.
+fn check_chaos_report(doc: &json::Json) -> Vec<String> {
+    use json::Json;
+    let mut out = Vec::new();
+    let num = |obj: &Json, key: &str| obj.get(key).and_then(Json::as_num);
+
+    let Some(totals) = doc.get("totals") else {
+        return vec!["missing `totals` object".to_string()];
+    };
+    for key in [
+        "front_frames_dropped",
+        "backlink_reconnects",
+        "front_frames_sent",
+        "front_updates_sent",
+        "front_bytes_sent",
+        "updates_per_datagram",
+        "engine_wakeups",
+        "engine_timer_fires",
+        "engine_spurious_readiness",
+    ] {
+        if totals.get(key).is_none() {
+            out.push(format!("totals missing `{key}`"));
+        }
+    }
+    let updates = num(totals, "front_updates_sent").unwrap_or(-1.0);
+    let frames = num(totals, "front_frames_sent").unwrap_or(-1.0);
+    if !(updates >= frames && frames > 0.0) {
+        out.push(format!(
+            "expected front_updates_sent >= front_frames_sent > 0, got {updates} and {frames}"
+        ));
+    }
+    if num(totals, "engine_wakeups").unwrap_or(0.0) <= 0.0 {
+        out.push("engine_wakeups is zero — the evented socket smoke never polled".to_string());
+    }
+
+    match doc.get("socket_smoke") {
+        None => out.push("missing `socket_smoke` (evented loopback vs in-process)".to_string()),
+        Some(smoke) => {
+            match smoke.get("violations").and_then(Json::as_arr) {
+                None => out.push("socket_smoke missing `violations` array".to_string()),
+                Some(v) if !v.is_empty() => {
+                    out.push(format!("socket smoke reported {} violation(s)", v.len()));
+                }
+                Some(_) => {}
+            }
+            if smoke.get("transport").is_none() {
+                out.push("socket_smoke missing `transport` report".to_string());
+            }
+        }
+    }
+
+    match doc.get("runs").and_then(Json::as_arr) {
+        None => out.push("missing `runs` array".to_string()),
+        Some([]) => out.push("`runs` is empty".to_string()),
+        Some(runs) => {
+            for (i, run) in runs.iter().enumerate() {
+                let Some(t) = run.get("transport") else {
+                    out.push(format!("run {i}: missing `transport`"));
+                    continue;
+                };
+                for key in ["mode", "front_links", "ingress", "back_links", "ad"] {
+                    if t.get(key).is_none() {
+                        out.push(format!("run {i}: transport missing `{key}`"));
+                    }
+                }
+                match t.get("front_links").and_then(Json::as_arr) {
+                    None | Some([]) => {
+                        out.push(format!("run {i}: drives no front links"));
+                    }
+                    Some(links) => {
+                        // Each entry is a `[dm, ce, stats]` triple.
+                        for link in links {
+                            let stats = link.as_arr().and_then(|triple| triple.get(2));
+                            let complete = ["updates_sent", "bytes_sent"]
+                                .iter()
+                                .all(|k| stats.is_some_and(|s| s.get(k).is_some()));
+                            if !complete {
+                                out.push(format!("run {i}: front link lacks per-link counters"));
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A dependency-free JSON reader — just enough for the chaos report.
+/// xtask builds with nothing but std (it gates CI before any cache is
+/// warm), so pulling serde here is not an option.
+mod json {
+    /// A parsed JSON value. Numbers are `f64` — every counter the
+    /// chaos report carries fits losslessly below 2^53.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Json {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Json>),
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        /// Object field lookup; `None` for non-objects.
+        pub fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        pub fn as_num(&self) -> Option<f64> {
+            match self {
+                Json::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        pub fn as_arr(&self) -> Option<&[Json]> {
+            match self {
+                Json::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses one JSON document (trailing garbage is an error).
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let mut p = Parser { b: src.as_bytes(), i: 0 };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing bytes at offset {}", p.i));
+        }
+        Ok(value)
+    }
+
+    struct Parser<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self.b.get(self.i).is_some_and(|b| b" \t\r\n".contains(b)) {
+                self.i += 1;
+            }
+        }
+
+        fn eat(&mut self, byte: u8) -> Result<(), String> {
+            self.skip_ws();
+            if self.b.get(self.i) == Some(&byte) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!("expected `{}` at offset {}", byte as char, self.i))
+            }
+        }
+
+        fn value(&mut self) -> Result<Json, String> {
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Json::Str(self.string()?)),
+                Some(b't') => self.keyword("true", Json::Bool(true)),
+                Some(b'f') => self.keyword("false", Json::Bool(false)),
+                Some(b'n') => self.keyword("null", Json::Null),
+                Some(_) => self.number(),
+                None => Err("unexpected end of input".to_string()),
+            }
+        }
+
+        fn keyword(&mut self, word: &str, value: Json) -> Result<Json, String> {
+            if self.b[self.i..].starts_with(word.as_bytes()) {
+                self.i += word.len();
+                Ok(value)
+            } else {
+                Err(format!("bad keyword at offset {}", self.i))
+            }
+        }
+
+        fn number(&mut self) -> Result<Json, String> {
+            let start = self.i;
+            while self.b.get(self.i).is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(b)) {
+                self.i += 1;
+            }
+            std::str::from_utf8(&self.b[start..self.i])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number at offset {start}"))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.b.get(self.i) {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        self.i += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.i += 1;
+                        match self.b.get(self.i) {
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .b
+                                    .get(self.i + 1..self.i + 5)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                    .ok_or("bad \\u escape")?;
+                                // Surrogate pairs don't occur in the
+                                // report; map them to U+FFFD.
+                                out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                                self.i += 4;
+                            }
+                            Some(&c) => out.push(c as char),
+                            None => return Err("unterminated escape".to_string()),
+                        }
+                        self.i += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar, not one byte.
+                        let rest = std::str::from_utf8(&self.b[self.i..])
+                            .map_err(|_| "invalid UTF-8".to_string())?;
+                        let ch = rest.chars().next().expect("non-empty by match arm");
+                        out.push(ch);
+                        self.i += ch.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Json, String> {
+            self.eat(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.b.get(self.i) == Some(&b']') {
+                self.i += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.b.get(self.i) {
+                    Some(b',') => self.i += 1,
+                    Some(b']') => {
+                        self.i += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at offset {}", self.i)),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Json, String> {
+            self.eat(b'{')?;
+            let mut pairs = Vec::new();
+            self.skip_ws();
+            if self.b.get(self.i) == Some(&b'}') {
+                self.i += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.eat(b':')?;
+                pairs.push((key, self.value()?));
+                self.skip_ws();
+                match self.b.get(self.i) {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at offset {}", self.i)),
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,6 +823,102 @@ mod tests {
         let ok =
             "// LOCK ORDER: single lock, never nested.\nfn f(m: &Mutex<u32>) { *m.lock() += 1; }\n";
         assert!(check("crates/runtime/src/evil.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn event_loop_rule_catches_every_blocking_idiom() {
+        let seeded = [
+            "fn f() { let _ = TcpStream::connect(addr); }\n",
+            "fn f() { let _ = TcpStream::connect_timeout(&addr, d); }\n",
+            "fn f(s: &TcpStream) { s.set_read_timeout(Some(d)); }\n",
+            "fn f(s: &TcpStream) { s.set_write_timeout(Some(d)); }\n",
+            "fn f() { rcm_sync::thread::sleep(d); }\n",
+            "fn f(m: &Mutex<u8>) { m.lock(); }\n",
+            "fn f(s: &mut TcpStream) { s.write_all(&buf); }\n",
+            "fn f(s: &mut TcpStream) { s.read_exact(&mut buf); }\n",
+        ];
+        for bad in seeded {
+            let got = check("crates/transport/src/engine/evil.rs", bad);
+            assert!(got.iter().any(|v| v.rule == "event-loop"), "missed: {bad}");
+        }
+    }
+
+    #[test]
+    fn event_loop_rule_scopes_to_the_engine_directory() {
+        // The threaded reference implementation lives one level up and
+        // blocks on purpose — the rule must not leak onto it.
+        let threaded = "fn f(s: &mut TcpStream) { s.write_all(&buf); }\n";
+        let got = check("crates/transport/src/tcp.rs", threaded);
+        assert!(!got.iter().any(|v| v.rule == "event-loop"), "{got:?}");
+        // And non-blocking engine code sails through.
+        let ok = "fn f(s: &mut TcpStream) { let n = s.write(&buf)?; }\n";
+        assert!(check("crates/transport/src/engine/fine.rs", ok).is_empty());
+    }
+
+    // ---- assert-chaos: the report gate fires on tampered reports ----
+
+    /// A minimal report satisfying every invariant `assert_chaos`
+    /// checks — the tamper tests below each break one field.
+    fn good_report() -> String {
+        r#"{
+          "totals": {
+            "front_frames_dropped": 3, "backlink_reconnects": 1,
+            "front_frames_sent": 10, "front_updates_sent": 20,
+            "front_bytes_sent": 400, "updates_per_datagram": 2.0,
+            "engine_wakeups": 90, "engine_timer_fires": 2,
+            "engine_spurious_readiness": 0
+          },
+          "socket_smoke": { "violations": [], "transport": { "mode": "Sockets" } },
+          "runs": [
+            { "plan": 0, "transport": {
+                "mode": "Sockets", "ingress": [], "back_links": [], "ad": {},
+                "front_links": [[0, 1, { "updates_sent": 20, "bytes_sent": 400 }]]
+            } }
+          ]
+        }"#
+        .to_string()
+    }
+
+    #[test]
+    fn chaos_gate_accepts_a_complete_report() {
+        let doc = json::parse(&good_report()).expect("fixture parses");
+        assert_eq!(check_chaos_report(&doc), Vec::<String>::new());
+    }
+
+    #[test]
+    fn chaos_gate_rejects_tampered_reports() {
+        let tampers = [
+            ("\"engine_wakeups\": 90", "\"engine_wakeups\": 0"),
+            ("\"front_updates_sent\": 20,", ""),
+            ("\"violations\": []", "\"violations\": [\"displayed mismatch\"]"),
+            (
+                "\"front_links\": [[0, 1, { \"updates_sent\": 20, \"bytes_sent\": 400 }]]",
+                "\"front_links\": []",
+            ),
+            ("\"bytes_sent\": 400 }]]", "\"seen\": 400 }]]"),
+            ("\"runs\": [", "\"trials\": ["),
+        ];
+        for (from, to) in tampers {
+            let tampered = good_report().replace(from, to);
+            assert_ne!(tampered, good_report(), "tamper `{from}` did not apply");
+            let doc = json::parse(&tampered).expect("still valid JSON");
+            assert!(!check_chaos_report(&doc).is_empty(), "tamper `{from}` passed the gate");
+        }
+    }
+
+    #[test]
+    fn json_reader_handles_the_report_grammar() {
+        use json::Json;
+        let doc = json::parse(r#"{"a": [1, -2.5, true, null, "s\nA"], "b": {}}"#).expect("parses");
+        let arr = doc.get("a").and_then(Json::as_arr).expect("array");
+        assert_eq!(arr[0].as_num(), Some(1.0));
+        assert_eq!(arr[1].as_num(), Some(-2.5));
+        assert_eq!(arr[2], Json::Bool(true));
+        assert_eq!(arr[3], Json::Null);
+        assert_eq!(arr[4], Json::Str("s\nA".to_string()));
+        assert_eq!(doc.get("b"), Some(&Json::Obj(Vec::new())));
+        assert!(json::parse("{\"unterminated\": ").is_err());
+        assert!(json::parse("{} trailing").is_err());
     }
 
     // ---- false-positive guards -------------------------------------
