@@ -36,7 +36,8 @@ const GATED: &[&str] = &[
 /// Machine-relative ratios the *fresh* snapshot must clear outright —
 /// these are the advertised wins, not drift checks, so the committed
 /// snapshot plays no part. `(json pointer, minimum)`.
-const FLOORS: &[(&str, f64)] = &[("/codec/speedup_vs_json", 10.0)];
+const FLOORS: &[(&str, f64)] =
+    &[("/codec/speedup_vs_json", 10.0), ("/pipeline/conds_10k/speedup_4", 2.0)];
 
 /// Absolute numbers echoed for the log, never gated.
 const INFORMATIONAL: &[&str] = &[
@@ -48,6 +49,8 @@ const INFORMATIONAL: &[&str] = &[
     "/ad6_realistic/interval_offers_per_sec",
     "/throughput/conds_100/incremental_ups",
     "/throughput/conds_10k/incremental_ups",
+    "/pipeline/conds_10k/inline_ups",
+    "/pipeline/conds_10k/workers_4_ups",
     "/matrix_table1_ad1/parallel_secs",
 ];
 

@@ -133,6 +133,94 @@ fn throughput_cell(n_conds: usize, n_updates: usize, iters: u32) -> serde_json::
     })
 }
 
+/// Evaluation-pipeline throughput over the shared workload: the
+/// single-threaded registry (the inline actor path) vs
+/// [`EvalPipeline`] at 1 / 4 / 8 shard workers, updates/second.
+/// Asserts byte-identical output (ids included) at every worker count
+/// first; `speedup_4` for the 10k-condition cell is the ratio
+/// `bench_gate` floors at 2×.
+fn pipeline_cell(n_conds: usize, n_updates: usize, iters: u32) -> serde_json::Value {
+    use rcm_runtime::{AlertDrain, EvalPipeline, PipelineOptions};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    struct Sink {
+        alerts: Arc<Mutex<Vec<Alert>>>,
+        keep: bool,
+        count: Arc<AtomicU64>,
+    }
+    impl AlertDrain for Sink {
+        fn alerts(&mut self, alerts: Vec<Alert>) {
+            self.count.fetch_add(alerts.len() as u64, Ordering::Relaxed);
+            if self.keep {
+                self.alerts.lock().expect("sink lock").extend(alerts);
+            }
+        }
+        fn end_of_stream(&mut self) {}
+    }
+
+    let (compiled, ids) = throughput::conditions(n_conds);
+    let updates = throughput::stream(&ids, n_updates);
+    let conds: Vec<Arc<dyn Condition>> =
+        compiled.iter().map(|c| Arc::new(c.clone()) as Arc<dyn Condition>).collect();
+
+    let mut registry = ConditionRegistry::new(CeId::new(0));
+    for cond in &conds {
+        registry.add(Arc::clone(cond));
+    }
+    let mut want = Vec::new();
+    registry.ingest_batch(&updates, &mut want);
+
+    let pass = |workers: usize, keep: bool| -> Arc<Mutex<Vec<Alert>>> {
+        let alerts = Arc::new(Mutex::new(Vec::new()));
+        let sink = Sink { alerts: Arc::clone(&alerts), keep, count: Arc::new(AtomicU64::new(0)) };
+        let mut pipe = EvalPipeline::start(
+            CeId::new(0),
+            &conds,
+            &PipelineOptions::with_workers(workers),
+            Box::new(sink),
+            Arc::new(rcm_core::LatencyHistogram::new()),
+            Arc::new(AtomicU64::new(0)),
+        );
+        for &u in &updates {
+            pipe.dispatch_wait(u);
+        }
+        pipe.finish();
+        alerts
+    };
+
+    let inline_secs = time(iters, || {
+        registry.restart();
+        let mut out = Vec::new();
+        registry.ingest_batch(black_box(&updates), &mut out);
+        out.len()
+    });
+    let inline_ups = n_updates as f64 / inline_secs;
+    let timed = |workers: usize| -> f64 {
+        let got = pass(workers, true);
+        let got = got.lock().expect("sink lock");
+        assert_eq!(*got, want, "{workers}-worker pipeline diverged from the registry");
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.id, w.id, "AlertId numbering diverged at {workers} workers");
+        }
+        drop(got);
+        let secs = time(iters, || {
+            pass(workers, false);
+        });
+        n_updates as f64 / secs
+    };
+    let (ups_1, ups_4, ups_8) = (timed(1), timed(4), timed(8));
+    json!({
+        "conditions": n_conds,
+        "updates_per_pass": n_updates,
+        "inline_ups": inline_ups,
+        "workers_1_ups": ups_1,
+        "workers_4_ups": ups_4,
+        "workers_8_ups": ups_8,
+        "speedup_4": ups_4 / inline_ups,
+    })
+}
+
 /// Wire-codec roundtrip throughput over the `codec` criterion bench's
 /// update workload: encode∘decode updates/second as JSON frames,
 /// binary frames, and one binary `UpdateBatch` frame — the deployment
@@ -227,6 +315,14 @@ fn main() {
         "conds_10k": throughput_cell(10_000, 256, 5),
     });
 
+    // Evaluation-pipeline throughput: inline registry vs shard workers
+    // (shared workload with the `pipeline` criterion bench;
+    // `bench_gate` floors the 10k-condition 4-worker speedup at 2×).
+    let pipeline = json!({
+        "conds_100": pipeline_cell(100, 2048, 10),
+        "conds_10k": pipeline_cell(10_000, 256, 3),
+    });
+
     // Wire-codec roundtrip throughput (shared workload with the
     // `codec` criterion bench).
     let codec = codec_cell(2_000);
@@ -260,6 +356,7 @@ fn main() {
         "ad3_marching": ad3_marching,
         "ad6_realistic": ad6,
         "throughput": throughput,
+        "pipeline": pipeline,
         "codec": codec,
         "matrix_table1_ad1": {
             "serial_secs": serial_secs,

@@ -91,6 +91,7 @@ mod error;
 mod evaluator;
 mod history;
 pub mod inline;
+mod latency;
 mod registry;
 pub mod seq;
 mod update;
@@ -102,6 +103,7 @@ pub use error::{Error, Result};
 pub use evaluator::{transduce, transduce_merged, Evaluator};
 pub use history::{History, HistorySet};
 pub use inline::InlineVec;
-pub use registry::{ConditionRegistry, RegistryStats};
+pub use latency::{LatencyHistogram, LatencySnapshot};
+pub use registry::{ConditionRegistry, RegistryStats, ShardSlices};
 pub use update::{SeqNo, Update};
 pub use var::{VarId, VarRegistry};

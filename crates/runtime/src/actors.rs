@@ -22,14 +22,16 @@ enum CeExit {
     Killed,
 }
 
+use rcm_sync::atomic::AtomicU64;
 use rcm_sync::chan::Receiver;
 use rcm_sync::Mutex;
 
 use rcm_core::ad::AlertFilter;
 use rcm_core::condition::Condition;
-use rcm_core::{Alert, CeId, CondId, ConditionRegistry, Update, VarId};
+use rcm_core::{Alert, CeId, CondId, ConditionRegistry, LatencyHistogram, Update, VarId};
 
 use crate::faults::{FaultReport, IngestGate, RetainedWindow};
+use crate::pipeline::{AlertDrain, EvalPipeline, PipelineOptions};
 use crate::wire::{roundtrip, Message};
 
 /// One DM → CE path, as the DM body sees it: the in-process
@@ -156,6 +158,57 @@ impl std::fmt::Debug for CeFaultConfig {
     }
 }
 
+/// Evaluation-stage configuration handed to every CE body: the pipeline
+/// shape plus the run-wide latency/shed ledgers (shared across
+/// replicas, snapshotted into the final report).
+pub(crate) struct CePipeline {
+    /// Worker count and batching; `workers == 0` keeps the in-actor
+    /// single-threaded evaluation path.
+    pub options: PipelineOptions,
+    /// Ingest→alert-emit latency histogram (recorded on both paths).
+    pub latency: Arc<LatencyHistogram>,
+    /// Updates shed because a worker ring was full.
+    pub shed: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for CePipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CePipeline").field("options", &self.options).finish()
+    }
+}
+
+/// The pipeline's [`AlertDrain`] for a system replica: each merged
+/// round crosses the wire codec, lands in the shared `emitted` record
+/// and goes out the back link — exactly the single-threaded actor's
+/// per-alert path, relocated onto the sequencer thread (which owns the
+/// back link while the pipeline runs).
+struct SystemDrain {
+    back: Box<dyn AlertSink>,
+    emitted: Arc<Mutex<Vec<Alert>>>,
+}
+
+impl AlertDrain for SystemDrain {
+    fn alerts(&mut self, alerts: Vec<Alert>) {
+        for alert in alerts {
+            let msg = roundtrip(&Message::Alert(alert));
+            let Message::Alert(alert) = msg else {
+                unreachable!("alert survived the codec as a different variant")
+            };
+            // LOCK ORDER: leaf record mutex, released before the link.
+            self.emitted.lock().push(alert.clone());
+            self.back.send_alert(alert);
+        }
+    }
+
+    fn end_of_stream(&mut self) {
+        self.back.flush();
+    }
+
+    fn abandoned(&mut self) {
+        self.back.abandon();
+    }
+}
+
 /// Runs a Condition Evaluator replica under supervision: ingests
 /// updates until every DM feeding it hangs up, forwarding alerts over
 /// the (severable) lossless back link. The replica hosts its whole
@@ -177,10 +230,31 @@ pub(crate) fn ce_body(
     ce: CeId,
     conditions: Vec<Arc<dyn Condition>>,
     rx: Receiver<Update>,
+    back: Box<dyn AlertSink>,
+    ingested: Arc<Mutex<Vec<Update>>>,
+    emitted: Arc<Mutex<Vec<Alert>>>,
+    faults: Option<CeFaultConfig>,
+    pipeline: CePipeline,
+) {
+    if pipeline.options.workers == 0 {
+        ce_body_inline(ce, conditions, rx, back, ingested, emitted, faults, &pipeline.latency);
+    } else {
+        ce_body_pipelined(ce, conditions, rx, back, ingested, emitted, faults, pipeline);
+    }
+}
+
+/// The single-threaded evaluation path (`--workers 0`, the default):
+/// the CE thread itself hosts the registry and evaluates inline.
+#[allow(clippy::too_many_arguments)]
+fn ce_body_inline(
+    ce: CeId,
+    conditions: Vec<Arc<dyn Condition>>,
+    rx: Receiver<Update>,
     mut back: Box<dyn AlertSink>,
     ingested: Arc<Mutex<Vec<Update>>>,
     emitted: Arc<Mutex<Vec<Alert>>>,
     faults: Option<CeFaultConfig>,
+    latency: &LatencyHistogram,
 ) {
     let mut registry = ConditionRegistry::new(ce);
     for (i, condition) in conditions.into_iter().enumerate() {
@@ -205,7 +279,15 @@ pub(crate) fn ce_body(
                 if !gate.admit(&update) {
                     continue; // duplicate of a replayed update
                 }
-                ingest(&mut registry, update, &mut alerts, back.as_mut(), &ingested, &emitted);
+                ingest(
+                    &mut registry,
+                    update,
+                    &mut alerts,
+                    back.as_mut(),
+                    &ingested,
+                    &emitted,
+                    latency,
+                );
             }
             CeExit::EndOfStream
         }));
@@ -261,7 +343,15 @@ pub(crate) fn ce_body(
             for update in window.snapshot() {
                 if gate.admit(&update) {
                     replayed += 1;
-                    ingest(&mut registry, update, &mut alerts, back.as_mut(), &ingested, &emitted);
+                    ingest(
+                        &mut registry,
+                        update,
+                        &mut alerts,
+                        back.as_mut(),
+                        &ingested,
+                        &emitted,
+                        latency,
+                    );
                 }
             }
         }
@@ -275,6 +365,133 @@ pub(crate) fn ce_body(
     back.flush();
 }
 
+/// The pipelined evaluation path (`--workers >= 1`): the CE thread
+/// becomes the *dispatcher* — it runs the identical supervision
+/// protocol (same arrival counting, kill thresholds, restart budget,
+/// backlog discard and window replay as [`ce_body_inline`]) but hands
+/// every admitted update to the [`EvalPipeline`] instead of evaluating
+/// inline. Evaluation crosses shard workers and the sequencer merges
+/// results back into the single-threaded emission order; the back link
+/// lives in the sequencer's [`SystemDrain`].
+///
+/// The one semantic addition is *shedding*: when a worker ring is full
+/// the arrival is dropped before the ingest gate, so it is
+/// indistinguishable from a front-link loss (it never enters `U_i`,
+/// and the paper's per-AD guarantees already cover it). Recovery
+/// replays use the rings' blocking path and never shed.
+#[allow(clippy::too_many_arguments)]
+fn ce_body_pipelined(
+    ce: CeId,
+    conditions: Vec<Arc<dyn Condition>>,
+    rx: Receiver<Update>,
+    back: Box<dyn AlertSink>,
+    ingested: Arc<Mutex<Vec<Update>>>,
+    emitted: Arc<Mutex<Vec<Alert>>>,
+    faults: Option<CeFaultConfig>,
+    pipeline: CePipeline,
+) {
+    let drain = Box::new(SystemDrain { back, emitted });
+    let mut pipe = EvalPipeline::start(
+        ce,
+        &conditions,
+        &pipeline.options,
+        drain,
+        pipeline.latency,
+        pipeline.shed,
+    );
+    let mut gate = IngestGate::new();
+    let mut arrivals: u64 = 0;
+    let mut kill_at: Vec<u64> = faults.as_ref().map(|f| f.kill_at.clone()).unwrap_or_default();
+    kill_at.sort_unstable();
+    kill_at.reverse(); // pop() yields the earliest threshold
+
+    loop {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            for update in rx.iter() {
+                arrivals += 1;
+                if kill_at.last().is_some_and(|&k| arrivals >= k) {
+                    kill_at.pop();
+                    return CeExit::Killed;
+                }
+                if pipe.would_shed() {
+                    // All-or-nothing: every shard must see the same
+                    // admitted stream, so a full ring sheds the whole
+                    // arrival — before the gate, like front-link loss.
+                    pipe.count_shed();
+                    continue;
+                }
+                if !gate.admit(&update) {
+                    continue; // duplicate of a replayed update
+                }
+                ingested.lock().push(update);
+                pipe.dispatch(update);
+            }
+            CeExit::EndOfStream
+        }));
+        let injected = match run {
+            Ok(CeExit::EndOfStream) => break, // every DM hung up: done
+            Ok(CeExit::Killed) => true,
+            Err(payload) => {
+                if faults.is_none() {
+                    resume_unwind(payload); // unsupervised replica: die loudly
+                }
+                false
+            }
+        };
+        let cfg = faults.as_ref().expect("crash handling requires a fault config");
+        let recovery_start = Instant::now();
+        {
+            let mut report = cfg.report.lock();
+            if injected {
+                report.kills_injected += 1;
+            }
+            if report.restarts[cfg.ce_index] >= cfg.max_restarts {
+                report.replicas_abandoned += 1;
+                drop(report);
+                // Budget exhausted: in-flight ring jobs still evaluate
+                // (they were admitted), then the sequencer closes the
+                // back link without flushing — the same sanctioned
+                // alert loss as the inline path's `back.abandon()`.
+                pipe.abandon();
+                return;
+            }
+            report.restarts[cfg.ce_index] += 1;
+        }
+        // Crash model: the restart marker rides the same FIFO rings as
+        // updates, so every shard wipes its histories at the same
+        // stream position; alert numbering survives (as in
+        // `ConditionRegistry::restart`).
+        pipe.restart();
+        let mut discarded = 0u64;
+        while rx.try_recv().is_ok() {
+            arrivals += 1;
+            discarded += 1;
+        }
+        while kill_at.last().is_some_and(|&k| arrivals >= k) {
+            kill_at.pop();
+        }
+        // Replay on the blocking path: retained history is
+        // already-admitted input and must not shed.
+        let mut replayed = 0u64;
+        for window in &cfg.windows {
+            for update in window.snapshot() {
+                if gate.admit(&update) {
+                    replayed += 1;
+                    ingested.lock().push(update);
+                    pipe.dispatch_wait(update);
+                }
+            }
+        }
+        let mut report = cfg.report.lock();
+        report.updates_dropped_down += discarded;
+        report.updates_replayed += replayed;
+        report.recovery_latency.push(recovery_start.elapsed());
+    }
+    // End of stream: close the rings, let the workers drain, and join;
+    // the sequencer flushes the back link (the lossless contract).
+    pipe.finish();
+}
+
 /// The shared ingest path (live and replay): record the update in
 /// `U_i`, route it through the registry to every subscribed condition,
 /// and forward each resulting alert across the codec and the back link
@@ -286,7 +503,9 @@ fn ingest(
     back: &mut dyn AlertSink,
     ingested: &Arc<Mutex<Vec<Update>>>,
     emitted: &Arc<Mutex<Vec<Alert>>>,
+    latency: &LatencyHistogram,
 ) {
+    let t0 = Instant::now();
     alerts.clear();
     registry.ingest(update, alerts);
     ingested.lock().push(update);
@@ -300,6 +519,8 @@ fn ingest(
         emitted.lock().push(alert.clone());
         back.send_alert(alert);
     }
+    let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    latency.record(nanos);
 }
 
 /// Runs the Alert Displayer: filters merged alert arrivals until every

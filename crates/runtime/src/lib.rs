@@ -63,6 +63,7 @@ mod actors;
 mod backlink;
 mod faults;
 mod link;
+pub mod pipeline;
 mod socket;
 mod system;
 pub mod wire;
@@ -72,7 +73,8 @@ pub use faults::{
     FaultPlan, FaultReport, IngestGate, KillCe, RetainedWindow, SeverBackLink, StallFrontLink,
 };
 pub use link::{FrontLink, LinkReport};
+pub use pipeline::{AlertDrain, EvalPipeline, PipelineOptions};
 pub use rcm_transport::{
     BatchPolicy, BoundTopology, Codec, Engine, Topology, TransportMode, TransportReport,
 };
-pub use system::{ConfigError, MonitorSystem, RunReport, SystemBuilder, VarFeed};
+pub use system::{ConfigError, MonitorSystem, PipelineReport, RunReport, SystemBuilder, VarFeed};

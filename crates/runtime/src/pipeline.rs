@@ -1,0 +1,635 @@
+//! The CE's shard-parallel evaluation pipeline: dispatcher → shard
+//! workers → sequencer, bit-identical to the single-threaded actor.
+//!
+//! PR 7's evented engine lets one CE process hold 10k+ front links,
+//! which moved the throughput ceiling into the single evaluation
+//! thread. This module parallelizes that stage while keeping the
+//! output byte-for-byte identical:
+//!
+//! * the **dispatcher** (the supervised CE body) admits updates exactly
+//!   as before (same ingest gate, same kill/restart/replay protocol)
+//!   and fans each admitted update out to every worker over a bounded
+//!   [`spsc`](rcm_sync::spsc) ring, stamped with a global admission
+//!   index and an admission timestamp;
+//! * each **shard worker** owns the `cond_id % workers` slice of the
+//!   condition set (rcm-core's [`ShardSlices`] seam — the same
+//!   partition the sim's `ShardedRegistry` uses) in a private
+//!   [`ConditionRegistry`], evaluates every update against its slice in
+//!   admission order, and reports per-update results to the sequencer;
+//! * the **sequencer** reassembles rounds in ascending admission index
+//!   (each worker's stream is already in that order, so one message per
+//!   worker per round suffices), merges each round's alerts in
+//!   ascending condition id ([`ShardSlices::merge_same_update`]), and
+//!   hands them to the [`AlertDrain`] — reconstructing exactly the
+//!   unsharded registry's emission order, alert numbering included.
+//!
+//! **Determinism argument.** The unsharded registry emits, per update,
+//! in ascending condition-id order. Every worker sees the identical
+//! admitted update stream in the identical order (rings are FIFO and
+//! the dispatcher sheds all-or-nothing, pre-gate), so each condition's
+//! state evolution — and therefore its alert stream and `AlertId`
+//! numbering — is exactly what the single-threaded actor computes.
+//! Sorting each round by condition id (a unique key: one alert per
+//! condition per update) is then a permutation-free reconstruction of
+//! the unsharded stream. Restart markers flow through the same FIFO
+//! rings, so "histories wiped after update k, replay admitted after"
+//! holds at the same stream position on every shard.
+//!
+//! **Batching.** Workers drain their ring in batches (one lock per
+//! batch instead of one per job) bounded by a
+//! [`BatchPolicy`](rcm_transport::BatchPolicy)'s `max_count` and
+//! `max_delay` triggers — an empty ring always flushes immediately, so
+//! batching adapts to queue depth and never waits for more input.
+//!
+//! **Shedding.** Rings are bounded; when any ring is full the
+//! dispatcher sheds the arrival *before* the ingest gate, so a shed
+//! update is indistinguishable from a front-link drop and the paper's
+//! per-AD guarantees already cover it. Control markers use the rings'
+//! blocking path and are never shed.
+//!
+//! LOCK ORDER: this module takes only leaf mutexes — a ring's internal
+//! state lock (see `rcm_sync::spsc`) and the shared `emitted` record
+//! inside the drain implementations, each taken alone and released
+//! before any channel operation.
+
+use std::panic::resume_unwind;
+
+use rcm_sync::atomic::{AtomicU64, Ordering};
+use rcm_sync::chan::{unbounded, Receiver, Sender};
+use rcm_sync::spsc;
+use rcm_sync::thread::JoinHandle;
+use rcm_sync::time::{Duration, Instant};
+use rcm_sync::Arc;
+
+use rcm_core::condition::Condition;
+use rcm_core::{Alert, CeId, CondId, ConditionRegistry, LatencyHistogram, ShardSlices, Update};
+use rcm_transport::BatchPolicy;
+
+/// Where the sequencer delivers each admitted update's merged alerts.
+///
+/// The thread that runs the sequencer owns the drain, so the CE's back
+/// link (channel or socket) moves in here; `rcm-ce` and the scale
+/// gauntlet provide their own implementations.
+pub trait AlertDrain: Send {
+    /// One admitted update's merged alerts, in ascending condition-id
+    /// order. Never called with an empty batch.
+    fn alerts(&mut self, alerts: Vec<Alert>);
+
+    /// Every DM hung up and every in-flight update was evaluated: the
+    /// lossless path's goodbye (flush the back link).
+    fn end_of_stream(&mut self);
+
+    /// The replica exhausted its restart budget: close without
+    /// flushing (queued alerts are the one sanctioned loss).
+    fn abandoned(&mut self) {}
+}
+
+/// Pipeline shape knobs, as set on
+/// [`SystemBuilder`](crate::SystemBuilder) or `rcm-ce --workers`.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineOptions {
+    /// Shard workers. `0` keeps the single-threaded in-actor path
+    /// (the default; no pipeline threads are spawned at all).
+    pub workers: usize,
+    /// Bounded ring capacity per worker; a full ring sheds arrivals.
+    pub ring_capacity: usize,
+    /// Worker drain batching (`max_count`/`max_delay` apply;
+    /// `max_bytes` is meaningless for in-process jobs and ignored).
+    pub batch: BatchPolicy,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions { workers: 0, ring_capacity: 1024, batch: Self::default_batch() }
+    }
+}
+
+impl PipelineOptions {
+    /// The default worker drain policy: up to 64 jobs per ring drain,
+    /// cut no later than 1ms after the batch opened. Mirrors
+    /// [`BatchPolicy::stream`]'s count/delay triggers.
+    pub fn default_batch() -> BatchPolicy {
+        BatchPolicy { max_count: 64, max_bytes: usize::MAX, max_delay: Duration::from_millis(1) }
+    }
+
+    /// Options running `workers` shard workers with the defaults.
+    pub fn with_workers(workers: usize) -> Self {
+        PipelineOptions { workers, ..Self::default() }
+    }
+}
+
+/// One dispatched unit on a worker ring.
+enum Job {
+    /// An admitted update, stamped with its global admission index and
+    /// admission instant (the latency clock's zero).
+    Update { idx: u64, t0: Instant, update: Update },
+    /// Crash marker: wipe histories (numbering survives), ack, go on.
+    Restart,
+    /// Budget-exhausted marker: ack and exit without flushing.
+    Abandon,
+}
+
+/// One worker → sequencer report.
+enum Out {
+    /// Update `idx` evaluated against this worker's slice.
+    Done {
+        idx: u64,
+        t0: Instant,
+        /// Alerts this shard produced for the update (often empty —
+        /// an empty `Vec` never allocated).
+        alerts: Vec<Alert>,
+    },
+    /// Restart marker passed this worker (keeps rounds aligned).
+    Restarted,
+    /// Abandon marker reached this worker; its stream ends here.
+    Abandoned,
+}
+
+/// A running evaluation pipeline: worker threads, their rings, and the
+/// sequencer. Owned by the dispatching CE body.
+pub struct EvalPipeline {
+    rings: Vec<spsc::Producer<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    sequencer: Option<JoinHandle<()>>,
+    next_idx: u64,
+    shed: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for EvalPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalPipeline")
+            .field("workers", &self.workers.len())
+            .field("dispatched", &self.next_idx)
+            .finish()
+    }
+}
+
+impl EvalPipeline {
+    /// Spawns `options.workers` shard workers (at least 1) plus the
+    /// sequencer. Condition `i` gets global id `CondId::new(i)` and
+    /// lives on shard `i % workers`, exactly as the sim's sharded
+    /// engine partitions.
+    pub fn start(
+        ce: CeId,
+        conditions: &[Arc<dyn Condition>],
+        options: &PipelineOptions,
+        drain: Box<dyn AlertDrain>,
+        latency: Arc<LatencyHistogram>,
+        shed: Arc<AtomicU64>,
+    ) -> EvalPipeline {
+        let workers = options.workers.max(1);
+        let mut slices = ShardSlices::new(ce, workers);
+        for (i, cond) in conditions.iter().enumerate() {
+            slices.insert(CondId::new(i as u32), Arc::clone(cond));
+        }
+        let batch = options.batch;
+        let mut rings = Vec::with_capacity(workers);
+        let mut joins = Vec::with_capacity(workers);
+        let mut outs: Vec<Receiver<Out>> = Vec::with_capacity(workers);
+        for shard in slices.into_shards() {
+            let (tx, rx) = spsc::ring::<Job>(options.ring_capacity.max(1));
+            let (out_tx, out_rx) = unbounded::<Out>();
+            rings.push(tx);
+            outs.push(out_rx);
+            joins.push(rcm_sync::thread::spawn(move || worker_body(shard, rx, out_tx, batch)));
+        }
+        let seq_latency = Arc::clone(&latency);
+        let sequencer =
+            Some(rcm_sync::thread::spawn(move || sequencer_body(outs, drain, seq_latency)));
+        EvalPipeline { rings, workers: joins, sequencer, next_idx: 0, shed }
+    }
+
+    /// Whether dispatching one more update right now would overflow a
+    /// ring. The dispatcher is the only producer, so a `false` answer
+    /// stays valid until it pushes: workers only ever *free* space.
+    pub fn would_shed(&self) -> bool {
+        self.rings.iter().any(spsc::Producer::is_full)
+    }
+
+    /// Records one shed arrival (kept with the pipeline so every
+    /// dispatcher counts into the same run-wide ledger).
+    pub fn count_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fans an admitted update out to every shard. Call only after
+    /// [`EvalPipeline::would_shed`] said there is room — a race-free
+    /// protocol for the single dispatcher.
+    pub fn dispatch(&mut self, update: Update) {
+        let idx = self.next_idx;
+        self.next_idx += 1;
+        let t0 = Instant::now();
+        for ring in &self.rings {
+            if ring.push(Job::Update { idx, t0, update }).is_err() {
+                // Unreachable under the would_shed protocol (and a
+                // dead consumer means the run is tearing down anyway);
+                // losing a push here would desync shard histories, so
+                // account it as shed for the report's sake.
+                self.count_shed();
+            }
+        }
+    }
+
+    /// Fans an admitted update out on the rings' *blocking* path — the
+    /// replay entry: recovery replays are already-admitted history and
+    /// must not shed.
+    pub fn dispatch_wait(&mut self, update: Update) {
+        let idx = self.next_idx;
+        self.next_idx += 1;
+        let t0 = Instant::now();
+        for ring in &self.rings {
+            let _ = ring.push_wait(Job::Update { idx, t0, update });
+        }
+    }
+
+    /// Updates dispatched so far (the next admission index).
+    pub fn dispatched(&self) -> u64 {
+        self.next_idx
+    }
+
+    /// Delivers the crash marker to every shard (blocking — restarts
+    /// are control flow, never shed): each wipes its histories at the
+    /// same stream position; alert numbering survives.
+    pub fn restart(&mut self) {
+        for ring in &self.rings {
+            let _ = ring.push_wait(Job::Restart);
+        }
+    }
+
+    /// End of stream: closes the rings, lets every worker drain, and
+    /// joins the pipeline. The sequencer calls the drain's
+    /// `end_of_stream` (flushing the back link) before exiting.
+    pub fn finish(mut self) {
+        self.rings.clear(); // dropping the producers closes the rings
+        self.join();
+    }
+
+    /// Budget exhausted: delivers the abandon marker (in-flight
+    /// updates still evaluate first — they were admitted), then joins.
+    /// The sequencer calls the drain's `abandoned` instead of flushing.
+    pub fn abandon(mut self) {
+        for ring in &self.rings {
+            let _ = ring.push_wait(Job::Abandon);
+        }
+        self.rings.clear();
+        self.join();
+    }
+
+    fn join(&mut self) {
+        for handle in self.workers.drain(..) {
+            if let Err(payload) = handle.join() {
+                resume_unwind(payload);
+            }
+        }
+        if let Some(handle) = self.sequencer.take() {
+            if let Err(payload) = handle.join() {
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// One shard worker: evaluates every update in admission order against
+/// its registry slice, reporting per-update results upstream. Ring
+/// drains are batched ([`PipelineOptions::batch`]): a deep queue is
+/// paid for with one lock per `max_count` jobs, an empty queue flushes
+/// immediately, and a hot stretch is cut no later than `max_delay`
+/// after the batch opened.
+fn worker_body(
+    mut shard: ConditionRegistry,
+    jobs: spsc::Consumer<Job>,
+    out: Sender<Out>,
+    batch: BatchPolicy,
+) {
+    let mut buf: Vec<Job> = Vec::new();
+    while let Some(first) = jobs.pop() {
+        let opened = Instant::now();
+        buf.push(first);
+        let cap = batch.max_count.max(1);
+        while buf.len() < cap && !batch.expired(opened) {
+            let want = cap - buf.len();
+            if jobs.drain_into(&mut buf, want) == 0 {
+                break; // empty ring: flush what we have, adaptively
+            }
+        }
+        for job in buf.drain(..) {
+            match job {
+                Job::Update { idx, t0, update } => {
+                    let mut alerts = Vec::new();
+                    shard.ingest(update, &mut alerts);
+                    if out.send(Out::Done { idx, t0, alerts }).is_err() {
+                        return; // sequencer gone: run is tearing down
+                    }
+                }
+                Job::Restart => {
+                    shard.restart();
+                    if out.send(Out::Restarted).is_err() {
+                        return;
+                    }
+                }
+                Job::Abandon => {
+                    let _ = out.send(Out::Abandoned);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// What one worker's stream contributed to the current round.
+enum RoundPull {
+    Done { idx: u64, t0: Instant, alerts: Vec<Alert> },
+    Closed,
+    Abandoned,
+}
+
+/// Pulls the next significant (non-marker) message from one worker.
+fn next_round_pull(rx: &Receiver<Out>) -> RoundPull {
+    loop {
+        match rx.recv() {
+            Ok(Out::Done { idx, t0, alerts }) => return RoundPull::Done { idx, t0, alerts },
+            Ok(Out::Restarted) => continue,
+            Ok(Out::Abandoned) => return RoundPull::Abandoned,
+            Err(_) => return RoundPull::Closed,
+        }
+    }
+}
+
+/// The sequencer: reassembles per-worker result streams into admission
+/// order and the per-update ascending-condition-id merge, then records
+/// the ingest→alert-emit latency for the round.
+///
+/// Lockstep invariant: every worker evaluates the identical job
+/// sequence, so round `k` is each worker's `k`-th `Done` message — no
+/// reorder buffer is needed, and a stream that ends (or abandons) ends
+/// for all workers at the same round.
+fn sequencer_body(
+    outs: Vec<Receiver<Out>>,
+    mut drain: Box<dyn AlertDrain>,
+    latency: Arc<LatencyHistogram>,
+) {
+    let mut merged: Vec<Alert> = Vec::new();
+    loop {
+        merged.clear();
+        let mut round: Option<(u64, Instant)> = None;
+        let mut closed = false;
+        let mut abandoned = false;
+        for rx in &outs {
+            match next_round_pull(rx) {
+                RoundPull::Done { idx, t0, alerts } => {
+                    debug_assert!(
+                        round.is_none() || round.is_some_and(|(r, _)| r == idx),
+                        "workers desynced: round {round:?} saw idx {idx}"
+                    );
+                    round = Some((idx, t0));
+                    merged.extend(alerts);
+                }
+                RoundPull::Closed => closed = true,
+                RoundPull::Abandoned => abandoned = true,
+            }
+        }
+        if abandoned {
+            drain.abandoned();
+            return;
+        }
+        if closed {
+            drain.end_of_stream();
+            return;
+        }
+        if !merged.is_empty() {
+            ShardSlices::merge_same_update(&mut merged);
+            drain.alerts(std::mem::take(&mut merged));
+        }
+        if let Some((_, t0)) = round {
+            let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            latency.record(nanos);
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use rcm_core::condition::{Cmp, Threshold};
+    use rcm_core::VarId;
+    use rcm_sync::Mutex;
+
+    struct VecDrain {
+        alerts: Arc<Mutex<Vec<Alert>>>,
+        flushed: Arc<Mutex<bool>>,
+        abandoned: Arc<Mutex<bool>>,
+    }
+
+    impl AlertDrain for VecDrain {
+        fn alerts(&mut self, alerts: Vec<Alert>) {
+            assert!(!alerts.is_empty(), "drain must not see empty rounds");
+            // LOCK ORDER: leaf test sink, taken alone.
+            self.alerts.lock().extend(alerts);
+        }
+        fn end_of_stream(&mut self) {
+            *self.flushed.lock() = true;
+        }
+        fn abandoned(&mut self) {
+            *self.abandoned.lock() = true;
+        }
+    }
+
+    fn family(n: u32) -> Vec<Arc<dyn Condition>> {
+        let x = VarId::new(0);
+        (0..n)
+            .map(|i| Arc::new(Threshold::new(x, Cmp::Gt, f64::from(i % 7))) as Arc<dyn Condition>)
+            .collect()
+    }
+
+    fn reference(conds: &[Arc<dyn Condition>], updates: &[Update]) -> Vec<Alert> {
+        let mut reg = ConditionRegistry::new(CeId::new(0));
+        for (i, c) in conds.iter().enumerate() {
+            reg.insert(CondId::new(i as u32), Arc::clone(c));
+        }
+        let mut out = Vec::new();
+        reg.ingest_batch(updates, &mut out);
+        out
+    }
+
+    fn run_pipeline(
+        conds: &[Arc<dyn Condition>],
+        updates: &[Update],
+        workers: usize,
+        restart_before: Option<usize>,
+    ) -> (Vec<Alert>, bool, bool) {
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let flushed = Arc::new(Mutex::new(false));
+        let abandoned = Arc::new(Mutex::new(false));
+        let drain = Box::new(VecDrain {
+            alerts: Arc::clone(&got),
+            flushed: Arc::clone(&flushed),
+            abandoned: Arc::clone(&abandoned),
+        });
+        let mut pipe = EvalPipeline::start(
+            CeId::new(0),
+            conds,
+            &PipelineOptions::with_workers(workers),
+            drain,
+            Arc::new(LatencyHistogram::new()),
+            Arc::new(AtomicU64::new(0)),
+        );
+        for (i, &u) in updates.iter().enumerate() {
+            if restart_before == Some(i) {
+                pipe.restart();
+            }
+            pipe.dispatch_wait(u);
+        }
+        pipe.finish();
+        let alerts = got.lock().clone();
+        let f = *flushed.lock();
+        let a = *abandoned.lock();
+        (alerts, f, a)
+    }
+
+    fn stream(n: u64) -> Vec<Update> {
+        let x = VarId::new(0);
+        (1..=n).map(|s| Update::new(x, s, (s % 10) as f64)).collect()
+    }
+
+    #[test]
+    fn pipeline_matches_unsharded_for_any_worker_count() {
+        let conds = family(11);
+        let updates = stream(60);
+        let want = reference(&conds, &updates);
+        assert!(!want.is_empty());
+        for workers in [1usize, 2, 3, 8] {
+            let (got, flushed, abandoned) = run_pipeline(&conds, &updates, workers, None);
+            assert_eq!(got, want, "workers = {workers}");
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.id, w.id, "workers = {workers}");
+            }
+            assert!(flushed && !abandoned);
+        }
+    }
+
+    #[test]
+    fn restart_marker_wipes_all_shards_at_the_same_position() {
+        let conds = family(7);
+        let updates = stream(40);
+        let cut = 23;
+        let mut reg = ConditionRegistry::new(CeId::new(0));
+        for (i, c) in conds.iter().enumerate() {
+            reg.insert(CondId::new(i as u32), Arc::clone(c));
+        }
+        let mut want = Vec::new();
+        reg.ingest_batch(&updates[..cut], &mut want);
+        reg.restart();
+        reg.ingest_batch(&updates[cut..], &mut want);
+
+        for workers in [1usize, 4] {
+            let (got, ..) = run_pipeline(&conds, &updates, workers, Some(cut));
+            assert_eq!(got, want, "workers = {workers}");
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.id, w.id, "workers = {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn abandon_skips_the_flush_but_not_inflight_updates() {
+        let conds = family(3);
+        let updates = stream(10);
+        let want = reference(&conds, &updates);
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let flushed = Arc::new(Mutex::new(false));
+        let abandoned = Arc::new(Mutex::new(false));
+        let drain = Box::new(VecDrain {
+            alerts: Arc::clone(&got),
+            flushed: Arc::clone(&flushed),
+            abandoned: Arc::clone(&abandoned),
+        });
+        let mut pipe = EvalPipeline::start(
+            CeId::new(0),
+            &conds,
+            &PipelineOptions::with_workers(2),
+            drain,
+            Arc::new(LatencyHistogram::new()),
+            Arc::new(AtomicU64::new(0)),
+        );
+        for &u in &updates {
+            pipe.dispatch_wait(u);
+        }
+        pipe.abandon();
+        assert_eq!(got.lock().clone(), want);
+        assert!(*abandoned.lock());
+        assert!(!*flushed.lock());
+    }
+
+    #[test]
+    fn full_rings_shed_all_or_nothing() {
+        let conds = family(2);
+        // Tiny rings, no consumers draining yet: would_shed flips once
+        // a ring fills.
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let drain = Box::new(VecDrain {
+            alerts: Arc::clone(&got),
+            flushed: Arc::new(Mutex::new(false)),
+            abandoned: Arc::new(Mutex::new(false)),
+        });
+        let shed = Arc::new(AtomicU64::new(0));
+        let opts = PipelineOptions { workers: 2, ring_capacity: 1, ..PipelineOptions::default() };
+        let mut pipe = EvalPipeline::start(
+            CeId::new(0),
+            &conds,
+            &opts,
+            drain,
+            Arc::new(LatencyHistogram::new()),
+            Arc::clone(&shed),
+        );
+        let x = VarId::new(0);
+        let mut dispatched = 0u64;
+        for s in 1..=200u64 {
+            if pipe.would_shed() {
+                pipe.count_shed();
+            } else {
+                pipe.dispatch(Update::new(x, s, 50.0));
+                dispatched += 1;
+            }
+        }
+        pipe.finish();
+        let shed = shed.load(Ordering::Relaxed);
+        assert_eq!(shed + dispatched, 200);
+        // Every dispatched update reached *both* conditions: alerts
+        // come in pairs, and both per-condition streams number densely.
+        let alerts = got.lock().clone();
+        assert_eq!(alerts.len() as u64, dispatched * 2);
+        for cond in 0..2u32 {
+            let idxs: Vec<u64> =
+                alerts.iter().filter(|a| a.cond == CondId::new(cond)).map(|a| a.id.index).collect();
+            assert!(idxs.iter().enumerate().all(|(i, &n)| n == i as u64), "{idxs:?}");
+        }
+    }
+
+    #[test]
+    fn latency_histogram_sees_every_round() {
+        let conds = family(1);
+        let updates = stream(25);
+        let latency = Arc::new(LatencyHistogram::new());
+        let drain = Box::new(VecDrain {
+            alerts: Arc::new(Mutex::new(Vec::new())),
+            flushed: Arc::new(Mutex::new(false)),
+            abandoned: Arc::new(Mutex::new(false)),
+        });
+        let mut pipe = EvalPipeline::start(
+            CeId::new(0),
+            &conds,
+            &PipelineOptions::with_workers(2),
+            drain,
+            Arc::clone(&latency),
+            Arc::new(AtomicU64::new(0)),
+        );
+        for &u in &updates {
+            pipe.dispatch_wait(u);
+        }
+        pipe.finish();
+        let snap = latency.snapshot();
+        assert_eq!(snap.count, 25);
+        assert!(snap.p99_ns >= snap.p50_ns);
+        assert!(snap.max_ns >= snap.p999_ns);
+    }
+}

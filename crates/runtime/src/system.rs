@@ -8,13 +8,14 @@
 use std::fmt;
 use std::time::Duration;
 
+use rcm_sync::atomic::{AtomicU64, Ordering};
 use rcm_sync::chan::unbounded;
 use rcm_sync::thread::JoinHandle;
 use rcm_sync::{Arc, Mutex};
 
 use rcm_core::ad::{Ad1, AlertFilter};
 use rcm_core::condition::Condition;
-use rcm_core::{Alert, CeId, Update, VarId};
+use rcm_core::{Alert, CeId, LatencyHistogram, LatencySnapshot, Update, VarId};
 use rcm_net::{Backoff, LossModel, Lossless};
 use rcm_transport::engine::{BackLinkCounters, EngineCounters, IngressCounters, ListenerCounters};
 use rcm_transport::{
@@ -23,10 +24,13 @@ use rcm_transport::{
     UdpFrontLink, UdpFrontReceiver,
 };
 
-use crate::actors::{ad_body, ce_body, dm_body, AlertSink, CeFaultConfig, UpdateSender};
+use crate::actors::{
+    ad_body, ce_body, dm_body, AlertSink, CeFaultConfig, CePipeline, UpdateSender,
+};
 use crate::backlink::{BackLink, BackLinkStats};
 use crate::faults::{FaultPlan, FaultReport, RetainedWindow};
 use crate::link::{FrontLink, LinkReport};
+use crate::pipeline::PipelineOptions;
 use crate::socket::UdpSender;
 
 /// One variable's data feed: where its Data Monitor's readings come
@@ -113,6 +117,7 @@ pub struct SystemBuilder {
     on_alert: Option<AlertCallback>,
     faults: Option<FaultPlan>,
     transport: Option<BoundTopology>,
+    pipeline: PipelineOptions,
 }
 
 impl fmt::Debug for SystemBuilder {
@@ -123,6 +128,7 @@ impl fmt::Debug for SystemBuilder {
             .field("feeds", &self.feeds)
             .field("seed", &self.seed)
             .field("faults", &self.faults)
+            .field("pipeline", &self.pipeline)
             .finish()
     }
 }
@@ -245,6 +251,39 @@ impl SystemBuilder {
         self
     }
 
+    /// Number of evaluation workers per CE replica (default 0: each
+    /// replica evaluates inline on its own thread, the reference
+    /// single-threaded path). With `workers >= 1` every replica runs
+    /// the shard-parallel [`EvalPipeline`](crate::EvalPipeline):
+    /// conditions are partitioned `cond_id % workers` across worker
+    /// threads fed over bounded rings, and a sequencer merges per-shard
+    /// alerts back into the exact single-threaded emission order — the
+    /// output is byte-identical for any worker count, but arrivals that
+    /// find a ring full are shed like front-link loss (counted in
+    /// [`RunReport::pipeline`]).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.pipeline.workers = workers;
+        self
+    }
+
+    /// Capacity of each worker's bounded ring (default 1024); a full
+    /// ring sheds arrivals. Ignored while `workers == 0`.
+    #[must_use]
+    pub fn ring_capacity(mut self, capacity: usize) -> Self {
+        self.pipeline.ring_capacity = capacity.max(1);
+        self
+    }
+
+    /// Worker ring-drain batching policy (default:
+    /// [`PipelineOptions::default_batch`] — up to 64 jobs per drain,
+    /// 1ms max delay). `max_bytes` is ignored for in-process jobs.
+    #[must_use]
+    pub fn eval_batch(mut self, batch: rcm_transport::BatchPolicy) -> Self {
+        self.pipeline.batch = batch;
+        self
+    }
+
     /// Runs the pipeline over real sockets instead of channels: DMs
     /// send updates over UDP to the topology's CE addresses, CEs send
     /// alerts over TCP to its AD listener. The topology's replica count
@@ -303,6 +342,9 @@ impl SystemBuilder {
 
         let plan = self.faults;
         let fault_report = Arc::new(Mutex::new(FaultReport::new(self.replicas)));
+        // Run-wide evaluation ledgers, shared by every replica.
+        let latency = Arc::new(LatencyHistogram::new());
+        let shed = Arc::new(AtomicU64::new(0));
         // One retained window per feed, in feed order (empty when fault
         // injection is off, so the hot path never touches them).
         let windows: Vec<RetainedWindow> = match &plan {
@@ -358,6 +400,11 @@ impl SystemBuilder {
                 report: Arc::clone(&fault_report),
                 ce_index: ce,
             });
+            let pipeline = CePipeline {
+                options: self.pipeline,
+                latency: Arc::clone(&latency),
+                shed: Arc::clone(&shed),
+            };
             handles.push(rcm_sync::thread::spawn(move || {
                 ce_body(
                     CeId::new(ce as u32),
@@ -367,6 +414,7 @@ impl SystemBuilder {
                     record,
                     outputs,
                     faults,
+                    pipeline,
                 );
             }));
         }
@@ -422,6 +470,9 @@ impl SystemBuilder {
             backlink_stats,
             mode: TransportMode::InProcess,
             replicas: self.replicas,
+            workers: self.pipeline.workers,
+            latency,
+            shed,
             front_vars: Vec::new(),
             front_stats: Vec::new(),
             ingress_stats: Vec::new(),
@@ -458,6 +509,9 @@ impl SystemBuilder {
 
         let plan = self.faults;
         let fault_report = Arc::new(Mutex::new(FaultReport::new(self.replicas)));
+        // Run-wide evaluation ledgers, shared by every replica.
+        let latency = Arc::new(LatencyHistogram::new());
+        let shed = Arc::new(AtomicU64::new(0));
         let windows: Vec<RetainedWindow> = match &plan {
             Some(p) => self.feeds.iter().map(|_| RetainedWindow::new(p.retain_window)).collect(),
             None => Vec::new(),
@@ -592,8 +646,22 @@ impl SystemBuilder {
                 report: Arc::clone(&fault_report),
                 ce_index: ce,
             });
+            let pipeline = CePipeline {
+                options: self.pipeline,
+                latency: Arc::clone(&latency),
+                shed: Arc::clone(&shed),
+            };
             handles.push(rcm_sync::thread::spawn(move || {
-                ce_body(CeId::new(ce as u32), conditions, rx, back, record, outputs, faults);
+                ce_body(
+                    CeId::new(ce as u32),
+                    conditions,
+                    rx,
+                    back,
+                    record,
+                    outputs,
+                    faults,
+                    pipeline,
+                );
             }));
         }
 
@@ -652,6 +720,9 @@ impl SystemBuilder {
             backlink_stats: Vec::new(),
             mode: TransportMode::Sockets,
             replicas: self.replicas,
+            workers: self.pipeline.workers,
+            latency,
+            shed,
             front_vars,
             front_stats,
             ingress_stats,
@@ -677,6 +748,12 @@ pub struct MonitorSystem {
     backlink_stats: Vec<Arc<Mutex<BackLinkStats>>>,
     mode: TransportMode,
     replicas: usize,
+    /// Evaluation workers per replica (0 = inline path).
+    workers: usize,
+    /// Run-wide ingest→alert-emit latency histogram.
+    latency: Arc<LatencyHistogram>,
+    /// Run-wide count of updates shed on full worker rings.
+    shed: Arc<AtomicU64>,
     /// Feed index → variable (socket mode; for the `links` report).
     front_vars: Vec<VarId>,
     /// Socket-mode sender counters keyed `(feed, ce)`.
@@ -726,6 +803,7 @@ impl MonitorSystem {
             on_alert: None,
             faults: None,
             transport: None,
+            pipeline: PipelineOptions::default(),
         }
     }
 
@@ -872,9 +950,15 @@ impl MonitorSystem {
                 })
                 .collect(),
         };
+        let pipeline = PipelineReport {
+            workers: self.workers,
+            updates_shed: self.shed.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
+        };
         RunReport {
             faults,
             transport,
+            pipeline,
             arrivals: Arc::try_unwrap(self.arrivals)
                 .map(Mutex::into_inner)
                 .unwrap_or_else(|arc| arc.lock().clone()),
@@ -925,6 +1009,28 @@ pub struct RunReport {
     /// Per-link transport counters, shaped identically whether the run
     /// rode channels or real sockets.
     pub transport: TransportReport,
+    /// What the evaluation stage observed: worker count, ring shedding
+    /// and the ingest→alert-emit latency distribution (recorded on
+    /// both the inline and the pipelined path).
+    pub pipeline: PipelineReport,
+}
+
+/// Evaluation-stage counters for a finished run.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
+pub struct PipelineReport {
+    /// Evaluation workers per replica (0 = the inline single-threaded
+    /// path; the output is identical either way).
+    #[serde(default)]
+    pub workers: usize,
+    /// Updates shed across all replicas because a worker ring was full
+    /// — semantically front-link loss, covered by the same per-AD
+    /// guarantees.
+    #[serde(default)]
+    pub updates_shed: u64,
+    /// Ingest→alert-emit latency (admission to merged-alerts-emitted),
+    /// aggregated over every replica.
+    #[serde(default)]
+    pub latency: LatencySnapshot,
 }
 
 #[cfg(test)]

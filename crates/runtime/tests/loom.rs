@@ -20,7 +20,7 @@ use rcm_net::Backoff;
 use rcm_runtime::{BackLink, IngestGate, RetainedWindow};
 use rcm_sync::chan::{unbounded, Sender};
 use rcm_sync::model::model;
-use rcm_sync::{thread, Arc, Mutex};
+use rcm_sync::{spsc, thread, Arc, Mutex};
 use rcm_transport::engine::{SubmitQueue, Wake};
 
 fn u(s: u64) -> Update {
@@ -226,6 +226,81 @@ fn submit_wake_handoff_never_strands_a_command() {
         assert_eq!(got, vec![1, 2], "every command survived the handoff, in order");
     });
     assert!(executions > 1, "the handoff must actually race, got {executions} schedules");
+}
+
+/// The evaluation pipeline's fan-out/merge handoff, exhaustively: the
+/// dispatcher (here the main thread) feeds the same update stream to
+/// two shard workers over capacity-1 SPSC rings on the blocking
+/// (`push_wait`) path; each worker evaluates its own condition slice
+/// (`cond % 2 == shard`) and reports one `(update, alerts)` round per
+/// update; the sequencer pulls one round per worker in lockstep and
+/// merges by condition id. Under **every** interleaving of the two
+/// workers against the dispatcher, the merged stream must be exactly
+/// the single-threaded order — no alert stranded in a ring or an out
+/// channel, none reordered, none duplicated.
+#[test]
+fn spsc_fanout_and_sequencer_merge_never_strand_or_reorder() {
+    const UPDATES: u64 = 2;
+    const SHARDS: u32 = 2;
+    let executions = model(|| {
+        let mut rings = Vec::new();
+        let mut outs = Vec::new();
+        let mut workers = Vec::new();
+        for shard in 0..SHARDS {
+            let (jobs_tx, jobs_rx) = spsc::ring::<u64>(1);
+            let (out_tx, out_rx) = unbounded::<(u64, Vec<(u64, u32)>)>();
+            rings.push(jobs_tx);
+            outs.push(out_rx);
+            workers.push(thread::spawn(move || {
+                // Drain in batches like the real worker: a blocking pop
+                // opens the batch, `drain_into` opportunistically grabs
+                // what else is already queued.
+                let mut batch = Vec::new();
+                while let Some(first) = jobs_rx.pop() {
+                    batch.push(first);
+                    jobs_rx.drain_into(&mut batch, 1);
+                    for idx in batch.drain(..) {
+                        // This shard's slice of a 2-condition registry.
+                        let alerts: Vec<(u64, u32)> =
+                            (0..SHARDS).filter(|c| c % SHARDS == shard).map(|c| (idx, c)).collect();
+                        out_tx.send((idx, alerts)).expect("sequencer alive");
+                    }
+                }
+            }));
+        }
+
+        // Dispatcher: every shard sees every update, in stream order.
+        for idx in 1..=UPDATES {
+            for ring in &mut rings {
+                ring.push_wait(idx).expect("worker alive");
+            }
+        }
+        drop(rings); // closes the rings: workers drain and exit
+
+        // Sequencer: lockstep rounds, merge by condition id.
+        let mut merged = Vec::new();
+        for idx in 1..=UPDATES {
+            let mut round = Vec::new();
+            for out in &outs {
+                let (got_idx, alerts) = out.recv().expect("worker round");
+                assert_eq!(got_idx, idx, "a worker skipped or reordered a round");
+                round.extend(alerts);
+            }
+            round.sort_by_key(|&(_, cond)| cond);
+            merged.extend(round);
+        }
+        for worker in workers {
+            worker.join().expect("worker exits cleanly");
+        }
+        for out in &outs {
+            assert!(out.recv().is_err(), "a worker emitted a stranded extra round");
+        }
+
+        let want: Vec<(u64, u32)> =
+            (1..=UPDATES).flat_map(|idx| (0..SHARDS).map(move |c| (idx, c))).collect();
+        assert_eq!(merged, want, "merge must reconstruct single-threaded order");
+    });
+    assert!(executions > 1, "fan-out must actually race, got {executions} schedules");
 }
 
 /// Retained-window atomicity: a DM pushes into a capacity-bounded

@@ -71,6 +71,17 @@ fn run_sockets_on(
     plan: FaultPlan,
     drops: &'static [u64],
 ) -> (RunReport, Vec<ProxyStats>) {
+    run_sockets_workers(topology, plan, drops, 0)
+}
+
+/// Like [`run_sockets_on`] with the CE evaluation pipeline enabled at
+/// `workers` shard workers (0 = the inline in-actor evaluator).
+fn run_sockets_workers(
+    topology: Topology,
+    plan: FaultPlan,
+    drops: &'static [u64],
+    workers: usize,
+) -> (RunReport, Vec<ProxyStats>) {
     let bound = topology.bind().expect("bind topology");
     let mut proxies = Vec::new();
     let mut targets = Vec::new();
@@ -85,6 +96,7 @@ fn run_sockets_on(
     let bound = bound.route_front_links(targets).idle_timeout(Duration::from_secs(10));
     let report = MonitorSystem::builder(threshold())
         .replicas(2)
+        .workers(workers)
         .feed(VarFeed::new(x(), values()).period(PERIOD))
         .faults(plan)
         .transport(bound)
@@ -217,6 +229,38 @@ fn batched_front_links_change_framing_but_not_output() {
     }
     assert!((sockets.transport.updates_per_datagram() - 5.0).abs() < f64::EPSILON);
     assert!(sockets.transport.bytes_per_frame() > 0.0);
+}
+
+/// Tentpole acceptance: the shard-parallel evaluation pipeline is
+/// transport-invariant. A `--workers 4` system over real sockets — on
+/// both socket engines, under 20% scripted front-link loss — displays
+/// the exact same alert sequence as the inline (workers = 0)
+/// in-process actor, and its run report carries the pipeline's worker
+/// count and a populated ingest→emit latency histogram.
+#[test]
+fn pipelined_workers_match_in_process_output_on_both_engines() {
+    const DROPS: &[u64] = &[1, 4, 7, 11];
+    let inline = run_in_process(FaultPlan::scripted(), DROPS);
+    assert!(!inline.displayed.is_empty());
+    for engine in [Engine::Threaded, Engine::Evented] {
+        let topology = Topology::loopback(2).with_engine(engine);
+        let (sockets, _) = run_sockets_workers(topology, FaultPlan::scripted(), DROPS, 4);
+        assert_eq!(
+            sockets.displayed,
+            inline.displayed,
+            "{engine}: 4-worker socket pipeline diverged from the inline in-process model \
+             (sockets {:?} vs in-process {:?})",
+            displayed_seqnos(&sockets),
+            displayed_seqnos(&inline),
+        );
+        assert_eq!(sockets.pipeline.workers, 4, "{engine}");
+        assert_eq!(sockets.pipeline.updates_shed, 0, "{engine}: default rings must not shed");
+        assert!(sockets.pipeline.latency.count > 0, "{engine}: histogram never recorded");
+        assert!(
+            sockets.pipeline.latency.p999_ns >= sockets.pipeline.latency.p50_ns,
+            "{engine}: percentiles must be monotone"
+        );
+    }
 }
 
 /// Acceptance: severing a CE's TCP back link mid-run loses no alert —

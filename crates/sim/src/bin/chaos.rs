@@ -78,6 +78,9 @@ struct PlanOutcome {
     replayed: u64,
     recovery: Vec<Duration>,
     transport: TransportReport,
+    workers: usize,
+    updates_shed: u64,
+    latency: rcm_core::LatencySnapshot,
     violations: Vec<String>,
 }
 
@@ -217,6 +220,14 @@ fn main() -> ExitCode {
         + outcomes.iter().map(|o| o.transport.engine.timer_fires).sum::<u64>();
     let engine_spurious: u64 = socket_transport.engine.spurious_readiness
         + outcomes.iter().map(|o| o.transport.engine.spurious_readiness).sum::<u64>();
+    // Pipeline rollup: shed totals sum; latency percentiles report the
+    // worst (max) over the plans that actually recorded samples.
+    let pipelined_plans = outcomes.iter().filter(|o| o.workers > 0).count();
+    let updates_shed: u64 = outcomes.iter().map(|o| o.updates_shed).sum();
+    let latency_count: u64 = outcomes.iter().map(|o| o.latency.count).sum();
+    let latency_p50: u64 = outcomes.iter().map(|o| o.latency.p50_ns).max().unwrap_or(0);
+    let latency_p99: u64 = outcomes.iter().map(|o| o.latency.p99_ns).max().unwrap_or(0);
+    let latency_p999: u64 = outcomes.iter().map(|o| o.latency.p999_ns).max().unwrap_or(0);
 
     if json {
         let doc = serde_json::json!({
@@ -250,6 +261,12 @@ fn main() -> ExitCode {
                 "engine_wakeups": engine_wakeups,
                 "engine_timer_fires": engine_timer_fires,
                 "engine_spurious_readiness": engine_spurious,
+                "pipelined_plans": pipelined_plans,
+                "updates_shed": updates_shed,
+                "latency_count": latency_count,
+                "latency_p50_ns": latency_p50,
+                "latency_p99_ns": latency_p99,
+                "latency_p999_ns": latency_p999,
             }),
             "runs": outcomes.iter().map(|o| serde_json::json!({
                 "plan": o.index,
@@ -261,6 +278,11 @@ fn main() -> ExitCode {
                 "backlink_severs": o.severs,
                 "backlink_duplicates": o.duplicates,
                 "updates_replayed": o.replayed,
+                "workers": o.workers,
+                "updates_shed": o.updates_shed,
+                "latency_p50_ns": o.latency.p50_ns,
+                "latency_p99_ns": o.latency.p99_ns,
+                "latency_p999_ns": o.latency.p999_ns,
                 "recovery_us": o.recovery.iter().map(|d| d.as_micros() as u64).collect::<Vec<_>>(),
                 "transport": serde_json::to_value(&o.transport).expect("transport serializes"),
                 "violations": o.violations.clone(),
@@ -276,6 +298,11 @@ fn main() -> ExitCode {
             "recovery latency: mean {recovery_mean:?}, max {recovery_max:?} \
              over {} recoveries",
             recovery.len()
+        );
+        println!(
+            "pipeline: {pipelined_plans} of {plans} plans ran sharded, {updates_shed} shed; \
+             worst ingest→emit latency p50 {latency_p50} ns / p99 {latency_p99} ns / \
+             p999 {latency_p999} ns over {latency_count} update(s)"
         );
         println!("violations: {violation_count}");
     }
@@ -393,8 +420,15 @@ fn run_plan(index: usize, plan_seed: u64) -> PlanOutcome {
         .retain_window(4096)
         .max_restarts(8);
     let lossy = spec.lossy;
+    // Alternate the CE evaluation strategy across plans: inline
+    // (workers = 0) and the shard-parallel pipeline at 1–3 workers, so
+    // every fault class also runs pipelined. The default rings are far
+    // deeper than any plan's workload, so no plan sheds — class-0
+    // completeness stays sound.
+    let workers = (mix(plan_seed ^ 4) % 4) as usize;
     let mut builder = MonitorSystem::builder(condition.clone())
         .replicas(replicas)
+        .workers(workers)
         .feed(VarFeed::new(x, values))
         .seed(plan_seed)
         .faults(plan)
@@ -426,6 +460,9 @@ fn run_plan(index: usize, plan_seed: u64) -> PlanOutcome {
         replayed: report.faults.updates_replayed,
         recovery: report.faults.recovery_latency.clone(),
         transport: report.transport.clone(),
+        workers: report.pipeline.workers,
+        updates_shed: report.pipeline.updates_shed,
+        latency: report.pipeline.latency,
         violations,
     }
 }

@@ -22,6 +22,13 @@
 //! * any link surfaced a decode error, or
 //! * the run overshot `--budget-ms` of wall clock.
 //!
+//! `--workers W` routes the CE body through the shard-parallel
+//! evaluation pipeline (one always-firing threshold per active
+//! variable, sharded `cond_id % W`, merged back into stream order
+//! before the fan-out), so the gauntlet also exercises pipelined
+//! evaluation under real sockets; the JSON report then carries the
+//! pipeline's shed counter and ingest→emit latency percentiles.
+//!
 //! `--json` adds the capacity evidence CI archives: peak process FDs
 //! (read from `/proc/self/fd`) and resident-set delta per link, plus
 //! the engine's wakeup/timer/spurious counters. CI runs 2,000 front
@@ -32,9 +39,15 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use rcm_core::ad::{Ad1, AlertFilter};
-use rcm_core::{Alert, AlertId, CeId, CondId, HistoryFingerprint, SeqNo, Update, VarId};
+use rcm_core::condition::{Cmp, Condition, Threshold};
+use rcm_core::{
+    Alert, AlertId, CeId, CondId, HistoryFingerprint, LatencyHistogram, SeqNo, Update, VarId,
+};
 use rcm_net::Backoff;
-use rcm_transport::{BackLinkSpec, EventLoop, UdpFrontLink};
+use rcm_runtime::{AlertDrain, EvalPipeline, PipelineOptions};
+use rcm_sync::atomic::{AtomicU64, Ordering};
+use rcm_sync::Arc;
+use rcm_transport::{BackLinkSpec, EventLoop, EventedBackLink, UdpFrontLink};
 
 use std::time::Duration;
 
@@ -44,13 +57,14 @@ struct Options {
     active: usize,
     updates: u64,
     budget: Duration,
+    workers: usize,
     json: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: scale [--front N] [--back M] [--active A] [--updates K] \
-         [--budget-ms MS] [--json]"
+         [--budget-ms MS] [--workers W] [--json]"
     );
     ExitCode::FAILURE
 }
@@ -62,6 +76,7 @@ fn parse_args() -> Option<Options> {
         active: 100,
         updates: 20,
         budget: Duration::from_secs(120),
+        workers: 0,
         json: false,
     };
     let mut args = std::env::args().skip(1);
@@ -72,12 +87,36 @@ fn parse_args() -> Option<Options> {
             "--active" => opts.active = args.next()?.parse().ok()?,
             "--updates" => opts.updates = args.next()?.parse().ok()?,
             "--budget-ms" => opts.budget = Duration::from_millis(args.next()?.parse().ok()?),
+            "--workers" => opts.workers = args.next()?.parse().ok()?,
             "--json" => opts.json = true,
             _ => return None,
         }
     }
     opts.active = opts.active.min(opts.front);
     Some(opts)
+}
+
+/// Pipelined CE body's sink: fans every merged alert out on all M back
+/// links (the same fan-out the inline body does) and counts emissions.
+struct FanoutDrain {
+    backs: Vec<EventedBackLink>,
+    emitted: Arc<AtomicU64>,
+}
+
+impl AlertDrain for FanoutDrain {
+    fn alerts(&mut self, alerts: Vec<Alert>) {
+        for alert in alerts {
+            for back in &mut self.backs {
+                back.send_alert(alert.clone());
+            }
+            self.emitted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    fn end_of_stream(&mut self) {
+        for back in &mut self.backs {
+            back.finish();
+        }
+    }
 }
 
 /// Open file descriptors of this process (Linux; 0 elsewhere).
@@ -165,22 +204,54 @@ fn main() -> ExitCode {
 
     // CE body: each delivered update becomes one alert, fanned out on
     // every back link. The channel closes when the ingress saw all N
-    // Fins (or its idle backstop fired).
-    let mut emitted: u64 = 0;
-    while let Ok(update) = update_rx.recv() {
-        let alert = Alert::new(
-            CondId::new(0),
-            HistoryFingerprint::single(update.var, vec![update.seqno]),
-            vec![update],
-            AlertId { ce: CeId::new(0), index: emitted },
-        );
-        for back in &mut backs {
-            back.send_alert(alert.clone());
+    // Fins (or its idle backstop fired). With `--workers W` the same
+    // body runs through the shard-parallel evaluation pipeline: one
+    // always-firing threshold per active variable, sharded
+    // `cond_id % W` across worker rings and merged back into stream
+    // order before the fan-out — fed on the blocking (never-shedding)
+    // path, because the gauntlet asserts exactly-once display.
+    let latency = Arc::new(LatencyHistogram::new());
+    let updates_shed = Arc::new(AtomicU64::new(0));
+    let emitted: u64;
+    if opts.workers == 0 {
+        let mut count: u64 = 0;
+        while let Ok(update) = update_rx.recv() {
+            let alert = Alert::new(
+                CondId::new(0),
+                HistoryFingerprint::single(update.var, vec![update.seqno]),
+                vec![update],
+                AlertId { ce: CeId::new(0), index: count },
+            );
+            for back in &mut backs {
+                back.send_alert(alert.clone());
+            }
+            count += 1;
         }
-        emitted += 1;
-    }
-    for back in &mut backs {
-        back.finish();
+        for back in &mut backs {
+            back.finish();
+        }
+        emitted = count;
+    } else {
+        let conds: Vec<Arc<dyn Condition>> = (0..opts.active)
+            .map(|i| {
+                Arc::new(Threshold::new(VarId::new(i as u32), Cmp::Gt, 0.0)) as Arc<dyn Condition>
+            })
+            .collect();
+        let counter = Arc::new(AtomicU64::new(0));
+        let drain = FanoutDrain { backs, emitted: Arc::clone(&counter) };
+        let mut pipe = EvalPipeline::start(
+            CeId::new(0),
+            &conds,
+            &PipelineOptions::with_workers(opts.workers),
+            Box::new(drain),
+            Arc::clone(&latency),
+            Arc::clone(&updates_shed),
+        );
+        while let Ok(update) = update_rx.recv() {
+            pipe.dispatch_wait(update);
+        }
+        pipe.finish();
+        emitted = counter.load(Ordering::Relaxed);
     }
     engine.join().expect("loop thread");
 
@@ -256,6 +327,12 @@ fn main() -> ExitCode {
             "rss_delta_bytes": rss_after_links.saturating_sub(rss_before),
             "per_link_bytes": per_link_bytes,
             "shed": shed,
+            "workers": opts.workers,
+            "updates_shed": updates_shed.load(Ordering::Relaxed),
+            "latency_p50_ns": latency.snapshot().p50_ns,
+            "latency_p99_ns": latency.snapshot().p99_ns,
+            "latency_p999_ns": latency.snapshot().p999_ns,
+            "latency_count": latency.snapshot().count,
             "elapsed_ms": elapsed.as_millis() as u64,
             "budget_ms": opts.budget.as_millis() as u64,
             "engine": serde_json::to_value(&engine_stats).expect("engine stats serialize"),
@@ -264,9 +341,21 @@ fn main() -> ExitCode {
         println!("{}", serde_json::to_string_pretty(&doc).expect("report serializes"));
     } else {
         println!(
-            "scale: {} front links ({} active × {} updates), {} back links",
-            opts.front, opts.active, opts.updates, opts.back
+            "scale: {} front links ({} active × {} updates), {} back links, {} eval worker(s)",
+            opts.front, opts.active, opts.updates, opts.back, opts.workers
         );
+        if opts.workers > 0 {
+            let snap = latency.snapshot();
+            println!(
+                "  pipeline: {} shed, latency p50 {} ns / p99 {} ns / p999 {} ns \
+                 over {} update(s)",
+                updates_shed.load(Ordering::Relaxed),
+                snap.p50_ns,
+                snap.p99_ns,
+                snap.p999_ns,
+                snap.count
+            );
+        }
         println!(
             "  emitted {emitted}, displayed {displayed} (exactly-once), \
              listener heard {heard}"

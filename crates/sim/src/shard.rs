@@ -1,39 +1,44 @@
-//! Sharded multi-condition evaluation: a [`ConditionRegistry`] split
-//! across worker threads, bit-identical to the unsharded engine.
+//! Sharded multi-condition evaluation: a
+//! [`ConditionRegistry`](rcm_core::ConditionRegistry) split across
+//! worker threads, bit-identical to the unsharded engine.
 //!
 //! A CE hosting thousands of conditions spends its time in per-arrival
 //! re-evaluation, which parallelizes naturally: conditions are
 //! independent state machines, so any partition of the condition set
 //! evaluates correctly in isolation. [`ShardedRegistry`] partitions by
-//! condition id — shard `s` of `n` hosts every condition with
-//! `id % n == s` — keeping the *global* id space, and runs a batch
-//! through all shards on the deterministic harness in [`par`].
+//! condition id — rcm-core's [`ShardSlices`] seam: shard `s` of `n`
+//! hosts every condition with `id % n == s`, keeping the *global* id
+//! space — and runs a batch through all shards on the deterministic
+//! harness in [`par`]. (The runtime's streaming evaluation pipeline in
+//! `rcm-runtime` builds on the same seam, so both engines share one
+//! partition function and one merge.)
 //!
 //! The determinism contract mirrors [`par::map_indexed`]'s:
 //!
 //! > For any shard count and any worker-thread count,
 //! > [`ShardedRegistry::ingest_batch`] emits byte-identical alerts (same
 //! > order, same fingerprints, snapshots, and `AlertId` numbering) as a
-//! > single unsharded [`ConditionRegistry`] hosting the same conditions
-//! > in ascending-id order.
+//! > single unsharded [`ConditionRegistry`](rcm_core::ConditionRegistry)
+//! > hosting the same conditions in ascending-id order.
 //!
 //! It holds because the unsharded registry emits, per update, in
 //! ascending condition-id order; each shard tags its alerts with the
 //! producing update's batch index, and the merge sorts by
-//! `(update index, condition id)` — reconstructing exactly that order.
+//! `(update index, condition id)` — reconstructing exactly that order
+//! ([`ShardSlices::merge_tagged`]).
 
 use rcm_core::condition::expr::CompiledCondition;
 use rcm_core::condition::DynCondition;
-use rcm_core::{Alert, CeId, CondId, ConditionRegistry, RegistryStats, Update};
+use rcm_core::{Alert, CeId, CondId, RegistryStats, ShardSlices, Update};
 
 use crate::par;
 
-/// A [`ConditionRegistry`] partitioned over `n` shards by
-/// `cond_id % n`, evaluated in parallel per batch.
+/// A condition registry partitioned over `n` shards by `cond_id % n`
+/// (rcm-core's [`ShardSlices`] seam), evaluated in parallel per batch
+/// on the deterministic [`par`] harness.
 #[derive(Debug)]
 pub struct ShardedRegistry {
-    shards: Vec<ConditionRegistry>,
-    conditions: usize,
+    slices: ShardSlices,
 }
 
 impl ShardedRegistry {
@@ -44,17 +49,13 @@ impl ShardedRegistry {
     ///
     /// Panics if `shards` is zero.
     pub fn new(ce: CeId, shards: usize) -> Self {
-        assert!(shards >= 1, "need at least one shard");
-        ShardedRegistry {
-            shards: (0..shards).map(|_| ConditionRegistry::new(ce)).collect(),
-            conditions: 0,
-        }
+        ShardedRegistry { slices: ShardSlices::new(ce, shards) }
     }
 
     /// Builds a sharded registry hosting `conds`, assigning condition
     /// `i` the global id `CondId::new(i)` with incremental
     /// re-evaluation enabled — the sharded equivalent of calling
-    /// [`ConditionRegistry::add_compiled`] for each.
+    /// [`rcm_core::ConditionRegistry::add_compiled`] for each.
     pub fn from_compiled(
         ce: CeId,
         conds: impl IntoIterator<Item = CompiledCondition>,
@@ -82,19 +83,13 @@ impl ShardedRegistry {
         reg
     }
 
-    fn shard_of(&self, cond_id: CondId) -> usize {
-        cond_id.index() as usize % self.shards.len()
-    }
-
     /// Registers a condition under its global id on the owning shard.
     ///
     /// # Panics
     ///
     /// Panics if `cond_id` is already registered.
     pub fn insert(&mut self, cond_id: CondId, cond: DynCondition) {
-        let s = self.shard_of(cond_id);
-        self.shards[s].insert(cond_id, cond);
-        self.conditions += 1;
+        self.slices.insert(cond_id, cond);
     }
 
     /// Registers a compiled condition (incremental re-evaluation) under
@@ -104,68 +99,49 @@ impl ShardedRegistry {
     ///
     /// Panics if `cond_id` is already registered.
     pub fn insert_compiled(&mut self, cond_id: CondId, cond: CompiledCondition) {
-        let s = self.shard_of(cond_id);
-        self.shards[s].insert_compiled(cond_id, cond);
-        self.conditions += 1;
+        self.slices.insert_compiled(cond_id, cond);
     }
 
     /// Number of hosted conditions across all shards.
     pub fn len(&self) -> usize {
-        self.conditions
+        self.slices.len()
     }
 
     /// Whether no conditions are hosted.
     pub fn is_empty(&self) -> bool {
-        self.conditions == 0
+        self.slices.is_empty()
     }
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.shards.len()
+        self.slices.shard_count()
     }
 
     /// Runs a batch of updates through every shard (in parallel, on
     /// [`par::harness_threads`] workers) and appends the merged alerts
-    /// to `out` in exactly the unsharded emission order.
+    /// to `out` in exactly the unsharded emission order (the seam's
+    /// [`ShardSlices::merge_tagged`]).
     pub fn ingest_batch(&mut self, updates: &[Update], out: &mut Vec<Alert>) {
-        let parts: Vec<Vec<(u64, Alert)>> = par::map_slice_mut(&mut self.shards, |_, shard| {
-            let mut tagged = Vec::new();
-            shard.ingest_batch_tagged(updates, &mut tagged);
-            tagged
-        });
-        let mut merged: Vec<(u64, Alert)> = parts.into_iter().flatten().collect();
-        // A condition emits at most one alert per update, so the key is
-        // unique and `sort_unstable` is deterministic.
-        merged.sort_unstable_by_key(|(i, a)| (*i, a.cond.index()));
-        out.extend(merged.into_iter().map(|(_, a)| a));
+        let parts: Vec<Vec<(u64, Alert)>> =
+            par::map_slice_mut(self.slices.shards_mut(), |_, shard| {
+                let mut tagged = Vec::new();
+                shard.ingest_batch_tagged(updates, &mut tagged);
+                tagged
+            });
+        ShardSlices::merge_tagged(parts, out);
     }
 
-    /// Aggregate counters summed over shards.
-    ///
-    /// `ingested`, `dropped_stale` and `emitted` match the unsharded
-    /// registry's exactly. `unrouted` does not: each shard counts an
-    /// update unrouted when *its own* conditions ignore the variable,
-    /// so one stream-level stray counts once per shard, and an update
-    /// subscribed on shard A but not shard B still bumps B's counter.
+    /// Aggregate counters summed over shards (see
+    /// [`ShardSlices::stats`] for the `unrouted` caveat).
     pub fn stats(&self) -> RegistryStats {
-        let mut sum = RegistryStats::default();
-        for s in &self.shards {
-            let st = s.stats();
-            sum.ingested += st.ingested;
-            sum.dropped_stale += st.dropped_stale;
-            sum.emitted += st.emitted;
-            sum.unrouted += st.unrouted;
-        }
-        sum
+        self.slices.stats()
     }
 
     /// Crash-restart of the hosting CE: every shard loses its
     /// histories and incremental caches; alert numbering continues per
-    /// condition (see [`ConditionRegistry::restart`]).
+    /// condition (see [`rcm_core::ConditionRegistry::restart`]).
     pub fn restart(&mut self) {
-        for s in &mut self.shards {
-            s.restart();
-        }
+        self.slices.restart();
     }
 }
 
@@ -173,7 +149,7 @@ impl ShardedRegistry {
 mod tests {
     use super::*;
     use crate::par::with_threads;
-    use rcm_core::VarRegistry;
+    use rcm_core::{ConditionRegistry, VarRegistry};
 
     /// A small family of mixed conditions over x and y.
     fn conds(n: usize, vars: &mut VarRegistry) -> Vec<CompiledCondition> {

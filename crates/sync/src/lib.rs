@@ -20,13 +20,15 @@
 //! needs: `Arc` (always `std::sync::Arc`; reference counting is not
 //! schedule-relevant), an infallible-`lock` `Mutex`, unbounded MPSC
 //! channels ([`chan`]), [`thread`] spawn/join/sleep/yield, [`time`]
-//! instants, and sequentially consistent [`atomic`]s.
+//! instants, sequentially consistent [`atomic`]s, and bounded [`spsc`]
+//! rings (built *from* the other primitives, so they model-check too).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod model;
+pub mod spsc;
 
 pub use std::sync::Arc;
 

@@ -67,6 +67,14 @@ const HOT_PATH: &[&str] =
 const TRANSPORT_HOT_PATH: &[&str] =
     &["crates/transport/src/wire.rs", "crates/transport/src/batch.rs"];
 
+/// Evaluation-pipeline modules on the per-update hot path: the worker
+/// rings, the dispatcher/sequencer, and the latency histogram's
+/// allocation-free record path all run once per admitted update, so a
+/// panic there kills a shard worker mid-stream. Same rule as
+/// [`HOT_PATH`].
+const PIPELINE_HOT_PATH: &[&str] =
+    &["crates/runtime/src/pipeline.rs", "crates/sync/src/spsc.rs", "crates/core/src/latency.rs"];
+
 const RUNTIME_SRC: &str = "crates/runtime/src";
 
 /// The socket transport obeys the same shim discipline as the runtime:
@@ -180,6 +188,7 @@ fn check_file(rel: &str, raw: &str, stripped: &str) -> Vec<Violation> {
     let in_runtime = rel.starts_with(RUNTIME_SRC) || rel.starts_with(TRANSPORT_SRC);
     let hot_path = HOT_PATH.contains(&rel)
         || TRANSPORT_HOT_PATH.contains(&rel)
+        || PIPELINE_HOT_PATH.contains(&rel)
         || rel.starts_with("crates/core/src/ad/");
 
     if in_runtime {
@@ -233,7 +242,9 @@ fn check_file(rel: &str, raw: &str, stripped: &str) -> Vec<Violation> {
         // file's tail, so everything after the first `#[cfg(test)]` is
         // test code and exempt.
         for (idx, line) in stripped.lines().enumerate() {
-            if line.contains("#[cfg(test)]") {
+            // Both spellings of the test-module gate: plain and the
+            // loom-aware `#[cfg(all(test, not(loom)))]`.
+            if line.contains("#[cfg(test)]") || line.contains("#[cfg(all(test") {
                 break;
             }
             for needle in [".unwrap()", ".expect("] {
@@ -454,6 +465,10 @@ fn check_chaos_report(doc: &json::Json) -> Vec<String> {
         "engine_wakeups",
         "engine_timer_fires",
         "engine_spurious_readiness",
+        "updates_shed",
+        "latency_p50_ns",
+        "latency_p99_ns",
+        "latency_p999_ns",
     ] {
         if totals.get(key).is_none() {
             out.push(format!("totals missing `{key}`"));
@@ -468,6 +483,11 @@ fn check_chaos_report(doc: &json::Json) -> Vec<String> {
     }
     if num(totals, "engine_wakeups").unwrap_or(0.0) <= 0.0 {
         out.push("engine_wakeups is zero — the evented socket smoke never polled".to_string());
+    }
+    let p50 = num(totals, "latency_p50_ns").unwrap_or(0.0);
+    let p999 = num(totals, "latency_p999_ns").unwrap_or(0.0);
+    if p999 < p50 {
+        out.push(format!("latency percentiles not monotone: p999 {p999} < p50 {p50}"));
     }
 
     match doc.get("socket_smoke") {
@@ -802,6 +822,34 @@ mod tests {
     }
 
     #[test]
+    fn hot_path_rule_covers_the_evaluation_pipeline() {
+        // The worker rings, dispatcher/sequencer, and histogram record
+        // path run once per admitted update: `.expect(` is banned
+        // outside the test tail, like every other hot-path module.
+        let bad = "fn f() { y.expect(\"oops\"); }\n";
+        for file in [
+            "crates/runtime/src/pipeline.rs",
+            "crates/sync/src/spsc.rs",
+            "crates/core/src/latency.rs",
+        ] {
+            let got = check(file, bad);
+            assert!(got.iter().any(|v| v.rule == "hot-path"), "{file}: {got:?}");
+        }
+        // The loom-aware test-tail spelling exempts test code too.
+        let ok = "fn f() {}\n#[cfg(all(test, not(loom)))]\nmod tests {\n fn t() { x.expect(\"t\"); }\n}\n";
+        assert!(check("crates/sync/src/spsc.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn pipeline_worker_files_obey_the_shim_discipline() {
+        // A worker or sequencer thread spawned outside rcm_sync would
+        // silently escape the loom model checker.
+        let bad = "fn f() { std::thread::spawn(|| {}); }\n";
+        let got = check("crates/runtime/src/pipeline.rs", bad);
+        assert!(got.iter().any(|v| v.rule == "shim"), "{got:?}");
+    }
+
+    #[test]
     fn unsafe_rule_catches_new_unsafe() {
         let bad = "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
         let got = check("crates/core/src/history.rs", bad);
@@ -866,7 +914,9 @@ mod tests {
             "front_frames_sent": 10, "front_updates_sent": 20,
             "front_bytes_sent": 400, "updates_per_datagram": 2.0,
             "engine_wakeups": 90, "engine_timer_fires": 2,
-            "engine_spurious_readiness": 0
+            "engine_spurious_readiness": 0,
+            "updates_shed": 0, "latency_p50_ns": 800,
+            "latency_p99_ns": 4000, "latency_p999_ns": 9000
           },
           "socket_smoke": { "violations": [], "transport": { "mode": "Sockets" } },
           "runs": [
@@ -897,6 +947,9 @@ mod tests {
             ),
             ("\"bytes_sent\": 400 }]]", "\"seen\": 400 }]]"),
             ("\"runs\": [", "\"trials\": ["),
+            ("\"updates_shed\": 0,", ""),
+            ("\"latency_p99_ns\": 4000,", ""),
+            ("\"latency_p999_ns\": 9000", "\"latency_p999_ns\": 10"),
         ];
         for (from, to) in tampers {
             let tampered = good_report().replace(from, to);
