@@ -306,6 +306,8 @@ impl ConditionRegistry {
                 },
             };
             for &slot in routed {
+                // analyze: allow(hot-path): slots come from the routing table, which is
+                // analyze: allow(hot-path): rebuilt against this entries vec on registration
                 if let Some(alert) = entries[slot as usize].offer(update, ce) {
                     emit(i as u64, alert);
                 }
@@ -364,6 +366,7 @@ impl ShardSlices {
 
     /// The shard that owns `cond_id` (`id % shard_count`).
     pub fn shard_of(&self, cond_id: CondId) -> usize {
+        // analyze: allow(hot-path): the constructor asserts shards >= 1
         cond_id.index() as usize % self.shards.len()
     }
 
@@ -374,6 +377,7 @@ impl ShardSlices {
     /// Panics if `cond_id` is already registered.
     pub fn insert(&mut self, cond_id: CondId, cond: DynCondition) {
         let s = self.shard_of(cond_id);
+        // analyze: allow(hot-path): shard_of returns id % len, in range.
         self.shards[s].insert(cond_id, cond);
         self.conditions += 1;
     }
@@ -386,6 +390,7 @@ impl ShardSlices {
     /// Panics if `cond_id` is already registered.
     pub fn insert_compiled(&mut self, cond_id: CondId, cond: CompiledCondition) {
         let s = self.shard_of(cond_id);
+        // analyze: allow(hot-path): shard_of returns id % len, in range.
         self.shards[s].insert_compiled(cond_id, cond);
         self.conditions += 1;
     }

@@ -27,6 +27,8 @@
 //! allowlist; the rest of the crate (and everything built on it)
 //! stays `deny(unsafe_code)`.
 
+// LOCK ORDER: no locks — the crate's only mutex lives in submit.rs (leaf).
+
 #![cfg(unix)]
 #![deny(unsafe_code)]
 #![warn(missing_docs)]

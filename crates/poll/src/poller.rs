@@ -9,6 +9,8 @@
 //! EINTR is retried here, with the timeout recomputed, so callers
 //! never see a spurious early return from a signal.
 
+// LOCK ORDER: no locks — readiness state is single-threaded; wakers use a pipe.
+
 use std::io;
 use std::os::fd::RawFd;
 use std::time::{Duration, Instant};

@@ -17,6 +17,8 @@
 //! value; the unit tests at the bottom exercise every wrapper on a
 //! real kernel.
 
+// LOCK ORDER: no locks — stateless syscall wrappers.
+
 use std::io;
 use std::mem;
 use std::net::{SocketAddr, TcpStream, UdpSocket};

@@ -17,6 +17,8 @@
 //! identically under `--cfg loom` — time comes from the `rcm-sync`
 //! shim either way.
 
+// LOCK ORDER: no locks — the wheel is owned by the loop thread.
+
 use rcm_sync::time::{Duration, Instant};
 
 /// A scheduled timer's handle; stale keys (fired, cancelled, or from

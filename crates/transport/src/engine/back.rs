@@ -20,6 +20,8 @@
 //! `send_alert`: everything past the bound is shed-with-counter, the
 //! same back-pressure contract as the threaded `enqueue`.
 
+// LOCK ORDER: no locks — back-link state machines are owned by the loop thread.
+
 use std::collections::VecDeque;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream};

@@ -11,6 +11,8 @@
 //! fetch-max: the loop thread is the sole writer, so the pair cannot
 //! race, and the shim's model-checker atomics stay minimal.
 
+// LOCK ORDER: no locks — cross-thread visibility is atomics only.
+
 use rcm_sync::atomic::{AtomicU64, Ordering};
 
 use crate::report::{EngineStats, IngressStats, ListenerStats, TcpLinkStats};

@@ -14,6 +14,9 @@
 //! idle backstops, reconnect pacing, batch flush deadlines, and
 //! finish deadlines without per-source timer threads.
 
+// LOCK ORDER: no locks on the loop thread — cross-thread handoff is the
+// SubmitQueue (whose single mutex is documented in rcm-poll) plus atomics.
+
 use std::io;
 use std::net::{TcpListener, TcpStream, UdpSocket};
 use std::os::fd::AsRawFd;

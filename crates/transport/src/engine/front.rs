@@ -7,6 +7,8 @@
 //! "drain until `WouldBlock` on each readable event" and the idle
 //! backstop becomes a lazily-rescheduled wheel timer.
 
+// LOCK ORDER: no locks — front ingress state is owned by the loop thread.
+
 use std::collections::HashSet;
 use std::io;
 use std::net::UdpSocket;

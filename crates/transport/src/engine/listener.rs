@@ -9,6 +9,8 @@
 //! conn slot is settled — two slots are never borrowed at once, so no
 //! shared state (and no lock) connects them.
 
+// LOCK ORDER: no locks — the acceptor owns its sockets; results travel by channel.
+
 use std::collections::HashSet;
 use std::io::{self, Read};
 use std::net::{TcpListener, TcpStream};

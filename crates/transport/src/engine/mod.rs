@@ -33,6 +33,8 @@
 //! held across a poll. Cross-thread state is atomic counters and the
 //! submit queue only.
 
+// LOCK ORDER: no locks — engine selection is plain data; handles hold channels.
+
 mod back;
 mod counters;
 mod event_loop;

@@ -774,8 +774,12 @@ fn frame_with(
         out.truncate(start);
         return Err(WireError::FrameTooLarge { declared: payload_len });
     }
+    // analyze: allow(hot-path): this function appended the HEADER_LEN placeholder
+    // analyze: allow(hot-path): bytes at `start` itself, so the payload slice and
     let checksum = fnv1a(&out[payload_start..]);
+    // analyze: allow(hot-path): both four-byte header windows stay in bounds
     out[start + 1..start + 5].copy_from_slice(&(payload_len as u32).to_be_bytes());
+    // analyze: allow(hot-path): second half of the header backpatched above
     out[start + 5..start + 9].copy_from_slice(&checksum.to_be_bytes());
     Ok(())
 }
@@ -908,6 +912,7 @@ impl FrameBuf {
 
     /// The unconsumed bytes.
     fn pending(&self) -> &[u8] {
+        // analyze: allow(hot-path): head <= buf.len() is this type's invariant
         &self.buf[self.head..]
     }
 
@@ -981,6 +986,7 @@ pub fn decode(buf: &mut FrameBuf) -> Result<Option<Message>, WireError> {
         return Ok(None);
     }
     let (header, rest) = buf.pending().split_at(HEADER_LEN);
+    // analyze: allow(hot-path): the guard above returns unless len >= HEADER_LEN + declared
     let msg = parse_payload(codec, header, &rest[..declared])?;
     buf.consume(HEADER_LEN + declared);
     Ok(Some(msg))

@@ -1,0 +1,561 @@
+//! A dependency-free lexer for the subset of Rust this workspace uses.
+//!
+//! The old `cargo xtask lint` matched needles against a
+//! comment/string-*stripped* text, which made every rule a heuristic:
+//! the stripper mis-lexed raw strings (`r#"..."#` terminated at the
+//! first interior `"`), word boundaries were hand-rolled, and scopes
+//! (`#[cfg(test)]`, `unsafe { .. }`, use-trees) were invisible. This
+//! lexer is the real front line of `cargo xtask analyze`: it produces
+//! a token stream (identifiers, lifetimes, literals, multi-character
+//! punctuation) with line numbers, and keeps comments *separately* —
+//! the `LOCK ORDER:` / `SAFETY:` annotations the passes cross-check
+//! are comments, so they must survive lexing instead of being blanked.
+//!
+//! Guarantees (fuzzed in `xtask/tests/fuzz.rs`):
+//! * never panics, on any input;
+//! * always terminates (every loop consumes at least one byte);
+//! * preserves line numbers exactly (tokens and comments both).
+
+/// What a token is. Keywords are [`TokenKind::Ident`]s — the parser
+/// decides what is a keyword, the lexer does not care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `fn`, `unsafe`, `r#match`).
+    Ident,
+    /// Lifetime (`'a`, `'static`, `'_`) — *not* a char literal.
+    Lifetime,
+    /// String literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`.
+    Str,
+    /// Char or byte literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Numeric literal, suffix included: `1`, `0xFF`, `1_000u64`, `1.5e3`.
+    Num,
+    /// Punctuation. Multi-byte operators that matter to the parser are
+    /// fused (`::`, `->`, `=>`, `..`, `..=`, `==`, `<=`, `&&`, …).
+    Punct,
+}
+
+/// One token: kind, exact source text, 1-based line of its first byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: usize,
+}
+
+/// One comment, kept verbatim (marker included) with its start line.
+/// Multi-line block comments carry their whole span text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub text: String,
+    pub line: usize,
+}
+
+/// The lexer's output: code tokens and comments, both line-stamped.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// All comments whose span covers lines in `[lo, hi]` (1-based,
+    /// inclusive) — the annotation passes' lookup primitive.
+    pub fn comments_between(&self, lo: usize, hi: usize) -> impl Iterator<Item = &Comment> {
+        self.comments.iter().filter(move |c| {
+            let span = c.text.lines().count().max(1);
+            let last = c.line + span - 1;
+            c.line <= hi && last >= lo
+        })
+    }
+}
+
+/// Punctuation sequences fused into one token, longest first. `<<` and
+/// `>>` stay split so `Vec<Vec<u8>>` closes two angle scopes.
+const FUSED: &[&str] = &[
+    "...", "..=", "::", "->", "=>", "..", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=",
+    "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Tokenizes `src`. Malformed input (unterminated strings, stray
+/// bytes) never fails: the offending span is consumed as best-effort
+/// tokens and lexing continues — the parser treats the result like any
+/// other token soup.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0;
+    let mut line = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment { text: lossy(&b[start..i]), line });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Nested block comments, properly depth-counted (the
+                // old stripper got this right; the old *tests* never
+                // covered a `/* /* */ */` containing a needle).
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment { text: lossy(&b[start..i]), line: start_line });
+            }
+            b'"' => {
+                let (end, newlines) = scan_string(b, i, false);
+                out.tokens.push(Token { kind: TokenKind::Str, text: lossy(&b[i..end]), line });
+                line += newlines;
+                i = end;
+            }
+            b'\'' => {
+                let (tok, end) = scan_quote(b, i, line);
+                out.tokens.push(tok);
+                i = end;
+            }
+            _ if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                let ident = &b[start..i];
+                // String/char prefixes: r"", r#"", b"", b'', br"", br#"".
+                let next = b.get(i).copied();
+                let raw_start = matches!(next, Some(b'"') | Some(b'#'));
+                match ident {
+                    b"r" | b"br" | b"rb" if raw_start => {
+                        let (end, newlines) = scan_raw_string(b, i);
+                        if end > i {
+                            out.tokens.push(Token {
+                                kind: TokenKind::Str,
+                                text: lossy(&b[start..end]),
+                                line,
+                            });
+                            line += newlines;
+                            i = end;
+                            continue;
+                        }
+                        // `r#ident` (raw identifier) or stray `#`:
+                        // fall through, emit `r` as an ident.
+                        out.tokens.push(Token { kind: TokenKind::Ident, text: lossy(ident), line });
+                    }
+                    b"b" if next == Some(b'"') => {
+                        let (end, newlines) = scan_string(b, i, false);
+                        out.tokens.push(Token {
+                            kind: TokenKind::Str,
+                            text: lossy(&b[start..end]),
+                            line,
+                        });
+                        line += newlines;
+                        i = end;
+                    }
+                    b"b" if next == Some(b'\'') => {
+                        let (tok, end) = scan_quote(b, i, line);
+                        out.tokens.push(Token {
+                            kind: tok.kind,
+                            text: lossy(&b[start..end]),
+                            line,
+                        });
+                        i = end;
+                    }
+                    _ => {
+                        out.tokens.push(Token { kind: TokenKind::Ident, text: lossy(ident), line })
+                    }
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                i = scan_number(b, i);
+                out.tokens.push(Token { kind: TokenKind::Num, text: lossy(&b[start..i]), line });
+            }
+            _ => {
+                // Punctuation (or a stray non-ASCII byte, consumed as
+                // one opaque punct so lexing always advances).
+                let rest = &b[i..];
+                let fused = FUSED.iter().find(|op| rest.starts_with(op.as_bytes()));
+                let len = match fused {
+                    Some(op) => op.len(),
+                    None => utf8_len(c),
+                };
+                let end = (i + len).min(b.len());
+                out.tokens.push(Token { kind: TokenKind::Punct, text: lossy(&b[i..end]), line });
+                i = end;
+            }
+        }
+    }
+    out
+}
+
+fn lossy(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Scans a `"…"` string starting at the opening quote (or at the
+/// prefix-less quote of `b"…"`). Returns (end index past the closing
+/// quote, newline count). Unterminated strings end at EOF.
+fn scan_string(b: &[u8], start: usize, _raw: bool) -> (usize, usize) {
+    let mut i = start + 1;
+    let mut newlines = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i = (i + 2).min(b.len()),
+            b'"' => return (i + 1, newlines),
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, newlines)
+}
+
+/// Scans a raw string starting at the byte after the `r`/`br` prefix
+/// (so at `#` or `"`). Returns (end index, newlines), or (start, 0) if
+/// this is not actually a raw string (e.g. `r#match` raw identifiers).
+///
+/// This is the fix for the old stripper's raw-string bug: the closing
+/// delimiter is a `"` followed by *exactly as many* `#` as the opener,
+/// so `r#"say "hi"#` and `r##"a "#" b"##` lex as single literals.
+fn scan_raw_string(b: &[u8], start: usize) -> (usize, usize) {
+    let mut i = start;
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) != Some(&b'"') {
+        return (start, 0); // raw identifier (`r#match`), not a string
+    }
+    i += 1;
+    let mut newlines = 0;
+    while i < b.len() {
+        if b[i] == b'"'
+            && b[i + 1..].len() >= hashes
+            && b[i + 1..i + 1 + hashes].iter().all(|&h| h == b'#')
+        {
+            return (i + 1 + hashes, newlines);
+        }
+        if b[i] == b'\n' {
+            newlines += 1;
+        }
+        i += 1;
+    }
+    (i, newlines)
+}
+
+/// Scans from a `'`: either a char literal (`'x'`, `'\n'`, `'\u{1F}'`)
+/// or a lifetime (`'a`, `'static`, `'_`). Returns the token and the
+/// end index.
+fn scan_quote(b: &[u8], start: usize, line: usize) -> (Token, usize) {
+    let mut i = start + 1;
+    match b.get(i) {
+        Some(b'\\') => {
+            // Escaped char literal: consume to the closing quote
+            // (bounded — escapes are at most `\u{10FFFF}` long).
+            i += 2;
+            let limit = (start + 12).min(b.len());
+            while i < limit && b.get(i) != Some(&b'\'') {
+                i += 1;
+            }
+            let end = if b.get(i) == Some(&b'\'') { i + 1 } else { i };
+            (Token { kind: TokenKind::Char, text: lossy(&b[start..end]), line }, end)
+        }
+        Some(&c) if c == b'_' || c.is_ascii_alphabetic() => {
+            // `'x'` is a char; `'x` followed by more ident chars or
+            // anything but `'` is a lifetime.
+            let mut j = i + 1;
+            while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                j += 1;
+            }
+            if j == i + 1 && b.get(j) == Some(&b'\'') {
+                (Token { kind: TokenKind::Char, text: lossy(&b[start..j + 1]), line }, j + 1)
+            } else {
+                (Token { kind: TokenKind::Lifetime, text: lossy(&b[start..j]), line }, j)
+            }
+        }
+        Some(_) => {
+            // `'('` style char literal of one non-ident byte.
+            let close = (i + 1 < b.len() && b[i + 1] == b'\'').then_some(i + 2);
+            match close {
+                Some(end) => {
+                    (Token { kind: TokenKind::Char, text: lossy(&b[start..end]), line }, end)
+                }
+                None => (Token { kind: TokenKind::Punct, text: "'".to_string(), line }, i),
+            }
+        }
+        None => (Token { kind: TokenKind::Punct, text: "'".to_string(), line }, i),
+    }
+}
+
+/// Scans a numeric literal: integer/float bodies, `_` separators,
+/// `0x`/`0o`/`0b` radices, exponents, type suffixes. A `.` is part of
+/// the number only when followed by a digit (so `1..2` and `x.0` lex
+/// as range / tuple-field punctuation, not malformed floats).
+fn scan_number(b: &[u8], start: usize) -> usize {
+    let mut i = start;
+    let radix_alpha = i + 1 < b.len()
+        && b[i] == b'0'
+        && matches!(b[i + 1], b'x' | b'X' | b'o' | b'O' | b'b' | b'B');
+    if radix_alpha {
+        i += 2;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+        return i.max(start + 1);
+    }
+    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+        i += 1;
+        while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+            i += 1;
+        }
+    }
+    if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+        let mut j = i + 1;
+        if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+            j += 1;
+        }
+        if j < b.len() && b[j].is_ascii_digit() {
+            i = j;
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Type suffix (`u64`, `f32`, `usize`).
+    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+        i += 1;
+    }
+    i.max(start + 1)
+}
+
+/// Reconstructs the comment/string-stripped view of `src` the old lint
+/// matched against — retained because it makes the raw-string fix
+/// directly testable against the old stripper's failure cases, and as
+/// a migration aid for out-of-tree tooling. Comments and literal
+/// contents become spaces; newlines survive so line numbers stay true.
+pub fn strip_comments_and_strings(src: &str) -> String {
+    let lexed = lex(src);
+    let mut out: Vec<String> = src.lines().map(|l| " ".repeat(l.len())).collect();
+    if src.is_empty() {
+        return String::new();
+    }
+    let mut emit = |line: usize, text: &str| {
+        // Re-place token text at the first unused span on its line.
+        // Column positions are not tracked, so this is *shape*
+        // preserving (line + order), which is all the tests need.
+        if let Some(slot) = out.get_mut(line - 1) {
+            let used = slot.trim_end().len();
+            let pad = if used == 0 { 0 } else { used + 1 };
+            let mut s = slot[..pad.min(slot.len())].to_string();
+            if pad > s.len() {
+                s.push(' ');
+            }
+            s.push_str(text);
+            *slot = s;
+        }
+    };
+    for tok in &lexed.tokens {
+        match tok.kind {
+            TokenKind::Str => emit(tok.line, "\"\""),
+            TokenKind::Char => emit(tok.line, "''"),
+            _ => emit(tok.line, &tok.text.replace('\n', " ")),
+        }
+    }
+    out.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_punct() {
+        assert_eq!(
+            texts("fn f(x: u32) -> u32 { x + 1 }"),
+            ["fn", "f", "(", "x", ":", "u32", ")", "->", "u32", "{", "x", "+", "1", "}"]
+        );
+    }
+
+    #[test]
+    fn fused_punctuation_keeps_assignment_unambiguous() {
+        assert_eq!(
+            texts("a == b <= c => d != e"),
+            ["a", "==", "b", "<=", "c", "=>", "d", "!=", "e"]
+        );
+        assert_eq!(texts("x += 1; y = 2"), ["x", "+=", "1", ";", "y", "=", "2"]);
+        // `>>` stays split so nested generics close one level at a time.
+        assert_eq!(texts("Vec<Vec<u8>>"), ["Vec", "<", "Vec", "<", "u8", ">", ">"]);
+    }
+
+    // -- the raw-string regression suite (the old stripper's bug) -----
+
+    #[test]
+    fn raw_string_with_interior_quote_is_one_token() {
+        // The old stripper terminated at `"hi` and leaked `.unwrap()`
+        // into the matched text.
+        let src = r##"let s = r#"say "hi".unwrap()"# ; s.len()"##;
+        let toks = kinds(src);
+        assert_eq!(toks[3].0, TokenKind::Str);
+        assert!(toks[3].1.contains("unwrap"), "literal text stays inside the token");
+        assert_eq!(toks[4].1, ";");
+        let stripped = strip_comments_and_strings(src);
+        assert!(!stripped.contains("unwrap"), "stripped view must not leak literal contents");
+    }
+
+    #[test]
+    fn raw_string_hash_counts_must_match() {
+        let src = "r##\"a \"# b\"## + r\"plain\" + r#\"q\"#";
+        let toks = kinds(src);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 3, "{toks:?}");
+        assert_eq!(strs[0].1, "r##\"a \"# b\"##");
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        assert_eq!(texts("r#match"), ["r", "#", "match"]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r##"b"bytes" b'x' br#"raw"#"##);
+        assert_eq!(toks[0], (TokenKind::Str, "b\"bytes\"".to_string()));
+        assert_eq!(toks[1], (TokenKind::Char, "b'x'".to_string()));
+        assert_eq!(toks[2].0, TokenKind::Str);
+    }
+
+    // -- nested block comments (the other old-stripper hazard) --------
+
+    #[test]
+    fn nested_block_comments_stay_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        assert_eq!(texts(src), ["a", "b"]);
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn block_comment_lines_advance_line_numbers() {
+        let src = "/* one\ntwo\nthree */ fn f() {}\nlet x = 1;";
+        let lexed = lex(src);
+        assert_eq!(lexed.tokens[0], Token { kind: TokenKind::Ident, text: "fn".into(), line: 3 });
+        let let_tok = lexed.tokens.iter().find(|t| t.text == "let").expect("let token");
+        assert_eq!(let_tok.line, 4);
+    }
+
+    #[test]
+    fn multiline_strings_advance_line_numbers() {
+        let src = "let s = \"a\nb\nc\";\nfn g() {}";
+        let lexed = lex(src);
+        let f = lexed.tokens.iter().find(|t| t.text == "fn").expect("fn token");
+        assert_eq!(f.line, 4);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'q'; let nl = '\\n'; let u = '_'; }");
+        let lifes: Vec<_> =
+            toks.iter().filter(|t| t.0 == TokenKind::Lifetime).map(|t| t.1.clone()).collect();
+        assert_eq!(lifes, ["'a", "'a"]);
+        let chars: Vec<_> =
+            toks.iter().filter(|t| t.0 == TokenKind::Char).map(|t| t.1.clone()).collect();
+        assert_eq!(chars, ["'q'", "'\\n'", "'_'"]);
+        assert_eq!(kinds("'static")[0].0, TokenKind::Lifetime);
+    }
+
+    #[test]
+    fn numbers_with_radix_suffix_and_ranges() {
+        assert_eq!(
+            texts("0xFFu8 1_000 1.5e-3f64 1..2 x.0"),
+            ["0xFFu8", "1_000", "1.5e-3f64", "1", "..", "2", "x", ".", "0"]
+        );
+    }
+
+    #[test]
+    fn comments_are_kept_with_their_lines() {
+        let src = "// LOCK ORDER: a -> b\nfn f() {} // trailing SAFETY: no\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[0].text.contains("LOCK ORDER"));
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn comments_between_covers_block_spans() {
+        let src = "/* SAFETY:\nspans\nlines */\nunsafe {}";
+        let lexed = lex(src);
+        assert!(lexed.comments_between(3, 3).any(|c| c.text.contains("SAFETY")));
+        assert!(lexed.comments_between(4, 4).next().is_none());
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"unterminated", "r#\"open", "/* open", "'", "b\"", "r###", "0x", "1e"] {
+            let _ = lex(src);
+            let _ = strip_comments_and_strings(src);
+        }
+    }
+
+    #[test]
+    fn stripping_never_leaks_literal_or_comment_text() {
+        let src = concat!(
+            "//! use std::sync::Arc; parking_lot too\n",
+            "// std::thread::spawn in prose\n",
+            "fn f() { let _ = \"std::sync::Mutex .unwrap() unsafe\"; }\n",
+            "/* unsafe { } crossbeam_channel */\n",
+            "let r = r#\".unwrap() in raw\"#;\n",
+        );
+        let stripped = strip_comments_and_strings(src);
+        assert!(!stripped.contains("unwrap"), "{stripped}");
+        assert!(!stripped.contains("std::sync"), "{stripped}");
+        assert!(!stripped.contains("crossbeam"), "{stripped}");
+        assert!(stripped.contains("fn f"), "{stripped}");
+        assert_eq!(stripped.lines().count(), src.lines().count(), "line structure preserved");
+    }
+}

@@ -1,0 +1,15 @@
+//! Workspace automation tasks (`cargo xtask …`).
+//!
+//! The crate is dependency-free by design: everything here builds with
+//! `std` alone so the analyzer can run in hermetic environments (no
+//! registry access) and stays fast enough to gate CI.
+
+pub mod analyze;
+pub mod ast;
+pub mod chaos;
+pub mod json;
+pub mod lexer;
+pub mod lock_order;
+pub mod parser;
+pub mod passes;
+pub mod topology;

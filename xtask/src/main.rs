@@ -1,1019 +1,116 @@
-//! `cargo xtask lint` — the repository's custom static-analysis pass —
+//! `cargo xtask analyze` — the repository's AST-level static analyzer —
 //! plus `cargo xtask assert-chaos <report.json>`, the CI-side schema
 //! and invariant check over the chaos gauntlet's JSON report.
 //!
-//! Five rules, all of them invariants the compiler cannot express:
+//! The analyzer lexes and parses every source file (xtask/src/lexer.rs,
+//! xtask/src/parser.rs — dependency-free, std only) and runs six pass
+//! families over the ASTs:
 //!
-//! 1. **Shim discipline** (`shim`): no `std::sync::*`, `std::thread`,
-//!    `crossbeam_channel` or `parking_lot` references in
-//!    `crates/runtime/src` or `crates/transport/src` — every
-//!    concurrency primitive must come through `rcm_sync`, so the whole
-//!    runtime (transport included: the loom job compiles it as a
-//!    runtime dependency) stays model-checkable under `--cfg loom`.
-//!    `std::net` is deliberately *not* banned: sockets are the
-//!    transport crate's whole job and loom has no model for them.
+//! 1. **Shim discipline** (`shim`): no `std::sync`, `std::thread`,
+//!    `crossbeam_channel` or `parking_lot` reachable from
+//!    `crates/runtime/src` or `crates/transport/src` — resolved from
+//!    real `use` trees and path expressions, so the whole runtime
+//!    stays model-checkable under `--cfg loom`.
 //! 2. **Hot-path panic freedom** (`hot-path`): no `.unwrap()` /
-//!    `.expect(` in the evaluator, registry, history or `ad/*` modules
-//!    of `rcm-core`, nor in the transport's wire codec and batch
-//!    policy ([`TRANSPORT_HOT_PATH`] — they run per frame on every
-//!    link), outside their `#[cfg(test)]` tails — a poisoned alert or
-//!    malformed frame must surface as a value, not a node crash. The
-//!    runtime and transport crates additionally ban `.unwrap()`
-//!    everywhere (use `.expect` with a message).
-//! 3. **Unsafe allowlist** (`unsafe`): the `unsafe` keyword may appear
-//!    only in the audited files listed in [`UNSAFE_ALLOWLIST`]; new
-//!    unsafe code requires updating the allowlist in the same PR, which
-//!    makes it reviewable.
-//! 4. **Lock-order annotations** (`lock-order`): every runtime source
-//!    file that takes a `Mutex` must carry a `LOCK ORDER:` comment
-//!    stating its ordering discipline, so deadlock reasoning is local.
-//! 5. **Event-loop discipline** (`event-loop`): nothing under
-//!    `crates/transport/src/engine/` may block the loop thread — no
-//!    blocking connects, no socket timeouts, no `thread::sleep`, no
-//!    locks, no `write_all`/`read_exact` retry loops. Deadlines belong
-//!    on the timer wheel; partial I/O parks as a state-machine
-//!    continuation; cross-thread state is atomics plus the submit
-//!    queue ([`ENGINE_NEEDLES`]).
+//!    `.expect(` / unchecked slice indexing / unproven division on the
+//!    per-update and per-frame hot paths, with real `#[cfg(test)]`
+//!    scope tracking instead of the old "everything after the first
+//!    test attribute" heuristic.
+//! 3. **Unsafe audit** (`unsafe`): the `unsafe` keyword may appear only
+//!    in allowlisted files, and every occurrence there must carry a
+//!    `SAFETY:` comment within the preceding few lines.
+//! 4. **Event-loop discipline** (`event-loop`): nothing under
+//!    `crates/transport/src/engine/` may block the loop thread —
+//!    detected at call-expression level, not by substring.
+//! 5. **Lock order** (`lock-order`): every file that takes a `Mutex`
+//!    declares its discipline in a `LOCK ORDER:` comment; nested
+//!    guard scopes are traced to a lock acquisition graph, which must
+//!    match the declarations and stay acyclic across the workspace.
+//! 6. **Concurrency topology** (`topology`): the spawn/channel/ring
+//!    graph is extracted to `TOPOLOGY.json`; bounded handoffs must
+//!    have a shed/backpressure path and be loom-modeled, and the
+//!    committed artifact must not drift.
 //!
-//! Comments and string literals are stripped before matching, so prose
-//! and panic messages never trip a rule. The scanner is deliberately
-//! line-oriented and dependency-free: it must run in seconds on CI and
-//! build with nothing but std.
+//! `cargo xtask lint` remains as a deprecated alias so stale CI
+//! configs and muscle memory keep working.
 
-use std::fmt;
-use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Files allowed to contain the `unsafe` keyword, with the reason.
-/// Adding a file here is a reviewable act: do it in the PR that adds
-/// the unsafe code, alongside its `// SAFETY:` comments.
-const UNSAFE_ALLOWLIST: &[(&str, &str)] = &[
-    ("crates/core/src/inline.rs", "MaybeUninit small-vector storage; SAFETY-audited, Miri-covered"),
-    (
-        "crates/poll/src/sys.rs",
-        "raw epoll/kqueue/poll/fcntl syscalls behind safe wrappers; the \
-         crate root stays deny(unsafe_code)",
-    ),
-];
-
-/// rcm-core modules on the alert hot path (panic-free zone).
-const HOT_PATH: &[&str] =
-    &["crates/core/src/evaluator.rs", "crates/core/src/registry.rs", "crates/core/src/history.rs"];
-
-/// Transport modules on the wire hot path: the codec runs per frame on
-/// every link, so it counts malformed input and encode failures
-/// instead of panicking. Same rule as [`HOT_PATH`].
-const TRANSPORT_HOT_PATH: &[&str] =
-    &["crates/transport/src/wire.rs", "crates/transport/src/batch.rs"];
-
-/// Evaluation-pipeline modules on the per-update hot path: the worker
-/// rings, the dispatcher/sequencer, and the latency histogram's
-/// allocation-free record path all run once per admitted update, so a
-/// panic there kills a shard worker mid-stream. Same rule as
-/// [`HOT_PATH`].
-const PIPELINE_HOT_PATH: &[&str] =
-    &["crates/runtime/src/pipeline.rs", "crates/sync/src/spsc.rs", "crates/core/src/latency.rs"];
-
-const RUNTIME_SRC: &str = "crates/runtime/src";
-
-/// The socket transport obeys the same shim discipline as the runtime:
-/// it is compiled under `--cfg loom` as an `rcm-runtime` dependency, so
-/// any direct `std::sync`/`std::thread` use would silently escape the
-/// model checker.
-const TRANSPORT_SRC: &str = "crates/transport/src";
-
-/// The evented engine's home: one readiness loop that must never
-/// block. Everything here runs on the loop thread, so one blocking
-/// call stalls every link in the process.
-const ENGINE_SRC: &str = "crates/transport/src/engine/";
-
-/// Constructs that block (or hide blocking) a readiness loop, with the
-/// non-blocking idiom each must use instead.
-const ENGINE_NEEDLES: &[(&str, &str)] = &[
-    ("TcpStream::connect(", "blocking connect; use rcm_poll::sys::connect_nonblocking"),
-    ("connect_timeout(", "blocking connect; use rcm_poll::sys::connect_nonblocking"),
-    (".set_read_timeout(", "socket timeouts block; deadlines belong on the timer wheel"),
-    (".set_write_timeout(", "socket timeouts block; deadlines belong on the timer wheel"),
-    ("thread::sleep(", "a sleeping loop thread stalls every link; park a wheel timer"),
-    (".lock()", "no locks on the loop; cross-thread state is atomics + the submit queue"),
-    ("write_all(", "a blocking write loop; park the remainder as a continuation state"),
-    ("read_exact(", "a blocking read loop; buffer the partial frame in the source"),
-];
-
-#[derive(Debug)]
-struct Violation {
-    file: String,
-    line: usize,
-    rule: &'static str,
-    message: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
-    }
-}
+use xtask::analyze;
+use xtask::chaos;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") | None => lint(),
+        Some("analyze") | None => run_analyze(&args[args.len().min(1)..]),
+        Some("lint") => {
+            eprintln!("note: `xtask lint` is deprecated; use `xtask analyze`");
+            run_analyze(&args[1..])
+        }
         Some("assert-chaos") => match args.get(1) {
-            Some(path) => assert_chaos(Path::new(path)),
+            Some(path) => chaos::assert_chaos(Path::new(path)),
             None => {
                 eprintln!("usage: cargo xtask assert-chaos <chaos.json>");
                 ExitCode::from(2)
             }
         },
         Some(other) => {
-            eprintln!("unknown xtask `{other}`; available: lint, assert-chaos");
+            eprintln!("unknown xtask `{other}`; available: analyze, assert-chaos");
             ExitCode::from(2)
         }
     }
 }
 
-fn lint() -> ExitCode {
-    // xtask lives at <repo>/xtask, so the repo root is one level up.
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .parent()
-        .expect("xtask sits inside the repository")
-        .to_path_buf();
-    let violations = run_all_rules(&root);
-    if violations.is_empty() {
-        println!("xtask lint: clean");
+fn run_analyze(args: &[String]) -> ExitCode {
+    let mut write_topology = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--write-topology" => write_topology = true,
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown analyze flag `{other}`; available: --write-topology, --root");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // xtask lives at <repo>/xtask, so the repo root is one level up;
+    // `--root` exists for the self-tests and the tamper-rejection CI
+    // step, which analyze synthetic trees.
+    let root = root.unwrap_or_else(|| {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .expect("xtask sits inside the repository")
+            .to_path_buf()
+    });
+
+    let mut report = analyze::analyze_tree(&root);
+    if write_topology {
+        if let Err(e) = std::fs::write(root.join(analyze::TOPOLOGY_PATH), &report.topology) {
+            eprintln!("cannot write {}: {e}", analyze::TOPOLOGY_PATH);
+            return ExitCode::from(2);
+        }
+        println!("xtask analyze: wrote {}", analyze::TOPOLOGY_PATH);
+    } else if let Some(drift) = analyze::check_topology_drift(&root, &report.topology) {
+        report.violations.push(drift);
+    }
+
+    if report.violations.is_empty() {
+        println!("xtask analyze: clean ({} files)", report.files_scanned);
         ExitCode::SUCCESS
     } else {
-        for v in &violations {
+        for v in &report.violations {
             eprintln!("{v}");
         }
-        eprintln!("xtask lint: {} violation(s)", violations.len());
+        eprintln!("xtask analyze: {} violation(s)", report.violations.len());
         ExitCode::FAILURE
-    }
-}
-
-fn run_all_rules(root: &Path) -> Vec<Violation> {
-    let mut violations = Vec::new();
-    for file in rust_files(&root.join("crates")) {
-        let rel = file
-            .strip_prefix(root)
-            .expect("walked file is under the root")
-            .to_string_lossy()
-            .replace('\\', "/");
-        let raw = match fs::read_to_string(&file) {
-            Ok(s) => s,
-            Err(e) => {
-                violations.push(Violation {
-                    file: rel,
-                    line: 0,
-                    rule: "io",
-                    message: format!("unreadable: {e}"),
-                });
-                continue;
-            }
-        };
-        let stripped = strip_comments_and_strings(&raw);
-        violations.extend(check_file(&rel, &raw, &stripped));
-    }
-    violations
-}
-
-/// Every rule, applied to one file. Code rules match against the
-/// comment/string-stripped text; the lock-order rule looks for its
-/// annotation in the raw text (the annotation *is* a comment).
-/// Separated from I/O so the negative tests below can feed synthetic
-/// sources straight in.
-fn check_file(rel: &str, raw: &str, stripped: &str) -> Vec<Violation> {
-    let mut out = Vec::new();
-    let in_runtime = rel.starts_with(RUNTIME_SRC) || rel.starts_with(TRANSPORT_SRC);
-    let hot_path = HOT_PATH.contains(&rel)
-        || TRANSPORT_HOT_PATH.contains(&rel)
-        || PIPELINE_HOT_PATH.contains(&rel)
-        || rel.starts_with("crates/core/src/ad/");
-
-    if in_runtime {
-        for (idx, line) in stripped.lines().enumerate() {
-            for needle in ["std::sync::", "std::thread", "crossbeam_channel", "parking_lot"] {
-                if line.contains(needle) {
-                    out.push(Violation {
-                        file: rel.to_string(),
-                        line: idx + 1,
-                        rule: "shim",
-                        message: format!("`{needle}` bypasses rcm_sync; import the shim instead"),
-                    });
-                }
-            }
-            if line.contains(".unwrap()") {
-                out.push(Violation {
-                    file: rel.to_string(),
-                    line: idx + 1,
-                    rule: "hot-path",
-                    message: "`.unwrap()` in the runtime; use `.expect(\"why\")`".to_string(),
-                });
-            }
-        }
-        if stripped.contains(".lock()") && !raw.contains("LOCK ORDER:") {
-            out.push(Violation {
-                file: rel.to_string(),
-                line: 1,
-                rule: "lock-order",
-                message: "file takes a Mutex but has no `LOCK ORDER:` comment".to_string(),
-            });
-        }
-    }
-
-    if rel.starts_with(ENGINE_SRC) {
-        for (idx, line) in stripped.lines().enumerate() {
-            for &(needle, why) in ENGINE_NEEDLES {
-                if line.contains(needle) {
-                    out.push(Violation {
-                        file: rel.to_string(),
-                        line: idx + 1,
-                        rule: "event-loop",
-                        message: format!("`{needle}` — {why}"),
-                    });
-                }
-            }
-        }
-    }
-
-    if hot_path {
-        // Repo convention: the `#[cfg(test)] mod tests` block is the
-        // file's tail, so everything after the first `#[cfg(test)]` is
-        // test code and exempt.
-        for (idx, line) in stripped.lines().enumerate() {
-            // Both spellings of the test-module gate: plain and the
-            // loom-aware `#[cfg(all(test, not(loom)))]`.
-            if line.contains("#[cfg(test)]") || line.contains("#[cfg(all(test") {
-                break;
-            }
-            for needle in [".unwrap()", ".expect("] {
-                if line.contains(needle) {
-                    out.push(Violation {
-                        file: rel.to_string(),
-                        line: idx + 1,
-                        rule: "hot-path",
-                        message: format!(
-                            "`{needle}` on the alert hot path; return the error or assert the \
-                             invariant explicitly"
-                        ),
-                    });
-                }
-            }
-        }
-    }
-
-    if !UNSAFE_ALLOWLIST.iter().any(|&(allowed, _)| allowed == rel) {
-        for (idx, line) in stripped.lines().enumerate() {
-            if contains_word(line, "unsafe") {
-                out.push(Violation {
-                    file: rel.to_string(),
-                    line: idx + 1,
-                    rule: "unsafe",
-                    message: "`unsafe` outside the audited allowlist (see xtask/src/main.rs)"
-                        .to_string(),
-                });
-            }
-        }
-    }
-
-    out
-}
-
-/// Whether `word` occurs in `line` with non-identifier characters (or
-/// the line boundary) on both sides — so `unsafe_code` in a lint
-/// attribute does not count as the keyword `unsafe`.
-fn contains_word(line: &str, word: &str) -> bool {
-    let bytes = line.as_bytes();
-    let is_ident = |b: u8| b == b'_' || b.is_ascii_alphanumeric();
-    let mut start = 0;
-    while let Some(pos) = line[start..].find(word) {
-        let begin = start + pos;
-        let end = begin + word.len();
-        let ok_before = begin == 0 || !is_ident(bytes[begin - 1]);
-        let ok_after = end == bytes.len() || !is_ident(bytes[end]);
-        if ok_before && ok_after {
-            return true;
-        }
-        start = begin + 1;
-    }
-    false
-}
-
-/// Recursively collects `.rs` files, sorted for stable output.
-fn rust_files(dir: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let entries = match fs::read_dir(dir) {
-        Ok(e) => e,
-        Err(_) => return out,
-    };
-    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
-    paths.sort();
-    for path in paths {
-        if path.is_dir() {
-            // `target/` never lives inside crates/, but guard anyway.
-            if path.file_name().is_some_and(|n| n == "target") {
-                continue;
-            }
-            out.extend(rust_files(&path));
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    out
-}
-
-/// Replaces comments and string/char-literal contents with spaces,
-/// preserving newlines so violation line numbers stay true.
-fn strip_comments_and_strings(src: &str) -> String {
-    let bytes = src.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'/' if bytes.get(i + 1) == Some(&b'/') => {
-                while i < bytes.len() && bytes[i] != b'\n' {
-                    out.push(b' ');
-                    i += 1;
-                }
-            }
-            b'/' if bytes.get(i + 1) == Some(&b'*') => {
-                let mut depth = 1;
-                out.extend_from_slice(b"  ");
-                i += 2;
-                while i < bytes.len() && depth > 0 {
-                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
-                        depth += 1;
-                        out.extend_from_slice(b"  ");
-                        i += 2;
-                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
-                        depth -= 1;
-                        out.extend_from_slice(b"  ");
-                        i += 2;
-                    } else {
-                        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
-                        i += 1;
-                    }
-                }
-            }
-            b'"' => {
-                // String literal (raw strings are handled by the same
-                // escape-free walk when prefixed r/r#: the `#` and `r`
-                // pass through harmlessly as normal chars).
-                let raw = i > 0 && (bytes[i - 1] == b'r' || bytes[i - 1] == b'#');
-                out.push(b'"');
-                i += 1;
-                while i < bytes.len() {
-                    if !raw && bytes[i] == b'\\' {
-                        out.extend_from_slice(b"  ");
-                        i += 2;
-                    } else if bytes[i] == b'"' {
-                        out.push(b'"');
-                        i += 1;
-                        break;
-                    } else {
-                        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
-                        i += 1;
-                    }
-                }
-            }
-            b'\'' => {
-                // Char literal vs lifetime: a literal closes within a
-                // few bytes; a lifetime has no closing quote.
-                let close = if bytes.get(i + 1) == Some(&b'\\') {
-                    bytes.get(i + 2).and_then(|_| {
-                        (i + 3..(i + 6).min(bytes.len())).find(|&j| bytes[j] == b'\'')
-                    })
-                } else {
-                    // `'x'` only — `'ab` is a lifetime.
-                    (bytes.get(i + 2) == Some(&b'\'')).then_some(i + 2)
-                };
-                if let Some(end) = close {
-                    out.push(b'\'');
-                    out.resize(out.len() + (end - i - 1), b' ');
-                    out.push(b'\'');
-                    i = end + 1;
-                } else {
-                    out.push(b'\'');
-                    i += 1;
-                }
-            }
-            b => {
-                out.push(b);
-                i += 1;
-            }
-        }
-    }
-    String::from_utf8(out).expect("stripping preserves UTF-8 (non-ASCII only inside spans)")
-}
-
-// ---------------------------------------------------------------------
-// assert-chaos: the CI gate over the chaos gauntlet's JSON report.
-// Replaces the inline Python that used to live in ci.yml, so the
-// assertions are compiled, unit-tested, and versioned with the schema
-// they check.
-// ---------------------------------------------------------------------
-
-fn assert_chaos(path: &Path) -> ExitCode {
-    let raw = match fs::read_to_string(path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("xtask assert-chaos: cannot read {}: {e}", path.display());
-            return ExitCode::from(2);
-        }
-    };
-    let doc = match json::parse(&raw) {
-        Ok(doc) => doc,
-        Err(e) => {
-            eprintln!("xtask assert-chaos: {} is not valid JSON: {e}", path.display());
-            return ExitCode::from(2);
-        }
-    };
-    let problems = check_chaos_report(&doc);
-    if problems.is_empty() {
-        let runs = doc.get("runs").and_then(json::Json::as_arr).map_or(0, <[_]>::len);
-        println!("xtask assert-chaos: schema and invariants hold over {runs} run(s)");
-        ExitCode::SUCCESS
-    } else {
-        for p in &problems {
-            eprintln!("{}: {p}", path.display());
-        }
-        eprintln!("xtask assert-chaos: {} problem(s)", problems.len());
-        ExitCode::FAILURE
-    }
-}
-
-/// Every invariant the chaos report must satisfy. Mirrors what the
-/// simulator promises: per-link transport counters in the totals and
-/// in every run, a socket smoke that matched the in-process pipeline,
-/// and live engine counters proving the evented loop actually ran.
-fn check_chaos_report(doc: &json::Json) -> Vec<String> {
-    use json::Json;
-    let mut out = Vec::new();
-    let num = |obj: &Json, key: &str| obj.get(key).and_then(Json::as_num);
-
-    let Some(totals) = doc.get("totals") else {
-        return vec!["missing `totals` object".to_string()];
-    };
-    for key in [
-        "front_frames_dropped",
-        "backlink_reconnects",
-        "front_frames_sent",
-        "front_updates_sent",
-        "front_bytes_sent",
-        "updates_per_datagram",
-        "engine_wakeups",
-        "engine_timer_fires",
-        "engine_spurious_readiness",
-        "updates_shed",
-        "latency_p50_ns",
-        "latency_p99_ns",
-        "latency_p999_ns",
-    ] {
-        if totals.get(key).is_none() {
-            out.push(format!("totals missing `{key}`"));
-        }
-    }
-    let updates = num(totals, "front_updates_sent").unwrap_or(-1.0);
-    let frames = num(totals, "front_frames_sent").unwrap_or(-1.0);
-    if !(updates >= frames && frames > 0.0) {
-        out.push(format!(
-            "expected front_updates_sent >= front_frames_sent > 0, got {updates} and {frames}"
-        ));
-    }
-    if num(totals, "engine_wakeups").unwrap_or(0.0) <= 0.0 {
-        out.push("engine_wakeups is zero — the evented socket smoke never polled".to_string());
-    }
-    let p50 = num(totals, "latency_p50_ns").unwrap_or(0.0);
-    let p999 = num(totals, "latency_p999_ns").unwrap_or(0.0);
-    if p999 < p50 {
-        out.push(format!("latency percentiles not monotone: p999 {p999} < p50 {p50}"));
-    }
-
-    match doc.get("socket_smoke") {
-        None => out.push("missing `socket_smoke` (evented loopback vs in-process)".to_string()),
-        Some(smoke) => {
-            match smoke.get("violations").and_then(Json::as_arr) {
-                None => out.push("socket_smoke missing `violations` array".to_string()),
-                Some(v) if !v.is_empty() => {
-                    out.push(format!("socket smoke reported {} violation(s)", v.len()));
-                }
-                Some(_) => {}
-            }
-            if smoke.get("transport").is_none() {
-                out.push("socket_smoke missing `transport` report".to_string());
-            }
-        }
-    }
-
-    match doc.get("runs").and_then(Json::as_arr) {
-        None => out.push("missing `runs` array".to_string()),
-        Some([]) => out.push("`runs` is empty".to_string()),
-        Some(runs) => {
-            for (i, run) in runs.iter().enumerate() {
-                let Some(t) = run.get("transport") else {
-                    out.push(format!("run {i}: missing `transport`"));
-                    continue;
-                };
-                for key in ["mode", "front_links", "ingress", "back_links", "ad"] {
-                    if t.get(key).is_none() {
-                        out.push(format!("run {i}: transport missing `{key}`"));
-                    }
-                }
-                match t.get("front_links").and_then(Json::as_arr) {
-                    None | Some([]) => {
-                        out.push(format!("run {i}: drives no front links"));
-                    }
-                    Some(links) => {
-                        // Each entry is a `[dm, ce, stats]` triple.
-                        for link in links {
-                            let stats = link.as_arr().and_then(|triple| triple.get(2));
-                            let complete = ["updates_sent", "bytes_sent"]
-                                .iter()
-                                .all(|k| stats.is_some_and(|s| s.get(k).is_some()));
-                            if !complete {
-                                out.push(format!("run {i}: front link lacks per-link counters"));
-                                break;
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-    out
-}
-
-/// A dependency-free JSON reader — just enough for the chaos report.
-/// xtask builds with nothing but std (it gates CI before any cache is
-/// warm), so pulling serde here is not an option.
-mod json {
-    /// A parsed JSON value. Numbers are `f64` — every counter the
-    /// chaos report carries fits losslessly below 2^53.
-    #[derive(Debug, Clone, PartialEq)]
-    pub enum Json {
-        Null,
-        Bool(bool),
-        Num(f64),
-        Str(String),
-        Arr(Vec<Json>),
-        Obj(Vec<(String, Json)>),
-    }
-
-    impl Json {
-        /// Object field lookup; `None` for non-objects.
-        pub fn get(&self, key: &str) -> Option<&Json> {
-            match self {
-                Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-                _ => None,
-            }
-        }
-
-        pub fn as_num(&self) -> Option<f64> {
-            match self {
-                Json::Num(n) => Some(*n),
-                _ => None,
-            }
-        }
-
-        pub fn as_arr(&self) -> Option<&[Json]> {
-            match self {
-                Json::Arr(items) => Some(items),
-                _ => None,
-            }
-        }
-    }
-
-    /// Parses one JSON document (trailing garbage is an error).
-    pub fn parse(src: &str) -> Result<Json, String> {
-        let mut p = Parser { b: src.as_bytes(), i: 0 };
-        let value = p.value()?;
-        p.skip_ws();
-        if p.i != p.b.len() {
-            return Err(format!("trailing bytes at offset {}", p.i));
-        }
-        Ok(value)
-    }
-
-    struct Parser<'a> {
-        b: &'a [u8],
-        i: usize,
-    }
-
-    impl Parser<'_> {
-        fn skip_ws(&mut self) {
-            while self.b.get(self.i).is_some_and(|b| b" \t\r\n".contains(b)) {
-                self.i += 1;
-            }
-        }
-
-        fn eat(&mut self, byte: u8) -> Result<(), String> {
-            self.skip_ws();
-            if self.b.get(self.i) == Some(&byte) {
-                self.i += 1;
-                Ok(())
-            } else {
-                Err(format!("expected `{}` at offset {}", byte as char, self.i))
-            }
-        }
-
-        fn value(&mut self) -> Result<Json, String> {
-            self.skip_ws();
-            match self.b.get(self.i) {
-                Some(b'{') => self.object(),
-                Some(b'[') => self.array(),
-                Some(b'"') => Ok(Json::Str(self.string()?)),
-                Some(b't') => self.keyword("true", Json::Bool(true)),
-                Some(b'f') => self.keyword("false", Json::Bool(false)),
-                Some(b'n') => self.keyword("null", Json::Null),
-                Some(_) => self.number(),
-                None => Err("unexpected end of input".to_string()),
-            }
-        }
-
-        fn keyword(&mut self, word: &str, value: Json) -> Result<Json, String> {
-            if self.b[self.i..].starts_with(word.as_bytes()) {
-                self.i += word.len();
-                Ok(value)
-            } else {
-                Err(format!("bad keyword at offset {}", self.i))
-            }
-        }
-
-        fn number(&mut self) -> Result<Json, String> {
-            let start = self.i;
-            while self.b.get(self.i).is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(b)) {
-                self.i += 1;
-            }
-            std::str::from_utf8(&self.b[start..self.i])
-                .ok()
-                .and_then(|s| s.parse().ok())
-                .map(Json::Num)
-                .ok_or_else(|| format!("bad number at offset {start}"))
-        }
-
-        fn string(&mut self) -> Result<String, String> {
-            self.eat(b'"')?;
-            let mut out = String::new();
-            loop {
-                match self.b.get(self.i) {
-                    None => return Err("unterminated string".to_string()),
-                    Some(b'"') => {
-                        self.i += 1;
-                        return Ok(out);
-                    }
-                    Some(b'\\') => {
-                        self.i += 1;
-                        match self.b.get(self.i) {
-                            Some(b'n') => out.push('\n'),
-                            Some(b't') => out.push('\t'),
-                            Some(b'r') => out.push('\r'),
-                            Some(b'u') => {
-                                let hex = self
-                                    .b
-                                    .get(self.i + 1..self.i + 5)
-                                    .and_then(|h| std::str::from_utf8(h).ok())
-                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                    .ok_or("bad \\u escape")?;
-                                // Surrogate pairs don't occur in the
-                                // report; map them to U+FFFD.
-                                out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
-                                self.i += 4;
-                            }
-                            Some(&c) => out.push(c as char),
-                            None => return Err("unterminated escape".to_string()),
-                        }
-                        self.i += 1;
-                    }
-                    Some(_) => {
-                        // Consume one UTF-8 scalar, not one byte.
-                        let rest = std::str::from_utf8(&self.b[self.i..])
-                            .map_err(|_| "invalid UTF-8".to_string())?;
-                        let ch = rest.chars().next().expect("non-empty by match arm");
-                        out.push(ch);
-                        self.i += ch.len_utf8();
-                    }
-                }
-            }
-        }
-
-        fn array(&mut self) -> Result<Json, String> {
-            self.eat(b'[')?;
-            let mut items = Vec::new();
-            self.skip_ws();
-            if self.b.get(self.i) == Some(&b']') {
-                self.i += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                items.push(self.value()?);
-                self.skip_ws();
-                match self.b.get(self.i) {
-                    Some(b',') => self.i += 1,
-                    Some(b']') => {
-                        self.i += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    _ => return Err(format!("expected `,` or `]` at offset {}", self.i)),
-                }
-            }
-        }
-
-        fn object(&mut self) -> Result<Json, String> {
-            self.eat(b'{')?;
-            let mut pairs = Vec::new();
-            self.skip_ws();
-            if self.b.get(self.i) == Some(&b'}') {
-                self.i += 1;
-                return Ok(Json::Obj(pairs));
-            }
-            loop {
-                self.skip_ws();
-                let key = self.string()?;
-                self.eat(b':')?;
-                pairs.push((key, self.value()?));
-                self.skip_ws();
-                match self.b.get(self.i) {
-                    Some(b',') => self.i += 1,
-                    Some(b'}') => {
-                        self.i += 1;
-                        return Ok(Json::Obj(pairs));
-                    }
-                    _ => return Err(format!("expected `,` or `}}` at offset {}", self.i)),
-                }
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn check(rel: &str, src: &str) -> Vec<Violation> {
-        check_file(rel, src, &strip_comments_and_strings(src))
-    }
-
-    // ---- negative tests: each rule demonstrably fires --------------
-
-    #[test]
-    fn shim_rule_catches_direct_std_sync() {
-        let bad = "use std::sync::Mutex;\nfn f() { std::thread::spawn(|| {}); }\n";
-        let got = check("crates/runtime/src/evil.rs", bad);
-        assert_eq!(got.iter().filter(|v| v.rule == "shim").count(), 2, "{got:?}");
-    }
-
-    #[test]
-    fn shim_rule_catches_bypassing_the_shim_crates() {
-        let bad = "use crossbeam_channel::unbounded;\nuse parking_lot::Mutex;\n";
-        let got = check("crates/runtime/src/evil.rs", bad);
-        assert_eq!(got.iter().filter(|v| v.rule == "shim").count(), 2);
-    }
-
-    #[test]
-    fn shim_rule_covers_the_transport_crate() {
-        // The transport crate ships real sockets but still may not
-        // bypass rcm_sync: the loom job compiles it too.
-        let bad = "use std::thread;\nfn f(m: &std::sync::Mutex<u8>) { m.lock(); }\n";
-        let got = check("crates/transport/src/evil.rs", bad);
-        assert_eq!(got.iter().filter(|v| v.rule == "shim").count(), 2, "{got:?}");
-        assert!(got.iter().any(|v| v.rule == "lock-order"), "{got:?}");
-        // std::net stays legal there — sockets are the point.
-        let ok = "use std::net::UdpSocket;\nfn f(s: &UdpSocket) { let _ = s; }\n";
-        assert!(check("crates/transport/src/fine.rs", ok).is_empty());
-    }
-
-    #[test]
-    fn runtime_unwrap_is_flagged_even_in_tests() {
-        let bad = "fn f() { Some(1).unwrap(); }\n";
-        let got = check("crates/runtime/src/evil.rs", bad);
-        assert!(got.iter().any(|v| v.rule == "hot-path"), "{got:?}");
-    }
-
-    #[test]
-    fn hot_path_rule_catches_unwrap_and_expect() {
-        let bad = "fn f() { x.unwrap(); }\nfn g() { y.expect(\"oops\"); }\n";
-        for file in ["crates/core/src/registry.rs", "crates/core/src/ad/ad1.rs"] {
-            let got = check(file, bad);
-            assert_eq!(got.iter().filter(|v| v.rule == "hot-path").count(), 2, "{file}");
-        }
-    }
-
-    #[test]
-    fn hot_path_rule_covers_the_wire_codec() {
-        // The frame codec runs per datagram on every link: `.expect(`
-        // is banned outside the test tail, exactly as in rcm-core's
-        // hot-path modules.
-        let bad = "fn f() { y.expect(\"oops\"); }\n";
-        for file in ["crates/transport/src/wire.rs", "crates/transport/src/batch.rs"] {
-            let got = check(file, bad);
-            assert!(got.iter().any(|v| v.rule == "hot-path"), "{file}: {got:?}");
-        }
-        // The links themselves may expect() — only unwrap() is banned
-        // crate-wide.
-        let ok = "fn f() { y.expect(\"socket closed\"); }\n";
-        assert!(check("crates/transport/src/udp.rs", ok).is_empty());
-    }
-
-    #[test]
-    fn hot_path_rule_exempts_the_test_tail() {
-        let ok = "fn f() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
-        assert!(check("crates/core/src/registry.rs", ok).is_empty());
-    }
-
-    #[test]
-    fn hot_path_rule_covers_the_evaluation_pipeline() {
-        // The worker rings, dispatcher/sequencer, and histogram record
-        // path run once per admitted update: `.expect(` is banned
-        // outside the test tail, like every other hot-path module.
-        let bad = "fn f() { y.expect(\"oops\"); }\n";
-        for file in [
-            "crates/runtime/src/pipeline.rs",
-            "crates/sync/src/spsc.rs",
-            "crates/core/src/latency.rs",
-        ] {
-            let got = check(file, bad);
-            assert!(got.iter().any(|v| v.rule == "hot-path"), "{file}: {got:?}");
-        }
-        // The loom-aware test-tail spelling exempts test code too.
-        let ok = "fn f() {}\n#[cfg(all(test, not(loom)))]\nmod tests {\n fn t() { x.expect(\"t\"); }\n}\n";
-        assert!(check("crates/sync/src/spsc.rs", ok).is_empty());
-    }
-
-    #[test]
-    fn pipeline_worker_files_obey_the_shim_discipline() {
-        // A worker or sequencer thread spawned outside rcm_sync would
-        // silently escape the loom model checker.
-        let bad = "fn f() { std::thread::spawn(|| {}); }\n";
-        let got = check("crates/runtime/src/pipeline.rs", bad);
-        assert!(got.iter().any(|v| v.rule == "shim"), "{got:?}");
-    }
-
-    #[test]
-    fn unsafe_rule_catches_new_unsafe() {
-        let bad = "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
-        let got = check("crates/core/src/history.rs", bad);
-        assert!(got.iter().any(|v| v.rule == "unsafe"), "{got:?}");
-    }
-
-    #[test]
-    fn unsafe_rule_honors_the_allowlist() {
-        let audited = "fn f() { unsafe { ptr.read() } }\n";
-        let got = check("crates/core/src/inline.rs", audited);
-        assert!(!got.iter().any(|v| v.rule == "unsafe"));
-    }
-
-    #[test]
-    fn lock_order_rule_requires_the_annotation() {
-        let bad = "fn f(m: &Mutex<u32>) { *m.lock() += 1; }\n";
-        let got = check("crates/runtime/src/evil.rs", bad);
-        assert!(got.iter().any(|v| v.rule == "lock-order"));
-        let ok =
-            "// LOCK ORDER: single lock, never nested.\nfn f(m: &Mutex<u32>) { *m.lock() += 1; }\n";
-        assert!(check("crates/runtime/src/evil.rs", ok).is_empty());
-    }
-
-    #[test]
-    fn event_loop_rule_catches_every_blocking_idiom() {
-        let seeded = [
-            "fn f() { let _ = TcpStream::connect(addr); }\n",
-            "fn f() { let _ = TcpStream::connect_timeout(&addr, d); }\n",
-            "fn f(s: &TcpStream) { s.set_read_timeout(Some(d)); }\n",
-            "fn f(s: &TcpStream) { s.set_write_timeout(Some(d)); }\n",
-            "fn f() { rcm_sync::thread::sleep(d); }\n",
-            "fn f(m: &Mutex<u8>) { m.lock(); }\n",
-            "fn f(s: &mut TcpStream) { s.write_all(&buf); }\n",
-            "fn f(s: &mut TcpStream) { s.read_exact(&mut buf); }\n",
-        ];
-        for bad in seeded {
-            let got = check("crates/transport/src/engine/evil.rs", bad);
-            assert!(got.iter().any(|v| v.rule == "event-loop"), "missed: {bad}");
-        }
-    }
-
-    #[test]
-    fn event_loop_rule_scopes_to_the_engine_directory() {
-        // The threaded reference implementation lives one level up and
-        // blocks on purpose — the rule must not leak onto it.
-        let threaded = "fn f(s: &mut TcpStream) { s.write_all(&buf); }\n";
-        let got = check("crates/transport/src/tcp.rs", threaded);
-        assert!(!got.iter().any(|v| v.rule == "event-loop"), "{got:?}");
-        // And non-blocking engine code sails through.
-        let ok = "fn f(s: &mut TcpStream) { let n = s.write(&buf)?; }\n";
-        assert!(check("crates/transport/src/engine/fine.rs", ok).is_empty());
-    }
-
-    // ---- assert-chaos: the report gate fires on tampered reports ----
-
-    /// A minimal report satisfying every invariant `assert_chaos`
-    /// checks — the tamper tests below each break one field.
-    fn good_report() -> String {
-        r#"{
-          "totals": {
-            "front_frames_dropped": 3, "backlink_reconnects": 1,
-            "front_frames_sent": 10, "front_updates_sent": 20,
-            "front_bytes_sent": 400, "updates_per_datagram": 2.0,
-            "engine_wakeups": 90, "engine_timer_fires": 2,
-            "engine_spurious_readiness": 0,
-            "updates_shed": 0, "latency_p50_ns": 800,
-            "latency_p99_ns": 4000, "latency_p999_ns": 9000
-          },
-          "socket_smoke": { "violations": [], "transport": { "mode": "Sockets" } },
-          "runs": [
-            { "plan": 0, "transport": {
-                "mode": "Sockets", "ingress": [], "back_links": [], "ad": {},
-                "front_links": [[0, 1, { "updates_sent": 20, "bytes_sent": 400 }]]
-            } }
-          ]
-        }"#
-        .to_string()
-    }
-
-    #[test]
-    fn chaos_gate_accepts_a_complete_report() {
-        let doc = json::parse(&good_report()).expect("fixture parses");
-        assert_eq!(check_chaos_report(&doc), Vec::<String>::new());
-    }
-
-    #[test]
-    fn chaos_gate_rejects_tampered_reports() {
-        let tampers = [
-            ("\"engine_wakeups\": 90", "\"engine_wakeups\": 0"),
-            ("\"front_updates_sent\": 20,", ""),
-            ("\"violations\": []", "\"violations\": [\"displayed mismatch\"]"),
-            (
-                "\"front_links\": [[0, 1, { \"updates_sent\": 20, \"bytes_sent\": 400 }]]",
-                "\"front_links\": []",
-            ),
-            ("\"bytes_sent\": 400 }]]", "\"seen\": 400 }]]"),
-            ("\"runs\": [", "\"trials\": ["),
-            ("\"updates_shed\": 0,", ""),
-            ("\"latency_p99_ns\": 4000,", ""),
-            ("\"latency_p999_ns\": 9000", "\"latency_p999_ns\": 10"),
-        ];
-        for (from, to) in tampers {
-            let tampered = good_report().replace(from, to);
-            assert_ne!(tampered, good_report(), "tamper `{from}` did not apply");
-            let doc = json::parse(&tampered).expect("still valid JSON");
-            assert!(!check_chaos_report(&doc).is_empty(), "tamper `{from}` passed the gate");
-        }
-    }
-
-    #[test]
-    fn json_reader_handles_the_report_grammar() {
-        use json::Json;
-        let doc = json::parse(r#"{"a": [1, -2.5, true, null, "s\nA"], "b": {}}"#).expect("parses");
-        let arr = doc.get("a").and_then(Json::as_arr).expect("array");
-        assert_eq!(arr[0].as_num(), Some(1.0));
-        assert_eq!(arr[1].as_num(), Some(-2.5));
-        assert_eq!(arr[2], Json::Bool(true));
-        assert_eq!(arr[3], Json::Null);
-        assert_eq!(arr[4], Json::Str("s\nA".to_string()));
-        assert_eq!(doc.get("b"), Some(&Json::Obj(Vec::new())));
-        assert!(json::parse("{\"unterminated\": ").is_err());
-        assert!(json::parse("{} trailing").is_err());
-    }
-
-    // ---- false-positive guards -------------------------------------
-
-    #[test]
-    fn comments_and_strings_never_trip_rules() {
-        let ok = concat!(
-            "//! use std::sync::Arc; parking_lot too\n",
-            "// std::thread::spawn in prose\n",
-            "fn f() { let _ = \"std::sync::Mutex .unwrap() unsafe\"; }\n",
-            "/* unsafe { } crossbeam_channel */\n",
-        );
-        assert!(check("crates/runtime/src/fine.rs", ok).is_empty(), "prose is not code");
-    }
-
-    #[test]
-    fn unsafe_code_attribute_is_not_the_keyword() {
-        let ok = "#![deny(unsafe_code)]\n#![allow(unsafe_code)]\n";
-        assert!(check("crates/core/src/lib.rs", ok).is_empty());
-    }
-
-    #[test]
-    fn lifetimes_survive_stripping() {
-        let s = strip_comments_and_strings("fn f<'a>(x: &'a str) -> &'a str { x }");
-        assert!(s.contains("'a"), "{s}");
-        let c = strip_comments_and_strings("let q = 'q'; let nl = '\\n';");
-        assert!(!c.contains('q') || c.starts_with("let q"), "{c}");
-    }
-
-    #[test]
-    fn rules_scope_to_their_crates() {
-        // std::sync is fine outside the runtime crate.
-        let ok = "use std::sync::Arc;\nfn f() { x.unwrap(); }\n";
-        assert!(check("crates/sim/src/lib.rs", ok).is_empty());
-    }
-
-    // ---- whole-tree run: the lint must pass on this repository -----
-
-    #[test]
-    fn the_tree_is_clean() {
-        let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().expect("repo root").to_path_buf();
-        let violations = run_all_rules(&root);
-        assert!(violations.is_empty(), "{violations:#?}");
     }
 }

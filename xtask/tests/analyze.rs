@@ -1,0 +1,365 @@
+//! End-to-end self-tests for `cargo xtask analyze`: each analysis pass
+//! is exercised against a synthetic workspace with a seeded violation
+//! (proving the pass *fires*) and a corrected twin (proving it shuts
+//! up), plus the acceptance gate — the real repository must be clean.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xtask::analyze::{analyze_tree, check_topology_drift, TOPOLOGY_PATH};
+
+/// Builds a throwaway workspace tree under the target-adjacent temp
+/// dir and cleans it up on drop.
+struct Tree {
+    root: PathBuf,
+}
+
+impl Tree {
+    fn new(name: &str, files: &[(&str, &str)]) -> Tree {
+        let root =
+            std::env::temp_dir().join(format!("xtask-analyze-{name}-{}", std::process::id()));
+        fs::remove_dir_all(&root).ok();
+        for (rel, src) in files {
+            let path = root.join(rel);
+            fs::create_dir_all(path.parent().expect("files live under crates/")).expect("mkdir");
+            fs::write(path, src).expect("write fixture");
+        }
+        Tree { root }
+    }
+
+    fn violations(&self) -> Vec<String> {
+        analyze_tree(&self.root).violations.iter().map(|v| v.to_string()).collect()
+    }
+}
+
+impl Drop for Tree {
+    fn drop(&mut self) {
+        fs::remove_dir_all(&self.root).ok();
+    }
+}
+
+fn rules(violations: &[String]) -> Vec<&str> {
+    let mut rules: Vec<&str> = violations
+        .iter()
+        .map(|v| {
+            let open = v.find('[').expect("violation format");
+            let close = v.find(']').expect("violation format");
+            &v[open + 1..close]
+        })
+        .collect();
+    rules.sort();
+    rules.dedup();
+    rules
+}
+
+// ---- shim discipline -----------------------------------------------
+
+#[test]
+fn seeded_shim_violation_fails_and_fixed_tree_passes() {
+    let bad = Tree::new(
+        "shim-bad",
+        &[(
+            "crates/runtime/src/evil.rs",
+            "use std::sync::Mutex;\nfn f() { std::thread::spawn(|| {}); }\n",
+        )],
+    );
+    assert_eq!(rules(&bad.violations()), ["shim"], "{:?}", bad.violations());
+
+    let good = Tree::new(
+        "shim-good",
+        &[(
+            "crates/runtime/src/fine.rs",
+            "use rcm_sync::Mutex;\nfn f() { rcm_sync::thread::spawn(|| {}); }\n",
+        )],
+    );
+    assert_eq!(good.violations(), Vec::<String>::new());
+}
+
+#[test]
+fn shim_violation_inside_a_use_group_is_resolved() {
+    let bad = Tree::new(
+        "shim-group",
+        &[("crates/transport/src/evil.rs", "use std::{io, sync::atomic::AtomicU64};\n")],
+    );
+    assert_eq!(rules(&bad.violations()), ["shim"], "{:?}", bad.violations());
+}
+
+// ---- hot-path panic freedom ----------------------------------------
+
+#[test]
+fn seeded_hot_path_violations_fail_and_test_code_is_exempt() {
+    let bad = Tree::new(
+        "hot-bad",
+        &[(
+            "crates/core/src/registry.rs",
+            "fn f(v: &[u8], i: usize) -> u8 { v[i] }\nfn g(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )],
+    );
+    let got = bad.violations();
+    assert_eq!(rules(&got), ["hot-path"], "{got:?}");
+    assert_eq!(got.len(), 2, "index and unwrap both fire: {got:?}");
+
+    let good = Tree::new(
+        "hot-good",
+        &[(
+            "crates/core/src/registry.rs",
+            "fn f(v: &[u8], i: usize) -> Option<&u8> { v.get(i) }\n\
+             #[cfg(test)]\nmod tests {\n    fn t(x: Option<u8>) -> u8 { x.unwrap() }\n}\n",
+        )],
+    );
+    assert_eq!(good.violations(), Vec::<String>::new());
+}
+
+#[test]
+fn seeded_division_violation_fails_and_proven_divisor_passes() {
+    let bad = Tree::new(
+        "div-bad",
+        &[("crates/core/src/latency.rs", "fn f(a: u64, b: u64) -> u64 { a / b }\n")],
+    );
+    assert_eq!(rules(&bad.violations()), ["hot-path"], "{:?}", bad.violations());
+
+    let good = Tree::new(
+        "div-good",
+        &[("crates/core/src/latency.rs", "fn f(a: u64, b: u64) -> u64 { a / b.max(1) }\n")],
+    );
+    assert_eq!(good.violations(), Vec::<String>::new());
+}
+
+// ---- unsafe audit ---------------------------------------------------
+
+#[test]
+fn seeded_unsafe_outside_allowlist_fails() {
+    let bad = Tree::new(
+        "unsafe-bad",
+        &[(
+            "crates/core/src/history.rs",
+            "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n",
+        )],
+    );
+    assert_eq!(rules(&bad.violations()), ["unsafe"], "{:?}", bad.violations());
+}
+
+#[test]
+fn seeded_unsafe_in_allowlisted_file_without_safety_comment_fails() {
+    let bad = Tree::new(
+        "safety-bad",
+        &[("crates/core/src/inline.rs", "fn f(p: *const u8) -> u8 { unsafe { p.read() } }\n")],
+    );
+    assert_eq!(rules(&bad.violations()), ["unsafe"], "{:?}", bad.violations());
+
+    let good = Tree::new(
+        "safety-good",
+        &[(
+            "crates/core/src/inline.rs",
+            "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller upholds validity.\n    unsafe { p.read() }\n}\n",
+        )],
+    );
+    assert_eq!(good.violations(), Vec::<String>::new());
+}
+
+// ---- event-loop discipline ------------------------------------------
+
+#[test]
+fn seeded_blocking_call_in_the_engine_fails() {
+    let bad = Tree::new(
+        "loop-bad",
+        &[(
+            "crates/transport/src/engine/evil.rs",
+            "fn f(s: &mut std::net::TcpStream, buf: &[u8]) { s.write_all(buf).ok(); }\n",
+        )],
+    );
+    assert_eq!(rules(&bad.violations()), ["event-loop"], "{:?}", bad.violations());
+}
+
+#[test]
+fn blocking_calls_outside_the_engine_directory_are_legal() {
+    let good = Tree::new(
+        "loop-good",
+        &[(
+            "crates/transport/src/tcp.rs",
+            "fn f(s: &mut std::net::TcpStream, buf: &[u8]) { s.write_all(buf).ok(); }\n",
+        )],
+    );
+    assert_eq!(good.violations(), Vec::<String>::new());
+}
+
+// ---- lock order ------------------------------------------------------
+
+/// The acceptance-criteria scenario: file A locks `a` then `b`, file B
+/// locks `b` then `a`, both declaring their own edge honestly — the
+/// cross-file cycle must still be detected.
+#[test]
+fn injected_lock_order_cycle_across_files_fails() {
+    let bad = Tree::new(
+        "cycle-bad",
+        &[
+            (
+                "crates/runtime/src/x.rs",
+                "// LOCK ORDER: a -> b\n\
+                 fn f(a: &Mutex<u8>, b: &Mutex<u8>) { let ga = a.lock(); let gb = b.lock(); }\n",
+            ),
+            (
+                "crates/transport/src/y.rs",
+                "// LOCK ORDER: b -> a\n\
+                 fn g(a: &Mutex<u8>, b: &Mutex<u8>) { let gb = b.lock(); let ga = a.lock(); }\n",
+            ),
+        ],
+    );
+    let got = bad.violations();
+    assert_eq!(rules(&got), ["lock-order"], "{got:?}");
+    assert!(got.iter().any(|v| v.contains("cycle")), "{got:?}");
+
+    // Same files, same declarations, but y.rs takes them in the
+    // declared a -> b order: acyclic, clean.
+    let good = Tree::new(
+        "cycle-good",
+        &[
+            (
+                "crates/runtime/src/x.rs",
+                "// LOCK ORDER: a -> b\n\
+                 fn f(a: &Mutex<u8>, b: &Mutex<u8>) { let ga = a.lock(); let gb = b.lock(); }\n",
+            ),
+            (
+                "crates/transport/src/y.rs",
+                "// LOCK ORDER: a -> b\n\
+                 fn g(a: &Mutex<u8>, b: &Mutex<u8>) { let ga = a.lock(); let gb = b.lock(); }\n",
+            ),
+        ],
+    );
+    assert_eq!(good.violations(), Vec::<String>::new());
+}
+
+#[test]
+fn undeclared_nested_acquisition_fails_even_without_a_cycle() {
+    let bad = Tree::new(
+        "edge-bad",
+        &[(
+            "crates/runtime/src/x.rs",
+            "// LOCK ORDER: leaf file, single lock.\n\
+             fn f(a: &Mutex<u8>, b: &Mutex<u8>) { let ga = a.lock(); let gb = b.lock(); }\n",
+        )],
+    );
+    let got = bad.violations();
+    assert_eq!(rules(&got), ["lock-order"], "{got:?}");
+}
+
+#[test]
+fn locking_file_without_annotation_fails() {
+    let bad = Tree::new(
+        "ann-bad",
+        &[("crates/poll/src/x.rs", "fn f(m: &Mutex<u8>) { let g = m.lock(); }\n")],
+    );
+    assert_eq!(rules(&bad.violations()), ["lock-order"], "{:?}", bad.violations());
+}
+
+// ---- topology --------------------------------------------------------
+
+#[test]
+fn bounded_ring_without_shed_or_backpressure_fails() {
+    let bad = Tree::new(
+        "topo-bad",
+        &[
+            ("crates/runtime/src/x.rs", "fn f() { let (tx, rx) = spsc::ring::<u8>(64); }\n"),
+            ("crates/runtime/tests/loom.rs", "fn m() { let (tx, rx) = spsc::ring::<u8>(2); }\n"),
+        ],
+    );
+    let got = bad.violations();
+    assert_eq!(rules(&got), ["topology"], "{got:?}");
+    assert!(got.iter().any(|v| v.contains("shed")), "{got:?}");
+}
+
+#[test]
+fn unmodeled_bounded_handoff_fails() {
+    // A bounded ring with a shed path but no loom model anywhere.
+    let bad = Tree::new(
+        "topo-unmodeled",
+        &[(
+            "crates/runtime/src/x.rs",
+            "fn f() -> bool { let (tx, rx) = spsc::ring::<u8>(64); would_shed(&tx) }\n",
+        )],
+    );
+    let got = bad.violations();
+    assert_eq!(rules(&got), ["topology"], "{got:?}");
+    assert!(got.iter().any(|v| v.contains("loom")), "{got:?}");
+}
+
+#[test]
+fn topology_drift_fails_and_write_then_check_round_trips() {
+    let tree = Tree::new(
+        "topo-drift",
+        &[
+            (
+                "crates/runtime/src/x.rs",
+                "fn f() -> bool { let (tx, rx) = spsc::ring::<u8>(64); count_shed() }\n",
+            ),
+            ("crates/runtime/tests/loom.rs", "fn m() { let (tx, rx) = spsc::ring::<u8>(2); }\n"),
+        ],
+    );
+    let report = analyze_tree(&tree.root);
+    assert_eq!(report.violations.len(), 0, "{:?}", report.violations);
+
+    // No artifact yet: drift.
+    let missing = check_topology_drift(&tree.root, &report.topology).expect("missing artifact");
+    assert!(missing.to_string().contains("missing"), "{missing}");
+
+    // Write it: clean.
+    fs::write(tree.root.join(TOPOLOGY_PATH), &report.topology).expect("write artifact");
+    assert!(check_topology_drift(&tree.root, &report.topology).is_none());
+
+    // Tamper with the committed copy: drift again.
+    fs::write(tree.root.join(TOPOLOGY_PATH), report.topology.replace("64", "65")).expect("tamper");
+    let drift = check_topology_drift(&tree.root, &report.topology).expect("tampered artifact");
+    assert!(drift.to_string().contains("stale"), "{drift}");
+}
+
+// ---- parse gaps ------------------------------------------------------
+
+#[test]
+fn unparseable_code_is_reported_not_ignored() {
+    let bad = Tree::new("gap-bad", &[("crates/runtime/src/x.rs", "fn f() { let x = @@@; }\n")]);
+    assert_eq!(rules(&bad.violations()), ["parse"], "{:?}", bad.violations());
+}
+
+// ---- allow directives ------------------------------------------------
+
+#[test]
+fn allow_directive_with_reason_waives_and_reasonless_fails() {
+    let good = Tree::new(
+        "allow-good",
+        &[(
+            "crates/core/src/registry.rs",
+            "fn f(v: &[u8], i: usize) -> u8 {\n\
+             \x20   // analyze: allow(hot-path): i is masked by the caller\n\
+             \x20   v[i]\n}\n",
+        )],
+    );
+    assert_eq!(good.violations(), Vec::<String>::new());
+
+    let bad = Tree::new(
+        "allow-bad",
+        &[(
+            "crates/core/src/registry.rs",
+            "fn f(v: &[u8], i: usize) -> u8 {\n\
+             \x20   // analyze: allow(hot-path)\n\
+             \x20   v[i]\n}\n",
+        )],
+    );
+    let got = bad.violations();
+    assert_eq!(rules(&got), ["allow", "hot-path"], "{got:?}");
+}
+
+// ---- the acceptance gate: this repository is clean -------------------
+
+#[test]
+fn the_tree_is_clean_and_the_committed_topology_is_fresh() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().expect("repo root").to_path_buf();
+    let report = analyze_tree(&root);
+    assert_eq!(
+        report.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>(),
+        Vec::<String>::new()
+    );
+    assert!(report.files_scanned > 100, "walk found the workspace");
+    if let Some(drift) = check_topology_drift(&root, &report.topology) {
+        panic!("{drift}");
+    }
+}
