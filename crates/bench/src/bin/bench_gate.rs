@@ -51,6 +51,11 @@ const INFORMATIONAL: &[&str] = &[
     "/throughput/conds_10k/incremental_ups",
     "/pipeline/conds_10k/inline_ups",
     "/pipeline/conds_10k/workers_4_ups",
+    "/tree/flat_ups",
+    "/tree/tier2_ups",
+    "/tree/tier3_ups",
+    "/tree/tier2_root_latency/p99_ns",
+    "/tree/tier3_root_latency/p99_ns",
     "/matrix_table1_ad1/parallel_secs",
 ];
 

@@ -221,6 +221,124 @@ fn pipeline_cell(n_conds: usize, n_updates: usize, iters: u32) -> serde_json::Va
     })
 }
 
+/// Aggregation-tree fan-in throughput over a single-variable threshold
+/// workload: the flat registry every other cell measures vs a 2-tier
+/// (leaves → root) and a 3-tier (leaves → relays → root) tree walked
+/// deterministically by `TreeEval`, sustained updates/second — plus
+/// update→root-display latency percentiles for both tree shapes, from
+/// a separate instrumented pass so the throughput numbers stay clean.
+/// The three configurations are asserted alert-count-identical first
+/// (the keystone equivalence proptest pins the bytes; this cell only
+/// measures).
+fn tree_cell(n_vars: usize, n_updates: usize, iters: u32) -> serde_json::Value {
+    use rcm_core::condition::{Cmp, Threshold};
+    use rcm_core::LatencyHistogram;
+    use rcm_tree::{TreeEval, TreeOptions, TreePlan};
+
+    let updates: Vec<Update> = (0..n_updates)
+        .map(|i| {
+            let var = (i % n_vars) as u32;
+            let seq = (i / n_vars + 1) as u64;
+            // Alternate firing / non-firing so the root sees a real
+            // alert stream without every update paying the alert path.
+            Update::new(VarId::new(var), seq, if i % 2 == 0 { 1.0 } else { -1.0 })
+        })
+        .collect();
+
+    let plan = |leaves: usize, relay_tiers: usize, fanout: usize| -> TreePlan {
+        let mut plan = TreePlan::new(leaves).with_relay_tiers(relay_tiers).with_fanout(fanout);
+        for v in 0..n_vars {
+            let var = VarId::new(v as u32);
+            plan.own(var, v % leaves);
+            plan.add_condition(
+                CondId::new(v as u32),
+                Arc::new(Threshold::new(var, Cmp::Gt, 0.0)) as Arc<dyn Condition>,
+            )
+            .expect("single-variable condition lands on its owning leaf");
+        }
+        plan
+    };
+    let opts = TreeOptions { root_ce: CeId::new(0), ..TreeOptions::default() };
+
+    let mut flat = ConditionRegistry::new(CeId::new(0));
+    for v in 0..n_vars {
+        let var = VarId::new(v as u32);
+        flat.add(Arc::new(Threshold::new(var, Cmp::Gt, 0.0)) as Arc<dyn Condition>);
+    }
+    let mut want = Vec::new();
+    flat.ingest_batch(&updates, &mut want);
+
+    // Tree passes rebuild the tree each iteration (a `TreeEval` has no
+    // restart); at thousands of updates per pass the build cost is
+    // noise, and both shapes pay it identically.
+    let tree_pass = |leaves: usize, relay_tiers: usize, fanout: usize| -> Vec<Alert> {
+        let mut eval = TreeEval::build(plan(leaves, relay_tiers, fanout), opts.clone());
+        let mut out = Vec::new();
+        for &u in &updates {
+            eval.ingest(u, &mut out);
+        }
+        out
+    };
+    for (leaves, tiers, fanout) in [(8, 0, 8), (16, 1, 4)] {
+        let got = tree_pass(leaves, tiers, fanout);
+        assert_eq!(
+            got.len(),
+            want.len(),
+            "{leaves}-leaf tree displayed {} alerts, flat registry {}",
+            got.len(),
+            want.len()
+        );
+    }
+
+    let flat_secs = time(iters, || {
+        flat.restart();
+        let mut out = Vec::new();
+        flat.ingest_batch(black_box(&updates), &mut out);
+        out.len()
+    });
+    let tier2_secs = time(iters, || tree_pass(8, 0, 8).len());
+    let tier3_secs = time(iters, || tree_pass(16, 1, 4).len());
+    let flat_ups = n_updates as f64 / flat_secs;
+    let tier2_ups = n_updates as f64 / tier2_secs;
+    let tier3_ups = n_updates as f64 / tier3_secs;
+
+    // Instrumented pass: wall-clock from handing an update to the tree
+    // to its root alerts being displayed, recorded only for updates
+    // that fired.
+    let latency = |leaves: usize, relay_tiers: usize, fanout: usize| -> serde_json::Value {
+        let mut eval = TreeEval::build(plan(leaves, relay_tiers, fanout), opts.clone());
+        let hist = LatencyHistogram::new();
+        let mut out = Vec::new();
+        for &u in &updates {
+            let start = Instant::now();
+            eval.ingest(u, &mut out);
+            if !out.is_empty() {
+                hist.record(start.elapsed().as_nanos() as u64);
+                out.clear();
+            }
+        }
+        let snap = hist.snapshot();
+        json!({
+            "alerts": snap.count,
+            "p50_ns": snap.p50_ns,
+            "p99_ns": snap.p99_ns,
+            "p999_ns": snap.p999_ns,
+        })
+    };
+
+    json!({
+        "vars": n_vars,
+        "updates_per_pass": n_updates,
+        "flat_ups": flat_ups,
+        "tier2_ups": tier2_ups,
+        "tier3_ups": tier3_ups,
+        "tier2_over_flat": tier2_ups / flat_ups,
+        "tier3_over_flat": tier3_ups / flat_ups,
+        "tier2_root_latency": latency(8, 0, 8),
+        "tier3_root_latency": latency(16, 1, 4),
+    })
+}
+
 /// Wire-codec roundtrip throughput over the `codec` criterion bench's
 /// update workload: encode∘decode updates/second as JSON frames,
 /// binary frames, and one binary `UpdateBatch` frame — the deployment
@@ -327,6 +445,10 @@ fn main() {
     // `codec` criterion bench).
     let codec = codec_cell(2_000);
 
+    // Aggregation-tree fan-in: flat registry vs 2-tier vs 3-tier, with
+    // update→root-display latency percentiles per tree shape.
+    let tree = tree_cell(64, 8_192, 10);
+
     // Matrix wall-clock, one thread vs the harness default.
     let threads = harness_threads();
     let table =
@@ -358,6 +480,7 @@ fn main() {
         "throughput": throughput,
         "pipeline": pipeline,
         "codec": codec,
+        "tree": tree,
         "matrix_table1_ad1": {
             "serial_secs": serial_secs,
             "parallel_secs": par_secs,

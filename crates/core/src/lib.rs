@@ -87,6 +87,7 @@
 pub mod ad;
 mod alert;
 pub mod condition;
+mod derived;
 mod error;
 mod evaluator;
 mod history;
@@ -99,6 +100,10 @@ mod var;
 
 pub use alert::{Alert, AlertId, CeId, CondId, FingerprintError, HistoryFingerprint, SeqBuf};
 pub use condition::{Condition, ConditionExt, Triggering};
+pub use derived::{
+    derived_var, derived_var_parts, is_derived_var, DerivedEmitter, DerivedPayload, DerivedUpdate,
+    DERIVED_VAR_BASE,
+};
 pub use error::{Error, Result};
 pub use evaluator::{transduce, transduce_merged, Evaluator};
 pub use history::{History, HistorySet};

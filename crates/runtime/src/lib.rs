@@ -66,6 +66,7 @@ mod link;
 pub mod pipeline;
 mod socket;
 mod system;
+mod tree;
 pub mod wire;
 
 pub use backlink::{BackLink, BackLinkStats};
@@ -77,4 +78,6 @@ pub use pipeline::{AlertDrain, EvalPipeline, PipelineOptions};
 pub use rcm_transport::{
     BatchPolicy, BoundTopology, Codec, Engine, Topology, TransportMode, TransportReport,
 };
+pub use rcm_tree::{AggregateSpec, TreeError, TreeOptions, TreePlan, TreeStats};
 pub use system::{ConfigError, MonitorSystem, PipelineReport, RunReport, SystemBuilder, VarFeed};
+pub use tree::{TreeFault, TreeReport, TreeTopology};

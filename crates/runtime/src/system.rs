@@ -958,6 +958,7 @@ impl MonitorSystem {
         RunReport {
             faults,
             transport,
+            tree: None,
             pipeline,
             arrivals: Arc::try_unwrap(self.arrivals)
                 .map(Mutex::into_inner)
@@ -1013,6 +1014,10 @@ pub struct RunReport {
     /// and the ingest→alert-emit latency distribution (recorded on
     /// both the inline and the pipelined path).
     pub pipeline: PipelineReport,
+    /// Aggregation-tree counters when the run was a
+    /// [`TreeTopology`](crate::TreeTopology) deployment; `None` for
+    /// flat DM→CE→AD runs.
+    pub tree: Option<rcm_tree::TreeStats>,
 }
 
 /// Evaluation-stage counters for a finished run.

@@ -42,6 +42,24 @@
 //! fires, spurious readiness) for `cargo xtask assert-chaos` to gate
 //! on.
 //!
+//! After the flat sweep, a **tree gauntlet** (`--tree-plans`, default
+//! 10) runs the threaded aggregation-tree runtime under its own fault
+//! classes and checks the root-displayed stream against a flat CE fed
+//! the identical survivor stream:
+//!
+//! | class | topology faults            | asserted                                  |
+//! |-------|----------------------------|-------------------------------------------|
+//! | 0     | none (lossless)            | per-condition byte-identical, exactly-once |
+//! | 1     | subtree kill + re-parent   | same, plus ≥ 1 re-parent with replay       |
+//! | 2     | tier-link sever + restore  | same, plus window replay on restore        |
+//! | 3     | 20% front-link loss        | per-condition byte-identical, exactly-once |
+//! | 4     | leaf-replica kill          | same: survivors mask the crash             |
+//!
+//! Every class also asserts per-variable orderedness of the root
+//! display with the exact `rcm-props` decider. Sender replay windows
+//! are sized past the workload, so recovery must be *complete* — any
+//! lost or duplicated alert is a violation.
+//!
 //! Exit status is nonzero if any property check fails or any alert is
 //! lost to resend-queue overflow, so CI can gate on this binary.
 
@@ -51,10 +69,14 @@ use std::time::Duration;
 
 use rcm_core::ad::{Ad1, Ad2, Ad3, Ad4, AlertFilter};
 use rcm_core::condition::{Cmp, Condition, DeltaRise, Threshold};
-use rcm_core::VarId;
+use rcm_core::{Alert, CeId, CondId, ConditionRegistry, Update, VarId};
 use rcm_net::{Bernoulli, LossModel, Lossless};
 use rcm_props::{check_complete_single, check_consistent_single, check_ordered};
-use rcm_runtime::{FaultPlan, MonitorSystem, RunReport, Topology, TransportReport, VarFeed};
+use rcm_runtime::{
+    FaultPlan, MonitorSystem, RunReport, Topology, TransportReport, TreeFault, TreeOptions,
+    TreePlan, TreeStats, TreeTopology, VarFeed,
+};
+use rcm_transport::SeqGate;
 
 /// SplitMix64: the harness's only randomness source, so a `(seed,
 /// plans)` pair names one exact gauntlet.
@@ -131,13 +153,74 @@ const CLASSES: [ClassSpec; 5] = [
     },
 ];
 
+/// Per-tree-class configuration: which faults to script.
+struct TreeClassSpec {
+    name: &'static str,
+    front_loss: bool,
+    kill_relay: bool,
+    sever: bool,
+    kill_replica: bool,
+}
+
+const TREE_CLASSES: [TreeClassSpec; 5] = [
+    TreeClassSpec {
+        name: "tree/lossless/no-faults",
+        front_loss: false,
+        kill_relay: false,
+        sever: false,
+        kill_replica: false,
+    },
+    TreeClassSpec {
+        name: "tree/subtree-kill+reparent",
+        front_loss: false,
+        kill_relay: true,
+        sever: false,
+        kill_replica: false,
+    },
+    TreeClassSpec {
+        name: "tree/tier-link-sever",
+        front_loss: false,
+        kill_relay: false,
+        sever: true,
+        kill_replica: false,
+    },
+    TreeClassSpec {
+        name: "tree/20pct-front-loss",
+        front_loss: true,
+        kill_relay: false,
+        sever: false,
+        kill_replica: false,
+    },
+    TreeClassSpec {
+        name: "tree/leaf-replica-kill",
+        front_loss: false,
+        kill_relay: false,
+        sever: false,
+        kill_replica: true,
+    },
+];
+
+/// Everything one tree gauntlet run produced, for reporting.
+struct TreeOutcome {
+    index: usize,
+    class: usize,
+    updates: usize,
+    leaves: usize,
+    relay_tiers: usize,
+    fanout: usize,
+    replicas: usize,
+    stats: TreeStats,
+    violations: Vec<String>,
+}
+
 fn usage() -> ExitCode {
-    eprintln!("usage: chaos [--plans N] [--seed S] [--json]");
+    eprintln!("usage: chaos [--plans N] [--tree-plans N] [--seed S] [--json]");
     ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
     let mut plans = 25usize;
+    let mut tree_plans = 10usize;
     let mut seed = 7u64;
     let mut json = false;
     let mut args = std::env::args().skip(1);
@@ -146,6 +229,10 @@ fn main() -> ExitCode {
             "--plans" => {
                 let Some(n) = args.next().and_then(|s| s.parse().ok()) else { return usage() };
                 plans = n;
+            }
+            "--tree-plans" => {
+                let Some(n) = args.next().and_then(|s| s.parse().ok()) else { return usage() };
+                tree_plans = n;
             }
             "--seed" => {
                 let Some(s) = args.next().and_then(|s| s.parse().ok()) else { return usage() };
@@ -191,8 +278,20 @@ fn main() -> ExitCode {
         outcomes.push(outcome);
     }
 
+    let mut tree_outcomes = Vec::with_capacity(tree_plans);
+    for index in 0..tree_plans {
+        let outcome =
+            run_tree_plan(index, mix(seed ^ (index as u64).wrapping_mul(0x517c_c1b7_2722_0a95)));
+        if !json {
+            print_tree_outcome(&outcome);
+        }
+        tree_outcomes.push(outcome);
+    }
+    let tree_violation_count: usize = tree_outcomes.iter().map(|o| o.violations.len()).sum();
+
     let violation_count = availability_violations.len()
         + socket_violations.len()
+        + tree_violation_count
         + outcomes.iter().map(|o| o.violations.len()).sum::<usize>();
     let mut recovery: Vec<Duration> = outcomes.iter().flat_map(|o| o.recovery.clone()).collect();
     recovery.sort_unstable();
@@ -228,6 +327,23 @@ fn main() -> ExitCode {
     let latency_p50: u64 = outcomes.iter().map(|o| o.latency.p50_ns).max().unwrap_or(0);
     let latency_p99: u64 = outcomes.iter().map(|o| o.latency.p99_ns).max().unwrap_or(0);
     let latency_p999: u64 = outcomes.iter().map(|o| o.latency.p999_ns).max().unwrap_or(0);
+
+    // Tree gauntlet rollup: the counters `xtask assert-chaos` gates on.
+    let tree_totals = tree_outcomes.iter().fold(TreeStats::default(), |mut acc, o| {
+        acc.updates_routed += o.stats.updates_routed;
+        acc.gate_dropped_raw += o.stats.gate_dropped_raw;
+        acc.leaf_alerts += o.stats.leaf_alerts;
+        acc.derived_emitted += o.stats.derived_emitted;
+        acc.derived_forwarded += o.stats.derived_forwarded;
+        acc.derived_duplicates += o.stats.derived_duplicates;
+        acc.reparent_events += o.stats.reparent_events;
+        acc.replayed_frames += o.stats.replayed_frames;
+        acc.frames_to_dead += o.stats.frames_to_dead;
+        acc.root_alerts += o.stats.root_alerts;
+        acc.wire_frames += o.stats.wire_frames;
+        acc.wire_bytes += o.stats.wire_bytes;
+        acc
+    });
 
     if json {
         let doc = serde_json::json!({
@@ -268,6 +384,40 @@ fn main() -> ExitCode {
                 "latency_p99_ns": latency_p99,
                 "latency_p999_ns": latency_p999,
             }),
+            "tree": serde_json::json!({
+                "plans": tree_plans,
+                "violations": tree_violation_count,
+                "totals": serde_json::json!({
+                    "updates_routed": tree_totals.updates_routed,
+                    "derived_emitted": tree_totals.derived_emitted,
+                    "derived_forwarded": tree_totals.derived_forwarded,
+                    "derived_duplicates": tree_totals.derived_duplicates,
+                    "reparent_events": tree_totals.reparent_events,
+                    "replayed_frames": tree_totals.replayed_frames,
+                    "frames_to_dead": tree_totals.frames_to_dead,
+                    "root_alerts": tree_totals.root_alerts,
+                    "wire_frames": tree_totals.wire_frames,
+                    "wire_bytes": tree_totals.wire_bytes,
+                }),
+                "runs": tree_outcomes.iter().map(|o| serde_json::json!({
+                    "plan": o.index,
+                    "class": TREE_CLASSES[o.class].name,
+                    "updates": o.updates,
+                    "leaves": o.leaves,
+                    "relay_tiers": o.relay_tiers,
+                    "fanout": o.fanout,
+                    "replicas": o.replicas,
+                    "derived_emitted": o.stats.derived_emitted,
+                    "derived_forwarded": o.stats.derived_forwarded,
+                    "derived_duplicates": o.stats.derived_duplicates,
+                    "reparent_events": o.stats.reparent_events,
+                    "replayed_frames": o.stats.replayed_frames,
+                    "frames_to_dead": o.stats.frames_to_dead,
+                    "root_alerts": o.stats.root_alerts,
+                    "wire_frames": o.stats.wire_frames,
+                    "violations": o.violations.clone(),
+                })).collect::<Vec<_>>(),
+            }),
             "runs": outcomes.iter().map(|o| serde_json::json!({
                 "plan": o.index,
                 "class": CLASSES[o.class].name,
@@ -303,6 +453,15 @@ fn main() -> ExitCode {
             "pipeline: {pipelined_plans} of {plans} plans ran sharded, {updates_shed} shed; \
              worst ingest→emit latency p50 {latency_p50} ns / p99 {latency_p99} ns / \
              p999 {latency_p999} ns over {latency_count} update(s)"
+        );
+        println!(
+            "tree: {tree_plans} plans, {} derived forwarded, {} duplicates gated, \
+             {} re-parent events, {} frames replayed, {} lost to dead relays",
+            tree_totals.derived_forwarded,
+            tree_totals.derived_duplicates,
+            tree_totals.reparent_events,
+            tree_totals.replayed_frames,
+            tree_totals.frames_to_dead,
         );
         println!("violations: {violation_count}");
     }
@@ -512,6 +671,207 @@ fn check(
         }
     }
     violations
+}
+
+/// Runs one randomized aggregation-tree plan through the threaded
+/// runtime and checks the root display against a flat CE fed the
+/// identical survivor stream.
+fn run_tree_plan(index: usize, plan_seed: u64) -> TreeOutcome {
+    let class = index % TREE_CLASSES.len();
+    let spec = &TREE_CLASSES[class];
+    const ROOT_CE: CeId = CeId::new(99);
+
+    let leaves = 2 + (mix(plan_seed ^ 1) % 3) as usize;
+    // Subtree-kill needs an interior tier with a live sibling to adopt
+    // orphans; fanout 1 keeps one relay per leaf so killing relay 0
+    // orphans exactly leaf 0's subtree.
+    let (relay_tiers, fanout) = if spec.kill_relay {
+        (1, 1)
+    } else {
+        ((mix(plan_seed ^ 2) % 3) as usize, 1 + (mix(plan_seed ^ 3) % 3) as usize)
+    };
+    let replicas = if spec.kill_replica { 2 } else { 1 + (mix(plan_seed ^ 4) % 2) as usize };
+    let shards = 1 + (mix(plan_seed ^ 5) % 4) as usize;
+
+    // One single-variable threshold condition per variable; ownership
+    // round-robins variables over leaves, so global condition ids
+    // interleave across leaves exactly as the keystone proptest does.
+    let vars = leaves * (1 + (mix(plan_seed ^ 6) % 2) as usize);
+    let mut plan = TreePlan::new(leaves).with_relay_tiers(relay_tiers).with_fanout(fanout);
+    let mut conds: Vec<(CondId, VarId, f64)> = Vec::new();
+    for v in 0..vars {
+        let var = VarId::new(v as u32);
+        plan.own(var, v % leaves);
+        let threshold = (mix(plan_seed ^ (0x100 + v as u64)) % 100) as f64 - 50.0;
+        conds.push((CondId::new(v as u32), var, threshold));
+    }
+    for &(id, var, threshold) in &conds {
+        plan.add_condition(id, Arc::new(Threshold::new(var, Cmp::Gt, threshold)))
+            .expect("single-variable condition lands on its owning leaf");
+    }
+
+    // The survivor stream both systems see: per-variable seqno gaps,
+    // scripted front loss applied once, before the fan-out.
+    let steps = 150 + (mix(plan_seed ^ 7) % 101) as usize;
+    let mut state = mix(plan_seed ^ 8);
+    let mut next_seq = vec![1u64; vars];
+    let mut stream = Vec::new();
+    for _ in 0..steps {
+        state = mix(state);
+        let v = (state % vars as u64) as usize;
+        state = mix(state);
+        let seqno = next_seq[v] + state % 2;
+        next_seq[v] = seqno + 1;
+        state = mix(state);
+        let value = (state % 120) as f64 - 60.0;
+        state = mix(state);
+        if spec.front_loss && state % 100 < 20 {
+            continue;
+        }
+        stream.push(Update::new(VarId::new(v as u32), seqno, value));
+    }
+
+    let at = stream.len() as u64;
+    let mut faults = Vec::new();
+    if spec.kill_relay {
+        faults.push(TreeFault::KillRelay { tier: 1, idx: 0, at_update: at / 3 });
+        faults.push(TreeFault::Reparent { at_update: 2 * at / 3 });
+    }
+    if spec.sever {
+        faults.push(TreeFault::SeverUplink {
+            tier: 0,
+            idx: 0,
+            replica: 0,
+            at_update: at / 4,
+            down_for: at / 4,
+        });
+    }
+    if spec.kill_replica {
+        faults.push(TreeFault::KillLeafReplica { leaf: 0, replica: 1, at_update: at / 2 });
+    }
+
+    // Replay windows sized past the workload: recovery must be
+    // complete, so exactly-once at the root is an invariant, not a
+    // best effort.
+    let opts = TreeOptions {
+        root_ce: ROOT_CE,
+        leaf_replicas: replicas,
+        shards_per_leaf: shards,
+        replay_window: 4096,
+        ..TreeOptions::default()
+    };
+    let report =
+        TreeTopology::new(plan).options(opts).stream(stream.iter().copied()).faults(faults).run();
+
+    // Flat reference: one gate, one registry, ascending condition ids.
+    let mut gate = SeqGate::new();
+    let mut reg = ConditionRegistry::new(ROOT_CE);
+    for &(id, var, threshold) in &conds {
+        reg.insert(id, Arc::new(Threshold::new(var, Cmp::Gt, threshold)));
+    }
+    let mut want: Vec<Alert> = Vec::new();
+    for &u in &stream {
+        if gate.admit(&u) {
+            reg.ingest(u, &mut want);
+        }
+    }
+
+    let mut violations = Vec::new();
+    // Exactly-once: the root displays the flat count, nothing lost to
+    // the outage (windows cover it) and nothing duplicated by replay.
+    if report.displayed.len() != want.len() {
+        violations.push(format!(
+            "exactly-once violated: root displayed {} alert(s), flat CE displayed {}",
+            report.displayed.len(),
+            want.len()
+        ));
+    }
+    // Per-condition sequences byte-identical to the flat CE — payload,
+    // snapshot and provenance numbering (global interleaving may shift
+    // while a subtree is orphaned; per-stream order may not).
+    for &(id, ..) in &conds {
+        let got: Vec<&Alert> = report.displayed.iter().filter(|a| a.cond == id).collect();
+        let flat: Vec<&Alert> = want.iter().filter(|a| a.cond == id).collect();
+        if got.len() != flat.len() {
+            violations.push(format!(
+                "condition {}: {} alert(s) at the root, {} at the flat CE",
+                id.index(),
+                got.len(),
+                flat.len()
+            ));
+            continue;
+        }
+        for (g, w) in got.iter().zip(&flat) {
+            if g != w || g.id != w.id {
+                violations.push(format!(
+                    "condition {}: alert diverges from the flat CE ({:?} vs {:?})",
+                    id.index(),
+                    g.id,
+                    w.id
+                ));
+                break;
+            }
+        }
+    }
+    // Per-variable orderedness of the root display, with the exact
+    // decider. Tier links are FIFO and each variable lives on one
+    // leaf, so this must hold in every class, faults included.
+    let var_ids: Vec<VarId> = (0..vars as u32).map(VarId::new).collect();
+    let ordered = check_ordered(&report.displayed, &var_ids);
+    if !ordered.ok {
+        violations.push(format!("root display orderedness violated: {:?}", ordered.violation));
+    }
+    // Fault classes must actually exercise their machinery. Replay and
+    // duplicate counters only move when the affected window held
+    // verdicts, so those checks are conditioned on alerts existing.
+    if spec.kill_relay && report.stats.reparent_events == 0 {
+        violations.push("subtree-kill class re-parented nothing".to_string());
+    }
+    if (spec.kill_relay || spec.sever)
+        && !report.displayed.is_empty()
+        && report.stats.replayed_frames == 0
+    {
+        violations.push("recovery class replayed no frames".to_string());
+    }
+    if replicas > 1
+        && !spec.kill_replica
+        && !report.displayed.is_empty()
+        && report.stats.derived_duplicates == 0
+    {
+        violations.push("replicated leaves produced no gated duplicates".to_string());
+    }
+
+    TreeOutcome {
+        index,
+        class,
+        updates: stream.len(),
+        leaves,
+        relay_tiers,
+        fanout,
+        replicas,
+        stats: report.stats,
+        violations,
+    }
+}
+
+fn print_tree_outcome(o: &TreeOutcome) {
+    let verdict = if o.violations.is_empty() { "ok" } else { "VIOLATION" };
+    println!(
+        "tree {:>3}  {:<26} updates={:<3} leaves={} tiers={} fanout={} replicas={} \
+         reparents={} replayed={}  {verdict}",
+        o.index,
+        TREE_CLASSES[o.class].name,
+        o.updates,
+        o.leaves,
+        o.relay_tiers,
+        o.fanout,
+        o.replicas,
+        o.stats.reparent_events,
+        o.stats.replayed_frames,
+    );
+    for v in &o.violations {
+        println!("          {v}");
+    }
 }
 
 fn print_outcome(o: &PlanOutcome) {

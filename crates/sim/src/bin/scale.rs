@@ -29,11 +29,22 @@
 //! evaluation under real sockets; the JSON report then carries the
 //! pipeline's shed counter and ingest→emit latency percentiles.
 //!
+//! `--tree DxF` (e.g. `--tree 3x8`: depth 3, fanout 8) swaps the flat
+//! CE body for an aggregation tree: the evented loop still owns every
+//! socket (front ingress, back links, AD listener), but delivered
+//! updates route through `F^(D-1)` leaf CEs that emit derived verdict
+//! streams up `D-2` relay tiers to a root CE, whose re-stamped alerts
+//! fan out on the back links. The exactly-once assertion is unchanged
+//! and now spans the whole tree: every update must surface at the
+//! root-fed AD exactly once. `--workers W` maps to worker shards
+//! inside each leaf registry.
+//!
 //! `--json` adds the capacity evidence CI archives: peak process FDs
 //! (read from `/proc/self/fd`) and resident-set delta per link, plus
-//! the engine's wakeup/timer/spurious counters. CI runs 2,000 front
-//! links in the PR gauntlet (`scale-smoke`); the 10k-link soak is
-//! nightly.
+//! the engine's wakeup/timer/spurious counters and (in tree mode) the
+//! tree's routing/forwarding counters. CI runs 2,000 front links in
+//! the PR gauntlet (`scale-smoke`) plus a `tree-scale-smoke` at
+//! `--tree 3x4`; the 10k-link and `--tree 3x8` soaks are nightly.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -44,7 +55,9 @@ use rcm_core::{
     Alert, AlertId, CeId, CondId, HistoryFingerprint, LatencyHistogram, SeqNo, Update, VarId,
 };
 use rcm_net::Backoff;
-use rcm_runtime::{AlertDrain, EvalPipeline, PipelineOptions};
+use rcm_runtime::{
+    AlertDrain, EvalPipeline, PipelineOptions, TreeOptions, TreePlan, TreeStats, TreeTopology,
+};
 use rcm_sync::atomic::{AtomicU64, Ordering};
 use rcm_sync::Arc;
 use rcm_transport::{BackLinkSpec, EventLoop, EventedBackLink, UdpFrontLink};
@@ -58,15 +71,30 @@ struct Options {
     updates: u64,
     budget: Duration,
     workers: usize,
+    /// `Some((depth, fanout))` routes evaluation through an
+    /// aggregation tree instead of the flat CE body.
+    tree: Option<(usize, usize)>,
     json: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: scale [--front N] [--back M] [--active A] [--updates K] \
-         [--budget-ms MS] [--workers W] [--json]"
+         [--budget-ms MS] [--workers W] [--tree DxF] [--json]"
     );
     ExitCode::FAILURE
+}
+
+/// Parses `--tree DxF` (e.g. `3x8`): depth ≥ 2 levels of CEs counting
+/// the root, fanout ≥ 1 children per interior node.
+fn parse_tree(spec: &str) -> Option<(usize, usize)> {
+    let (d, f) = spec.split_once(['x', 'X'])?;
+    let depth: usize = d.parse().ok()?;
+    let fanout: usize = f.parse().ok()?;
+    if depth < 2 || fanout < 1 {
+        return None;
+    }
+    Some((depth, fanout))
 }
 
 fn parse_args() -> Option<Options> {
@@ -77,6 +105,7 @@ fn parse_args() -> Option<Options> {
         updates: 20,
         budget: Duration::from_secs(120),
         workers: 0,
+        tree: None,
         json: false,
     };
     let mut args = std::env::args().skip(1);
@@ -88,6 +117,7 @@ fn parse_args() -> Option<Options> {
             "--updates" => opts.updates = args.next()?.parse().ok()?,
             "--budget-ms" => opts.budget = Duration::from_millis(args.next()?.parse().ok()?),
             "--workers" => opts.workers = args.next()?.parse().ok()?,
+            "--tree" => opts.tree = Some(parse_tree(&args.next()?)?),
             "--json" => opts.json = true,
             _ => return None,
         }
@@ -213,7 +243,43 @@ fn main() -> ExitCode {
     let latency = Arc::new(LatencyHistogram::new());
     let updates_shed = Arc::new(AtomicU64::new(0));
     let emitted: u64;
-    if opts.workers == 0 {
+    let mut tree_stats: Option<TreeStats> = None;
+    if let Some((depth, fanout)) = opts.tree {
+        // Drain the socket ingress to completion first: the tree
+        // runtime consumes a finite stream, and the property under
+        // test is exactly-once fan-in, not arrival timing. Per-var
+        // seqno order survives the drain because the single ingress
+        // socket delivers each link's datagrams in order.
+        let mut stream = Vec::new();
+        while let Ok(update) = update_rx.recv() {
+            stream.push(update);
+        }
+        let leaves = fanout.pow((depth - 1) as u32).max(1);
+        let mut plan =
+            TreePlan::new(leaves).with_relay_tiers(depth.saturating_sub(2)).with_fanout(fanout);
+        for i in 0..opts.active {
+            let var = VarId::new(i as u32);
+            plan.own(var, i % leaves);
+            plan.add_condition(CondId::new(i as u32), Arc::new(Threshold::new(var, Cmp::Gt, 0.0)))
+                .expect("single-variable condition lands on its owning leaf");
+        }
+        let tree_opts = TreeOptions {
+            root_ce: CeId::new(0),
+            shards_per_leaf: opts.workers.max(1),
+            ..TreeOptions::default()
+        };
+        let report = TreeTopology::new(plan).options(tree_opts).stream(stream).run();
+        for alert in &report.displayed {
+            for back in &mut backs {
+                back.send_alert(alert.clone());
+            }
+        }
+        for back in &mut backs {
+            back.finish();
+        }
+        emitted = report.displayed.len() as u64;
+        tree_stats = Some(report.stats);
+    } else if opts.workers == 0 {
         let mut count: u64 = 0;
         while let Ok(update) = update_rx.recv() {
             let alert = Alert::new(
@@ -336,6 +402,18 @@ fn main() -> ExitCode {
             "elapsed_ms": elapsed.as_millis() as u64,
             "budget_ms": opts.budget.as_millis() as u64,
             "engine": serde_json::to_value(&engine_stats).expect("engine stats serialize"),
+            "tree": tree_stats.as_ref().map(|s| serde_json::json!({
+                "depth": opts.tree.map_or(0, |t| t.0),
+                "fanout": opts.tree.map_or(0, |t| t.1),
+                "leaves": opts.tree.map_or(0, |(d, f)| f.pow((d - 1) as u32)),
+                "updates_routed": s.updates_routed,
+                "derived_emitted": s.derived_emitted,
+                "derived_forwarded": s.derived_forwarded,
+                "derived_duplicates": s.derived_duplicates,
+                "root_alerts": s.root_alerts,
+                "wire_frames": s.wire_frames,
+                "wire_bytes": s.wire_bytes,
+            })),
             "violations": violations,
         });
         println!("{}", serde_json::to_string_pretty(&doc).expect("report serializes"));
@@ -344,6 +422,17 @@ fn main() -> ExitCode {
             "scale: {} front links ({} active × {} updates), {} back links, {} eval worker(s)",
             opts.front, opts.active, opts.updates, opts.back, opts.workers
         );
+        if let (Some((depth, fanout)), Some(s)) = (opts.tree, &tree_stats) {
+            println!(
+                "  tree: depth {depth} fanout {fanout} ({} leaves), {} updates routed, \
+                 {} derived forwarded, {} root alerts over {} wire frames",
+                fanout.pow((depth - 1) as u32),
+                s.updates_routed,
+                s.derived_forwarded,
+                s.root_alerts,
+                s.wire_frames
+            );
+        }
         if opts.workers > 0 {
             let snap = latency.snapshot();
             println!(

@@ -190,9 +190,12 @@ impl ConnSource {
                             }
                             Ok(Some(Message::Fin { node })) => outs.push(ConnOut::Fin(node)),
                             Ok(Some(Message::Hello { .. })) => {}
-                            Ok(Some(Message::Update(_) | Message::UpdateBatch(_))) => {
-                                // An update on a back link is protocol
-                                // abuse; count it, keep the stream.
+                            Ok(Some(
+                                Message::Update(_) | Message::UpdateBatch(_) | Message::Derived(_),
+                            )) => {
+                                // An update (raw or derived) on a back
+                                // link is protocol abuse; count it,
+                                // keep the stream.
                                 outs.push(ConnOut::DecodeError);
                             }
                             Ok(None) => break,

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use rcm_core::{Update, VarId};
+use rcm_core::{DerivedUpdate, SeqNo, Update, VarId};
 
 /// Per-variable seqno high-water mark: admits an update iff its seqno
 /// strictly advances its variable's cursor.
@@ -32,9 +32,22 @@ impl SeqGate {
     /// Admits `update` iff its seqno advances the variable's cursor;
     /// admission advances the cursor.
     pub fn admit(&mut self, update: &Update) -> bool {
-        let cursor = self.cursor.entry(update.var).or_insert(0);
-        if update.seqno.get() > *cursor {
-            *cursor = update.seqno.get();
+        self.admit_at(update.var, update.seqno)
+    }
+
+    /// Admits a derived update on a tier link — identical contract,
+    /// keyed on the stream's synthetic variable id. Leaves and
+    /// interior CEs share one derived-stream `(var, seqno)` space with
+    /// raw front links, so one gate instance can front both kinds.
+    pub fn admit_derived(&mut self, derived: &DerivedUpdate) -> bool {
+        self.admit_at(derived.var, derived.seqno)
+    }
+
+    /// The raw admission primitive both entry points share.
+    pub fn admit_at(&mut self, var: VarId, seqno: SeqNo) -> bool {
+        let cursor = self.cursor.entry(var).or_insert(0);
+        if seqno.get() > *cursor {
+            *cursor = seqno.get();
             true
         } else {
             false
@@ -64,6 +77,23 @@ mod tests {
         assert!(!gate.admit(&u(0, 3)), "duplicated datagram discarded");
         assert!(gate.admit(&u(0, 4)));
         assert_eq!(gate.cursor(VarId::new(0)), Some(4));
+    }
+
+    #[test]
+    fn derived_streams_share_the_admission_contract() {
+        use rcm_core::{derived_var, DerivedPayload};
+        let mut gate = SeqGate::new();
+        let var = derived_var(0, 2);
+        let d = |seqno| DerivedUpdate {
+            var,
+            seqno: SeqNo::new(seqno),
+            payload: DerivedPayload::Aggregate(0.0),
+        };
+        assert!(gate.admit_derived(&d(1)));
+        assert!(!gate.admit_derived(&d(1)), "replica duplicate discarded");
+        assert!(gate.admit_derived(&d(2)));
+        assert!(!gate.admit_derived(&d(2)), "re-parent replay discarded");
+        assert_eq!(gate.cursor(var), Some(2));
     }
 
     #[test]

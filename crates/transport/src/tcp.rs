@@ -745,9 +745,12 @@ fn reader_loop(
                             let _ = tx.send(Event::Fin(node));
                         }
                         Ok(Some(Message::Hello { .. })) => {}
-                        Ok(Some(Message::Update(_) | Message::UpdateBatch(_))) => {
-                            // An update on a back link is protocol
-                            // abuse; count it, keep the stream.
+                        Ok(Some(
+                            Message::Update(_) | Message::UpdateBatch(_) | Message::Derived(_),
+                        )) => {
+                            // An update (raw or derived) on a back
+                            // link is protocol abuse; count it, keep
+                            // the stream.
                             let _ = tx.send(Event::DecodeError);
                         }
                         Ok(None) => break,

@@ -37,13 +37,16 @@
 //! ```text
 //! payload   := tag:u8 body
 //! tag       := 0 Update | 1 Alert | 2 Hello | 3 Fin
-//!            | 4 UpdateBatch | 5 AlertBatch
+//!            | 4 UpdateBatch | 5 AlertBatch | 6 Derived
 //! update    := var:varint seqno:varint value:f64-le-bits
 //! alert     := cond:varint ce:varint index:varint
 //!              nvars:varint { var:varint nseq:varint seqno:varint* }*
 //!              nsnap:varint update*
 //! hello/fin := node:varint
 //! batches   := count:varint item*
+//! derived   := var:varint seqno:varint kind:u8 body
+//!              kind 0 (aggregate): value:f64-le-bits
+//!              kind 1 (verdict):   alert
 //! ```
 //!
 //! This module used to live in `rcm-runtime::wire` (which still
@@ -52,7 +55,7 @@
 
 use std::io;
 
-use rcm_core::{Alert, AlertId, CeId, CondId, SeqNo, Update, VarId};
+use rcm_core::{Alert, AlertId, CeId, CondId, DerivedPayload, DerivedUpdate, SeqNo, Update, VarId};
 use serde::{Deserialize, Serialize};
 
 /// A message on a monitoring link.
@@ -85,6 +88,13 @@ pub enum Message {
     /// Several alerts coalesced into one back-link write. Order within
     /// the batch is the send order.
     AlertBatch(Vec<Alert>),
+    /// One derived update on a hierarchical tier link (leaf or
+    /// interior CE → parent CE): a synthetic variable id, the
+    /// emitter's per-stream consecutive seqno, and an aggregate or
+    /// verdict payload. Version-gated like every other message — a
+    /// build that predates the tag rejects the frame cleanly as an
+    /// unknown message tag instead of misparsing it.
+    Derived(DerivedUpdate),
 }
 
 /// How much of an alert's history set is put on the wire.
@@ -463,6 +473,13 @@ mod tag {
     pub const FIN: u8 = 3;
     pub const UPDATE_BATCH: u8 = 4;
     pub const ALERT_BATCH: u8 = 5;
+    pub const DERIVED: u8 = 6;
+}
+
+/// Payload-kind bytes inside a [`tag::DERIVED`] body.
+mod derived_kind {
+    pub const AGGREGATE: u8 = 0;
+    pub const VERDICT: u8 = 1;
 }
 
 /// Smallest possible binary encoding of one update (two 1-byte varints
@@ -520,6 +537,29 @@ fn put_alert(out: &mut Vec<u8>, alert: &Alert) {
     for update in alert.snapshot.iter() {
         put_update(out, update);
     }
+}
+
+fn put_derived(out: &mut Vec<u8>, derived: &DerivedUpdate) {
+    put_varint(out, u64::from(derived.var.index()));
+    put_varint(out, derived.seqno.get());
+    match &derived.payload {
+        DerivedPayload::Aggregate(value) => {
+            out.push(derived_kind::AGGREGATE);
+            out.extend_from_slice(&value.to_bits().to_le_bytes());
+        }
+        DerivedPayload::Verdict(alert) => {
+            out.push(derived_kind::VERDICT);
+            put_alert(out, alert);
+        }
+    }
+}
+
+fn derived_wire_len(derived: &DerivedUpdate) -> usize {
+    let body = match &derived.payload {
+        DerivedPayload::Aggregate(_) => 8,
+        DerivedPayload::Verdict(alert) => alert_wire_len(alert),
+    };
+    varint_len(u64::from(derived.var.index())) + varint_len(derived.seqno.get()) + 1 + body
 }
 
 fn alert_wire_len(alert: &Alert) -> usize {
@@ -642,6 +682,17 @@ impl<'a> Reader<'a> {
         let snapshot = self.update_batch()?;
         Ok(Alert::new(cond, fingerprint, snapshot, AlertId { ce, index }))
     }
+
+    fn derived(&mut self) -> Result<DerivedUpdate, WireError> {
+        let var = VarId::new(self.varint_u32()?);
+        let seqno = SeqNo::new(self.varint()?);
+        let payload = match self.u8()? {
+            derived_kind::AGGREGATE => DerivedPayload::Aggregate(self.f64()?),
+            derived_kind::VERDICT => DerivedPayload::Verdict(self.alert()?),
+            _ => return Err(WireError::Malformed { context: "unknown derived payload kind" }),
+        };
+        Ok(DerivedUpdate { var, seqno, payload })
+    }
 }
 
 /// The version-3 compact binary codec. See the module docs for the
@@ -671,6 +722,10 @@ impl SerDes for BinarySerDes {
             Message::Fin { node } => {
                 out.push(tag::FIN);
                 put_varint(out, u64::from(*node));
+            }
+            Message::Derived(derived) => {
+                out.push(tag::DERIVED);
+                put_derived(out, derived);
             }
             Message::UpdateBatch(updates) => return Self::encode_update_slice(updates, out),
             Message::AlertBatch(alerts) => return Self::encode_alert_slice(alerts, out),
@@ -704,6 +759,7 @@ impl SerDes for BinarySerDes {
             tag::HELLO => Message::Hello { node: r.varint_u32()? },
             tag::FIN => Message::Fin { node: r.varint_u32()? },
             tag::UPDATE_BATCH => Message::UpdateBatch(r.update_batch()?),
+            tag::DERIVED => Message::Derived(r.derived()?),
             tag::ALERT_BATCH => {
                 let count = r.varint()? as usize;
                 if count > r.remaining() / ALERT_WIRE_MIN + 1 {
@@ -727,6 +783,7 @@ impl SerDes for BinarySerDes {
         Ok(match msg {
             Message::Update(u) => 1 + update_wire_len(u),
             Message::Alert(a) => 1 + alert_wire_len(a),
+            Message::Derived(d) => 1 + derived_wire_len(d),
             Message::Hello { node } | Message::Fin { node } => 1 + varint_len(u64::from(*node)),
             Message::UpdateBatch(updates) => {
                 1 + varint_len(updates.len() as u64)
@@ -1076,6 +1133,16 @@ mod tests {
                 (0..5).map(|i| Update::new(VarId::new(1), i + 1, i as f64)).collect(),
             ),
             Message::AlertBatch(vec![alert(), alert()]),
+            Message::Derived(DerivedUpdate {
+                var: rcm_core::derived_var(0, 3),
+                seqno: SeqNo::new(4),
+                payload: DerivedPayload::Aggregate(12.75),
+            }),
+            Message::Derived(DerivedUpdate {
+                var: rcm_core::derived_var(1, 0),
+                seqno: SeqNo::new(1),
+                payload: DerivedPayload::Verdict(alert()),
+            }),
         ]
     }
 
@@ -1283,7 +1350,24 @@ mod tests {
             BINARY_WIRE_VERSION,
             &[tag::FIN, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f],
         );
-        for raw in [&bad_tag, &truncated, &bad_fp, &bad_count, &trailing, &overflow] {
+        // derived update with an unknown payload kind (var 1, seqno 1, kind 7)
+        let bad_kind = raw_frame(BINARY_WIRE_VERSION, &[tag::DERIVED, 1, 1, 7]);
+        // derived aggregate truncated mid-f64 (var 1, seqno 1, kind 0, 3 of 8 bytes)
+        let short_agg = raw_frame(BINARY_WIRE_VERSION, &[tag::DERIVED, 1, 1, 0, 9, 9, 9]);
+        // derived verdict whose inner alert carries a bad fingerprint
+        let bad_verdict =
+            raw_frame(BINARY_WIRE_VERSION, &[tag::DERIVED, 1, 1, 1, 0, 0, 0, 1, 0, 2, 2, 3, 0]);
+        for raw in [
+            &bad_tag,
+            &truncated,
+            &bad_fp,
+            &bad_count,
+            &trailing,
+            &overflow,
+            &bad_kind,
+            &short_agg,
+            &bad_verdict,
+        ] {
             assert!(
                 matches!(decode_datagram(raw), Err(WireError::Malformed { .. })),
                 "{raw:?} should be Malformed, got {:?}",

@@ -1,0 +1,197 @@
+//! The full AD-1…AD-6 property matrix **over a derived-update
+//! stream**: a leaf CE's verdicts, shadowed into raw updates
+//! ([`DerivedUpdate::as_update`]), become the input variable of a
+//! replicated parent tier whose Alert Displayer runs each of the
+//! paper's six filtering algorithms. The paper's per-algorithm
+//! guarantees must hold unchanged — derived streams keep the exact
+//! `(variable, seqno, value)` contract raw DM streams have, so the
+//! property checkers apply verbatim:
+//!
+//! | filter | asserted on the derived stream          |
+//! |--------|-----------------------------------------|
+//! | AD-1   | complete, consistent                    |
+//! | AD-2   | ordered                                 |
+//! | AD-3   | consistent                              |
+//! | AD-4   | ordered, consistent                     |
+//! | AD-5   | ordered (multi-variable machinery)      |
+//! | AD-6   | consistent (multi-variable machinery)   |
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use rcm_core::ad::{apply_filter, Ad1, Ad2, Ad3, Ad4, Ad5, Ad6, AlertFilter};
+use rcm_core::condition::{Cmp, DeltaRise, Threshold};
+use rcm_core::{Alert, CeId, CondId, DerivedUpdate, Evaluator, Update, VarId};
+use rcm_props::{check_complete_single, check_consistent_single, check_ordered};
+use rcm_tree::{verdict_stream, LeafCe, TreeOptions, TreePlan};
+
+/// splitmix64.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs a leaf over a seeded raw stream and returns its verdict
+/// stream's raw-update shadow — consecutive seqnos stamped by the
+/// leaf's emitter, values all `1.0`.
+fn derived_inputs(seed: u64) -> Vec<Update> {
+    let x = VarId::new(0);
+    let mut plan = TreePlan::new(1);
+    plan.own(x, 0);
+    plan.add_condition(CondId::new(0), Arc::new(Threshold::new(x, Cmp::Gt, 0.0))).unwrap();
+    let opts = TreeOptions::default();
+    let mut leaf = LeafCe::from_plan(&plan, 0, CeId::new(1), &opts);
+
+    let mut rng = seed.wrapping_mul(2).wrapping_add(1);
+    let mut derived: Vec<DerivedUpdate> = Vec::new();
+    let mut seqno = 0;
+    for _ in 0..120 {
+        seqno += 1 + mix(&mut rng) % 2; // gaps model front-link loss
+        let value = (mix(&mut rng) % 40) as f64 - 10.0;
+        let mut out = rcm_tree::LeafOutput::default();
+        leaf.ingest(Update::new(x, seqno, value), &mut out);
+        derived.extend(out.derived);
+    }
+    let updates: Vec<Update> = derived.iter().map(DerivedUpdate::as_update).collect();
+    assert!(updates.len() > 20, "seed {seed} produced a trivial stream");
+    assert!(updates.iter().all(|u| u.var == verdict_stream(0, 0)));
+    updates
+}
+
+/// Two parent-tier replicas fed scripted-loss subsequences of the
+/// derived stream; their alert streams are interleaved round-robin
+/// (worst case for orderedness) into one arrival sequence.
+struct Replicated {
+    inputs: Vec<Vec<Update>>,
+    arrivals: Vec<Alert>,
+}
+
+fn replicate<C: rcm_core::Condition + Clone>(
+    cond: &C,
+    stream: &[Update],
+    seed: u64,
+    loss_pct: u64,
+) -> Replicated {
+    let mut rng = seed ^ 0xDEAD_BEEF;
+    let mut inputs = Vec::new();
+    let mut alert_streams: Vec<Vec<Alert>> = Vec::new();
+    for replica in 0..2u32 {
+        let mut ev = Evaluator::with_ids(cond.clone(), CondId::SINGLE, CeId::new(replica));
+        let mut received = Vec::new();
+        let mut alerts = Vec::new();
+        for &u in stream {
+            if mix(&mut rng) % 100 < loss_pct {
+                continue;
+            }
+            received.push(u);
+            if let Ok(Some(a)) = ev.try_ingest(u) {
+                alerts.push(a);
+            }
+        }
+        inputs.push(received);
+        alert_streams.push(alerts);
+    }
+    let mut arrivals = Vec::new();
+    let (a, b) = (alert_streams.remove(0), alert_streams.remove(0));
+    let (mut ia, mut ib) = (a.into_iter(), b.into_iter());
+    loop {
+        match (ia.next(), ib.next()) {
+            (None, None) => break,
+            (x, y) => {
+                arrivals.extend(x);
+                arrivals.extend(y);
+            }
+        }
+    }
+    Replicated { inputs, arrivals }
+}
+
+fn run_matrix<C: rcm_core::Condition + Clone>(cond: &C, seed: u64, loss_pct: u64) {
+    let stream = derived_inputs(seed);
+    let var = verdict_stream(0, 0);
+    let rep = replicate(cond, &stream, seed, loss_pct);
+    let ctx = format!("seed {seed}, loss {loss_pct}%");
+
+    let filters: Vec<(&str, Box<dyn AlertFilter>, bool, bool, bool)> = vec![
+        ("AD-1", Box::new(Ad1::new()), false, true, true),
+        ("AD-2", Box::new(Ad2::new(var)), true, false, false),
+        ("AD-3", Box::new(Ad3::new(var)), false, false, true),
+        ("AD-4", Box::new(Ad4::new(var)), true, false, true),
+        ("AD-5", Box::new(Ad5::new([var])), true, false, false),
+        ("AD-6", Box::new(Ad6::new([var])), false, false, true),
+    ];
+    for (name, mut filter, ordered, complete, consistent) in filters {
+        let displayed = apply_filter(filter.as_mut(), &rep.arrivals);
+        if ordered {
+            let r = check_ordered(&displayed, &[var]);
+            assert!(r.ok, "{ctx}: {name} orderedness violated: {:?}", r.violation);
+        }
+        if complete {
+            let r = check_complete_single(cond, &rep.inputs, &displayed);
+            assert!(r.ok, "{ctx}: {name} completeness violated: {r:?}");
+        }
+        if consistent {
+            let r = check_consistent_single(cond, &rep.inputs, &displayed);
+            assert!(r.ok, "{ctx}: {name} consistency violated: {r:?}");
+        }
+    }
+}
+
+#[test]
+fn matrix_holds_on_lossless_tier_links() {
+    let var = verdict_stream(0, 0);
+    for seed in 0..8u64 {
+        run_matrix(&Threshold::new(var, Cmp::Gt, 0.5), seed, 0);
+    }
+}
+
+#[test]
+fn matrix_holds_under_20pct_tier_link_loss() {
+    let var = verdict_stream(0, 0);
+    for seed in 0..8u64 {
+        run_matrix(&Threshold::new(var, Cmp::Gt, 0.5), seed, 20);
+    }
+}
+
+/// A two-history condition over the derived stream: consistency (and
+/// orderedness for the filters that promise it) must survive replica
+/// divergence — the interesting regime the paper's §3 is about.
+#[test]
+fn history_condition_over_derived_stream() {
+    let var = verdict_stream(0, 0);
+    for seed in 0..8u64 {
+        let cond = DeltaRise::new(var, -0.5); // any consecutive pair fires
+        let stream = derived_inputs(seed);
+        let rep = replicate(&cond, &stream, seed, 20);
+        let ctx = format!("seed {seed}");
+
+        let mut ad3 = Ad3::new(var);
+        let displayed = apply_filter(&mut ad3, &rep.arrivals);
+        let r = check_consistent_single(&cond, &rep.inputs, &displayed);
+        assert!(r.ok, "{ctx}: AD-3 consistency violated: {r:?}");
+
+        let mut ad4 = Ad4::new(var);
+        let displayed = apply_filter(&mut ad4, &rep.arrivals);
+        assert!(check_ordered(&displayed, &[var]).ok, "{ctx}: AD-4 orderedness");
+        let r = check_consistent_single(&cond, &rep.inputs, &displayed);
+        assert!(r.ok, "{ctx}: AD-4 consistency violated: {r:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The matrix over drawn seeds and loss rates.
+    #[test]
+    fn matrix_holds_for_any_seed(
+        seed in 0u64..1_000_000,
+        loss_pct in prop_oneof![Just(0u64), Just(20u64), Just(50u64)],
+    ) {
+        let var = verdict_stream(0, 0);
+        run_matrix(&Threshold::new(var, Cmp::Gt, 0.5), seed, loss_pct);
+    }
+}

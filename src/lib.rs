@@ -16,7 +16,10 @@
 //!   pipeline in a real process;
 //! * [`transport`] — real UDP/TCP socket transport and the topology
 //!   spec behind the deployable `rcm-dm`/`rcm-ce`/`rcm-ad` node
-//!   binaries.
+//!   binaries;
+//! * [`tree`] — hierarchical CE fan-in: aggregation trees of
+//!   condition engines whose leaves emit derived verdict streams
+//!   upward to a root whose display matches a flat CE byte-for-byte.
 //!
 //! See `examples/quickstart.rs` for a end-to-end tour, and DESIGN.md /
 //! EXPERIMENTS.md for the experiment index.
@@ -27,6 +30,7 @@ pub use rcm_props as props;
 pub use rcm_runtime as runtime;
 pub use rcm_sim as sim;
 pub use rcm_transport as transport;
+pub use rcm_tree as tree;
 
 /// One-stop imports for the common monitoring workflow.
 ///

@@ -41,7 +41,10 @@ pub fn assert_chaos(path: &Path) -> ExitCode {
 /// Every invariant the chaos report must satisfy. Mirrors what the
 /// simulator promises: per-link transport counters in the totals and
 /// in every run, a socket smoke that matched the in-process pipeline,
-/// and live engine counters proving the evented loop actually ran.
+/// live engine counters proving the evented loop actually ran, and a
+/// tree gauntlet section (≥ 10 plans, zero violations, re-parent and
+/// replay counters that moved) proving the aggregation-tree fault
+/// classes actually exercised their recovery machinery.
 pub fn check_chaos_report(doc: &Json) -> Vec<String> {
     let mut out = Vec::new();
     let num = |obj: &Json, key: &str| obj.get(key).and_then(Json::as_num);
@@ -96,6 +99,76 @@ pub fn check_chaos_report(doc: &Json) -> Vec<String> {
             }
             if smoke.get("transport").is_none() {
                 out.push("socket_smoke missing `transport` report".to_string());
+            }
+        }
+    }
+
+    match doc.get("tree") {
+        None => out.push("missing `tree` section (aggregation-tree gauntlet)".to_string()),
+        Some(tree) => {
+            if num(tree, "plans").unwrap_or(0.0) < 10.0 {
+                out.push("tree gauntlet ran fewer than 10 plans".to_string());
+            }
+            if num(tree, "violations").is_none_or(|v| v != 0.0) {
+                out.push("tree gauntlet reported violations".to_string());
+            }
+            match tree.get("totals") {
+                None => out.push("tree missing `totals` object".to_string()),
+                Some(totals) => {
+                    for key in [
+                        "updates_routed",
+                        "derived_emitted",
+                        "derived_forwarded",
+                        "derived_duplicates",
+                        "reparent_events",
+                        "replayed_frames",
+                        "frames_to_dead",
+                        "root_alerts",
+                        "wire_frames",
+                        "wire_bytes",
+                    ] {
+                        if totals.get(key).is_none() {
+                            out.push(format!("tree totals missing `{key}`"));
+                        }
+                    }
+                    // The subtree-kill class runs every fifth plan, so
+                    // a full sweep must have re-parented and replayed.
+                    if num(totals, "reparent_events").unwrap_or(0.0) <= 0.0 {
+                        out.push(
+                            "tree reparent_events is zero — subtree-kill class never re-parented"
+                                .to_string(),
+                        );
+                    }
+                    if num(totals, "replayed_frames").unwrap_or(0.0) <= 0.0 {
+                        out.push(
+                            "tree replayed_frames is zero — recovery classes replayed nothing"
+                                .to_string(),
+                        );
+                    }
+                    if num(totals, "root_alerts").unwrap_or(0.0) <= 0.0 {
+                        out.push(
+                            "tree root_alerts is zero — no alerts reached the root".to_string(),
+                        );
+                    }
+                }
+            }
+            match tree.get("runs").and_then(Json::as_arr) {
+                None => out.push("tree missing `runs` array".to_string()),
+                Some([]) => out.push("tree `runs` is empty".to_string()),
+                Some(runs) => {
+                    for (i, run) in runs.iter().enumerate() {
+                        if run.get("class").is_none() {
+                            out.push(format!("tree run {i}: missing `class`"));
+                        }
+                        match run.get("violations").and_then(Json::as_arr) {
+                            None => out.push(format!("tree run {i}: missing `violations` array")),
+                            Some(v) if !v.is_empty() => {
+                                out.push(format!("tree run {i}: {} violation(s)", v.len()));
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                }
             }
         }
     }
@@ -156,6 +229,20 @@ mod tests {
             "latency_p99_ns": 4000, "latency_p999_ns": 9000
           },
           "socket_smoke": { "violations": [], "transport": { "mode": "Sockets" } },
+          "tree": {
+            "plans": 10, "violations": 0,
+            "totals": {
+              "updates_routed": 1800, "derived_emitted": 950,
+              "derived_forwarded": 940, "derived_duplicates": 500,
+              "reparent_events": 2, "replayed_frames": 115,
+              "frames_to_dead": 96, "root_alerts": 430,
+              "wire_frames": 1900, "wire_bytes": 91000
+            },
+            "runs": [
+              { "plan": 0, "class": "tree/lossless/no-faults", "violations": [] },
+              { "plan": 1, "class": "tree/subtree-kill+reparent", "violations": [] }
+            ]
+          },
           "runs": [
             { "plan": 0, "transport": {
                 "mode": "Sockets", "ingress": [], "back_links": [], "ad": {},
@@ -187,6 +274,18 @@ mod tests {
             ("\"updates_shed\": 0,", ""),
             ("\"latency_p99_ns\": 4000,", ""),
             ("\"latency_p999_ns\": 9000", "\"latency_p999_ns\": 10"),
+            ("\"tree\": {", "\"forest\": {"),
+            ("\"plans\": 10,", "\"plans\": 3,"),
+            ("\"violations\": 0,", "\"violations\": 2,"),
+            ("\"reparent_events\": 2,", "\"reparent_events\": 0,"),
+            ("\"replayed_frames\": 115,", "\"replayed_frames\": 0,"),
+            ("\"root_alerts\": 430,", "\"root_alerts\": 0,"),
+            ("\"derived_forwarded\": 940,", ""),
+            (
+                "\"class\": \"tree/subtree-kill+reparent\", \"violations\": []",
+                "\"class\": \"tree/subtree-kill+reparent\", \"violations\": [\"lost alert\"]",
+            ),
+            ("\"plan\": 1, \"class\": \"tree/subtree-kill+reparent\",", "\"plan\": 1,"),
         ];
         for (from, to) in tampers {
             let tampered = good_report().replace(from, to);
